@@ -1,0 +1,107 @@
+package infopipes_test
+
+import (
+	"testing"
+	"time"
+
+	"infopipes"
+)
+
+// TestQuickstartComposition runs the paper's §4 player through the public
+// facade exactly as README documents it (E15).
+func TestQuickstartComposition(t *testing.T) {
+	sched := infopipes.NewScheduler()
+	source, err := infopipes.NewVideoSource("source", infopipes.DefaultVideoConfig(), 90)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decode := infopipes.NewDecoder("decode", 0)
+	sink := infopipes.NewDisplay("sink")
+	player, err := infopipes.Compose("player", sched, nil, []infopipes.Stage{
+		infopipes.Comp(source),
+		infopipes.Comp(decode),
+		infopipes.Pmp(infopipes.NewClockedPump("pump", 30)),
+		infopipes.Comp(sink),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	player.Start()
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := player.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sink.Frames(); got != 90 {
+		t.Fatalf("displayed %d frames, want 90", got)
+	}
+	// 30 Hz playback: mean gap 33.33 ms with no jitter on a virtual clock.
+	if gap := sink.MeanInterFrame(); gap < 0.0332 || gap > 0.0335 {
+		t.Errorf("mean inter-frame gap %.4fs, want ~0.0333", gap)
+	}
+	if j := sink.Jitter(); j > 0.0001 {
+		t.Errorf("jitter %.6fs, want ~0", j)
+	}
+	// One pump, all-direct components: coroutine set of exactly 1.
+	if set := player.Plan().Sections[0].CoroutineSetSize; set != 1 {
+		t.Errorf("coroutine set = %d, want 1", set)
+	}
+}
+
+// TestFacadeTypesRoundTrip exercises the re-exported helpers end to end.
+func TestFacadeTypesRoundTrip(t *testing.T) {
+	ts := infopipes.NewTypespec("video/frames").
+		WithQoS("rate", infopipes.QoSBetween(10, 60)).
+		WithLocation("here")
+	if ts.ItemType != "video/frames" || ts.Location != "here" {
+		t.Fatal("typespec builders broken")
+	}
+	pol, err := infopipes.ConnectPolarity(infopipes.Positive, infopipes.Negative)
+	if err != nil || pol != infopipes.Positive {
+		t.Fatalf("polarity: %v %v", pol, err)
+	}
+	it := infopipes.NewItem("payload", 1, time.Time{}).WithSize(3)
+	if it.Size != 3 {
+		t.Fatal("item builder broken")
+	}
+}
+
+// TestFacadePauseResume drives the lifecycle helpers through the facade.
+func TestFacadePauseResume(t *testing.T) {
+	sched := infopipes.NewScheduler()
+	sink := infopipes.NewCollectSink("sink")
+	var p *infopipes.Pipeline
+	seen := 0
+	gate := infopipes.NewFuncFilter("gate", func(ctx *infopipes.Ctx, it *infopipes.Item) (*infopipes.Item, error) {
+		seen++
+		if seen == 3 {
+			p.Pause()
+			// Resume from a helper thread two virtual seconds later.
+			helper := sched.Spawn("resumer", 20, func(th *infopipes.SchedThread, m infopipes.SchedMessage) infopipes.SchedDisposition {
+				th.SleepFor(2 * time.Second)
+				p.Resume()
+				return infopipes.SchedTerminate
+			})
+			sched.Post(helper, infopipes.SchedMessage{Kind: 200})
+		}
+		return it, nil
+	})
+	var err error
+	p, err = infopipes.Compose("pausable", sched, nil, []infopipes.Stage{
+		infopipes.Comp(infopipes.NewCounterSource("src", 10)),
+		infopipes.Comp(gate),
+		infopipes.Pmp(infopipes.NewFreePump("pump")),
+		infopipes.Comp(sink),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Count() != 10 {
+		t.Fatalf("sink got %d items", sink.Count())
+	}
+}

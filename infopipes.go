@@ -1,0 +1,406 @@
+// Package infopipes is the public facade of the Infopipe middleware — a Go
+// implementation of "Thread Transparency in Information Flow Middleware"
+// (Koster, Black, Huang, Walpole, Pu; Middleware 2001 / SP&E 33(4)).
+//
+// Infopipes model information-flow pipelines the way plumbing models water
+// flow: applications compose sources, filters, buffers, pumps, netpipes and
+// sinks, and the middleware transparently manages threads, coroutines and
+// synchronization.  Components are written in whichever activity style is
+// most natural — active objects, passive push (consumer), passive pull
+// (producer), or conversion functions — and the platform generates the glue
+// that lets any style run in any pipeline position.
+//
+// A minimal player (the paper's §4 example):
+//
+//	sched := infopipes.NewScheduler()
+//	src, _ := infopipes.NewVideoSource("source", infopipes.DefaultVideoConfig(), 300)
+//	p, err := infopipes.Compose("player", sched, nil, []infopipes.Stage{
+//		infopipes.Comp(src),
+//		infopipes.Comp(infopipes.NewDecoder("decode", 0)),
+//		infopipes.Pmp(infopipes.NewClockedPump("pump", 30)), // 30 Hz
+//		infopipes.Comp(infopipes.NewDisplay("sink")),
+//	})
+//	if err != nil { ... }
+//	p.Start() // send_event(START)
+//	err = sched.Run()
+package infopipes
+
+import (
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/feedback"
+	"infopipes/internal/ipcl"
+	"infopipes/internal/item"
+	"infopipes/internal/media"
+	"infopipes/internal/netpipe"
+	"infopipes/internal/pipes"
+	"infopipes/internal/remote"
+	"infopipes/internal/typespec"
+	"infopipes/internal/uthread"
+	"infopipes/internal/vclock"
+)
+
+// ---- Runtime: schedulers and clocks ----
+
+type (
+	// Scheduler runs user-level threads; every pipeline needs one.
+	Scheduler = uthread.Scheduler
+	// Clock is the scheduler time base.
+	Clock = vclock.Clock
+	// VirtualClock is the deterministic simulated clock.
+	VirtualClock = vclock.Virtual
+	// Priority orders thread execution.
+	Priority = uthread.Priority
+)
+
+// RealClock is the wall-clock time base.
+type RealClock = vclock.Real
+
+// Advanced scheduler surface, for applications that add their own
+// user-level threads (feedback helpers, custom control components).
+type (
+	// SchedThread is a user-level thread of a Scheduler.
+	SchedThread = uthread.Thread
+	// SchedMessage is the unit of inter-thread communication.
+	SchedMessage = uthread.Message
+	// SchedDisposition is a code function's continue/terminate result.
+	SchedDisposition = uthread.Disposition
+)
+
+// Code-function dispositions.
+const (
+	SchedContinue  = uthread.Continue
+	SchedTerminate = uthread.Terminate
+)
+
+// NewScheduler creates a scheduler with a deterministic virtual clock.
+func NewScheduler() *Scheduler { return uthread.New() }
+
+// NewRealTimeScheduler creates a scheduler on the wall clock, for
+// interactive and distributed pipelines.
+func NewRealTimeScheduler() *Scheduler {
+	return uthread.New(uthread.WithClock(vclock.Real{}))
+}
+
+// NewSchedulerWithClock creates a scheduler on an explicit clock (e.g. one
+// virtual clock shared by several schedulers).
+func NewSchedulerWithClock(c Clock) *Scheduler {
+	return uthread.New(uthread.WithClock(c))
+}
+
+// NewVirtualClock returns a fresh virtual clock at the epoch.
+func NewVirtualClock() *VirtualClock { return vclock.NewVirtual() }
+
+// ---- Component model ----
+
+type (
+	// Component is the SPI common to all activity styles.
+	Component = core.Component
+	// Function, Consumer, Producer and Active are the four activity
+	// styles of §3.3.
+	Function = core.Function
+	Consumer = core.Consumer
+	Producer = core.Producer
+	Active   = core.Active
+	// Base supplies component defaults; embed it.
+	Base = core.Base
+	// Ctx is the component's runtime interface to the middleware.
+	Ctx = core.Ctx
+	// Style identifies an activity style.
+	Style = core.Style
+	// Mode is push or pull, assigned by the planner.
+	Mode = core.Mode
+	// Item is one information item.
+	Item = item.Item
+)
+
+// Activity styles.
+const (
+	StyleFunction = core.StyleFunction
+	StyleConsumer = core.StyleConsumer
+	StyleProducer = core.StyleProducer
+	StyleActive   = core.StyleActive
+)
+
+// Interaction modes.
+const (
+	PushMode = core.PushMode
+	PullMode = core.PullMode
+)
+
+// NewItem creates an information item; see item.New.
+var NewItem = item.New
+
+// ---- Composition ----
+
+type (
+	// Pipeline is a composed Infopipe.
+	Pipeline = core.Pipeline
+	// Stage wraps a component, buffer or pump for composition.
+	Stage = core.Stage
+	// Plan is the activity analysis (threads, coroutines, modes).
+	Plan = core.Plan
+	// SectionPlan describes one pump-driven section.
+	SectionPlan = core.SectionPlan
+	// Placement is the planner's decision for one component.
+	Placement = core.Placement
+	// ComposeOption adjusts composition.
+	ComposeOption = core.ComposeOption
+	// Pump is the timing-control interface of §3.1.
+	Pump = core.Pump
+	// Buffer is the storage-stage interface of §2.1.
+	Buffer = core.Buffer
+)
+
+// Stage constructors.
+var (
+	Comp = core.Comp
+	Buf  = core.Buf
+	Pmp  = core.Pmp
+)
+
+// Compose plans and instantiates a pipeline; see core.Compose.
+var Compose = core.Compose
+
+// ForceCoroutines is the thread-per-component ablation option.
+var ForceCoroutines = core.ForceCoroutines
+
+// SkipEventCapabilityCheck disables the §2.3 event-capability check.
+var SkipEventCapabilityCheck = core.SkipEventCapabilityCheck
+
+// Data-path and composition errors.
+var (
+	ErrEOS             = core.ErrEOS
+	ErrStopped         = core.ErrStopped
+	ErrNoActivity      = core.ErrNoActivity
+	ErrTwoPumps        = core.ErrTwoPumps
+	ErrBadLayout       = core.ErrBadLayout
+	ErrUnwrappable     = core.ErrUnwrappable
+	ErrEventCapability = core.ErrEventCapability
+)
+
+// ---- Control events ----
+
+type (
+	// Event is one control event.
+	Event = events.Event
+	// EventType identifies a control-event type.
+	EventType = events.Type
+	// Bus is the global event service.
+	Bus = events.Bus
+)
+
+// Standard event types.
+const (
+	EvStart        = events.Start
+	EvStop         = events.Stop
+	EvPause        = events.Pause
+	EvResume       = events.Resume
+	EvEOS          = events.EOS
+	EvResize       = events.Resize
+	EvFrameRelease = events.FrameRelease
+	EvQoSReport    = events.QoSReport
+	EvRateChange   = events.RateChange
+	EvDropLevel    = events.DropLevel
+)
+
+// ---- Typespecs ----
+
+type (
+	// Typespec describes the properties of an information flow (§2.3).
+	Typespec = typespec.Typespec
+	// Polarity is the activity of a port.
+	Polarity = typespec.Polarity
+	// QoSRange is a closed interval of a QoS parameter.
+	QoSRange = typespec.Range
+	// BlockPolicy is the §2.3 blocking behaviour.
+	BlockPolicy = typespec.BlockPolicy
+)
+
+// Polarities and policies.
+const (
+	Negative = typespec.Negative
+	Positive = typespec.Positive
+	Poly     = typespec.Poly
+	Block    = typespec.Block
+	NonBlock = typespec.NonBlock
+)
+
+// Typespec helpers.
+var (
+	NewTypespec     = typespec.New
+	QoSExactly      = typespec.Exactly
+	QoSAtLeast      = typespec.AtLeast
+	QoSAtMost       = typespec.AtMost
+	QoSBetween      = typespec.Between
+	ConnectPolarity = typespec.ConnectPolarity
+)
+
+// ---- Standard components (pipes) ----
+
+// Pumps (§3.1).
+var (
+	NewClockedPump     = pipes.NewClockedPump
+	NewClockedPumpPrio = pipes.NewClockedPumpPrio
+	NewFreePump        = pipes.NewFreePump
+	NewAdaptivePump    = pipes.NewAdaptivePump
+)
+
+// TimedPump is the standard pump implementation.
+type TimedPump = pipes.TimedPump
+
+// Buffers (§2.1/§2.3).
+var (
+	NewBuffer         = pipes.NewBuffer
+	NewDroppingBuffer = pipes.NewDroppingBuffer
+	NewBufferPolicy   = pipes.NewBufferPolicy
+)
+
+// BoundedBuffer is the standard buffer implementation.
+type BoundedBuffer = pipes.BoundedBuffer
+
+// Sources, sinks, filters.
+var (
+	NewGeneratorSource = pipes.NewGeneratorSource
+	NewCounterSource   = pipes.NewCounterSource
+	NewCollectSink     = pipes.NewCollectSink
+	NewFuncSink        = pipes.NewFuncSink
+	NullSink           = pipes.NullSink
+	NewFuncFilter      = pipes.NewFuncFilter
+	NewCountingProbe   = pipes.NewCountingProbe
+	NewDelayFilter     = pipes.NewDelayFilter
+	NewDropFilter      = pipes.NewDropFilter
+)
+
+// The paper's running example in all styles (§3.3).
+var (
+	NewDefragConsumer = pipes.NewDefragConsumer
+	NewDefragProducer = pipes.NewDefragProducer
+	NewDefragActive   = pipes.NewDefragActive
+	NewFragConsumer   = pipes.NewFragConsumer
+	NewFragProducer   = pipes.NewFragProducer
+	NewFragActive     = pipes.NewFragActive
+)
+
+// Tees (§2.1 splitting and merging).
+var (
+	NewCopyTee    = pipes.NewCopyTee
+	NewRouteTee   = pipes.NewRouteTee
+	NewMergeTee   = pipes.NewMergeTee
+	NewPullSwitch = pipes.NewPullSwitch
+)
+
+// ---- Feedback toolkit ----
+
+type (
+	// Sensor, Controller and Actuator are the feedback roles (§2.1).
+	Sensor     = feedback.Sensor
+	Controller = feedback.Controller
+	Actuator   = feedback.Actuator
+	// PIController and StepController are standard controllers.
+	PIController   = feedback.PIController
+	StepController = feedback.StepController
+	// FeedbackLoop runs the cycle on its own thread.
+	FeedbackLoop = feedback.Loop
+	// SensorFunc and ActuatorFunc adapt closures.
+	SensorFunc   = feedback.SensorFunc
+	ActuatorFunc = feedback.ActuatorFunc
+	// FillSensor reads buffer fill levels; RateSensor derives rates.
+	FillSensor = feedback.FillSensor
+	RateSensor = feedback.RateSensor
+)
+
+// Feedback helpers.
+var (
+	NewFeedbackLoop = feedback.NewLoop
+	SmoothSensor    = feedback.Smooth
+	StopOnEOS       = feedback.StopOnEOS
+)
+
+// ---- Media substrate ----
+
+type (
+	// VideoConfig parameterises the synthetic video source.
+	VideoConfig = media.VideoConfig
+	// Frame is a synthetic video frame.
+	Frame = media.Frame
+	// FrameType is I, P or B.
+	FrameType = media.FrameType
+	// Display is the measuring video sink.
+	Display = media.Display
+	// VideoDecoder is the synthetic decoder.
+	VideoDecoder = media.Decoder
+	// MidiEvent is a MIDI item payload; MidiSink the checksumming sink.
+	MidiEvent = media.MidiEvent
+	MidiSink  = media.MidiSink
+)
+
+// Frame types.
+const (
+	FrameI = media.FrameI
+	FrameP = media.FrameP
+	FrameB = media.FrameB
+)
+
+// Media constructors and policies.
+var (
+	DefaultVideoConfig = media.DefaultVideoConfig
+	NewVideoSource     = media.NewVideoSource
+	NewDecoder         = media.NewDecoder
+	NewDisplay         = media.NewDisplay
+	PriorityDropPolicy = media.PriorityDropPolicy
+	NewMidiSource      = media.NewMidiSource
+	NewMidiSink        = media.NewMidiSink
+	NewTranspose       = media.NewTranspose
+	NewVelocityScale   = media.NewVelocityScale
+)
+
+// ---- Netpipes and distribution ----
+
+type (
+	// Marshaller converts items to wire frames.
+	Marshaller = netpipe.Marshaller
+	// GobMarshaller is the default marshaller.
+	GobMarshaller = netpipe.GobMarshaller
+	// SimConfig and SimLink form the simulated best-effort network.
+	SimConfig = netpipe.SimConfig
+	SimLink   = netpipe.SimLink
+	// TCPLink is the reliable TCP netpipe.
+	TCPLink = netpipe.TCPLink
+	// Node and RemoteClient implement remote setup (§2.4).
+	Node         = remote.Node
+	RemoteClient = remote.Client
+	StageSpec    = remote.StageSpec
+	Factory      = remote.Factory
+)
+
+// Netpipe and remote helpers.
+var (
+	NewMarshalFilter    = netpipe.NewMarshalFilter
+	NewUnmarshalFilter  = netpipe.NewUnmarshalFilter
+	RegisterWirePayload = netpipe.RegisterPayload
+	NewSimLink          = netpipe.NewSimLink
+	NewTCPSenderLink    = netpipe.NewTCPSenderLink
+	NewTCPReceiverLink  = netpipe.NewTCPReceiverLink
+	NewNode             = remote.NewNode
+	DialNode            = remote.Dial
+	ForwardEvents       = remote.ForwardEvents
+)
+
+// ---- Composition microlanguage (the paper's planned ref [24]) ----
+
+type (
+	// PipelineRegistry maps textual stage kinds to factories.
+	PipelineRegistry = ipcl.Registry
+	// PipelineStageExpr is one parsed stage of a pipeline expression.
+	PipelineStageExpr = ipcl.StageExpr
+)
+
+// Microlanguage helpers: parse/build/compose pipelines from expressions
+// like "video(frames=300) >> decoder >> pump(rate=30) >> display".
+var (
+	ParsePipeline    = ipcl.Parse
+	BuildPipeline    = ipcl.Build
+	ComposeText      = ipcl.Compose
+	StandardRegistry = ipcl.StdRegistry
+)

@@ -1,0 +1,615 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"infopipes/internal/events"
+	"infopipes/internal/item"
+	"infopipes/internal/uthread"
+)
+
+// evNudge is the internal control event used to wake blocked threads so
+// they re-check shutdown flags.  It is never delivered to components.
+const evNudge events.Type = "infopipe-internal-nudge"
+
+// EOSSink is an optional extension for sink components that need to react
+// when end-of-stream reaches them (tees closing their internal buffers,
+// files flushing).  HandleEOS runs on the section's pump thread just before
+// the pipeline announces EOS.
+type EOSSink interface {
+	HandleEOS(ctx *Ctx)
+}
+
+// eosToken is the end-of-stream marker passed across coroutine links.
+type eosToken struct{}
+
+// compRef pairs a component with its bound context for event dispatch.
+type compRef struct {
+	comp Component
+	ctx  *Ctx
+}
+
+// placementRT is the runtime realisation of a Placement.
+type placementRT struct {
+	comp   Component
+	pl     Placement
+	ctx    *Ctx
+	thread *uthread.Thread
+	// getLink is the link this placement's thread performs Get on (the
+	// inbound side for push-mode coroutines); used to stash the payload of
+	// the invoking message (§3.3 "the first push call invokes the main
+	// function").  Nil for pull-side coroutines and direct placements.
+	getLink *uthread.CoroLink
+	// eosDown propagates end-of-stream toward the sink from this
+	// placement's position.
+	eosDown func(*Ctx)
+	// installed tracks one-time control-dispatch installation.
+	installed bool
+}
+
+// section is the runtime of one pump-driven span: the pump's thread plus
+// the coroutine set the planner allocated (§4: "The Infopipe platform
+// creates a thread for each pump ... if coroutines are needed, each of them
+// is implemented by an additional thread of the underlying thread package").
+type section struct {
+	pipeline *Pipeline
+	idx      int
+	pump     Pump
+	plan     SectionPlan
+	upBuf    Buffer
+	downBuf  Buffer
+
+	pumpThread *uthread.Thread
+	threads    []*uthread.Thread
+	links      []*uthread.CoroLink
+	owned      map[uint64][]compRef
+
+	stopping atomic.Bool
+	paused   atomic.Bool
+	started  atomic.Bool
+
+	pumpPull func(*Ctx) (*item.Item, error)
+	pumpPush func(*Ctx, *item.Item) error
+	eosDown  func(*Ctx)
+	pumpCtx  *Ctx
+}
+
+// buildSection instantiates threads, links and call chains for one section.
+func buildSection(p *Pipeline, idx int, sp SectionPlan, upBuf, downBuf Buffer) *section {
+	s := &section{
+		pipeline: p,
+		idx:      idx,
+		plan:     sp,
+		upBuf:    upBuf,
+		downBuf:  downBuf,
+		owned:    make(map[uint64][]compRef),
+	}
+	pumpStage := p.stages[sp.PumpStageIndex]
+	s.pump, _ = pumpStage.IsPump()
+	prio := s.pump.Priority()
+
+	// ---- Upstream (pull-mode) side: boundary -> pump ----
+	var pull func(*Ctx) (*item.Item, error)
+	if upBuf != nil {
+		buf := upBuf
+		pull = func(ctx *Ctx) (*item.Item, error) { return buf.Remove(ctx) }
+	}
+	var pendingDown []*uthread.CoroLink // links awaiting their getter thread
+	var run []*placementRT              // direct placements awaiting their thread
+
+	assignRun := func(th *uthread.Thread) {
+		for _, rt := range run {
+			rt.thread = th
+			rt.ctx.thread = th
+			s.owned[th.ID()] = append(s.owned[th.ID()], compRef{comp: rt.comp, ctx: rt.ctx})
+		}
+		run = nil
+		for _, l := range pendingDown {
+			l.BindDown(th)
+		}
+		pendingDown = nil
+	}
+
+	for _, pl := range sp.Upstream {
+		comp, _ := p.stages[pl.StageIndex].IsComponent()
+		rt := &placementRT{comp: comp, pl: pl}
+		rt.ctx = &Ctx{sect: s, comp: comp, pull: pull}
+		p.placements[comp.Name()] = rt
+		if pl.Direct {
+			pull = directPull(rt)
+			run = append(run, rt)
+			continue
+		}
+		// Coroutine: it runs everything upstream of itself (the chain
+		// built so far) and hands items toward the pump over a new link.
+		link := uthread.NewCoroLink(comp.Name() + ".out")
+		s.links = append(s.links, link)
+		rt.ctx.push = linkPush(s, link)
+		rt.eosDown = func(ctx *Ctx) { _ = link.Put(ctx.thread, eosToken{}) }
+		th := p.sched.Spawn(p.name+"/"+comp.Name(), prio, s.coroCode(rt))
+		s.threads = append(s.threads, th)
+		rt.thread = th
+		rt.ctx.thread = th
+		s.owned[th.ID()] = append(s.owned[th.ID()], compRef{comp: comp, ctx: rt.ctx})
+		link.BindUp(th)
+		assignRun(th)
+		pendingDown = append(pendingDown, link)
+		pull = linkPull(s, link)
+	}
+	s.pumpPull = pull
+	upRun, upPending := run, pendingDown
+	run, pendingDown = nil, nil
+
+	// ---- Downstream (push-mode) side: built boundary -> pump ----
+	var push func(*Ctx, *item.Item) error
+	var eos func(*Ctx)
+	if downBuf != nil {
+		buf := downBuf
+		push = func(ctx *Ctx, it *item.Item) error { return buf.Insert(ctx, it) }
+		eos = func(*Ctx) { buf.CloseUpstream() }
+	} else {
+		eos = func(ctx *Ctx) {
+			// End of stream reached the pipeline's sink end: give the
+			// sink component a chance to react, then announce.
+			if n := len(sp.Downstream); n > 0 {
+				name := sp.Downstream[n-1].Component
+				if rt, ok := p.placements[name]; ok {
+					if es, ok := rt.comp.(EOSSink); ok {
+						es.HandleEOS(rt.ctx)
+					}
+				}
+			}
+			s.pipeline.sinkReachedEOS()
+		}
+	}
+	var pendingUp []*uthread.CoroLink // links awaiting their putter thread
+
+	assignRunPush := func(th *uthread.Thread) {
+		for _, rt := range run {
+			rt.thread = th
+			rt.ctx.thread = th
+			s.owned[th.ID()] = append(s.owned[th.ID()], compRef{comp: rt.comp, ctx: rt.ctx})
+		}
+		run = nil
+		for _, l := range pendingUp {
+			l.BindUp(th)
+		}
+		pendingUp = nil
+	}
+
+	for i := len(sp.Downstream) - 1; i >= 0; i-- {
+		pl := sp.Downstream[i]
+		comp, _ := p.stages[pl.StageIndex].IsComponent()
+		rt := &placementRT{comp: comp, pl: pl, eosDown: eos}
+		rt.ctx = &Ctx{sect: s, comp: comp, push: push}
+		p.placements[comp.Name()] = rt
+		if pl.Direct {
+			push = directPush(rt)
+			run = append(run, rt)
+			continue
+		}
+		// Coroutine: it receives items over a new link and runs everything
+		// downstream of itself.
+		link := uthread.NewCoroLink(comp.Name() + ".in")
+		s.links = append(s.links, link)
+		rt.getLink = link
+		rt.ctx.pull = linkPull(s, link)
+		th := p.sched.Spawn(p.name+"/"+comp.Name(), prio, s.coroCode(rt))
+		s.threads = append(s.threads, th)
+		rt.thread = th
+		rt.ctx.thread = th
+		s.owned[th.ID()] = append(s.owned[th.ID()], compRef{comp: comp, ctx: rt.ctx})
+		link.BindDown(th)
+		assignRunPush(th)
+		pendingUp = append(pendingUp, link)
+		push = linkPush(s, link)
+		lnk := link
+		eos = func(ctx *Ctx) { _ = lnk.Put(ctx.thread, eosToken{}) }
+	}
+	s.pumpPush = push
+	s.eosDown = eos
+
+	// ---- Pump thread: terminal owner of both sides ----
+	s.pumpThread = p.sched.Spawn(p.name+"/"+s.pump.Name(), prio, s.pumpCode())
+	s.threads = append(s.threads, s.pumpThread)
+	downRun := run
+	run, pendingDown = upRun, upPending
+	assignRun(s.pumpThread) // upstream-side leftovers: direct comps + link Get side
+	run = downRun
+	assignRunPush(s.pumpThread) // downstream-side leftovers: direct comps + link Put side
+	s.pumpCtx = &Ctx{sect: s, thread: s.pumpThread, pull: s.pumpPull, push: s.pumpPush}
+	return s
+}
+
+// directPull wraps a direct (same-thread) pull-mode placement: producers
+// and conversion functions are called as plain functions (§3.3 "in pull
+// mode producers and functions are called directly").
+func directPull(rt *placementRT) func(*Ctx) (*item.Item, error) {
+	switch c := rt.comp.(type) {
+	case Producer:
+		return func(*Ctx) (*item.Item, error) { return c.Pull(rt.ctx) }
+	case Function:
+		return func(*Ctx) (*item.Item, error) {
+			for {
+				in, err := rt.ctx.PullUpstream()
+				if err != nil {
+					return nil, err
+				}
+				if in == nil {
+					return nil, nil // nil item passes through (§2.3)
+				}
+				out, err := c.Convert(rt.ctx, in)
+				if err != nil {
+					return nil, err
+				}
+				if out != nil {
+					return out, nil
+				}
+				// Item filtered out: pull again for the next survivor.
+			}
+		}
+	default:
+		return func(*Ctx) (*item.Item, error) {
+			return nil, fmt.Errorf("infopipe: %s-style %q cannot run direct in pull mode", rt.comp.Style(), rt.comp.Name())
+		}
+	}
+}
+
+// directPush wraps a direct push-mode placement: consumers and conversion
+// functions are called as plain functions (§3.3 "in push mode, consumers
+// and functions are called directly").
+func directPush(rt *placementRT) func(*Ctx, *item.Item) error {
+	switch c := rt.comp.(type) {
+	case Consumer:
+		return func(_ *Ctx, it *item.Item) error { return c.Push(rt.ctx, it) }
+	case Function:
+		return func(_ *Ctx, it *item.Item) error {
+			out, err := c.Convert(rt.ctx, it)
+			if err != nil {
+				return err
+			}
+			if out == nil {
+				return nil // item filtered out
+			}
+			return rt.ctx.PushDownstream(out)
+		}
+	default:
+		return func(*Ctx, *item.Item) error {
+			return fmt.Errorf("infopipe: %s-style %q cannot run direct in push mode", rt.comp.Style(), rt.comp.Name())
+		}
+	}
+}
+
+// linkPull adapts a coroutine link's Get to the pull-chain signature,
+// unwrapping EOS markers and mapping closure to ErrStopped.
+func linkPull(s *section, link *uthread.CoroLink) func(*Ctx) (*item.Item, error) {
+	return func(ctx *Ctx) (*item.Item, error) {
+		x, err := link.Get(ctx.thread)
+		if err != nil {
+			return nil, ErrStopped
+		}
+		if _, isEOS := x.(eosToken); isEOS {
+			link.Drain(ctx.thread) // release the putter's final Put
+			return nil, ErrEOS
+		}
+		if x == nil {
+			return nil, nil
+		}
+		return x.(*item.Item), nil
+	}
+}
+
+// linkPush adapts a coroutine link's Put to the push-chain signature.
+func linkPush(s *section, link *uthread.CoroLink) func(*Ctx, *item.Item) error {
+	return func(ctx *Ctx, it *item.Item) error {
+		if err := link.Put(ctx.thread, it); err != nil {
+			return ErrStopped
+		}
+		return nil
+	}
+}
+
+// coroCode is the top-level code function of a coroutine thread: control
+// events are handled directly; the first data/resume message enters the
+// component's (possibly generated) main loop, which runs until stop or EOS.
+func (s *section) coroCode(rt *placementRT) uthread.CodeFunc {
+	return func(t *uthread.Thread, m uthread.Message) uthread.Disposition {
+		if !rt.installed {
+			s.installDispatch(t)
+			rt.installed = true
+		}
+		if events.IsControl(m) {
+			s.handleControlMsg(t, m)
+			if s.stopping.Load() {
+				s.pipeline.threadExited()
+				return uthread.Terminate
+			}
+			return uthread.Continue
+		}
+		switch m.Kind {
+		case uthread.KindCoroData, uthread.KindCoroResume:
+			if rt.getLink != nil && rt.getLink.IsCoroData(m) {
+				// The invoking push carries the first item (§3.3): stash
+				// it so the component's first pull consumes it.
+				rt.getLink.Offer(uthread.ItemOf(m))
+			}
+			s.runGlue(rt)
+			s.drainControls(t)
+			s.pipeline.threadExited()
+			return uthread.Terminate
+		default:
+			return uthread.Continue
+		}
+	}
+}
+
+// runGlue executes the component's main loop: the component's own Run for
+// active objects, or the generated wrapper of Fig 7 for passive components
+// used against their natural mode.
+func (s *section) runGlue(rt *placementRT) {
+	ctx := rt.ctx
+	var err error
+	switch c := rt.comp.(type) {
+	case Active:
+		err = c.Run(ctx)
+		if err == nil && !s.stopping.Load() {
+			err = ErrEOS // an active component finishing ends its stream
+		}
+	case Consumer:
+		// Fig 7b: push-style component driven in pull position.
+		for !s.stopping.Load() {
+			var it *item.Item
+			it, err = ctx.PullUpstream()
+			if err != nil {
+				break
+			}
+			if it == nil {
+				continue
+			}
+			if err = c.Push(ctx, it); err != nil {
+				break
+			}
+		}
+	case Producer:
+		// Fig 7a: pull-style component driven in push position.
+		for !s.stopping.Load() {
+			var it *item.Item
+			it, err = c.Pull(ctx)
+			if err != nil {
+				break
+			}
+			if it == nil {
+				continue
+			}
+			if err = ctx.PushDownstream(it); err != nil {
+				break
+			}
+		}
+	case Function:
+		// Only under ForceCoroutines: drive the conversion in a loop.
+		for !s.stopping.Load() {
+			var in, out *item.Item
+			in, err = ctx.PullUpstream()
+			if err != nil {
+				break
+			}
+			if in == nil {
+				continue
+			}
+			out, err = c.Convert(ctx, in)
+			if err != nil {
+				break
+			}
+			if out == nil {
+				continue
+			}
+			if err = ctx.PushDownstream(out); err != nil {
+				break
+			}
+		}
+	default:
+		err = fmt.Errorf("infopipe: component %q implements no activity interface", rt.comp.Name())
+	}
+	switch {
+	case errors.Is(err, ErrEOS):
+		if rt.eosDown != nil {
+			rt.eosDown(ctx)
+		}
+	case errors.Is(err, ErrStopped), errors.Is(err, uthread.ErrLinkClosed), err == nil:
+		// Normal shutdown.
+	default:
+		s.pipeline.fail(fmt.Errorf("component %q: %w", rt.comp.Name(), err))
+	}
+}
+
+// pumpCode is the top-level code function of the pump thread.
+func (s *section) pumpCode() uthread.CodeFunc {
+	installed := false
+	return func(t *uthread.Thread, m uthread.Message) uthread.Disposition {
+		if !installed {
+			s.installDispatch(t)
+			installed = true
+		}
+		if events.IsControl(m) {
+			s.handleControlMsg(t, m)
+			if s.stopping.Load() {
+				s.pipeline.threadExited()
+				return uthread.Terminate
+			}
+			return uthread.Continue
+		}
+		if m.Kind == MsgPumpRun {
+			s.pumpLoop(t)
+			// On a stop the shutdown already ran (the stop handler calls
+			// beginShutdown).  On EOS no shutdown is wanted: the marker
+			// cascade lets every coroutine exit on its own, and closing
+			// links here could cut the cascade off before it reaches the
+			// sink.
+			//
+			// A failure inside this very cycle broadcasts a stop that
+			// lands in our own queue after pumpLoop has returned; drain
+			// pending controls so the components this thread operates
+			// still see it (a netpipe sink must forward EOS on stop).
+			s.drainControls(t)
+			s.pipeline.threadExited()
+			return uthread.Terminate
+		}
+		return uthread.Continue
+	}
+}
+
+// pumpLoop is the section's engine (§3.1/§4): the pump's thread calls the
+// pull functions of all components upstream, then push with the returned
+// item downstream, then schedules the next cycle.
+func (s *section) pumpLoop(t *uthread.Thread) {
+	ctx := s.pumpCtx
+	stopped := func() bool { return s.stopping.Load() }
+	var cycle int64
+	for {
+		// Communication points are the preemption points of the paper's
+		// cooperative threads (§3.2).  A free-running pump over an
+		// all-direct section performs no message operations at all, so an
+		// explicit checkpoint per cycle keeps control events flowing and
+		// yields to equal-or-higher-priority pumps (round-robin).
+		for {
+			m, ok := t.TryReceive(events.IsControl)
+			if !ok {
+				break
+			}
+			s.handleControlMsg(t, m)
+		}
+		t.Yield()
+		if s.stopping.Load() {
+			return
+		}
+		if s.paused.Load() {
+			m := t.ReceiveMatch(events.IsControl)
+			s.handleControlMsg(t, m)
+			continue
+		}
+		now := s.pipeline.sched.Now()
+		next := s.pump.Next(now, cycle)
+		if next.After(now) {
+			if !t.SleepUntilOr(next, stopped) {
+				return
+			}
+			if s.paused.Load() {
+				continue
+			}
+		}
+		it, err := s.pumpPull(ctx)
+		if err != nil {
+			s.pumpFinish(ctx, err)
+			return
+		}
+		cycle++
+		if it == nil {
+			continue // nil item: empty non-blocking pull (§2.3)
+		}
+		if err := s.pumpPush(ctx, it); err != nil {
+			s.pumpFinish(ctx, err)
+			return
+		}
+	}
+}
+
+// pumpFinish reacts to a failed pump cycle: EOS propagates downstream,
+// stop is silent, anything else fails the pipeline.
+func (s *section) pumpFinish(ctx *Ctx, err error) {
+	switch {
+	case errors.Is(err, ErrEOS):
+		s.eosDown(ctx)
+	case errors.Is(err, ErrStopped):
+	default:
+		s.pipeline.fail(fmt.Errorf("pump %q: %w", s.pump.Name(), err))
+	}
+}
+
+// drainControls processes any control messages still queued on t, so that
+// a terminating thread never discards a stop/EOS notification meant for
+// the components it operates.
+func (s *section) drainControls(t *uthread.Thread) {
+	for {
+		m, ok := t.TryReceive(events.IsControl)
+		if !ok {
+			return
+		}
+		s.handleControlMsg(t, m)
+	}
+}
+
+// installDispatch hooks control-event delivery into blocked operations
+// (§3.2: control events can be delivered while threads are blocked in a
+// push or pull).
+func (s *section) installDispatch(t *uthread.Thread) {
+	t.SetControlDispatch(events.IsControl, func(t *uthread.Thread, m uthread.Message) {
+		s.handleControlMsg(t, m)
+	})
+}
+
+// handleControlMsg unwraps and processes one control message on thread t.
+func (s *section) handleControlMsg(t *uthread.Thread, m uthread.Message) {
+	ev, ok := events.FromMessage(m)
+	if !ok {
+		return
+	}
+	s.handleEvent(t, ev)
+}
+
+// handleEvent applies framework semantics, then dispatches to the pump,
+// the owned buffer and the components this thread operates (§4: "each
+// thread needs to internally dispatch data and events to the respective
+// components").
+func (s *section) handleEvent(t *uthread.Thread, ev events.Event) {
+	if ev.Target == "" {
+		switch ev.Type {
+		case events.Start:
+			if t == s.pumpThread && !s.started.Swap(true) {
+				t.Send(t, uthread.Message{
+					Kind:       MsgPumpRun,
+					Constraint: uthread.At(s.pump.Priority()),
+				})
+			}
+		case events.Stop:
+			s.beginShutdown()
+		case events.Pause:
+			s.paused.Store(true)
+		case events.Resume:
+			s.paused.Store(false)
+		case evNudge:
+			return // pure wake-up, not delivered to components
+		}
+	}
+	if t == s.pumpThread {
+		if ev.Target == "" || ev.Target == s.pump.Name() {
+			s.pump.HandleEvent(ev)
+		}
+		// The section pulling from a buffer owns it for event dispatch,
+		// so shared buffers see each broadcast exactly once.
+		if s.upBuf != nil && (ev.Target == "" || ev.Target == s.upBuf.Name()) {
+			s.upBuf.HandleEvent(ev)
+		}
+	}
+	for _, ref := range s.owned[t.ID()] {
+		if ev.Target == "" || ev.Target == ref.comp.Name() {
+			ref.comp.HandleEvent(ref.ctx, ev)
+		}
+	}
+}
+
+// beginShutdown initiates section teardown: set the flag, close links so
+// blocked handoffs fail fast, and nudge every thread so blocked operations
+// re-check the flag.  Idempotent.
+func (s *section) beginShutdown() {
+	if s.stopping.Swap(true) {
+		return
+	}
+	for _, l := range s.links {
+		l.Close()
+	}
+	for _, th := range s.threads {
+		s.pipeline.sched.Post(th, events.NewMessage(events.Event{Type: evNudge}))
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"errors"
+
+	"infopipes/internal/uthread"
+)
+
+// Message kinds reserved by the core engine.  The events package uses
+// KindUserBase; core uses KindUserBase+8 onwards; applications should use
+// KindUserBase+64 onwards.
+const (
+	// MsgPumpRun tells a pump thread to enter its pumping loop.
+	MsgPumpRun uthread.Kind = uthread.KindUserBase + 8 + iota
+	// MsgBufferWake wakes a thread blocked on a buffer operation.
+	MsgBufferWake
+)
+
+// Sentinel errors of the data path.
+var (
+	// ErrEOS flows up from sources (and drained buffers whose upstream
+	// ended) to signal the end of the stream.
+	ErrEOS = errors.New("infopipe: end of stream")
+	// ErrStopped is returned from data operations interrupted by a stop
+	// event or scheduler shutdown.
+	ErrStopped = errors.New("infopipe: pipeline stopped")
+	// ErrNoUpstream is returned when a component with no upstream pulls.
+	ErrNoUpstream = errors.New("infopipe: no upstream to pull from")
+	// ErrNoDownstream is returned when a component with no downstream
+	// pushes.
+	ErrNoDownstream = errors.New("infopipe: no downstream to push to")
+)
+
+// Composition errors.
+var (
+	// ErrNoActivity marks a pipeline section with no pump: in the Infopipe
+	// model any activity originates from a pump (§2.2).
+	ErrNoActivity = errors.New("infopipe: section has no pump (no activity source)")
+	// ErrTwoPumps marks a pipeline section with more than one pump and no
+	// buffer between them to decouple their timing.
+	ErrTwoPumps = errors.New("infopipe: two pumps in one section (insert a buffer between them)")
+	// ErrBadLayout marks structurally invalid pipelines (no source, no
+	// sink, misplaced stage kinds).
+	ErrBadLayout = errors.New("infopipe: invalid pipeline layout")
+	// ErrUnwrappable marks a fixed-activity component placed in a position
+	// whose mode it does not support, with wrapping disabled.
+	ErrUnwrappable = errors.New("infopipe: component cannot operate in required mode")
+	// ErrEventCapability marks a pipeline in which a component emits a
+	// local control event that no other stage declares it can handle
+	// (§2.3: event capabilities are checked so the pipeline is
+	// operational).
+	ErrEventCapability = errors.New("infopipe: unhandled control-event capability")
+)

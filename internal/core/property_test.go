@@ -1,0 +1,369 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/item"
+	"infopipes/internal/pipes"
+	"infopipes/internal/uthread"
+)
+
+// Identity components in each activity style: the payload stream must pass
+// through unchanged regardless of style and placement.  This is the
+// paper's central promise — "components may be programmed like passive or
+// active objects [and] can be reused regardless of its activity model" —
+// turned into a property test.
+
+type idConsumer struct{ core.Base }
+
+func (idConsumer) Style() core.Style { return core.StyleConsumer }
+func (c idConsumer) Push(ctx *core.Ctx, it *item.Item) error {
+	return ctx.PushDownstream(it)
+}
+
+type idProducer struct{ core.Base }
+
+func (idProducer) Style() core.Style { return core.StyleProducer }
+func (p idProducer) Pull(ctx *core.Ctx) (*item.Item, error) {
+	return ctx.PullUpstream()
+}
+
+type idActive struct{ core.Base }
+
+func (idActive) Style() core.Style { return core.StyleActive }
+func (a idActive) Run(ctx *core.Ctx) error {
+	for !ctx.Stopping() {
+		it, err := ctx.PullUpstream()
+		if err != nil {
+			return err
+		}
+		if it == nil {
+			continue
+		}
+		if err := ctx.PushDownstream(it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func identityComponent(name string, style core.Style) core.Component {
+	base := core.Base{CompName: name}
+	switch style {
+	case core.StyleConsumer:
+		return idConsumer{Base: base}
+	case core.StyleProducer:
+		return idProducer{Base: base}
+	case core.StyleActive:
+		return idActive{Base: base}
+	default:
+		return pipes.NewFuncFilter(name, func(_ *core.Ctx, it *item.Item) (*item.Item, error) {
+			return it, nil
+		})
+	}
+}
+
+var allStyles = []core.Style{
+	core.StyleFunction, core.StyleConsumer, core.StyleProducer, core.StyleActive,
+}
+
+// buildRandomPipeline assembles 1-3 pump-driven sections joined by
+// buffers, with 0-4 random-style identity components per section split
+// randomly around the pump.
+func buildRandomPipeline(r *rand.Rand, n int64) ([]core.Stage, *pipes.CollectSink) {
+	sink := pipes.NewCollectSink("sink")
+	stages := []core.Stage{core.Comp(pipes.NewCounterSource("src", n))}
+	sections := 1 + r.Intn(3)
+	comp := 0
+	for s := 0; s < sections; s++ {
+		if s > 0 {
+			stages = append(stages, core.Buf(pipes.NewBuffer(fmt.Sprintf("buf%d", s), 1+r.Intn(8))))
+		}
+		nComps := r.Intn(5)
+		pumpPos := r.Intn(nComps + 1)
+		for i := 0; i < nComps+1; i++ {
+			if i == pumpPos {
+				stages = append(stages, core.Pmp(pipes.NewFreePump(fmt.Sprintf("pump%d", s))))
+				continue
+			}
+			style := allStyles[r.Intn(len(allStyles))]
+			stages = append(stages, core.Comp(identityComponent(fmt.Sprintf("c%d", comp), style)))
+			comp++
+		}
+	}
+	stages = append(stages, core.Comp(sink))
+	return stages, sink
+}
+
+func TestPropertyRandomPipelinesPreserveStream(t *testing.T) {
+	// 200 random layouts; every one must deliver 1..n in order.
+	const n = 24
+	for seed := int64(0); seed < 200; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+			stages, sink := buildRandomPipeline(r, n)
+			sched := uthread.New()
+			p, err := core.Compose("prop", sched, nil, stages)
+			if err != nil {
+				t.Fatalf("compose: %v\nlayout: %v", err, describe(stages))
+			}
+			p.Start()
+			if err := sched.Run(); err != nil {
+				t.Fatalf("run: %v\nplan:\n%s", err, p.Plan())
+			}
+			if err := p.Err(); err != nil {
+				t.Fatalf("pipeline: %v\nplan:\n%s", err, p.Plan())
+			}
+			items := sink.Items()
+			if len(items) != n {
+				t.Fatalf("sink got %d items, want %d\nplan:\n%s", len(items), n, p.Plan())
+			}
+			for i, it := range items {
+				if got := it.Payload.(int64); got != int64(i+1) {
+					t.Fatalf("item %d = %d, want %d\nplan:\n%s", i, got, i+1, p.Plan())
+				}
+			}
+		})
+	}
+}
+
+func describe(stages []core.Stage) []string {
+	out := make([]string, len(stages))
+	for i, s := range stages {
+		out[i] = s.Name()
+	}
+	return out
+}
+
+func TestDeepCoroutineChains(t *testing.T) {
+	// Eight active components on each side of the pump: a 17-thread
+	// coroutine set.  Stresses link binding, stash handling and the EOS
+	// marker cascade through long chains.
+	const n = 12
+	var stages []core.Stage
+	stages = append(stages, core.Comp(pipes.NewCounterSource("src", n)))
+	for i := 0; i < 8; i++ {
+		stages = append(stages, core.Comp(identityComponent(fmt.Sprintf("up%d", i), core.StyleActive)))
+	}
+	stages = append(stages, core.Pmp(pipes.NewFreePump("pump")))
+	for i := 0; i < 8; i++ {
+		stages = append(stages, core.Comp(identityComponent(fmt.Sprintf("down%d", i), core.StyleActive)))
+	}
+	sink := pipes.NewCollectSink("sink")
+	stages = append(stages, core.Comp(sink))
+
+	p := runPipeline(t, "deep", stages)
+	if got := p.Plan().Sections[0].CoroutineSetSize; got != 17 {
+		t.Fatalf("set size = %d, want 17", got)
+	}
+	if sink.Count() != n {
+		t.Fatalf("sink got %d items", sink.Count())
+	}
+	if !sink.SawEOS() {
+		t.Fatal("EOS never cascaded through the coroutine chain")
+	}
+}
+
+func TestMixedStyleAlternatingChain(t *testing.T) {
+	// Alternating producer/consumer placements force a coroutine at every
+	// other stage on both sides.
+	const n = 10
+	styles := []core.Style{
+		core.StyleProducer, core.StyleConsumer, core.StyleProducer, core.StyleConsumer,
+	}
+	var stages []core.Stage
+	stages = append(stages, core.Comp(pipes.NewCounterSource("src", n)))
+	for i, st := range styles {
+		stages = append(stages, core.Comp(identityComponent(fmt.Sprintf("up%d", i), st)))
+	}
+	stages = append(stages, core.Pmp(pipes.NewFreePump("pump")))
+	for i, st := range styles {
+		stages = append(stages, core.Comp(identityComponent(fmt.Sprintf("down%d", i), st)))
+	}
+	sink := pipes.NewCollectSink("sink")
+	stages = append(stages, core.Comp(sink))
+	p := runPipeline(t, "alternating", stages)
+	// Upstream: producers direct, consumers wrapped (2 coroutines);
+	// downstream: consumers direct, producers wrapped (2 coroutines).
+	if got := p.Plan().Sections[0].CoroutineSetSize; got != 5 {
+		t.Fatalf("set size = %d, want 5\n%s", got, p.Plan())
+	}
+	if sink.Count() != n {
+		t.Fatalf("sink got %d items", sink.Count())
+	}
+}
+
+// reentrancyGuard panics if entered twice concurrently: pins the §3.2
+// synchronized-objects guarantee (only one thread active in a component).
+type reentrancyGuard struct {
+	core.Base
+	inUse bool
+	calls int
+}
+
+func (g *reentrancyGuard) Style() core.Style { return core.StyleFunction }
+func (g *reentrancyGuard) Convert(ctx *core.Ctx, it *item.Item) (*item.Item, error) {
+	if g.inUse {
+		return nil, fmt.Errorf("component entered concurrently")
+	}
+	g.inUse = true
+	g.calls++
+	// Yield mid-processing: even with other threads running, nothing may
+	// re-enter this component (it belongs to exactly one thread).
+	ctx.Thread().Yield()
+	g.inUse = false
+	return it, nil
+}
+
+func TestSynchronizedComponentNoReentrancy(t *testing.T) {
+	guard := &reentrancyGuard{Base: core.Base{CompName: "guard"}}
+	sink := pipes.NewCollectSink("sink")
+	// Two pipelines on one scheduler so other threads genuinely run while
+	// the guard yields.
+	sched := uthread.New()
+	p1, err := core.Compose("guarded", sched, nil, []core.Stage{
+		core.Comp(pipes.NewCounterSource("src", 30)),
+		core.Comp(guard),
+		core.Pmp(pipes.NewFreePump("pump")),
+		core.Comp(sink),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := core.Compose("other", sched, p1.Bus(), []core.Stage{
+		core.Comp(pipes.NewCounterSource("src2", 30)),
+		core.Pmp(pipes.NewFreePump("pump2")),
+		core.Comp(pipes.NullSink("sink2")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1.Start()
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if guard.calls != 30 {
+		t.Fatalf("guard processed %d items", guard.calls)
+	}
+}
+
+func TestEventDeliveredWhileBlockedInBuffer(t *testing.T) {
+	// A consumer-side pump blocked pulling an empty buffer must still
+	// handle control events (§3.2): a resize reaches the sink while the
+	// producer is paused.
+	var resized bool
+	display := &resizeSink{Base: core.Base{CompName: "display"}, resized: &resized}
+	sched := uthread.New()
+	buf := pipes.NewBuffer("buf", 4)
+	p, err := core.Compose("blocked", sched, nil, []core.Stage{
+		core.Comp(pipes.NewCounterSource("src", 5)),
+		core.Pmp(pipes.NewClockedPump("slow", 2)), // slow producer: consumer blocks
+		core.Buf(buf),
+		core.Pmp(pipes.NewFreePump("fast")),
+		core.Comp(display),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deliver the resize while the consumer is (virtually) blocked.
+	helper := sched.Spawn("helper", uthread.PriorityNormal,
+		func(th *uthread.Thread, m uthread.Message) uthread.Disposition {
+			p.Bus().Broadcast(events.Event{Type: events.Resize, Data: 99, Target: "display"})
+			return uthread.Terminate
+		})
+	sched.Post(helper, uthread.Message{Kind: uthread.KindUserBase + 50})
+	p.Start()
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !resized {
+		t.Fatal("resize event never reached the blocked consumer's component")
+	}
+	if display.count != 5 {
+		t.Fatalf("display got %d items", display.count)
+	}
+}
+
+type resizeSink struct {
+	core.Base
+	resized *bool
+	count   int
+}
+
+func (s *resizeSink) Style() core.Style { return core.StyleConsumer }
+func (s *resizeSink) Push(_ *core.Ctx, _ *item.Item) error {
+	s.count++
+	return nil
+}
+func (s *resizeSink) HandleEvent(_ *core.Ctx, ev events.Event) {
+	if ev.Type == events.Resize {
+		*s.resized = true
+	}
+}
+
+func TestHigherPriorityPumpWinsCPU(t *testing.T) {
+	// §3.2: time-critical sections (audio) outrank long-running data
+	// processing (video decode).  Both pumps are free-running on the same
+	// scheduler; the high-priority pipeline must never wait behind a full
+	// round of the low-priority one — observable as: the audio stream
+	// finishes first even though both started together and audio has more
+	// items.
+	sched := uthread.New()
+	var order []string // global arrival interleaving (scheduler-serialized)
+
+	bus := &events.Bus{}
+	if _, err := core.Compose("audio", sched, bus, []core.Stage{
+		core.Comp(pipes.NewCounterSource("asrc", 300)),
+		core.Pmp(pipes.NewClockedPumpPrio("apump", 0, uthread.PriorityHigh)), // rate 0: free-running, high prio
+		core.Comp(pipes.NewFuncSink("asink", func(*core.Ctx, *item.Item) error {
+			order = append(order, "a")
+			return nil
+		})),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Compose("video", sched, bus, []core.Stage{
+		core.Comp(pipes.NewCounterSource("vsrc", 100)),
+		core.Pmp(pipes.NewFreePump("vpump")),
+		core.Comp(pipes.NewFuncSink("vsink", func(*core.Ctx, *item.Item) error {
+			order = append(order, "v")
+			return nil
+		})),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bus.Broadcast(events.Event{Type: events.Start})
+	if err := sched.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 400 {
+		t.Fatalf("saw %d items, want 400", len(order))
+	}
+	// Both pumps are always ready; the high-priority audio pump must own
+	// the CPU until its stream is done, so no video item may precede the
+	// last audio item.
+	lastAudio := -1
+	firstVideo := len(order)
+	for i, who := range order {
+		if who == "a" {
+			lastAudio = i
+		} else if i < firstVideo {
+			firstVideo = i
+		}
+	}
+	if firstVideo < lastAudio {
+		t.Fatalf("video item at %d preceded audio completion at %d (priorities ignored)",
+			firstVideo, lastAudio)
+	}
+}

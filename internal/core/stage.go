@@ -1,0 +1,126 @@
+package core
+
+import (
+	"time"
+
+	"infopipes/internal/events"
+	"infopipes/internal/item"
+	"infopipes/internal/typespec"
+	"infopipes/internal/uthread"
+)
+
+// PumpClass distinguishes the pump families of §3.1.
+type PumpClass int
+
+const (
+	// ClockDriven pumps run at a rate of their own (constant-rate timers,
+	// device clocks).
+	ClockDriven PumpClass = iota + 1
+	// FreeRunning pumps do not limit their rate and rely on blocking
+	// buffers up- or downstream to regulate the flow.
+	FreeRunning
+	// Adaptive pumps adjust their speed from feedback (buffer fill levels,
+	// consumer-side sensors, clock-drift compensation).
+	Adaptive
+)
+
+// Pump encapsulates the timing control of a data stream (§3.1): it hides
+// thread creation and scheduler interaction from the application programmer,
+// who chooses timing and scheduling policies simply by choosing pumps and
+// setting their parameters.
+type Pump interface {
+	// Name identifies the pump.
+	Name() string
+	// Class reports the pump family, used by composition validation
+	// (a free-running pump needs a blocking boundary to throttle it).
+	Class() PumpClass
+	// Next returns the instant at which cycle n (0-based) should move an
+	// item, given the current time.  Returning a past instant means "now".
+	Next(now time.Time, cycle int64) time.Time
+	// Priority is the scheduling constraint the pump's section runs under
+	// (§4: message constraints are assigned by the pumps and govern the
+	// whole coroutine set).
+	Priority() uthread.Priority
+	// HandleEvent lets pumps react to control events (rate changes from
+	// feedback controllers, pause/resume).
+	HandleEvent(ev events.Event)
+}
+
+// Buffer is the storage stage of §2.1: passive at both ends, providing
+// temporary storage and removing rate fluctuations.  Insert/Remove follow
+// the Typespec blocking behaviour (§2.3): a full buffer either blocks the
+// push or drops the item; an empty buffer either blocks the pull or returns
+// the nil item.  Implementations must integrate with the thread layer via
+// ctx (see pipes.BoundedBuffer).
+type Buffer interface {
+	// Name identifies the buffer.
+	Name() string
+	// Insert stores an item (push side).
+	Insert(ctx *Ctx, it *item.Item) error
+	// Remove retrieves an item (pull side).  It returns (nil, nil) when a
+	// non-blocking pull finds the buffer empty, and ErrEOS once the
+	// upstream has closed and the buffer has drained.
+	Remove(ctx *Ctx) (*item.Item, error)
+	// CloseUpstream marks the end of the inbound stream: once drained,
+	// Remove returns ErrEOS.
+	CloseUpstream()
+	// Len and Cap report the fill state (feedback sensors read these).
+	Len() int
+	Cap() int
+	// Spec reports the blocking policies for composition checking.
+	Spec() (push, pull typespec.BlockPolicy)
+	// HandleEvent lets buffers react to control events.
+	HandleEvent(ev events.Event)
+}
+
+// stageKind discriminates the stage wrappers.
+type stageKind int
+
+const (
+	kindComponent stageKind = iota + 1
+	kindBuffer
+	kindPump
+)
+
+// Stage is one element of a pipeline description, wrapping a component, a
+// buffer or a pump.  Build stages with Comp, Buf and Pmp and hand them to
+// Compose; the >> composition of the paper's C++ interface corresponds to
+// the argument order.
+type Stage struct {
+	kind stageKind
+	comp Component
+	buf  Buffer
+	pump Pump
+}
+
+// Comp wraps a component (any activity style) as a pipeline stage.
+func Comp(c Component) Stage { return Stage{kind: kindComponent, comp: c} }
+
+// Buf wraps a buffer as a pipeline stage.
+func Buf(b Buffer) Stage { return Stage{kind: kindBuffer, buf: b} }
+
+// Pmp wraps a pump as a pipeline stage.
+func Pmp(p Pump) Stage { return Stage{kind: kindPump, pump: p} }
+
+// Name reports the wrapped element's name.
+func (s Stage) Name() string {
+	switch s.kind {
+	case kindComponent:
+		return s.comp.Name()
+	case kindBuffer:
+		return s.buf.Name()
+	case kindPump:
+		return s.pump.Name()
+	default:
+		return "invalid"
+	}
+}
+
+// IsComponent reports whether the stage wraps a component and returns it.
+func (s Stage) IsComponent() (Component, bool) { return s.comp, s.kind == kindComponent }
+
+// IsBuffer reports whether the stage wraps a buffer and returns it.
+func (s Stage) IsBuffer() (Buffer, bool) { return s.buf, s.kind == kindBuffer }
+
+// IsPump reports whether the stage wraps a pump and returns it.
+func (s Stage) IsPump() (Pump, bool) { return s.pump, s.kind == kindPump }

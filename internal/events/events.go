@@ -1,0 +1,171 @@
+// Package events implements the control-event machinery of §2.2: besides
+// exchanging data items, Infopipe components exchange control messages —
+// local interaction between adjacent components (reference-frame lifetime,
+// window resizing) and global broadcast events (user commands such as start
+// and stop).  The global distribution is provided by an event service (Bus).
+//
+// Control events are delivered as high-constraint messages so that, per the
+// paper, their handlers execute with higher priority than potentially
+// long-running data processing, and can be delivered even while a component
+// is blocked in a push or pull.
+package events
+
+import (
+	"sync"
+	"time"
+
+	"infopipes/internal/uthread"
+)
+
+// MsgControlEvent is the message kind that carries an Event to a component
+// thread.  The core layer reserves kinds from KindUserBase+8 upwards.
+const MsgControlEvent uthread.Kind = uthread.KindUserBase
+
+// Type identifies a control-event type.
+type Type string
+
+// Standard event types used by the framework and the example pipelines.
+const (
+	// Start begins data flow; pumps react to it (§4 example).
+	Start Type = "start"
+	// Stop halts data flow and shuts pipelines down.
+	Stop Type = "stop"
+	// Pause suspends pumping without tearing the pipeline down.
+	Pause Type = "pause"
+	// Resume continues after Pause.
+	Resume Type = "resume"
+	// EOS signals end of stream from a source.
+	EOS Type = "eos"
+	// Resize carries a new display geometry to resizing filters (§2.2).
+	Resize Type = "resize"
+	// FrameRelease tells an upstream decoder a shared reference frame is
+	// no longer needed downstream (§2.2).
+	FrameRelease Type = "frame-release"
+	// QoSReport carries feedback-sensor readings to controllers.
+	QoSReport Type = "qos-report"
+	// RateChange carries a controller's new rate to an actuator.
+	RateChange Type = "rate-change"
+	// DropLevel carries a controller's dropping aggressiveness to a
+	// drop filter.
+	DropLevel Type = "drop-level"
+)
+
+// Event is one control event.
+type Event struct {
+	Type   Type
+	Data   any
+	Time   time.Time
+	Origin string // diagnostic name of the emitting component
+	// Target names the component the event is addressed to; empty means
+	// broadcast.  Local control interaction between adjacent components
+	// (§2.2) sets Target; the global event service leaves it empty.
+	Target string
+}
+
+// IsControl reports whether a scheduler message carries a control event.
+// Components use it as the control-dispatch predicate for uthread.
+func IsControl(m uthread.Message) bool { return m.Kind == MsgControlEvent }
+
+// FromMessage extracts the event from a control message.
+func FromMessage(m uthread.Message) (Event, bool) {
+	ev, ok := m.Data.(Event)
+	return ev, ok
+}
+
+// NewMessage wraps an event in a control-priority scheduler message.
+func NewMessage(ev Event) uthread.Message {
+	return uthread.Message{
+		Kind:       MsgControlEvent,
+		Data:       ev,
+		Constraint: uthread.At(uthread.PriorityControl),
+	}
+}
+
+// Handler consumes an event.  Handlers run on the subscriber's thread at
+// control priority and must be brief (§2.2: "the current design is based on
+// the assumption that control event handling does not require much time").
+type Handler func(Event)
+
+// Subscription identifies a Bus subscriber for Unsubscribe.
+type Subscription int
+
+// Bus is the global event service: it broadcasts control events to
+// subscribed component threads (delivered as control-priority messages) and
+// to plain functions (invoked synchronously on the broadcaster's
+// goroutine).  A Bus is safe for concurrent use.  The zero value is ready.
+type Bus struct {
+	mu     sync.Mutex
+	nextID Subscription
+	subs   map[Subscription]subscriber
+}
+
+type subscriber struct {
+	sched  *uthread.Scheduler
+	thread *uthread.Thread
+	fn     Handler
+	filter func(Event) bool
+}
+
+// Subscribe delivers every broadcast event to the thread as a control
+// message on its scheduler.
+func (b *Bus) Subscribe(s *uthread.Scheduler, t *uthread.Thread) Subscription {
+	return b.add(subscriber{sched: s, thread: t})
+}
+
+// SubscribeFiltered is Subscribe limited to events accepted by filter.
+func (b *Bus) SubscribeFiltered(s *uthread.Scheduler, t *uthread.Thread, filter func(Event) bool) Subscription {
+	return b.add(subscriber{sched: s, thread: t, filter: filter})
+}
+
+// SubscribeFunc invokes fn synchronously for every broadcast event.
+func (b *Bus) SubscribeFunc(fn Handler) Subscription {
+	return b.add(subscriber{fn: fn})
+}
+
+func (b *Bus) add(s subscriber) Subscription {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.subs == nil {
+		b.subs = make(map[Subscription]subscriber)
+	}
+	b.nextID++
+	id := b.nextID
+	b.subs[id] = s
+	return id
+}
+
+// Unsubscribe removes a subscription.  Unknown ids are ignored.
+func (b *Bus) Unsubscribe(id Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.subs, id)
+}
+
+// Broadcast delivers ev to every subscriber.  Thread subscribers receive a
+// control-priority message via their scheduler; function subscribers run
+// inline.  Safe to call from any goroutine, including from inside handlers.
+func (b *Bus) Broadcast(ev Event) {
+	b.mu.Lock()
+	subs := make([]subscriber, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+	for _, s := range subs {
+		if s.filter != nil && !s.filter(ev) {
+			continue
+		}
+		if s.fn != nil {
+			s.fn(ev)
+			continue
+		}
+		s.sched.Post(s.thread, NewMessage(ev))
+	}
+}
+
+// SubscriberCount reports the number of active subscriptions (diagnostics).
+func (b *Bus) SubscriberCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}

@@ -1,0 +1,137 @@
+package events
+
+import (
+	"testing"
+	"time"
+
+	"infopipes/internal/uthread"
+	"infopipes/internal/vclock"
+)
+
+func TestNewMessageCarriesControlPriority(t *testing.T) {
+	ev := Event{Type: Start, Origin: "test"}
+	m := NewMessage(ev)
+	if !IsControl(m) {
+		t.Fatal("NewMessage must produce a control message")
+	}
+	if !m.Constraint.Set || m.Constraint.Level != uthread.PriorityControl {
+		t.Fatalf("constraint = %+v, want control priority", m.Constraint)
+	}
+	got, ok := FromMessage(m)
+	if !ok || got.Type != Start || got.Origin != "test" {
+		t.Fatalf("FromMessage = %+v, %v", got, ok)
+	}
+}
+
+func TestFromMessageRejectsNonEvents(t *testing.T) {
+	if _, ok := FromMessage(uthread.Message{Kind: MsgControlEvent, Data: 42}); ok {
+		t.Fatal("non-event data accepted")
+	}
+}
+
+func TestBusFuncSubscriber(t *testing.T) {
+	var bus Bus
+	var got []Event
+	id := bus.SubscribeFunc(func(ev Event) { got = append(got, ev) })
+	bus.Broadcast(Event{Type: Stop})
+	bus.Broadcast(Event{Type: Start})
+	if len(got) != 2 || got[0].Type != Stop || got[1].Type != Start {
+		t.Fatalf("got %v", got)
+	}
+	bus.Unsubscribe(id)
+	bus.Broadcast(Event{Type: Pause})
+	if len(got) != 2 {
+		t.Fatal("unsubscribed handler still invoked")
+	}
+}
+
+func TestBusThreadSubscriberReceivesControlMessage(t *testing.T) {
+	s := uthread.New(uthread.WithClock(vclock.Real{}))
+	var got []Type
+	th := s.Spawn("rx", uthread.PriorityNormal, func(t *uthread.Thread, m uthread.Message) uthread.Disposition {
+		ev, ok := FromMessage(m)
+		if !ok {
+			return uthread.Continue
+		}
+		got = append(got, ev.Type)
+		if ev.Type == Stop {
+			return uthread.Terminate
+		}
+		return uthread.Continue
+	})
+	var bus Bus
+	bus.Subscribe(s, th)
+	bus.Broadcast(Event{Type: Resize})
+	bus.Broadcast(Event{Type: Stop})
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(got) != 2 || got[0] != Resize || got[1] != Stop {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBusFilteredSubscription(t *testing.T) {
+	s := uthread.New(uthread.WithClock(vclock.Real{}))
+	var got []Type
+	th := s.Spawn("rx", uthread.PriorityNormal, func(t *uthread.Thread, m uthread.Message) uthread.Disposition {
+		ev, _ := FromMessage(m)
+		got = append(got, ev.Type)
+		if ev.Type == Stop {
+			return uthread.Terminate
+		}
+		return uthread.Continue
+	})
+	var bus Bus
+	bus.SubscribeFiltered(s, th, func(ev Event) bool {
+		return ev.Type == Stop || ev.Type == QoSReport
+	})
+	bus.Broadcast(Event{Type: Resize}) // filtered out
+	bus.Broadcast(Event{Type: QoSReport})
+	bus.Broadcast(Event{Type: Stop})
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(got) != 2 || got[0] != QoSReport || got[1] != Stop {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestBusSubscriberCount(t *testing.T) {
+	var bus Bus
+	if bus.SubscriberCount() != 0 {
+		t.Fatal("fresh bus has subscribers")
+	}
+	a := bus.SubscribeFunc(func(Event) {})
+	b := bus.SubscribeFunc(func(Event) {})
+	if bus.SubscriberCount() != 2 {
+		t.Fatalf("count = %d", bus.SubscriberCount())
+	}
+	bus.Unsubscribe(a)
+	bus.Unsubscribe(b)
+	bus.Unsubscribe(b) // idempotent
+	if bus.SubscriberCount() != 0 {
+		t.Fatalf("count = %d after unsubscribe", bus.SubscriberCount())
+	}
+}
+
+func TestBroadcastDuringHandlerDoesNotDeadlock(t *testing.T) {
+	var bus Bus
+	depth := 0
+	bus.SubscribeFunc(func(ev Event) {
+		if ev.Type == Start && depth == 0 {
+			depth++
+			bus.Broadcast(Event{Type: Stop}) // reentrant broadcast
+		}
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		bus.Broadcast(Event{Type: Start})
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("reentrant broadcast deadlocked")
+	}
+}

@@ -1,0 +1,360 @@
+// Package feedback implements the adaptation-control toolkit of §2.1 (and
+// refs [7, 27]): sensors observe pipeline state (buffer fill levels,
+// delivery rates, consumer-side loss), controllers compute corrections, and
+// actuators apply them (pump rates, drop-filter levels).  A feedback Loop
+// ties the three together on its own user-level thread, sampling
+// periodically and reacting to pipeline control events.
+//
+// The §2.1 video pipeline uses exactly this structure: "The dropping is
+// controlled by a feedback mechanism using a sensor on the consumer side.
+// This lets us control which data is dropped rather than incurring
+// arbitrary dropping in the network."
+package feedback
+
+import (
+	"sync"
+	"time"
+
+	"infopipes/internal/events"
+	"infopipes/internal/uthread"
+)
+
+// Sensor observes one scalar of pipeline state.
+type Sensor interface {
+	// Sample reads the current value at instant now.
+	Sample(now time.Time) float64
+}
+
+// SensorFunc adapts a closure to the Sensor interface.
+type SensorFunc func(now time.Time) float64
+
+// Sample implements Sensor.
+func (f SensorFunc) Sample(now time.Time) float64 { return f(now) }
+
+// Controller maps a measurement to an actuation value.
+type Controller interface {
+	// Update processes one measurement and returns the new actuation.
+	Update(now time.Time, measurement float64) float64
+}
+
+// Actuator applies a controller output to the pipeline.
+type Actuator interface {
+	Actuate(value float64)
+}
+
+// ActuatorFunc adapts a closure to the Actuator interface.
+type ActuatorFunc func(value float64)
+
+// Actuate implements Actuator.
+func (f ActuatorFunc) Actuate(value float64) { f(value) }
+
+// PIController is a discrete proportional-integral controller around a
+// setpoint, with output clamping — the workhorse of rate adaptation
+// (ref [27]'s real-rate allocator uses the same structure).
+type PIController struct {
+	// Setpoint is the target measurement.
+	Setpoint float64
+	// Kp and Ki are the proportional and integral gains.
+	Kp, Ki float64
+	// Min and Max clamp the output (both zero = unclamped).
+	Min, Max float64
+	// Bias is added to the output (the nominal actuation at zero error).
+	Bias float64
+
+	mu       sync.Mutex
+	integral float64
+	lastAt   time.Time
+}
+
+var _ Controller = (*PIController)(nil)
+
+// Update implements Controller.
+func (c *PIController) Update(now time.Time, measurement float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	err := c.Setpoint - measurement
+	dt := 1.0
+	if !c.lastAt.IsZero() {
+		if d := now.Sub(c.lastAt).Seconds(); d > 0 {
+			dt = d
+		}
+	}
+	c.lastAt = now
+	c.integral += err * dt
+	out := c.Bias + c.Kp*err + c.Ki*c.integral
+	if c.Max > c.Min {
+		if out > c.Max {
+			out = c.Max
+			c.integral -= err * dt // anti-windup: undo the step that saturated
+		}
+		if out < c.Min {
+			out = c.Min
+			c.integral -= err * dt
+		}
+	}
+	return out
+}
+
+// Reset clears the controller's integral state.
+func (c *PIController) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.integral = 0
+	c.lastAt = time.Time{}
+}
+
+// StepController maps a measurement into a small integer level with
+// hysteresis: the level rises by one as soon as the measurement exceeds
+// High, and falls by one only after DownAfter consecutive samples below
+// Low (conservative decrease, like congestion controllers).  Drop filters
+// are driven by exactly this shape of controller (level 0 = no dropping).
+type StepController struct {
+	// Low and High bound the dead zone.
+	Low, High float64
+	// MaxLevel caps the level.
+	MaxLevel int
+	// DownAfter is the number of consecutive below-Low samples required
+	// to step down (0 behaves like 1).
+	DownAfter int
+
+	mu    sync.Mutex
+	level int
+	calm  int
+}
+
+var _ Controller = (*StepController)(nil)
+
+// Update implements Controller.
+func (c *StepController) Update(_ time.Time, measurement float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	switch {
+	case measurement > c.High:
+		c.calm = 0
+		if c.level < c.MaxLevel {
+			c.level++
+		}
+	case measurement < c.Low:
+		c.calm++
+		need := c.DownAfter
+		if need < 1 {
+			need = 1
+		}
+		if c.calm >= need && c.level > 0 {
+			c.level--
+			c.calm = 0
+		}
+	default:
+		c.calm = 0
+	}
+	return float64(c.level)
+}
+
+// Level reports the current level.
+func (c *StepController) Level() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.level
+}
+
+// EWMA smooths a sensor with an exponentially weighted moving average.
+type EWMA struct {
+	// Alpha is the smoothing factor in (0, 1]: higher = more reactive.
+	Alpha float64
+	inner Sensor
+
+	mu      sync.Mutex
+	value   float64
+	started bool
+}
+
+// Smooth wraps a sensor in an EWMA filter.
+func Smooth(alpha float64, inner Sensor) *EWMA {
+	return &EWMA{Alpha: alpha, inner: inner}
+}
+
+// Sample implements Sensor.
+func (e *EWMA) Sample(now time.Time) float64 {
+	raw := e.inner.Sample(now)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.started {
+		e.value = raw
+		e.started = true
+	} else {
+		e.value = e.Alpha*raw + (1-e.Alpha)*e.value
+	}
+	return e.value
+}
+
+// FillSensor reads the fill ratio (0..1) of anything with Len and Cap —
+// the buffer fill-level feedback of §3.1 (ref [27]).
+type FillSensor struct {
+	Buf interface {
+		Len() int
+		Cap() int
+	}
+}
+
+// Sample implements Sensor.
+func (s FillSensor) Sample(time.Time) float64 {
+	c := s.Buf.Cap()
+	if c == 0 {
+		return 0
+	}
+	return float64(s.Buf.Len()) / float64(c)
+}
+
+// RateSensor converts a monotonically increasing counter into a rate per
+// second between samples.
+type RateSensor struct {
+	Count func() int64
+
+	mu     sync.Mutex
+	last   int64
+	lastAt time.Time
+}
+
+// Sample implements Sensor.
+func (s *RateSensor) Sample(now time.Time) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := s.Count()
+	if s.lastAt.IsZero() {
+		s.last, s.lastAt = cur, now
+		return 0
+	}
+	dt := now.Sub(s.lastAt).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	rate := float64(cur-s.last) / dt
+	s.last, s.lastAt = cur, now
+	return rate
+}
+
+// Loop runs a sensor-controller-actuator cycle on its own user-level
+// thread, sampling every period.  It subscribes to the given bus and stops
+// on a stop event (and, with StopOnEOS, on end-of-stream), so the scheduler
+// can drain when the pipelines it observes finish.
+type Loop struct {
+	sched  *uthread.Scheduler
+	thread *uthread.Thread
+	bus    *events.Bus
+	sub    events.Subscription
+
+	period     time.Duration
+	sensor     Sensor
+	controller Controller
+	actuator   Actuator
+
+	mu        sync.Mutex
+	stopOnEOS bool
+	stopped   bool
+	samples   int64
+}
+
+// LoopOption configures a Loop.
+type LoopOption func(*Loop)
+
+// StopOnEOS makes the loop terminate when an EOS event is broadcast.
+func StopOnEOS() LoopOption {
+	return func(l *Loop) { l.stopOnEOS = true }
+}
+
+// msgLoopTick is the loop's private kick-off message kind.
+const msgLoopTick uthread.Kind = uthread.KindUserBase + 32
+
+// NewLoop spawns the feedback loop.  It starts sampling when a start event
+// is broadcast on bus and stops on a stop event.
+func NewLoop(sched *uthread.Scheduler, bus *events.Bus, name string, period time.Duration,
+	sensor Sensor, controller Controller, actuator Actuator, opts ...LoopOption) *Loop {
+	l := &Loop{
+		sched:      sched,
+		bus:        bus,
+		period:     period,
+		sensor:     sensor,
+		controller: controller,
+		actuator:   actuator,
+	}
+	for _, opt := range opts {
+		opt(l)
+	}
+	l.thread = sched.Spawn(name, uthread.PriorityHigh, l.code)
+	l.sub = bus.Subscribe(sched, l.thread)
+	return l
+}
+
+// Samples reports how many control cycles have run.
+func (l *Loop) Samples() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.samples
+}
+
+// Stop terminates the loop asynchronously (idempotent).
+func (l *Loop) Stop() {
+	l.sched.Post(l.thread, events.NewMessage(events.Event{Type: events.Stop}))
+}
+
+func (l *Loop) isStopped() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stopped
+}
+
+func (l *Loop) markStopped() {
+	l.mu.Lock()
+	l.stopped = true
+	l.mu.Unlock()
+}
+
+// code is the loop thread's code function.
+func (l *Loop) code(t *uthread.Thread, m uthread.Message) uthread.Disposition {
+	handle := func(_ *uthread.Thread, m uthread.Message) {
+		ev, ok := events.FromMessage(m)
+		if !ok {
+			return
+		}
+		switch ev.Type {
+		case events.Stop:
+			l.markStopped()
+		case events.EOS:
+			if l.stopOnEOS {
+				l.markStopped()
+			}
+		case events.Start:
+			// Kick the sampling loop off exactly once.
+			t.Send(t, uthread.Message{Kind: msgLoopTick})
+		}
+	}
+	t.SetControlDispatch(events.IsControl, handle)
+	if events.IsControl(m) {
+		handle(t, m)
+		if l.isStopped() {
+			l.bus.Unsubscribe(l.sub)
+			return uthread.Terminate
+		}
+		return uthread.Continue
+	}
+	if m.Kind != msgLoopTick {
+		return uthread.Continue
+	}
+	for {
+		if !t.SleepUntilOr(l.sched.Now().Add(l.period), l.isStopped) {
+			break
+		}
+		if l.isStopped() {
+			break
+		}
+		now := l.sched.Now()
+		v := l.sensor.Sample(now)
+		out := l.controller.Update(now, v)
+		l.actuator.Actuate(out)
+		l.mu.Lock()
+		l.samples++
+		l.mu.Unlock()
+	}
+	l.bus.Unsubscribe(l.sub)
+	return uthread.Terminate
+}

@@ -1,0 +1,189 @@
+package feedback_test
+
+import (
+	"testing"
+	"time"
+
+	"infopipes/internal/core"
+	"infopipes/internal/feedback"
+	"infopipes/internal/pipes"
+	"infopipes/internal/uthread"
+	"infopipes/internal/vclock"
+)
+
+func TestPIControllerConvergesToSetpoint(t *testing.T) {
+	c := &feedback.PIController{Setpoint: 10, Kp: 0.5, Ki: 0.2, Min: 0, Max: 100, Bias: 5}
+	// Simulated plant: actuation directly becomes the next measurement,
+	// low-pass filtered.
+	measurement := 0.0
+	now := vclock.Epoch
+	for i := 0; i < 200; i++ {
+		now = now.Add(100 * time.Millisecond)
+		out := c.Update(now, measurement)
+		measurement = 0.7*measurement + 0.3*out
+	}
+	if diff := measurement - 10; diff > 1 || diff < -1 {
+		t.Fatalf("plant settled at %g, want ~10", measurement)
+	}
+}
+
+func TestPIControllerClamping(t *testing.T) {
+	c := &feedback.PIController{Setpoint: 1000, Kp: 100, Ki: 0, Min: 0, Max: 50}
+	out := c.Update(vclock.Epoch, 0)
+	if out != 50 {
+		t.Fatalf("output %g, want clamped to 50", out)
+	}
+	c2 := &feedback.PIController{Setpoint: -1000, Kp: 100, Ki: 0, Min: 5, Max: 50}
+	if out := c2.Update(vclock.Epoch, 0); out != 5 {
+		t.Fatalf("output %g, want clamped to 5", out)
+	}
+}
+
+func TestPIControllerReset(t *testing.T) {
+	c := &feedback.PIController{Setpoint: 10, Kp: 0, Ki: 1}
+	now := vclock.Epoch
+	c.Update(now, 0) // integral builds up
+	c.Reset()
+	out := c.Update(now.Add(time.Second), 10) // zero error after reset
+	if out != 0 {
+		t.Fatalf("output after reset %g, want 0", out)
+	}
+}
+
+func TestStepControllerHysteresis(t *testing.T) {
+	c := &feedback.StepController{Low: 0.2, High: 0.8, MaxLevel: 3}
+	now := vclock.Epoch
+	// In the dead zone: level stays 0.
+	if out := c.Update(now, 0.5); out != 0 {
+		t.Fatalf("dead zone moved level to %g", out)
+	}
+	// Above High: climbs one per update, capped at MaxLevel.
+	for i := 1; i <= 5; i++ {
+		c.Update(now, 0.9)
+	}
+	if c.Level() != 3 {
+		t.Fatalf("level = %d, want capped at 3", c.Level())
+	}
+	// Below Low: descends to zero.
+	for i := 0; i < 5; i++ {
+		c.Update(now, 0.1)
+	}
+	if c.Level() != 0 {
+		t.Fatalf("level = %d, want 0", c.Level())
+	}
+}
+
+func TestEWMASmoothing(t *testing.T) {
+	raw := 0.0
+	s := feedback.Smooth(0.5, feedback.SensorFunc(func(time.Time) float64 { return raw }))
+	now := vclock.Epoch
+	raw = 10
+	if got := s.Sample(now); got != 10 {
+		t.Fatalf("first sample %g, want 10 (seeded)", got)
+	}
+	raw = 0
+	if got := s.Sample(now); got != 5 {
+		t.Fatalf("second sample %g, want 5", got)
+	}
+}
+
+func TestFillSensor(t *testing.T) {
+	buf := pipes.NewBuffer("b", 10)
+	s := feedback.FillSensor{Buf: buf}
+	if got := s.Sample(vclock.Epoch); got != 0 {
+		t.Fatalf("empty fill = %g, want 0", got)
+	}
+}
+
+func TestRateSensor(t *testing.T) {
+	var count int64
+	s := &feedback.RateSensor{Count: func() int64 { return count }}
+	now := vclock.Epoch
+	if got := s.Sample(now); got != 0 {
+		t.Fatalf("first sample = %g, want 0", got)
+	}
+	count = 30
+	if got := s.Sample(now.Add(time.Second)); got != 30 {
+		t.Fatalf("rate = %g, want 30", got)
+	}
+	count = 45
+	if got := s.Sample(now.Add(2 * time.Second)); got != 15 {
+		t.Fatalf("rate = %g, want 15", got)
+	}
+}
+
+func TestLoopAdjustsPumpFromBufferFill(t *testing.T) {
+	// The §3.1 scenario (ref [27]): a feedback loop watches a buffer fill
+	// level and adjusts the consuming pump's rate.  Producer at 100/s
+	// into a 32-slot buffer; consumer starts far too slow (10/s); the
+	// controller must speed the consumer up so the buffer does not stay
+	// full.
+	s := uthread.New()
+	src := pipes.NewCounterSource("src", 400)
+	buf := pipes.NewBufferPolicy("buf", 32, typespecBlock(), typespecBlock())
+	outPump := pipes.NewAdaptivePump("outpump", 10)
+	sink := pipes.NewCollectSink("sink")
+	p, err := core.Compose("adaptive", s, nil, []core.Stage{
+		core.Comp(src),
+		core.Pmp(pipes.NewClockedPump("inpump", 100)),
+		core.Buf(buf),
+		core.Pmp(outPump),
+		core.Comp(sink),
+	})
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	ctl := &feedback.PIController{Setpoint: 0.5, Kp: -200, Ki: -20, Min: 5, Max: 400, Bias: 10}
+	maxRate := 0.0
+	loop := feedback.NewLoop(s, p.Bus(), "fbloop", 50*time.Millisecond,
+		feedback.FillSensor{Buf: buf},
+		ctl,
+		feedback.ActuatorFunc(func(v float64) {
+			if v > maxRate {
+				maxRate = v
+			}
+			outPump.SetRate(v)
+		}),
+		feedback.StopOnEOS(),
+	)
+	p.Start()
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := sink.Count(); got != 400 {
+		t.Fatalf("sink received %d items, want 400", got)
+	}
+	if loop.Samples() == 0 {
+		t.Fatal("feedback loop never sampled")
+	}
+	// While the buffer ran full the controller must have raised the rate
+	// well above the initial 10/s (it settles back once the stream ends).
+	if maxRate <= 10 {
+		t.Errorf("max pump rate %g never raised above initial 10", maxRate)
+	}
+}
+
+func TestLoopStopsOnStopEvent(t *testing.T) {
+	s := uthread.New(uthread.WithClock(vclock.Real{}))
+	bus := newBus()
+	loop := feedback.NewLoop(s, bus, "loop", 10*time.Millisecond,
+		feedback.SensorFunc(func(time.Time) float64 { return 0 }),
+		&feedback.PIController{},
+		feedback.ActuatorFunc(func(float64) {}),
+	)
+	done := s.RunBackground()
+	bus.Broadcast(startEvent())
+	time.Sleep(50 * time.Millisecond)
+	loop.Stop()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("scheduler did not drain after loop stop")
+	}
+	if loop.Samples() == 0 {
+		t.Error("loop never sampled while running")
+	}
+}

@@ -1,0 +1,12 @@
+package feedback_test
+
+import (
+	"infopipes/internal/events"
+	"infopipes/internal/typespec"
+)
+
+func typespecBlock() typespec.BlockPolicy { return typespec.Block }
+
+func newBus() *events.Bus { return &events.Bus{} }
+
+func startEvent() events.Event { return events.Event{Type: events.Start} }

@@ -1,0 +1,315 @@
+// Package ipcl implements an Infopipe Composition Language — the
+// "Infopipe Composition and Restructuring Microlanguage" that the paper
+// lists as planned work (§5, ref [24]).  A pipeline is written the way the
+// paper writes its C++ composition, as a chain of named stages:
+//
+//	counter(12) >> probe >> pump(rate=30) >> collect
+//
+// Stage kinds are resolved against a Registry of factories.  Each stage
+// may carry positional arguments and key=value parameters, and may be
+// given an explicit instance name with a colon:
+//
+//	video(frames=300):movie >> decoder:dec >> pump(rate=30) >> display
+//
+// Build resolves an expression to []core.Stage ready for core.Compose.
+package ipcl
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/uthread"
+)
+
+// StageExpr is one parsed stage of a pipeline expression.
+type StageExpr struct {
+	// Kind is the registered factory name.
+	Kind string
+	// Name is the instance name (defaults to Kind, suffixed for
+	// uniqueness at Build time).
+	Name string
+	// Args are the positional arguments, verbatim.
+	Args []string
+	// Params are the key=value arguments.
+	Params map[string]string
+}
+
+// Factory builds a stage from a parsed expression.
+type Factory func(e StageExpr) (core.Stage, error)
+
+// Registry maps stage kinds to factories.
+type Registry map[string]Factory
+
+// Register adds a factory (overwriting any previous binding).
+func (r Registry) Register(kind string, f Factory) { r[kind] = f }
+
+// Parse tokenises and parses a pipeline expression.
+func Parse(expr string) ([]StageExpr, error) {
+	toks, err := lex(expr)
+	if err != nil {
+		return nil, err
+	}
+	p := parser{toks: toks}
+	return p.pipeline()
+}
+
+// Build parses expr and instantiates every stage through the registry.
+// Instance names are made unique by suffixing duplicates with #2, #3, …
+func Build(reg Registry, expr string) ([]core.Stage, error) {
+	exprs, err := Parse(expr)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]int, len(exprs))
+	stages := make([]core.Stage, 0, len(exprs))
+	for _, e := range exprs {
+		f, ok := reg[e.Kind]
+		if !ok {
+			return nil, fmt.Errorf("ipcl: unknown stage kind %q", e.Kind)
+		}
+		if e.Name == "" {
+			e.Name = e.Kind
+		}
+		seen[e.Name]++
+		if n := seen[e.Name]; n > 1 {
+			e.Name = fmt.Sprintf("%s#%d", e.Name, n)
+		}
+		st, err := f(e)
+		if err != nil {
+			return nil, fmt.Errorf("ipcl: stage %q: %w", e.Name, err)
+		}
+		stages = append(stages, st)
+	}
+	return stages, nil
+}
+
+// Compose builds and composes a pipeline from an expression.
+func Compose(name string, sched *uthread.Scheduler, bus *events.Bus, reg Registry, expr string,
+	opts ...core.ComposeOption) (*core.Pipeline, error) {
+	stages, err := Build(reg, expr)
+	if err != nil {
+		return nil, err
+	}
+	return core.Compose(name, sched, bus, stages, opts...)
+}
+
+// ---- lexer ----
+
+type tokKind int
+
+const (
+	tokIdent tokKind = iota + 1
+	tokString
+	tokNumber
+	tokChain  // >>
+	tokLParen // (
+	tokRParen // )
+	tokComma  // ,
+	tokEquals // =
+	tokColon  // :
+	tokEOF
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '>':
+			if i+1 >= len(src) || src[i+1] != '>' {
+				return nil, fmt.Errorf("ipcl: position %d: expected '>>'", i)
+			}
+			toks = append(toks, token{kind: tokChain, text: ">>", pos: i})
+			i += 2
+		case c == '(':
+			toks = append(toks, token{kind: tokLParen, text: "(", pos: i})
+			i++
+		case c == ')':
+			toks = append(toks, token{kind: tokRParen, text: ")", pos: i})
+			i++
+		case c == ',':
+			toks = append(toks, token{kind: tokComma, text: ",", pos: i})
+			i++
+		case c == '=':
+			toks = append(toks, token{kind: tokEquals, text: "=", pos: i})
+			i++
+		case c == ':':
+			toks = append(toks, token{kind: tokColon, text: ":", pos: i})
+			i++
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			for j < len(src) && src[j] != quote {
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("ipcl: position %d: unterminated string", i)
+			}
+			toks = append(toks, token{kind: tokString, text: src[i+1 : j], pos: i})
+			i = j + 1
+		case isDigit(c) || (c == '-' && i+1 < len(src) && isDigit(src[i+1])):
+			j := i + 1
+			for j < len(src) && (isDigit(src[j]) || src[j] == '.' || src[j] == '_') {
+				j++
+			}
+			// Absorb a trailing unit suffix so durations like 200us or
+			// 1.5ms stay one token.
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: strings.ReplaceAll(src[i:j], "_", ""), pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i + 1
+			for j < len(src) && isIdentPart(rune(src[j])) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], pos: i})
+			i = j
+		default:
+			return nil, fmt.Errorf("ipcl: position %d: unexpected character %q", i, c)
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}
+
+func isDigit(c byte) bool      { return c >= '0' && c <= '9' }
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-'
+}
+
+// ---- parser ----
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k tokKind, what string) (token, error) {
+	t := p.next()
+	if t.kind != k {
+		return t, fmt.Errorf("ipcl: position %d: expected %s, found %q", t.pos, what, t.text)
+	}
+	return t, nil
+}
+
+// pipeline := stage (">>" stage)* EOF
+func (p *parser) pipeline() ([]StageExpr, error) {
+	var out []StageExpr
+	st, err := p.stage()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, st)
+	for p.peek().kind == tokChain {
+		p.next()
+		st, err := p.stage()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("ipcl: position %d: unexpected %q after pipeline", t.pos, t.text)
+	}
+	if len(out) < 2 {
+		return nil, fmt.Errorf("ipcl: a pipeline needs at least a source and a sink")
+	}
+	return out, nil
+}
+
+// stage := IDENT ("(" arglist? ")")? (":" IDENT)?
+func (p *parser) stage() (StageExpr, error) {
+	var e StageExpr
+	kind, err := p.expect(tokIdent, "stage kind")
+	if err != nil {
+		return e, err
+	}
+	e.Kind = kind.text
+	if p.peek().kind == tokLParen {
+		p.next()
+		if err := p.arglist(&e); err != nil {
+			return e, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return e, err
+		}
+	}
+	if p.peek().kind == tokColon {
+		p.next()
+		name, err := p.expect(tokIdent, "instance name")
+		if err != nil {
+			return e, err
+		}
+		e.Name = name.text
+	}
+	return e, nil
+}
+
+// arglist := arg ("," arg)* | ε ;  arg := IDENT "=" value | value
+func (p *parser) arglist(e *StageExpr) error {
+	if p.peek().kind == tokRParen {
+		return nil
+	}
+	for {
+		if err := p.arg(e); err != nil {
+			return err
+		}
+		if p.peek().kind != tokComma {
+			return nil
+		}
+		p.next()
+	}
+}
+
+func (p *parser) arg(e *StageExpr) error {
+	t := p.next()
+	switch t.kind {
+	case tokIdent:
+		if p.peek().kind == tokEquals {
+			p.next()
+			v := p.next()
+			switch v.kind {
+			case tokIdent, tokString, tokNumber:
+				if e.Params == nil {
+					e.Params = make(map[string]string, 4)
+				}
+				e.Params[t.text] = v.text
+				return nil
+			default:
+				return fmt.Errorf("ipcl: position %d: expected a value after %q=", v.pos, t.text)
+			}
+		}
+		e.Args = append(e.Args, t.text)
+		return nil
+	case tokString, tokNumber:
+		e.Args = append(e.Args, t.text)
+		return nil
+	default:
+		return fmt.Errorf("ipcl: position %d: expected an argument, found %q", t.pos, t.text)
+	}
+}

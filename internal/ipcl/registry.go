@@ -1,0 +1,174 @@
+package ipcl
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"infopipes/internal/core"
+	"infopipes/internal/media"
+	"infopipes/internal/pipes"
+	"infopipes/internal/typespec"
+)
+
+// StdRegistry returns a registry with the standard component library bound
+// to the obvious names, so applications can compose pipelines textually
+// out of the box:
+//
+//	counter(100) >> probe >> pump(rate=30) >> collect
+//	video(frames=300) >> dropfilter >> decoder(cost=200us) >> pump(rate=30) >> display
+//	counter(50) >> pump >> buffer(8) >> pump(rate=25):out >> null
+//
+// The returned registry is a plain map: callers extend it with their own
+// kinds.
+func StdRegistry() Registry {
+	r := Registry{}
+
+	r.Register("counter", func(e StageExpr) (core.Stage, error) {
+		limit, err := intArg(e, 0, "limit", 0)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		return core.Comp(pipes.NewCounterSource(e.Name, int64(limit))), nil
+	})
+
+	r.Register("video", func(e StageExpr) (core.Stage, error) {
+		cfg := media.DefaultVideoConfig()
+		frames, err := intArg(e, 0, "frames", 300)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		if v, ok := e.Params["fps"]; ok {
+			fps, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return core.Stage{}, fmt.Errorf("fps: %w", err)
+			}
+			cfg.FPS = fps
+		}
+		if v, ok := e.Params["gop"]; ok {
+			cfg.GOP = v
+		}
+		src, err := media.NewVideoSource(e.Name, cfg, int64(frames))
+		if err != nil {
+			return core.Stage{}, err
+		}
+		return core.Comp(src), nil
+	})
+
+	r.Register("midi", func(e StageExpr) (core.Stage, error) {
+		limit, err := intArg(e, 0, "limit", 1000)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		return *media.NewMidiSource(e.Name, 1, 1, int64(limit)), nil
+	})
+
+	r.Register("pump", func(e StageExpr) (core.Stage, error) {
+		if v, ok := e.Params["rate"]; ok {
+			rate, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				return core.Stage{}, fmt.Errorf("rate: %w", err)
+			}
+			return core.Pmp(pipes.NewClockedPump(e.Name, rate)), nil
+		}
+		if len(e.Args) == 1 {
+			rate, err := strconv.ParseFloat(e.Args[0], 64)
+			if err != nil {
+				return core.Stage{}, fmt.Errorf("rate: %w", err)
+			}
+			return core.Pmp(pipes.NewClockedPump(e.Name, rate)), nil
+		}
+		return core.Pmp(pipes.NewFreePump(e.Name)), nil
+	})
+
+	r.Register("buffer", func(e StageExpr) (core.Stage, error) {
+		depth, err := intArg(e, 0, "depth", 8)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		push, err := policyParam(e, "push", typespec.Block)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		pull, err := policyParam(e, "pull", typespec.Block)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		return core.Buf(pipes.NewBufferPolicy(e.Name, depth, push, pull)), nil
+	})
+
+	r.Register("decoder", func(e StageExpr) (core.Stage, error) {
+		cost := time.Duration(0)
+		if v, ok := e.Params["cost"]; ok {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return core.Stage{}, fmt.Errorf("cost: %w", err)
+			}
+			cost = d
+		}
+		return core.Comp(media.NewDecoder(e.Name, cost)), nil
+	})
+
+	r.Register("dropfilter", func(e StageExpr) (core.Stage, error) {
+		f := pipes.NewDropFilter(e.Name, media.PriorityDropPolicy)
+		level, err := intArg(e, 0, "level", 0)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		f.SetLevel(level)
+		return core.Comp(f), nil
+	})
+
+	r.Register("probe", func(e StageExpr) (core.Stage, error) {
+		return core.Comp(pipes.NewCountingProbe(e.Name)), nil
+	})
+
+	r.Register("display", func(e StageExpr) (core.Stage, error) {
+		return core.Comp(media.NewDisplay(e.Name)), nil
+	})
+
+	r.Register("collect", func(e StageExpr) (core.Stage, error) {
+		return core.Comp(pipes.NewCollectSink(e.Name)), nil
+	})
+
+	r.Register("null", func(e StageExpr) (core.Stage, error) {
+		return core.Comp(pipes.NullSink(e.Name)), nil
+	})
+
+	return r
+}
+
+// intArg reads a positional-or-named integer argument with a default.
+func intArg(e StageExpr, pos int, name string, def int) (int, error) {
+	if v, ok := e.Params[name]; ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", name, err)
+		}
+		return n, nil
+	}
+	if pos < len(e.Args) {
+		n, err := strconv.Atoi(e.Args[pos])
+		if err != nil {
+			return 0, fmt.Errorf("%s: %w", name, err)
+		}
+		return n, nil
+	}
+	return def, nil
+}
+
+// policyParam reads a block/drop policy parameter.
+func policyParam(e StageExpr, name string, def typespec.BlockPolicy) (typespec.BlockPolicy, error) {
+	v, ok := e.Params[name]
+	if !ok {
+		return def, nil
+	}
+	switch v {
+	case "block":
+		return typespec.Block, nil
+	case "drop", "nonblock", "nil":
+		return typespec.NonBlock, nil
+	default:
+		return 0, fmt.Errorf("%s: unknown policy %q (want block or drop)", name, v)
+	}
+}

@@ -1,0 +1,106 @@
+// Package item defines the information items that flow through Infopipes.
+//
+// An item is the unit of transfer of the push/pull data operations (§2.2).
+// Items carry a payload plus the metadata that the standard components need:
+// a sequence number (ordering, loss accounting), creation and arrival
+// timestamps (latency/jitter measurement), a size in bytes (bandwidth
+// accounting in netpipes) and a free-form attribute map for flow-specific
+// metadata (e.g. video frame type, used by priority drop filters).
+package item
+
+import (
+	"fmt"
+	"time"
+)
+
+// Item is one information item.  Items travel by pointer; a nil *Item is the
+// "nil item" that a non-blocking pull returns on an empty buffer (§2.3).
+type Item struct {
+	// Payload is the flow-specific content (frame, sample, packet...).
+	Payload any
+	// Seq is the source-assigned sequence number, starting at 1.
+	Seq int64
+	// Created is the instant the source produced the item, on the clock of
+	// the producing scheduler.
+	Created time.Time
+	// Size is the nominal size in bytes used for bandwidth accounting.
+	Size int
+	// Attrs holds flow-specific metadata.  May be nil.  Components that
+	// modify attributes must copy-on-write (items may be multicast by tees).
+	Attrs map[string]any
+}
+
+// New creates an item with the given payload, sequence number and creation
+// time.
+func New(payload any, seq int64, created time.Time) *Item {
+	return &Item{Payload: payload, Seq: seq, Created: created}
+}
+
+// WithSize sets the nominal byte size and returns the item.
+func (it *Item) WithSize(n int) *Item {
+	it.Size = n
+	return it
+}
+
+// WithAttr sets one attribute and returns the item.
+func (it *Item) WithAttr(key string, val any) *Item {
+	if it.Attrs == nil {
+		it.Attrs = make(map[string]any, 4)
+	}
+	it.Attrs[key] = val
+	return it
+}
+
+// Attr returns the named attribute, or nil if absent or the item is nil.
+func (it *Item) Attr(key string) any {
+	if it == nil || it.Attrs == nil {
+		return nil
+	}
+	return it.Attrs[key]
+}
+
+// AttrString returns the named attribute as a string (empty if absent or of
+// another type).
+func (it *Item) AttrString(key string) string {
+	s, _ := it.Attr(key).(string)
+	return s
+}
+
+// AttrInt returns the named attribute as an int (0 if absent or of another
+// type).
+func (it *Item) AttrInt(key string) int {
+	n, _ := it.Attr(key).(int)
+	return n
+}
+
+// Clone returns a shallow copy of the item with a deep-copied attribute map,
+// so tees can multicast items without sharing mutable metadata.
+func (it *Item) Clone() *Item {
+	if it == nil {
+		return nil
+	}
+	cp := *it
+	if it.Attrs != nil {
+		cp.Attrs = make(map[string]any, len(it.Attrs))
+		for k, v := range it.Attrs {
+			cp.Attrs[k] = v
+		}
+	}
+	return &cp
+}
+
+// Age reports how long ago the item was created, according to now.
+func (it *Item) Age(now time.Time) time.Duration {
+	if it == nil {
+		return 0
+	}
+	return now.Sub(it.Created)
+}
+
+// String summarises the item for diagnostics.
+func (it *Item) String() string {
+	if it == nil {
+		return "item(nil)"
+	}
+	return fmt.Sprintf("item(seq=%d size=%d payload=%T)", it.Seq, it.Size, it.Payload)
+}

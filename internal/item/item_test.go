@@ -1,0 +1,82 @@
+package item
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2001, 11, 12, 0, 0, 0, 0, time.UTC)
+
+func TestNewAndAccessors(t *testing.T) {
+	it := New("payload", 7, t0).WithSize(100).WithAttr("k", "v").WithAttr("n", 3)
+	if it.Payload != "payload" || it.Seq != 7 || !it.Created.Equal(t0) || it.Size != 100 {
+		t.Fatalf("fields wrong: %+v", it)
+	}
+	if it.AttrString("k") != "v" {
+		t.Errorf("AttrString = %q", it.AttrString("k"))
+	}
+	if it.AttrInt("n") != 3 {
+		t.Errorf("AttrInt = %d", it.AttrInt("n"))
+	}
+	if it.Attr("missing") != nil {
+		t.Error("missing attr must be nil")
+	}
+	if it.AttrString("n") != "" {
+		t.Error("type-mismatched AttrString must be empty")
+	}
+	if it.AttrInt("k") != 0 {
+		t.Error("type-mismatched AttrInt must be 0")
+	}
+}
+
+func TestNilItemAccessors(t *testing.T) {
+	var it *Item
+	if it.Attr("x") != nil || it.AttrString("x") != "" || it.AttrInt("x") != 0 {
+		t.Error("nil item attrs must be zero values")
+	}
+	if it.Age(t0) != 0 {
+		t.Error("nil item age must be 0")
+	}
+	if it.Clone() != nil {
+		t.Error("clone of nil must be nil")
+	}
+	if it.String() != "item(nil)" {
+		t.Errorf("String = %q", it.String())
+	}
+}
+
+func TestCloneIsolatesAttrs(t *testing.T) {
+	orig := New(1, 1, t0).WithAttr("k", "v")
+	cp := orig.Clone()
+	cp.Attrs["k"] = "changed"
+	cp.Seq = 99
+	if orig.Attrs["k"] != "v" || orig.Seq != 1 {
+		t.Error("Clone shares state (tees would corrupt multicast items)")
+	}
+}
+
+func TestCloneWithoutAttrs(t *testing.T) {
+	orig := New(1, 1, t0)
+	cp := orig.Clone()
+	if cp == orig {
+		t.Error("Clone returned the same pointer")
+	}
+	if cp.Attrs != nil {
+		t.Error("Clone invented an attribute map")
+	}
+}
+
+func TestAge(t *testing.T) {
+	it := New(nil, 1, t0)
+	if got := it.Age(t0.Add(time.Second)); got != time.Second {
+		t.Errorf("Age = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	it := New("x", 3, t0).WithSize(10)
+	s := it.String()
+	if s == "" || s == "item(nil)" {
+		t.Errorf("String = %q", s)
+	}
+}

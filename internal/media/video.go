@@ -1,0 +1,380 @@
+// Package media provides the flow-specific substrate of the paper's
+// motivating applications: a synthetic MPEG-like video codec (GOP-patterned
+// frame source, decoder with reference-frame dependencies, display sink
+// with timing measurement), the priority drop policy used by the §2.1
+// feedback pipeline, and a MIDI-style small-item workload for the §4
+// many-small-items scenario.
+//
+// Substitution note (see DESIGN.md): the paper used real MPEG files and
+// codecs.  Every reported behaviour depends only on frame sizes, types,
+// rates, decode costs and inter-frame dependencies — which this synthetic
+// model reproduces deterministically — not on pixel content.
+package media
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/item"
+	"infopipes/internal/trace"
+	"infopipes/internal/typespec"
+)
+
+// FrameType classifies MPEG frames.
+type FrameType int
+
+const (
+	// FrameI is an intra-coded frame: independently decodable.
+	FrameI FrameType = iota + 1
+	// FrameP is predicted from the previous I or P frame.
+	FrameP
+	// FrameB is bi-directionally predicted from surrounding I/P frames.
+	FrameB
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case FrameI:
+		return "I"
+	case FrameP:
+		return "P"
+	case FrameB:
+		return "B"
+	default:
+		return "?"
+	}
+}
+
+// Frame is the payload of a video item.
+type Frame struct {
+	Type FrameType
+	// Seq is the display sequence number (1-based).
+	Seq int64
+	// PTS is the presentation time relative to stream start.
+	PTS time.Duration
+	// Bytes is the compressed size.
+	Bytes int
+	// Refs lists the frame sequence numbers this frame depends on.
+	Refs []int64
+	// Decoded marks raw (decompressed) frames.
+	Decoded bool
+}
+
+// AttrFrameType is the item attribute carrying the frame type, used by
+// priority drop filters without inspecting payloads.
+const AttrFrameType = "frametype"
+
+// ItemTypeCompressed and ItemTypeRaw are the Typespec item types of the
+// video flow before and after decoding.
+const (
+	ItemTypeCompressed = "video/synthetic-mpeg"
+	ItemTypeRaw        = "video/raw-frames"
+)
+
+// VideoConfig parameterises the synthetic source.
+type VideoConfig struct {
+	// FPS is the nominal frame rate (items per second of media time).
+	FPS float64
+	// GOP is the group-of-pictures pattern, e.g. "IBBPBBPBBPBB".
+	GOP string
+	// ISize, PSize, BSize are nominal compressed frame sizes in bytes.
+	ISize, PSize, BSize int
+	// SizeJitter is the +/- fraction of pseudo-random size variation.
+	SizeJitter float64
+	// Seed makes the size sequence reproducible.
+	Seed int64
+}
+
+// DefaultVideoConfig models a 30 fps stream with a classic 12-frame GOP.
+func DefaultVideoConfig() VideoConfig {
+	return VideoConfig{
+		FPS:        30,
+		GOP:        "IBBPBBPBBPBB",
+		ISize:      12000,
+		PSize:      6000,
+		BSize:      2500,
+		SizeJitter: 0.2,
+		Seed:       1,
+	}
+}
+
+// VideoSource is a passive producer generating the synthetic compressed
+// stream (the mpeg_file source of the §4 player example).
+type VideoSource struct {
+	core.Base
+	cfg    VideoConfig
+	limit  int64
+	rng    *rand.Rand
+	seq    int64
+	gop    []FrameType
+	lastIP int64 // seq of the most recent I or P frame
+	prevIP int64
+}
+
+var _ core.Producer = (*VideoSource)(nil)
+
+// NewVideoSource builds a source producing limit frames (0 = unbounded).
+func NewVideoSource(name string, cfg VideoConfig, limit int64) (*VideoSource, error) {
+	if cfg.FPS <= 0 {
+		return nil, fmt.Errorf("media: FPS must be positive, got %g", cfg.FPS)
+	}
+	if len(cfg.GOP) == 0 || cfg.GOP[0] != 'I' {
+		return nil, fmt.Errorf("media: GOP pattern %q must start with I", cfg.GOP)
+	}
+	gop := make([]FrameType, len(cfg.GOP))
+	for i, c := range cfg.GOP {
+		switch c {
+		case 'I':
+			gop[i] = FrameI
+		case 'P':
+			gop[i] = FrameP
+		case 'B':
+			gop[i] = FrameB
+		default:
+			return nil, fmt.Errorf("media: GOP pattern %q has invalid symbol %q", cfg.GOP, c)
+		}
+	}
+	return &VideoSource{
+		Base:  core.Base{CompName: name},
+		cfg:   cfg,
+		limit: limit,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		gop:   gop,
+	}, nil
+}
+
+// Style implements core.Component.
+func (s *VideoSource) Style() core.Style { return core.StyleProducer }
+
+// TransformSpec implements core.Component: the source originates the flow's
+// Typespec with its format and rate (§2.3).
+func (s *VideoSource) TransformSpec(typespec.Typespec) typespec.Typespec {
+	return typespec.New(ItemTypeCompressed).
+		WithQoS("rate", typespec.Exactly(s.cfg.FPS)).
+		WithProp("gop", s.cfg.GOP)
+}
+
+// Pull implements core.Producer.
+func (s *VideoSource) Pull(ctx *core.Ctx) (*item.Item, error) {
+	if s.limit > 0 && s.seq >= s.limit {
+		return nil, core.ErrEOS
+	}
+	s.seq++
+	ft := s.gop[int((s.seq-1)%int64(len(s.gop)))]
+	var size int
+	var refs []int64
+	switch ft {
+	case FrameI:
+		size = s.vary(s.cfg.ISize)
+		s.prevIP, s.lastIP = s.lastIP, s.seq
+	case FrameP:
+		size = s.vary(s.cfg.PSize)
+		refs = []int64{s.lastIP}
+		s.prevIP, s.lastIP = s.lastIP, s.seq
+	case FrameB:
+		size = s.vary(s.cfg.BSize)
+		refs = []int64{s.lastIP}
+		if s.prevIP > 0 {
+			refs = append(refs, s.prevIP)
+		}
+	}
+	f := &Frame{
+		Type:  ft,
+		Seq:   s.seq,
+		PTS:   time.Duration(float64(s.seq-1) / s.cfg.FPS * float64(time.Second)),
+		Bytes: size,
+		Refs:  refs,
+	}
+	it := item.New(f, s.seq, ctx.Now()).WithSize(size).WithAttr(AttrFrameType, ft.String())
+	return it, nil
+}
+
+func (s *VideoSource) vary(base int) int {
+	if s.cfg.SizeJitter <= 0 {
+		return base
+	}
+	f := 1 + s.cfg.SizeJitter*(2*s.rng.Float64()-1)
+	return int(float64(base) * f)
+}
+
+// Decoder is the function-style synthetic decoder: it converts compressed
+// frames into raw frames, modelling decode cost as scheduler-clock time
+// proportional to the compressed size, and enforcing reference-frame
+// dependencies — a P or B frame whose references were dropped upstream is
+// undecodable and is discarded (counted, for the E9 quality metric).
+type Decoder struct {
+	core.Base
+	// CostPerKB is the simulated decode time per compressed kilobyte.
+	costPerKB time.Duration
+	decoded   map[int64]struct{}
+	window    []int64
+	undecoded trace.Counter
+	ok        trace.Counter
+}
+
+var _ core.Function = (*Decoder)(nil)
+
+// NewDecoder builds a decoder with the given per-kilobyte decode cost
+// (0 = free).
+func NewDecoder(name string, costPerKB time.Duration) *Decoder {
+	return &Decoder{
+		Base:      core.Base{CompName: name},
+		costPerKB: costPerKB,
+		decoded:   make(map[int64]struct{}, 64),
+	}
+}
+
+// Style implements core.Component.
+func (d *Decoder) Style() core.Style { return core.StyleFunction }
+
+// InputSpec implements core.Component.
+func (d *Decoder) InputSpec() typespec.Typespec { return typespec.New(ItemTypeCompressed) }
+
+// TransformSpec implements core.Component.
+func (d *Decoder) TransformSpec(in typespec.Typespec) typespec.Typespec {
+	out := in.Clone()
+	out.ItemType = ItemTypeRaw
+	return out
+}
+
+// Convert implements core.Function.
+func (d *Decoder) Convert(ctx *core.Ctx, it *item.Item) (*item.Item, error) {
+	f, ok := it.Payload.(*Frame)
+	if !ok {
+		return nil, fmt.Errorf("decoder %q: payload %T is not a *media.Frame", d.Name(), it.Payload)
+	}
+	for _, ref := range f.Refs {
+		if _, have := d.decoded[ref]; !have {
+			d.undecoded.Inc()
+			return nil, nil // reference lost upstream: frame is unplayable
+		}
+	}
+	if d.costPerKB > 0 {
+		cost := time.Duration(float64(d.costPerKB) * float64(f.Bytes) / 1024.0)
+		ctx.Thread().SleepFor(cost)
+	}
+	d.remember(f.Seq)
+	raw := *f
+	raw.Decoded = true
+	out := it.Clone()
+	out.Payload = &raw
+	out.Size = f.Bytes * 8 // raw frames are larger; nominal 8x expansion
+	d.ok.Inc()
+	return out, nil
+}
+
+// remember tracks decoded frames over a sliding window so the reference set
+// stays bounded (the §2.2 shared-reference-frame lifetime, simplified).
+func (d *Decoder) remember(seq int64) {
+	d.decoded[seq] = struct{}{}
+	d.window = append(d.window, seq)
+	const keep = 64
+	for len(d.window) > keep {
+		delete(d.decoded, d.window[0])
+		d.window = d.window[1:]
+	}
+}
+
+// Undecodable reports frames dropped for missing references.
+func (d *Decoder) Undecodable() int64 { return d.undecoded.Value() }
+
+// Decoded reports successfully decoded frames.
+func (d *Decoder) Decoded() int64 { return d.ok.Value() }
+
+// PriorityDropPolicy is the §2.1 controlled-dropping policy: level 0 drops
+// nothing, level 1 drops B frames, level 2 drops B and P frames, level 3
+// drops everything but I frames.  Because it consults only the frame-type
+// attribute it composes with any drop filter.
+func PriorityDropPolicy(it *item.Item, level int) bool {
+	if level <= 0 {
+		return false
+	}
+	switch it.AttrString(AttrFrameType) {
+	case "B":
+		return level >= 1
+	case "P":
+		return level >= 2
+	case "I":
+		return level >= 3
+	default:
+		return false
+	}
+}
+
+// Display is the video display sink: a passive consumer that records
+// presentation timing — per-frame latency, inter-frame jitter, counts by
+// type — the measuring end of experiments E1, E9 and E10.
+type Display struct {
+	core.Base
+	latency   trace.Series
+	interShow trace.Series
+	byType    map[FrameType]int64
+	lastShow  time.Time
+	frames    trace.Counter
+	resizes   trace.Counter
+	width     int
+}
+
+var _ core.Consumer = (*Display)(nil)
+
+// NewDisplay builds a display sink.
+func NewDisplay(name string) *Display {
+	return &Display{Base: core.Base{CompName: name}, byType: make(map[FrameType]int64)}
+}
+
+// Style implements core.Component.
+func (d *Display) Style() core.Style { return core.StyleConsumer }
+
+// InputSpec implements core.Component: the display needs raw frames.
+func (d *Display) InputSpec() typespec.Typespec { return typespec.New(ItemTypeRaw) }
+
+// Push implements core.Consumer.
+func (d *Display) Push(ctx *core.Ctx, it *item.Item) error {
+	now := ctx.Now()
+	d.frames.Inc()
+	d.latency.ObserveDuration(it.Age(now))
+	if !d.lastShow.IsZero() {
+		d.interShow.ObserveDuration(now.Sub(d.lastShow))
+	}
+	d.lastShow = now
+	if f, ok := it.Payload.(*Frame); ok {
+		d.byType[f.Type]++
+	}
+	return nil
+}
+
+// HandleEvent implements core.Component: a resize event records the new
+// width and is propagated upstream (§2.2's display -> resizer interaction
+// is driven from application code via EmitUpstream).
+func (d *Display) HandleEvent(_ *core.Ctx, ev events.Event) {
+	if ev.Type != events.Resize {
+		return
+	}
+	if w, ok := ev.Data.(int); ok {
+		d.width = w
+		d.resizes.Inc()
+	}
+}
+
+// Frames reports the number of displayed frames.
+func (d *Display) Frames() int64 { return d.frames.Value() }
+
+// FramesByType reports displayed frames of one type.
+func (d *Display) FramesByType(t FrameType) int64 { return d.byType[t] }
+
+// Latency exposes the per-frame latency series (seconds).
+func (d *Display) Latency() *trace.Series { return &d.latency }
+
+// Jitter reports the mean absolute deviation between consecutive
+// inter-frame display gaps, in seconds.
+func (d *Display) Jitter() float64 { return d.interShow.Jitter() }
+
+// MeanInterFrame reports the mean gap between displayed frames in seconds.
+func (d *Display) MeanInterFrame() float64 { return d.interShow.Mean() }
+
+// Width reports the last resize width (0 if never resized).
+func (d *Display) Width() int { return d.width }

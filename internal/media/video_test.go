@@ -1,0 +1,273 @@
+package media_test
+
+import (
+	"testing"
+	"time"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/item"
+	"infopipes/internal/media"
+	"infopipes/internal/pipes"
+	"infopipes/internal/uthread"
+)
+
+func runToEnd(t *testing.T, stages []core.Stage) *core.Pipeline {
+	t.Helper()
+	s := uthread.New()
+	p, err := core.Compose("test", s, nil, stages)
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	p.Start()
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := p.Err(); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	return p
+}
+
+func TestVideoSourceGOPPattern(t *testing.T) {
+	cfg := media.DefaultVideoConfig()
+	src, err := media.NewVideoSource("src", cfg, 24)
+	if err != nil {
+		t.Fatalf("source: %v", err)
+	}
+	sink := pipes.NewCollectSink("sink")
+	runToEnd(t, []core.Stage{
+		core.Comp(src),
+		core.Pmp(pipes.NewFreePump("pump")),
+		core.Comp(sink),
+	})
+	items := sink.Items()
+	if len(items) != 24 {
+		t.Fatalf("got %d frames, want 24", len(items))
+	}
+	for i, it := range items {
+		f := it.Payload.(*media.Frame)
+		want := cfg.GOP[i%len(cfg.GOP)]
+		if f.Type.String() != string(want) {
+			t.Errorf("frame %d type %s, want %c", i, f.Type, want)
+		}
+		if it.AttrString(media.AttrFrameType) != f.Type.String() {
+			t.Errorf("frame %d attr mismatch", i)
+		}
+		wantPTS := time.Duration(float64(i) / cfg.FPS * float64(time.Second))
+		if f.PTS != wantPTS {
+			t.Errorf("frame %d PTS %v, want %v", i, f.PTS, wantPTS)
+		}
+	}
+	// I frames are larger than P, P larger than B, on average.
+	var iSum, pSum, bSum, iN, pN, bN int
+	for _, it := range items {
+		f := it.Payload.(*media.Frame)
+		switch f.Type {
+		case media.FrameI:
+			iSum += f.Bytes
+			iN++
+		case media.FrameP:
+			pSum += f.Bytes
+			pN++
+		case media.FrameB:
+			bSum += f.Bytes
+			bN++
+		}
+	}
+	if iN == 0 || pN == 0 || bN == 0 {
+		t.Fatal("GOP did not produce all frame types")
+	}
+	if iSum/iN <= pSum/pN || pSum/pN <= bSum/bN {
+		t.Errorf("size ordering violated: I=%d P=%d B=%d", iSum/iN, pSum/pN, bSum/bN)
+	}
+}
+
+func TestVideoSourceValidation(t *testing.T) {
+	if _, err := media.NewVideoSource("s", media.VideoConfig{FPS: 0, GOP: "I"}, 1); err == nil {
+		t.Error("FPS 0 accepted")
+	}
+	if _, err := media.NewVideoSource("s", media.VideoConfig{FPS: 30, GOP: "BIP"}, 1); err == nil {
+		t.Error("GOP not starting with I accepted")
+	}
+	if _, err := media.NewVideoSource("s", media.VideoConfig{FPS: 30, GOP: "IXB"}, 1); err == nil {
+		t.Error("invalid GOP symbol accepted")
+	}
+}
+
+func TestDecoderDecodesCleanStream(t *testing.T) {
+	src, _ := media.NewVideoSource("src", media.DefaultVideoConfig(), 36)
+	dec := media.NewDecoder("dec", 0)
+	display := media.NewDisplay("display")
+	runToEnd(t, []core.Stage{
+		core.Comp(src),
+		core.Comp(dec),
+		core.Pmp(pipes.NewFreePump("pump")),
+		core.Comp(display),
+	})
+	if got := display.Frames(); got != 36 {
+		t.Fatalf("displayed %d frames, want 36 (no losses)", got)
+	}
+	if dec.Undecodable() != 0 {
+		t.Errorf("undecodable = %d, want 0 on clean stream", dec.Undecodable())
+	}
+	if dec.Decoded() != 36 {
+		t.Errorf("decoded = %d, want 36", dec.Decoded())
+	}
+}
+
+func TestDecoderDropsDependentFrames(t *testing.T) {
+	// Dropping all I frames upstream makes every P/B undecodable.
+	src, _ := media.NewVideoSource("src", media.DefaultVideoConfig(), 24)
+	killI := pipes.NewDropFilter("killI", func(it *item.Item, level int) bool {
+		return it.AttrString(media.AttrFrameType) == "I"
+	})
+	dec := media.NewDecoder("dec", 0)
+	display := media.NewDisplay("display")
+	runToEnd(t, []core.Stage{
+		core.Comp(src),
+		core.Comp(killI),
+		core.Comp(dec),
+		core.Pmp(pipes.NewFreePump("pump")),
+		core.Comp(display),
+	})
+	if got := display.Frames(); got != 0 {
+		t.Fatalf("displayed %d frames, want 0 (all refs lost)", got)
+	}
+	if dec.Undecodable() == 0 {
+		t.Error("expected undecodable frames")
+	}
+}
+
+func TestPriorityDropPolicyLevels(t *testing.T) {
+	mk := func(ft string) *item.Item {
+		return item.New(nil, 1, time.Time{}).WithAttr(media.AttrFrameType, ft)
+	}
+	cases := []struct {
+		ft    string
+		level int
+		drop  bool
+	}{
+		{"I", 0, false}, {"P", 0, false}, {"B", 0, false},
+		{"I", 1, false}, {"P", 1, false}, {"B", 1, true},
+		{"I", 2, false}, {"P", 2, true}, {"B", 2, true},
+		{"I", 3, true}, {"P", 3, true}, {"B", 3, true},
+	}
+	for _, c := range cases {
+		if got := media.PriorityDropPolicy(mk(c.ft), c.level); got != c.drop {
+			t.Errorf("PriorityDropPolicy(%s, %d) = %v, want %v", c.ft, c.level, got, c.drop)
+		}
+	}
+}
+
+func TestPriorityDroppingPreservesIFrames(t *testing.T) {
+	// E9 core property: at drop level 1, B frames vanish but every I and P
+	// frame survives and remains decodable.
+	src, _ := media.NewVideoSource("src", media.DefaultVideoConfig(), 60)
+	drop := pipes.NewDropFilter("drop", media.PriorityDropPolicy)
+	drop.SetLevel(1)
+	dec := media.NewDecoder("dec", 0)
+	display := media.NewDisplay("display")
+	runToEnd(t, []core.Stage{
+		core.Comp(src),
+		core.Comp(drop),
+		core.Comp(dec),
+		core.Pmp(pipes.NewFreePump("pump")),
+		core.Comp(display),
+	})
+	if got := display.FramesByType(media.FrameB); got != 0 {
+		t.Errorf("B frames displayed = %d, want 0 at level 1", got)
+	}
+	// 60 frames of IBBPBBPBBPBB = 5 I + 15 P per 60... pattern has 1 I, 3 P,
+	// 8 B per 12 frames: 5 GOPs -> 5 I, 15 P, 40 B.
+	if got := display.FramesByType(media.FrameI); got != 5 {
+		t.Errorf("I frames displayed = %d, want 5", got)
+	}
+	if got := display.FramesByType(media.FrameP); got != 15 {
+		t.Errorf("P frames displayed = %d, want 15", got)
+	}
+	if dec.Undecodable() != 0 {
+		t.Errorf("undecodable = %d, want 0 (I/P chain intact)", dec.Undecodable())
+	}
+}
+
+func TestDecoderCostAdvancesClock(t *testing.T) {
+	src, _ := media.NewVideoSource("src", media.VideoConfig{
+		FPS: 30, GOP: "I", ISize: 1024, Seed: 1,
+	}, 10)
+	dec := media.NewDecoder("dec", 2*time.Millisecond) // 2ms per KB = 2ms per frame
+	display := media.NewDisplay("display")
+	s := uthread.New()
+	start := s.Now()
+	p, err := core.Compose("cost", s, nil, []core.Stage{
+		core.Comp(src), core.Comp(dec),
+		core.Pmp(pipes.NewFreePump("pump")),
+		core.Comp(display),
+	})
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	p.Start()
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	elapsed := s.Now().Sub(start)
+	if elapsed < 20*time.Millisecond {
+		t.Errorf("virtual elapsed %v, want >= 20ms of decode cost", elapsed)
+	}
+}
+
+func TestDisplayResizeEvent(t *testing.T) {
+	src, _ := media.NewVideoSource("src", media.DefaultVideoConfig(), 12)
+	dec := media.NewDecoder("dec", 0)
+	display := media.NewDisplay("display")
+	s := uthread.New()
+	p, err := core.Compose("resize", s, nil, []core.Stage{
+		core.Comp(src), core.Comp(dec),
+		core.Pmp(pipes.NewFreePump("pump")),
+		core.Comp(display),
+	})
+	if err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	p.Bus().Broadcast(events.Event{Type: events.Resize, Data: 640, Target: "display"})
+	p.Start()
+	if err := s.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := display.Width(); got != 640 {
+		t.Errorf("display width = %d, want 640", got)
+	}
+}
+
+func TestMidiPipeline(t *testing.T) {
+	src := media.NewMidiSource("src", 1, 42, 100)
+	sink := media.NewMidiSink("sink")
+	runToEnd(t, []core.Stage{
+		*src,
+		core.Comp(media.NewTranspose("t1", 12)),
+		core.Comp(media.NewVelocityScale("v1", 0.5)),
+		core.Pmp(pipes.NewFreePump("pump")),
+		core.Comp(sink),
+	})
+	if got := sink.Count(); got != 100 {
+		t.Fatalf("sink received %d events, want 100", got)
+	}
+	if sink.Checksum() == 0 {
+		t.Error("checksum empty")
+	}
+}
+
+func TestMidiTransposeClamping(t *testing.T) {
+	src := media.NewMidiSource("src", 1, 7, 50)
+	sink := media.NewMidiSink("sink")
+	runToEnd(t, []core.Stage{
+		*src,
+		core.Comp(media.NewTranspose("up", 120)), // clamps at 127
+		core.Pmp(pipes.NewFreePump("pump")),
+		core.Comp(sink),
+	})
+	if got := sink.Count(); got != 50 {
+		t.Fatalf("sink received %d events, want 50", got)
+	}
+}

@@ -1,0 +1,39 @@
+package netpipe_test
+
+import (
+	"net"
+	"testing"
+)
+
+// makeLoopbackPair opens a TCP connection pair on an ephemeral loopback
+// port: (accepted server side, dialled client side).
+func makeLoopbackPair(t *testing.T) (server, client net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer ln.Close()
+	type acceptResult struct {
+		conn net.Conn
+		err  error
+	}
+	acceptCh := make(chan acceptResult, 1)
+	go func() {
+		c, err := ln.Accept()
+		acceptCh <- acceptResult{conn: c, err: err}
+	}()
+	client, err = net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	res := <-acceptCh
+	if res.err != nil {
+		t.Fatalf("accept: %v", res.err)
+	}
+	t.Cleanup(func() {
+		client.Close()
+		res.conn.Close()
+	})
+	return res.conn, client
+}

@@ -1,0 +1,156 @@
+package netpipe
+
+import (
+	"sync"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/trace"
+	"infopipes/internal/uthread"
+)
+
+// msgNetWake wakes a thread blocked on an empty netpipe inbox.
+const msgNetWake uthread.Kind = uthread.KindUserBase + 40
+
+// inbox is the receiver-side frame queue of a netpipe: packets are injected
+// from outside the thread system (a simnet delivery thread or a TCP reader
+// goroutine) and pulled by the consumer pipeline's source endpoint.  It is
+// the netpipe analogue of a buffer's passive pull end, including control
+// delivery while blocked (§3.2).
+type inbox struct {
+	mu      sync.Mutex
+	q       [][]byte
+	closed  bool
+	sched   *uthread.Scheduler
+	limit   int
+	nextTok uint64
+	waiters []inboxWaiter
+	drops   trace.Counter
+}
+
+type inboxWaiter struct {
+	th  *uthread.Thread
+	tok uint64
+}
+
+// newInbox builds an inbox holding at most limit frames (0 = unlimited).
+func newInbox(sched *uthread.Scheduler, limit int) *inbox {
+	return &inbox{sched: sched, limit: limit}
+}
+
+// inject appends a frame, waking one blocked puller.  Safe from any
+// goroutine.  Frames injected after close, or beyond the limit, are
+// dropped.
+func (b *inbox) inject(data []byte) {
+	b.mu.Lock()
+	if b.closed || (b.limit > 0 && len(b.q) >= b.limit) {
+		b.mu.Unlock()
+		b.drops.Inc()
+		return
+	}
+	b.q = append(b.q, data)
+	var w *inboxWaiter
+	if len(b.waiters) > 0 {
+		w = &b.waiters[0]
+		b.waiters = b.waiters[1:]
+	}
+	sched := b.sched
+	b.mu.Unlock()
+	if w != nil {
+		sched.Post(w.th, uthread.Message{
+			Kind:       msgNetWake,
+			Data:       w.tok,
+			Constraint: uthread.At(uthread.PriorityHigh),
+		})
+	}
+}
+
+// close marks end of stream and wakes all blocked pullers.
+func (b *inbox) close() {
+	b.mu.Lock()
+	b.closed = true
+	waiters := b.waiters
+	b.waiters = nil
+	sched := b.sched
+	b.mu.Unlock()
+	for _, w := range waiters {
+		sched.Post(w.th, uthread.Message{
+			Kind:       msgNetWake,
+			Data:       w.tok,
+			Constraint: uthread.At(uthread.PriorityHigh),
+		})
+	}
+}
+
+// pop removes the next frame, blocking (with control dispatch) while empty.
+// Returns core.ErrEOS after close and drain, core.ErrStopped on pipeline
+// shutdown.
+func (b *inbox) pop(ctx *core.Ctx) ([]byte, error) {
+	t := ctx.Thread()
+	for {
+		b.mu.Lock()
+		if len(b.q) > 0 {
+			data := b.q[0]
+			b.q = b.q[1:]
+			b.mu.Unlock()
+			return data, nil
+		}
+		if b.closed {
+			b.mu.Unlock()
+			return nil, core.ErrEOS
+		}
+		if ctx.Stopping() {
+			b.mu.Unlock()
+			return nil, core.ErrStopped
+		}
+		b.nextTok++
+		tok := b.nextTok
+		b.waiters = append(b.waiters, inboxWaiter{th: t, tok: tok})
+		b.mu.Unlock()
+		if err := b.await(ctx, t, tok); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (b *inbox) await(ctx *core.Ctx, t *uthread.Thread, tok uint64) error {
+	isWake := func(m uthread.Message) bool {
+		w, ok := m.Data.(uint64)
+		return m.Kind == msgNetWake && ok && w == tok
+	}
+	for {
+		m := t.ReceiveMatch(func(m uthread.Message) bool {
+			return isWake(m) || events.IsControl(m)
+		})
+		if isWake(m) {
+			b.deregister(tok)
+			return nil
+		}
+		t.DispatchControl(m)
+		if ctx.Stopping() {
+			if !b.deregister(tok) {
+				t.TryReceive(isWake) // consume the in-flight wake
+			}
+			return core.ErrStopped
+		}
+	}
+}
+
+func (b *inbox) deregister(tok uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, w := range b.waiters {
+		if w.tok == tok {
+			b.waiters = append(b.waiters[:i], b.waiters[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// length reports the number of queued frames.
+func (b *inbox) length() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.q)
+}

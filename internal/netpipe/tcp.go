@@ -1,0 +1,216 @@
+package netpipe
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/item"
+	"infopipes/internal/typespec"
+	"infopipes/internal/uthread"
+)
+
+// TCPLink is a reliable netpipe over a real TCP connection, for
+// distributed pipelines (§2.4).  Frames are length-prefixed with a
+// one-byte type tag; the receiver side runs a reader goroutine that
+// injects frames into the consumer scheduler (network packets mapped to
+// messages, §4).  Use a real clock on schedulers that talk TCP.
+type TCPLink struct {
+	rxNode string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	closed bool
+
+	rxSched    *uthread.Scheduler
+	inbox      *inbox
+	readerDone chan struct{}
+}
+
+// NewTCPSenderLink wraps the producer-side of an established connection.
+func NewTCPSenderLink(conn net.Conn) *TCPLink {
+	return &TCPLink{conn: conn}
+}
+
+// NewTCPReceiverLink wraps the consumer-side of an established connection
+// and starts the reader goroutine, which lives until EOF, an EOS frame, or
+// Close.  rxNode names this node for the location property.
+func NewTCPReceiverLink(conn net.Conn, rxSched *uthread.Scheduler, rxNode string, queueLimit int) *TCPLink {
+	l := &TCPLink{
+		conn:       conn,
+		rxNode:     rxNode,
+		rxSched:    rxSched,
+		inbox:      newInbox(rxSched, queueLimit),
+		readerDone: make(chan struct{}),
+	}
+	rxSched.AddExternalSource()
+	go l.readLoop()
+	return l
+}
+
+// readLoop reads frames until EOF or an EOS frame and injects them.
+func (l *TCPLink) readLoop() {
+	defer close(l.readerDone)
+	defer l.rxSched.ReleaseExternalSource()
+	defer l.inbox.close()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(l.conn, lenBuf[:]); err != nil {
+			return // EOF or connection torn down
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > 64<<20 {
+			return // malformed frame
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(l.conn, body); err != nil {
+			return
+		}
+		switch body[0] {
+		case frameData:
+			l.inbox.inject(body[1:])
+		case frameEOS:
+			return
+		default:
+			return
+		}
+	}
+}
+
+// send writes one frame on the sender side.
+func (l *TCPLink) send(tag byte, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	if _, err := l.conn.Write(encodeFrame(tag, payload)); err != nil {
+		return fmt.Errorf("netpipe: tcp send: %w", err)
+	}
+	return nil
+}
+
+// Close tears the link down.  On the receiver side it stops the reader
+// goroutine and waits for it to exit.
+func (l *TCPLink) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	conn := l.conn
+	l.mu.Unlock()
+	err := conn.Close()
+	if l.readerDone != nil {
+		<-l.readerDone
+	}
+	return err
+}
+
+// NewSink returns the producer-side endpoint component.
+func (l *TCPLink) NewSink(name string) core.Component {
+	return &tcpSink{Base: core.Base{CompName: name}, link: l}
+}
+
+type tcpSink struct {
+	core.Base
+	link *TCPLink
+}
+
+var (
+	_ core.Consumer = (*tcpSink)(nil)
+	_ core.EOSSink  = (*tcpSink)(nil)
+)
+
+// Style implements core.Component.
+func (s *tcpSink) Style() core.Style { return core.StyleConsumer }
+
+// InputSpec implements core.Component.
+func (s *tcpSink) InputSpec() typespec.Typespec { return typespec.New(ItemTypeWire) }
+
+// Push implements core.Consumer.
+func (s *tcpSink) Push(_ *core.Ctx, it *item.Item) error {
+	data, ok := it.Payload.([]byte)
+	if !ok {
+		return fmt.Errorf("netpipe: tcp sink %q: payload %T is not []byte (insert a marshal filter)", s.Name(), it.Payload)
+	}
+	return s.link.send(frameData, data)
+}
+
+// HandleEOS implements core.EOSSink.
+func (s *tcpSink) HandleEOS(*core.Ctx) { _ = s.link.send(frameEOS, nil) }
+
+// HandleEvent implements core.Component.
+func (s *tcpSink) HandleEvent(_ *core.Ctx, ev events.Event) {
+	if ev.Type == events.Stop {
+		_ = s.link.send(frameEOS, nil)
+	}
+}
+
+// NewSource returns the consumer-side endpoint component.
+func (l *TCPLink) NewSource(name string) core.Component {
+	return &tcpSource{Base: core.Base{CompName: name}, link: l}
+}
+
+type tcpSource struct {
+	core.Base
+	link *TCPLink
+}
+
+var _ core.Producer = (*tcpSource)(nil)
+
+// Style implements core.Component.
+func (s *tcpSource) Style() core.Style { return core.StyleProducer }
+
+// TransformSpec implements core.Component: the location property changes
+// at the netpipe (§2.4).
+func (s *tcpSource) TransformSpec(in typespec.Typespec) typespec.Typespec {
+	out := in.Clone()
+	out.ItemType = ItemTypeWire
+	if s.link.rxNode != "" {
+		out.Location = s.link.rxNode
+	}
+	return out
+}
+
+// Pull implements core.Producer.
+func (s *tcpSource) Pull(ctx *core.Ctx) (*item.Item, error) {
+	data, err := s.link.inbox.pop(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return item.New(data, 0, ctx.Now()).WithSize(len(data)), nil
+}
+
+// Listen accepts exactly one inbound connection on addr — the simple
+// rendezvous used by the examples and tests.
+func Listen(addr string) (net.Conn, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, fmt.Errorf("netpipe: listen %s: %w", addr, err)
+	}
+	defer ln.Close()
+	conn, err := ln.Accept()
+	if err != nil {
+		return nil, nil, fmt.Errorf("netpipe: accept on %s: %w", addr, err)
+	}
+	return conn, ln.Addr(), nil
+}
+
+// Dial connects to a listening peer.
+func Dial(addr string) (net.Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("netpipe: dial %s: %w", addr, err)
+	}
+	return conn, nil
+}
+
+// ErrNoConn is returned by helpers when no connection is available.
+var ErrNoConn = errors.New("netpipe: no connection")

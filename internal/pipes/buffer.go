@@ -1,0 +1,277 @@
+package pipes
+
+import (
+	"sync"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/item"
+	"infopipes/internal/trace"
+	"infopipes/internal/typespec"
+	"infopipes/internal/uthread"
+)
+
+// BoundedBuffer is the standard buffer of §2.1: passive at both ends,
+// providing temporary storage and removing rate fluctuations.  Its blocking
+// behaviour follows the Typespec model of §2.3: when full, a push either
+// blocks the caller or drops the item; when empty, a pull either blocks or
+// returns the nil item.
+//
+// Blocking is integrated with the user-level thread package: a blocked
+// operation suspends the calling thread on a wake message, and control
+// events are still delivered and dispatched while blocked (§3.2).
+type BoundedBuffer struct {
+	name     string
+	capacity int
+	pushPol  typespec.BlockPolicy
+	pullPol  typespec.BlockPolicy
+
+	mu      sync.Mutex
+	q       []*item.Item
+	closed  bool
+	sched   *uthread.Scheduler
+	nextTok uint64
+	// Waiters are threads suspended in Remove (waiting for items) or
+	// Insert (waiting for space); each holds a unique wake token.
+	itemWaiters  []bufWaiter
+	spaceWaiters []bufWaiter
+
+	drops   trace.Counter
+	inserts trace.Counter
+	removes trace.Counter
+	maxFill trace.Gauge
+}
+
+type bufWaiter struct {
+	th  *uthread.Thread
+	tok uint64
+}
+
+var _ core.Buffer = (*BoundedBuffer)(nil)
+
+// NewBuffer returns a buffer with the given capacity that blocks on both
+// full and empty conditions — the common jitter-removal configuration.
+func NewBuffer(name string, capacity int) *BoundedBuffer {
+	return NewBufferPolicy(name, capacity, typespec.Block, typespec.Block)
+}
+
+// NewDroppingBuffer returns a buffer that drops pushed items when full and
+// returns the nil item when empty (fully non-blocking).
+func NewDroppingBuffer(name string, capacity int) *BoundedBuffer {
+	return NewBufferPolicy(name, capacity, typespec.NonBlock, typespec.NonBlock)
+}
+
+// NewBufferPolicy returns a buffer with explicit blocking policies for the
+// push (full) and pull (empty) sides.
+func NewBufferPolicy(name string, capacity int, push, pull typespec.BlockPolicy) *BoundedBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BoundedBuffer{
+		name:     name,
+		capacity: capacity,
+		pushPol:  push,
+		pullPol:  pull,
+		q:        make([]*item.Item, 0, capacity),
+	}
+}
+
+// BindScheduler lets the composition layer attach the scheduler used for
+// wake-up messages.
+func (b *BoundedBuffer) BindScheduler(s *uthread.Scheduler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sched = s
+}
+
+// Name implements core.Buffer.
+func (b *BoundedBuffer) Name() string { return b.name }
+
+// Spec implements core.Buffer.
+func (b *BoundedBuffer) Spec() (push, pull typespec.BlockPolicy) {
+	return b.pushPol, b.pullPol
+}
+
+// Len implements core.Buffer.
+func (b *BoundedBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.q)
+}
+
+// Cap implements core.Buffer.
+func (b *BoundedBuffer) Cap() int { return b.capacity }
+
+// Drops reports items dropped by the non-blocking push policy.
+func (b *BoundedBuffer) Drops() int64 { return b.drops.Value() }
+
+// Inserts reports accepted items.
+func (b *BoundedBuffer) Inserts() int64 { return b.inserts.Value() }
+
+// Removes reports removed items.
+func (b *BoundedBuffer) Removes() int64 { return b.removes.Value() }
+
+// MaxFill reports the high-water mark of the fill level.
+func (b *BoundedBuffer) MaxFill() int64 { return b.maxFill.Value() }
+
+// HandleEvent implements core.Buffer (no standard events).
+func (b *BoundedBuffer) HandleEvent(events.Event) {}
+
+// CloseUpstream implements core.Buffer: marks end of stream; blocked and
+// future Removes see ErrEOS once the queue drains.
+func (b *BoundedBuffer) CloseUpstream() {
+	b.mu.Lock()
+	b.closed = true
+	waiters := b.itemWaiters
+	b.itemWaiters = nil
+	sched := b.sched
+	b.mu.Unlock()
+	for _, w := range waiters {
+		postWake(sched, w)
+	}
+}
+
+// Closed reports whether the upstream has ended.
+func (b *BoundedBuffer) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
+}
+
+// Insert implements core.Buffer (the push side).
+func (b *BoundedBuffer) Insert(ctx *core.Ctx, it *item.Item) error {
+	t := ctx.Thread()
+	for {
+		b.mu.Lock()
+		if len(b.q) < b.capacity {
+			b.q = append(b.q, it)
+			if n := int64(len(b.q)); n > b.maxFill.Value() {
+				b.maxFill.Set(n)
+			}
+			b.inserts.Inc()
+			b.wakeOneLocked(&b.itemWaiters)
+			b.mu.Unlock()
+			return nil
+		}
+		if b.pushPol == typespec.NonBlock {
+			b.drops.Inc()
+			b.mu.Unlock()
+			return nil // drop the pushed item (§2.3)
+		}
+		if ctx.Stopping() {
+			b.mu.Unlock()
+			return core.ErrStopped
+		}
+		tok := b.registerLocked(&b.spaceWaiters, t)
+		b.mu.Unlock()
+		if err := b.await(ctx, t, tok); err != nil {
+			return err
+		}
+	}
+}
+
+// Remove implements core.Buffer (the pull side).
+func (b *BoundedBuffer) Remove(ctx *core.Ctx) (*item.Item, error) {
+	t := ctx.Thread()
+	for {
+		b.mu.Lock()
+		if len(b.q) > 0 {
+			it := b.q[0]
+			copy(b.q, b.q[1:])
+			b.q = b.q[:len(b.q)-1]
+			b.removes.Inc()
+			b.wakeOneLocked(&b.spaceWaiters)
+			b.mu.Unlock()
+			return it, nil
+		}
+		if b.closed {
+			b.mu.Unlock()
+			return nil, core.ErrEOS
+		}
+		if b.pullPol == typespec.NonBlock {
+			b.mu.Unlock()
+			return nil, nil // the nil item (§2.3)
+		}
+		if ctx.Stopping() {
+			b.mu.Unlock()
+			return nil, core.ErrStopped
+		}
+		tok := b.registerLocked(&b.itemWaiters, t)
+		b.mu.Unlock()
+		if err := b.await(ctx, t, tok); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// await suspends the calling thread until its wake token arrives,
+// dispatching control events that arrive in the meantime (§3.2).  On
+// return, the waiter registration and any in-flight wake are consumed.
+func (b *BoundedBuffer) await(ctx *core.Ctx, t *uthread.Thread, tok uint64) error {
+	isWake := func(m uthread.Message) bool {
+		w, ok := m.Data.(uint64)
+		return m.Kind == core.MsgBufferWake && ok && w == tok
+	}
+	for {
+		m := t.ReceiveMatch(func(m uthread.Message) bool {
+			return isWake(m) || events.IsControl(m)
+		})
+		if isWake(m) {
+			b.deregister(tok)
+			return nil
+		}
+		t.DispatchControl(m)
+		if ctx.Stopping() {
+			if !b.deregister(tok) {
+				// A wake was already posted; consume it so it cannot
+				// confuse a later wait.
+				t.TryReceive(isWake)
+			}
+			return core.ErrStopped
+		}
+	}
+}
+
+// registerLocked adds the thread to a waiter list and returns its token.
+func (b *BoundedBuffer) registerLocked(list *[]bufWaiter, t *uthread.Thread) uint64 {
+	b.nextTok++
+	*list = append(*list, bufWaiter{th: t, tok: b.nextTok})
+	return b.nextTok
+}
+
+// deregister removes the token from whichever list holds it, reporting
+// whether it was still registered (false means a wake is in flight).
+func (b *BoundedBuffer) deregister(tok uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, list := range []*[]bufWaiter{&b.itemWaiters, &b.spaceWaiters} {
+		for i, w := range *list {
+			if w.tok == tok {
+				*list = append((*list)[:i], (*list)[i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// wakeOneLocked pops the first waiter and posts its wake message.
+func (b *BoundedBuffer) wakeOneLocked(list *[]bufWaiter) {
+	if len(*list) == 0 {
+		return
+	}
+	w := (*list)[0]
+	*list = (*list)[1:]
+	postWake(b.sched, w)
+}
+
+func postWake(sched *uthread.Scheduler, w bufWaiter) {
+	if sched == nil {
+		return
+	}
+	sched.Post(w.th, uthread.Message{
+		Kind:       core.MsgBufferWake,
+		Data:       w.tok,
+		Constraint: uthread.At(uthread.PriorityHigh),
+	})
+}

@@ -1,0 +1,121 @@
+// Package pipes provides the standard Infopipe components of §2.1: pumps,
+// buffers, filters, transformers, the paper's defragmenter/fragmenter
+// running example in every activity style, tees, sources and sinks.
+// Application developers combine these with their own flow-specific
+// components.
+package pipes
+
+import (
+	"sync"
+	"time"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/uthread"
+)
+
+// TimedPump implements the pump families of §3.1.  It hides all thread
+// creation and scheduler interaction: the programmer chooses the timing
+// policy by choosing the pump and setting its rate.
+type TimedPump struct {
+	name  string
+	class core.PumpClass
+	prio  uthread.Priority
+
+	mu     sync.Mutex
+	period time.Duration
+	nextAt time.Time
+}
+
+var _ core.Pump = (*TimedPump)(nil)
+
+// NewClockedPump returns a clock-driven pump running at rate cycles per
+// second (§3.1: "clock driven pumps typically operate at a constant rate").
+// A rate of 30 gives the 30 Hz video pump of the paper's player example.
+func NewClockedPump(name string, rate float64) *TimedPump {
+	return &TimedPump{name: name, class: core.ClockDriven, prio: uthread.PriorityNormal, period: periodOf(rate)}
+}
+
+// NewClockedPumpPrio is NewClockedPump with an explicit scheduling priority
+// for time-critical sections (§3.2: audio outranks video decoding).
+func NewClockedPumpPrio(name string, rate float64, prio uthread.Priority) *TimedPump {
+	return &TimedPump{name: name, class: core.ClockDriven, prio: prio, period: periodOf(rate)}
+}
+
+// NewFreePump returns a free-running pump: it "does not limit its rate at
+// all and relies on buffers to block the thread when a buffer is full or
+// empty" (§3.1).
+func NewFreePump(name string) *TimedPump {
+	return &TimedPump{name: name, class: core.FreeRunning, prio: uthread.PriorityNormal}
+}
+
+// NewAdaptivePump returns a pump whose rate is adjusted at run time by
+// feedback (rate-change control events), the §3.1 class used on the
+// producer node of distributed pipelines to compensate drift and network
+// variation.
+func NewAdaptivePump(name string, initialRate float64) *TimedPump {
+	return &TimedPump{name: name, class: core.Adaptive, prio: uthread.PriorityNormal, period: periodOf(initialRate)}
+}
+
+func periodOf(rate float64) time.Duration {
+	if rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(time.Second) / rate)
+}
+
+// Name implements core.Pump.
+func (p *TimedPump) Name() string { return p.name }
+
+// Class implements core.Pump.
+func (p *TimedPump) Class() core.PumpClass { return p.class }
+
+// Priority implements core.Pump.
+func (p *TimedPump) Priority() uthread.Priority { return p.prio }
+
+// Next implements core.Pump: deadlines advance by one period per cycle from
+// the first observation, so a delayed cycle is followed by catch-up rather
+// than drift.  The engine calls Next once per cycle.
+func (p *TimedPump) Next(now time.Time, cycle int64) time.Time {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.period == 0 {
+		return now // free-running
+	}
+	if p.nextAt.IsZero() {
+		p.nextAt = now
+	}
+	deadline := p.nextAt
+	p.nextAt = deadline.Add(p.period)
+	return deadline
+}
+
+// SetRate changes the pump rate (cycles per second).  Safe from any thread;
+// feedback actuators and rate-change events use it.
+func (p *TimedPump) SetRate(rate float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.period = periodOf(rate)
+	p.nextAt = time.Time{} // re-anchor at the next cycle
+}
+
+// Rate reports the current rate in cycles per second (0 = unlimited).
+func (p *TimedPump) Rate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.period == 0 {
+		return 0
+	}
+	return float64(time.Second) / float64(p.period)
+}
+
+// HandleEvent implements core.Pump: rate-change events carry the new rate
+// in events per second as a float64.
+func (p *TimedPump) HandleEvent(ev events.Event) {
+	if ev.Type != events.RateChange {
+		return
+	}
+	if rate, ok := ev.Data.(float64); ok && rate > 0 {
+		p.SetRate(rate)
+	}
+}

@@ -1,0 +1,317 @@
+package pipes
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/item"
+	"infopipes/internal/typespec"
+	"infopipes/internal/uthread"
+)
+
+func nsToDuration(ns int64) time.Duration { return time.Duration(ns) }
+
+// This file implements the multi-port components of §2.1/§3.3: tees for
+// splitting and merging information flows.  Multi-port components bridge
+// several linear pipelines.  Following the paper's rule that only one
+// passive port is allowed in a non-buffering component, the splitting tees
+// here buffer internally: the tee is the sink of its trunk pipeline, and
+// each output is a passive source feeding a branch pipeline.
+
+// CopyTee is the multicast splitter: every incoming item is copied to each
+// output (§2.1 "copying items to each output (multicast)").
+type CopyTee struct {
+	core.Base
+	outs []*BoundedBuffer
+}
+
+var (
+	_ core.Consumer = (*CopyTee)(nil)
+	_ core.EOSSink  = (*CopyTee)(nil)
+)
+
+// NewCopyTee builds a splitter with n outputs backed by buffers of the
+// given capacity and blocking policies.
+func NewCopyTee(name string, n, capacity int, push, pull typespec.BlockPolicy) *CopyTee {
+	t := &CopyTee{Base: core.Base{CompName: name}}
+	for i := 0; i < n; i++ {
+		t.outs = append(t.outs, NewBufferPolicy(fmt.Sprintf("%s.out%d", name, i), capacity, push, pull))
+	}
+	return t
+}
+
+// BindScheduler forwards the scheduler binding to the internal buffers.
+func (t *CopyTee) BindScheduler(s *uthread.Scheduler) {
+	for _, b := range t.outs {
+		b.BindScheduler(s)
+	}
+}
+
+// Style implements core.Component.
+func (t *CopyTee) Style() core.Style { return core.StyleConsumer }
+
+// Push implements core.Consumer: clones the item into every output buffer.
+func (t *CopyTee) Push(ctx *core.Ctx, it *item.Item) error {
+	for _, b := range t.outs {
+		if err := b.Insert(ctx, it.Clone()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HandleEOS implements core.EOSSink: end of the trunk stream closes every
+// branch buffer, so branch pipelines drain and end too.
+func (t *CopyTee) HandleEOS(*core.Ctx) {
+	for _, b := range t.outs {
+		b.CloseUpstream()
+	}
+}
+
+// HandleEvent implements core.Component: a stop event also releases the
+// branches, since the trunk will produce nothing further.
+func (t *CopyTee) HandleEvent(_ *core.Ctx, ev events.Event) {
+	if ev.Type == events.Stop {
+		t.HandleEOS(nil)
+	}
+}
+
+// Out returns the i-th output as a passive source component for a branch
+// pipeline.
+func (t *CopyTee) Out(i int) *BufferSource {
+	return NewBufferSource(fmt.Sprintf("%s.src%d", t.Name(), i), t.outs[i])
+}
+
+// OutBuffer exposes the i-th internal buffer (fill-level sensors).
+func (t *CopyTee) OutBuffer(i int) *BoundedBuffer { return t.outs[i] }
+
+// RouteTee is the routing splitter: each item is sent to the output chosen
+// by the selector (§2.1 "selecting an output for each item (routing)").
+// Per §3.3 the value-routing switch can only work in push style — this type
+// is a consumer and the planner will never drive it by pull without glue.
+type RouteTee struct {
+	core.Base
+	selector func(it *item.Item) int
+	outs     []*BoundedBuffer
+	misses   int64
+}
+
+var (
+	_ core.Consumer = (*RouteTee)(nil)
+	_ core.EOSSink  = (*RouteTee)(nil)
+)
+
+// NewRouteTee builds a routing splitter; selector returns the output index
+// for each item (out-of-range selections are dropped).
+func NewRouteTee(name string, n, capacity int, push, pull typespec.BlockPolicy,
+	selector func(it *item.Item) int) *RouteTee {
+	t := &RouteTee{Base: core.Base{CompName: name}, selector: selector}
+	for i := 0; i < n; i++ {
+		t.outs = append(t.outs, NewBufferPolicy(fmt.Sprintf("%s.out%d", name, i), capacity, push, pull))
+	}
+	return t
+}
+
+// BindScheduler forwards the scheduler binding to the internal buffers.
+func (t *RouteTee) BindScheduler(s *uthread.Scheduler) {
+	for _, b := range t.outs {
+		b.BindScheduler(s)
+	}
+}
+
+// Style implements core.Component.
+func (t *RouteTee) Style() core.Style { return core.StyleConsumer }
+
+// Wrappable implements core.Component: the value-routing switch cannot be
+// glued into pull mode — "this component could not work in push-style"
+// holds dually here: a pull-driven value switch would need unbounded
+// implicit buffering (§3.3), so the middleware refuses to wrap it.
+func (t *RouteTee) Wrappable() bool { return false }
+
+// Push implements core.Consumer.
+func (t *RouteTee) Push(ctx *core.Ctx, it *item.Item) error {
+	i := t.selector(it)
+	if i < 0 || i >= len(t.outs) {
+		t.misses++
+		return nil
+	}
+	return t.outs[i].Insert(ctx, it)
+}
+
+// HandleEOS implements core.EOSSink.
+func (t *RouteTee) HandleEOS(*core.Ctx) {
+	for _, b := range t.outs {
+		b.CloseUpstream()
+	}
+}
+
+// HandleEvent implements core.Component.
+func (t *RouteTee) HandleEvent(_ *core.Ctx, ev events.Event) {
+	if ev.Type == events.Stop {
+		t.HandleEOS(nil)
+	}
+}
+
+// Out returns the i-th output as a passive source for a branch pipeline.
+func (t *RouteTee) Out(i int) *BufferSource {
+	return NewBufferSource(fmt.Sprintf("%s.src%d", t.Name(), i), t.outs[i])
+}
+
+// OutBuffer exposes the i-th internal buffer.
+func (t *RouteTee) OutBuffer(i int) *BoundedBuffer { return t.outs[i] }
+
+// MergeTee passes items from several inputs to one output in arrival order
+// (§2.1 "pass on information to the output in the order in which it
+// arrives at any input").  Each input is the sink of a trunk pipeline; the
+// single output is a passive source for the downstream pipeline.
+type MergeTee struct {
+	core.Base
+	out *BoundedBuffer
+
+	mu   sync.Mutex
+	open int
+}
+
+// NewMergeTee builds a merger for n inputs with an internal buffer of the
+// given capacity.
+func NewMergeTee(name string, n, capacity int, push, pull typespec.BlockPolicy) *MergeTee {
+	return &MergeTee{
+		Base: core.Base{CompName: name},
+		out:  NewBufferPolicy(name+".out", capacity, push, pull),
+		open: n,
+	}
+}
+
+// BindScheduler forwards the scheduler binding to the internal buffer.
+func (t *MergeTee) BindScheduler(s *uthread.Scheduler) { t.out.BindScheduler(s) }
+
+// In returns the i-th input as a sink component for a trunk pipeline.
+func (t *MergeTee) In(i int) *MergeIn {
+	return &MergeIn{Base: core.Base{CompName: fmt.Sprintf("%s.in%d", t.Name(), i)}, tee: t}
+}
+
+// Out returns the merged output as a passive source for the downstream
+// pipeline.
+func (t *MergeTee) Out() *BufferSource { return NewBufferSource(t.Name()+".src", t.out) }
+
+// OutBuffer exposes the internal buffer.
+func (t *MergeTee) OutBuffer() *BoundedBuffer { return t.out }
+
+// inputDone records the end of one trunk; the merged stream ends when all
+// trunks have ended.
+func (t *MergeTee) inputDone() {
+	t.mu.Lock()
+	t.open--
+	closeNow := t.open == 0
+	t.mu.Unlock()
+	if closeNow {
+		t.out.CloseUpstream()
+	}
+}
+
+// MergeIn is one input port of a MergeTee, used as a trunk pipeline's sink.
+type MergeIn struct {
+	core.Base
+	tee *MergeTee
+}
+
+var (
+	_ core.Consumer = (*MergeIn)(nil)
+	_ core.EOSSink  = (*MergeIn)(nil)
+)
+
+// Style implements core.Component.
+func (m *MergeIn) Style() core.Style { return core.StyleConsumer }
+
+// Push implements core.Consumer.
+func (m *MergeIn) Push(ctx *core.Ctx, it *item.Item) error {
+	return m.tee.out.Insert(ctx, it)
+}
+
+// HandleEOS implements core.EOSSink.
+func (m *MergeIn) HandleEOS(*core.Ctx) { m.tee.inputDone() }
+
+// HandleEvent implements core.Component.
+func (m *MergeIn) HandleEvent(_ *core.Ctx, ev events.Event) {
+	if ev.Type == events.Stop {
+		m.tee.inputDone()
+	}
+}
+
+// BufferSource adapts a BoundedBuffer's passive pull end into a
+// producer-style source component, used to start branch pipelines at tee
+// outputs and netpipe receivers.
+type BufferSource struct {
+	core.Base
+	buf *BoundedBuffer
+}
+
+var _ core.Producer = (*BufferSource)(nil)
+
+// NewBufferSource wraps buf as a source.
+func NewBufferSource(name string, buf *BoundedBuffer) *BufferSource {
+	return &BufferSource{Base: core.Base{CompName: name}, buf: buf}
+}
+
+// BindScheduler forwards the scheduler binding to the buffer.
+func (s *BufferSource) BindScheduler(sch *uthread.Scheduler) { s.buf.BindScheduler(sch) }
+
+// Style implements core.Component.
+func (s *BufferSource) Style() core.Style { return core.StyleProducer }
+
+// Pull implements core.Producer.
+func (s *BufferSource) Pull(ctx *core.Ctx) (*item.Item, error) { return s.buf.Remove(ctx) }
+
+// Buffer exposes the backing buffer.
+func (s *BufferSource) Buffer() *BoundedBuffer { return s.buf }
+
+// PullSwitch is the activity-routing switch of §3.3: a pull on either
+// out-port triggers an upstream pull and returns the item to the caller.
+// Both out-ports are passive and the in-port is active; "this component
+// could not work in push-style".  The upstream is a shared passive pull
+// function (typically a buffer or a passive source chain).
+//
+// Mutual exclusion between the out-ports comes from the user-level thread
+// model itself: all callers are threads of one scheduler and only one runs
+// at a time, so the upstream pull is never entered concurrently.  A lock
+// held across the (possibly blocking) upstream call would stall the whole
+// scheduler and must not be added.
+type PullSwitch struct {
+	name     string
+	upstream func(ctx *core.Ctx) (*item.Item, error)
+}
+
+// NewPullSwitch builds an activity-routing switch over the given upstream.
+func NewPullSwitch(name string, upstream func(ctx *core.Ctx) (*item.Item, error)) *PullSwitch {
+	return &PullSwitch{name: name, upstream: upstream}
+}
+
+// Out returns the i-th passive out-port as a source component.
+func (s *PullSwitch) Out(i int) *PullSwitchOut {
+	return &PullSwitchOut{Base: core.Base{CompName: fmt.Sprintf("%s.out%d", s.name, i)}, sw: s}
+}
+
+// pull forwards one upstream pull.
+func (s *PullSwitch) pull(ctx *core.Ctx) (*item.Item, error) {
+	return s.upstream(ctx)
+}
+
+// PullSwitchOut is one passive out-port of a PullSwitch.
+type PullSwitchOut struct {
+	core.Base
+	sw *PullSwitch
+}
+
+var _ core.Producer = (*PullSwitchOut)(nil)
+
+// Style implements core.Component.
+func (o *PullSwitchOut) Style() core.Style { return core.StyleProducer }
+
+// Wrappable implements core.Component: the out-ports must stay passive.
+func (o *PullSwitchOut) Wrappable() bool { return false }
+
+// Pull implements core.Producer.
+func (o *PullSwitchOut) Pull(ctx *core.Ctx) (*item.Item, error) { return o.sw.pull(ctx) }

@@ -1,0 +1,341 @@
+// Package remote implements the distribution support of §2.4 beyond data
+// transport: protocols and factories for the creation of remote Infopipe
+// components, remote Typespec queries, and delivery of control events to
+// remote components through the platform.
+//
+// A Node hosts a scheduler, an event bus and a registry of component
+// factories; it serves a small gob-encoded control protocol over TCP.  A
+// Client composes pipelines from stage specifications on a remote node,
+// starts and stops them, queries resolved Typespecs, and injects control
+// events into the remote bus.
+package remote
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/typespec"
+	"infopipes/internal/uthread"
+)
+
+// StageSpec describes one stage of a remote pipeline: the factory kind,
+// the stage name, and factory-specific parameters.
+type StageSpec struct {
+	Kind   string
+	Name   string
+	Params map[string]string
+}
+
+// Factory builds a stage from a spec.  Factories are registered per node.
+type Factory func(name string, params map[string]string) (core.Stage, error)
+
+// ErrUnknownFactory is returned when a spec names an unregistered kind.
+var ErrUnknownFactory = errors.New("remote: unknown component factory")
+
+// ErrUnknownPipeline is returned for operations on unknown pipeline names.
+var ErrUnknownPipeline = errors.New("remote: unknown pipeline")
+
+// Node hosts remotely composable pipelines.
+type Node struct {
+	name  string
+	sched *uthread.Scheduler
+	bus   *events.Bus
+
+	mu        sync.Mutex
+	factories map[string]Factory
+	pipelines map[string]*core.Pipeline
+	ln        net.Listener
+	closed    bool
+	conns     map[net.Conn]struct{}
+	wg        sync.WaitGroup
+}
+
+// NewNode creates a node over the given scheduler and bus.
+func NewNode(name string, sched *uthread.Scheduler, bus *events.Bus) *Node {
+	return &Node{
+		name:      name,
+		sched:     sched,
+		bus:       bus,
+		factories: make(map[string]Factory),
+		pipelines: make(map[string]*core.Pipeline),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Name returns the node name (the Typespec location of its pipelines).
+func (n *Node) Name() string { return n.name }
+
+// Bus returns the node's event bus.
+func (n *Node) Bus() *events.Bus { return n.bus }
+
+// Scheduler returns the node's scheduler.
+func (n *Node) Scheduler() *uthread.Scheduler { return n.sched }
+
+// RegisterFactory adds a component factory under kind.
+func (n *Node) RegisterFactory(kind string, f Factory) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.factories[kind] = f
+}
+
+// Pipeline returns a locally hosted pipeline by name.
+func (n *Node) Pipeline(name string) (*core.Pipeline, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.pipelines[name]
+	return p, ok
+}
+
+// Serve starts the control server on addr ("host:0" picks a port) and
+// returns the bound address.  The server runs until Close.
+func (n *Node) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("remote: node %s listen: %w", n.name, err)
+	}
+	n.mu.Lock()
+	n.ln = ln
+	n.mu.Unlock()
+	// While serving, remote clients can compose and post at any time, so
+	// the node's scheduler must idle rather than drain.
+	n.sched.AddExternalSource()
+	n.wg.Add(1)
+	go n.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (n *Node) acceptLoop(ln net.Listener) {
+	defer n.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.conns[conn] = struct{}{}
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.serveConn(conn)
+	}
+}
+
+// Close shuts the control server down and waits for connection handlers.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	ln := n.ln
+	for c := range n.conns {
+		c.Close()
+	}
+	n.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+		n.sched.ReleaseExternalSource()
+	}
+	n.wg.Wait()
+}
+
+// Wire protocol.
+type request struct {
+	Op         string // compose | start | stop | query | event | ping
+	Pipeline   string
+	Stages     []StageSpec
+	StageIndex int
+	Event      events.Event
+}
+
+type response struct {
+	Err  string
+	Spec typespec.Typespec
+	Node string
+}
+
+func (n *Node) serveConn(conn net.Conn) {
+	defer n.wg.Done()
+	defer func() {
+		n.mu.Lock()
+		delete(n.conns, conn)
+		n.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := n.handle(req)
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+func (n *Node) handle(req request) response {
+	switch req.Op {
+	case "ping":
+		return response{Node: n.name}
+	case "compose":
+		if err := n.compose(req.Pipeline, req.Stages); err != nil {
+			return response{Err: err.Error()}
+		}
+		return response{Node: n.name}
+	case "start", "stop":
+		p, ok := n.Pipeline(req.Pipeline)
+		if !ok {
+			return response{Err: ErrUnknownPipeline.Error()}
+		}
+		if req.Op == "start" {
+			p.Start()
+		} else {
+			p.Stop()
+		}
+		return response{}
+	case "query":
+		p, ok := n.Pipeline(req.Pipeline)
+		if !ok {
+			return response{Err: ErrUnknownPipeline.Error()}
+		}
+		return response{Spec: p.SpecAt(req.StageIndex), Node: n.name}
+	case "event":
+		n.bus.Broadcast(req.Event)
+		return response{}
+	default:
+		return response{Err: fmt.Sprintf("remote: unknown op %q", req.Op)}
+	}
+}
+
+// compose builds a pipeline from stage specs via the factory registry.
+func (n *Node) compose(name string, specs []StageSpec) error {
+	stages := make([]core.Stage, 0, len(specs))
+	n.mu.Lock()
+	factories := n.factories
+	n.mu.Unlock()
+	for _, sp := range specs {
+		f, ok := factories[sp.Kind]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownFactory, sp.Kind)
+		}
+		st, err := f(sp.Name, sp.Params)
+		if err != nil {
+			return fmt.Errorf("remote: factory %q: %w", sp.Kind, err)
+		}
+		stages = append(stages, st)
+	}
+	p, err := core.Compose(name, n.sched, n.bus, stages)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.pipelines == nil {
+		n.pipelines = make(map[string]*core.Pipeline)
+	}
+	if _, dup := n.pipelines[name]; dup {
+		return fmt.Errorf("remote: pipeline %q already exists", name)
+	}
+	n.pipelines[name] = p
+	return nil
+}
+
+// Client drives a remote node.  Not safe for concurrent use; open one
+// client per goroutine.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial connects to a node's control address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+// Close releases the control connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) call(req request) (response, error) {
+	if err := c.enc.Encode(&req); err != nil {
+		return response{}, fmt.Errorf("remote: send: %w", err)
+	}
+	var resp response
+	if err := c.dec.Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("remote: receive: %w", err)
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Ping checks liveness and returns the node name.
+func (c *Client) Ping() (string, error) {
+	resp, err := c.call(request{Op: "ping"})
+	return resp.Node, err
+}
+
+// Compose creates a pipeline on the remote node from stage specs.
+func (c *Client) Compose(pipeline string, stages []StageSpec) error {
+	_, err := c.call(request{Op: "compose", Pipeline: pipeline, Stages: stages})
+	return err
+}
+
+// Start broadcasts the start of a remote pipeline.
+func (c *Client) Start(pipeline string) error {
+	_, err := c.call(request{Op: "start", Pipeline: pipeline})
+	return err
+}
+
+// Stop broadcasts the stop of a remote pipeline.
+func (c *Client) Stop(pipeline string) error {
+	_, err := c.call(request{Op: "stop", Pipeline: pipeline})
+	return err
+}
+
+// QuerySpec fetches the resolved Typespec after stage idx of a remote
+// pipeline (remote Typespec query, §2.4).
+func (c *Client) QuerySpec(pipeline string, idx int) (typespec.Typespec, error) {
+	resp, err := c.call(request{Op: "query", Pipeline: pipeline, StageIndex: idx})
+	return resp.Spec, err
+}
+
+// SendEvent injects a control event into the remote node's bus (remote
+// control-event delivery, §2.4).  Event data must be gob-encodable;
+// register custom types with gob.Register.
+func (c *Client) SendEvent(ev events.Event) error {
+	_, err := c.call(request{Op: "event", Event: ev})
+	return err
+}
+
+// ForwardEvents subscribes to a local bus and forwards events accepted by
+// filter to the remote node — the bridge that delivers feedback-sensor
+// reports from consumer to producer nodes (§2.4, §3.1).  It returns the
+// subscription for later removal.  Forwarded events keep their Origin, so
+// a filter on Origin prevents reflection loops in bidirectional bridges.
+func ForwardEvents(local *events.Bus, c *Client, filter func(events.Event) bool) events.Subscription {
+	return local.SubscribeFunc(func(ev events.Event) {
+		if filter != nil && !filter(ev) {
+			return
+		}
+		_ = c.SendEvent(ev) // best-effort, like any control path
+	})
+}

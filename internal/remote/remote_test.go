@@ -1,0 +1,263 @@
+package remote_test
+
+import (
+	"errors"
+	"strconv"
+	"testing"
+	"time"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/pipes"
+	"infopipes/internal/remote"
+	"infopipes/internal/typespec"
+	"infopipes/internal/uthread"
+	"infopipes/internal/vclock"
+)
+
+// newTestNode builds a node with the standard factory set used by tests.
+func newTestNode(t *testing.T, name string) (*remote.Node, *pipes.CollectSink, string) {
+	t.Helper()
+	sched := uthread.New(uthread.WithClock(vclock.Real{}))
+	bus := &events.Bus{}
+	node := remote.NewNode(name, sched, bus)
+	sink := pipes.NewCollectSink("sink")
+	node.RegisterFactory("counter-source", func(n string, params map[string]string) (core.Stage, error) {
+		limit, err := strconv.ParseInt(params["limit"], 10, 64)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		return core.Comp(pipes.NewCounterSource(n, limit)), nil
+	})
+	node.RegisterFactory("free-pump", func(n string, _ map[string]string) (core.Stage, error) {
+		return core.Pmp(pipes.NewFreePump(n)), nil
+	})
+	node.RegisterFactory("collect-sink", func(n string, _ map[string]string) (core.Stage, error) {
+		return core.Comp(sink), nil
+	})
+	addr, err := node.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	t.Cleanup(node.Close)
+	return node, sink, addr
+}
+
+func TestRemotePing(t *testing.T) {
+	_, _, addr := newTestNode(t, "nodeA")
+	c, err := remote.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	name, err := c.Ping()
+	if err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if name != "nodeA" {
+		t.Fatalf("ping name = %q, want nodeA", name)
+	}
+}
+
+func TestRemoteComposeStartAndQuery(t *testing.T) {
+	node, sink, addr := newTestNode(t, "nodeA")
+	done := node.Scheduler().RunBackground()
+
+	c, err := remote.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	specs := []remote.StageSpec{
+		{Kind: "counter-source", Name: "src", Params: map[string]string{"limit": "12"}},
+		{Kind: "free-pump", Name: "pump"},
+		{Kind: "collect-sink", Name: "sink"},
+	}
+	if err := c.Compose("player", specs); err != nil {
+		t.Fatalf("remote compose: %v", err)
+	}
+
+	// Remote Typespec query (§2.4).
+	spec, err := c.QuerySpec("player", 0)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if spec.ItemType != "test/counter" {
+		t.Errorf("remote spec item type = %q, want test/counter", spec.ItemType)
+	}
+
+	if err := c.Start("player"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	p, ok := node.Pipeline("player")
+	if !ok {
+		t.Fatal("pipeline not registered on node")
+	}
+	select {
+	case <-p.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("remote pipeline did not finish")
+	}
+	if got := sink.Count(); got != 12 {
+		t.Fatalf("sink received %d items, want 12", got)
+	}
+	node.Scheduler().Stop()
+	<-done
+}
+
+func TestRemoteComposeUnknownFactory(t *testing.T) {
+	_, _, addr := newTestNode(t, "nodeA")
+	c, err := remote.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	err = c.Compose("x", []remote.StageSpec{{Kind: "nonsense", Name: "n"}})
+	if err == nil {
+		t.Fatal("compose with unknown factory succeeded")
+	}
+}
+
+func TestRemoteUnknownPipelineOps(t *testing.T) {
+	_, _, addr := newTestNode(t, "nodeA")
+	c, err := remote.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Start("ghost"); err == nil {
+		t.Error("start of unknown pipeline succeeded")
+	}
+	if _, err := c.QuerySpec("ghost", 0); err == nil {
+		t.Error("query of unknown pipeline succeeded")
+	}
+}
+
+func TestRemoteEventDelivery(t *testing.T) {
+	// Control events are delivered to remote components through the
+	// platform (§2.4): stop a remote pipeline via an injected event.
+	node, sink, addr := newTestNode(t, "nodeA")
+	done := node.Scheduler().RunBackground()
+	c, err := remote.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	specs := []remote.StageSpec{
+		{Kind: "counter-source", Name: "src", Params: map[string]string{"limit": "0"}}, // unbounded
+		{Kind: "free-pump", Name: "pump"},
+		{Kind: "collect-sink", Name: "sink"},
+	}
+	if err := c.Compose("endless", specs); err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	if err := c.Start("endless"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := c.SendEvent(events.Event{Type: events.Stop}); err != nil {
+		t.Fatalf("send event: %v", err)
+	}
+	p, _ := node.Pipeline("endless")
+	select {
+	case <-p.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("remote stop event did not end the pipeline")
+	}
+	if sink.Count() == 0 {
+		t.Error("pipeline never flowed before stop")
+	}
+	node.Scheduler().Stop()
+	<-done
+}
+
+func TestForwardEventsBridge(t *testing.T) {
+	node, _, addr := newTestNode(t, "nodeB")
+	done := node.Scheduler().RunBackground()
+	c, err := remote.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+
+	local := &events.Bus{}
+	received := make(chan events.Event, 4)
+	node.Bus().SubscribeFunc(func(ev events.Event) { received <- ev })
+
+	sub := remote.ForwardEvents(local, c, func(ev events.Event) bool {
+		return ev.Type == events.QoSReport
+	})
+	defer local.Unsubscribe(sub)
+
+	local.Broadcast(events.Event{Type: events.QoSReport, Origin: "sensor"})
+	local.Broadcast(events.Event{Type: events.Resize}) // filtered out
+
+	select {
+	case ev := <-received:
+		if ev.Type != events.QoSReport || ev.Origin != "sensor" {
+			t.Fatalf("forwarded event %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event not forwarded")
+	}
+	select {
+	case ev := <-received:
+		t.Fatalf("unexpected second event %+v (filter leaked)", ev)
+	case <-time.After(50 * time.Millisecond):
+	}
+	node.Scheduler().Stop()
+	if err := <-done; err != nil && !errors.Is(err, uthread.ErrDeadlock) {
+		t.Fatalf("scheduler: %v", err)
+	}
+}
+
+func TestTypespecGobRoundTripViaQuery(t *testing.T) {
+	// QoS ranges with infinities survive the wire encoding.
+	sched := uthread.New(uthread.WithClock(vclock.Real{}))
+	node := remote.NewNode("nodeC", sched, &events.Bus{})
+	node.RegisterFactory("spec-source", func(n string, _ map[string]string) (core.Stage, error) {
+		spec := typespec.New("video/frames").
+			WithQoS("rate", typespec.Between(10, 60)).
+			WithQoS("latency", typespec.AtMost(0.5))
+		return core.Comp(pipes.NewGeneratorSource(n, spec, 1, nil)), nil
+	})
+	node.RegisterFactory("free-pump", func(n string, _ map[string]string) (core.Stage, error) {
+		return core.Pmp(pipes.NewFreePump(n)), nil
+	})
+	node.RegisterFactory("null-sink", func(n string, _ map[string]string) (core.Stage, error) {
+		return core.Comp(pipes.NullSink(n)), nil
+	})
+	addr, err := node.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	defer node.Close()
+	c, err := remote.Dial(addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	if err := c.Compose("q", []remote.StageSpec{
+		{Kind: "spec-source", Name: "src"},
+		{Kind: "free-pump", Name: "p"},
+		{Kind: "null-sink", Name: "sink"},
+	}); err != nil {
+		t.Fatalf("compose: %v", err)
+	}
+	spec, err := c.QuerySpec("q", 0)
+	if err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if got := spec.QoSRange("rate"); got.Lo != 10 || got.Hi != 60 {
+		t.Errorf("rate range = %v", got)
+	}
+	if got := spec.QoSRange("latency"); got.Hi != 0.5 {
+		t.Errorf("latency range = %v", got)
+	}
+	// An absent QoS key is unconstrained after the round trip too.
+	if got := spec.QoSRange("jitter"); !got.ContainsRange(typespec.Between(-1e300, 1e300)) {
+		t.Errorf("jitter range = %v, want unconstrained", got)
+	}
+	sched.Stop()
+}

@@ -1,0 +1,236 @@
+// Package trace provides the lightweight instrumentation used by the
+// Infopipe runtime and by the experiment harness: monotonic counters
+// (context switches, direct calls, drops), latency/jitter statistics, and
+// throughput meters.  All types are safe for concurrent use.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter.
+// The zero value is ready to use.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta to the counter.  Negative deltas are ignored so that the
+// counter remains monotonic.
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.n.Add(delta)
+	}
+}
+
+// Value reports the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Reset returns the counter to zero.  Intended for benchmark loops that
+// measure deltas between phases.
+func (c *Counter) Reset() { c.n.Store(0) }
+
+// Gauge is a settable instantaneous value (e.g. buffer fill level).
+// The zero value is ready to use.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v as the current value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value reports the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Series accumulates a stream of sampled values and computes summary
+// statistics.  The zero value is ready to use.
+type Series struct {
+	mu      sync.Mutex
+	samples []float64
+	sum     float64
+	sumSq   float64
+	min     float64
+	max     float64
+}
+
+// Observe records one sample.
+func (s *Series) Observe(v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		s.min, s.max = v, v
+	} else {
+		s.min = math.Min(s.min, v)
+		s.max = math.Max(s.max, v)
+	}
+	s.samples = append(s.samples, v)
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// ObserveDuration records a duration sample in seconds.
+func (s *Series) ObserveDuration(d time.Duration) {
+	s.Observe(d.Seconds())
+}
+
+// Count reports the number of samples observed.
+func (s *Series) Count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.samples)
+}
+
+// Mean reports the arithmetic mean of the samples, or 0 with no samples.
+func (s *Series) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	return s.sum / float64(len(s.samples))
+}
+
+// StdDev reports the population standard deviation, or 0 with <2 samples.
+func (s *Series) StdDev() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := float64(len(s.samples))
+	if n < 2 {
+		return 0
+	}
+	mean := s.sum / n
+	variance := s.sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // numerical noise
+	}
+	return math.Sqrt(variance)
+}
+
+// Min reports the smallest sample, or 0 with no samples.
+func (s *Series) Min() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.min
+}
+
+// Max reports the largest sample, or 0 with no samples.
+func (s *Series) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max
+}
+
+// Percentile reports the p-th percentile (0 <= p <= 100) using
+// nearest-rank on a sorted copy, or 0 with no samples.
+func (s *Series) Percentile(p float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(s.samples))
+	copy(sorted, s.samples)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Jitter reports the mean absolute difference between consecutive samples.
+// This is the inter-arrival jitter metric used by the display sink (E10).
+func (s *Series) Jitter() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.samples) < 2 {
+		return 0
+	}
+	var total float64
+	for i := 1; i < len(s.samples); i++ {
+		total += math.Abs(s.samples[i] - s.samples[i-1])
+	}
+	return total / float64(len(s.samples)-1)
+}
+
+// Snapshot returns a copy of the raw samples.
+func (s *Series) Snapshot() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]float64, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// Reset discards all samples.
+func (s *Series) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.samples = s.samples[:0]
+	s.sum, s.sumSq, s.min, s.max = 0, 0, 0, 0
+}
+
+// String summarises the series for experiment reports.
+func (s *Series) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g",
+		s.Count(), s.Mean(), s.StdDev(), s.Min(), s.Max())
+}
+
+// Meter measures event throughput over a time base supplied by the caller
+// (virtual or real).  The zero value is not usable; construct with NewMeter.
+type Meter struct {
+	mu    sync.Mutex
+	start time.Time
+	last  time.Time
+	count int64
+}
+
+// NewMeter returns a meter anchored at start.
+func NewMeter(start time.Time) *Meter {
+	return &Meter{start: start, last: start}
+}
+
+// Mark records one event at instant now.
+func (m *Meter) Mark(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.count++
+	if now.After(m.last) {
+		m.last = now
+	}
+}
+
+// Count reports the number of events recorded.
+func (m *Meter) Count() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.count
+}
+
+// Rate reports events per second between the anchor and the last mark,
+// or 0 if no time has passed.
+func (m *Meter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	elapsed := m.last.Sub(m.start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(m.count) / elapsed
+}

@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: monotonic
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	c.Reset()
+	if got := c.Value(); got != 0 {
+		t.Fatalf("Value after Reset = %d, want 0", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("Value = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("Value = %d, want 4", got)
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("Mean = %g, want 5", got)
+	}
+	if got := s.StdDev(); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("StdDev = %g, want 2", got)
+	}
+	if got := s.Min(); got != 2 {
+		t.Fatalf("Min = %g, want 2", got)
+	}
+	if got := s.Max(); got != 9 {
+		t.Fatalf("Max = %g, want 9", got)
+	}
+}
+
+func TestSeriesPercentile(t *testing.T) {
+	var s Series
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	cases := []struct {
+		p    float64
+		want float64
+	}{{0, 1}, {50, 50}, {95, 95}, {100, 100}}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}
+
+func TestSeriesJitter(t *testing.T) {
+	var s Series
+	// Perfectly periodic: jitter 0.
+	for i := 0; i < 5; i++ {
+		s.Observe(1.0)
+	}
+	if got := s.Jitter(); got != 0 {
+		t.Fatalf("Jitter = %g, want 0", got)
+	}
+	s.Reset()
+	s.Observe(1)
+	s.Observe(3)
+	s.Observe(1)
+	if got := s.Jitter(); got != 2 {
+		t.Fatalf("Jitter = %g, want 2", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.StdDev() != 0 || s.Percentile(50) != 0 || s.Jitter() != 0 {
+		t.Fatal("empty series must report zeros")
+	}
+}
+
+func TestSeriesObserveDurationAndString(t *testing.T) {
+	var s Series
+	s.ObserveDuration(250 * time.Millisecond)
+	if got := s.Mean(); got != 0.25 {
+		t.Fatalf("Mean = %g, want 0.25", got)
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+	if got := s.Snapshot(); len(got) != 1 || got[0] != 0.25 {
+		t.Fatalf("Snapshot = %v", got)
+	}
+}
+
+func TestMeter(t *testing.T) {
+	start := time.Unix(0, 0)
+	m := NewMeter(start)
+	for i := 1; i <= 10; i++ {
+		m.Mark(start.Add(time.Duration(i) * time.Second))
+	}
+	if got := m.Count(); got != 10 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := m.Rate(); got != 1.0 {
+		t.Fatalf("Rate = %g, want 1.0", got)
+	}
+}
+
+func TestMeterNoTime(t *testing.T) {
+	m := NewMeter(time.Unix(0, 0))
+	m.Mark(time.Unix(0, 0))
+	if got := m.Rate(); got != 0 {
+		t.Fatalf("Rate = %g, want 0 when no time elapsed", got)
+	}
+}

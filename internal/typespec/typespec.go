@@ -1,0 +1,466 @@
+// Package typespec implements the Typespec of §2.3: the extensible
+// description of an information flow that each Infopipe port exposes and
+// transforms.  A Typespec covers the item type, the activity (polarity) of
+// ports, blocking behaviour, control-event capabilities, QoS parameter
+// ranges, and the location property that only netpipes change (§2.4).
+//
+// Typespecs are incremental: a stage does not carry one fixed Typespec but
+// transforms the Typespec at one port into Typespecs at its other ports.
+// Undefined properties mean "don't know" on the producing side and "don't
+// care" on the consuming side, so compatibility checking constrains only
+// properties defined on both sides.
+package typespec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Polarity is the activity of a port (§2.3).  A positive out-port makes
+// calls to push; a negative out-port has the ability to receive a pull.
+// A positive in-port makes calls to pull; a negative in-port is willing to
+// receive a push.  Poly is the polymorphic polarity α→α of components such
+// as filters that operate in either mode.
+type Polarity int
+
+const (
+	// Negative marks a passive port (receives push or pull).
+	Negative Polarity = iota + 1
+	// Positive marks an active port (makes push or pull calls).
+	Positive
+	// Poly marks a polymorphic port that acquires an induced polarity
+	// when its peer (or the component's other end) is fixed.
+	Poly
+)
+
+// String returns the conventional sign notation.
+func (p Polarity) String() string {
+	switch p {
+	case Negative:
+		return "-"
+	case Positive:
+		return "+"
+	case Poly:
+		return "α"
+	default:
+		return fmt.Sprintf("Polarity(%d)", int(p))
+	}
+}
+
+// Opposite returns the polarity a peer port must have.  The opposite of
+// Poly is Poly (the pair stays polymorphic until fixed elsewhere).
+func (p Polarity) Opposite() Polarity {
+	switch p {
+	case Negative:
+		return Positive
+	case Positive:
+		return Negative
+	default:
+		return Poly
+	}
+}
+
+// ErrPolarityClash is returned when two ports of the same fixed polarity are
+// connected ("an attempt to connect two ports with the same polarity is an
+// error", §2.3).
+var ErrPolarityClash = errors.New("typespec: polarity clash")
+
+// ConnectPolarity checks that an out-port of polarity out may be joined to
+// an in-port of polarity in, and returns the resolved polarity of the
+// connection: Positive means data is pushed across it, Negative means data
+// is pulled across it, Poly means still undetermined (both sides α).
+func ConnectPolarity(out, in Polarity) (Polarity, error) {
+	switch {
+	case out == Poly && in == Poly:
+		return Poly, nil
+	case out == Poly:
+		return in.Opposite(), nil
+	case in == Poly:
+		return out, nil
+	case out == in:
+		return 0, fmt.Errorf("%w: out-port %v vs in-port %v", ErrPolarityClash, out, in)
+	default:
+		// out Positive + in Negative = push connection (Positive);
+		// out Negative + in Positive = pull connection (Negative).
+		return out, nil
+	}
+}
+
+// BlockPolicy is the blocking behaviour of a data operation that cannot
+// complete immediately (§2.3): a push into a full buffer either blocks or
+// drops the item; a pull from an empty buffer either blocks or returns the
+// nil item.
+type BlockPolicy int
+
+const (
+	// Block suspends the caller until the operation can proceed.
+	Block BlockPolicy = iota + 1
+	// NonBlock drops the pushed item / returns a nil item on pull.
+	NonBlock
+)
+
+// String names the policy.
+func (b BlockPolicy) String() string {
+	switch b {
+	case Block:
+		return "block"
+	case NonBlock:
+		return "nonblock"
+	default:
+		return fmt.Sprintf("BlockPolicy(%d)", int(b))
+	}
+}
+
+// Range is a closed interval of a QoS parameter (frame rate, latency,
+// bandwidth...).  The zero value is the unconstrained full range.
+type Range struct {
+	Lo, Hi float64
+}
+
+// FullRange is the unconstrained range.
+var FullRange = Range{Lo: math.Inf(-1), Hi: math.Inf(1)}
+
+// normalised widens a zero-valued Range to FullRange, so that the zero
+// value means "don't care".
+func (r Range) normalised() Range {
+	if r == (Range{}) {
+		return FullRange
+	}
+	return r
+}
+
+// Exactly returns the degenerate range [v, v].
+func Exactly(v float64) Range { return Range{Lo: v, Hi: v} }
+
+// AtLeast returns the range [v, +inf).
+func AtLeast(v float64) Range { return Range{Lo: v, Hi: math.Inf(1)} }
+
+// AtMost returns the range (-inf, v].
+func AtMost(v float64) Range { return Range{Lo: math.Inf(-1), Hi: v} }
+
+// Between returns the range [lo, hi].
+func Between(lo, hi float64) Range { return Range{Lo: lo, Hi: hi} }
+
+// Empty reports whether the range contains no values.
+func (r Range) Empty() bool {
+	n := r.normalised()
+	return n.Lo > n.Hi
+}
+
+// Contains reports whether v lies in the range.
+func (r Range) Contains(v float64) bool {
+	n := r.normalised()
+	return v >= n.Lo && v <= n.Hi
+}
+
+// ContainsRange reports whether other lies entirely within r.
+func (r Range) ContainsRange(other Range) bool {
+	a, b := r.normalised(), other.normalised()
+	return a.Lo <= b.Lo && b.Hi <= a.Hi
+}
+
+// Intersect returns the overlap of the two ranges (possibly empty).
+func (r Range) Intersect(other Range) Range {
+	a, b := r.normalised(), other.normalised()
+	return Range{Lo: math.Max(a.Lo, b.Lo), Hi: math.Min(a.Hi, b.Hi)}
+}
+
+// String renders the range.
+func (r Range) String() string {
+	n := r.normalised()
+	return fmt.Sprintf("[%g, %g]", n.Lo, n.Hi)
+}
+
+// Typespec describes the properties of an information flow at one port.
+// The zero value is the fully undefined spec ("don't know / don't care").
+type Typespec struct {
+	// ItemType names the format of the information items ("video/frames",
+	// "bytes", "midi/events"...).  Empty means undefined.
+	ItemType string
+	// PushPolicy and PullPolicy give the blocking behaviour (§2.3).
+	// Zero means undefined.
+	PushPolicy BlockPolicy
+	PullPolicy BlockPolicy
+	// QoS maps parameter names ("rate", "latency", "jitter", "bandwidth",
+	// "width", "height"...) to supported ranges.  Absent keys are
+	// unconstrained.
+	QoS map[string]Range
+	// Props holds extensible discrete properties (codec name, byte order,
+	// colour space...).  Absent keys are undefined.
+	Props map[string]string
+	// SendsEvents and HandlesEvents list the control-event types the
+	// component emits and reacts to (§2.3): included so composition can
+	// check that the resulting pipeline is operational.
+	SendsEvents   []string
+	HandlesEvents []string
+	// Location identifies the node the flow lives on.  Only netpipes
+	// change it (§2.4).  Empty means undefined/local.
+	Location string
+}
+
+// New returns a Typespec for the given item type.
+func New(itemType string) Typespec {
+	return Typespec{ItemType: itemType}
+}
+
+// Clone returns a deep copy.
+func (ts Typespec) Clone() Typespec {
+	cp := ts
+	if ts.QoS != nil {
+		cp.QoS = make(map[string]Range, len(ts.QoS))
+		for k, v := range ts.QoS {
+			cp.QoS[k] = v
+		}
+	}
+	if ts.Props != nil {
+		cp.Props = make(map[string]string, len(ts.Props))
+		for k, v := range ts.Props {
+			cp.Props[k] = v
+		}
+	}
+	cp.SendsEvents = append([]string(nil), ts.SendsEvents...)
+	cp.HandlesEvents = append([]string(nil), ts.HandlesEvents...)
+	return cp
+}
+
+// WithQoS sets one QoS range (copy-on-write) and returns the new spec.
+func (ts Typespec) WithQoS(name string, r Range) Typespec {
+	cp := ts.Clone()
+	if cp.QoS == nil {
+		cp.QoS = make(map[string]Range, 4)
+	}
+	cp.QoS[name] = r
+	return cp
+}
+
+// WithProp sets one discrete property and returns the new spec.
+func (ts Typespec) WithProp(name, val string) Typespec {
+	cp := ts.Clone()
+	if cp.Props == nil {
+		cp.Props = make(map[string]string, 4)
+	}
+	cp.Props[name] = val
+	return cp
+}
+
+// WithLocation sets the location property and returns the new spec.
+// Reserved to netpipes by convention (§2.4).
+func (ts Typespec) WithLocation(loc string) Typespec {
+	cp := ts.Clone()
+	cp.Location = loc
+	return cp
+}
+
+// QoSRange returns the range for a QoS parameter (FullRange if absent).
+func (ts Typespec) QoSRange(name string) Range {
+	if ts.QoS == nil {
+		return FullRange
+	}
+	r, ok := ts.QoS[name]
+	if !ok {
+		return FullRange
+	}
+	return r.normalised()
+}
+
+// ErrIncompatible is wrapped by all compatibility failures.
+var ErrIncompatible = errors.New("typespec: incompatible flows")
+
+// CompatibleWith checks that a flow described by ts (an output) can feed a
+// stage that requires req (an input).  Undefined properties on either side
+// do not constrain: they mean don't-know/don't-care.  Defined properties
+// must agree: equal item types and discrete props, non-empty QoS
+// intersections, and every event the consumer requires handled must be
+// deliverable.
+func (ts Typespec) CompatibleWith(req Typespec) error {
+	if ts.ItemType != "" && req.ItemType != "" && ts.ItemType != req.ItemType {
+		return fmt.Errorf("%w: item type %q vs %q", ErrIncompatible, ts.ItemType, req.ItemType)
+	}
+	if ts.PushPolicy != 0 && req.PushPolicy != 0 && ts.PushPolicy != req.PushPolicy {
+		return fmt.Errorf("%w: push policy %v vs %v", ErrIncompatible, ts.PushPolicy, req.PushPolicy)
+	}
+	if ts.PullPolicy != 0 && req.PullPolicy != 0 && ts.PullPolicy != req.PullPolicy {
+		return fmt.Errorf("%w: pull policy %v vs %v", ErrIncompatible, ts.PullPolicy, req.PullPolicy)
+	}
+	for name, r := range req.QoS {
+		if ts.QoS == nil {
+			break
+		}
+		mine, ok := ts.QoS[name]
+		if !ok {
+			continue
+		}
+		if mine.Intersect(r).Empty() {
+			return fmt.Errorf("%w: QoS %q ranges %v and %v do not overlap",
+				ErrIncompatible, name, mine, r)
+		}
+	}
+	for name, val := range req.Props {
+		if ts.Props == nil {
+			break
+		}
+		mine, ok := ts.Props[name]
+		if !ok {
+			continue
+		}
+		if mine != val {
+			return fmt.Errorf("%w: property %q is %q, consumer needs %q",
+				ErrIncompatible, name, mine, val)
+		}
+	}
+	return nil
+}
+
+// Merge combines two compatible specs into their refinement: defined values
+// win over undefined ones, QoS ranges are intersected, event capabilities
+// are unioned.  An error is returned if the specs are incompatible.
+func (ts Typespec) Merge(other Typespec) (Typespec, error) {
+	if err := ts.CompatibleWith(other); err != nil {
+		return Typespec{}, err
+	}
+	out := ts.Clone()
+	if out.ItemType == "" {
+		out.ItemType = other.ItemType
+	}
+	if out.PushPolicy == 0 {
+		out.PushPolicy = other.PushPolicy
+	}
+	if out.PullPolicy == 0 {
+		out.PullPolicy = other.PullPolicy
+	}
+	if out.Location == "" {
+		out.Location = other.Location
+	}
+	for name, r := range other.QoS {
+		if out.QoS == nil {
+			out.QoS = make(map[string]Range, len(other.QoS))
+		}
+		if mine, ok := out.QoS[name]; ok {
+			out.QoS[name] = mine.Intersect(r)
+		} else {
+			out.QoS[name] = r
+		}
+	}
+	for name, v := range other.Props {
+		if out.Props == nil {
+			out.Props = make(map[string]string, len(other.Props))
+		}
+		if _, ok := out.Props[name]; !ok {
+			out.Props[name] = v
+		}
+	}
+	out.SendsEvents = unionStrings(out.SendsEvents, other.SendsEvents)
+	out.HandlesEvents = unionStrings(out.HandlesEvents, other.HandlesEvents)
+	return out, nil
+}
+
+// IsSubsetOf reports whether ts describes a subset of the flows that sup
+// describes: every constraint ts defines must be at least as tight as sup's
+// (§2.3: a stage's Typespec can be a subset because it supports fewer data
+// types or a smaller QoS range).
+func (ts Typespec) IsSubsetOf(sup Typespec) bool {
+	if sup.ItemType != "" && ts.ItemType != sup.ItemType {
+		return false
+	}
+	if sup.PushPolicy != 0 && ts.PushPolicy != sup.PushPolicy {
+		return false
+	}
+	if sup.PullPolicy != 0 && ts.PullPolicy != sup.PullPolicy {
+		return false
+	}
+	if sup.Location != "" && ts.Location != sup.Location {
+		return false
+	}
+	for name, supR := range sup.QoS {
+		if !supR.normalised().ContainsRange(ts.QoSRange(name)) {
+			return false
+		}
+	}
+	for name, v := range sup.Props {
+		if ts.Props == nil || ts.Props[name] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// HandlesEvent reports whether the spec declares handling of the event type.
+func (ts Typespec) HandlesEvent(ev string) bool {
+	for _, e := range ts.HandlesEvents {
+		if e == ev {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the spec compactly for diagnostics.
+func (ts Typespec) String() string {
+	var b strings.Builder
+	b.WriteString("typespec{")
+	if ts.ItemType != "" {
+		fmt.Fprintf(&b, "item=%s", ts.ItemType)
+	}
+	if ts.Location != "" {
+		fmt.Fprintf(&b, " loc=%s", ts.Location)
+	}
+	if len(ts.QoS) > 0 {
+		keys := make([]string, 0, len(ts.QoS))
+		for k := range ts.QoS {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%v", k, ts.QoS[k])
+		}
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func unionStrings(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	seen := make(map[string]struct{}, len(a)+len(b))
+	out := make([]string, 0, len(a)+len(b))
+	for _, s := range a {
+		if _, dup := seen[s]; !dup {
+			seen[s] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if _, dup := seen[s]; !dup {
+			seen[s] = struct{}{}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Transform is a Typespec transformation: a pipeline component maps the
+// spec at its input port to the spec at its output port (§2.3).  Identity
+// is the nil Transform.
+type Transform func(Typespec) Typespec
+
+// Apply runs the transform, treating nil as identity.
+func (f Transform) Apply(ts Typespec) Typespec {
+	if f == nil {
+		return ts
+	}
+	return f(ts)
+}
+
+// Chain composes transforms left to right.
+func Chain(fs ...Transform) Transform {
+	return func(ts Typespec) Typespec {
+		for _, f := range fs {
+			ts = f.Apply(ts)
+		}
+		return ts
+	}
+}

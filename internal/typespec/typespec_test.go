@@ -1,0 +1,373 @@
+package typespec
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPolarityString(t *testing.T) {
+	cases := map[Polarity]string{
+		Negative:    "-",
+		Positive:    "+",
+		Poly:        "α",
+		Polarity(9): "Polarity(9)",
+	}
+	for p, want := range cases {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestPolarityOpposite(t *testing.T) {
+	if Negative.Opposite() != Positive || Positive.Opposite() != Negative {
+		t.Error("fixed polarities must flip")
+	}
+	if Poly.Opposite() != Poly {
+		t.Error("the opposite of α is α")
+	}
+}
+
+func TestConnectPolarityTable(t *testing.T) {
+	// §2.3: ports with opposite polarity may be connected; an attempt to
+	// connect two ports with the same polarity is an error; polymorphic
+	// ports acquire an induced polarity.
+	cases := []struct {
+		out, in Polarity
+		want    Polarity
+		wantErr bool
+	}{
+		{Positive, Negative, Positive, false}, // push connection
+		{Negative, Positive, Negative, false}, // pull connection
+		{Positive, Positive, 0, true},
+		{Negative, Negative, 0, true},
+		{Poly, Negative, Positive, false}, // induced: peer receives push
+		{Poly, Positive, Negative, false},
+		{Positive, Poly, Positive, false},
+		{Negative, Poly, Negative, false},
+		{Poly, Poly, Poly, false}, // stays polymorphic
+	}
+	for _, c := range cases {
+		got, err := ConnectPolarity(c.out, c.in)
+		if c.wantErr {
+			if !errors.Is(err, ErrPolarityClash) {
+				t.Errorf("ConnectPolarity(%v,%v) err = %v, want clash", c.out, c.in, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ConnectPolarity(%v,%v) unexpected error %v", c.out, c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ConnectPolarity(%v,%v) = %v, want %v", c.out, c.in, got, c.want)
+		}
+	}
+}
+
+func TestBlockPolicyString(t *testing.T) {
+	if Block.String() != "block" || NonBlock.String() != "nonblock" {
+		t.Error("policy names wrong")
+	}
+	if BlockPolicy(7).String() == "" {
+		t.Error("unknown policy must still render")
+	}
+}
+
+func TestRangeBasics(t *testing.T) {
+	r := Between(10, 60)
+	if !r.Contains(10) || !r.Contains(60) || !r.Contains(30) {
+		t.Error("closed interval must contain endpoints and interior")
+	}
+	if r.Contains(9.999) || r.Contains(60.001) {
+		t.Error("out-of-range values accepted")
+	}
+	if r.Empty() {
+		t.Error("non-empty range reported empty")
+	}
+	if !Between(5, 4).Empty() {
+		t.Error("inverted range must be empty")
+	}
+}
+
+func TestZeroRangeIsFull(t *testing.T) {
+	var r Range
+	if !r.Contains(math.Inf(1)) || !r.Contains(math.Inf(-1)) || !r.Contains(0) {
+		t.Error("zero Range must be unconstrained (don't care)")
+	}
+	if r.Empty() {
+		t.Error("zero Range is not empty")
+	}
+}
+
+func TestRangeConstructors(t *testing.T) {
+	if r := Exactly(5); r.Lo != 5 || r.Hi != 5 {
+		t.Errorf("Exactly = %v", r)
+	}
+	if r := AtLeast(3); !r.Contains(1e300) || r.Contains(2.999) {
+		t.Errorf("AtLeast = %v", r)
+	}
+	if r := AtMost(3); !r.Contains(-1e300) || r.Contains(3.001) {
+		t.Errorf("AtMost = %v", r)
+	}
+}
+
+func TestRangeIntersect(t *testing.T) {
+	a, b := Between(0, 10), Between(5, 20)
+	got := a.Intersect(b)
+	if got.Lo != 5 || got.Hi != 10 {
+		t.Errorf("Intersect = %v, want [5,10]", got)
+	}
+	if !Between(0, 2).Intersect(Between(3, 4)).Empty() {
+		t.Error("disjoint ranges must intersect to empty")
+	}
+}
+
+func TestRangeContainsRange(t *testing.T) {
+	if !Between(0, 10).ContainsRange(Between(2, 8)) {
+		t.Error("superset check failed")
+	}
+	if Between(0, 10).ContainsRange(Between(2, 18)) {
+		t.Error("partial overlap must not count as containment")
+	}
+	var full Range
+	if !full.ContainsRange(Between(-1e300, 1e300)) {
+		t.Error("zero range must contain everything")
+	}
+}
+
+// Property: intersection is commutative, and the intersection is contained
+// in both operands (when non-empty).
+func TestRangeIntersectProperties(t *testing.T) {
+	gen := func(r *rand.Rand) Range {
+		lo := r.Float64()*200 - 100
+		return Range{Lo: lo, Hi: lo + r.Float64()*100}
+	}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		ab, ba := a.Intersect(b), b.Intersect(a)
+		if ab != ba {
+			return false
+		}
+		if ab.Empty() {
+			return true
+		}
+		return a.ContainsRange(ab) && b.ContainsRange(ab)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompatibleWithUndefinedSides(t *testing.T) {
+	// Undefined properties are don't-know/don't-care: the zero spec is
+	// compatible with everything.
+	var zero Typespec
+	full := New("video/frames").
+		WithQoS("rate", Between(10, 60)).
+		WithProp("codec", "synthetic")
+	if err := zero.CompatibleWith(full); err != nil {
+		t.Errorf("zero vs full: %v", err)
+	}
+	if err := full.CompatibleWith(zero); err != nil {
+		t.Errorf("full vs zero: %v", err)
+	}
+}
+
+func TestCompatibleWithConflicts(t *testing.T) {
+	a := New("video/frames")
+	b := New("audio/samples")
+	if err := a.CompatibleWith(b); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("item type conflict: %v", err)
+	}
+	c := New("x").WithQoS("rate", Between(0, 10))
+	d := New("x").WithQoS("rate", Between(20, 30))
+	if err := c.CompatibleWith(d); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("QoS conflict: %v", err)
+	}
+	e := New("x").WithProp("codec", "a")
+	f := New("x").WithProp("codec", "b")
+	if err := e.CompatibleWith(f); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("prop conflict: %v", err)
+	}
+	g, h := New("x"), New("x")
+	g.PushPolicy, h.PushPolicy = Block, NonBlock
+	if err := g.CompatibleWith(h); !errors.Is(err, ErrIncompatible) {
+		t.Errorf("policy conflict: %v", err)
+	}
+}
+
+func TestMergeRefines(t *testing.T) {
+	a := New("video/frames").WithQoS("rate", Between(10, 60))
+	b := Typespec{}.WithQoS("rate", Between(25, 100)).WithProp("codec", "syn")
+	m, err := a.Merge(b)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if m.ItemType != "video/frames" {
+		t.Errorf("item type lost: %q", m.ItemType)
+	}
+	if got := m.QoSRange("rate"); got.Lo != 25 || got.Hi != 60 {
+		t.Errorf("rate = %v, want [25,60] (intersection)", got)
+	}
+	if m.Props["codec"] != "syn" {
+		t.Error("prop not merged")
+	}
+}
+
+func TestMergeIncompatibleFails(t *testing.T) {
+	a, b := New("x"), New("y")
+	if _, err := a.Merge(b); !errors.Is(err, ErrIncompatible) {
+		t.Fatalf("merge of incompatible specs: %v", err)
+	}
+}
+
+func TestMergeEventUnion(t *testing.T) {
+	a := Typespec{SendsEvents: []string{"resize"}, HandlesEvents: []string{"eos"}}
+	b := Typespec{SendsEvents: []string{"resize", "report"}, HandlesEvents: []string{"drop"}}
+	m, err := a.Merge(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.SendsEvents) != 2 {
+		t.Errorf("SendsEvents = %v", m.SendsEvents)
+	}
+	if len(m.HandlesEvents) != 2 {
+		t.Errorf("HandlesEvents = %v", m.HandlesEvents)
+	}
+	if !m.HandlesEvent("eos") || !m.HandlesEvent("drop") || m.HandlesEvent("nope") {
+		t.Error("HandlesEvent wrong")
+	}
+}
+
+func TestIsSubsetOf(t *testing.T) {
+	sup := New("video/frames").WithQoS("rate", Between(0, 100))
+	sub := New("video/frames").WithQoS("rate", Between(10, 50))
+	if !sub.IsSubsetOf(sup) {
+		t.Error("tighter spec must be a subset")
+	}
+	if sup.IsSubsetOf(sub) {
+		t.Error("looser spec must not be a subset")
+	}
+	// A subset must match defined discrete props.
+	p := New("x").WithProp("codec", "a")
+	q := New("x")
+	if q.IsSubsetOf(p) {
+		t.Error("missing prop cannot satisfy a defined prop")
+	}
+	if !p.IsSubsetOf(q) {
+		t.Error("extra props don't break subset w.r.t. undefined")
+	}
+	// Location participates (§2.4).
+	l1 := New("x").WithLocation("nodeA")
+	l2 := New("x").WithLocation("nodeB")
+	if l1.IsSubsetOf(l2) {
+		t.Error("different locations cannot be subsets")
+	}
+}
+
+// Property: Merge(a, b) is a subset of neither... rather: the merged spec
+// is compatible with both operands, and merging is idempotent.
+func TestMergeProperties(t *testing.T) {
+	items := []string{"", "video", "audio"}
+	gen := func(r *rand.Rand) Typespec {
+		ts := Typespec{ItemType: items[r.Intn(len(items))]}
+		if r.Intn(2) == 0 {
+			lo := r.Float64() * 50
+			ts = ts.WithQoS("rate", Between(lo, lo+r.Float64()*50))
+		}
+		if r.Intn(2) == 0 {
+			ts = ts.WithProp("codec", []string{"a", "b"}[r.Intn(2)])
+		}
+		return ts
+	}
+	err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := gen(r), gen(r)
+		m, err := a.Merge(b)
+		if err != nil {
+			return true // incompatible pair: nothing to check
+		}
+		// Idempotence: merging the result with itself changes nothing
+		// observable.
+		mm, err := m.Merge(m)
+		if err != nil {
+			return false
+		}
+		if mm.ItemType != m.ItemType || len(mm.QoS) != len(m.QoS) {
+			return false
+		}
+		// The merge must remain compatible with both inputs.
+		return m.CompatibleWith(a) == nil && m.CompatibleWith(b) == nil
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := New("x").WithQoS("rate", Between(1, 2)).WithProp("k", "v")
+	a.SendsEvents = []string{"e"}
+	b := a.Clone()
+	b.QoS["rate"] = Between(9, 10)
+	b.Props["k"] = "changed"
+	b.SendsEvents[0] = "other"
+	if a.QoS["rate"] != Between(1, 2) || a.Props["k"] != "v" || a.SendsEvents[0] != "e" {
+		t.Error("Clone shares state with the original")
+	}
+}
+
+func TestQoSRangeAbsentIsFull(t *testing.T) {
+	ts := New("x")
+	if got := ts.QoSRange("anything"); !got.ContainsRange(Between(-1e300, 1e300)) {
+		t.Errorf("absent QoS = %v, want full", got)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	ts := New("video").WithLocation("nodeA").WithQoS("rate", Between(10, 60))
+	s := ts.String()
+	for _, want := range []string{"video", "nodeA", "rate"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	if r := Between(1, 2).String(); r != "[1, 2]" {
+		t.Errorf("Range.String = %q", r)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestTransformChain(t *testing.T) {
+	double := Transform(func(ts Typespec) Typespec {
+		r := ts.QoSRange("rate")
+		return ts.WithQoS("rate", Between(r.Lo*2, r.Hi*2))
+	})
+	locate := Transform(func(ts Typespec) Typespec { return ts.WithLocation("remote") })
+	chained := Chain(double, locate, nil) // nil links are identity
+	out := chained.Apply(New("x").WithQoS("rate", Between(10, 20)))
+	if got := out.QoSRange("rate"); got.Lo != 20 || got.Hi != 40 {
+		t.Errorf("rate = %v", got)
+	}
+	if out.Location != "remote" {
+		t.Errorf("location = %q", out.Location)
+	}
+	// Nil transform is identity.
+	var id Transform
+	in := New("y")
+	if got := id.Apply(in); got.ItemType != "y" {
+		t.Error("nil Transform must be identity")
+	}
+}

@@ -1,0 +1,176 @@
+package uthread
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrLinkClosed is returned from Put/Get once a coroutine link is closed
+// (normally when the pipeline receives a stop event).
+var ErrLinkClosed = errors.New("uthread: coroutine link closed")
+
+// CoroLink joins two threads of one coroutine set with the synchronous
+// handoff semantics of §3.3: the communication does not buffer data —
+// "instead the activity travels with the data", and all but one coroutine in
+// a set is blocked at any time.
+//
+// Following §4, the synchronous interaction is implemented on top of
+// asynchronous messages rather than a synchronous call: while one side is
+// blocked in Put or Get, control messages are still delivered through the
+// thread's control dispatch hook, so components remain responsive to control
+// events even when blocked in a push or pull.
+//
+// Protocol (derived from the control-flow traces of Figs 5, 6 and 8):
+//
+//   - Put(x): send a data message to the getter side, then block until the
+//     getter performs its next Get against an empty link (which sends a
+//     resume message back).
+//   - Get(): if an item is already at hand (the stashed invoking message or
+//     a queued data message), take it without unblocking the putter; else
+//     send a resume to the putter and block for the data message.
+//
+// This reproduces exactly the arrow patterns of the paper's figures: the
+// external activity of a wrapped component is indistinguishable from a
+// hand-written passive implementation (experiment E3).
+type CoroLink struct {
+	name string
+	up   *Thread // putter side
+	down *Thread // getter side
+
+	// stash holds the payload of the message that invoked the getter's
+	// code function, so the component's first pull can consume it.
+	// Owning (getter) goroutine only.
+	stash   any
+	stashOK bool
+
+	closed atomic.Bool
+}
+
+// coroPayload routes coroutine messages to their link.
+type coroPayload struct {
+	link *CoroLink
+	item any
+}
+
+// NewCoroLink creates a named, unbound link.  Bind both sides before use.
+func NewCoroLink(name string) *CoroLink {
+	return &CoroLink{name: name}
+}
+
+// Name returns the link's diagnostic name.
+func (l *CoroLink) Name() string { return l.name }
+
+// BindUp attaches the putter-side thread.
+func (l *CoroLink) BindUp(t *Thread) { l.up = t }
+
+// BindDown attaches the getter-side thread.
+func (l *CoroLink) BindDown(t *Thread) { l.down = t }
+
+// Up returns the putter-side thread.
+func (l *CoroLink) Up() *Thread { return l.up }
+
+// Down returns the getter-side thread.
+func (l *CoroLink) Down() *Thread { return l.down }
+
+// Offer stashes the item carried by the message that invoked the getter's
+// code function so that the component's first Get consumes it without a
+// handoff (the "first push call invokes the main function" case of §3.3).
+// Must be called from the getter-side goroutine.
+func (l *CoroLink) Offer(item any) {
+	l.stash = item
+	l.stashOK = true
+}
+
+// Close marks the link closed; both sides' pending and future Put/Get calls
+// return ErrLinkClosed once they observe the closure (they notice after the
+// next control dispatch or immediately on entry).  Safe from either side.
+func (l *CoroLink) Close() { l.closed.Store(true) }
+
+// Closed reports whether the link has been closed.
+func (l *CoroLink) Closed() bool { return l.closed.Load() }
+
+// IsCoroData reports whether m is a data message for this link.
+func (l *CoroLink) IsCoroData(m Message) bool {
+	p, ok := m.Data.(coroPayload)
+	return ok && m.Kind == KindCoroData && p.link == l
+}
+
+// isResume reports whether m is a resume message for this link.
+func (l *CoroLink) isResume(m Message) bool {
+	p, ok := m.Data.(coroPayload)
+	return ok && m.Kind == KindCoroResume && p.link == l
+}
+
+// ItemOf extracts the data item from a coroutine data message.
+func ItemOf(m Message) any {
+	if p, ok := m.Data.(coroPayload); ok {
+		return p.item
+	}
+	return nil
+}
+
+// Drain releases a putter blocked in Put without consuming another item.
+// It is a shutdown-path operation: the getter calls it just before
+// terminating so the last Put can return.  Calling Drain when no Put is
+// pending leaves a stale resume in the putter's mailbox, so it must only be
+// used when the link will not be used again.  Getter-side goroutine only.
+func (l *CoroLink) Drain(t *Thread) {
+	t.sendInternal(l.up, Message{Kind: KindCoroResume, Data: coroPayload{link: l}})
+}
+
+// Put transfers item across the link from the putter side.  It returns when
+// the getter next drains the link (synchronous handoff), or ErrLinkClosed.
+// Must be called from the up-side goroutine while it holds the CPU.
+func (l *CoroLink) Put(t *Thread, item any) error {
+	if l.closed.Load() {
+		return ErrLinkClosed
+	}
+	t.sendInternal(l.down, Message{Kind: KindCoroData, Data: coroPayload{link: l, item: item}})
+	for {
+		m := t.awaitMessage(func(m Message) bool {
+			return l.isResume(m) || (t.ctrlMatch != nil && t.ctrlMatch(m))
+		})
+		if l.isResume(m) {
+			return nil
+		}
+		t.dispatchControl(m)
+		if l.closed.Load() {
+			return ErrLinkClosed
+		}
+	}
+}
+
+// Get receives the next item from the link on the getter side, or
+// ErrLinkClosed.  Must be called from the down-side goroutine while it holds
+// the CPU.
+func (l *CoroLink) Get(t *Thread) (any, error) {
+	if l.stashOK {
+		item := l.stash
+		l.stash = nil
+		l.stashOK = false
+		return item, nil
+	}
+	if l.closed.Load() {
+		return nil, ErrLinkClosed
+	}
+	// An item may already be queued (putter ran ahead); taking it must not
+	// release the putter — it stays blocked until our next empty Get.
+	if m, ok := t.TryReceive(l.IsCoroData); ok {
+		return ItemOf(m), nil
+	}
+	// Empty link: release the putter (its previous Put returns), then wait
+	// for it to produce.
+	t.sendInternal(l.up, Message{Kind: KindCoroResume, Data: coroPayload{link: l}})
+	for {
+		m := t.awaitMessage(func(m Message) bool {
+			return l.IsCoroData(m) || (t.ctrlMatch != nil && t.ctrlMatch(m))
+		})
+		if l.IsCoroData(m) {
+			return ItemOf(m), nil
+		}
+		t.dispatchControl(m)
+		if l.closed.Load() {
+			return nil, ErrLinkClosed
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package uthread
+
+import (
+	"container/heap"
+	"time"
+)
+
+// readyQueue is a max-heap of runnable threads ordered by effective
+// priority, FIFO within a priority level.  All access happens with the
+// scheduler mutex held.
+type readyQueue struct {
+	items   readyHeap
+	nextSeq uint64
+	seqs    map[uint64]uint64 // thread id -> push sequence (FIFO tiebreak)
+}
+
+type readyHeap struct {
+	q *readyQueue
+	v []*Thread
+}
+
+func (h readyHeap) Len() int { return len(h.v) }
+
+func (h readyHeap) Less(i, j int) bool {
+	a, b := h.v[i], h.v[j]
+	pa, pb := a.effectivePriorityLocked(), b.effectivePriorityLocked()
+	if pa != pb {
+		return pa > pb // max-heap: higher priority first
+	}
+	return h.q.seqs[a.id] < h.q.seqs[b.id] // FIFO among equals
+}
+
+func (h readyHeap) Swap(i, j int) {
+	h.v[i], h.v[j] = h.v[j], h.v[i]
+	h.v[i].heapIdx = i
+	h.v[j].heapIdx = j
+}
+
+func (h *readyHeap) Push(x any) {
+	t := x.(*Thread)
+	t.heapIdx = len(h.v)
+	h.v = append(h.v, t)
+}
+
+func (h *readyHeap) Pop() any {
+	old := h.v
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.heapIdx = -1
+	h.v = old[:n-1]
+	return t
+}
+
+func (q *readyQueue) init() {
+	if q.seqs == nil {
+		q.seqs = make(map[uint64]uint64)
+		q.items.q = q
+	}
+}
+
+// push adds t to the run queue.  Pushing a thread that is already queued is
+// a no-op (idempotent, guarding against double-ready races).
+func (q *readyQueue) push(t *Thread) {
+	q.init()
+	if _, queued := q.seqs[t.id]; queued {
+		return
+	}
+	q.nextSeq++
+	q.seqs[t.id] = q.nextSeq
+	heap.Push(&q.items, t)
+}
+
+// popMax removes and returns the highest-effective-priority thread, or nil.
+func (q *readyQueue) popMax() *Thread {
+	q.init()
+	if len(q.items.v) == 0 {
+		return nil
+	}
+	t := heap.Pop(&q.items).(*Thread)
+	delete(q.seqs, t.id)
+	return t
+}
+
+// peekMax returns the highest-effective-priority thread without removing
+// it, or nil.
+func (q *readyQueue) peekMax() *Thread {
+	q.init()
+	if len(q.items.v) == 0 {
+		return nil
+	}
+	// The heap root is the max, but effective priorities can drift between
+	// pushes (priority inheritance); re-establish before answering.
+	heap.Init(&q.items)
+	return q.items.v[0]
+}
+
+// fix restores heap order after t's effective priority may have changed.
+func (q *readyQueue) fix(t *Thread) {
+	q.init()
+	if _, queued := q.seqs[t.id]; !queued || t.heapIdx < 0 {
+		return
+	}
+	heap.Fix(&q.items, t.heapIdx)
+}
+
+// timerEntry is a pending timer.
+type timerEntry struct {
+	at    time.Time
+	seq   uint64
+	dst   *Thread
+	token TimerToken
+}
+
+// timerQueue is a min-heap of timers by (deadline, arrival).  Cancellation
+// is lazy: cancelled tokens are skipped on peek/pop.  All access happens
+// with the scheduler mutex held.
+type timerQueue struct {
+	items     timerHeap
+	cancelled map[TimerToken]struct{}
+}
+
+type timerHeap []timerEntry
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timerEntry)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (q *timerQueue) push(e timerEntry) {
+	heap.Push(&q.items, e)
+}
+
+// cancel marks tok cancelled; reports whether it was pending.
+func (q *timerQueue) cancel(tok TimerToken) bool {
+	if _, dead := q.cancelled[tok]; dead {
+		return false
+	}
+	for i := range q.items {
+		if q.items[i].token == tok {
+			if q.cancelled == nil {
+				q.cancelled = make(map[TimerToken]struct{})
+			}
+			q.cancelled[tok] = struct{}{}
+			return true
+		}
+	}
+	return false
+}
+
+// peek returns the earliest live deadline.
+func (q *timerQueue) peek() (time.Time, bool) {
+	q.drainCancelled()
+	if len(q.items) == 0 {
+		return time.Time{}, false
+	}
+	return q.items[0].at, true
+}
+
+// popDue removes and returns the earliest timer due at or before now.
+func (q *timerQueue) popDue(now time.Time) (timerEntry, bool) {
+	q.drainCancelled()
+	if len(q.items) == 0 || q.items[0].at.After(now) {
+		return timerEntry{}, false
+	}
+	e := heap.Pop(&q.items).(timerEntry)
+	return e, true
+}
+
+// drainCancelled removes cancelled entries from the heap root.
+func (q *timerQueue) drainCancelled() {
+	for len(q.items) > 0 {
+		if _, dead := q.cancelled[q.items[0].token]; !dead {
+			return
+		}
+		e := heap.Pop(&q.items).(timerEntry)
+		delete(q.cancelled, e.token)
+	}
+}

@@ -1,0 +1,493 @@
+package uthread
+
+import (
+	"fmt"
+	"time"
+)
+
+type threadState int
+
+const (
+	stateBlocked threadState = iota + 1 // waiting for a message
+	stateReady                          // runnable, queued for the CPU
+	stateRunning                        // holds the run token
+	stateTerminated
+)
+
+// Thread is a user-level thread: a code function plus a message queue.
+// All methods in the "thread-side API" group (Receive*, Send, Call, Reply,
+// Yield, Sleep*, …) must only be called from within the thread's own code
+// function; the scheduler-side API (on Scheduler) is safe from anywhere.
+type Thread struct {
+	id     uint64
+	name   string
+	sched  *Scheduler
+	static Priority
+	code   CodeFunc
+
+	// All fields below are protected by sched.mu unless noted.
+	state    threadState
+	queue    []Message
+	waitPred func(Message) bool // non-nil while blocked on a selective receive
+	heapIdx  int                // position in the ready queue, -1 if absent
+
+	current Constraint // constraint of the message being processed
+
+	// ctrlMatch/ctrlHandle implement §3.2/§4: control events are delivered
+	// even while the thread is blocked inside a synchronous Call (push/pull
+	// between coroutines).  Set via SetControlDispatch; read only by the
+	// owning goroutine.
+	ctrlMatch  func(Message) bool
+	ctrlHandle func(*Thread, Message)
+
+	holding bool          // owns the run token (owning goroutine only)
+	gate    chan struct{} // scheduler grants the token here
+	done    chan struct{} // closed when the goroutine exits
+}
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// ID returns the thread's unique id within its scheduler.
+func (t *Thread) ID() uint64 { return t.id }
+
+// Scheduler returns the owning scheduler.
+func (t *Thread) Scheduler() *Scheduler { return t.sched }
+
+// StaticPriority returns the priority given at Spawn.
+func (t *Thread) StaticPriority() Priority { return t.static }
+
+// CurrentConstraint returns the constraint of the message the thread is
+// currently processing (thread-side API).
+func (t *Thread) CurrentConstraint() Constraint { return t.current }
+
+// SetControlDispatch installs the control-event hook: while the thread is
+// blocked in Call/Get/Put, messages matching match are handed to handle and
+// the thread resumes waiting (paper §4: "the thread blocks waiting for
+// either a control message or the data reply message").  Thread-side API.
+func (t *Thread) SetControlDispatch(match func(Message) bool, handle func(*Thread, Message)) {
+	t.ctrlMatch = match
+	t.ctrlHandle = handle
+}
+
+// effectivePriorityLocked derives the scheduling priority per §4: the
+// constraint of the message being processed; else, for a waiting thread, the
+// constraint of the best queued message; else the static priority.  With
+// inheritance enabled, a higher-constraint pending message raises the
+// priority further (priority inheritance, avoiding inversion).
+func (t *Thread) effectivePriorityLocked() Priority {
+	p := t.static
+	switch {
+	case t.current.Set:
+		p = t.current.Level
+	case t.state == stateReady:
+		if c, ok := t.bestQueuedConstraintLocked(); ok {
+			p = c
+		}
+	}
+	if t.sched.inherit {
+		if c, ok := t.bestQueuedConstraintLocked(); ok && c > p {
+			p = c
+		}
+	}
+	return p
+}
+
+func (t *Thread) bestQueuedConstraintLocked() (Priority, bool) {
+	best := Priority(0)
+	found := false
+	for i := range t.queue {
+		if c := t.queue[i].Constraint; c.Set && (!found || c.Level > best) {
+			best, found = c.Level, true
+		}
+	}
+	return best, found
+}
+
+// dequeueLocked removes and returns the best pending message matching pred
+// (nil matches all).  Messages are delivered highest-constraint first and
+// FIFO within a level, so control events (high constraints) overtake data.
+func (t *Thread) dequeueLocked(pred func(Message) bool) (Message, bool) {
+	bestIdx := -1
+	for i := range t.queue {
+		m := &t.queue[i]
+		if pred != nil && !pred(*m) {
+			continue
+		}
+		if bestIdx < 0 {
+			bestIdx = i
+			continue
+		}
+		b := &t.queue[bestIdx]
+		if constraintLess(b.Constraint, m.Constraint) {
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return Message{}, false
+	}
+	m := t.queue[bestIdx]
+	t.queue = append(t.queue[:bestIdx], t.queue[bestIdx+1:]...)
+	return m, true
+}
+
+// constraintLess reports whether a sorts strictly after b in delivery order
+// (b should be delivered first).  Set constraints outrank unset; higher
+// levels outrank lower; earlier arrival wins ties via caller iteration order.
+func constraintLess(a, b Constraint) bool {
+	if a.Set != b.Set {
+		return b.Set
+	}
+	if a.Set && a.Level != b.Level {
+		return b.Level > a.Level
+	}
+	return false // equal: keep the earlier (FIFO)
+}
+
+// run is the thread goroutine: the top-level message loop described in §4.
+func (t *Thread) run() {
+	defer close(t.done)
+	defer func() {
+		if r := recover(); r != nil {
+			if _, stopped := r.(haltSignal); stopped {
+				return // clean shutdown unwind
+			}
+			t.sched.fail(fmt.Errorf("uthread %q: code function panicked: %v", t.name, r))
+			if t.holding {
+				t.holding = false
+				t.sched.yielded <- struct{}{}
+			}
+		}
+	}()
+	for {
+		msg := t.awaitMessage(nil)
+		t.current = msg.Constraint
+		disp := t.code(t, msg)
+		t.current = Constraint{}
+		if disp == Terminate {
+			t.terminate()
+			return
+		}
+		t.preemptionPoint(false) // message boundary: round-robin among equals
+	}
+}
+
+// terminate marks the thread dead and returns the token.  Owning goroutine.
+func (t *Thread) terminate() {
+	s := t.sched
+	s.mu.Lock()
+	t.state = stateTerminated
+	t.queue = nil
+	delete(s.threads, t.id)
+	s.live--
+	s.mu.Unlock()
+	if t.holding {
+		t.holding = false
+		select {
+		case s.yielded <- struct{}{}:
+		case <-s.stopCh:
+		}
+	}
+}
+
+// awaitMessage blocks until a message matching pred is available and returns
+// it.  It is the single suspension primitive: Receive, Call replies, timer
+// waits and coroutine handoffs all go through here.  Owning goroutine only.
+//
+// A message may only be consumed while the thread holds the run token; the
+// not-holding branch covers goroutine startup, where a message (or even a
+// grant) can already be waiting before the goroutine first runs.
+func (t *Thread) awaitMessage(pred func(Message) bool) Message {
+	s := t.sched
+	for {
+		s.mu.Lock()
+		if s.stopped {
+			s.mu.Unlock()
+			panic(haltSignal{})
+		}
+		if t.holding {
+			if m, ok := t.dequeueLocked(pred); ok {
+				s.mu.Unlock()
+				return m
+			}
+			t.state = stateBlocked
+			t.waitPred = pred
+		} else {
+			switch t.state {
+			case stateReady, stateRunning:
+				// A grant is queued or already in flight; pick up the
+				// token first, then consume the message.
+			case stateBlocked:
+				if t.peekLocked(pred) {
+					t.state = stateReady
+					t.waitPred = nil
+					s.ready.push(t)
+				} else {
+					t.waitPred = pred
+				}
+			case stateTerminated:
+				s.mu.Unlock()
+				panic(haltSignal{})
+			}
+		}
+		s.mu.Unlock()
+		t.yieldToken()
+	}
+}
+
+// peekLocked reports whether a queued message matches pred (nil = any).
+func (t *Thread) peekLocked(pred func(Message) bool) bool {
+	if pred == nil {
+		return len(t.queue) > 0
+	}
+	for i := range t.queue {
+		if pred(t.queue[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// yieldToken returns the run token to the scheduler (if held) and blocks
+// until it is granted again.  Owning goroutine only.
+func (t *Thread) yieldToken() {
+	s := t.sched
+	if t.holding {
+		t.holding = false
+		select {
+		case s.yielded <- struct{}{}:
+		case <-s.stopCh:
+			panic(haltSignal{})
+		}
+	}
+	select {
+	case <-t.gate:
+		t.holding = true
+	case <-s.stopCh:
+		panic(haltSignal{})
+	}
+}
+
+// preemptionPoint offers the CPU to a higher-priority ready thread.  When
+// allowEqual is true, equal-priority threads are also given a turn
+// (round-robin at message boundaries).  Owning goroutine only.
+func (t *Thread) preemptionPoint(strictOnly bool) {
+	s := t.sched
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		panic(haltSignal{})
+	}
+	top := s.ready.peekMax()
+	if top == nil {
+		s.mu.Unlock()
+		return
+	}
+	mine := t.effectivePriorityLocked()
+	theirs := top.effectivePriorityLocked()
+	preempt := theirs > mine || (!strictOnly && theirs == mine)
+	if !preempt {
+		s.mu.Unlock()
+		return
+	}
+	t.state = stateReady
+	s.ready.push(t)
+	s.mu.Unlock()
+	t.yieldToken()
+}
+
+// Yield voluntarily offers the CPU to any ready thread of equal or higher
+// effective priority.  Thread-side API.
+func (t *Thread) Yield() { t.preemptionPoint(false) }
+
+// Receive suspends until the next message (in constraint order) arrives and
+// returns it.  Thread-side API.
+func (t *Thread) Receive() Message { return t.awaitMessage(nil) }
+
+// ReceiveMatch suspends until a message satisfying pred arrives and returns
+// it; other messages stay queued (selective receive).  Thread-side API.
+func (t *Thread) ReceiveMatch(pred func(Message) bool) Message {
+	return t.awaitMessage(pred)
+}
+
+// TryReceive returns the best queued message matching pred (nil = any)
+// without blocking.  Thread-side API.
+func (t *Thread) TryReceive(pred func(Message) bool) (Message, bool) {
+	s := t.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return t.dequeueLocked(pred)
+}
+
+// Send delivers msg to dst asynchronously.  If msg carries no constraint it
+// inherits the constraint of the message t is currently processing — the §4
+// rule that lets a pump's constraint govern its whole coroutine set.  If the
+// receiver becomes runnable at a strictly higher effective priority the
+// sender is preempted (communication points are switch points).
+// Thread-side API.
+func (t *Thread) Send(dst *Thread, msg Message) {
+	t.sendInternal(dst, msg)
+	t.preemptionPoint(true)
+}
+
+func (t *Thread) sendInternal(dst *Thread, msg Message) {
+	s := t.sched
+	msg.From = t
+	if !msg.Constraint.Set {
+		msg.Constraint = t.current
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		panic(haltSignal{})
+	}
+	if dst == nil || dst.state == stateTerminated {
+		s.mu.Unlock()
+		return
+	}
+	s.enqueueLocked(dst, msg)
+	s.mu.Unlock()
+}
+
+// Call sends msg to dst and suspends until the matching KindReply arrives,
+// dispatching any control messages that arrive in between through the hook
+// installed with SetControlDispatch (§4).  Thread-side API.
+func (t *Thread) Call(dst *Thread, msg Message) Message {
+	s := t.sched
+	s.mu.Lock()
+	s.nextCall++
+	id := s.nextCall
+	s.mu.Unlock()
+	msg.call = id
+	t.sendInternal(dst, msg)
+	return t.awaitReply(id)
+}
+
+// awaitReply waits for the reply with correlation id, interleaving control
+// dispatch.  Owning goroutine only.
+func (t *Thread) awaitReply(id uint64) Message {
+	for {
+		m := t.awaitMessage(func(m Message) bool {
+			if m.Kind == KindReply && m.call == id {
+				return true
+			}
+			return t.ctrlMatch != nil && t.ctrlMatch(m)
+		})
+		if m.Kind == KindReply && m.call == id {
+			return m
+		}
+		t.dispatchControl(m)
+	}
+}
+
+// DispatchControl runs the installed control hook on m if it matches,
+// reporting whether it was dispatched.  Framework stages (buffers, netpipe
+// endpoints) that implement their own blocking waits use it to keep
+// components responsive to control events while blocked (§3.2).
+// Thread-side API.
+func (t *Thread) DispatchControl(m Message) bool {
+	if t.ctrlMatch == nil || !t.ctrlMatch(m) {
+		return false
+	}
+	t.dispatchControl(m)
+	return true
+}
+
+// dispatchControl runs the control hook on m at control priority.
+func (t *Thread) dispatchControl(m Message) {
+	if t.ctrlHandle == nil {
+		return
+	}
+	saved := t.current
+	if m.Constraint.Set {
+		t.current = m.Constraint
+	}
+	t.ctrlHandle(t, m)
+	t.current = saved
+}
+
+// Reply answers a synchronous Call previously received as req.
+// Thread-side API.
+func (t *Thread) Reply(req Message, data any) {
+	if req.call == 0 || req.From == nil {
+		return
+	}
+	t.sendInternal(req.From, Message{Kind: KindReply, Data: data, call: req.call})
+	t.preemptionPoint(true)
+}
+
+// SleepFor suspends the thread for d on the scheduler's clock, dispatching
+// control messages that arrive in the meantime.  Thread-side API.
+func (t *Thread) SleepFor(d time.Duration) {
+	t.SleepUntil(t.sched.clock.Now().Add(d))
+}
+
+// SleepUntil suspends the thread until instant at on the scheduler's clock,
+// dispatching control messages that arrive in the meantime.  Thread-side API.
+func (t *Thread) SleepUntil(at time.Time) {
+	if !at.After(t.sched.clock.Now()) {
+		t.Yield()
+		return
+	}
+	tok := t.sched.TimerAt(at, t)
+	for {
+		m := t.awaitMessage(func(m Message) bool {
+			if m.Kind == KindTimer {
+				tt, ok := m.Data.(TimerToken)
+				return ok && tt == tok
+			}
+			return t.ctrlMatch != nil && t.ctrlMatch(m)
+		})
+		if m.Kind == KindTimer {
+			return
+		}
+		t.dispatchControl(m)
+	}
+}
+
+// SleepUntilOr suspends the thread until instant at, dispatching control
+// messages as they arrive.  After each control dispatch, cancelled is
+// consulted; if it reports true the sleep is abandoned early and
+// SleepUntilOr returns false.  Returns true when the full deadline was
+// slept.  Thread-side API.
+func (t *Thread) SleepUntilOr(at time.Time, cancelled func() bool) bool {
+	if cancelled != nil && cancelled() {
+		return false
+	}
+	if !at.After(t.sched.clock.Now()) {
+		t.Yield()
+		return true
+	}
+	tok := t.sched.TimerAt(at, t)
+	for {
+		m := t.awaitMessage(func(m Message) bool {
+			if m.Kind == KindTimer {
+				tt, ok := m.Data.(TimerToken)
+				return ok && tt == tok
+			}
+			return t.ctrlMatch != nil && t.ctrlMatch(m)
+		})
+		if m.Kind == KindTimer {
+			return true
+		}
+		t.dispatchControl(m)
+		if cancelled != nil && cancelled() {
+			t.sched.CancelTimer(tok)
+			return false
+		}
+	}
+}
+
+// QueueLen reports the number of pending messages (diagnostics).
+func (t *Thread) QueueLen() int {
+	t.sched.mu.Lock()
+	defer t.sched.mu.Unlock()
+	return len(t.queue)
+}
+
+// Terminated reports whether the thread has ended.
+func (t *Thread) Terminated() bool {
+	t.sched.mu.Lock()
+	defer t.sched.mu.Unlock()
+	return t.state == stateTerminated
+}

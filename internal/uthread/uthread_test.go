@@ -1,0 +1,658 @@
+package uthread
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"infopipes/internal/vclock"
+)
+
+const (
+	kindStart Kind = KindUserBase + iota
+	kindData
+	kindCtrl
+	kindStop
+)
+
+// runScheduler runs s and fails the test on error.
+func runScheduler(t *testing.T, s *Scheduler) {
+	t.Helper()
+	if err := s.Run(); err != nil {
+		t.Fatalf("scheduler: %v", err)
+	}
+}
+
+func TestSingleThreadProcessesMessagesInOrder(t *testing.T) {
+	s := New()
+	var got []int
+	th := s.Spawn("worker", PriorityNormal, func(t *Thread, m Message) Disposition {
+		if m.Kind == kindStop {
+			return Terminate
+		}
+		got = append(got, m.Data.(int))
+		return Continue
+	})
+	for i := 0; i < 5; i++ {
+		s.Post(th, Message{Kind: kindData, Data: i})
+	}
+	s.Post(th, Message{Kind: kindStop})
+	runScheduler(t, s)
+	if len(got) != 5 {
+		t.Fatalf("got %d messages, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Errorf("message %d = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+}
+
+func TestRunReturnsWhenAllThreadsTerminate(t *testing.T) {
+	s := New()
+	th := s.Spawn("once", PriorityNormal, func(t *Thread, m Message) Disposition {
+		return Terminate
+	})
+	s.Post(th, Message{Kind: kindStart})
+	done := make(chan error, 1)
+	go func() { done <- s.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after all threads terminated")
+	}
+	if !th.Terminated() {
+		t.Error("thread not marked terminated")
+	}
+}
+
+func TestCallReply(t *testing.T) {
+	s := New()
+	server := s.Spawn("server", PriorityNormal, func(t *Thread, m Message) Disposition {
+		switch m.Kind {
+		case kindStop:
+			return Terminate
+		case kindData:
+			t.Reply(m, m.Data.(int)*2)
+		}
+		return Continue
+	})
+	var results []int
+	client := s.Spawn("client", PriorityNormal, func(t *Thread, m Message) Disposition {
+		for i := 1; i <= 4; i++ {
+			rep := t.Call(server, Message{Kind: kindData, Data: i})
+			results = append(results, rep.Data.(int))
+		}
+		t.Send(server, Message{Kind: kindStop})
+		return Terminate
+	})
+	s.Post(client, Message{Kind: kindStart})
+	runScheduler(t, s)
+	want := []int{2, 4, 6, 8}
+	if len(results) != len(want) {
+		t.Fatalf("results = %v, want %v", results, want)
+	}
+	for i := range want {
+		if results[i] != want[i] {
+			t.Errorf("results[%d] = %d, want %d", i, results[i], want[i])
+		}
+	}
+}
+
+func TestStaticPriorityOrdersExecution(t *testing.T) {
+	s := New()
+	var order []string
+	mk := func(name string, p Priority) *Thread {
+		return s.Spawn(name, p, func(t *Thread, m Message) Disposition {
+			order = append(order, name)
+			return Terminate
+		})
+	}
+	lo := mk("lo", PriorityLow)
+	hi := mk("hi", PriorityHigh)
+	mid := mk("mid", PriorityNormal)
+	// Post in priority-scrambled order; execution must follow priority.
+	s.Post(lo, Message{Kind: kindStart})
+	s.Post(mid, Message{Kind: kindStart})
+	s.Post(hi, Message{Kind: kindStart})
+	runScheduler(t, s)
+	want := []string{"hi", "mid", "lo"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestMessageConstraintOverridesStaticPriority(t *testing.T) {
+	s := New()
+	var order []string
+	mk := func(name string, p Priority) *Thread {
+		return s.Spawn(name, p, func(t *Thread, m Message) Disposition {
+			order = append(order, name)
+			return Terminate
+		})
+	}
+	lo := mk("lo", PriorityLow)
+	hi := mk("hi", PriorityHigh)
+	// The low-priority thread receives a message with a constraint above
+	// the high-priority thread's static priority (§4 scheduling rule).
+	s.Post(hi, Message{Kind: kindStart})
+	s.Post(lo, Message{Kind: kindStart, Constraint: At(PriorityControl)})
+	runScheduler(t, s)
+	if order[0] != "lo" {
+		t.Fatalf("order = %v, want lo first (constraint should win)", order)
+	}
+}
+
+func TestPriorityInheritanceRaisesEffectivePriority(t *testing.T) {
+	// A ready thread with a queued high-constraint message must outrank a
+	// higher-static-priority thread: the inheritance scheme of §4.
+	s := New()
+	var order []string
+	lo := s.Spawn("lo", PriorityLow, func(t *Thread, m Message) Disposition {
+		order = append(order, "lo:"+kindName(m.Kind))
+		if m.Kind == kindStop {
+			return Terminate
+		}
+		return Continue
+	})
+	hi := s.Spawn("hi", PriorityHigh, func(t *Thread, m Message) Disposition {
+		order = append(order, "hi")
+		return Terminate
+	})
+	s.Post(hi, Message{Kind: kindStart})
+	s.Post(lo, Message{Kind: kindData}) // plain message first
+	s.Post(lo, Message{Kind: kindStop, Constraint: At(PriorityControl)})
+	runScheduler(t, s)
+	// With inheritance, "lo" must run before "hi", and must process its
+	// high-constraint kindStop before the plain kindData (delivery order is
+	// constraint-first).
+	if order[0] != "lo:stop" {
+		t.Fatalf("order = %v, want lo:stop first (inheritance + constraint delivery)", order)
+	}
+}
+
+func TestWithoutPriorityInheritance(t *testing.T) {
+	s := New(WithoutPriorityInheritance())
+	var order []string
+	lo := s.Spawn("lo", PriorityLow, func(t *Thread, m Message) Disposition {
+		order = append(order, "lo")
+		return Terminate
+	})
+	hi := s.Spawn("hi", PriorityHigh, func(t *Thread, m Message) Disposition {
+		order = append(order, "hi")
+		return Terminate
+	})
+	s.Post(lo, Message{Kind: kindData, Constraint: At(PriorityControl)})
+	s.Post(hi, Message{Kind: kindStart})
+	runScheduler(t, s)
+	// Without inheritance a *waiting* thread still derives priority from
+	// its first queued message (§4), so lo still wins here — this pins the
+	// exact paper semantics: ready-queue constraint is not inheritance.
+	if order[0] != "lo" {
+		t.Fatalf("order = %v, want lo first (ready-thread constraint rule)", order)
+	}
+}
+
+func kindName(k Kind) string {
+	switch k {
+	case kindData:
+		return "data"
+	case kindStop:
+		return "stop"
+	default:
+		return "other"
+	}
+}
+
+func TestConstraintDeliveryOrderWithinThread(t *testing.T) {
+	// Control events (high constraint) overtake earlier-queued data (§2.2:
+	// handlers run at higher priority than data processing).
+	s := New()
+	var got []Kind
+	th := s.Spawn("mixed", PriorityNormal, func(t *Thread, m Message) Disposition {
+		got = append(got, m.Kind)
+		if len(got) == 3 {
+			return Terminate
+		}
+		return Continue
+	})
+	s.Post(th, Message{Kind: kindData})
+	s.Post(th, Message{Kind: kindData})
+	s.Post(th, Message{Kind: kindCtrl, Constraint: At(PriorityControl)})
+	runScheduler(t, s)
+	if got[0] != kindCtrl {
+		t.Fatalf("delivery order = %v, want control first", got)
+	}
+}
+
+func TestSelectiveReceiveLeavesOthersQueued(t *testing.T) {
+	s := New()
+	var got []int
+	th := s.Spawn("sel", PriorityNormal, func(t *Thread, m Message) Disposition {
+		// Invoked with the first message; selectively receive 42 first.
+		got = append(got, m.Data.(int))
+		m42 := t.ReceiveMatch(func(m Message) bool {
+			v, ok := m.Data.(int)
+			return ok && v == 42
+		})
+		got = append(got, m42.Data.(int))
+		rest := t.Receive()
+		got = append(got, rest.Data.(int))
+		return Terminate
+	})
+	s.Post(th, Message{Kind: kindData, Data: 1})
+	s.Post(th, Message{Kind: kindData, Data: 7})
+	s.Post(th, Message{Kind: kindData, Data: 42})
+	runScheduler(t, s)
+	want := []int{1, 42, 7}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTimersFireInDeadlineOrderOnVirtualClock(t *testing.T) {
+	clk := vclock.NewVirtual()
+	s := New(WithClock(clk))
+	var order []string
+	var times []time.Duration
+	start := clk.Now()
+	mk := func(name string, d time.Duration) {
+		th := s.Spawn(name, PriorityNormal, func(t *Thread, m Message) Disposition {
+			t.SleepFor(d)
+			order = append(order, name)
+			times = append(times, s.Now().Sub(start))
+			return Terminate
+		})
+		s.Post(th, Message{Kind: kindStart})
+	}
+	mk("c", 300*time.Millisecond)
+	mk("a", 100*time.Millisecond)
+	mk("b", 200*time.Millisecond)
+	runScheduler(t, s)
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("wake order = %v, want %v", order, want)
+		}
+	}
+	wantTimes := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 300 * time.Millisecond}
+	for i := range wantTimes {
+		if times[i] != wantTimes[i] {
+			t.Errorf("wake time[%d] = %v, want %v (virtual clock must advance exactly)", i, times[i], wantTimes[i])
+		}
+	}
+}
+
+func TestCancelTimer(t *testing.T) {
+	s := New()
+	th := s.Spawn("w", PriorityNormal, func(t *Thread, m Message) Disposition {
+		return Terminate
+	})
+	tok := s.TimerAfter(time.Hour, th)
+	if !s.CancelTimer(tok) {
+		t.Fatal("CancelTimer reported not-pending for a pending timer")
+	}
+	if s.CancelTimer(tok) {
+		t.Fatal("CancelTimer reported pending for an already-cancelled timer")
+	}
+	s.Post(th, Message{Kind: kindStart})
+	runScheduler(t, s)
+	if got := s.Stats().Timers; got != 0 {
+		t.Errorf("fired timers = %d, want 0 after cancel", got)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	s := New()
+	th := s.Spawn("stuck", PriorityNormal, func(t *Thread, m Message) Disposition {
+		t.ReceiveMatch(func(m Message) bool { return false }) // waits forever
+		return Terminate
+	})
+	s.Post(th, Message{Kind: kindStart})
+	err := s.Run()
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("Run = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestStopUnblocksEverything(t *testing.T) {
+	s := New(WithClock(vclock.Real{}))
+	th := s.Spawn("stuck", PriorityNormal, func(t *Thread, m Message) Disposition {
+		t.ReceiveMatch(func(m Message) bool { return false })
+		return Terminate
+	})
+	s.AddExternalSource() // so the idle state is not a deadlock
+	s.Post(th, Message{Kind: kindStart})
+	done := make(chan error, 1)
+	go func() { done <- s.Run() }()
+	time.Sleep(20 * time.Millisecond)
+	s.Stop()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run after Stop: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after Stop")
+	}
+}
+
+func TestPanicInCodeFunctionReportedAsError(t *testing.T) {
+	s := New()
+	th := s.Spawn("boom", PriorityNormal, func(t *Thread, m Message) Disposition {
+		panic("kaboom")
+	})
+	s.Post(th, Message{Kind: kindStart})
+	err := s.Run()
+	if err == nil || !errors.Is(err, err) || err.Error() == "" {
+		t.Fatalf("Run = %v, want panic error", err)
+	}
+	if got := err.Error(); !contains(got, "kaboom") {
+		t.Errorf("error %q does not mention the panic value", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		func() bool {
+			for i := 0; i+len(sub) <= len(s); i++ {
+				if s[i:i+len(sub)] == sub {
+					return true
+				}
+			}
+			return false
+		}())
+}
+
+func TestExternalPostWithExternalSource(t *testing.T) {
+	s := New(WithClock(vclock.Real{}))
+	s.AddExternalSource()
+	var got int
+	th := s.Spawn("rx", PriorityNormal, func(t *Thread, m Message) Disposition {
+		got = m.Data.(int)
+		return Terminate
+	})
+	done := make(chan error, 1)
+	go func() { done <- s.Run() }()
+	// Post from outside after the scheduler has gone idle, then release
+	// the source so Run can drain once the thread terminates.
+	time.Sleep(10 * time.Millisecond)
+	s.Post(th, Message{Kind: kindData, Data: 99})
+	s.ReleaseExternalSource()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not finish")
+	}
+	if got != 99 {
+		t.Fatalf("got %d, want 99", got)
+	}
+}
+
+func TestSendPreemptsForHigherPriorityReceiver(t *testing.T) {
+	s := New()
+	var order []string
+	hi := s.Spawn("hi", PriorityHigh, func(t *Thread, m Message) Disposition {
+		order = append(order, "hi-ran")
+		return Terminate
+	})
+	lo := s.Spawn("lo", PriorityLow, func(t *Thread, m Message) Disposition {
+		order = append(order, "lo-before-send")
+		t.Send(hi, Message{Kind: kindStart})
+		order = append(order, "lo-after-send")
+		return Terminate
+	})
+	s.Post(lo, Message{Kind: kindStart})
+	runScheduler(t, s)
+	want := []string{"lo-before-send", "hi-ran", "lo-after-send"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (send must preempt)", order, want)
+		}
+	}
+}
+
+func TestContextSwitchCounting(t *testing.T) {
+	s := New()
+	const rounds = 10
+	b := s.Spawn("b", PriorityNormal, func(t *Thread, m Message) Disposition {
+		if m.Kind == kindStop {
+			return Terminate
+		}
+		t.Reply(m, nil)
+		return Continue
+	})
+	a := s.Spawn("a", PriorityNormal, func(t *Thread, m Message) Disposition {
+		for i := 0; i < rounds; i++ {
+			t.Call(b, Message{Kind: kindData})
+		}
+		t.Send(b, Message{Kind: kindStop})
+		return Terminate
+	})
+	s.Post(a, Message{Kind: kindStart})
+	runScheduler(t, s)
+	st := s.Stats()
+	// Each call round requires at least 2 switches (a->b, b->a).
+	if st.Switches < 2*rounds {
+		t.Errorf("switches = %d, want >= %d", st.Switches, 2*rounds)
+	}
+	if st.Messages == 0 || st.Grants == 0 {
+		t.Errorf("stats not populated: %+v", st)
+	}
+}
+
+func TestControlDispatchWhileBlockedInCall(t *testing.T) {
+	// §4: the thread blocks waiting for either a control message or the
+	// data reply; controls are dispatched without abandoning the call.
+	s := New()
+	var trace []string
+	var server *Thread
+	server = s.Spawn("server", PriorityNormal, func(t *Thread, m Message) Disposition {
+		// Delay the reply so the client is parked in Call when the
+		// control event arrives.
+		req := m
+		ctl := t.Receive() // the control message forwarded by client? no: direct
+		_ = ctl
+		t.Reply(req, "reply")
+		return Terminate
+	})
+	client := s.Spawn("client", PriorityNormal, func(t *Thread, m Message) Disposition {
+		t.SetControlDispatch(
+			func(m Message) bool { return m.Kind == kindCtrl },
+			func(t *Thread, m Message) { trace = append(trace, "ctrl") },
+		)
+		rep := t.Call(server, Message{Kind: kindData})
+		trace = append(trace, rep.Data.(string))
+		return Terminate
+	})
+	s.Post(client, Message{Kind: kindStart})
+	// While client is blocked in Call, deliver a control to the client and
+	// then let the server reply.
+	helper := s.Spawn("helper", PriorityLow, func(t *Thread, m Message) Disposition {
+		t.Send(client, Message{Kind: kindCtrl, Constraint: At(PriorityControl)})
+		t.Send(server, Message{Kind: kindData}) // unblock the server's Receive
+		return Terminate
+	})
+	s.Post(helper, Message{Kind: kindStart})
+	runScheduler(t, s)
+	if len(trace) != 2 || trace[0] != "ctrl" || trace[1] != "reply" {
+		t.Fatalf("trace = %v, want [ctrl reply] (control dispatched while blocked)", trace)
+	}
+}
+
+func TestCoroLinkHandoffPattern(t *testing.T) {
+	// Reproduces the Fig 5 control flow: a put into a fresh coroutine
+	// starts its main; the putter is released by the consumer's next
+	// empty Get.
+	s := New()
+	var trace []string
+	link := NewCoroLink("L")
+	consumer := s.Spawn("consumer", PriorityNormal, func(t *Thread, m Message) Disposition {
+		if link.IsCoroData(m) {
+			link.Offer(ItemOf(m))
+		}
+		for {
+			x, err := link.Get(t)
+			if err != nil {
+				return Terminate
+			}
+			if x == nil { // sentinel: end of stream
+				link.Drain(t) // release the producer's final Put
+				return Terminate
+			}
+			trace = append(trace, "got")
+		}
+	})
+	producer := s.Spawn("producer", PriorityNormal, func(t *Thread, m Message) Disposition {
+		for i := 0; i < 3; i++ {
+			trace = append(trace, "put-begin")
+			if err := link.Put(t, i); err != nil {
+				t.sched.fail(err)
+				return Terminate
+			}
+			trace = append(trace, "put-end")
+		}
+		if err := link.Put(t, nil); err != nil {
+			return Terminate
+		}
+		return Terminate
+	})
+	link.BindUp(producer)
+	link.BindDown(consumer)
+	s.Post(producer, Message{Kind: kindStart})
+	runScheduler(t, s)
+	// Expected interleaving: put-begin, got, put-end, put-begin, got, ...
+	want := []string{
+		"put-begin", "got",
+		"put-end", "put-begin", "got",
+		"put-end", "put-begin", "got",
+		"put-end",
+	}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v\nwant %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace[%d] = %q, want %q\nfull: %v", i, trace[i], want[i], trace)
+		}
+	}
+}
+
+func TestCoroLinkPullModeStartsProducer(t *testing.T) {
+	// Pull-mode startup (Fig 6b): the consumer's Get on an empty link must
+	// start the producer coroutine's main function.
+	s := New()
+	var got []int
+	link := NewCoroLink("L")
+	producer := s.Spawn("producer", PriorityNormal, func(t *Thread, m Message) Disposition {
+		// m is the resume request that started us.
+		for i := 10; i < 13; i++ {
+			if err := link.Put(t, i); err != nil {
+				return Terminate
+			}
+		}
+		_ = link.Put(t, nil)
+		return Terminate
+	})
+	consumer := s.Spawn("consumer", PriorityNormal, func(t *Thread, m Message) Disposition {
+		for {
+			x, err := link.Get(t)
+			if err != nil || x == nil {
+				link.Drain(t) // release the producer's final Put
+				return Terminate
+			}
+			got = append(got, x.(int))
+		}
+	})
+	link.BindUp(producer)
+	link.BindDown(consumer)
+	s.Post(consumer, Message{Kind: kindStart})
+	runScheduler(t, s)
+	want := []int{10, 11, 12}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCoroLinkCloseUnblocksViaControl(t *testing.T) {
+	s := New()
+	link := NewCoroLink("L")
+	var consumerErr error
+	consumer := s.Spawn("consumer", PriorityNormal, func(t *Thread, m Message) Disposition {
+		t.SetControlDispatch(
+			func(m Message) bool { return m.Kind == kindStop },
+			func(t *Thread, m Message) { link.Close() },
+		)
+		_, consumerErr = link.Get(t)
+		return Terminate
+	})
+	producer := s.Spawn("producer", PriorityNormal, func(t *Thread, m Message) Disposition {
+		// Never puts; just tells the consumer to stop, simulating a
+		// pipeline stop event arriving while blocked in pull.
+		t.Send(consumer, Message{Kind: kindStop, Constraint: At(PriorityControl)})
+		return Terminate
+	})
+	link.BindUp(producer)
+	link.BindDown(consumer)
+	s.Post(consumer, Message{Kind: kindStart})
+	// consumer's Get sends resume to producer, which starts producer main.
+	runScheduler(t, s)
+	if !errors.Is(consumerErr, ErrLinkClosed) {
+		t.Fatalf("Get = %v, want ErrLinkClosed", consumerErr)
+	}
+}
+
+func TestSchedulerStatsAndReset(t *testing.T) {
+	s := New()
+	th := s.Spawn("w", PriorityNormal, func(t *Thread, m Message) Disposition {
+		return Terminate
+	})
+	s.Post(th, Message{Kind: kindStart})
+	runScheduler(t, s)
+	if s.Stats().Messages == 0 {
+		t.Error("messages counter empty")
+	}
+	s.ResetStats()
+	if got := s.Stats(); got.Messages != 0 || got.Switches != 0 {
+		t.Errorf("ResetStats left %+v", got)
+	}
+}
+
+func TestThreadAccessors(t *testing.T) {
+	s := New()
+	th := s.Spawn("acc", PriorityHigh, func(t *Thread, m Message) Disposition {
+		if t.CurrentConstraint().Level != PriorityControl {
+			// set via the posted message below
+		}
+		return Terminate
+	})
+	if th.Name() != "acc" {
+		t.Errorf("Name = %q", th.Name())
+	}
+	if th.ID() == 0 {
+		t.Error("ID = 0")
+	}
+	if th.Scheduler() != s {
+		t.Error("Scheduler mismatch")
+	}
+	if th.StaticPriority() != PriorityHigh {
+		t.Errorf("StaticPriority = %v", th.StaticPriority())
+	}
+	s.Post(th, Message{Kind: kindStart, Constraint: At(PriorityControl)})
+	runScheduler(t, s)
+}

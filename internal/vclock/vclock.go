@@ -1,0 +1,120 @@
+// Package vclock provides the time base for the Infopipe runtime.
+//
+// The paper's thread package maps operating-system timer signals to messages
+// (§4).  This package abstracts the source of those timer signals so that the
+// same scheduler can run against the real wall clock (for interactive tools
+// and distributed pipelines) or against a deterministic virtual clock (for
+// reproducible experiments: the virtual clock advances only when the
+// scheduler is otherwise idle, turning timing experiments into discrete-event
+// simulations that run at CPU speed).
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Epoch is the instant at which every virtual clock starts.  It is an
+// arbitrary fixed point so that virtual-time experiments are reproducible
+// byte-for-byte.
+var Epoch = time.Date(2001, 11, 12, 0, 0, 0, 0, time.UTC) // Middleware 2001
+
+// Clock is a source of time for a scheduler.  Implementations must be safe
+// for concurrent use.
+type Clock interface {
+	// Now reports the current instant on this clock.
+	Now() time.Time
+
+	// WaitUntil blocks until the clock reaches t, or until wake is
+	// signalled, whichever comes first.  It reports whether the deadline
+	// was reached (true) or the wait was interrupted (false).  A nil wake
+	// channel means the wait cannot be interrupted.
+	//
+	// For a virtual clock, reaching t means advancing the clock to t.
+	WaitUntil(t time.Time, wake <-chan struct{}) bool
+}
+
+// Real is a Clock backed by the system wall clock.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// WaitUntil implements Clock.
+func (Real) WaitUntil(t time.Time, wake <-chan struct{}) bool {
+	d := time.Until(t)
+	if d <= 0 {
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-wake:
+		return false
+	}
+}
+
+// Virtual is a deterministic simulated clock.  Time advances only through
+// WaitUntil or Advance; Now never moves on its own.  The zero value is not
+// usable; construct with NewVirtual.
+type Virtual struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// NewVirtual returns a virtual clock positioned at Epoch.
+func NewVirtual() *Virtual {
+	return &Virtual{now: Epoch}
+}
+
+// NewVirtualAt returns a virtual clock positioned at start.
+func NewVirtualAt(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// WaitUntil implements Clock.  If wake is already signalled the wait is
+// abandoned without moving the clock; otherwise the clock jumps to t.
+func (v *Virtual) WaitUntil(t time.Time, wake <-chan struct{}) bool {
+	if wake != nil {
+		select {
+		case <-wake:
+			return false
+		default:
+		}
+	}
+	v.Advance(t)
+	return true
+}
+
+// Advance moves the clock forward to t.  Moving backwards is a no-op: the
+// clock is monotonic.
+func (v *Virtual) Advance(t time.Time) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.After(v.now) {
+		v.now = t
+	}
+}
+
+// AdvanceBy moves the clock forward by d and returns the new instant.
+func (v *Virtual) AdvanceBy(d time.Duration) time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if d > 0 {
+		v.now = v.now.Add(d)
+	}
+	return v.now
+}
