@@ -206,9 +206,32 @@ func BenchmarkPumpOverhead(b *testing.B) {
 	}
 }
 
-// BenchmarkMarshalling measures the gob marshalling filter round trip used
-// by netpipes (E16 supporting measurement).
+// BenchmarkMarshalling measures the default wire-codec round trip used by
+// netpipes (E16): the binary codec with pooled buffers.  Compare against
+// BenchmarkMarshallingGob, the seed gob path it replaced.
 func BenchmarkMarshalling(b *testing.B) {
+	m := infopipes.DefaultMarshaller()
+	it := infopipes.NewItem(&infopipes.Frame{Type: infopipes.FrameI, Seq: 1, Bytes: 12000}, 1, time.Time{}).
+		WithSize(12000).
+		WithAttr("frametype", "I")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := m.Marshal(it)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out, err := m.Unmarshal(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out.Recycle()
+	}
+}
+
+// BenchmarkMarshallingGob measures the compatibility gob marshaller — the
+// per-item encoder/descriptor cost the binary codec eliminates.
+func BenchmarkMarshallingGob(b *testing.B) {
 	infopipes.RegisterWirePayload(&infopipes.Frame{})
 	m := infopipes.GobMarshaller{}
 	it := infopipes.NewItem(&infopipes.Frame{Type: infopipes.FrameI, Seq: 1, Bytes: 12000}, 1, time.Time{}).
@@ -221,9 +244,11 @@ func BenchmarkMarshalling(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := m.Unmarshal(data); err != nil {
+		out, err := m.Unmarshal(data)
+		if err != nil {
 			b.Fatal(err)
 		}
+		out.Recycle()
 	}
 }
 

@@ -28,8 +28,9 @@ func main() {
 		"dropping": dropping,
 		"jitter":   jitter,
 		"pumps":    pumps,
+		"marshal":  marshal,
 	}
-	order := []string{"fig9", "switches", "midi", "dropping", "jitter", "pumps"}
+	order := []string{"fig9", "switches", "midi", "dropping", "jitter", "pumps", "marshal"}
 	if which != "all" {
 		run, ok := runners[which]
 		if !ok {
@@ -143,6 +144,19 @@ func pumps() error {
 	fmt.Printf("%-14s %12s %12s\n", "class", "target Hz", "measured Hz")
 	for _, r := range rows {
 		fmt.Printf("%-14s %12.1f %12.1f\n", r.Class, r.TargetRate, r.MeasuredRate)
+	}
+	return nil
+}
+
+func marshal() error {
+	rows, err := experiments.MarshalComparison(20_000)
+	if err != nil {
+		return err
+	}
+	fmt.Println("E16 — wire codec: per-item marshalling round trip")
+	fmt.Printf("%-14s %12s %12s %12s\n", "codec", "ns/op", "allocs/op", "frame bytes")
+	for _, r := range rows {
+		fmt.Printf("%-14s %12.0f %12.1f %12d\n", r.Codec, r.NsPerOp, r.AllocsPerOp, r.FrameBytes)
 	}
 	return nil
 }

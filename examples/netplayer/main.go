@@ -57,7 +57,7 @@ func run() error {
 	}()
 
 	node.RegisterFactory("unmarshal", func(n string, _ map[string]string) (infopipes.Stage, error) {
-		return infopipes.Comp(infopipes.NewUnmarshalFilter(n, infopipes.GobMarshaller{})), nil
+		return infopipes.Comp(infopipes.NewUnmarshalFilter(n, infopipes.NewBinaryMarshaller())), nil
 	})
 	node.RegisterFactory("decoder", func(n string, _ map[string]string) (infopipes.Stage, error) {
 		return infopipes.Comp(infopipes.NewDecoder(n, 0)), nil
@@ -98,7 +98,7 @@ func run() error {
 	producer, err := infopipes.Compose("producer", prodSched, nil, []infopipes.Stage{
 		infopipes.Comp(source),
 		infopipes.Pmp(infopipes.NewClockedPump("pump", 120)), // faster than real time
-		infopipes.Comp(infopipes.NewMarshalFilter("marshal", infopipes.GobMarshaller{})),
+		infopipes.Comp(infopipes.NewMarshalFilter("marshal", infopipes.NewStreamingBinaryMarshaller())),
 		infopipes.Comp(txLink.NewSink("netsink")),
 	})
 	if err != nil {

@@ -72,7 +72,7 @@ func play(controlled bool) (result, error) {
 		infopipes.Comp(source),
 		infopipes.Pmp(infopipes.NewClockedPump("pump1", fps)),
 		infopipes.Comp(drop),
-		infopipes.Comp(infopipes.NewMarshalFilter("marshal", infopipes.GobMarshaller{})),
+		infopipes.Comp(infopipes.NewMarshalFilter("marshal", infopipes.DefaultMarshaller())),
 		infopipes.Comp(link.NewSink("netsink")),
 	})
 	if err != nil {
@@ -80,7 +80,7 @@ func play(controlled bool) (result, error) {
 	}
 	consumer, err := infopipes.Compose("consumer", sched, producer.Bus(), []infopipes.Stage{
 		infopipes.Comp(link.NewSource("netsource")),
-		infopipes.Comp(infopipes.NewUnmarshalFilter("unmarshal", infopipes.GobMarshaller{})),
+		infopipes.Comp(infopipes.NewUnmarshalFilter("unmarshal", infopipes.DefaultMarshaller())),
 		infopipes.Comp(decode),
 		infopipes.Pmp(infopipes.NewFreePump("feedpump")),
 		infopipes.Buf(jitterBuf),

@@ -1,0 +1,3 @@
+module infopipes
+
+go 1.24.0

@@ -360,7 +360,10 @@ var (
 type (
 	// Marshaller converts items to wire frames.
 	Marshaller = netpipe.Marshaller
-	// GobMarshaller is the default marshaller.
+	// BinaryMarshaller is the default wire codec: a hand-rolled binary
+	// layout with pooled buffers and a gob fallback for exotic payloads.
+	BinaryMarshaller = netpipe.BinaryMarshaller
+	// GobMarshaller is the compatibility gob-only marshaller.
 	GobMarshaller = netpipe.GobMarshaller
 	// SimConfig and SimLink form the simulated best-effort network.
 	SimConfig = netpipe.SimConfig
@@ -376,15 +379,19 @@ type (
 
 // Netpipe and remote helpers.
 var (
-	NewMarshalFilter    = netpipe.NewMarshalFilter
-	NewUnmarshalFilter  = netpipe.NewUnmarshalFilter
-	RegisterWirePayload = netpipe.RegisterPayload
-	NewSimLink          = netpipe.NewSimLink
-	NewTCPSenderLink    = netpipe.NewTCPSenderLink
-	NewTCPReceiverLink  = netpipe.NewTCPReceiverLink
-	NewNode             = remote.NewNode
-	DialNode            = remote.Dial
-	ForwardEvents       = remote.ForwardEvents
+	NewMarshalFilter             = netpipe.NewMarshalFilter
+	NewUnmarshalFilter           = netpipe.NewUnmarshalFilter
+	RegisterWirePayload          = netpipe.RegisterPayload
+	DefaultMarshaller            = netpipe.DefaultMarshaller
+	NewBinaryMarshaller          = netpipe.NewBinaryMarshaller
+	NewStreamingBinaryMarshaller = netpipe.NewStreamingBinaryMarshaller
+	RegisterBinaryPayload        = netpipe.RegisterBinaryPayload
+	NewSimLink                   = netpipe.NewSimLink
+	NewTCPSenderLink             = netpipe.NewTCPSenderLink
+	NewTCPReceiverLink           = netpipe.NewTCPReceiverLink
+	NewNode                      = remote.NewNode
+	DialNode                     = remote.Dial
+	ForwardEvents                = remote.ForwardEvents
 )
 
 // ---- Composition microlanguage (the paper's planned ref [24]) ----

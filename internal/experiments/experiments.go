@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"infopipes/internal/core"
@@ -275,25 +276,22 @@ func DroppingComparison(frames int64, bandwidth float64, seed int64) (uncontroll
 		buf := pipes.NewBufferPolicy("buffer", 16, typespec.NonBlock, typespec.NonBlock)
 		display := media.NewDisplay("display")
 
-		producer, err := core.Compose("producer", sched, nil, []core.Stage{
+		producer, err := core.Compose("producer", sched, nil, append([]core.Stage{
 			core.Comp(source),
 			core.Pmp(pipes.NewClockedPump("pump1", cfg.FPS)),
 			core.Comp(drop),
-			core.Comp(netpipe.NewMarshalFilter("marshal", netpipe.GobMarshaller{})),
-			core.Comp(link.NewSink("netsink")),
-		})
+		}, link.SenderStages("net")...))
 		if err != nil {
 			return res, err
 		}
-		consumer, err := core.Compose("consumer", sched, producer.Bus(), []core.Stage{
-			core.Comp(link.NewSource("netsource")),
-			core.Comp(netpipe.NewUnmarshalFilter("unmarshal", netpipe.GobMarshaller{})),
+		consumer, err := core.Compose("consumer", sched, producer.Bus(), append(
+			link.ReceiverStages("net"),
 			core.Comp(decode),
 			core.Pmp(pipes.NewFreePump("feedpump")),
 			core.Buf(buf),
 			core.Pmp(pipes.NewClockedPump("pump2", cfg.FPS)),
 			core.Comp(display),
-		})
+		))
 		if err != nil {
 			return res, err
 		}
@@ -392,6 +390,79 @@ func JitterSweep(frames int64, depths []int) ([]JitterRow, error) {
 			InputJitterMs:  2.0 * 4.3 * cfg.SizeJitter, // mean KB * cost * variation
 			OutputJitterMs: display.Jitter() * 1e3,
 		})
+	}
+	return rows, nil
+}
+
+// --------------------------------------------- E16: wire codec comparison
+
+// MarshalRow is one codec arm of the marshalling comparison.
+type MarshalRow struct {
+	Codec       string
+	NsPerOp     float64
+	AllocsPerOp float64
+	FrameBytes  int
+}
+
+// MarshalComparison round-trips a representative video-frame item through
+// each wire codec n times, reporting time and allocations per round trip
+// plus the encoded frame size — the per-message overhead that the binary
+// codec removes from the netpipe critical path.
+func MarshalComparison(n int) ([]MarshalRow, error) {
+	if n <= 0 {
+		n = 10_000
+	}
+	mk := func() *item.Item {
+		f := &media.Frame{Type: media.FrameI, Seq: 1, Bytes: 12000}
+		return item.New(f, 1, time.Time{}).WithSize(12000).WithAttr(media.AttrFrameType, "I")
+	}
+	measure := func(name string, m netpipe.Marshaller) (MarshalRow, error) {
+		it := mk()
+		first, err := m.Marshal(it)
+		if err != nil {
+			return MarshalRow{}, fmt.Errorf("%s: %w", name, err)
+		}
+		if _, err := m.Unmarshal(first); err != nil {
+			return MarshalRow{}, fmt.Errorf("%s: %w", name, err)
+		}
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			data, err := m.Marshal(it)
+			if err != nil {
+				return MarshalRow{}, fmt.Errorf("%s: %w", name, err)
+			}
+			out, err := m.Unmarshal(data)
+			if err != nil {
+				return MarshalRow{}, fmt.Errorf("%s: %w", name, err)
+			}
+			out.Recycle()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		return MarshalRow{
+			Codec:       name,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+			AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(n),
+			FrameBytes:  len(first),
+		}, nil
+	}
+	var rows []MarshalRow
+	for _, arm := range []struct {
+		name string
+		m    netpipe.Marshaller
+	}{
+		{"gob", netpipe.GobMarshaller{}},
+		{"binary", netpipe.NewBinaryMarshaller()},
+		{"binary-stream", netpipe.NewStreamingBinaryMarshaller()},
+	} {
+		row, err := measure(arm.name, arm.m)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

@@ -6,10 +6,18 @@
 // timestamps (latency/jitter measurement), a size in bytes (bandwidth
 // accounting in netpipes) and a free-form attribute map for flow-specific
 // metadata (e.g. video frame type, used by priority drop filters).
+//
+// Items are pooled: New draws from a freelist and terminal sinks return
+// exhausted items with Recycle, so steady-state flows stop allocating item
+// headers.  Attribute maps are copy-on-write: Clone shares the map and the
+// first mutation through WithAttr/SetAttr copies it, so tees multicast
+// without a deep copy per fan-out.  Code must therefore mutate attributes
+// only through WithAttr/SetAttr, never by writing to Attrs directly.
 package item
 
 import (
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -25,15 +33,39 @@ type Item struct {
 	Created time.Time
 	// Size is the nominal size in bytes used for bandwidth accounting.
 	Size int
-	// Attrs holds flow-specific metadata.  May be nil.  Components that
-	// modify attributes must copy-on-write (items may be multicast by tees).
+	// Attrs holds flow-specific metadata.  May be nil.  Read it freely, but
+	// mutate only through WithAttr/SetAttr: clones share the map
+	// copy-on-write (items may be multicast by tees).
 	Attrs map[string]any
+
+	// attrsShared marks Attrs as shared with a clone; the next mutation
+	// through WithAttr copies the map first (copy-on-write).
+	attrsShared bool
 }
 
+// pool is the item freelist.  New draws from it and Recycle returns to it;
+// items that are never recycled simply fall to the garbage collector.
+var pool = sync.Pool{New: func() any { return new(Item) }}
+
 // New creates an item with the given payload, sequence number and creation
-// time.
+// time.  The item comes from the freelist; pass it to Recycle at end of
+// life to avoid the allocation entirely.
 func New(payload any, seq int64, created time.Time) *Item {
-	return &Item{Payload: payload, Seq: seq, Created: created}
+	it := pool.Get().(*Item)
+	*it = Item{Payload: payload, Seq: seq, Created: created}
+	return it
+}
+
+// Recycle returns an exhausted item to the freelist.  Only the final owner
+// may call it: the item must not be referenced afterwards.  Shared state
+// (a copy-on-write attribute map, the payload) is released, not reused, so
+// recycling one clone never disturbs its siblings.  Safe on nil.
+func (it *Item) Recycle() {
+	if it == nil {
+		return
+	}
+	*it = Item{}
+	pool.Put(it)
 }
 
 // WithSize sets the nominal byte size and returns the item.
@@ -42,14 +74,26 @@ func (it *Item) WithSize(n int) *Item {
 	return it
 }
 
-// WithAttr sets one attribute and returns the item.
+// WithAttr sets one attribute and returns the item, copying the attribute
+// map first if it is shared with a clone (copy-on-write).
 func (it *Item) WithAttr(key string, val any) *Item {
-	if it.Attrs == nil {
+	switch {
+	case it.Attrs == nil:
 		it.Attrs = make(map[string]any, 4)
+	case it.attrsShared:
+		m := make(map[string]any, len(it.Attrs)+1)
+		for k, v := range it.Attrs {
+			m[k] = v
+		}
+		it.Attrs = m
+		it.attrsShared = false
 	}
 	it.Attrs[key] = val
 	return it
 }
+
+// SetAttr sets one attribute (copy-on-write, like WithAttr).
+func (it *Item) SetAttr(key string, val any) { it.WithAttr(key, val) }
 
 // Attr returns the named attribute, or nil if absent or the item is nil.
 func (it *Item) Attr(key string) any {
@@ -73,20 +117,21 @@ func (it *Item) AttrInt(key string) int {
 	return n
 }
 
-// Clone returns a shallow copy of the item with a deep-copied attribute map,
-// so tees can multicast items without sharing mutable metadata.
+// Clone returns a shallow copy of the item sharing the attribute map
+// copy-on-write: the map is copied only when either side next mutates it
+// through WithAttr/SetAttr, so tees multicast without allocating per
+// fan-out.
 func (it *Item) Clone() *Item {
 	if it == nil {
 		return nil
 	}
-	cp := *it
+	cp := pool.Get().(*Item)
+	*cp = *it
 	if it.Attrs != nil {
-		cp.Attrs = make(map[string]any, len(it.Attrs))
-		for k, v := range it.Attrs {
-			cp.Attrs[k] = v
-		}
+		it.attrsShared = true
+		cp.attrsShared = true
 	}
-	return &cp
+	return cp
 }
 
 // Age reports how long ago the item was created, according to now.

@@ -48,10 +48,53 @@ func TestNilItemAccessors(t *testing.T) {
 func TestCloneIsolatesAttrs(t *testing.T) {
 	orig := New(1, 1, t0).WithAttr("k", "v")
 	cp := orig.Clone()
-	cp.Attrs["k"] = "changed"
+	cp.WithAttr("k", "changed")
 	cp.Seq = 99
 	if orig.Attrs["k"] != "v" || orig.Seq != 1 {
 		t.Error("Clone shares state (tees would corrupt multicast items)")
+	}
+	if cp.Attrs["k"] != "changed" {
+		t.Error("mutation lost on the clone")
+	}
+}
+
+func TestCloneAttrsCopyOnWrite(t *testing.T) {
+	orig := New(1, 1, t0).WithAttr("k", "v")
+	cp := orig.Clone()
+	// Before any mutation the map is shared (no copy per fan-out).
+	if got := testing.AllocsPerRun(100, func() {
+		c := orig.Clone()
+		c.Recycle()
+	}); got != 0 {
+		t.Errorf("Clone of unmutated attrs allocated %v times per run", got)
+	}
+	// Mutating the original after cloning must not leak into the clone.
+	orig.SetAttr("k", "orig2")
+	if cp.AttrString("k") != "v" {
+		t.Errorf("original mutation leaked into clone: %q", cp.AttrString("k"))
+	}
+	// A second mutation on the now-private map must not copy again.
+	m := orig.Attrs
+	orig.SetAttr("k2", "x")
+	if _, ok := m["k2"]; !ok {
+		t.Error("second mutation copied the already-private map again")
+	}
+}
+
+func TestRecycleReuse(t *testing.T) {
+	it := New("p", 5, t0).WithSize(9).WithAttr("k", "v")
+	it.Recycle()
+	fresh := New(nil, 0, time.Time{})
+	if fresh.Payload != nil || fresh.Seq != 0 || fresh.Size != 0 || fresh.Attrs != nil {
+		t.Errorf("recycled item leaked state: %+v", fresh)
+	}
+	fresh.Recycle()
+	// Steady-state New+Recycle must not allocate.
+	if got := testing.AllocsPerRun(100, func() {
+		x := New(nil, 1, t0)
+		x.Recycle()
+	}); got != 0 {
+		t.Errorf("New+Recycle allocated %v times per run", got)
 	}
 }
 

@@ -164,6 +164,7 @@ func (s *MidiSink) Push(_ *core.Ctx, it *item.Item) error {
 	}
 	s.count.Inc()
 	s.checksum = s.checksum*31 + uint64(ev.Note)<<8 + uint64(ev.Velocity)
+	it.Recycle() // terminal sink: the item's journey ends here
 	return nil
 }
 

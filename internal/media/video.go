@@ -260,11 +260,12 @@ func (d *Decoder) Convert(ctx *core.Ctx, it *item.Item) (*item.Item, error) {
 	d.remember(f.Seq)
 	raw := *f
 	raw.Decoded = true
-	out := it.Clone()
-	out.Payload = &raw
-	out.Size = f.Bytes * 8 // raw frames are larger; nominal 8x expansion
+	// The item is converted in place: this stage consumes its input, so no
+	// clone is needed — only the payload and accounting size change.
+	it.Payload = &raw
+	it.Size = f.Bytes * 8 // raw frames are larger; nominal 8x expansion
 	d.ok.Inc()
-	return out, nil
+	return it, nil
 }
 
 // remember tracks decoded frames over a sliding window so the reference set
@@ -344,6 +345,7 @@ func (d *Display) Push(ctx *core.Ctx, it *item.Item) error {
 	if f, ok := it.Payload.(*Frame); ok {
 		d.byType[f.Type]++
 	}
+	it.Recycle() // terminal sink: the item's journey ends here
 	return nil
 }
 

@@ -43,8 +43,15 @@ type wireItem struct {
 	Payload any
 }
 
+// DefaultMarshaller returns the codec netpipes use unless told otherwise:
+// the binary wire codec with a self-contained gob fallback (safe on lossy
+// links).  Reliable ordered transports (TCP) upgrade the fallback to a
+// per-connection gob stream via NewStreamingBinaryMarshaller.
+func DefaultMarshaller() Marshaller { return NewBinaryMarshaller() }
+
 // GobMarshaller marshals items with encoding/gob, prefixed by a length and
-// suitable for any payload registered with RegisterPayload.
+// suitable for any payload registered with RegisterPayload.  It is the
+// compatibility codec; BinaryMarshaller is the default and the fast path.
 type GobMarshaller struct{}
 
 var _ Marshaller = GobMarshaller{}
@@ -115,6 +122,7 @@ func (f *marshalFilter) Convert(_ *core.Ctx, it *item.Item) (*item.Item, error) 
 	if it.Size > out.Size {
 		out.Size = it.Size
 	}
+	it.Recycle() // the information item ends here; its bytes travel on
 	return out, nil
 }
 
@@ -152,7 +160,12 @@ func (f *unmarshalFilter) Convert(_ *core.Ctx, it *item.Item) (*item.Item, error
 	if !ok {
 		return nil, fmt.Errorf("netpipe: unmarshal filter %q: payload %T is not []byte", f.Name(), it.Payload)
 	}
-	return f.m.Unmarshal(data)
+	out, err := f.m.Unmarshal(data)
+	if err != nil {
+		return nil, err
+	}
+	it.Recycle() // the wire item ends here; the information item travels on
+	return out, nil
 }
 
 // frame type tags on the wire.
@@ -161,11 +174,13 @@ const (
 	frameEOS  byte = 2
 )
 
-// encodeFrame prefixes a payload with its length and type tag.
-func encodeFrame(tag byte, payload []byte) []byte {
-	out := make([]byte, 5+len(payload))
-	binary.BigEndian.PutUint32(out[:4], uint32(len(payload)+1))
-	out[4] = tag
-	copy(out[5:], payload)
-	return out
+// encodeFrame appends a length-and-tag-prefixed frame for payload to dst
+// and returns the extended buffer.  Senders keep one transmit buffer per
+// connection and pass it as dst (re-sliced to zero length), so steady-state
+// framing reuses the same allocation instead of building a fresh frame per
+// send.
+func encodeFrame(dst []byte, tag byte, payload []byte) []byte {
+	dst = append(dst, 0, 0, 0, 0, tag)
+	binary.BigEndian.PutUint32(dst[len(dst)-5:], uint32(len(payload)+1))
+	return append(dst, payload...)
 }

@@ -1,0 +1,95 @@
+package netpipe
+
+import (
+	"fmt"
+	"time"
+
+	"infopipes/internal/media"
+)
+
+// Binary payload codecs for the media flows that dominate netpipe traffic:
+// synthetic video frames and MIDI events.  Registered here (the transport
+// layer knows both worlds) so every netpipe user gets the fast path without
+// wiring codecs by hand; media itself stays free of wire-format concerns.
+
+// Payload codes of the built-in media codecs.
+const (
+	binMediaFrame byte = binCustomBase + iota
+	binMediaMIDI
+)
+
+func init() {
+	RegisterBinaryPayload(binMediaFrame, (*media.Frame)(nil), appendMediaFrame, parseMediaFrame)
+	RegisterBinaryPayload(binMediaMIDI, (*media.MidiEvent)(nil), appendMidiEvent, parseMidiEvent)
+}
+
+func appendMediaFrame(dst []byte, v any) []byte {
+	f := v.(*media.Frame)
+	dst = appendUvarint(dst, uint64(f.Type))
+	dst = appendVarint(dst, f.Seq)
+	dst = appendVarint(dst, int64(f.PTS))
+	dst = appendVarint(dst, int64(f.Bytes))
+	dst = appendUvarint(dst, uint64(len(f.Refs)))
+	for _, r := range f.Refs {
+		dst = appendVarint(dst, r)
+	}
+	b := byte(0)
+	if f.Decoded {
+		b = 1
+	}
+	return append(dst, b)
+}
+
+func parseMediaFrame(src []byte) (any, []byte, error) {
+	var f media.Frame
+	ft, src, err := parseUvarint(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	f.Type = media.FrameType(ft)
+	if f.Seq, src, err = parseVarint(src); err != nil {
+		return nil, nil, err
+	}
+	var pts, size int64
+	if pts, src, err = parseVarint(src); err != nil {
+		return nil, nil, err
+	}
+	f.PTS = time.Duration(pts)
+	if size, src, err = parseVarint(src); err != nil {
+		return nil, nil, err
+	}
+	f.Bytes = int(size)
+	nrefs, src, err := parseUvarint(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	if nrefs > uint64(len(src)) { // each ref is at least one byte
+		return nil, nil, fmt.Errorf("netpipe: frame decode: %d refs exceed frame", nrefs)
+	}
+	if nrefs > 0 {
+		f.Refs = make([]int64, nrefs)
+		for i := range f.Refs {
+			if f.Refs[i], src, err = parseVarint(src); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	if len(src) < 1 {
+		return nil, nil, fmt.Errorf("netpipe: frame decode: truncated decoded flag")
+	}
+	f.Decoded = src[0] != 0
+	return &f, src[1:], nil
+}
+
+func appendMidiEvent(dst []byte, v any) []byte {
+	e := v.(*media.MidiEvent)
+	return append(dst, e.Channel, e.Note, e.Velocity)
+}
+
+func parseMidiEvent(src []byte) (any, []byte, error) {
+	if len(src) < 3 {
+		return nil, nil, fmt.Errorf("netpipe: midi decode: truncated event")
+	}
+	e := &media.MidiEvent{Channel: src[0], Note: src[1], Velocity: src[2]}
+	return e, src[3:], nil
+}

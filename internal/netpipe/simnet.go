@@ -280,6 +280,7 @@ func (s *simSink) Push(ctx *core.Ctx, it *item.Item) error {
 		return fmt.Errorf("netpipe: sink %q: payload %T is not []byte (insert a marshal filter)", s.Name(), it.Payload)
 	}
 	s.link.send(ctx.Now(), data, it.Size, false)
+	it.Recycle() // the payload bytes live on in the link's flight queue
 	return nil
 }
 
@@ -292,6 +293,26 @@ func (s *simSink) HandleEOS(ctx *core.Ctx) { s.link.send(ctx.Now(), nil, 0, true
 func (s *simSink) HandleEvent(ctx *core.Ctx, ev events.Event) {
 	if ev.Type == events.Stop {
 		s.link.send(ctx.Now(), nil, 0, true)
+	}
+}
+
+// SenderStages returns the canonical producer-side tail for this link —
+// marshal filter plus sink — wired to the default binary codec.  The gob
+// fallback stays self-contained per item: a simulated link may drop frames,
+// and a per-connection gob stream does not survive loss.
+func (l *SimLink) SenderStages(name string) []core.Stage {
+	return []core.Stage{
+		core.Comp(NewMarshalFilter(name+"/marshal", DefaultMarshaller())),
+		core.Comp(l.NewSink(name + "/sink")),
+	}
+}
+
+// ReceiverStages returns the canonical consumer-side head for this link —
+// source plus unmarshal filter — wired to the default binary codec.
+func (l *SimLink) ReceiverStages(name string) []core.Stage {
+	return []core.Stage{
+		core.Comp(l.NewSource(name + "/source")),
+		core.Comp(NewUnmarshalFilter(name+"/unmarshal", DefaultMarshaller())),
 	}
 }
 

@@ -26,6 +26,7 @@ type TCPLink struct {
 	mu     sync.Mutex
 	conn   net.Conn
 	closed bool
+	txBuf  []byte // reusable transmit frame buffer, guarded by mu
 
 	rxSched    *uthread.Scheduler
 	inbox      *inbox
@@ -82,14 +83,17 @@ func (l *TCPLink) readLoop() {
 	}
 }
 
-// send writes one frame on the sender side.
+// send writes one frame on the sender side, reusing the link's transmit
+// buffer (the lock serialises senders, so one buffer per connection is
+// enough).
 func (l *TCPLink) send(tag byte, payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return nil
 	}
-	if _, err := l.conn.Write(encodeFrame(tag, payload)); err != nil {
+	l.txBuf = encodeFrame(l.txBuf[:0], tag, payload)
+	if _, err := l.conn.Write(l.txBuf); err != nil {
 		return fmt.Errorf("netpipe: tcp send: %w", err)
 	}
 	return nil
@@ -140,7 +144,11 @@ func (s *tcpSink) Push(_ *core.Ctx, it *item.Item) error {
 	if !ok {
 		return fmt.Errorf("netpipe: tcp sink %q: payload %T is not []byte (insert a marshal filter)", s.Name(), it.Payload)
 	}
-	return s.link.send(frameData, data)
+	err := s.link.send(frameData, data)
+	if err == nil {
+		it.Recycle() // wire item consumed: its bytes are on the network
+	}
+	return err
 }
 
 // HandleEOS implements core.EOSSink.
@@ -186,6 +194,26 @@ func (s *tcpSource) Pull(ctx *core.Ctx) (*item.Item, error) {
 		return nil, err
 	}
 	return item.New(data, 0, ctx.Now()).WithSize(len(data)), nil
+}
+
+// SenderStages returns the canonical producer-side tail for this link —
+// marshal filter plus sink — wired to the default binary codec with the
+// streaming gob fallback (TCP is reliable and ordered, so gob type
+// descriptors cross the wire once per connection).
+func (l *TCPLink) SenderStages(name string) []core.Stage {
+	return []core.Stage{
+		core.Comp(NewMarshalFilter(name+"/marshal", NewStreamingBinaryMarshaller())),
+		core.Comp(l.NewSink(name + "/sink")),
+	}
+}
+
+// ReceiverStages returns the canonical consumer-side head for this link —
+// source plus unmarshal filter — wired to the default binary codec.
+func (l *TCPLink) ReceiverStages(name string) []core.Stage {
+	return []core.Stage{
+		core.Comp(l.NewSource(name + "/source")),
+		core.Comp(NewUnmarshalFilter(name+"/unmarshal", NewBinaryMarshaller())),
+	}
 }
 
 // Listen accepts exactly one inbound connection on addr — the simple

@@ -167,9 +167,13 @@ func (s *FuncSink) Style() core.Style { return core.StyleConsumer }
 // Push implements core.Consumer.
 func (s *FuncSink) Push(ctx *core.Ctx, it *item.Item) error { return s.fn(ctx, it) }
 
-// NullSink discards items (benchmark baseline).
+// NullSink discards items, recycling them to the freelist (benchmark
+// baseline).
 func NullSink(name string) *FuncSink {
-	return NewFuncSink(name, func(*core.Ctx, *item.Item) error { return nil })
+	return NewFuncSink(name, func(_ *core.Ctx, it *item.Item) error {
+		it.Recycle()
+		return nil
+	})
 }
 
 // FuncFilter is a function-style component built from a conversion
@@ -336,6 +340,7 @@ func (f *DropFilter) HandleEvent(_ *core.Ctx, ev events.Event) {
 func (f *DropFilter) Convert(_ *core.Ctx, it *item.Item) (*item.Item, error) {
 	if f.policy != nil && f.policy(it, f.Level()) {
 		f.dropped.Inc()
+		it.Recycle() // dropped: this filter is the item's terminal owner
 		return nil, nil
 	}
 	f.passed.Inc()

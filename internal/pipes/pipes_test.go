@@ -448,7 +448,7 @@ func TestCopyTeeClonesItems(t *testing.T) {
 		t.Fatal(err)
 	}
 	mutate := pipes.NewFuncFilter("mutate", func(_ *core.Ctx, it *item.Item) (*item.Item, error) {
-		it.Attrs["tag"] = "mutated"
+		it.SetAttr("tag", "mutated")
 		return it, nil
 	})
 	sink0 := pipes.NewCollectSink("s0")

@@ -54,9 +54,16 @@ func (t *CopyTee) BindScheduler(s *uthread.Scheduler) {
 func (t *CopyTee) Style() core.Style { return core.StyleConsumer }
 
 // Push implements core.Consumer: clones the item into every output buffer.
+// Clones share the attribute map copy-on-write, and the original travels on
+// to the last branch, so an n-way fan-out costs n-1 pooled item headers and
+// no map copies.
 func (t *CopyTee) Push(ctx *core.Ctx, it *item.Item) error {
-	for _, b := range t.outs {
-		if err := b.Insert(ctx, it.Clone()); err != nil {
+	for i, b := range t.outs {
+		out := it
+		if i < len(t.outs)-1 {
+			out = it.Clone()
+		}
+		if err := b.Insert(ctx, out); err != nil {
 			return err
 		}
 	}

@@ -5,102 +5,94 @@ import (
 	"time"
 )
 
-// readyQueue is a max-heap of runnable threads ordered by effective
-// priority, FIFO within a priority level.  All access happens with the
-// scheduler mutex held.
+// readyQueue is a max-heap of runnable threads ordered by cached effective
+// priority, FIFO within a priority level.  The cached priority (t.effPrio)
+// is refreshed at every point a queued thread's priority can change — push,
+// re-push, and message arrival (fix) — so heap comparisons are plain field
+// compares and peekMax never has to rebuild the heap.  All access happens
+// with the scheduler mutex held.
 type readyQueue struct {
 	items   readyHeap
 	nextSeq uint64
-	seqs    map[uint64]uint64 // thread id -> push sequence (FIFO tiebreak)
 }
 
-type readyHeap struct {
-	q *readyQueue
-	v []*Thread
-}
+type readyHeap []*Thread
 
-func (h readyHeap) Len() int { return len(h.v) }
+func (h readyHeap) Len() int { return len(h) }
 
 func (h readyHeap) Less(i, j int) bool {
-	a, b := h.v[i], h.v[j]
-	pa, pb := a.effectivePriorityLocked(), b.effectivePriorityLocked()
-	if pa != pb {
-		return pa > pb // max-heap: higher priority first
+	a, b := h[i], h[j]
+	if a.effPrio != b.effPrio {
+		return a.effPrio > b.effPrio // max-heap: higher priority first
 	}
-	return h.q.seqs[a.id] < h.q.seqs[b.id] // FIFO among equals
+	return a.readySeq < b.readySeq // FIFO among equals
 }
 
 func (h readyHeap) Swap(i, j int) {
-	h.v[i], h.v[j] = h.v[j], h.v[i]
-	h.v[i].heapIdx = i
-	h.v[j].heapIdx = j
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
 }
 
 func (h *readyHeap) Push(x any) {
 	t := x.(*Thread)
-	t.heapIdx = len(h.v)
-	h.v = append(h.v, t)
+	t.heapIdx = len(*h)
+	*h = append(*h, t)
 }
 
 func (h *readyHeap) Pop() any {
-	old := h.v
+	old := *h
 	n := len(old)
 	t := old[n-1]
 	old[n-1] = nil
 	t.heapIdx = -1
-	h.v = old[:n-1]
+	*h = old[:n-1]
 	return t
 }
 
-func (q *readyQueue) init() {
-	if q.seqs == nil {
-		q.seqs = make(map[uint64]uint64)
-		q.items.q = q
-	}
-}
-
-// push adds t to the run queue.  Pushing a thread that is already queued is
-// a no-op (idempotent, guarding against double-ready races).
+// push adds t to the run queue, snapshotting its effective priority.
+// Pushing a thread that is already queued refreshes its cached priority
+// instead (idempotent, guarding against double-ready races).
 func (q *readyQueue) push(t *Thread) {
-	q.init()
-	if _, queued := q.seqs[t.id]; queued {
+	if t.heapIdx >= 0 {
+		q.fix(t)
 		return
 	}
 	q.nextSeq++
-	q.seqs[t.id] = q.nextSeq
+	t.readySeq = q.nextSeq
+	t.effPrio = t.effectivePriorityLocked()
 	heap.Push(&q.items, t)
 }
 
 // popMax removes and returns the highest-effective-priority thread, or nil.
 func (q *readyQueue) popMax() *Thread {
-	q.init()
-	if len(q.items.v) == 0 {
+	if len(q.items) == 0 {
 		return nil
 	}
-	t := heap.Pop(&q.items).(*Thread)
-	delete(q.seqs, t.id)
-	return t
+	return heap.Pop(&q.items).(*Thread)
 }
 
 // peekMax returns the highest-effective-priority thread without removing
-// it, or nil.
+// it, or nil.  The heap is maintained incrementally at every invalidation
+// site, so the root is always current — no rebuild needed.
 func (q *readyQueue) peekMax() *Thread {
-	q.init()
-	if len(q.items.v) == 0 {
+	if len(q.items) == 0 {
 		return nil
 	}
-	// The heap root is the max, but effective priorities can drift between
-	// pushes (priority inheritance); re-establish before answering.
-	heap.Init(&q.items)
-	return q.items.v[0]
+	return q.items[0]
 }
 
-// fix restores heap order after t's effective priority may have changed.
+// fix re-snapshots t's effective priority and restores heap order.  Called
+// whenever a queued thread's priority inputs change (a message arrived).
 func (q *readyQueue) fix(t *Thread) {
-	q.init()
-	if _, queued := q.seqs[t.id]; !queued || t.heapIdx < 0 {
+	if t.heapIdx < 0 {
 		return
 	}
+	p := t.effectivePriorityLocked()
+	if p == t.effPrio {
+		return
+	}
+	t.effPrio = p
 	heap.Fix(&q.items, t.heapIdx)
 }
 
@@ -113,10 +105,12 @@ type timerEntry struct {
 }
 
 // timerQueue is a min-heap of timers by (deadline, arrival).  Cancellation
-// is lazy: cancelled tokens are skipped on peek/pop.  All access happens
-// with the scheduler mutex held.
+// is lazy in the heap but O(1) to request: a token → pending index decides
+// membership without scanning, and cancelled entries are skipped when they
+// reach the root.  All access happens with the scheduler mutex held.
 type timerQueue struct {
 	items     timerHeap
+	pending   map[TimerToken]struct{} // live (uncancelled) tokens in the heap
 	cancelled map[TimerToken]struct{}
 }
 
@@ -140,24 +134,24 @@ func (h *timerHeap) Pop() any {
 }
 
 func (q *timerQueue) push(e timerEntry) {
+	if q.pending == nil {
+		q.pending = make(map[TimerToken]struct{})
+	}
+	q.pending[e.token] = struct{}{}
 	heap.Push(&q.items, e)
 }
 
-// cancel marks tok cancelled; reports whether it was pending.
+// cancel marks tok cancelled; reports whether it was pending.  O(1).
 func (q *timerQueue) cancel(tok TimerToken) bool {
-	if _, dead := q.cancelled[tok]; dead {
+	if _, live := q.pending[tok]; !live {
 		return false
 	}
-	for i := range q.items {
-		if q.items[i].token == tok {
-			if q.cancelled == nil {
-				q.cancelled = make(map[TimerToken]struct{})
-			}
-			q.cancelled[tok] = struct{}{}
-			return true
-		}
+	delete(q.pending, tok)
+	if q.cancelled == nil {
+		q.cancelled = make(map[TimerToken]struct{})
 	}
-	return false
+	q.cancelled[tok] = struct{}{}
+	return true
 }
 
 // peek returns the earliest live deadline.
@@ -176,6 +170,7 @@ func (q *timerQueue) popDue(now time.Time) (timerEntry, bool) {
 		return timerEntry{}, false
 	}
 	e := heap.Pop(&q.items).(timerEntry)
+	delete(q.pending, e.token)
 	return e, true
 }
 

@@ -27,9 +27,11 @@ type Thread struct {
 
 	// All fields below are protected by sched.mu unless noted.
 	state    threadState
-	queue    []Message
+	mq       msgQueue
 	waitPred func(Message) bool // non-nil while blocked on a selective receive
 	heapIdx  int                // position in the ready queue, -1 if absent
+	readySeq uint64             // ready-queue arrival order (FIFO tiebreak)
+	effPrio  Priority           // cached effective priority while queued
 
 	current Constraint // constraint of the message being processed
 
@@ -94,54 +96,14 @@ func (t *Thread) effectivePriorityLocked() Priority {
 }
 
 func (t *Thread) bestQueuedConstraintLocked() (Priority, bool) {
-	best := Priority(0)
-	found := false
-	for i := range t.queue {
-		if c := t.queue[i].Constraint; c.Set && (!found || c.Level > best) {
-			best, found = c.Level, true
-		}
-	}
-	return best, found
+	return t.mq.bestConstraint()
 }
 
 // dequeueLocked removes and returns the best pending message matching pred
 // (nil matches all).  Messages are delivered highest-constraint first and
 // FIFO within a level, so control events (high constraints) overtake data.
 func (t *Thread) dequeueLocked(pred func(Message) bool) (Message, bool) {
-	bestIdx := -1
-	for i := range t.queue {
-		m := &t.queue[i]
-		if pred != nil && !pred(*m) {
-			continue
-		}
-		if bestIdx < 0 {
-			bestIdx = i
-			continue
-		}
-		b := &t.queue[bestIdx]
-		if constraintLess(b.Constraint, m.Constraint) {
-			bestIdx = i
-		}
-	}
-	if bestIdx < 0 {
-		return Message{}, false
-	}
-	m := t.queue[bestIdx]
-	t.queue = append(t.queue[:bestIdx], t.queue[bestIdx+1:]...)
-	return m, true
-}
-
-// constraintLess reports whether a sorts strictly after b in delivery order
-// (b should be delivered first).  Set constraints outrank unset; higher
-// levels outrank lower; earlier arrival wins ties via caller iteration order.
-func constraintLess(a, b Constraint) bool {
-	if a.Set != b.Set {
-		return b.Set
-	}
-	if a.Set && a.Level != b.Level {
-		return b.Level > a.Level
-	}
-	return false // equal: keep the earlier (FIFO)
+	return t.mq.popMatch(pred)
 }
 
 // run is the thread goroutine: the top-level message loop described in §4.
@@ -177,7 +139,7 @@ func (t *Thread) terminate() {
 	s := t.sched
 	s.mu.Lock()
 	t.state = stateTerminated
-	t.queue = nil
+	t.mq.clear()
 	delete(s.threads, t.id)
 	s.live--
 	s.mu.Unlock()
@@ -237,15 +199,7 @@ func (t *Thread) awaitMessage(pred func(Message) bool) Message {
 
 // peekLocked reports whether a queued message matches pred (nil = any).
 func (t *Thread) peekLocked(pred func(Message) bool) bool {
-	if pred == nil {
-		return len(t.queue) > 0
-	}
-	for i := range t.queue {
-		if pred(t.queue[i]) {
-			return true
-		}
-	}
-	return false
+	return t.mq.anyMatch(pred)
 }
 
 // yieldToken returns the run token to the scheduler (if held) and blocks
@@ -482,7 +436,7 @@ func (t *Thread) SleepUntilOr(at time.Time, cancelled func() bool) bool {
 func (t *Thread) QueueLen() int {
 	t.sched.mu.Lock()
 	defer t.sched.mu.Unlock()
-	return len(t.queue)
+	return t.mq.len()
 }
 
 // Terminated reports whether the thread has ended.

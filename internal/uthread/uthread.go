@@ -234,14 +234,15 @@ func (s *Scheduler) Spawn(name string, prio Priority, code CodeFunc) *Thread {
 	s.mu.Lock()
 	s.nextID++
 	t := &Thread{
-		id:     s.nextID,
-		name:   name,
-		sched:  s,
-		static: prio,
-		code:   code,
-		state:  stateBlocked, // waiting for first message
-		gate:   make(chan struct{}),
-		done:   make(chan struct{}),
+		id:      s.nextID,
+		name:    name,
+		sched:   s,
+		static:  prio,
+		code:    code,
+		state:   stateBlocked, // waiting for first message
+		heapIdx: -1,
+		gate:    make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	s.threads[t.id] = t
 	s.live++
@@ -452,7 +453,7 @@ func (s *Scheduler) fireTimersLocked() {
 func (s *Scheduler) enqueueLocked(dst *Thread, msg Message) {
 	s.nextSeq++
 	msg.seq = s.nextSeq
-	dst.queue = append(dst.queue, msg)
+	dst.mq.push(msg)
 	s.messages.Inc()
 	switch dst.state {
 	case stateBlocked:
