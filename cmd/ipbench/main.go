@@ -6,12 +6,15 @@
 //
 // Usage:
 //
-//	ipbench [fig9|switches|midi|dropping|jitter|pumps|all]
+//	ipbench [fig9|switches|midi|dropping|jitter|pumps|marshal|shard|all]
+//	ipbench shard [n]    # restrict the E17 sweep to n shards (CI smoke)
 package main
 
 import (
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 
 	"infopipes/internal/experiments"
 )
@@ -29,8 +32,17 @@ func main() {
 		"jitter":   jitter,
 		"pumps":    pumps,
 		"marshal":  marshal,
+		"shard":    func() error { return shardScaling(nil) },
 	}
-	order := []string{"fig9", "switches", "midi", "dropping", "jitter", "pumps", "marshal"}
+	if which == "shard" && len(os.Args) > 2 {
+		n, err := strconv.Atoi(os.Args[2])
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "ipbench: shard count %q must be a positive integer\n", os.Args[2])
+			os.Exit(2)
+		}
+		runners["shard"] = func() error { return shardScaling([]int{n}) }
+	}
+	order := []string{"fig9", "switches", "midi", "dropping", "jitter", "pumps", "marshal", "shard"}
 	if which != "all" {
 		run, ok := runners[which]
 		if !ok {
@@ -144,6 +156,30 @@ func pumps() error {
 	fmt.Printf("%-14s %12s %12s\n", "class", "target Hz", "measured Hz")
 	for _, r := range rows {
 		fmt.Printf("%-14s %12.1f %12.1f\n", r.Class, r.TargetRate, r.MeasuredRate)
+	}
+	return nil
+}
+
+func shardScaling(counts []int) error {
+	if counts == nil {
+		counts = []int{1, 2, 4, 8}
+	}
+	const pipelines, items, spin = 8, 20_000, 400
+	rows, err := experiments.ShardScaling(counts, pipelines, items, spin)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E17 — sharded runtime: %d pipelines × %d items, spin=%d (host: %d cores)\n",
+		pipelines, items, spin, runtime.NumCPU())
+	fmt.Printf("%-8s %12s %14s %12s %10s\n", "shards", "wall (ms)", "items/s", "switches", "speedup")
+	base := rows[0].Throughput
+	for _, r := range rows {
+		speedup := 0.0
+		if base > 0 {
+			speedup = r.Throughput / base
+		}
+		fmt.Printf("%-8d %12.1f %14.0f %12d %9.2fx\n",
+			r.Shards, float64(r.Wall.Microseconds())/1e3, r.Throughput, r.Switches, speedup)
 	}
 	return nil
 }

@@ -35,6 +35,7 @@ import (
 	"infopipes/internal/netpipe"
 	"infopipes/internal/pipes"
 	"infopipes/internal/remote"
+	"infopipes/internal/shard"
 	"infopipes/internal/typespec"
 	"infopipes/internal/uthread"
 	"infopipes/internal/vclock"
@@ -82,14 +83,86 @@ func NewRealTimeScheduler() *Scheduler {
 	return uthread.New(uthread.WithClock(vclock.Real{}))
 }
 
-// NewSchedulerWithClock creates a scheduler on an explicit clock (e.g. one
-// virtual clock shared by several schedulers).
+// NewSchedulerWithClock creates a scheduler on an explicit clock.  A plain
+// VirtualClock serves one scheduler at a time (Run refuses a second
+// concurrent driver — sharing one Virtual let an idle scheduler jump time
+// past its peer's earlier deadlines).  To share one deterministic time base
+// across several schedulers, create a GroupVirtualClock and give each
+// scheduler its own Member.
 func NewSchedulerWithClock(c Clock) *Scheduler {
 	return uthread.New(uthread.WithClock(c))
 }
 
 // NewVirtualClock returns a fresh virtual clock at the epoch.
 func NewVirtualClock() *VirtualClock { return vclock.NewVirtual() }
+
+// Epoch is the instant every virtual clock starts at.
+var Epoch = vclock.Epoch
+
+// GroupVirtualClock is the coordinated virtual clock shared by several
+// schedulers: each scheduler drives one Member, and global time advances
+// only to the minimum pending deadline once every member is idle — a
+// deterministic distributed discrete-event simulation.
+type GroupVirtualClock = vclock.GroupVirtual
+
+// GroupClockMember is one scheduler's handle on a GroupVirtualClock.
+type GroupClockMember = vclock.GroupMember
+
+// NewGroupVirtualClock returns a coordinated shared clock at the epoch.
+// Typical use:
+//
+//	g := infopipes.NewGroupVirtualClock()
+//	s1 := infopipes.NewSchedulerWithClock(g.Member())
+//	s2 := infopipes.NewSchedulerWithClock(g.Member())
+//	errc1, errc2 := s1.RunBackground(), s2.RunBackground()
+//
+// Member schedulers must run CONCURRENTLY: time only advances once every
+// member is idle, so a member that was created but never runs holds the
+// clock still and any peer timer blocks forever (a member leaves the group
+// when its scheduler shuts down, so finished members never hold time back —
+// but a never-started one does).  Running the members sequentially is
+// therefore only safe when the earlier ones use no timers.  SchedulerGroup
+// manages this automatically; prefer it over hand-wiring members.
+var NewGroupVirtualClock = vclock.NewGroupVirtual
+
+// ---- Sharded runtime: multi-core pipeline farms ----
+
+type (
+	// SchedulerGroup is the multi-core sharded runtime: it owns N
+	// schedulers (default runtime.NumCPU()), runs each on its own
+	// goroutine, places whole pipelines onto shards (round-robin or
+	// least-loaded), and joins Run/Stop/Err plus aggregated Stats.
+	// Thread transparency is preserved per shard: every pipeline still
+	// lives inside one uniprocessor scheduler, so components never see
+	// concurrency.  By default the shards share one coordinated virtual
+	// clock; ShardRealClock selects the wall clock for throughput farms.
+	SchedulerGroup = shard.Group
+	// ShardLink is the in-process cross-shard netpipe: zero-copy (no
+	// marshalling), bounded, blocking on both sides, with the same
+	// SenderStages/ReceiverStages surface as the network links.
+	ShardLink = shard.Link
+	// ShardOption configures a SchedulerGroup.
+	ShardOption = shard.Option
+	// ShardPolicy selects the pipeline placement policy.
+	ShardPolicy = shard.Policy
+	// SchedStats is a snapshot of scheduler activity counters.
+	SchedStats = uthread.Stats
+)
+
+// Placement policies.
+const (
+	ShardRoundRobin  = shard.RoundRobin
+	ShardLeastLoaded = shard.LeastLoaded
+)
+
+// Sharded-runtime constructors and options.
+var (
+	NewSchedulerGroup = shard.NewGroup
+	NewShardLink      = shard.NewLink
+	ShardCount        = shard.WithShardCount
+	ShardPlacement    = shard.WithPolicy
+	ShardRealClock    = shard.WithRealClock
+)
 
 // ---- Component model ----
 
@@ -258,6 +331,9 @@ var (
 
 // BoundedBuffer is the standard buffer implementation.
 type BoundedBuffer = pipes.BoundedBuffer
+
+// CollectSink is the measuring terminal sink (counts, items, latency).
+type CollectSink = pipes.CollectSink
 
 // Sources, sinks, filters.
 var (

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"infopipes/internal/events"
+	"infopipes/internal/uthread"
+)
+
+// AwaitWake is the shared blocking protocol for framework stages that park a
+// thread on an external queue (netpipe inboxes, shard links): the caller
+// registers a waiter token with its queue, then blocks here until the
+// queue's wake message for that token arrives, dispatching control events
+// that arrive in the meantime (§3.2 — a blocked component still reacts to
+// stop/pause).  kind is the queue's private wake message kind, carrying the
+// token as its Data.
+//
+// On shutdown (stopping reports true after a control dispatch) the waiter is
+// deregistered through the supplied callback; if the wake was already posted
+// — deregister reports false — the in-flight wake message is consumed so it
+// cannot leak into the thread's next receive.  Returns ErrStopped in that
+// case, nil once the wake arrived.
+func AwaitWake(t *uthread.Thread, kind uthread.Kind, token uint64, stopping func() bool, deregister func(uint64) bool) error {
+	if stopping == nil {
+		stopping = func() bool { return false }
+	}
+	isWake := func(m uthread.Message) bool {
+		w, ok := m.Data.(uint64)
+		return m.Kind == kind && ok && w == token
+	}
+	for {
+		m := t.ReceiveMatch(func(m uthread.Message) bool {
+			return isWake(m) || events.IsControl(m)
+		})
+		if isWake(m) {
+			deregister(token)
+			return nil
+		}
+		t.DispatchControl(m)
+		if stopping() {
+			if !deregister(token) {
+				t.TryReceive(isWake) // consume the in-flight wake
+			}
+			return ErrStopped
+		}
+	}
+}
+
+// Waiter is one thread parked in a WaiterList, identified by its token.
+type Waiter struct {
+	Thread *uthread.Thread
+	Token  uint64
+}
+
+// Wake posts the waiter's wake message through its own scheduler (safe from
+// any goroutine — this is the cross-scheduler edge of the protocol).  Call
+// after releasing the owning queue's lock.
+func (w Waiter) Wake(kind uthread.Kind) {
+	w.Thread.Scheduler().Post(w.Thread, uthread.Message{
+		Kind:       kind,
+		Data:       w.Token,
+		Constraint: uthread.At(uthread.PriorityHigh),
+	})
+}
+
+// WaiterList is the bookkeeping half of the AwaitWake protocol: FIFO
+// registration with unique tokens, removal by token, wake-one and wake-all.
+// It does no locking of its own — every method must be called with the
+// owning queue's lock held; Wake the returned waiters after releasing it.
+type WaiterList struct {
+	nextTok uint64
+	entries []Waiter
+}
+
+// Register parks t and returns its token, to be passed to AwaitWake.
+func (l *WaiterList) Register(t *uthread.Thread) uint64 {
+	l.nextTok++
+	l.entries = append(l.entries, Waiter{Thread: t, Token: l.nextTok})
+	return l.nextTok
+}
+
+// Remove deregisters the waiter with the given token, reporting whether it
+// was still parked (false means its wake is already in flight).
+func (l *WaiterList) Remove(tok uint64) bool {
+	for i, w := range l.entries {
+		if w.Token == tok {
+			l.entries = append(l.entries[:i], l.entries[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// PopFront removes and returns the longest-parked waiter.
+func (l *WaiterList) PopFront() (Waiter, bool) {
+	if len(l.entries) == 0 {
+		return Waiter{}, false
+	}
+	w := l.entries[0]
+	l.entries = l.entries[1:]
+	return w, true
+}
+
+// TakeAll removes and returns every parked waiter (close paths).
+func (l *WaiterList) TakeAll() []Waiter {
+	ws := l.entries
+	l.entries = nil
+	return ws
+}
+
+// Len reports the number of parked waiters.
+func (l *WaiterList) Len() int { return len(l.entries) }

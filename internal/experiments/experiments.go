@@ -17,6 +17,7 @@ import (
 	"infopipes/internal/media"
 	"infopipes/internal/netpipe"
 	"infopipes/internal/pipes"
+	"infopipes/internal/shard"
 	"infopipes/internal/typespec"
 	"infopipes/internal/uthread"
 )
@@ -463,6 +464,84 @@ func MarshalComparison(n int) ([]MarshalRow, error) {
 			return nil, err
 		}
 		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------- E17: shard scaling
+
+// ShardRow is one point of the shard-count sweep.
+type ShardRow struct {
+	Shards     int
+	Pipelines  int
+	Items      int64         // items per pipeline
+	Wall       time.Duration // wall time for the whole farm
+	Throughput float64       // aggregate items/second across all pipelines
+	Switches   int64         // context switches summed over all shards
+}
+
+// shardWork is the synthetic per-item CPU cost: spin rounds of xorshift64,
+// folded into the payload so the work cannot be optimised away.
+func shardWork(seq int64, spin int) int64 {
+	x := uint64(seq)*2685821657736338717 + 1
+	for i := 0; i < spin; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return int64(x)
+}
+
+// ShardScaling runs the same pipeline farm — `pipelines` identical
+// source→work→sink pipelines, placed round-robin — on 1, 2, 4, ... shard
+// runtimes and reports aggregate throughput.  The farm runs on the wall
+// clock: the point is real multi-core speedup, the scheduler-per-shard
+// design's answer to the paper's deliberately uniprocessor thread package.
+// Scaling flattens at the host's core count (a 1-core container shows ~1×).
+func ShardScaling(shardCounts []int, pipelines int, itemsPerPipeline int64, spin int) ([]ShardRow, error) {
+	rows := make([]ShardRow, 0, len(shardCounts))
+	for _, n := range shardCounts {
+		g := shard.NewGroup(shard.WithShardCount(n), shard.WithRealClock())
+		ps := make([]*core.Pipeline, 0, pipelines)
+		for i := 0; i < pipelines; i++ {
+			work := pipes.NewFuncFilter(fmt.Sprintf("work%d", i),
+				func(_ *core.Ctx, it *item.Item) (*item.Item, error) {
+					seq, _ := it.Payload.(int64)
+					it.Payload = shardWork(seq, spin)
+					return it, nil
+				})
+			p, err := g.Compose(fmt.Sprintf("farm%d", i), nil, []core.Stage{
+				core.Comp(pipes.NewCounterSource("src", itemsPerPipeline)),
+				core.Comp(work),
+				core.Pmp(pipes.NewFreePump("pump")),
+				core.Comp(pipes.NullSink("sink")),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("shards=%d pipeline %d: %w", n, i, err)
+			}
+			ps = append(ps, p)
+		}
+		start := time.Now()
+		for _, p := range ps {
+			p.Start()
+		}
+		if err := g.Run(); err != nil {
+			return nil, fmt.Errorf("shards=%d run: %w", n, err)
+		}
+		wall := time.Since(start)
+		total := float64(int64(pipelines) * itemsPerPipeline)
+		tp := 0.0
+		if wall > 0 {
+			tp = total / wall.Seconds()
+		}
+		rows = append(rows, ShardRow{
+			Shards:     n,
+			Pipelines:  pipelines,
+			Items:      itemsPerPipeline,
+			Wall:       wall,
+			Throughput: tp,
+			Switches:   g.Stats().Switches,
+		})
 	}
 	return rows, nil
 }

@@ -4,7 +4,6 @@ import (
 	"sync"
 
 	"infopipes/internal/core"
-	"infopipes/internal/events"
 	"infopipes/internal/trace"
 	"infopipes/internal/uthread"
 )
@@ -23,14 +22,8 @@ type inbox struct {
 	closed  bool
 	sched   *uthread.Scheduler
 	limit   int
-	nextTok uint64
-	waiters []inboxWaiter
+	waiters core.WaiterList
 	drops   trace.Counter
-}
-
-type inboxWaiter struct {
-	th  *uthread.Thread
-	tok uint64
 }
 
 // newInbox builds an inbox holding at most limit frames (0 = unlimited).
@@ -49,19 +42,10 @@ func (b *inbox) inject(data []byte) {
 		return
 	}
 	b.q = append(b.q, data)
-	var w *inboxWaiter
-	if len(b.waiters) > 0 {
-		w = &b.waiters[0]
-		b.waiters = b.waiters[1:]
-	}
-	sched := b.sched
+	w, ok := b.waiters.PopFront()
 	b.mu.Unlock()
-	if w != nil {
-		sched.Post(w.th, uthread.Message{
-			Kind:       msgNetWake,
-			Data:       w.tok,
-			Constraint: uthread.At(uthread.PriorityHigh),
-		})
+	if ok {
+		w.Wake(msgNetWake)
 	}
 }
 
@@ -69,16 +53,10 @@ func (b *inbox) inject(data []byte) {
 func (b *inbox) close() {
 	b.mu.Lock()
 	b.closed = true
-	waiters := b.waiters
-	b.waiters = nil
-	sched := b.sched
+	waiters := b.waiters.TakeAll()
 	b.mu.Unlock()
 	for _, w := range waiters {
-		sched.Post(w.th, uthread.Message{
-			Kind:       msgNetWake,
-			Data:       w.tok,
-			Constraint: uthread.At(uthread.PriorityHigh),
-		})
+		w.Wake(msgNetWake)
 	}
 }
 
@@ -86,7 +64,16 @@ func (b *inbox) close() {
 // Returns core.ErrEOS after close and drain, core.ErrStopped on pipeline
 // shutdown.
 func (b *inbox) pop(ctx *core.Ctx) ([]byte, error) {
-	t := ctx.Thread()
+	return b.popWith(ctx.Thread(), ctx.Stopping)
+}
+
+// popWith is pop against an explicit thread and stop predicate, so the
+// blocking protocol can be exercised (and tested) without a composed
+// pipeline.  stopping may be nil.
+func (b *inbox) popWith(t *uthread.Thread, stopping func() bool) ([]byte, error) {
+	if stopping == nil {
+		stopping = func() bool { return false }
+	}
 	for {
 		b.mu.Lock()
 		if len(b.q) > 0 {
@@ -99,39 +86,14 @@ func (b *inbox) pop(ctx *core.Ctx) ([]byte, error) {
 			b.mu.Unlock()
 			return nil, core.ErrEOS
 		}
-		if ctx.Stopping() {
+		if stopping() {
 			b.mu.Unlock()
 			return nil, core.ErrStopped
 		}
-		b.nextTok++
-		tok := b.nextTok
-		b.waiters = append(b.waiters, inboxWaiter{th: t, tok: tok})
+		tok := b.waiters.Register(t)
 		b.mu.Unlock()
-		if err := b.await(ctx, t, tok); err != nil {
+		if err := core.AwaitWake(t, msgNetWake, tok, stopping, b.deregister); err != nil {
 			return nil, err
-		}
-	}
-}
-
-func (b *inbox) await(ctx *core.Ctx, t *uthread.Thread, tok uint64) error {
-	isWake := func(m uthread.Message) bool {
-		w, ok := m.Data.(uint64)
-		return m.Kind == msgNetWake && ok && w == tok
-	}
-	for {
-		m := t.ReceiveMatch(func(m uthread.Message) bool {
-			return isWake(m) || events.IsControl(m)
-		})
-		if isWake(m) {
-			b.deregister(tok)
-			return nil
-		}
-		t.DispatchControl(m)
-		if ctx.Stopping() {
-			if !b.deregister(tok) {
-				t.TryReceive(isWake) // consume the in-flight wake
-			}
-			return core.ErrStopped
 		}
 	}
 }
@@ -139,13 +101,7 @@ func (b *inbox) await(ctx *core.Ctx, t *uthread.Thread, tok uint64) error {
 func (b *inbox) deregister(tok uint64) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	for i, w := range b.waiters {
-		if w.tok == tok {
-			b.waiters = append(b.waiters[:i], b.waiters[i+1:]...)
-			return true
-		}
-	}
-	return false
+	return b.waiters.Remove(tok)
 }
 
 // length reports the number of queued frames.
@@ -154,3 +110,7 @@ func (b *inbox) length() int {
 	defer b.mu.Unlock()
 	return len(b.q)
 }
+
+// dropped reports the number of frames discarded at injection (queue-limit
+// overflow, or arrival after close).
+func (b *inbox) dropped() int64 { return b.drops.Value() }

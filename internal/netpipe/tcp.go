@@ -85,12 +85,14 @@ func (l *TCPLink) readLoop() {
 
 // send writes one frame on the sender side, reusing the link's transmit
 // buffer (the lock serialises senders, so one buffer per connection is
-// enough).
+// enough).  Sending on a closed link reports core.ErrStopped: silently
+// returning success here made tcpSink.Push drop items on the floor after
+// Close while the pipeline kept pumping.
 func (l *TCPLink) send(tag byte, payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
-		return nil
+		return core.ErrStopped
 	}
 	l.txBuf = encodeFrame(l.txBuf[:0], tag, payload)
 	if _, err := l.conn.Write(l.txBuf); err != nil {
@@ -117,6 +119,15 @@ func (l *TCPLink) Close() error {
 	return err
 }
 
+// Dropped reports how many inbound frames the receiver side discarded
+// (queue-limit overflow or injection after close).  Zero on sender links.
+func (l *TCPLink) Dropped() int64 {
+	if l.inbox == nil {
+		return 0
+	}
+	return l.inbox.dropped()
+}
+
 // NewSink returns the producer-side endpoint component.
 func (l *TCPLink) NewSink(name string) core.Component {
 	return &tcpSink{Base: core.Base{CompName: name}, link: l}
@@ -138,7 +149,9 @@ func (s *tcpSink) Style() core.Style { return core.StyleConsumer }
 // InputSpec implements core.Component.
 func (s *tcpSink) InputSpec() typespec.Typespec { return typespec.New(ItemTypeWire) }
 
-// Push implements core.Consumer.
+// Push implements core.Consumer.  A closed link propagates core.ErrStopped
+// so the pipeline learns the connection is gone instead of pumping items
+// into the void.
 func (s *tcpSink) Push(_ *core.Ctx, it *item.Item) error {
 	data, ok := it.Payload.([]byte)
 	if !ok {

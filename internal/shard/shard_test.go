@@ -1,0 +1,264 @@
+package shard_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"infopipes/internal/core"
+	"infopipes/internal/pipes"
+	"infopipes/internal/shard"
+	"infopipes/internal/uthread"
+)
+
+func TestPlacementPolicies(t *testing.T) {
+	rr := shard.NewGroup(shard.WithShardCount(3), shard.WithPolicy(shard.RoundRobin))
+	var got []int
+	for i := 0; i < 5; i++ {
+		got = append(got, rr.Place())
+	}
+	if want := []int{0, 1, 2, 0, 1}; fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("round-robin placements = %v, want %v", got, want)
+	}
+
+	ll := shard.NewGroup(shard.WithShardCount(3), shard.WithPolicy(shard.LeastLoaded))
+	got = nil
+	for i := 0; i < 4; i++ {
+		got = append(got, ll.Place())
+	}
+	if want := []int{0, 1, 2, 0}; fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("least-loaded placements = %v, want %v", got, want)
+	}
+	if loads := ll.Loads(); loads[0] != 2 || loads[1] != 1 || loads[2] != 1 {
+		t.Fatalf("loads = %v, want [2 1 1]", loads)
+	}
+}
+
+// TestGroupRunsPipelinesAcrossShards places four clocked pipelines on two
+// shards sharing the coordinated virtual clock and runs them to completion:
+// the multi-scheduler discrete-event simulation must deliver every item.
+func TestGroupRunsPipelinesAcrossShards(t *testing.T) {
+	const pipelines, items = 4, 50
+	g := shard.NewGroup(shard.WithShardCount(2))
+	sinks := make([]*pipes.CollectSink, pipelines)
+	ps := make([]*core.Pipeline, pipelines)
+	for i := range sinks {
+		sinks[i] = pipes.NewCollectSink(fmt.Sprintf("sink%d", i))
+		p, err := g.Compose(fmt.Sprintf("p%d", i), nil, []core.Stage{
+			core.Comp(pipes.NewCounterSource("src", items)),
+			core.Pmp(pipes.NewClockedPump("pump", 100+float64(10*i))),
+			core.Comp(sinks[i]),
+		})
+		if err != nil {
+			t.Fatalf("compose %d: %v", i, err)
+		}
+		ps[i] = p
+	}
+	if loads := g.Loads(); loads[0] != 2 || loads[1] != 2 {
+		t.Fatalf("loads = %v, want [2 2]", loads)
+	}
+	for _, p := range ps {
+		p.Start()
+	}
+	if err := g.Run(); err != nil {
+		t.Fatalf("group run: %v", err)
+	}
+	// The result is latched: Wait may be called again after Run.
+	if err := g.Wait(); err != nil {
+		t.Fatalf("second Wait: %v", err)
+	}
+	for i, s := range sinks {
+		if s.Count() != items {
+			t.Fatalf("sink %d received %d items, want %d", i, s.Count(), items)
+		}
+	}
+	if st := g.Stats(); st.Timers == 0 || st.Messages == 0 {
+		t.Fatalf("aggregated stats look dead: %+v", st)
+	}
+	// The load release runs on a per-pipeline watcher goroutine; give it a
+	// moment after Run returns.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		loads := g.Loads()
+		if loads[0] == 0 && loads[1] == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("loads = %v after completion, want [0 0]", loads)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCrossShardLink feeds a producer pipeline on shard 0 into a consumer
+// pipeline on shard 1 through the zero-copy link, on the coordinated clock.
+func TestCrossShardLink(t *testing.T) {
+	const items = 100
+	g := shard.NewGroup(shard.WithShardCount(2))
+	link := shard.NewLink("xshard", g.Scheduler(1), 16)
+
+	producer, err := core.Compose("producer", g.Scheduler(0), nil, append([]core.Stage{
+		core.Comp(pipes.NewCounterSource("src", items)),
+		core.Pmp(pipes.NewFreePump("pump")),
+	}, link.SenderStages("xshard")...))
+	if err != nil {
+		t.Fatalf("compose producer: %v", err)
+	}
+	sink := pipes.NewCollectSink("sink")
+	consumer, err := core.Compose("consumer", g.Scheduler(1), producer.Bus(), append(
+		link.ReceiverStages("xshard"),
+		core.Pmp(pipes.NewFreePump("pump2")),
+		core.Comp(sink),
+	))
+	if err != nil {
+		t.Fatalf("compose consumer: %v", err)
+	}
+	// The link changes the location property at the crossing (§2.4).
+	if spec := consumer.SpecAt(0); spec.Location != "xshard" {
+		t.Fatalf("location after link = %q, want %q", spec.Location, "xshard")
+	}
+	producer.Start()
+	if err := g.Run(); err != nil {
+		t.Fatalf("group run: %v", err)
+	}
+	if err := producer.Err(); err != nil {
+		t.Fatalf("producer: %v", err)
+	}
+	if err := consumer.Err(); err != nil {
+		t.Fatalf("consumer: %v", err)
+	}
+	if sink.Count() != items {
+		t.Fatalf("sink received %d items, want %d", sink.Count(), items)
+	}
+	if link.Moved() != items {
+		t.Fatalf("link moved %d items, want %d", link.Moved(), items)
+	}
+	// Zero-copy and in order: payloads arrive exactly as sent (the counter
+	// source numbers items from 1).
+	for i, it := range sink.Items() {
+		if seq, ok := it.Payload.(int64); !ok || seq != int64(i+1) {
+			t.Fatalf("item %d payload = %v, want %d (reordered or copied)", i, it.Payload, i+1)
+		}
+	}
+}
+
+// TestCrossShardLinkBackpressure bounds the link at 2 items with a slow
+// clocked consumer: the fast producer must block, not drop, so every item
+// still arrives.
+func TestCrossShardLinkBackpressure(t *testing.T) {
+	const items = 40
+	g := shard.NewGroup(shard.WithShardCount(2))
+	link := shard.NewLink("narrow", g.Scheduler(1), 2)
+
+	producer, err := core.Compose("producer", g.Scheduler(0), nil, append([]core.Stage{
+		core.Comp(pipes.NewCounterSource("src", items)),
+		core.Pmp(pipes.NewFreePump("pump")),
+	}, link.SenderStages("narrow")...))
+	if err != nil {
+		t.Fatalf("compose producer: %v", err)
+	}
+	sink := pipes.NewCollectSink("sink")
+	consumer, err := core.Compose("consumer", g.Scheduler(1), producer.Bus(), append(
+		link.ReceiverStages("narrow"),
+		core.Pmp(pipes.NewClockedPump("pump2", 200)),
+		core.Comp(sink),
+	))
+	if err != nil {
+		t.Fatalf("compose consumer: %v", err)
+	}
+	producer.Start()
+	if err := g.Run(); err != nil {
+		t.Fatalf("group run: %v", err)
+	}
+	if err := consumer.Err(); err != nil {
+		t.Fatalf("consumer: %v", err)
+	}
+	if sink.Count() != items {
+		t.Fatalf("sink received %d items, want %d (backpressure dropped items)", sink.Count(), items)
+	}
+}
+
+// TestReceiverStopClosesLink: the consumer pipeline stopping (on its OWN
+// bus — the producer never hears the event) must tear the link down, so the
+// blocked producer unblocks with ErrStopped and the receiver shard's
+// external-source reference is released.  Without the receiver-side close
+// the whole group wedges in Wait.
+func TestReceiverStopClosesLink(t *testing.T) {
+	const items = 1000
+	g := shard.NewGroup(shard.WithShardCount(2))
+	link := shard.NewLink("stopped-lane", g.Scheduler(1), 4)
+
+	producer, err := core.Compose("producer", g.Scheduler(0), nil, append([]core.Stage{
+		core.Comp(pipes.NewCounterSource("src", items)),
+		core.Pmp(pipes.NewFreePump("pump")),
+	}, link.SenderStages("stopped-lane")...))
+	if err != nil {
+		t.Fatalf("compose producer: %v", err)
+	}
+	sink := pipes.NewCollectSink("sink")
+	// Deliberately a separate bus: the producer cannot see consumer events.
+	consumer, err := core.Compose("consumer", g.Scheduler(1), nil, append(
+		link.ReceiverStages("stopped-lane"),
+		core.Pmp(pipes.NewClockedPump("pump2", 50)),
+		core.Comp(sink),
+	))
+	if err != nil {
+		t.Fatalf("compose consumer: %v", err)
+	}
+	// Stop the consumer after 100 simulated ms (~5 items at 50 Hz), from a
+	// helper thread on the consumer's shard.
+	helper := g.Scheduler(1).Spawn("stopper", uthread.PriorityNormal,
+		func(th *uthread.Thread, m uthread.Message) uthread.Disposition {
+			th.SleepFor(100 * time.Millisecond)
+			consumer.Stop()
+			return uthread.Terminate
+		})
+	g.Scheduler(1).Post(helper, uthread.Message{Kind: uthread.KindUserBase + 78})
+
+	producer.Start()
+	consumer.Start()
+	done := make(chan error, 1)
+	go func() { done <- g.Run() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("group run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("group wedged: receiver-side stop did not close the link")
+	}
+	if err := producer.Err(); err != nil {
+		t.Fatalf("producer: %v", err)
+	}
+	if got := sink.Count(); got == 0 || got >= items {
+		t.Fatalf("sink received %d items, want some but fewer than %d", got, items)
+	}
+}
+
+// TestGroupStopsAllShardsOnFailure: one shard's scheduler failing (a
+// panicking thread) brings the whole farm down instead of wedging Wait.
+func TestGroupStopsAllShardsOnFailure(t *testing.T) {
+	g := shard.NewGroup(shard.WithShardCount(2), shard.WithRealClock())
+	// Shard 1 would idle forever: it holds an external-source reference.
+	g.Scheduler(1).AddExternalSource()
+	boom := g.Scheduler(0).Spawn("boom", uthread.PriorityNormal,
+		func(*uthread.Thread, uthread.Message) uthread.Disposition {
+			panic("shard 0 exploded")
+		})
+	g.Scheduler(0).Post(boom, uthread.Message{Kind: uthread.KindUserBase + 77})
+
+	done := make(chan error, 1)
+	go func() { done <- g.Run() }()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("group run = %v, want panic error", err)
+		}
+		if g.Err() == nil {
+			t.Fatal("group Err() = nil after failure")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("group Wait wedged on the surviving shard")
+	}
+}

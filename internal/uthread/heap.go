@@ -174,6 +174,35 @@ func (q *timerQueue) popDue(now time.Time) (timerEntry, bool) {
 	return e, true
 }
 
+// purgeDst physically removes every timer addressed to dst (pending or
+// lazily cancelled).  Called when dst terminates, so a dead thread's timers
+// do not sit in the heap until due.  O(n) plus a heap rebuild — thread
+// termination is rare next to timer traffic.
+func (q *timerQueue) purgeDst(dst *Thread) {
+	if len(q.items) == 0 {
+		return
+	}
+	kept := q.items[:0]
+	removed := false
+	for _, e := range q.items {
+		if e.dst == dst {
+			delete(q.pending, e.token)
+			delete(q.cancelled, e.token)
+			removed = true
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if !removed {
+		return
+	}
+	q.items = kept
+	heap.Init(&q.items)
+}
+
+// pendingLen reports the number of physical heap entries (tests).
+func (q *timerQueue) pendingLen() int { return len(q.items) }
+
 // drainCancelled removes cancelled entries from the heap root.
 func (q *timerQueue) drainCancelled() {
 	for len(q.items) > 0 {

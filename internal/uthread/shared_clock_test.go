@@ -1,0 +1,214 @@
+package uthread
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"infopipes/internal/vclock"
+)
+
+const kindKick Kind = KindUserBase + 90
+
+// TestPlainVirtualRefusesSecondScheduler: the seed silently mis-simulated
+// two schedulers on one plain Virtual (an idle scheduler advanced time past
+// the peer's earlier deadlines).  The configuration is now refused loudly.
+func TestPlainVirtualRefusesSecondScheduler(t *testing.T) {
+	clk := vclock.NewVirtual()
+	sA := New(WithClock(clk))
+	running := make(chan struct{})
+	thA := sA.Spawn("holder", PriorityNormal, func(th *Thread, m Message) Disposition {
+		close(running)
+		th.ReceiveMatch(func(m Message) bool { return m.Kind == kindKick+1 })
+		return Terminate
+	})
+	sA.AddExternalSource() // the release kick arrives from the test goroutine
+	sA.Post(thA, Message{Kind: kindKick})
+	errA := sA.RunBackground()
+	<-running // sA has bound the clock and is executing threads
+
+	sB := New(WithClock(clk))
+	if err := sB.Run(); !errors.Is(err, vclock.ErrSharedVirtual) {
+		t.Fatalf("second scheduler Run = %v, want ErrSharedVirtual", err)
+	}
+
+	sA.Post(thA, Message{Kind: kindKick + 1})
+	sA.ReleaseExternalSource()
+	if err := <-errA; err != nil {
+		t.Fatalf("first scheduler: %v", err)
+	}
+
+	// Sequential reuse stays allowed: sA released the clock on shutdown.
+	sC := New(WithClock(clk))
+	if err := sC.Run(); err != nil {
+		t.Fatalf("sequential reuse after shutdown: %v", err)
+	}
+}
+
+// sleeperTrace runs one scheduler per name on a shared GroupVirtual; each
+// scheduler's thread sleeps to its offsets in turn and records "name@offset"
+// into a shared log.  Returns the joined log.
+func sleeperTrace(t *testing.T, plan map[string][]time.Duration) string {
+	t.Helper()
+	g := vclock.NewGroupVirtual()
+	var mu sync.Mutex
+	var log []string
+
+	type member struct {
+		s  *Scheduler
+		th *Thread
+	}
+	names := make([]string, 0, len(plan))
+	for name := range plan {
+		names = append(names, name)
+	}
+	// Deterministic construction order.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	members := make([]member, 0, len(names))
+	for _, name := range names {
+		name := name
+		offsets := plan[name]
+		s := New(WithClock(g.Member()))
+		th := s.Spawn(name, PriorityNormal, func(th *Thread, m Message) Disposition {
+			for _, off := range offsets {
+				th.SleepUntil(vclock.Epoch.Add(off))
+				mu.Lock()
+				log = append(log, fmt.Sprintf("%s@%v", name, th.Scheduler().Now().Sub(vclock.Epoch)))
+				mu.Unlock()
+			}
+			return Terminate
+		})
+		members = append(members, member{s: s, th: th})
+	}
+	for _, m := range members {
+		m.s.Post(m.th, Message{Kind: kindKick})
+	}
+	var errcs []<-chan error
+	for _, m := range members {
+		errcs = append(errcs, m.s.RunBackground())
+	}
+	for i, ch := range errcs {
+		if err := <-ch; err != nil {
+			t.Fatalf("scheduler %s: %v", names[i], err)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	return strings.Join(log, "\n")
+}
+
+// TestGroupClockFiresInGlobalDeadlineOrder is the shared-clock regression
+// test: two schedulers with interleaved timer deadlines fire them in global
+// deadline order, deterministically — byte-identical traces across 10 runs.
+// On the seed, whichever scheduler idled first yanked the shared Virtual
+// forward past the peer's earlier deadline, so A's 30ms timer could fire at
+// virtual 40 or 60ms depending on goroutine interleaving.
+func TestGroupClockFiresInGlobalDeadlineOrder(t *testing.T) {
+	plan := map[string][]time.Duration{
+		"A": {10 * time.Millisecond, 30 * time.Millisecond, 50 * time.Millisecond},
+		"B": {20 * time.Millisecond, 40 * time.Millisecond, 60 * time.Millisecond},
+	}
+	want := strings.Join([]string{
+		"A@10ms", "B@20ms", "A@30ms", "B@40ms", "A@50ms", "B@60ms",
+	}, "\n")
+	for run := 0; run < 10; run++ {
+		got := sleeperTrace(t, plan)
+		if got != want {
+			t.Fatalf("run %d trace:\n%s\nwant:\n%s", run, got, want)
+		}
+	}
+}
+
+// TestGroupClockThreeWayInterleave drives three schedulers whose deadlines
+// interleave irregularly, including a member that finishes early and leaves.
+func TestGroupClockThreeWayInterleave(t *testing.T) {
+	plan := map[string][]time.Duration{
+		"A": {5 * time.Millisecond, 35 * time.Millisecond},
+		"B": {10 * time.Millisecond, 20 * time.Millisecond, 30 * time.Millisecond, 40 * time.Millisecond},
+		"C": {15 * time.Millisecond},
+	}
+	want := strings.Join([]string{
+		"A@5ms", "B@10ms", "C@15ms", "B@20ms", "B@30ms", "A@35ms", "B@40ms",
+	}, "\n")
+	for run := 0; run < 5; run++ {
+		if got := sleeperTrace(t, plan); got != want {
+			t.Fatalf("run %d trace:\n%s\nwant:\n%s", run, got, want)
+		}
+	}
+}
+
+// TestGroupClockIdleMemberDoesNotHoldTimeBack: a scheduler that is idle with
+// registered external sources (no deadline of its own) must not block its
+// peer's timers from advancing the shared clock.
+func TestGroupClockIdleMemberDoesNotHoldTimeBack(t *testing.T) {
+	g := vclock.NewGroupVirtual()
+	idle := New(WithClock(g.Member()))
+	idle.AddExternalSource() // e.g. a composed pipeline awaiting traffic
+	idleErr := idle.RunBackground()
+
+	busy := New(WithClock(g.Member()))
+	fired := make(chan time.Duration, 1)
+	th := busy.Spawn("sleeper", PriorityNormal, func(th *Thread, m Message) Disposition {
+		th.SleepUntil(vclock.Epoch.Add(25 * time.Millisecond))
+		fired <- th.Scheduler().Now().Sub(vclock.Epoch)
+		return Terminate
+	})
+	busy.Post(th, Message{Kind: kindKick})
+	if err := busy.Run(); err != nil {
+		t.Fatalf("busy scheduler: %v", err)
+	}
+	select {
+	case d := <-fired:
+		if d != 25*time.Millisecond {
+			t.Fatalf("timer fired at %v, want 25ms", d)
+		}
+	default:
+		t.Fatal("timer never fired")
+	}
+	idle.Stop()
+	if err := <-idleErr; err != nil {
+		t.Fatalf("idle scheduler: %v", err)
+	}
+}
+
+// TestTimerHeapPurgedOnOwnerDeath: timers addressed to a thread die with it
+// — purged at termination, refused at push time afterwards.
+func TestTimerHeapPurgedOnOwnerDeath(t *testing.T) {
+	s := New()
+	th := s.Spawn("victim", PriorityNormal, func(*Thread, Message) Disposition {
+		return Terminate
+	})
+	for i := 0; i < 5; i++ {
+		if tok := s.TimerAt(s.Now().Add(time.Duration(i+1)*time.Hour), th); tok == 0 {
+			t.Fatalf("timer %d refused for a live thread", i)
+		}
+	}
+	if got := s.PendingTimers(); got != 5 {
+		t.Fatalf("PendingTimers = %d before death, want 5", got)
+	}
+	s.Post(th, Message{Kind: kindKick}) // one message, thread terminates
+	if err := s.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := s.PendingTimers(); got != 0 {
+		t.Fatalf("PendingTimers = %d after owner died, want 0 (stale timers linger in the heap)", got)
+	}
+	if tok := s.TimerAt(s.Now().Add(time.Hour), th); tok != 0 {
+		t.Fatalf("TimerAt for a terminated thread returned live token %d, want 0", tok)
+	}
+	if s.CancelTimer(0) {
+		t.Fatal("CancelTimer(0) reported a pending timer")
+	}
+	if got := s.PendingTimers(); got != 0 {
+		t.Fatalf("PendingTimers = %d after dead-destination push, want 0", got)
+	}
+}

@@ -140,6 +140,7 @@ func (t *Thread) terminate() {
 	s.mu.Lock()
 	t.state = stateTerminated
 	t.mq.clear()
+	s.timers.purgeDst(t) // a dead thread's timers must not linger in the heap
 	delete(s.threads, t.id)
 	s.live--
 	s.mu.Unlock()

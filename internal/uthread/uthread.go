@@ -164,6 +164,11 @@ type Scheduler struct {
 	yielded chan struct{} // running thread returns the token
 	stopCh  chan struct{} // closed exactly once on stop
 
+	// notifyWake, when non-nil, announces a wake to a coordinated group
+	// clock BEFORE the channel signal, so the group's advance decision
+	// never races the wake (vclock.WakeNotifier).  Set once in New.
+	notifyWake func()
+
 	lastRun  *Thread
 	switches trace.Counter
 	grants   trace.Counter
@@ -199,6 +204,9 @@ func New(opts ...Option) *Scheduler {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if n, ok := s.clock.(vclock.WakeNotifier); ok {
+		s.notifyWake = n.NotifyWake
+	}
 	return s
 }
 
@@ -216,6 +224,14 @@ func (s *Scheduler) Stats() Stats {
 		Messages: s.messages.Value(),
 		Timers:   s.timerCnt.Value(),
 	}
+}
+
+// PendingTimers reports the number of timers physically queued in the heap
+// (diagnostics; cancelled-but-undrained entries count until collected).
+func (s *Scheduler) PendingTimers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.timers.pendingLen()
 }
 
 // ResetStats zeroes the activity counters (between benchmark phases).
@@ -295,9 +311,15 @@ func (s *Scheduler) TimerAfter(d time.Duration, dst *Thread) TimerToken {
 }
 
 // TimerAt arranges for dst to receive a KindTimer message carrying the
-// returned token at instant at.
+// returned token at instant at.  A nil or already-terminated destination is
+// refused at push time (the timer would sit in the heap until due only to be
+// discarded); the zero token is returned and never fires.
 func (s *Scheduler) TimerAt(at time.Time, dst *Thread) TimerToken {
 	s.mu.Lock()
+	if dst == nil || dst.state == stateTerminated {
+		s.mu.Unlock()
+		return 0
+	}
 	s.nextTok++
 	tok := TimerToken(s.nextTok)
 	s.nextSeq++
@@ -339,7 +361,20 @@ func (s *Scheduler) Err() error {
 // deadlock is detected.  It returns nil on clean completion or shutdown,
 // ErrDeadlock on deadlock, or the error recorded from a panicking thread.
 // Run must be called exactly once per scheduler.
+//
+// Run claims the clock before consuming time: a plain virtual clock refuses
+// a second concurrent scheduler (vclock.ErrSharedVirtual — the shared-clock
+// time-travel bug is now a loud, deterministic error), and a GroupVirtual
+// member binds this scheduler into the coordinated advance.  The claim is
+// released on shutdown.
 func (s *Scheduler) Run() error {
+	if b, ok := s.clock.(vclock.Binder); ok {
+		if err := b.Bind(s); err != nil {
+			s.fail(err)
+			s.shutdown()
+			return err
+		}
+	}
 	defer s.shutdown()
 	for {
 		s.mu.Lock()
@@ -354,12 +389,11 @@ func (s *Scheduler) Run() error {
 				return nil
 			}
 			// No threads yet, but registered external sources may still
-			// spawn or post; idle until they do (or release).
+			// spawn or post; idle until they do (or release).  On a
+			// coordinated clock the wait must be visible to the group so
+			// peers' timers are not held back by an empty scheduler.
 			s.mu.Unlock()
-			select {
-			case <-s.wake:
-			case <-s.stopCh:
-			}
+			s.waitForWake()
 			continue
 		}
 		t := s.ready.popMax()
@@ -414,12 +448,10 @@ func (s *Scheduler) idleLocked() bool {
 		return !s.stopped
 	}
 	if s.extRefs > 0 {
-		// External sources may still post; block on the wake signal.
+		// External sources may still post; block on the wake signal (group
+		// clocks see the idle state, so peers' timers can advance time).
 		s.mu.Unlock()
-		select {
-		case <-s.wake:
-		case <-s.stopCh:
-		}
+		s.waitForWake()
 		s.mu.Lock()
 		return !s.stopped
 	}
@@ -471,8 +503,29 @@ func (s *Scheduler) enqueueLocked(dst *Thread, msg Message) {
 	}
 }
 
-// signalWake nudges an idle scheduler without blocking.
+// waitForWake blocks the idle scheduler until it is nudged.  On a
+// coordinated group clock the wait is registered with the group (idle, no
+// deadline) so that the other members may advance shared time; Stop always
+// signals the wake channel, so no separate stop case is needed.  Called
+// without s.mu held.
+func (s *Scheduler) waitForWake() {
+	if iw, ok := s.clock.(vclock.IdleWaiter); ok {
+		iw.WaitIdle(s.wake)
+		return
+	}
+	select {
+	case <-s.wake:
+	case <-s.stopCh:
+	}
+}
+
+// signalWake nudges an idle scheduler without blocking.  Group clocks hear
+// about the wake first, so a concurrent advance decision sees the pending
+// work before the channel signal can be consumed out from under it.
 func (s *Scheduler) signalWake() {
+	if s.notifyWake != nil {
+		s.notifyWake()
+	}
 	select {
 	case s.wake <- struct{}{}:
 	default:
@@ -495,6 +548,8 @@ func (s *Scheduler) fail(err error) {
 
 // shutdown stops the world and waits for every thread goroutine to exit, so
 // that Run never leaks goroutines (every spawned goroutine is joined here).
+// The clock claim taken by Run is released last: a group-clock member leaves
+// the coordinated advance so peers are not held back by a dead scheduler.
 func (s *Scheduler) shutdown() {
 	s.mu.Lock()
 	if !s.stopped {
@@ -508,6 +563,9 @@ func (s *Scheduler) shutdown() {
 	s.mu.Unlock()
 	for _, t := range all {
 		<-t.done
+	}
+	if b, ok := s.clock.(vclock.Binder); ok {
+		b.Unbind(s)
 	}
 }
 

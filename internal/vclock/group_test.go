@@ -1,0 +1,225 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+// waitResult carries one member's WaitUntil return.
+type waitResult struct {
+	reached bool
+	at      time.Time
+}
+
+func waitAsync(g *GroupVirtual, m *GroupMember, t time.Time, wake <-chan struct{}) <-chan waitResult {
+	ch := make(chan waitResult, 1)
+	go func() {
+		ok := m.WaitUntil(t, wake)
+		ch <- waitResult{reached: ok, at: g.Now()}
+	}()
+	return ch
+}
+
+// pollIdle blocks until the member is registered idle (test-only spin).
+func pollIdle(t *testing.T, g *GroupVirtual, m *GroupMember) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		idle := m.idle
+		g.mu.Unlock()
+		if idle {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("member never went idle")
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func TestGroupAdvancesToMinimumDeadline(t *testing.T) {
+	g := NewGroupVirtual()
+	a, b := g.Member(), g.Member()
+	t1 := Epoch.Add(10 * time.Millisecond)
+	t2 := Epoch.Add(20 * time.Millisecond)
+
+	wakeB := make(chan struct{}, 1)
+	resB := waitAsync(g, b, t2, wakeB)
+	pollIdle(t, g, b)
+	// b alone must not advance anything while a is busy.
+	if got := g.Now(); !got.Equal(Epoch) {
+		t.Fatalf("clock moved to %v with a member still busy", got)
+	}
+
+	// a goes idle with the earlier deadline: the group advances to t1 only.
+	if ok := a.WaitUntil(t1, nil); !ok {
+		t.Fatal("a.WaitUntil returned interrupted")
+	}
+	if got := g.Now(); !got.Equal(t1) {
+		t.Fatalf("clock = %v, want minimum deadline %v", got, t1)
+	}
+	select {
+	case r := <-resB:
+		t.Fatalf("b released early at %v (reached=%v), deadline %v", r.at, r.reached, t2)
+	default:
+	}
+
+	// a idles again with a later deadline: now b's t2 is the minimum.
+	resA := waitAsync(g, a, Epoch.Add(30*time.Millisecond), nil)
+	r := <-resB
+	if !r.reached || !r.at.Equal(t2) {
+		t.Fatalf("b woke reached=%v at %v, want true at %v", r.reached, r.at, t2)
+	}
+	// b leaves; a's own deadline becomes the minimum.
+	b.Leave()
+	ra := <-resA
+	if !ra.reached || !ra.at.Equal(Epoch.Add(30*time.Millisecond)) {
+		t.Fatalf("a woke reached=%v at %v", ra.reached, ra.at)
+	}
+}
+
+// signalWake mimics the scheduler's wake path: the group hears about the
+// wake (NotifyWake) strictly before the channel signal exists.
+func signalWake(m *GroupMember, wake chan struct{}) {
+	m.NotifyWake()
+	select {
+	case wake <- struct{}{}:
+	default:
+	}
+}
+
+// TestGroupPendingWakeVetoesAdvance: a wake announced through NotifyWake
+// before a peer's registration DETERMINISTICALLY vetoes the advance — the
+// member is released as interrupted and the clock does not move, no matter
+// which party wins the race for the wake channel itself.
+func TestGroupPendingWakeVetoesAdvance(t *testing.T) {
+	t1 := Epoch.Add(10 * time.Millisecond)
+	t2 := Epoch.Add(20 * time.Millisecond)
+	for run := 0; run < 50; run++ {
+		g := NewGroupVirtual()
+		a, b := g.Member(), g.Member()
+		wakeA := make(chan struct{}, 1)
+
+		resA := waitAsync(g, a, t1, wakeA)
+		pollIdle(t, g, a)
+		// A cross-scheduler post lands for a: flag first, then signal.
+		signalWake(a, wakeA)
+		resB := waitAsync(g, b, t2, nil)
+
+		r := <-resA
+		if r.reached {
+			t.Fatalf("run %d: a reported deadline reached despite announced wake", run)
+		}
+		if got := g.Now(); !got.Equal(Epoch) {
+			t.Fatalf("run %d: clock advanced to %v past an announced wake (time travel)", run, got)
+		}
+		select {
+		case rb := <-resB:
+			t.Fatalf("run %d: b released early at %v (reached=%v), deadline %v", run, rb.at, rb.reached, t2)
+		default:
+		}
+		// a re-idles with no deadline: b's t2 is now the group minimum.
+		go a.WaitIdle(wakeA)
+		rb := <-resB
+		if !rb.reached || !rb.at.Equal(t2) {
+			t.Fatalf("run %d: b woke reached=%v at %v, want true at %v", run, rb.reached, rb.at, t2)
+		}
+		signalWake(a, wakeA) // release the WaitIdle
+	}
+}
+
+// TestGroupWaitIdleVetoesAdvance covers the deadline-free waiter (a
+// scheduler idle on external sources): an announced wake must prevent the
+// peers from advancing past the instant the work arrived — the lost-veto
+// variant where the waiter's own select races the group for the signal.
+func TestGroupWaitIdleVetoesAdvance(t *testing.T) {
+	t2 := Epoch.Add(20 * time.Millisecond)
+	for run := 0; run < 50; run++ {
+		g := NewGroupVirtual()
+		r, s := g.Member(), g.Member()
+		wakeR := make(chan struct{}, 1)
+
+		idleDone := make(chan time.Time, 1)
+		go func() {
+			r.WaitIdle(wakeR)
+			idleDone <- g.Now()
+		}()
+		pollIdle(t, g, r)
+		// Cross-shard delivery for r, then s registers its deadline.
+		signalWake(r, wakeR)
+		resS := waitAsync(g, s, t2, nil)
+
+		// r must come back at the current instant, before any advance.
+		at := <-idleDone
+		if !at.Equal(Epoch) {
+			t.Fatalf("run %d: WaitIdle returned at %v, want %v (advance slipped past pending work)", run, at, Epoch)
+		}
+		select {
+		case rs := <-resS:
+			t.Fatalf("run %d: s released at %v while r's work was pending", run, rs.at)
+		default:
+		}
+		// r goes idle again with nothing pending: s may now advance.
+		go func() {
+			r.WaitIdle(wakeR)
+			idleDone <- g.Now()
+		}()
+		rs := <-resS
+		if !rs.reached || !rs.at.Equal(t2) {
+			t.Fatalf("run %d: s woke reached=%v at %v, want true at %v", run, rs.reached, rs.at, t2)
+		}
+		signalWake(r, wakeR)
+		<-idleDone
+	}
+}
+
+func TestGroupSameDeadlineWakesAll(t *testing.T) {
+	g := NewGroupVirtual()
+	a, b := g.Member(), g.Member()
+	at := Epoch.Add(5 * time.Millisecond)
+	resA := waitAsync(g, a, at, nil)
+	resB := waitAsync(g, b, at, nil)
+	ra, rb := <-resA, <-resB
+	if !ra.reached || !rb.reached {
+		t.Fatalf("reached = %v/%v, want true/true", ra.reached, rb.reached)
+	}
+	if !g.Now().Equal(at) {
+		t.Fatalf("clock = %v, want %v", g.Now(), at)
+	}
+}
+
+func TestGroupMemberBindRefusesSecondOwner(t *testing.T) {
+	g := NewGroupVirtual()
+	m := g.Member()
+	if err := m.Bind("sched1"); err != nil {
+		t.Fatalf("first Bind: %v", err)
+	}
+	if err := m.Bind("sched2"); err == nil {
+		t.Fatal("second Bind succeeded, want refusal")
+	}
+	m.Unbind("sched1")
+	if err := m.Bind("sched1"); err == nil {
+		t.Fatal("Bind after Unbind (left group) succeeded, want ErrMemberLeft")
+	}
+	if g.Members() != 0 {
+		t.Fatalf("Members = %d after unbind, want 0", g.Members())
+	}
+}
+
+func TestVirtualBindRefusesConcurrentSharing(t *testing.T) {
+	v := NewVirtual()
+	if err := v.Bind("sched1"); err != nil {
+		t.Fatalf("first Bind: %v", err)
+	}
+	if err := v.Bind("sched1"); err != nil {
+		t.Fatalf("re-Bind by same owner: %v", err)
+	}
+	if err := v.Bind("sched2"); err == nil {
+		t.Fatal("concurrent second owner accepted, want ErrSharedVirtual")
+	}
+	v.Unbind("sched1")
+	if err := v.Bind("sched2"); err != nil {
+		t.Fatalf("sequential reuse after Unbind: %v", err)
+	}
+}

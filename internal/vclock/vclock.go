@@ -10,6 +10,7 @@
 package vclock
 
 import (
+	"errors"
 	"sync"
 	"time"
 )
@@ -33,6 +34,48 @@ type Clock interface {
 	// For a virtual clock, reaching t means advancing the clock to t.
 	WaitUntil(t time.Time, wake <-chan struct{}) bool
 }
+
+// IdleWaiter is implemented by coordinated clocks (GroupVirtual members)
+// whose owner may become idle without a pending deadline.  A scheduler that
+// has nothing to run and no timer, but registered external sources, calls
+// WaitIdle instead of blocking privately, so that the peers' timers can
+// advance the shared clock.  WaitIdle returns when wake is signalled; wake
+// must not be nil.
+type IdleWaiter interface {
+	WaitIdle(wake <-chan struct{})
+}
+
+// WakeNotifier is implemented by coordinated clocks that must learn about a
+// wake signal BEFORE it is sent on the waiter's wake channel.  The scheduler
+// calls NotifyWake from signalWake ahead of the channel send, so the group
+// can always distinguish "this member has work pending at the current
+// instant" from "this member is genuinely idle" — without racing the
+// member's own select on the channel.  Without the notification a wake that
+// is consumed by the waiter just before the group inspects it would let the
+// clock advance past work pending at the current instant.
+type WakeNotifier interface {
+	NotifyWake()
+}
+
+// Binder is implemented by clocks that track which scheduler drives them.
+// Bind is called once when the owner starts consuming time (Scheduler.Run)
+// and may refuse a configuration the clock cannot serve correctly; Unbind
+// releases the claim on shutdown.  Unbind with a non-owner is a no-op.
+type Binder interface {
+	Bind(owner any) error
+	Unbind(owner any)
+}
+
+// ErrSharedVirtual is returned by Scheduler.Run when two schedulers try to
+// drive one plain Virtual concurrently.  A plain Virtual advances the moment
+// its single scheduler goes idle; with two schedulers that jumps time past
+// the peer's earlier deadlines (time travel).  Use NewGroupVirtual and give
+// each scheduler its own Member for a coordinated shared clock.
+var ErrSharedVirtual = errors.New("vclock: plain Virtual driven by a second concurrent scheduler; use GroupVirtual members for shared-clock simulations")
+
+// ErrMemberLeft is returned when binding a group member whose scheduler has
+// already shut down and left the group.
+var ErrMemberLeft = errors.New("vclock: group member already left its clock group")
 
 // Real is a Clock backed by the system wall clock.
 type Real struct{}
@@ -61,12 +104,24 @@ func (Real) WaitUntil(t time.Time, wake <-chan struct{}) bool {
 // Virtual is a deterministic simulated clock.  Time advances only through
 // WaitUntil or Advance; Now never moves on its own.  The zero value is not
 // usable; construct with NewVirtual.
+//
+// A Virtual serves exactly one scheduler at a time: WaitUntil advances the
+// clock the instant its caller goes idle, which is only correct when that
+// caller is the sole consumer of time.  Scheduler.Run enforces this through
+// Bind and fails with ErrSharedVirtual if a second scheduler drives the same
+// Virtual concurrently (sequential reuse is fine — the owner is released on
+// shutdown).  Several schedulers sharing one time base must use GroupVirtual
+// members instead.
 type Virtual struct {
-	mu  sync.Mutex
-	now time.Time
+	mu    sync.Mutex
+	now   time.Time
+	owner any // the scheduler currently driving this clock, nil if none
 }
 
-var _ Clock = (*Virtual)(nil)
+var (
+	_ Clock  = (*Virtual)(nil)
+	_ Binder = (*Virtual)(nil)
+)
 
 // NewVirtual returns a virtual clock positioned at Epoch.
 func NewVirtual() *Virtual {
@@ -117,4 +172,26 @@ func (v *Virtual) AdvanceBy(d time.Duration) time.Time {
 		v.now = v.now.Add(d)
 	}
 	return v.now
+}
+
+// Bind implements Binder: a plain Virtual refuses a second concurrent owner
+// (the shared-clock time-travel bug this replaces was nondeterministic and
+// silent; the refusal is deterministic and loud).
+func (v *Virtual) Bind(owner any) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.owner != nil && v.owner != owner {
+		return ErrSharedVirtual
+	}
+	v.owner = owner
+	return nil
+}
+
+// Unbind implements Binder.
+func (v *Virtual) Unbind(owner any) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.owner == owner {
+		v.owner = nil
+	}
 }
