@@ -6,8 +6,10 @@
 //
 // Usage:
 //
-//	ipbench [fig9|switches|midi|dropping|jitter|pumps|marshal|shard|all]
+//	ipbench [fig9|switches|midi|dropping|jitter|pumps|marshal|shard|link|graph|all]
 //	ipbench shard [n]    # restrict the E17 sweep to n shards (CI smoke)
+//	ipbench link         # E18: cross-shard link batch drain
+//	ipbench graph        # E19: graph fan-out/fan-in per deployment target
 package main
 
 import (
@@ -33,6 +35,8 @@ func main() {
 		"pumps":    pumps,
 		"marshal":  marshal,
 		"shard":    func() error { return shardScaling(nil) },
+		"link":     linkRate,
+		"graph":    graphFanout,
 	}
 	if which == "shard" && len(os.Args) > 2 {
 		n, err := strconv.Atoi(os.Args[2])
@@ -42,7 +46,7 @@ func main() {
 		}
 		runners["shard"] = func() error { return shardScaling([]int{n}) }
 	}
-	order := []string{"fig9", "switches", "midi", "dropping", "jitter", "pumps", "marshal", "shard"}
+	order := []string{"fig9", "switches", "midi", "dropping", "jitter", "pumps", "marshal", "shard", "link", "graph"}
 	if which != "all" {
 		run, ok := runners[which]
 		if !ok {
@@ -180,6 +184,36 @@ func shardScaling(counts []int) error {
 		}
 		fmt.Printf("%-8d %12.1f %14.0f %12d %9.2fx\n",
 			r.Shards, float64(r.Wall.Microseconds())/1e3, r.Throughput, r.Switches, speedup)
+	}
+	return nil
+}
+
+func linkRate() error {
+	const items = 200_000
+	rows, err := experiments.LinkRate(items, []int{16, 64, 256})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E18 — cross-shard link: %d items, free-running both sides\n", items)
+	fmt.Printf("%-8s %12s %14s %12s\n", "depth", "wall (ms)", "items/s", "messages")
+	for _, r := range rows {
+		fmt.Printf("%-8d %12.1f %14.0f %12d\n",
+			r.Depth, float64(r.Wall.Microseconds())/1e3, r.Throughput, r.Messages)
+	}
+	return nil
+}
+
+func graphFanout() error {
+	const items, spin = 100_000, 200
+	rows, err := experiments.GraphFanout(items, spin)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E19 — graph fan-out/fan-in: %d items, spin=%d, same graph per target\n", items, spin)
+	fmt.Printf("%-16s %12s %14s %8s\n", "target", "wall (ms)", "items/s", "links")
+	for _, r := range rows {
+		fmt.Printf("%-16s %12.1f %14.0f %8d\n",
+			r.Target, float64(r.Wall.Microseconds())/1e3, r.Throughput, r.Links)
 	}
 	return nil
 }

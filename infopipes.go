@@ -23,12 +23,47 @@
 //	if err != nil { ... }
 //	p.Start() // send_event(START)
 //	err = sched.Run()
+//
+// Real flows are graphs: they split, merge, and span schedulers and hosts.
+// The Graph API declares the flow once and binds the placement as policy —
+// the same graph deploys onto one scheduler, a sharded runtime (the planner
+// auto-inserts ShardLinks where segments land on different shards), or
+// remote nodes (TCP netpipes):
+//
+//	g := infopipes.NewGraph("diamond")
+//	g.AddSpec("src", "counter", infopipes.GraphArgs("300"))
+//	g.AddSpec("pump", "pump", infopipes.GraphParam("rate", "100"))
+//	g.SplitSpec("tee", "route", 2, infopipes.GraphParam("sel", "mod"))
+//	g.AddSpec("fa", "probe")
+//	g.AddSpec("pa", "pump")
+//	g.AddSpec("fb", "probe", infopipes.GraphPlace(1)) // shard 1
+//	g.AddSpec("pb", "pump", infopipes.GraphPlace(1))
+//	g.MergeSpec("mrg", 2)
+//	g.AddSpec("po", "pump")
+//	g.AddSpec("sink", "collect")
+//	g.Pipe("src", "pump", "tee")
+//	g.Pipe("tee:0", "fa", "pa", "mrg:0")
+//	g.Pipe("tee:1", "fb", "pb", "mrg:1")
+//	g.Pipe("mrg", "po", "sink")
+//	group := infopipes.NewSchedulerGroup(infopipes.ShardCount(2))
+//	d, err := g.Deploy(infopipes.OnGroup(group))
+//	if err != nil { ... }
+//	d.Start()
+//	err = group.Run()
+//
+// The same topology reads as text through the microlanguage:
+//
+//	g, err := infopipes.BuildTextGraph(infopipes.StandardRegistry(), "diamond",
+//		"counter(300) >> pump(rate=100) >> "+
+//			"route(sel=mod){ probe >> pump | probe@1 >> pump@1 } >> merge >> "+
+//			"pump >> collect")
 package infopipes
 
 import (
 	"infopipes/internal/core"
 	"infopipes/internal/events"
 	"infopipes/internal/feedback"
+	"infopipes/internal/graph"
 	"infopipes/internal/ipcl"
 	"infopipes/internal/item"
 	"infopipes/internal/media"
@@ -203,6 +238,71 @@ const (
 
 // NewItem creates an information item; see item.New.
 var NewItem = item.New
+
+// ---- Graph composition: declare the flow once, bind placement as policy ----
+
+type (
+	// Graph is the builder for branching information-flow graphs: declare
+	// named stages, splits (fan-out), merges (fan-in) and cut points once,
+	// then Deploy against a placement target.
+	Graph = graph.Graph
+	// GraphDeployment joins Start/Stop/Err/Done/Wait across every pipeline
+	// a deployed graph composed (relays included).
+	GraphDeployment = graph.Deployment
+	// GraphTarget is a deployment destination: OnScheduler (one scheduler),
+	// OnGroup (sharded runtime, auto-inserted ShardLinks), or OnNodes
+	// (remote nodes joined by TCP netpipes).
+	GraphTarget = graph.Target
+	// GraphNodeOption adjusts one node declaration (GraphPlace, GraphArgs,
+	// GraphParam).
+	GraphNodeOption = graph.NodeOption
+	// GraphCatalog maps spec kinds to stage factories for spec-backed
+	// graphs.
+	GraphCatalog = graph.Catalog
+	// GraphStageFactory builds one stage from a spec.
+	GraphStageFactory = graph.StageFactory
+	// GraphPlan is the planner's segmentation of a graph (diagnostics).
+	GraphPlan = core.GraphPlan
+	// SplitTee is the fan-out surface the planner composes against
+	// (CopyTee and RouteTee implement it).
+	SplitTee = core.SplitPoint
+	// MergeTeePoint is the fan-in surface (MergeTee implements it).
+	MergeTeePoint = core.MergePoint
+)
+
+// NewGraph starts a graph bound to the standard component catalog, so
+// spec-backed stages ("counter", "pump", "collect", ...) resolve out of the
+// box; live stages need no catalog at all.
+func NewGraph(name string) *Graph {
+	return graph.New(name).UseCatalog(ipcl.Catalog(ipcl.StdRegistry()))
+}
+
+// Graph deployment targets, node options and helpers.
+var (
+	OnScheduler = graph.OnScheduler
+	OnGroup     = graph.OnGroup
+	OnNodes     = graph.OnNodes
+	GraphPlace  = graph.Place
+	GraphArgs   = graph.WithArgs
+	GraphParam  = graph.WithParam
+	// EnableGraphNode prepares a remote Node to host graph segments;
+	// StandardCatalog adapts the standard registry for it.
+	EnableGraphNode = graph.EnableNode
+	StandardCatalog = func() GraphCatalog { return ipcl.Catalog(ipcl.StdRegistry()) }
+	// BuildTextGraph compiles a branching pipeline expression — e.g.
+	// "src >> split{ a >> x | b >> y } >> merge >> sink" — to a Graph.
+	BuildTextGraph = ipcl.BuildGraph
+	// WithInputSpec seeds Typespec propagation (advanced composition).
+	WithInputSpec = core.WithInputSpec
+)
+
+// Graph validation errors.
+var (
+	ErrBadGraph          = core.ErrBadGraph
+	ErrGraphCycle        = core.ErrGraphCycle
+	ErrDanglingPort      = core.ErrDanglingPort
+	ErrPlacementConflict = core.ErrPlacementConflict
+)
 
 // ---- Composition ----
 

@@ -1,0 +1,640 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the graph planner behind the Graph composition API:
+// applications declare an information-flow *graph* — named stages plus
+// fan-out (split tees), fan-in (merge tees) and explicit cut points — once,
+// and bind the placement (one scheduler, a shard group, remote nodes) later
+// as deployment policy.  The planner validates the DAG and segments it into
+// the linear pipelines the §3 activity analysis already understands; the
+// deployment layer composes one pipeline per segment (reusing planPipeline
+// through Compose) and joins adjacent segments through tee buffers, shard
+// links, or netpipes depending on where the segments land.
+
+// SplitPoint is a fan-out tee as the graph planner sees it: a consumer-style
+// component (the trunk pipeline's sink) with passive out-ports that start
+// the branch pipelines (§2.1 splitting; §3.3 "only one passive port in a
+// non-buffering component" — split tees buffer internally).
+type SplitPoint interface {
+	Component
+	// Outs reports the number of out-ports.
+	Outs() int
+	// OutPort returns the passive producer-style source for branch i.
+	OutPort(i int) Component
+}
+
+// MergePoint is a fan-in tee as the graph planner sees it: consumer-style
+// in-ports terminate the inbound pipelines, and one passive out-port starts
+// the merged downstream pipeline (§2.1 merging in arrival order).
+type MergePoint interface {
+	// Name identifies the merge point.
+	Name() string
+	// Ins reports the number of in-ports.
+	Ins() int
+	// InPort returns the consumer-style sink for inbound flow i.
+	InPort(i int) Component
+	// OutPort returns the passive producer-style source of the merged flow.
+	OutPort() Component
+}
+
+// Graph-composition errors.
+var (
+	// ErrBadGraph marks structurally invalid graphs: unknown stage
+	// references, duplicate connections, orphan stages, empty segments.
+	ErrBadGraph = errors.New("infopipe: invalid graph")
+	// ErrGraphCycle marks a graph whose data edges form a cycle (feedback
+	// belongs on the control plane — the event bus — not the data plane).
+	ErrGraphCycle = errors.New("infopipe: graph contains a cycle")
+	// ErrDanglingPort marks a tee port with no connection: an unconnected
+	// split output would silently fill and wedge the trunk, an unconnected
+	// merge input would keep the merged stream from ever ending.
+	ErrDanglingPort = errors.New("infopipe: unconnected tee port")
+	// ErrPlacementConflict marks a segment whose stages carry different
+	// placement hints: one linear segment runs on one scheduler; insert a
+	// Cut (or a tee) where the flow should change shards or nodes.
+	ErrPlacementConflict = errors.New("infopipe: conflicting placement hints in one segment")
+)
+
+// GraphMainPort addresses a node's primary connection point (a stage's
+// input or output, a split's trunk input, a merge's merged output), as
+// opposed to a numbered tee port.
+const GraphMainPort = -1
+
+// GraphNodeKind discriminates planner node descriptions.
+type GraphNodeKind int
+
+const (
+	// GraphStage is a plain pipeline stage (component, buffer or pump).
+	GraphStage GraphNodeKind = iota + 1
+	// GraphSplit is a fan-out tee (SplitPoint).
+	GraphSplit
+	// GraphMerge is a fan-in tee (MergePoint).
+	GraphMerge
+)
+
+// GraphNodeInfo is the placement-free description of one graph node that the
+// planner works on.  The builder layer (which holds the live components or
+// their remote specs) derives these.
+type GraphNodeInfo struct {
+	Name string
+	Kind GraphNodeKind
+	// Outs is the split fan-out; Ins the merge fan-in (ignored otherwise).
+	Outs, Ins int
+	// Place is the placement hint (shard or node index), -1 for none.
+	Place int
+}
+
+// GraphEdgeInfo is one data edge.  Ports are GraphMainPort except on the
+// split side of a split node (FromPort = out-port index) and the merge side
+// of a merge node (ToPort = in-port index).  A Cut edge is an explicit
+// segment boundary: the deployment layer joins the two segments with a
+// shard link or a netpipe, letting the flow change shards or nodes
+// mid-chain.
+type GraphEdgeInfo struct {
+	From     string
+	FromPort int
+	To       string
+	ToPort   int
+	Cut      bool
+}
+
+// SegmentEndKind describes how a segment begins or ends.
+type SegmentEndKind int
+
+const (
+	// EndNone: the segment begins at a true source / ends at a true sink.
+	EndNone SegmentEndKind = iota
+	// EndSplitTrunk: the segment ends by feeding a split tee (the tee
+	// component is the segment's sink).
+	EndSplitTrunk
+	// EndSplitOut: the segment begins at a split tee's out-port.
+	EndSplitOut
+	// EndMergeIn: the segment ends at a merge tee's in-port.
+	EndMergeIn
+	// EndMergeOut: the segment begins at a merge tee's merged output.
+	EndMergeOut
+	// EndCut: the segment boundary is an explicit cut edge; Port indexes
+	// GraphPlan.Cuts.
+	EndCut
+)
+
+// SegmentEnd is one boundary of a segment: the kind, the tee node involved
+// (if any) and the port (tee port index, or cut index for EndCut).
+type SegmentEnd struct {
+	Kind SegmentEndKind
+	Node string
+	Port int
+}
+
+// GraphSegment is one maximal linear chain of the graph: it composes into
+// one Pipeline (possibly multi-section, if it contains buffers).
+type GraphSegment struct {
+	Index  int
+	Stages []string // stage-node names in flow order
+	Head   SegmentEnd
+	Tail   SegmentEnd
+	// Place is the resolved placement hint of the segment (-1 none).
+	Place int
+}
+
+// Name renders a diagnostic identifier for the segment.
+func (s *GraphSegment) Name() string {
+	if len(s.Stages) == 0 {
+		return fmt.Sprintf("seg%d", s.Index)
+	}
+	if len(s.Stages) == 1 {
+		return s.Stages[0]
+	}
+	return s.Stages[0] + ">>" + s.Stages[len(s.Stages)-1]
+}
+
+// GraphCut is one cut edge, resolved to the segments on each side.
+type GraphCut struct {
+	FromSeg, ToSeg int
+}
+
+// GraphPlan is the planner's output: the segments, their topological order,
+// and the adjacency through tees and cuts that the deployment layer wires.
+type GraphPlan struct {
+	Segments []*GraphSegment
+	// Order lists segment indices in topological (upstream-first) order.
+	Order []int
+	// SplitTrunk maps a split tee to the segment that feeds it; SplitBranch
+	// maps (split, out-port) to the branch segment.
+	SplitTrunk  map[string]int
+	SplitBranch map[string][]int
+	// MergeBranch maps (merge, in-port) to the inbound segment; MergeDown
+	// maps a merge tee to the downstream segment starting at its output.
+	MergeBranch map[string][]int
+	MergeDown   map[string]int
+	// Cuts lists the cut edges with their segments.
+	Cuts []GraphCut
+}
+
+// PlanGraph validates a graph description and segments it into linear
+// pipelines.  It checks structure only (connectivity, ports, cycles,
+// placement-hint consistency); per-segment layout rules (source/sink
+// styles, pump-per-section) are enforced by planPipeline when each segment
+// is composed.
+func PlanGraph(nodes []GraphNodeInfo, edges []GraphEdgeInfo) (*GraphPlan, error) {
+	byName := make(map[string]*GraphNodeInfo, len(nodes))
+	for i := range nodes {
+		n := &nodes[i]
+		if n.Name == "" {
+			return nil, fmt.Errorf("%w: node %d has no name", ErrBadGraph, i)
+		}
+		if _, dup := byName[n.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate node name %q", ErrBadGraph, n.Name)
+		}
+		byName[n.Name] = n
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("%w: no nodes declared", ErrBadGraph)
+	}
+
+	// Validate the edges and build the connection tables.
+	outEdge := make(map[string]map[int]int, len(nodes)) // node -> port -> edge index
+	inEdge := make(map[string]map[int]int, len(nodes))
+	connect := func(table map[string]map[int]int, node string, port, edge int, side string) error {
+		m := table[node]
+		if m == nil {
+			m = make(map[int]int, 2)
+			table[node] = m
+		}
+		if prev, dup := m[port]; dup {
+			return fmt.Errorf("%w: %s of %q connected twice (edges %d and %d)",
+				ErrBadGraph, side, portRef(node, port), prev, edge)
+		}
+		m[port] = edge
+		return nil
+	}
+	for i, e := range edges {
+		from, ok := byName[e.From]
+		if !ok {
+			return nil, fmt.Errorf("%w: edge %d references unknown node %q", ErrBadGraph, i, e.From)
+		}
+		to, ok := byName[e.To]
+		if !ok {
+			return nil, fmt.Errorf("%w: edge %d references unknown node %q", ErrBadGraph, i, e.To)
+		}
+		switch from.Kind {
+		case GraphSplit:
+			if e.FromPort < 0 || e.FromPort >= from.Outs {
+				return nil, fmt.Errorf("%w: split %q has no out-port %d (outs=%d)",
+					ErrBadGraph, from.Name, e.FromPort, from.Outs)
+			}
+		default:
+			if e.FromPort != GraphMainPort {
+				return nil, fmt.Errorf("%w: %q has no out-port %d (not a split)",
+					ErrBadGraph, from.Name, e.FromPort)
+			}
+		}
+		switch to.Kind {
+		case GraphMerge:
+			if e.ToPort < 0 || e.ToPort >= to.Ins {
+				return nil, fmt.Errorf("%w: merge %q has no in-port %d (ins=%d)",
+					ErrBadGraph, to.Name, e.ToPort, to.Ins)
+			}
+		default:
+			if e.ToPort != GraphMainPort {
+				return nil, fmt.Errorf("%w: %q has no in-port %d (not a merge)",
+					ErrBadGraph, to.Name, e.ToPort)
+			}
+		}
+		if e.Cut && (from.Kind != GraphStage || to.Kind != GraphStage) {
+			return nil, fmt.Errorf("%w: cut edge %q -> %q must join plain stages (tees already bound segments)",
+				ErrBadGraph, e.From, e.To)
+		}
+		if err := connect(outEdge, e.From, e.FromPort, i, "output"); err != nil {
+			return nil, err
+		}
+		if err := connect(inEdge, e.To, e.ToPort, i, "input"); err != nil {
+			return nil, err
+		}
+	}
+
+	// Completeness: every tee port wired, no orphan stages.
+	for _, n := range nodes {
+		switch n.Kind {
+		case GraphStage:
+			if len(outEdge[n.Name]) == 0 && len(inEdge[n.Name]) == 0 {
+				return nil, fmt.Errorf("%w: stage %q is connected to nothing", ErrBadGraph, n.Name)
+			}
+		case GraphSplit:
+			if n.Outs < 2 {
+				return nil, fmt.Errorf("%w: split %q needs at least 2 out-ports, has %d", ErrBadGraph, n.Name, n.Outs)
+			}
+			if _, ok := inEdge[n.Name][GraphMainPort]; !ok {
+				return nil, fmt.Errorf("%w: split %q has no trunk feeding it", ErrDanglingPort, n.Name)
+			}
+			for p := 0; p < n.Outs; p++ {
+				if _, ok := outEdge[n.Name][p]; !ok {
+					return nil, fmt.Errorf("%w: split out-port %s", ErrDanglingPort, portRef(n.Name, p))
+				}
+			}
+		case GraphMerge:
+			if n.Ins < 2 {
+				return nil, fmt.Errorf("%w: merge %q needs at least 2 in-ports, has %d", ErrBadGraph, n.Name, n.Ins)
+			}
+			for p := 0; p < n.Ins; p++ {
+				if _, ok := inEdge[n.Name][p]; !ok {
+					return nil, fmt.Errorf("%w: merge in-port %s", ErrDanglingPort, portRef(n.Name, p))
+				}
+			}
+			if _, ok := outEdge[n.Name][GraphMainPort]; !ok {
+				return nil, fmt.Errorf("%w: merge %q output feeds nothing", ErrDanglingPort, n.Name)
+			}
+		}
+	}
+
+	// Cycle detection over the node graph (ports collapsed).
+	if err := findCycle(byName, edges, outEdge); err != nil {
+		return nil, err
+	}
+
+	// Segmentation: walk every maximal linear chain.
+	plan := &GraphPlan{
+		SplitTrunk:  make(map[string]int),
+		SplitBranch: make(map[string][]int),
+		MergeBranch: make(map[string][]int),
+		MergeDown:   make(map[string]int),
+	}
+	for _, n := range nodes {
+		switch n.Kind {
+		case GraphSplit:
+			plan.SplitBranch[n.Name] = repeatInt(-1, n.Outs)
+		case GraphMerge:
+			plan.MergeBranch[n.Name] = repeatInt(-1, n.Ins)
+		}
+	}
+	type startPoint struct {
+		head    SegmentEnd
+		first   int // edge index delivering into the first stage, -1 for true sources
+		srcName string
+	}
+	var starts []startPoint
+	for _, n := range nodes {
+		switch n.Kind {
+		case GraphStage:
+			if _, fed := inEdge[n.Name][GraphMainPort]; !fed {
+				starts = append(starts, startPoint{head: SegmentEnd{Kind: EndNone}, first: -1, srcName: n.Name})
+			}
+		case GraphSplit:
+			for p := 0; p < n.Outs; p++ {
+				starts = append(starts, startPoint{
+					head:  SegmentEnd{Kind: EndSplitOut, Node: n.Name, Port: p},
+					first: outEdge[n.Name][p],
+				})
+			}
+		case GraphMerge:
+			starts = append(starts, startPoint{
+				head:  SegmentEnd{Kind: EndMergeOut, Node: n.Name},
+				first: outEdge[n.Name][GraphMainPort],
+			})
+		}
+	}
+	for i, e := range edges {
+		if e.Cut {
+			starts = append(starts, startPoint{head: SegmentEnd{Kind: EndCut, Port: i}, first: i})
+		}
+	}
+	// Deterministic segment numbering regardless of map iteration: order
+	// starts by their first stage's declaration index.
+	declIdx := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		declIdx[n.Name] = i
+	}
+	sort.SliceStable(starts, func(a, b int) bool {
+		na, nb := starts[a].srcName, starts[b].srcName
+		if na == "" && starts[a].first >= 0 {
+			na = edges[starts[a].first].To
+		}
+		if nb == "" && starts[b].first >= 0 {
+			nb = edges[starts[b].first].To
+		}
+		return declIdx[na] < declIdx[nb]
+	})
+
+	cutSeg := make(map[int]*[2]int) // edge index -> [fromSeg, toSeg]
+	for _, sp := range starts {
+		seg := &GraphSegment{Index: len(plan.Segments), Head: sp.head, Place: -1}
+		cur := sp.srcName
+		if cur == "" {
+			cur = edges[sp.first].To
+		}
+		if sp.head.Kind == EndCut {
+			c := ensureCut(cutSeg, sp.first)
+			c[1] = seg.Index
+		}
+		for {
+			seg.Stages = append(seg.Stages, cur)
+			ei, ok := outEdge[cur][GraphMainPort]
+			if !ok {
+				seg.Tail = SegmentEnd{Kind: EndNone}
+				break
+			}
+			e := edges[ei]
+			if e.Cut {
+				seg.Tail = SegmentEnd{Kind: EndCut, Port: ei}
+				c := ensureCut(cutSeg, ei)
+				c[0] = seg.Index
+				break
+			}
+			to := byName[e.To]
+			if to.Kind == GraphSplit {
+				seg.Tail = SegmentEnd{Kind: EndSplitTrunk, Node: to.Name}
+				plan.SplitTrunk[to.Name] = seg.Index
+				break
+			}
+			if to.Kind == GraphMerge {
+				seg.Tail = SegmentEnd{Kind: EndMergeIn, Node: to.Name, Port: e.ToPort}
+				plan.MergeBranch[to.Name][e.ToPort] = seg.Index
+				break
+			}
+			cur = to.Name
+		}
+		switch sp.head.Kind {
+		case EndSplitOut:
+			plan.SplitBranch[sp.head.Node][sp.head.Port] = seg.Index
+		case EndMergeOut:
+			plan.MergeDown[sp.head.Node] = seg.Index
+		}
+		if len(seg.Stages) == 0 {
+			return nil, fmt.Errorf("%w: empty segment at %s (a segment needs at least a pump)",
+				ErrBadGraph, endRef(sp.head))
+		}
+		plan.Segments = append(plan.Segments, seg)
+	}
+
+	// A direct tee-to-tee edge (e.g. split out straight into a merge in)
+	// never started a segment above because neither end is a stage; it is
+	// an empty segment and invalid for the same reason.
+	for i, e := range edges {
+		if byName[e.From].Kind != GraphStage && byName[e.To].Kind != GraphStage {
+			return nil, fmt.Errorf("%w: edge %d joins %q directly to %q with no stages between (a segment needs at least a pump)",
+				ErrBadGraph, i, portRef(e.From, e.FromPort), portRef(e.To, e.ToPort))
+		}
+	}
+
+	// Resolve the cut table: assign cut indices in edge order, then rewrite
+	// the segment ends from edge indices to cut indices in one pass.
+	cutIdx := make(map[int]int, len(cutSeg))
+	for ei := range edges {
+		pair, ok := cutSeg[ei]
+		if !ok {
+			continue
+		}
+		cutIdx[ei] = len(plan.Cuts)
+		plan.Cuts = append(plan.Cuts, GraphCut{FromSeg: pair[0], ToSeg: pair[1]})
+	}
+	for _, seg := range plan.Segments {
+		if seg.Head.Kind == EndCut {
+			seg.Head.Port = cutIdx[seg.Head.Port]
+		}
+		if seg.Tail.Kind == EndCut {
+			seg.Tail.Port = cutIdx[seg.Tail.Port]
+		}
+	}
+
+	// Placement hints: every hinted node of a segment must agree.  Tee
+	// hints bind to the segment that owns the tee's buffers: the trunk for
+	// a split, the downstream for a merge.
+	hint := func(seg *GraphSegment, name string, place int) error {
+		if place < 0 {
+			return nil
+		}
+		if seg.Place >= 0 && seg.Place != place {
+			return fmt.Errorf("%w: segment %q is hinted to both %d and %d (stage %q); insert a Cut where the flow should move",
+				ErrPlacementConflict, seg.Name(), seg.Place, place, name)
+		}
+		seg.Place = place
+		return nil
+	}
+	for _, seg := range plan.Segments {
+		for _, name := range seg.Stages {
+			if err := hint(seg, name, byName[name].Place); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, n := range nodes {
+		switch n.Kind {
+		case GraphSplit:
+			if err := hint(plan.Segments[plan.SplitTrunk[n.Name]], n.Name, n.Place); err != nil {
+				return nil, err
+			}
+		case GraphMerge:
+			if err := hint(plan.Segments[plan.MergeDown[n.Name]], n.Name, n.Place); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Topological order of segments (upstream first), deterministic.
+	if err := plan.buildOrder(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+// Downstream lists the segments immediately downstream of seg (through its
+// tail tee or cut).
+func (p *GraphPlan) Downstream(seg int) []int {
+	var out []int
+	switch t := p.Segments[seg].Tail; t.Kind {
+	case EndSplitTrunk:
+		out = append(out, p.SplitBranch[t.Node]...)
+	case EndMergeIn:
+		out = append(out, p.MergeDown[t.Node])
+	case EndCut:
+		out = append(out, p.Cuts[t.Port].ToSeg)
+	}
+	return out
+}
+
+// Upstream lists the segments immediately upstream of seg.
+func (p *GraphPlan) Upstream(seg int) []int {
+	var out []int
+	switch h := p.Segments[seg].Head; h.Kind {
+	case EndSplitOut:
+		out = append(out, p.SplitTrunk[h.Node])
+	case EndMergeOut:
+		out = append(out, p.MergeBranch[h.Node]...)
+	case EndCut:
+		out = append(out, p.Cuts[h.Port].FromSeg)
+	}
+	return out
+}
+
+// buildOrder computes a deterministic topological order of the segments.
+func (p *GraphPlan) buildOrder() error {
+	indeg := make([]int, len(p.Segments))
+	for i := range p.Segments {
+		indeg[i] = len(p.Upstream(i))
+	}
+	var ready []int
+	for i, d := range indeg {
+		if d == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for len(ready) > 0 {
+		sort.Ints(ready)
+		i := ready[0]
+		ready = ready[1:]
+		p.Order = append(p.Order, i)
+		for _, d := range p.Downstream(i) {
+			indeg[d]--
+			if indeg[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+	if len(p.Order) != len(p.Segments) {
+		// Unreachable if findCycle ran, but kept as a safety net.
+		return fmt.Errorf("%w (segment ordering failed)", ErrGraphCycle)
+	}
+	return nil
+}
+
+// findCycle runs a DFS over the node graph and reports the first data cycle.
+func findCycle(byName map[string]*GraphNodeInfo, edges []GraphEdgeInfo, outEdge map[string]map[int]int) error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(byName))
+	var path []string
+	var visit func(name string) error
+	visit = func(name string) error {
+		color[name] = grey
+		path = append(path, name)
+		ports := outEdge[name]
+		// Deterministic port order for stable error messages.
+		keys := make([]int, 0, len(ports))
+		for p := range ports {
+			keys = append(keys, p)
+		}
+		sort.Ints(keys)
+		for _, p := range keys {
+			next := edges[ports[p]].To
+			switch color[next] {
+			case grey:
+				// Trim the path to the cycle and report it.
+				i := 0
+				for ; i < len(path); i++ {
+					if path[i] == next {
+						break
+					}
+				}
+				return fmt.Errorf("%w: %s -> %s", ErrGraphCycle,
+					strings.Join(path[i:], " -> "), next)
+			case white:
+				if err := visit(next); err != nil {
+					return err
+				}
+			}
+		}
+		path = path[:len(path)-1]
+		color[name] = black
+		return nil
+	}
+	// Deterministic node order.
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if color[n] == white {
+			if err := visit(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func ensureCut(m map[int]*[2]int, edge int) *[2]int {
+	c, ok := m[edge]
+	if !ok {
+		c = &[2]int{-1, -1}
+		m[edge] = c
+	}
+	return c
+}
+
+func repeatInt(v, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func portRef(node string, port int) string {
+	if port == GraphMainPort {
+		return node
+	}
+	return fmt.Sprintf("%s:%d", node, port)
+}
+
+func endRef(e SegmentEnd) string {
+	switch e.Kind {
+	case EndSplitOut, EndMergeIn:
+		return portRef(e.Node, e.Port)
+	case EndSplitTrunk, EndMergeOut:
+		return e.Node
+	case EndCut:
+		return "cut"
+	default:
+		return "end"
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func stageN(name string) GraphNodeInfo {
+	return GraphNodeInfo{Name: name, Kind: GraphStage, Place: -1}
+}
+
+func TestPlanGraphSegmentsDiamond(t *testing.T) {
+	nodes := []GraphNodeInfo{
+		stageN("src"), stageN("pump"),
+		{Name: "tee", Kind: GraphSplit, Outs: 2, Place: -1},
+		stageN("fa"), stageN("pa"),
+		stageN("fb"), stageN("pb"),
+		{Name: "mrg", Kind: GraphMerge, Ins: 2, Place: -1},
+		stageN("po"), stageN("sink"),
+	}
+	edges := []GraphEdgeInfo{
+		{From: "src", FromPort: GraphMainPort, To: "pump", ToPort: GraphMainPort},
+		{From: "pump", FromPort: GraphMainPort, To: "tee", ToPort: GraphMainPort},
+		{From: "tee", FromPort: 0, To: "fa", ToPort: GraphMainPort},
+		{From: "fa", FromPort: GraphMainPort, To: "pa", ToPort: GraphMainPort},
+		{From: "pa", FromPort: GraphMainPort, To: "mrg", ToPort: 0},
+		{From: "tee", FromPort: 1, To: "fb", ToPort: GraphMainPort},
+		{From: "fb", FromPort: GraphMainPort, To: "pb", ToPort: GraphMainPort},
+		{From: "pb", FromPort: GraphMainPort, To: "mrg", ToPort: 1},
+		{From: "mrg", FromPort: GraphMainPort, To: "po", ToPort: GraphMainPort},
+		{From: "po", FromPort: GraphMainPort, To: "sink", ToPort: GraphMainPort},
+	}
+	plan, err := PlanGraph(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Segments) != 4 {
+		t.Fatalf("segments = %d, want 4", len(plan.Segments))
+	}
+	trunk := plan.Segments[plan.SplitTrunk["tee"]]
+	if trunk.Tail.Kind != EndSplitTrunk || len(trunk.Stages) != 2 {
+		t.Fatalf("trunk = %+v", trunk)
+	}
+	down := plan.Segments[plan.MergeDown["mrg"]]
+	if down.Head.Kind != EndMergeOut || down.Stages[len(down.Stages)-1] != "sink" {
+		t.Fatalf("downstream = %+v", down)
+	}
+	for port, segIdx := range plan.SplitBranch["tee"] {
+		seg := plan.Segments[segIdx]
+		if seg.Head.Kind != EndSplitOut || seg.Head.Port != port {
+			t.Fatalf("branch %d head = %+v", port, seg.Head)
+		}
+		if seg.Tail.Kind != EndMergeIn || seg.Tail.Port != port {
+			t.Fatalf("branch %d tail = %+v", port, seg.Tail)
+		}
+	}
+	// Topological order: trunk before branches before downstream.
+	pos := make(map[int]int)
+	for i, s := range plan.Order {
+		pos[s] = i
+	}
+	for _, b := range plan.SplitBranch["tee"] {
+		if pos[plan.SplitTrunk["tee"]] > pos[b] {
+			t.Fatal("trunk ordered after branch")
+		}
+		if pos[b] > pos[plan.MergeDown["mrg"]] {
+			t.Fatal("branch ordered after merge downstream")
+		}
+	}
+}
+
+func TestPlanGraphCuts(t *testing.T) {
+	nodes := []GraphNodeInfo{stageN("a"), stageN("b"), stageN("c"), stageN("d")}
+	edges := []GraphEdgeInfo{
+		{From: "a", FromPort: GraphMainPort, To: "b", ToPort: GraphMainPort},
+		{From: "b", FromPort: GraphMainPort, To: "c", ToPort: GraphMainPort, Cut: true},
+		{From: "c", FromPort: GraphMainPort, To: "d", ToPort: GraphMainPort},
+	}
+	plan, err := PlanGraph(nodes, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Segments) != 2 || len(plan.Cuts) != 1 {
+		t.Fatalf("segments=%d cuts=%d, want 2/1", len(plan.Segments), len(plan.Cuts))
+	}
+	cut := plan.Cuts[0]
+	if plan.Segments[cut.FromSeg].Tail.Kind != EndCut || plan.Segments[cut.ToSeg].Head.Kind != EndCut {
+		t.Fatalf("cut ends wrong: %+v / %+v", plan.Segments[cut.FromSeg].Tail, plan.Segments[cut.ToSeg].Head)
+	}
+}
+
+func TestPlanGraphErrors(t *testing.T) {
+	check := func(t *testing.T, nodes []GraphNodeInfo, edges []GraphEdgeInfo, want error) {
+		t.Helper()
+		_, err := PlanGraph(nodes, edges)
+		if !errors.Is(err, want) {
+			t.Fatalf("err = %v, want %v", err, want)
+		}
+	}
+	t.Run("duplicate-output", func(t *testing.T) {
+		check(t, []GraphNodeInfo{stageN("a"), stageN("b"), stageN("c")},
+			[]GraphEdgeInfo{
+				{From: "a", FromPort: GraphMainPort, To: "b", ToPort: GraphMainPort},
+				{From: "a", FromPort: GraphMainPort, To: "c", ToPort: GraphMainPort},
+			}, ErrBadGraph)
+	})
+	t.Run("orphan", func(t *testing.T) {
+		check(t, []GraphNodeInfo{stageN("a"), stageN("b"), stageN("lone")},
+			[]GraphEdgeInfo{
+				{From: "a", FromPort: GraphMainPort, To: "b", ToPort: GraphMainPort},
+			}, ErrBadGraph)
+	})
+	t.Run("bad-port", func(t *testing.T) {
+		check(t, []GraphNodeInfo{stageN("a"), {Name: "t", Kind: GraphSplit, Outs: 2, Place: -1}, stageN("b"), stageN("c")},
+			[]GraphEdgeInfo{
+				{From: "a", FromPort: GraphMainPort, To: "t", ToPort: GraphMainPort},
+				{From: "t", FromPort: 2, To: "b", ToPort: GraphMainPort},
+				{From: "t", FromPort: 1, To: "c", ToPort: GraphMainPort},
+			}, ErrBadGraph)
+	})
+	t.Run("merge-port-unconnected", func(t *testing.T) {
+		check(t, []GraphNodeInfo{stageN("a"), stageN("b"), {Name: "m", Kind: GraphMerge, Ins: 2, Place: -1}, stageN("c")},
+			[]GraphEdgeInfo{
+				{From: "a", FromPort: GraphMainPort, To: "b", ToPort: GraphMainPort},
+				{From: "b", FromPort: GraphMainPort, To: "m", ToPort: 0},
+				{From: "m", FromPort: GraphMainPort, To: "c", ToPort: GraphMainPort},
+			}, ErrDanglingPort)
+	})
+	t.Run("cycle-reports-path", func(t *testing.T) {
+		_, err := PlanGraph([]GraphNodeInfo{stageN("x"), stageN("y")},
+			[]GraphEdgeInfo{
+				{From: "x", FromPort: GraphMainPort, To: "y", ToPort: GraphMainPort},
+				{From: "y", FromPort: GraphMainPort, To: "x", ToPort: GraphMainPort},
+			})
+		if !errors.Is(err, ErrGraphCycle) {
+			t.Fatalf("err = %v, want ErrGraphCycle", err)
+		}
+	})
+}

@@ -61,7 +61,7 @@ func Compose(name string, sched *uthread.Scheduler, bus *events.Bus, stages []St
 	if err != nil {
 		return nil, fmt.Errorf("compose %q: %w", name, err)
 	}
-	specs, err := propagateSpecs(stages)
+	specs, err := propagateSpecs(stages, cfg.inputSpec)
 	if err != nil {
 		return nil, fmt.Errorf("compose %q: %w", name, err)
 	}
@@ -130,10 +130,11 @@ func boundOf(st Stage) (schedulerBound, bool) {
 
 // propagateSpecs walks the stage list, checking compatibility and applying
 // each component's Typespec transformation (§2.3: dynamic type checking at
-// composition).  Specs[i] is the flow leaving stage i.
-func propagateSpecs(stages []Stage) ([]typespec.Typespec, error) {
+// composition).  Specs[i] is the flow leaving stage i.  seed describes the
+// flow entering the first stage (zero for self-contained pipelines).
+func propagateSpecs(stages []Stage, seed typespec.Typespec) ([]typespec.Typespec, error) {
 	specs := make([]typespec.Typespec, len(stages))
-	var cur typespec.Typespec
+	cur := seed
 	for i, st := range stages {
 		switch st.kind {
 		case kindComponent:

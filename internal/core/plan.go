@@ -127,6 +127,7 @@ func needsCoroutine(style Style, mode Mode) bool {
 type composeCfg struct {
 	forceCoroutines bool
 	skipEventCheck  bool
+	inputSpec       typespec.Typespec
 }
 
 // ComposeOption adjusts composition behaviour.
@@ -144,6 +145,15 @@ func ForceCoroutines() ComposeOption {
 // control events have a handler in the pipeline.
 func SkipEventCapabilityCheck() ComposeOption {
 	return func(c *composeCfg) { c.skipEventCheck = true }
+}
+
+// WithInputSpec seeds Typespec propagation with the flow entering the
+// pipeline's first stage.  The graph deployer uses it to carry the resolved
+// spec across segment boundaries, so a branch pipeline starting at a tee
+// port (or a shard/net link) still sees the trunk's flow properties (§2.3
+// checking does not stop at the tee).
+func WithInputSpec(ts typespec.Typespec) ComposeOption {
+	return func(c *composeCfg) { c.inputSpec = ts }
 }
 
 // LocalEventCapabilities is an optional Component extension declaring the
@@ -302,6 +312,15 @@ func planSection(stages []Stage, startIdx int, upBuf, downBuf Buffer, cfg compos
 		}
 	}
 	return sp, nil
+}
+
+// CheckEventCapabilities verifies that every locally-emitted control event
+// type has at least one handler in the given stage set (§2.3) — the same
+// check Compose applies per pipeline, exposed so the graph deployer can run
+// it across all segments at once (an event emitted in one segment may be
+// handled in another).
+func CheckEventCapabilities(stages []Stage) error {
+	return checkEventCapabilities(stages)
 }
 
 // checkEventCapabilities verifies that every locally-emitted control event

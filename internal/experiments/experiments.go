@@ -13,6 +13,7 @@ import (
 	"infopipes/internal/core"
 	"infopipes/internal/events"
 	"infopipes/internal/feedback"
+	"infopipes/internal/graph"
 	"infopipes/internal/item"
 	"infopipes/internal/media"
 	"infopipes/internal/netpipe"
@@ -20,6 +21,7 @@ import (
 	"infopipes/internal/shard"
 	"infopipes/internal/typespec"
 	"infopipes/internal/uthread"
+	"infopipes/internal/vclock"
 )
 
 func init() {
@@ -633,6 +635,168 @@ func PumpClasses(items int64) ([]PumpRow, error) {
 		return p, nil
 	}); err != nil {
 		return nil, err
+	}
+	return rows, nil
+}
+
+// --------------------------------------------- E18: shard-link batch drain
+
+// LinkRow is one cross-shard link throughput measurement.
+type LinkRow struct {
+	Depth      int
+	Items      int64
+	Wall       time.Duration
+	Throughput float64 // items per second across the link
+	Messages   int64   // scheduler messages consumed group-wide (wake traffic)
+}
+
+// LinkRate drives a free-running producer on shard 0 into a free-running
+// consumer on shard 1 through one ShardLink per queue depth, on the wall
+// clock, and reports the achieved item rate and the scheduler message
+// traffic.  This is the experiment behind the ROADMAP batching item: the
+// receiver drains the whole queue per wake instead of paying one
+// cross-scheduler wake per item, so message counts should scale with
+// wakes, not items.
+func LinkRate(items int64, depths []int) ([]LinkRow, error) {
+	rows := make([]LinkRow, 0, len(depths))
+	for _, depth := range depths {
+		g := shard.NewGroup(shard.WithShardCount(2), shard.WithRealClock())
+		link := shard.NewLink("lane", g.Scheduler(1), depth)
+		producer, err := core.Compose("producer", g.Scheduler(0), nil, append([]core.Stage{
+			core.Comp(pipes.NewCounterSource("src", items)),
+			core.Pmp(pipes.NewFreePump("pump")),
+		}, link.SenderStages("lane")...))
+		if err != nil {
+			return nil, fmt.Errorf("depth=%d producer: %w", depth, err)
+		}
+		_, err = core.Compose("consumer", g.Scheduler(1), producer.Bus(), append(
+			link.ReceiverStages("lane"),
+			core.Pmp(pipes.NewFreePump("pump2")),
+			core.Comp(pipes.NullSink("sink")),
+		))
+		if err != nil {
+			return nil, fmt.Errorf("depth=%d consumer: %w", depth, err)
+		}
+		start := time.Now()
+		producer.Start()
+		if err := g.Run(); err != nil {
+			return nil, fmt.Errorf("depth=%d run: %w", depth, err)
+		}
+		wall := time.Since(start)
+		if moved := link.Moved(); moved != items {
+			return nil, fmt.Errorf("depth=%d moved %d items, want %d", depth, moved, items)
+		}
+		tp := 0.0
+		if wall > 0 {
+			tp = float64(items) / wall.Seconds()
+		}
+		rows = append(rows, LinkRow{
+			Depth:      depth,
+			Items:      items,
+			Wall:       wall,
+			Throughput: tp,
+			Messages:   g.Stats().Messages,
+		})
+	}
+	return rows, nil
+}
+
+// ------------------------------------------ E19: graph fan-out / fan-in
+
+// GraphRow is one deployment-target measurement of the branching graph.
+type GraphRow struct {
+	Target     string
+	Items      int64
+	Wall       time.Duration
+	Throughput float64 // items per second through the sink
+	Links      int     // auto-inserted shard links
+}
+
+// GraphFanout deploys the SAME branching graph — source -> route split ->
+// two worker chains -> merge -> sink — onto (a) one scheduler and (b) a
+// 2-shard SchedulerGroup with the branches hinted apart, and reports the
+// wall-clock throughput of each.  The graph is declared once; the target
+// binds the placement (the deployment inserts the cross-shard links and
+// relay pipelines by itself).
+func GraphFanout(items int64, spin int) ([]GraphRow, error) {
+	declare := func(placeB int) (*graph.Graph, *pipes.CountingProbe) {
+		g := graph.New("fanout")
+		probe := pipes.NewCountingProbe("count")
+		tee := pipes.NewRouteTee("tee", 2, 64, typespec.Block, typespec.Block,
+			func(it *item.Item) int { return int((it.Seq - 1) % 2) })
+		work := func(name string) *pipes.FuncFilter {
+			return pipes.NewFuncFilter(name, func(_ *core.Ctx, it *item.Item) (*item.Item, error) {
+				seq, _ := it.Payload.(int64)
+				it.Payload = shardWork(seq, spin)
+				return it, nil
+			})
+		}
+		var bOpts []graph.NodeOption
+		if placeB >= 0 {
+			bOpts = append(bOpts, graph.Place(placeB))
+		}
+		g.Add(core.Comp(pipes.NewCounterSource("src", items)))
+		g.Add(core.Pmp(pipes.NewFreePump("pump")))
+		g.Split(tee)
+		g.Add(core.Comp(work("wa")))
+		g.Add(core.Pmp(pipes.NewFreePump("pa")))
+		g.Add(core.Comp(work("wb")), bOpts...)
+		g.Add(core.Pmp(pipes.NewFreePump("pb")), bOpts...)
+		g.Merge(pipes.NewMergeTee("mrg", 2, 64, typespec.Block, typespec.Block))
+		g.Add(core.Pmp(pipes.NewFreePump("po")))
+		g.Add(core.Comp(probe))
+		g.Add(core.Comp(pipes.NullSink("sink")))
+		g.Pipe("src", "pump", "tee")
+		g.Pipe("tee:0", "wa", "pa", "mrg:0")
+		g.Pipe("tee:1", "wb", "pb", "mrg:1")
+		g.Pipe("mrg", "po", "count", "sink")
+		return g, probe
+	}
+
+	var rows []GraphRow
+	{
+		g, probe := declare(-1)
+		sched := uthread.New(uthread.WithClock(vclock.Real{}))
+		d, err := g.Deploy(graph.OnScheduler(sched))
+		if err != nil {
+			return nil, fmt.Errorf("scheduler deploy: %w", err)
+		}
+		start := time.Now()
+		d.Start()
+		if err := sched.Run(); err != nil {
+			return nil, fmt.Errorf("scheduler run: %w", err)
+		}
+		if err := d.Wait(); err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		if got := probe.Items(); got != items {
+			return nil, fmt.Errorf("scheduler target delivered %d items, want %d", got, items)
+		}
+		rows = append(rows, GraphRow{Target: "1 scheduler", Items: items, Wall: wall,
+			Throughput: float64(items) / wall.Seconds()})
+	}
+	{
+		g, probe := declare(1)
+		grp := shard.NewGroup(shard.WithShardCount(2), shard.WithRealClock())
+		d, err := g.Deploy(graph.OnGroup(grp))
+		if err != nil {
+			return nil, fmt.Errorf("group deploy: %w", err)
+		}
+		start := time.Now()
+		d.Start()
+		if err := grp.Run(); err != nil {
+			return nil, fmt.Errorf("group run: %w", err)
+		}
+		if err := d.Wait(); err != nil {
+			return nil, err
+		}
+		wall := time.Since(start)
+		if got := probe.Items(); got != items {
+			return nil, fmt.Errorf("group target delivered %d items, want %d", got, items)
+		}
+		rows = append(rows, GraphRow{Target: "2-shard group", Items: items, Wall: wall,
+			Throughput: float64(items) / wall.Seconds(), Links: len(d.Links())})
 	}
 	return rows, nil
 }

@@ -1,0 +1,129 @@
+package graph
+
+import (
+	"fmt"
+	"sync"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/shard"
+)
+
+// Deployment is the handle on one deployed graph: the pipelines composed
+// for its segments (including auto-inserted relay pipelines), the links
+// joining them, and a joined lifecycle — Start and Stop broadcast once on
+// the shared bus, Done closes when every pipeline has finished, Err reports
+// the first failure anywhere in the graph.
+type Deployment struct {
+	name string
+	bus  *events.Bus
+
+	pipelines []*core.Pipeline
+	bySegment map[string]*core.Pipeline
+	links     []*shard.Link
+	remote    *remoteDeployment // non-nil for OnNodes deployments
+
+	mu   sync.Mutex
+	done chan struct{}
+}
+
+func newDeployment(name string, bus *events.Bus) *Deployment {
+	return &Deployment{
+		name:      name,
+		bus:       bus,
+		bySegment: make(map[string]*core.Pipeline),
+		done:      make(chan struct{}),
+	}
+}
+
+// seal finishes construction: it starts the watcher that closes Done once
+// every pipeline has terminated.
+func (d *Deployment) seal() {
+	ps := d.pipelines
+	go func() {
+		for _, p := range ps {
+			<-p.Done()
+		}
+		close(d.done)
+	}()
+}
+
+// Name returns the deployment name (the graph name).
+func (d *Deployment) Name() string { return d.name }
+
+// Bus returns the shared event bus of the deployment.
+func (d *Deployment) Bus() *events.Bus { return d.bus }
+
+// Pipelines lists every composed pipeline, relays included, in composition
+// order.
+func (d *Deployment) Pipelines() []*core.Pipeline {
+	out := make([]*core.Pipeline, len(d.pipelines))
+	copy(out, d.pipelines)
+	return out
+}
+
+// Segment returns the pipeline composed for the named segment (the
+// segment's diagnostic name, "first>>last").  Relay pipelines are not
+// segments.
+func (d *Deployment) Segment(name string) (*core.Pipeline, bool) {
+	p, ok := d.bySegment[name]
+	return p, ok
+}
+
+// Links lists the auto-inserted shard links (local deployments).
+func (d *Deployment) Links() []*shard.Link {
+	out := make([]*shard.Link, len(d.links))
+	copy(out, d.links)
+	return out
+}
+
+// Start broadcasts the start event once on the shared bus: every pump in
+// every segment reacts, exactly like Pipeline.Start on a linear pipeline.
+func (d *Deployment) Start() {
+	if d.remote != nil {
+		d.remote.start()
+		return
+	}
+	if len(d.pipelines) > 0 {
+		d.pipelines[0].Start()
+	}
+}
+
+// Stop broadcasts the stop event to the whole deployment.
+func (d *Deployment) Stop() {
+	if d.remote != nil {
+		d.remote.stop()
+		return
+	}
+	if len(d.pipelines) > 0 {
+		d.pipelines[0].Stop()
+	}
+}
+
+// Done is closed when every pipeline of the deployment has terminated.
+// Remote deployments have no local pipelines; use Wait instead.
+func (d *Deployment) Done() <-chan struct{} { return d.done }
+
+// Err reports the first failure of any pipeline in the deployment.
+func (d *Deployment) Err() error {
+	if d.remote != nil {
+		return d.remote.err()
+	}
+	for _, p := range d.pipelines {
+		if err := p.Err(); err != nil {
+			return fmt.Errorf("%s: %w", p.Name(), err)
+		}
+	}
+	return nil
+}
+
+// Wait blocks until the deployment has finished and reports the first
+// failure.  The caller still drives the scheduler(s): run the scheduler or
+// group the graph was deployed on.
+func (d *Deployment) Wait() error {
+	if d.remote != nil {
+		return d.remote.wait()
+	}
+	<-d.done
+	return d.Err()
+}

@@ -1,0 +1,286 @@
+package graph
+
+import (
+	"fmt"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/pipes"
+	"infopipes/internal/shard"
+	"infopipes/internal/typespec"
+	"infopipes/internal/uthread"
+)
+
+// SchedulerTarget deploys every segment onto one scheduler: the whole graph
+// in-process, joined through the tees' internal buffers (and same-scheduler
+// links at cut edges).  Placement hints are ignored — a single scheduler
+// collapses the placement dimension entirely.
+type SchedulerTarget struct {
+	Sched *uthread.Scheduler
+	// Bus is the shared event service (nil for a deployment-private bus).
+	Bus *events.Bus
+	// LinkDepth bounds the cut-edge links (0 = the link default).
+	LinkDepth int
+}
+
+// OnScheduler targets a single scheduler.
+func OnScheduler(s *uthread.Scheduler) *SchedulerTarget {
+	return &SchedulerTarget{Sched: s}
+}
+
+func (t *SchedulerTarget) deploy(g *Graph, plan *core.GraphPlan) (*Deployment, error) {
+	shardOf := make([]int, len(plan.Segments))
+	ld := &localDeploy{
+		g: g, plan: plan, bus: t.Bus, depth: t.LinkDepth,
+		shardOf: shardOf,
+		schedOf: func(int) *uthread.Scheduler { return t.Sched },
+	}
+	return ld.run()
+}
+
+// GroupTarget deploys onto a SchedulerGroup: the planner places each
+// segment on a shard (honoring Place hints; unhinted segments stay with
+// their tee-adjacent neighbours, and free-standing ones follow the group's
+// placement policy) and joins segments that land on different shards with
+// auto-inserted shard links plus relay pipelines at tee boundaries.
+type GroupTarget struct {
+	Group *shard.Group
+	// Bus is the shared event service (nil for a deployment-private bus).
+	Bus *events.Bus
+	// LinkDepth bounds the auto-inserted links (0 = the link default).
+	LinkDepth int
+}
+
+// OnGroup targets a sharded runtime.
+func OnGroup(gr *shard.Group) *GroupTarget {
+	return &GroupTarget{Group: gr}
+}
+
+func (t *GroupTarget) deploy(g *Graph, plan *core.GraphPlan) (*Deployment, error) {
+	// The placement policy decides free-standing chains only; accounting
+	// happens per composed pipeline (placeAt/release in compose below), so
+	// undo Place's own bookkeeping right away.
+	fromPolicy := func() int {
+		idx := t.Group.Place()
+		t.Group.Release(idx)
+		return idx
+	}
+	shardOf, err := resolvePlacement(g, plan, t.Group.Shards(), "shard", fromPolicy)
+	if err != nil {
+		return nil, err
+	}
+	ld := &localDeploy{
+		g: g, plan: plan, bus: t.Bus, depth: t.LinkDepth,
+		shardOf: shardOf,
+		schedOf: t.Group.Scheduler,
+		placeAt: t.Group.PlaceAt,
+		release: t.Group.Release,
+	}
+	return ld.run()
+}
+
+// localDeploy composes one pipeline per segment on the schedulers the
+// placement chose, wiring tee ports directly where segments are
+// co-scheduled and inserting shard links (plus relay pipelines at tee
+// boundaries) where they are not.
+type localDeploy struct {
+	g       *Graph
+	plan    *core.GraphPlan
+	bus     *events.Bus
+	depth   int
+	shardOf []int
+	schedOf func(i int) *uthread.Scheduler
+	// placeAt/release are the group's load accounting, nil on a single
+	// scheduler; every composed pipeline (relays included) counts.
+	placeAt func(i int)
+	release func(i int)
+
+	stages map[string]core.Stage
+	splits map[string]core.SplitPoint
+	merges map[string]core.MergePoint
+
+	d *Deployment
+	// segOutSpec[i] is the Typespec of the flow leaving segment i's last
+	// declared stage (entering its tail boundary) — the seed carried into
+	// the downstream segment (§2.3 checking does not stop at a tee).
+	segOutSpec  []typespec.Typespec
+	mergeInSpec map[string][]typespec.Typespec
+	cutLinks    []*shard.Link
+}
+
+func (ld *localDeploy) run() (*Deployment, error) {
+	g, plan := ld.g, ld.plan
+	var err error
+	ld.stages, ld.splits, ld.merges, err = g.materialize()
+	if err != nil {
+		return nil, err
+	}
+	// The §2.3 event-capability check runs graph-wide: an event emitted in
+	// one segment may well be handled in another (that is what the shared
+	// bus is for), so the per-pipeline check is skipped below.
+	all := make([]core.Stage, 0, len(ld.stages))
+	for _, n := range g.nodes {
+		if n.kind == nStage {
+			all = append(all, ld.stages[n.name])
+		}
+	}
+	if err := core.CheckEventCapabilities(all); err != nil {
+		return nil, fmt.Errorf("graph %q: %w", g.name, err)
+	}
+
+	if ld.bus == nil {
+		ld.bus = &events.Bus{}
+	}
+	ld.d = newDeployment(g.name, ld.bus)
+	ld.segOutSpec = make([]typespec.Typespec, len(plan.Segments))
+	ld.mergeInSpec = make(map[string][]typespec.Typespec)
+	for name, ports := range plan.MergeBranch {
+		ld.mergeInSpec[name] = make([]typespec.Typespec, len(ports))
+	}
+	ld.cutLinks = make([]*shard.Link, len(plan.Cuts))
+	for ci, cut := range plan.Cuts {
+		link := shard.NewLink(fmt.Sprintf("%s/cut%d", g.name, ci),
+			ld.schedOf(ld.shardOf[cut.ToSeg]), ld.depth)
+		ld.cutLinks[ci] = link
+		ld.d.links = append(ld.d.links, link)
+	}
+
+	for _, si := range plan.Order {
+		if err := ld.composeSegment(si); err != nil {
+			// The deployment is dead: stop what already runs and close
+			// every link — a link whose endpoints never composed has no
+			// component left to close it, and an open link holds its
+			// receiving scheduler's external-source reference forever
+			// (the group could never drain).
+			ld.d.Stop()
+			for _, l := range ld.d.links {
+				l.Close()
+			}
+			return nil, err
+		}
+	}
+	ld.d.seal()
+	return ld.d, nil
+}
+
+func (ld *localDeploy) composeSegment(si int) error {
+	g, plan, seg := ld.g, ld.plan, ld.plan.Segments[si]
+	own := ld.shardOf[si]
+	var stages []core.Stage
+	var seed typespec.Typespec
+
+	switch h := seg.Head; h.Kind {
+	case core.EndSplitOut:
+		split := ld.splits[h.Node]
+		trunk := plan.SplitTrunk[h.Node]
+		seed = ld.segOutSpec[trunk]
+		if ld.shardOf[trunk] == own {
+			stages = append(stages, core.Comp(split.OutPort(h.Port)))
+		} else {
+			// The branch runs on another shard: relay the tee port across
+			// an auto-inserted link (the tee's buffers stay with the trunk;
+			// thread transparency is per scheduler).
+			lane := fmt.Sprintf("%s/%s:%d", g.name, h.Node, h.Port)
+			link := shard.NewLink(lane, ld.schedOf(own), ld.depth)
+			ld.d.links = append(ld.d.links, link)
+			relay := append([]core.Stage{
+				core.Comp(split.OutPort(h.Port)),
+				core.Pmp(pipes.NewFreePump(lane + "/pump")),
+			}, link.SenderStages(lane)...)
+			if _, err := ld.compose(lane+"/relay", ld.shardOf[trunk], relay, seed); err != nil {
+				return err
+			}
+			stages = append(stages, link.ReceiverStages(lane)...)
+		}
+	case core.EndMergeOut:
+		for port, ts := range ld.mergeInSpec[h.Node] {
+			merged, err := seed.Merge(ts)
+			if err != nil {
+				return fmt.Errorf("graph %q: merging flows into %q: in-port %d: %w",
+					g.name, h.Node, port, err)
+			}
+			seed = merged
+		}
+		stages = append(stages, core.Comp(ld.merges[h.Node].OutPort()))
+	case core.EndCut:
+		seed = ld.segOutSpec[plan.Cuts[h.Port].FromSeg]
+		stages = append(stages, ld.cutLinks[h.Port].ReceiverStages(ld.cutLinks[h.Port].Name())...)
+	}
+
+	for _, name := range seg.Stages {
+		stages = append(stages, ld.stages[name])
+	}
+	tailStart := len(stages)
+
+	type mergeRelay struct {
+		node string
+		port int
+		link *shard.Link
+	}
+	var pendingRelay *mergeRelay
+	switch t := seg.Tail; t.Kind {
+	case core.EndSplitTrunk:
+		stages = append(stages, core.Comp(ld.splits[t.Node]))
+	case core.EndMergeIn:
+		anchor := ld.shardOf[plan.MergeDown[t.Node]]
+		if anchor == own {
+			stages = append(stages, core.Comp(ld.merges[t.Node].InPort(t.Port)))
+		} else {
+			// The merge's buffer lives with its downstream segment: relay
+			// this branch's tail across a link into the merge's shard.
+			lane := fmt.Sprintf("%s/%s:%d", g.name, t.Node, t.Port)
+			link := shard.NewLink(lane, ld.schedOf(anchor), ld.depth)
+			ld.d.links = append(ld.d.links, link)
+			stages = append(stages, link.SenderStages(lane)...)
+			pendingRelay = &mergeRelay{node: t.Node, port: t.Port, link: link}
+		}
+	case core.EndCut:
+		stages = append(stages, ld.cutLinks[t.Port].SenderStages(ld.cutLinks[t.Port].Name())...)
+	}
+
+	name := g.name + "/" + seg.Name()
+	p, err := ld.compose(name, own, stages, seed)
+	if err != nil {
+		return err
+	}
+	ld.d.bySegment[seg.Name()] = p
+	if tailStart > 0 {
+		ld.segOutSpec[si] = p.SpecAt(tailStart - 1)
+	} else {
+		ld.segOutSpec[si] = seed
+	}
+	if t := seg.Tail; t.Kind == core.EndMergeIn && pendingRelay == nil {
+		ld.mergeInSpec[t.Node][t.Port] = ld.segOutSpec[si]
+	}
+	if r := pendingRelay; r != nil {
+		anchor := ld.shardOf[plan.MergeDown[r.node]]
+		relay := append(r.link.ReceiverStages(r.link.Name()),
+			core.Pmp(pipes.NewFreePump(r.link.Name()+"/pump")),
+			core.Comp(ld.merges[r.node].InPort(r.port)))
+		rp, err := ld.compose(r.link.Name()+"/relay", anchor, relay, ld.segOutSpec[si])
+		if err != nil {
+			return err
+		}
+		ld.mergeInSpec[r.node][r.port] = rp.SpecAt(len(relay) - 2)
+	}
+	return nil
+}
+
+// compose builds one pipeline of the deployment on the given shard.
+func (ld *localDeploy) compose(name string, shardIdx int, stages []core.Stage, seed typespec.Typespec) (*core.Pipeline, error) {
+	p, err := core.Compose(name, ld.schedOf(shardIdx), ld.bus, stages,
+		core.SkipEventCapabilityCheck(), core.WithInputSpec(seed))
+	if err != nil {
+		return nil, fmt.Errorf("graph %q: %w", ld.g.name, err)
+	}
+	ld.d.pipelines = append(ld.d.pipelines, p)
+	if ld.placeAt != nil {
+		idx := shardIdx
+		ld.placeAt(idx)
+		go func() {
+			<-p.Done()
+			ld.release(idx)
+		}()
+	}
+	return p, nil
+}

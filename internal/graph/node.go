@@ -1,0 +1,286 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"infopipes/internal/core"
+	"infopipes/internal/netpipe"
+	"infopipes/internal/pipes"
+	"infopipes/internal/remote"
+	"infopipes/internal/shard"
+)
+
+// nodeState holds the shared instances a graph deployment creates on one
+// remote node: tees referenced by several pipelines, same-node cut links,
+// and the bound addresses of rendezvous listeners.  Factories are
+// idempotent per instance name, so composition order does not matter.
+type nodeState struct {
+	node *remote.Node
+
+	mu        sync.Mutex
+	splits    map[string]core.SplitPoint
+	merges    map[string]core.MergePoint
+	links     map[string]*shard.Link
+	listeners map[string]*netpipe.TCPLink
+	addrs     map[string]string
+}
+
+// abort tears down what a failed deployment left behind: the composed
+// pipelines are stopped and unregistered (freeing their names for a
+// retry), listener links are closed (their accept goroutines hold
+// scheduler external-source references), and same-node cut links plus the
+// recorded addresses are dropped — everything matched by the graph-name
+// prefix, so other deployments on the node are untouched.
+func (s *nodeState) abort(prefix string) {
+	for _, name := range s.node.PipelineNames() {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		if p, ok := s.node.RemovePipeline(name); ok {
+			p.Stop()
+		}
+	}
+	s.mu.Lock()
+	var listeners []*netpipe.TCPLink
+	var links []*shard.Link
+	for lane, l := range s.listeners {
+		if strings.HasPrefix(lane, prefix) {
+			listeners = append(listeners, l)
+			delete(s.listeners, lane)
+			delete(s.addrs, lane)
+		}
+	}
+	for lane, l := range s.links {
+		if strings.HasPrefix(lane, prefix) {
+			links = append(links, l)
+			delete(s.links, lane)
+		}
+	}
+	s.mu.Unlock()
+	for _, l := range listeners {
+		l.Close()
+	}
+	for _, l := range links {
+		l.Close()
+	}
+}
+
+func (s *nodeState) split(name, kind string, outs int, params map[string]string) (core.SplitPoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sp, ok := s.splits[name]; ok {
+		return sp, nil
+	}
+	sp, err := BuildSplit(name, kind, outs, params)
+	if err != nil {
+		return nil, err
+	}
+	s.splits[name] = sp
+	return sp, nil
+}
+
+func (s *nodeState) merge(name string, ins int, params map[string]string) (core.MergePoint, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if mp, ok := s.merges[name]; ok {
+		return mp, nil
+	}
+	mp, err := BuildMerge(name, ins, params)
+	if err != nil {
+		return nil, err
+	}
+	s.merges[name] = mp
+	return mp, nil
+}
+
+func (s *nodeState) link(lane string, depth int) *shard.Link {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l, ok := s.links[lane]; ok {
+		return l
+	}
+	l := shard.NewLink(lane, s.node.Scheduler(), depth)
+	s.links[lane] = l
+	return l
+}
+
+func intParam(params map[string]string, key string, def int) (int, error) {
+	v, ok := params[key]
+	if !ok {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", key, v)
+	}
+	return n, nil
+}
+
+// EnableNode prepares a remote node to host graph segments: every catalog
+// kind becomes a component factory, and the "ip/..." factories provide the
+// segment boundaries — tee ports shared between the node's pipelines,
+// rendezvous TCP endpoints for cross-node edges (listener addresses are
+// answered through the lookup resolver as "addr:LANE"), and same-node cut
+// links.  Call once per node before deploying graphs onto it.
+func EnableNode(n *remote.Node, cat Catalog) {
+	st := &nodeState{
+		node:      n,
+		splits:    make(map[string]core.SplitPoint),
+		merges:    make(map[string]core.MergePoint),
+		links:     make(map[string]*shard.Link),
+		listeners: make(map[string]*netpipe.TCPLink),
+		addrs:     make(map[string]string),
+	}
+	for kind, f := range cat {
+		factory := f
+		n.RegisterSpecFactory(kind, func(spec remote.StageSpec) (core.Stage, error) {
+			return factory(spec.Name, spec.Args, spec.Params)
+		})
+	}
+
+	teeParams := func(spec remote.StageSpec) (string, string, int, error) {
+		tee := spec.Params["tee"]
+		if tee == "" {
+			tee = spec.Name
+		}
+		outs, err := intParam(spec.Params, "outs", 0)
+		if err != nil || outs < 2 {
+			return "", "", 0, fmt.Errorf("tee %q: bad outs", tee)
+		}
+		return tee, spec.Params["kind"], outs, nil
+	}
+
+	n.RegisterSpecFactory("ip/teesink", func(spec remote.StageSpec) (core.Stage, error) {
+		tee, kind, outs, err := teeParams(spec)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		sp, err := st.split(tee, kind, outs, spec.Params)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		return core.Comp(sp), nil
+	})
+	n.RegisterSpecFactory("ip/teeout", func(spec remote.StageSpec) (core.Stage, error) {
+		tee, kind, outs, err := teeParams(spec)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		port, err := intParam(spec.Params, "port", -1)
+		if err != nil || port < 0 || port >= outs {
+			return core.Stage{}, fmt.Errorf("tee %q: bad port", tee)
+		}
+		sp, err := st.split(tee, kind, outs, spec.Params)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		return core.Comp(sp.OutPort(port)), nil
+	})
+	mergeOf := func(spec remote.StageSpec) (core.MergePoint, error) {
+		name := spec.Params["merge"]
+		if name == "" {
+			name = spec.Name
+		}
+		ins, err := intParam(spec.Params, "ins", 0)
+		if err != nil || ins < 2 {
+			return nil, fmt.Errorf("merge %q: bad ins", name)
+		}
+		return st.merge(name, ins, spec.Params)
+	}
+	n.RegisterSpecFactory("ip/mergeout", func(spec remote.StageSpec) (core.Stage, error) {
+		mp, err := mergeOf(spec)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		return core.Comp(mp.OutPort()), nil
+	})
+	n.RegisterSpecFactory("ip/mergein", func(spec remote.StageSpec) (core.Stage, error) {
+		mp, err := mergeOf(spec)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		port, err := intParam(spec.Params, "port", -1)
+		if err != nil || port < 0 || port >= mp.Ins() {
+			return core.Stage{}, fmt.Errorf("merge %q: bad port", mp.Name())
+		}
+		return core.Comp(mp.InPort(port)), nil
+	})
+
+	n.RegisterSpecFactory("ip/pump", func(spec remote.StageSpec) (core.Stage, error) {
+		return core.Pmp(pipes.NewFreePump(spec.Name)), nil
+	})
+	n.RegisterSpecFactory("ip/marshal", func(spec remote.StageSpec) (core.Stage, error) {
+		return core.Comp(netpipe.NewMarshalFilter(spec.Name, netpipe.NewStreamingBinaryMarshaller())), nil
+	})
+	n.RegisterSpecFactory("ip/unmarshal", func(spec remote.StageSpec) (core.Stage, error) {
+		return core.Comp(netpipe.NewUnmarshalFilter(spec.Name, netpipe.NewBinaryMarshaller())), nil
+	})
+	n.RegisterSpecFactory("ip/tcpsend", func(spec remote.StageSpec) (core.Stage, error) {
+		addr := spec.Params["addr"]
+		if addr == "" {
+			return core.Stage{}, fmt.Errorf("tcpsend %q: no addr", spec.Name)
+		}
+		conn, err := netpipe.Dial(addr)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		return core.Comp(netpipe.NewTCPSenderLink(conn).NewSink(spec.Name)), nil
+	})
+	n.RegisterSpecFactory("ip/tcprecv", func(spec remote.StageSpec) (core.Stage, error) {
+		lane := spec.Params["lane"]
+		if lane == "" {
+			lane = spec.Name
+		}
+		addr := spec.Params["addr"]
+		if addr == "" {
+			addr = "127.0.0.1:0"
+		}
+		depth, err := intParam(spec.Params, "depth", 0)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		link, bound, err := netpipe.NewTCPListenerLink(addr, n.Scheduler(), n.Name(), depth)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		st.mu.Lock()
+		st.listeners[lane] = link
+		st.addrs[lane] = bound
+		st.mu.Unlock()
+		return core.Comp(link.NewSource(spec.Name)), nil
+	})
+	n.RegisterSpecFactory("ip/cutsink", func(spec remote.StageSpec) (core.Stage, error) {
+		depth, err := intParam(spec.Params, "depth", 0)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		return core.Comp(st.link(spec.Params["lane"], depth).NewSink(spec.Name)), nil
+	})
+	n.RegisterSpecFactory("ip/cutsrc", func(spec remote.StageSpec) (core.Stage, error) {
+		depth, err := intParam(spec.Params, "depth", 0)
+		if err != nil {
+			return core.Stage{}, err
+		}
+		return core.Comp(st.link(spec.Params["lane"], depth).NewSource(spec.Name)), nil
+	})
+
+	n.SetResolver(func(key string) (string, error) {
+		if lane, ok := strings.CutPrefix(key, "addr:"); ok {
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			addr, exists := st.addrs[lane]
+			if !exists {
+				return "", fmt.Errorf("graph: no listener %q on node %s", lane, n.Name())
+			}
+			return addr, nil
+		}
+		if prefix, ok := strings.CutPrefix(key, "abort:"); ok {
+			st.abort(prefix)
+			return "ok", nil
+		}
+		return "", fmt.Errorf("graph: unknown lookup key %q", key)
+	})
+}

@@ -1,0 +1,335 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/remote"
+)
+
+// NodesTarget deploys a spec-backed graph onto remote nodes (§2.4 remote
+// setup, driven entirely by the deployer): each segment is composed on one
+// node through the control protocol, tees are shared between a node's
+// pipelines via the idempotent ip/ factories, and cross-node edges become
+// TCP netpipes — the receiver side binds a rendezvous listener, the
+// deployer reads its address back through the lookup op and hands it to
+// the sender side.  Every target node must have been prepared with
+// EnableNode.
+type NodesTarget struct {
+	Clients []*remote.Client
+	// LinkDepth bounds the receive inboxes and same-node cut links
+	// (0 = default).
+	LinkDepth int
+}
+
+// OnNodes targets remote nodes through their control clients.
+func OnNodes(clients ...*remote.Client) *NodesTarget {
+	return &NodesTarget{Clients: clients}
+}
+
+func (t *NodesTarget) deploy(g *Graph, plan *core.GraphPlan) (*Deployment, error) {
+	if len(t.Clients) == 0 {
+		return nil, fmt.Errorf("graph %q: no nodes to deploy onto", g.name)
+	}
+	for _, n := range g.nodes {
+		if n.spec == nil {
+			return nil, fmt.Errorf("%w: %q — remote deployment needs AddSpec/SplitSpec/MergeSpec throughout",
+				errNotSpecBacked, n.name)
+		}
+	}
+
+	// Placement: hints, tee-neighbour inheritance, then round-robin.
+	cursor := 0
+	fromPolicy := func() int {
+		i := cursor % len(t.Clients)
+		cursor++
+		return i
+	}
+	nodeOf, err := resolvePlacement(g, plan, len(t.Clients), "node", fromPolicy)
+	if err != nil {
+		return nil, err
+	}
+
+	rd := &remoteDeploy{g: g, plan: plan, target: t, nodeOf: nodeOf,
+		laneAddr: make(map[string]string), touched: make(map[int]bool)}
+	return rd.run()
+}
+
+// remoteDeploy composes the segments in reverse topological order, so every
+// receiver (listener) exists — and its address is known — before its sender
+// dials.  Tees are created on first reference; the factories are idempotent
+// per name, so the trunk composed last still finds its tee.
+type remoteDeploy struct {
+	g      *Graph
+	plan   *core.GraphPlan
+	target *NodesTarget
+	nodeOf []int
+
+	laneAddr map[string]string
+	touched  map[int]bool // nodes a compose was ATTEMPTED on (abort scope)
+	d        *remoteDeployment
+}
+
+func (rd *remoteDeploy) run() (*Deployment, error) {
+	rd.d = &remoteDeployment{name: rd.g.name, clients: rd.target.Clients}
+	order := rd.plan.Order
+	for i := len(order) - 1; i >= 0; i-- {
+		if err := rd.composeSegment(order[i]); err != nil {
+			rd.abort()
+			return nil, err
+		}
+	}
+	d := newDeployment(rd.g.name, nil)
+	d.remote = rd.d
+	return d, nil
+}
+
+// abort best-effort-undoes a partial deployment: stop every pipeline
+// already composed (their threads exit and release the node schedulers'
+// external-source references) and have every node a compose was even
+// ATTEMPTED on drop the rendezvous listeners, cut links and pipeline
+// registrations of this graph — a failing compose may already have run
+// side-effectful factories (a bound listener holds an external-source
+// reference) before it errored.  A failed deploy thus neither wedges the
+// nodes nor leaks ports, and a retry starts clean.
+func (rd *remoteDeploy) abort() {
+	for _, p := range rd.d.pipes {
+		_ = rd.client(p.client).Stop(p.name)
+	}
+	for node := range rd.touched {
+		_, _ = rd.client(node).Lookup("abort:" + rd.g.name + "/")
+	}
+}
+
+func (rd *remoteDeploy) client(node int) *remote.Client { return rd.target.Clients[node] }
+
+// stageSpec renders one declared graph node as a wire spec.
+func (rd *remoteDeploy) stageSpec(name string) remote.StageSpec {
+	n := rd.g.index[name]
+	return remote.StageSpec{Kind: n.spec.Kind, Name: n.name, Args: n.spec.Args, Params: n.spec.Params}
+}
+
+// teeSpec renders the shared-tee boundary spec for a split or merge node.
+func (rd *remoteDeploy) teeSpec(kind, stageName, teeName string, extra map[string]string) remote.StageSpec {
+	n := rd.g.index[teeName]
+	params := make(map[string]string, len(n.spec.Params)+4)
+	for k, v := range n.spec.Params {
+		params[k] = v
+	}
+	params["tee"] = teeName
+	params["merge"] = teeName
+	if n.kind == nSplit {
+		params["kind"] = n.spec.Kind
+		params["outs"] = strconv.Itoa(n.outs)
+	} else {
+		params["ins"] = strconv.Itoa(n.ins)
+	}
+	for k, v := range extra {
+		params[k] = v
+	}
+	return remote.StageSpec{Kind: kind, Name: stageName, Params: params}
+}
+
+func (rd *remoteDeploy) recvSpecs(lane string) []remote.StageSpec {
+	return []remote.StageSpec{
+		{Kind: "ip/tcprecv", Name: lane + "/source", Params: map[string]string{
+			"lane": lane, "depth": strconv.Itoa(rd.target.LinkDepth)}},
+		{Kind: "ip/unmarshal", Name: lane + "/unmarshal"},
+	}
+}
+
+func (rd *remoteDeploy) sendSpecs(lane, addr string) []remote.StageSpec {
+	return []remote.StageSpec{
+		{Kind: "ip/marshal", Name: lane + "/marshal"},
+		{Kind: "ip/tcpsend", Name: lane + "/sink", Params: map[string]string{"addr": addr}},
+	}
+}
+
+// compose sends one pipeline to a node and records it in the deployment.
+// Segments skip the per-pipeline event-capability check, exactly like the
+// local deployer (events may be handled in another segment).
+func (rd *remoteDeploy) compose(node int, name string, specs []remote.StageSpec) error {
+	rd.touched[node] = true
+	if err := rd.client(node).ComposeSegment(name, specs); err != nil {
+		return fmt.Errorf("graph %q: node %d: compose %q: %w", rd.g.name, node, name, err)
+	}
+	rd.d.pipes = append(rd.d.pipes, remotePipe{client: node, name: name})
+	return nil
+}
+
+// lookupLane reads a listener's bound address back from its node.
+func (rd *remoteDeploy) lookupLane(node int, lane string) error {
+	addr, err := rd.client(node).Lookup("addr:" + lane)
+	if err != nil {
+		return fmt.Errorf("graph %q: node %d: lane %q: %w", rd.g.name, node, lane, err)
+	}
+	rd.laneAddr[lane] = addr
+	return nil
+}
+
+func (rd *remoteDeploy) composeSegment(si int) error {
+	g, plan, seg := rd.g, rd.plan, rd.plan.Segments[si]
+	own := rd.nodeOf[si]
+	depth := strconv.Itoa(rd.target.LinkDepth)
+	var specs []remote.StageSpec
+	var recvLanes []string    // listener lanes this segment hosts
+	var splitRelayLane string // sender relay to compose after (cross-node split head)
+
+	switch h := seg.Head; h.Kind {
+	case core.EndSplitOut:
+		trunkNode := rd.nodeOf[plan.SplitTrunk[h.Node]]
+		if trunkNode == own {
+			specs = append(specs, rd.teeSpec("ip/teeout", fmt.Sprintf("%s.src%d", h.Node, h.Port),
+				h.Node, map[string]string{"port": strconv.Itoa(h.Port)}))
+		} else {
+			lane := fmt.Sprintf("%s/%s:%d", g.name, h.Node, h.Port)
+			specs = append(specs, rd.recvSpecs(lane)...)
+			recvLanes = append(recvLanes, lane)
+			splitRelayLane = lane
+		}
+	case core.EndMergeOut:
+		specs = append(specs, rd.teeSpec("ip/mergeout", h.Node+".src", h.Node, nil))
+	case core.EndCut:
+		cut := plan.Cuts[h.Port]
+		lane := fmt.Sprintf("%s/cut%d", g.name, h.Port)
+		if rd.nodeOf[cut.FromSeg] == own {
+			specs = append(specs, remote.StageSpec{Kind: "ip/cutsrc", Name: lane + "/source",
+				Params: map[string]string{"lane": lane, "depth": depth}})
+		} else {
+			specs = append(specs, rd.recvSpecs(lane)...)
+			recvLanes = append(recvLanes, lane)
+		}
+	}
+
+	for _, name := range seg.Stages {
+		specs = append(specs, rd.stageSpec(name))
+	}
+
+	switch t := seg.Tail; t.Kind {
+	case core.EndSplitTrunk:
+		specs = append(specs, rd.teeSpec("ip/teesink", t.Node, t.Node, nil))
+	case core.EndMergeIn:
+		anchor := rd.nodeOf[plan.MergeDown[t.Node]]
+		if anchor == own {
+			specs = append(specs, rd.teeSpec("ip/mergein", fmt.Sprintf("%s.in%d", t.Node, t.Port),
+				t.Node, map[string]string{"port": strconv.Itoa(t.Port)}))
+		} else {
+			// Relay on the merge's node: listener -> pump -> merge port.
+			// It composes first so this segment can dial its address.
+			lane := fmt.Sprintf("%s/%s:%d", g.name, t.Node, t.Port)
+			relay := append(rd.recvSpecs(lane),
+				remote.StageSpec{Kind: "ip/pump", Name: lane + "/pump"},
+				rd.teeSpec("ip/mergein", fmt.Sprintf("%s.in%d", t.Node, t.Port),
+					t.Node, map[string]string{"port": strconv.Itoa(t.Port)}))
+			if err := rd.compose(anchor, lane+"/relay", relay); err != nil {
+				return err
+			}
+			if err := rd.lookupLane(anchor, lane); err != nil {
+				return err
+			}
+			specs = append(specs, rd.sendSpecs(lane, rd.laneAddr[lane])...)
+		}
+	case core.EndCut:
+		cut := plan.Cuts[t.Port]
+		lane := fmt.Sprintf("%s/cut%d", g.name, t.Port)
+		if rd.nodeOf[cut.ToSeg] == own {
+			specs = append(specs, remote.StageSpec{Kind: "ip/cutsink", Name: lane + "/sink",
+				Params: map[string]string{"lane": lane, "depth": depth}})
+		} else {
+			// Reverse-topological order composed the receiver first.
+			addr, ok := rd.laneAddr[lane]
+			if !ok {
+				return fmt.Errorf("graph %q: internal: no address for lane %q", g.name, lane)
+			}
+			specs = append(specs, rd.sendSpecs(lane, addr)...)
+		}
+	}
+
+	if err := rd.compose(own, g.name+"/"+seg.Name(), specs); err != nil {
+		return err
+	}
+	for _, lane := range recvLanes {
+		if err := rd.lookupLane(own, lane); err != nil {
+			return err
+		}
+	}
+	if splitRelayLane != "" {
+		// Sender relay on the trunk's node: tee port -> pump -> dial.  The
+		// tee is created here on first reference; the trunk (composed
+		// later) reuses it.
+		h := seg.Head
+		trunkNode := rd.nodeOf[plan.SplitTrunk[h.Node]]
+		relay := []remote.StageSpec{
+			rd.teeSpec("ip/teeout", fmt.Sprintf("%s.src%d", h.Node, h.Port),
+				h.Node, map[string]string{"port": strconv.Itoa(h.Port)}),
+			{Kind: "ip/pump", Name: splitRelayLane + "/pump"},
+		}
+		relay = append(relay, rd.sendSpecs(splitRelayLane, rd.laneAddr[splitRelayLane])...)
+		if err := rd.compose(trunkNode, splitRelayLane+"/relay", relay); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// remotePipe names one pipeline composed on one node.
+type remotePipe struct {
+	client int
+	name   string
+}
+
+// remoteDeployment drives a deployed graph through the control clients.
+type remoteDeployment struct {
+	name    string
+	clients []*remote.Client
+	pipes   []remotePipe
+}
+
+func (r *remoteDeployment) broadcast(t events.Type) error {
+	for _, c := range r.clients {
+		if err := c.SendEvent(events.Event{Type: t, Origin: r.name}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *remoteDeployment) start() { _ = r.broadcast(events.Start) }
+func (r *remoteDeployment) stop()  { _ = r.broadcast(events.Stop) }
+
+func (r *remoteDeployment) err() error {
+	for _, p := range r.pipes {
+		v, err := r.clients[p.client].Lookup("err:" + p.name)
+		if err != nil {
+			return err
+		}
+		if v != "" {
+			return fmt.Errorf("%s: %s", p.name, v)
+		}
+	}
+	return nil
+}
+
+// wait polls the nodes until every pipeline of the deployment has finished.
+func (r *remoteDeployment) wait() error {
+	for {
+		done := true
+		for _, p := range r.pipes {
+			v, err := r.clients[p.client].Lookup("done:" + p.name)
+			if err != nil {
+				return err
+			}
+			if v != "true" {
+				done = false
+				break
+			}
+		}
+		if done {
+			return r.err()
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

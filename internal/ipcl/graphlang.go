@@ -1,0 +1,257 @@
+package ipcl
+
+import (
+	"fmt"
+
+	"infopipes/internal/core"
+	"infopipes/internal/graph"
+)
+
+// This file extends the microlanguage with branch/merge syntax, compiling
+// to the Graph composition API:
+//
+//	counter(100) >> pump(rate=50) >> split{ probe:a >> pump | probe:b >> pump } >> merge >> collect
+//
+// A split construct fans the flow out: "split{...}" copies every item to
+// each branch (multicast), "route{...}" routes each item to one branch
+// (parameter sel = "rr" round-robin or "mod" sequence-modulo).  Branches
+// are full chains separated by '|'.  A split is either followed by
+// ">> merge" — the branches rejoin in arrival order and the chain
+// continues — or it ends the pipeline, with every branch ending in its own
+// sink.  Stages (and tees) accept an "@N" placement-hint suffix, bound by
+// the deployment target (shard index on a group, node index on a remote
+// target):
+//
+//	src >> pump >> split{ f@0 >> p@0 >> merge:m:0 | g@1 >> p2@1 >> ... }
+//
+// The result is a fully spec-backed Graph: the same text deploys onto one
+// scheduler, a shard group, or remote nodes.
+
+// Catalog adapts a Registry to the graph package's catalog form, so
+// spec-backed graphs materialize through the same factories as textual
+// pipelines.
+func Catalog(reg Registry) graph.Catalog {
+	out := make(graph.Catalog, len(reg))
+	for kind, f := range reg {
+		factory, k := f, kind
+		out[kind] = func(name string, args []string, params map[string]string) (core.Stage, error) {
+			return factory(StageExpr{Kind: k, Name: name, Args: args, Params: params})
+		}
+	}
+	return out
+}
+
+// BuildGraph parses a (possibly branching) pipeline expression and compiles
+// it to a Graph bound to the registry's catalog.  Deploy the result with
+// graph.OnScheduler / OnGroup / OnNodes.
+func BuildGraph(reg Registry, name, expr string) (*graph.Graph, error) {
+	toks, err := lex(expr)
+	if err != nil {
+		return nil, err
+	}
+	p := &gParser{parser: parser{toks: toks}}
+	chain, err := p.chain()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.kind != tokEOF {
+		return nil, fmt.Errorf("ipcl: position %d: unexpected %q after pipeline", t.pos, t.text)
+	}
+	b := &graphBuilder{g: graph.New(name).UseCatalog(Catalog(reg)), seen: make(map[string]int)}
+	if _, err := b.addChain(chain, ""); err != nil {
+		return nil, err
+	}
+	if err := b.g.Err(); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}
+
+// ---- AST ----
+
+type chainAST struct {
+	elems []elemAST
+}
+
+type elemAST struct {
+	stage *StageExpr
+	split *splitAST
+}
+
+type splitAST struct {
+	expr     StageExpr // the tee's own name/params/hint
+	branches []chainAST
+	merge    *StageExpr // nil when the split ends the pipeline
+}
+
+// ---- parser ----
+
+type gParser struct {
+	parser
+}
+
+// chain := element (">>" element)*, where a split element must be the last
+// or be followed by a merge.
+func (p *gParser) chain() (chainAST, error) {
+	var c chainAST
+	for {
+		el, err := p.element()
+		if err != nil {
+			return c, err
+		}
+		c.elems = append(c.elems, el)
+		if p.peek().kind != tokChain {
+			return c, nil
+		}
+		if el.split != nil && el.split.merge == nil {
+			t := p.peek()
+			return c, fmt.Errorf("ipcl: position %d: a split must be followed by merge or end the pipeline", t.pos)
+		}
+		p.next() // consume >>
+	}
+}
+
+// element := stage | (split|route|copy)-stage "{" chain ("|" chain)+ "}" (">>" merge-stage)?
+func (p *gParser) element() (elemAST, error) {
+	st, err := p.stage()
+	if err != nil {
+		return elemAST{}, err
+	}
+	if p.peek().kind != tokLBrace {
+		if st.Kind == "split" || st.Kind == "route" || st.Kind == "merge" {
+			return elemAST{}, fmt.Errorf("ipcl: %q is a composition keyword (write %s{ ... })", st.Kind, st.Kind)
+		}
+		return elemAST{stage: &st}, nil
+	}
+	if st.Kind != "split" && st.Kind != "route" && st.Kind != "copy" {
+		return elemAST{}, fmt.Errorf("ipcl: stage kind %q cannot open a branch block (use split or route)", st.Kind)
+	}
+	p.next() // consume {
+	sp := &splitAST{expr: st}
+	for {
+		br, err := p.chain()
+		if err != nil {
+			return elemAST{}, err
+		}
+		sp.branches = append(sp.branches, br)
+		if p.peek().kind == tokPipe {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRBrace, "'|' or '}'"); err != nil {
+		return elemAST{}, err
+	}
+	if len(sp.branches) < 2 {
+		return elemAST{}, fmt.Errorf("ipcl: split %q needs at least two '|'-separated branches", st.Kind)
+	}
+	// An optional ">> merge" rejoins the branches.
+	if p.peek().kind == tokChain {
+		save := p.pos
+		p.next()
+		if p.peek().kind == tokIdent && p.peek().text == "merge" {
+			m, err := p.stage()
+			if err != nil {
+				return elemAST{}, err
+			}
+			sp.merge = &m
+		} else {
+			p.pos = save // not a merge: the outer chain handles (and rejects) it
+		}
+	}
+	return elemAST{split: sp}, nil
+}
+
+// ---- builder ----
+
+type graphBuilder struct {
+	g    *graph.Graph
+	seen map[string]int
+}
+
+func (b *graphBuilder) uniquify(name string) string {
+	b.seen[name]++
+	if n := b.seen[name]; n > 1 {
+		return fmt.Sprintf("%s#%d", name, n)
+	}
+	return name
+}
+
+func (b *graphBuilder) nodeOpts(e StageExpr) []graph.NodeOption {
+	var opts []graph.NodeOption
+	if len(e.Args) > 0 {
+		opts = append(opts, graph.WithArgs(e.Args...))
+	}
+	for k, v := range e.Params {
+		opts = append(opts, graph.WithParam(k, v))
+	}
+	if e.Place >= 0 {
+		opts = append(opts, graph.Place(e.Place))
+	}
+	return opts
+}
+
+// addChain declares one chain's nodes and edges; head is the upstream
+// reference feeding the chain ("" for the pipeline start).  It returns the
+// chain's tail reference ("" when the chain ends in a merging-less split).
+func (b *graphBuilder) addChain(c chainAST, head string) (string, error) {
+	prev := head
+	for _, el := range c.elems {
+		switch {
+		case el.stage != nil:
+			e := *el.stage
+			if e.Name == "" {
+				e.Name = e.Kind
+			}
+			name := b.uniquify(e.Name)
+			b.g.AddSpec(name, e.Kind, b.nodeOpts(e)...)
+			if prev != "" {
+				b.g.Pipe(prev, name)
+			}
+			prev = name
+		case el.split != nil:
+			s := el.split
+			if prev == "" {
+				return "", fmt.Errorf("ipcl: a split needs an upstream flow")
+			}
+			e := s.expr
+			if e.Name == "" {
+				e.Name = "split"
+			}
+			teeName := b.uniquify(e.Name)
+			kind := "copy"
+			if e.Kind == "route" {
+				kind = "route"
+			}
+			b.g.SplitSpec(teeName, kind, len(s.branches), b.nodeOpts(e)...)
+			b.g.Pipe(prev, teeName)
+			tails := make([]string, len(s.branches))
+			for i, br := range s.branches {
+				tail, err := b.addChain(br, fmt.Sprintf("%s:%d", teeName, i))
+				if err != nil {
+					return "", err
+				}
+				tails[i] = tail
+			}
+			if s.merge == nil {
+				prev = "" // fan-out only: the parser guarantees this ends the chain
+				continue
+			}
+			m := *s.merge
+			if m.Name == "" {
+				m.Name = "merge"
+			}
+			mergeName := b.uniquify(m.Name)
+			b.g.MergeSpec(mergeName, len(s.branches), b.nodeOpts(m)...)
+			for i, tail := range tails {
+				if tail == "" {
+					return "", fmt.Errorf("ipcl: branch %d of %q fans out without merging, but the split merges", i, teeName)
+				}
+				b.g.Pipe(tail, fmt.Sprintf("%s:%d", mergeName, i))
+			}
+			prev = mergeName
+		}
+	}
+	return prev, nil
+}

@@ -16,6 +16,7 @@ package ipcl
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 
@@ -35,6 +36,9 @@ type StageExpr struct {
 	Args []string
 	// Params are the key=value arguments.
 	Params map[string]string
+	// Place is the placement hint from an "@N" suffix (-1 when absent).
+	// Linear Build ignores it; BuildGraph turns it into a graph hint.
+	Place int
 }
 
 // Factory builds a stage from a parsed expression.
@@ -110,6 +114,10 @@ const (
 	tokComma  // ,
 	tokEquals // =
 	tokColon  // :
+	tokLBrace // {
+	tokRBrace // }
+	tokPipe   // |
+	tokAt     // @
 	tokEOF
 )
 
@@ -147,6 +155,18 @@ func lex(src string) ([]token, error) {
 			i++
 		case c == ':':
 			toks = append(toks, token{kind: tokColon, text: ":", pos: i})
+			i++
+		case c == '{':
+			toks = append(toks, token{kind: tokLBrace, text: "{", pos: i})
+			i++
+		case c == '}':
+			toks = append(toks, token{kind: tokRBrace, text: "}", pos: i})
+			i++
+		case c == '|':
+			toks = append(toks, token{kind: tokPipe, text: "|", pos: i})
+			i++
+		case c == '@':
+			toks = append(toks, token{kind: tokAt, text: "@", pos: i})
 			i++
 		case c == '"' || c == '\'':
 			quote := c
@@ -242,9 +262,9 @@ func (p *parser) pipeline() ([]StageExpr, error) {
 	return out, nil
 }
 
-// stage := IDENT ("(" arglist? ")")? (":" IDENT)?
+// stage := IDENT ("(" arglist? ")")? (":" IDENT)? ("@" NUMBER)?
 func (p *parser) stage() (StageExpr, error) {
-	var e StageExpr
+	e := StageExpr{Place: -1}
 	kind, err := p.expect(tokIdent, "stage kind")
 	if err != nil {
 		return e, err
@@ -266,6 +286,18 @@ func (p *parser) stage() (StageExpr, error) {
 			return e, err
 		}
 		e.Name = name.text
+	}
+	if p.peek().kind == tokAt {
+		p.next()
+		num, err := p.expect(tokNumber, "placement index after '@'")
+		if err != nil {
+			return e, err
+		}
+		place, convErr := strconv.Atoi(num.text)
+		if convErr != nil || place < 0 {
+			return e, fmt.Errorf("ipcl: position %d: bad placement %q", num.pos, num.text)
+		}
+		e.Place = place
 	}
 	return e, nil
 }

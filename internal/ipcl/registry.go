@@ -163,12 +163,9 @@ func policyParam(e StageExpr, name string, def typespec.BlockPolicy) (typespec.B
 	if !ok {
 		return def, nil
 	}
-	switch v {
-	case "block":
-		return typespec.Block, nil
-	case "drop", "nonblock", "nil":
-		return typespec.NonBlock, nil
-	default:
-		return 0, fmt.Errorf("%s: unknown policy %q (want block or drop)", name, v)
+	pol, err := typespec.ParseBlockPolicy(v)
+	if err != nil {
+		return 0, fmt.Errorf("%s: %w", name, err)
 	}
+	return pol, nil
 }

@@ -25,6 +25,7 @@ type TCPLink struct {
 
 	mu     sync.Mutex
 	conn   net.Conn
+	ln     net.Listener // non-nil on listener links until the peer connects
 	closed bool
 	txBuf  []byte // reusable transmit frame buffer, guarded by mu
 
@@ -52,6 +53,51 @@ func NewTCPReceiverLink(conn net.Conn, rxSched *uthread.Scheduler, rxNode string
 	rxSched.AddExternalSource()
 	go l.readLoop()
 	return l
+}
+
+// NewTCPListenerLink is the receiver link for rendezvous deployments
+// (§2.4 remote setup driven by a third party): it binds addr immediately —
+// so the returned address can be handed to the sender's node before anyone
+// connects — and accepts exactly one inbound connection in the background,
+// then behaves exactly like NewTCPReceiverLink.  The inbox exists from the
+// start, so a pipeline may be composed on the link and block pulling before
+// the sender has dialed.
+func NewTCPListenerLink(addr string, rxSched *uthread.Scheduler, rxNode string, queueLimit int) (*TCPLink, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("netpipe: listen %s: %w", addr, err)
+	}
+	l := &TCPLink{
+		ln:         ln,
+		rxNode:     rxNode,
+		rxSched:    rxSched,
+		inbox:      newInbox(rxSched, queueLimit),
+		readerDone: make(chan struct{}),
+	}
+	rxSched.AddExternalSource()
+	go l.acceptAndRead(ln)
+	return l, ln.Addr().String(), nil
+}
+
+// acceptAndRead waits for the one peer, then runs the normal read loop.
+func (l *TCPLink) acceptAndRead(ln net.Listener) {
+	conn, err := ln.Accept()
+	ln.Close()
+	l.mu.Lock()
+	l.ln = nil
+	if err != nil || l.closed {
+		l.mu.Unlock()
+		if conn != nil {
+			conn.Close()
+		}
+		close(l.readerDone)
+		l.rxSched.ReleaseExternalSource()
+		l.inbox.close()
+		return
+	}
+	l.conn = conn
+	l.mu.Unlock()
+	l.readLoop()
 }
 
 // readLoop reads frames until EOF or an EOS frame and injects them.
@@ -94,6 +140,12 @@ func (l *TCPLink) send(tag byte, payload []byte) error {
 	if l.closed {
 		return core.ErrStopped
 	}
+	if l.conn == nil {
+		// A listener link whose peer has not connected yet: refuse rather
+		// than dereference (sender endpoints on listener links are legal
+		// to construct, just not to use before the rendezvous).
+		return ErrNoConn
+	}
 	l.txBuf = encodeFrame(l.txBuf[:0], tag, payload)
 	if _, err := l.conn.Write(l.txBuf); err != nil {
 		return fmt.Errorf("netpipe: tcp send: %w", err)
@@ -111,8 +163,15 @@ func (l *TCPLink) Close() error {
 	}
 	l.closed = true
 	conn := l.conn
+	ln := l.ln
 	l.mu.Unlock()
-	err := conn.Close()
+	if ln != nil {
+		ln.Close() // unblocks a pending Accept on a listener link
+	}
+	var err error
+	if conn != nil {
+		err = conn.Close()
+	}
 	if l.readerDone != nil {
 		<-l.readerDone
 	}

@@ -95,6 +95,12 @@ func (t *CopyTee) Out(i int) *BufferSource {
 // OutBuffer exposes the i-th internal buffer (fill-level sensors).
 func (t *CopyTee) OutBuffer(i int) *BoundedBuffer { return t.outs[i] }
 
+// Outs implements core.SplitPoint.
+func (t *CopyTee) Outs() int { return len(t.outs) }
+
+// OutPort implements core.SplitPoint.
+func (t *CopyTee) OutPort(i int) core.Component { return t.Out(i) }
+
 // RouteTee is the routing splitter: each item is sent to the output chosen
 // by the selector (§2.1 "selecting an output for each item (routing)").
 // Per §3.3 the value-routing switch can only work in push style — this type
@@ -170,6 +176,12 @@ func (t *RouteTee) Out(i int) *BufferSource {
 // OutBuffer exposes the i-th internal buffer.
 func (t *RouteTee) OutBuffer(i int) *BoundedBuffer { return t.outs[i] }
 
+// Outs implements core.SplitPoint.
+func (t *RouteTee) Outs() int { return len(t.outs) }
+
+// OutPort implements core.SplitPoint.
+func (t *RouteTee) OutPort(i int) core.Component { return t.Out(i) }
+
 // MergeTee passes items from several inputs to one output in arrival order
 // (§2.1 "pass on information to the output in the order in which it
 // arrives at any input").  Each input is the sink of a trunk pipeline; the
@@ -177,6 +189,7 @@ func (t *RouteTee) OutBuffer(i int) *BoundedBuffer { return t.outs[i] }
 type MergeTee struct {
 	core.Base
 	out *BoundedBuffer
+	ins int
 
 	mu   sync.Mutex
 	open int
@@ -188,6 +201,7 @@ func NewMergeTee(name string, n, capacity int, push, pull typespec.BlockPolicy) 
 	return &MergeTee{
 		Base: core.Base{CompName: name},
 		out:  NewBufferPolicy(name+".out", capacity, push, pull),
+		ins:  n,
 		open: n,
 	}
 }
@@ -206,6 +220,15 @@ func (t *MergeTee) Out() *BufferSource { return NewBufferSource(t.Name()+".src",
 
 // OutBuffer exposes the internal buffer.
 func (t *MergeTee) OutBuffer() *BoundedBuffer { return t.out }
+
+// Ins implements core.MergePoint.
+func (t *MergeTee) Ins() int { return t.ins }
+
+// InPort implements core.MergePoint.
+func (t *MergeTee) InPort(i int) core.Component { return t.In(i) }
+
+// OutPort implements core.MergePoint.
+func (t *MergeTee) OutPort() core.Component { return t.Out() }
 
 // inputDone records the end of one trunk; the merged stream ends when all
 // trunks have ended.
@@ -322,3 +345,10 @@ func (o *PullSwitchOut) Wrappable() bool { return false }
 
 // Pull implements core.Producer.
 func (o *PullSwitchOut) Pull(ctx *core.Ctx) (*item.Item, error) { return o.sw.pull(ctx) }
+
+// The tees implement the graph planner's split/merge interfaces.
+var (
+	_ core.SplitPoint = (*CopyTee)(nil)
+	_ core.SplitPoint = (*RouteTee)(nil)
+	_ core.MergePoint = (*MergeTee)(nil)
+)

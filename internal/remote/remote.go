@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 
 	"infopipes/internal/core"
@@ -24,15 +25,21 @@ import (
 )
 
 // StageSpec describes one stage of a remote pipeline: the factory kind,
-// the stage name, and factory-specific parameters.
+// the stage name, positional arguments and key=value parameters.
 type StageSpec struct {
 	Kind   string
 	Name   string
+	Args   []string
 	Params map[string]string
 }
 
 // Factory builds a stage from a spec.  Factories are registered per node.
 type Factory func(name string, params map[string]string) (core.Stage, error)
+
+// SpecFactory is the full-spec factory form: it sees the positional
+// arguments too, as the graph deployer's specs carry them.  A kind may be
+// registered as either form; SpecFactory wins.
+type SpecFactory func(spec StageSpec) (core.Stage, error)
 
 // ErrUnknownFactory is returned when a spec names an unregistered kind.
 var ErrUnknownFactory = errors.New("remote: unknown component factory")
@@ -46,24 +53,27 @@ type Node struct {
 	sched *uthread.Scheduler
 	bus   *events.Bus
 
-	mu        sync.Mutex
-	factories map[string]Factory
-	pipelines map[string]*core.Pipeline
-	ln        net.Listener
-	closed    bool
-	conns     map[net.Conn]struct{}
-	wg        sync.WaitGroup
+	mu            sync.Mutex
+	factories     map[string]Factory
+	specFactories map[string]SpecFactory
+	resolver      func(key string) (string, error)
+	pipelines     map[string]*core.Pipeline
+	ln            net.Listener
+	closed        bool
+	conns         map[net.Conn]struct{}
+	wg            sync.WaitGroup
 }
 
 // NewNode creates a node over the given scheduler and bus.
 func NewNode(name string, sched *uthread.Scheduler, bus *events.Bus) *Node {
 	return &Node{
-		name:      name,
-		sched:     sched,
-		bus:       bus,
-		factories: make(map[string]Factory),
-		pipelines: make(map[string]*core.Pipeline),
-		conns:     make(map[net.Conn]struct{}),
+		name:          name,
+		sched:         sched,
+		bus:           bus,
+		factories:     make(map[string]Factory),
+		specFactories: make(map[string]SpecFactory),
+		pipelines:     make(map[string]*core.Pipeline),
+		conns:         make(map[net.Conn]struct{}),
 	}
 }
 
@@ -83,11 +93,50 @@ func (n *Node) RegisterFactory(kind string, f Factory) {
 	n.factories[kind] = f
 }
 
+// RegisterSpecFactory adds a full-spec component factory under kind.
+func (n *Node) RegisterSpecFactory(kind string, f SpecFactory) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.specFactories[kind] = f
+}
+
+// SetResolver installs the handler behind the lookup op for node-specific
+// keys (the graph support registers listener addresses under "addr:NAME").
+// Built-in keys ("done:PIPELINE", "err:PIPELINE") are answered before the
+// resolver is consulted.
+func (n *Node) SetResolver(r func(key string) (string, error)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.resolver = r
+}
+
 // Pipeline returns a locally hosted pipeline by name.
 func (n *Node) Pipeline(name string) (*core.Pipeline, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	p, ok := n.pipelines[name]
+	return p, ok
+}
+
+// PipelineNames lists the hosted pipelines.
+func (n *Node) PipelineNames() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.pipelines))
+	for name := range n.pipelines {
+		out = append(out, name)
+	}
+	return out
+}
+
+// RemovePipeline forgets a hosted pipeline, freeing its name for a new
+// composition (deployment rollback).  The pipeline itself is returned so
+// the caller can stop it; removal does not stop it.
+func (n *Node) RemovePipeline(name string) (*core.Pipeline, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.pipelines[name]
+	delete(n.pipelines, name)
 	return p, ok
 }
 
@@ -151,17 +200,24 @@ func (n *Node) Close() {
 
 // Wire protocol.
 type request struct {
-	Op         string // compose | start | stop | query | event | ping
+	Op         string // compose | start | stop | query | event | lookup | ping
 	Pipeline   string
 	Stages     []StageSpec
 	StageIndex int
 	Event      events.Event
+	Key        string // lookup key
+	// SkipEventCheck composes without the per-pipeline §2.3 event-
+	// capability check: graph deployments run that check graph-wide on
+	// the deployer instead, since an event emitted in one segment may be
+	// handled in another.
+	SkipEventCheck bool
 }
 
 type response struct {
-	Err  string
-	Spec typespec.Typespec
-	Node string
+	Err   string
+	Spec  typespec.Typespec
+	Node  string
+	Value string // lookup result
 }
 
 func (n *Node) serveConn(conn net.Conn) {
@@ -191,7 +247,7 @@ func (n *Node) handle(req request) response {
 	case "ping":
 		return response{Node: n.name}
 	case "compose":
-		if err := n.compose(req.Pipeline, req.Stages); err != nil {
+		if err := n.compose(req.Pipeline, req.Stages, req.SkipEventCheck); err != nil {
 			return response{Err: err.Error()}
 		}
 		return response{Node: n.name}
@@ -215,18 +271,68 @@ func (n *Node) handle(req request) response {
 	case "event":
 		n.bus.Broadcast(req.Event)
 		return response{}
+	case "lookup":
+		v, err := n.lookup(req.Key)
+		if err != nil {
+			return response{Err: err.Error()}
+		}
+		return response{Value: v, Node: n.name}
 	default:
 		return response{Err: fmt.Sprintf("remote: unknown op %q", req.Op)}
 	}
 }
 
+// lookup answers the built-in keys and defers the rest to the resolver
+// (§2.4 remote queries beyond Typespecs: liveness, errors, rendezvous
+// addresses of graph deployments).
+func (n *Node) lookup(key string) (string, error) {
+	if name, ok := strings.CutPrefix(key, "done:"); ok {
+		p, exists := n.Pipeline(name)
+		if !exists {
+			return "", fmt.Errorf("%w: %q", ErrUnknownPipeline, name)
+		}
+		select {
+		case <-p.Done():
+			return "true", nil
+		default:
+			return "false", nil
+		}
+	}
+	if name, ok := strings.CutPrefix(key, "err:"); ok {
+		p, exists := n.Pipeline(name)
+		if !exists {
+			return "", fmt.Errorf("%w: %q", ErrUnknownPipeline, name)
+		}
+		if err := p.Err(); err != nil {
+			return err.Error(), nil
+		}
+		return "", nil
+	}
+	n.mu.Lock()
+	r := n.resolver
+	n.mu.Unlock()
+	if r == nil {
+		return "", fmt.Errorf("remote: no resolver for key %q", key)
+	}
+	return r(key)
+}
+
 // compose builds a pipeline from stage specs via the factory registry.
-func (n *Node) compose(name string, specs []StageSpec) error {
+func (n *Node) compose(name string, specs []StageSpec, skipEventCheck bool) error {
 	stages := make([]core.Stage, 0, len(specs))
 	n.mu.Lock()
 	factories := n.factories
+	specFactories := n.specFactories
 	n.mu.Unlock()
 	for _, sp := range specs {
+		if sf, ok := specFactories[sp.Kind]; ok {
+			st, err := sf(sp)
+			if err != nil {
+				return fmt.Errorf("remote: factory %q: %w", sp.Kind, err)
+			}
+			stages = append(stages, st)
+			continue
+		}
 		f, ok := factories[sp.Kind]
 		if !ok {
 			return fmt.Errorf("%w: %q", ErrUnknownFactory, sp.Kind)
@@ -237,7 +343,11 @@ func (n *Node) compose(name string, specs []StageSpec) error {
 		}
 		stages = append(stages, st)
 	}
-	p, err := core.Compose(name, n.sched, n.bus, stages)
+	var opts []core.ComposeOption
+	if skipEventCheck {
+		opts = append(opts, core.SkipEventCapabilityCheck())
+	}
+	p, err := core.Compose(name, n.sched, n.bus, stages, opts...)
 	if err != nil {
 		return err
 	}
@@ -299,6 +409,15 @@ func (c *Client) Compose(pipeline string, stages []StageSpec) error {
 	return err
 }
 
+// ComposeSegment creates a pipeline that is one segment of a graph
+// deployment: the per-pipeline §2.3 event-capability check is skipped,
+// exactly as the local graph deployer skips it — an event emitted in one
+// segment may be handled in another.
+func (c *Client) ComposeSegment(pipeline string, stages []StageSpec) error {
+	_, err := c.call(request{Op: "compose", Pipeline: pipeline, Stages: stages, SkipEventCheck: true})
+	return err
+}
+
 // Start broadcasts the start of a remote pipeline.
 func (c *Client) Start(pipeline string) error {
 	_, err := c.call(request{Op: "start", Pipeline: pipeline})
@@ -324,6 +443,14 @@ func (c *Client) QuerySpec(pipeline string, idx int) (typespec.Typespec, error) 
 func (c *Client) SendEvent(ev events.Event) error {
 	_, err := c.call(request{Op: "event", Event: ev})
 	return err
+}
+
+// Lookup queries a node-side key: "done:PIPELINE" and "err:PIPELINE" are
+// built in; anything else goes to the node's resolver (the graph support
+// answers "addr:NAME" with the bound address of a listener it created).
+func (c *Client) Lookup(key string) (string, error) {
+	resp, err := c.call(request{Op: "lookup", Key: key})
+	return resp.Value, err
 }
 
 // ForwardEvents subscribes to a local bus and forwards events accepted by

@@ -1,0 +1,119 @@
+package shard_test
+
+import (
+	"testing"
+	"time"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/feedback"
+	"infopipes/internal/pipes"
+	"infopipes/internal/shard"
+)
+
+// TestCrossShardFeedback closes a feedback loop ACROSS shards (ROADMAP open
+// item): the sensor lives on the consumer's shard — it reads the fill level
+// of the cross-shard link — while the actuator drives the producer pump on
+// another shard, by broadcasting rate-change control events over the shared
+// bus.  The producer starts at 8x the consumer's rate; the controller must
+// throttle it so the link depth stays bounded, and every item still
+// arrives (backpressure never drops, the loop merely removes the blocking).
+func TestCrossShardFeedback(t *testing.T) {
+	const (
+		items        = 300
+		consumerRate = 50.0
+		initialRate  = 400.0
+	)
+	g := shard.NewGroup(shard.WithShardCount(2))
+	link := shard.NewLink("lane", g.Scheduler(1), 64)
+
+	pump := pipes.NewAdaptivePump("pump", initialRate)
+	producer, err := core.Compose("producer", g.Scheduler(0), nil, append([]core.Stage{
+		core.Comp(pipes.NewCounterSource("src", items)),
+		core.Pmp(pump),
+	}, link.SenderStages("lane")...))
+	if err != nil {
+		t.Fatalf("compose producer: %v", err)
+	}
+	bus := producer.Bus()
+	sink := pipes.NewCollectSink("sink")
+	consumer, err := core.Compose("consumer", g.Scheduler(1), bus, append(
+		link.ReceiverStages("lane"),
+		core.Pmp(pipes.NewClockedPump("pump2", consumerRate)),
+		core.Comp(sink),
+	))
+	if err != nil {
+		t.Fatalf("compose consumer: %v", err)
+	}
+
+	// Sensor on shard 1 (link depth), actuator on shard 0's pump, joined by
+	// the shared bus: the control plane crosses shards as events (§2.4).
+	sensor := feedback.SensorFunc(func(time.Time) float64 { return float64(link.Depth()) })
+	controller := &feedback.PIController{
+		Setpoint: 4, Kp: 12, Ki: 4, Min: 10, Max: initialRate, Bias: consumerRate,
+	}
+	actuator := feedback.ActuatorFunc(func(rate float64) {
+		bus.Broadcast(events.Event{Type: events.RateChange, Target: "pump", Data: rate})
+	})
+	loop := feedback.NewLoop(g.Scheduler(1), bus, "xfeedback", 100*time.Millisecond,
+		sensor, controller, actuator, feedback.StopOnEOS())
+
+	producer.Start()
+	if err := g.Run(); err != nil {
+		t.Fatalf("group run: %v", err)
+	}
+	if err := producer.Err(); err != nil {
+		t.Fatalf("producer: %v", err)
+	}
+	if err := consumer.Err(); err != nil {
+		t.Fatalf("consumer: %v", err)
+	}
+	if sink.Count() != items {
+		t.Fatalf("sink received %d items, want %d", sink.Count(), items)
+	}
+	if loop.Samples() == 0 {
+		t.Fatal("feedback loop never sampled")
+	}
+	// The cross-shard loop must actually have throttled the producer.
+	if rate := pump.Rate(); rate >= initialRate {
+		t.Fatalf("producer pump still at %.0f Hz, feedback never reached it", rate)
+	} else if rate > 3*consumerRate {
+		t.Fatalf("producer pump at %.0f Hz, want near the %.0f Hz consumer", rate, consumerRate)
+	}
+}
+
+// TestLinkBatchDrain: the receiver takes the whole queue per wake, so the
+// number of drains is far below the number of items on a high-rate link.
+func TestLinkBatchDrain(t *testing.T) {
+	const items = 500
+	g := shard.NewGroup(shard.WithShardCount(2))
+	link := shard.NewLink("lane", g.Scheduler(1), 32)
+	producer, err := core.Compose("producer", g.Scheduler(0), nil, append([]core.Stage{
+		core.Comp(pipes.NewCounterSource("src", items)),
+		core.Pmp(pipes.NewFreePump("pump")),
+	}, link.SenderStages("lane")...))
+	if err != nil {
+		t.Fatalf("compose producer: %v", err)
+	}
+	sink := pipes.NewCollectSink("sink")
+	if _, err := core.Compose("consumer", g.Scheduler(1), producer.Bus(), append(
+		link.ReceiverStages("lane"),
+		core.Pmp(pipes.NewFreePump("pump2")),
+		core.Comp(sink),
+	)); err != nil {
+		t.Fatalf("compose consumer: %v", err)
+	}
+	producer.Start()
+	if err := g.Run(); err != nil {
+		t.Fatalf("group run: %v", err)
+	}
+	if sink.Count() != items {
+		t.Fatalf("sink received %d items, want %d", sink.Count(), items)
+	}
+	if link.Moved() != items {
+		t.Fatalf("moved %d, want %d", link.Moved(), items)
+	}
+	if d := link.Drains(); d == 0 || d >= items {
+		t.Fatalf("drains = %d, want batched (0 < drains < %d)", d, items)
+	}
+}

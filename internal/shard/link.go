@@ -37,6 +37,14 @@ type Link struct {
 	rxWaiters core.WaiterList
 	txWaiters core.WaiterList
 	moved     int64 // items handed across, for diagnostics
+	drains    int64 // batched queue handoffs, for diagnostics
+
+	// batch holds the receiver's current drain: pop takes the WHOLE queue
+	// in one handoff and serves items from the batch without waking senders
+	// per item, so the cross-scheduler wake traffic is amortised over the
+	// queue depth on high-rate links.  batchPos indexes the next item.
+	batch    []*item.Item
+	batchPos int
 }
 
 // NewLink creates a link delivering into rxSched.  queueLimit bounds the
@@ -55,12 +63,21 @@ func NewLink(name string, rxSched *uthread.Scheduler, queueLimit int) *Link {
 // Name returns the link name.
 func (l *Link) Name() string { return l.name }
 
-// Depth reports the number of items currently queued (diagnostics and
+// Depth reports the number of items currently queued, including items
+// drained to the receiver's batch but not yet consumed (diagnostics and
 // feedback sensors).
 func (l *Link) Depth() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.q)
+	return len(l.q) + (len(l.batch) - l.batchPos)
+}
+
+// Drains reports how many batched queue handoffs the receiver performed;
+// Moved()/Drains() is the achieved batching factor.
+func (l *Link) Drains() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.drains
 }
 
 // Moved reports the total number of items handed across the link.
@@ -104,20 +121,35 @@ func (l *Link) send(ctx *core.Ctx, it *item.Item) error {
 
 // pop removes the next item, blocking while the queue is empty.  Called on a
 // receiver-shard thread.  Returns core.ErrEOS after close and drain.
+//
+// The receiver drains the whole queue per wake (ROADMAP batching item): the
+// first pop after senders refilled the queue swaps the entire queue into the
+// receiver's batch, wakes every blocked sender once, and subsequent pops
+// serve from the batch — one wake round per queue depth instead of one
+// cross-scheduler Post per item.
 func (l *Link) pop(ctx *core.Ctx) (*item.Item, error) {
 	t := ctx.Thread()
 	for {
 		l.mu.Lock()
-		if len(l.q) > 0 {
-			it := l.q[0]
-			l.q = l.q[1:]
-			l.moved++
-			w, ok := l.txWaiters.PopFront()
+		if l.batchPos < len(l.batch) {
+			it := l.batch[l.batchPos]
+			l.batch[l.batchPos] = nil
+			l.batchPos++
 			l.mu.Unlock()
-			if ok {
+			return it, nil
+		}
+		if len(l.q) > 0 {
+			old := l.batch // fully consumed and nil'ed: reuse as the queue
+			l.batch, l.batchPos = l.q, 0
+			l.q = old[:0]
+			l.moved += int64(len(l.batch))
+			l.drains++
+			waiters := l.txWaiters.TakeAll()
+			l.mu.Unlock()
+			for _, w := range waiters {
 				w.Wake(msgShardWake)
 			}
-			return it, nil
+			continue
 		}
 		if l.closed {
 			l.mu.Unlock()

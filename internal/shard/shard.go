@@ -143,6 +143,23 @@ func (g *Group) Place() int {
 	return g.placeLocked()
 }
 
+// PlaceAt records the explicit placement of one pipeline on shard i — load
+// accounting for callers (the graph deployer) that pick the shard
+// themselves, from hints rather than the policy.  Pair with Release when
+// the pipeline finishes.
+func (g *Group) PlaceAt(i int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.load[i]++
+}
+
+// Release undoes one Place/PlaceAt accounting entry for shard i.
+func (g *Group) Release(i int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.load[i]--
+}
+
 func (g *Group) placeLocked() int {
 	idx := 0
 	switch g.policy {

@@ -114,6 +114,20 @@ func (b BlockPolicy) String() string {
 	}
 }
 
+// ParseBlockPolicy parses the textual form used by the microlanguage and
+// graph specs: "block" suspends the caller; "drop", "nonblock" and "nil"
+// (after the §2.3 nil item) all name the non-blocking behaviour.
+func ParseBlockPolicy(s string) (BlockPolicy, error) {
+	switch s {
+	case "block":
+		return Block, nil
+	case "drop", "nonblock", "nil":
+		return NonBlock, nil
+	default:
+		return 0, fmt.Errorf("typespec: unknown blocking policy %q (want block or drop)", s)
+	}
+}
+
 // Range is a closed interval of a QoS parameter (frame rate, latency,
 // bandwidth...).  The zero value is the unconstrained full range.
 type Range struct {
