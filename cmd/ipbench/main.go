@@ -6,10 +6,11 @@
 //
 // Usage:
 //
-//	ipbench [fig9|switches|midi|dropping|jitter|pumps|marshal|shard|link|graph|all]
+//	ipbench [fig9|switches|midi|dropping|jitter|pumps|marshal|shard|link|graph|rebalance|all]
 //	ipbench shard [n]    # restrict the E17 sweep to n shards (CI smoke)
 //	ipbench link         # E18: cross-shard link batch drain
 //	ipbench graph        # E19: graph fan-out/fan-in per deployment target
+//	ipbench rebalance [items]  # E21: live rebalance of a skewed deployment
 package main
 
 import (
@@ -27,16 +28,17 @@ func main() {
 		which = os.Args[1]
 	}
 	runners := map[string]func() error{
-		"fig9":     fig9,
-		"switches": switches,
-		"midi":     midi,
-		"dropping": dropping,
-		"jitter":   jitter,
-		"pumps":    pumps,
-		"marshal":  marshal,
-		"shard":    func() error { return shardScaling(nil) },
-		"link":     linkRate,
-		"graph":    graphFanout,
+		"fig9":      fig9,
+		"switches":  switches,
+		"midi":      midi,
+		"dropping":  dropping,
+		"jitter":    jitter,
+		"pumps":     pumps,
+		"marshal":   marshal,
+		"shard":     func() error { return shardScaling(nil) },
+		"link":      linkRate,
+		"graph":     graphFanout,
+		"rebalance": func() error { return rebalanceSkew(120_000) },
 	}
 	if which == "shard" && len(os.Args) > 2 {
 		n, err := strconv.Atoi(os.Args[2])
@@ -46,7 +48,15 @@ func main() {
 		}
 		runners["shard"] = func() error { return shardScaling([]int{n}) }
 	}
-	order := []string{"fig9", "switches", "midi", "dropping", "jitter", "pumps", "marshal", "shard", "link", "graph"}
+	if which == "rebalance" && len(os.Args) > 2 {
+		n, err := strconv.Atoi(os.Args[2])
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "ipbench: item count %q must be a positive integer\n", os.Args[2])
+			os.Exit(2)
+		}
+		runners["rebalance"] = func() error { return rebalanceSkew(int64(n)) }
+	}
+	order := []string{"fig9", "switches", "midi", "dropping", "jitter", "pumps", "marshal", "shard", "link", "graph", "rebalance"}
 	if which != "all" {
 		run, ok := runners[which]
 		if !ok {
@@ -215,6 +225,24 @@ func graphFanout() error {
 		fmt.Printf("%-16s %12.1f %14.0f %8d\n",
 			r.Target, float64(r.Wall.Microseconds())/1e3, r.Throughput, r.Links)
 	}
+	return nil
+}
+
+func rebalanceSkew(items int64) error {
+	const spin, chains, shards = 400, 4, 4
+	before, after, err := experiments.RebalanceSkew(items, spin, chains, shards)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E21 — live rebalance: %d items, spin=%d, %d chains skewed onto shard 0 of %d\n",
+		items, spin, chains, shards)
+	fmt.Printf("%-26s %10s %12s %14s %12s %8s\n", "phase", "items", "wall (ms)", "items/s", "switches", "links")
+	for _, r := range []experiments.RebalanceRow{before, after} {
+		fmt.Printf("%-26s %10d %12.1f %14.0f %12d %8d\n",
+			r.Phase, r.Items, float64(r.Wall.Microseconds())/1e3, r.Throughput, r.Switches, r.Links)
+	}
+	fmt.Printf("gain: %.2fx items/s after spreading the chains off the hot shard\n",
+		after.Throughput/before.Throughput)
 	return nil
 }
 

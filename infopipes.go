@@ -268,6 +268,26 @@ type (
 	SplitTee = core.SplitPoint
 	// MergeTeePoint is the fan-in surface (MergeTee implements it).
 	MergeTeePoint = core.MergePoint
+
+	// GraphStats is a deployment's live telemetry snapshot: per-segment
+	// pump counters (items, cycles, approximate busy time), per-link depth
+	// and wake counts, and per-shard load — collected alloc-free on the
+	// hot path, assembled on demand by GraphDeployment.Stats.
+	GraphStats = graph.GraphStats
+	// GraphSegmentStats is one segment's (or relay's) telemetry row.
+	GraphSegmentStats = graph.SegmentStats
+	// GraphLinkStats is one auto-inserted link's telemetry row.
+	GraphLinkStats = graph.LinkStats
+	// GraphShardLoad is the per-shard aggregate of a deployment.
+	GraphShardLoad = graph.ShardLoad
+	// BalancePolicy parameterizes the automatic rebalancer (skew threshold
+	// and per-epoch minimum item count).
+	BalancePolicy = graph.BalancePolicy
+	// Balancer proposes GraphDeployment.Rebalance hints from the load-skew
+	// deltas between Stats epochs; drive it with GraphDeployment.Balance.
+	Balancer = graph.Balancer
+	// PipelineStats is one pipeline's raw pump-counter snapshot.
+	PipelineStats = core.PipeStats
 )
 
 // NewGraph starts a graph bound to the standard component catalog, so
@@ -294,14 +314,19 @@ var (
 	BuildTextGraph = ipcl.BuildGraph
 	// WithInputSpec seeds Typespec propagation (advanced composition).
 	WithInputSpec = core.WithInputSpec
+	// NewBalancer creates the automatic rebalancer; see BalancePolicy.
+	NewBalancer = graph.NewBalancer
 )
 
-// Graph validation errors.
+// Graph validation and rebalancing errors.
 var (
 	ErrBadGraph          = core.ErrBadGraph
 	ErrGraphCycle        = core.ErrGraphCycle
 	ErrDanglingPort      = core.ErrDanglingPort
 	ErrPlacementConflict = core.ErrPlacementConflict
+	ErrNotRebalancable   = graph.ErrNotRebalancable
+	ErrNotMigratable     = graph.ErrNotMigratable
+	ErrDeploymentDone    = graph.ErrDeploymentDone
 )
 
 // ---- Composition ----

@@ -200,6 +200,14 @@ func (c *Ctx) Now() time.Time { return c.thread.Scheduler().Now() }
 // components should consult it in their main loops.
 func (c *Ctx) Stopping() bool { return c.sect.stopping.Load() }
 
+// Detaching reports whether the section is being torn down for migration
+// (Pipeline.Detach) rather than stopped.  Blocking queue stages (buffers,
+// shard links) consult it when a blocked push is interrupted: during a
+// detach the item in hand must force-complete into the destination queue —
+// over capacity if need be — because the queue outlives the threads and the
+// stream resumes after recomposition; dropping it would lose the item.
+func (c *Ctx) Detaching() bool { return c.sect.migrating.Load() }
+
 // Thread exposes the underlying user-level thread, for framework-level
 // components (buffers, netpipes) that integrate with the message layer.
 // Ordinary components never need it.

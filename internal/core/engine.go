@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"infopipes/internal/events"
 	"infopipes/internal/item"
@@ -66,9 +67,10 @@ type section struct {
 	links      []*uthread.CoroLink
 	owned      map[uint64][]compRef
 
-	stopping atomic.Bool
-	paused   atomic.Bool
-	started  atomic.Bool
+	stopping  atomic.Bool
+	migrating atomic.Bool
+	paused    atomic.Bool
+	started   atomic.Bool
 
 	pumpPull func(*Ctx) (*item.Item, error)
 	pumpPush func(*Ctx, *item.Item) error
@@ -499,18 +501,32 @@ func (s *section) pumpLoop(t *uthread.Thread) {
 				continue
 			}
 		}
+		// Telemetry: one cycle in busySampleMask+1 is wall-clock timed and
+		// the duration attributed to the whole stride (approximate busy
+		// time); items/cycles are plain atomic adds.  Nothing here
+		// allocates — see TestPumpCountersAllocFree.
+		sampled := cycle&busySampleMask == 0
+		var t0 time.Time
+		if sampled {
+			t0 = time.Now()
+		}
 		it, err := s.pumpPull(ctx)
 		if err != nil {
 			s.pumpFinish(ctx, err)
 			return
 		}
 		cycle++
+		s.pipeline.stats.cycles.Add(1)
 		if it == nil {
 			continue // nil item: empty non-blocking pull (§2.3)
 		}
 		if err := s.pumpPush(ctx, it); err != nil {
 			s.pumpFinish(ctx, err)
 			return
+		}
+		s.pipeline.stats.items.Add(1)
+		if sampled {
+			s.pipeline.stats.busyNs.Add(int64(time.Since(t0)) * (busySampleMask + 1))
 		}
 	}
 }
@@ -597,6 +613,14 @@ func (s *section) handleEvent(t *uthread.Thread, ev events.Event) {
 			ref.comp.HandleEvent(ref.ctx, ev)
 		}
 	}
+}
+
+// detach initiates migration teardown: like a stop, but with the migrating
+// flag raised first so blocked pushes force-complete into their destination
+// queues (Ctx.Detaching) instead of abandoning the item in hand.
+func (s *section) detach() {
+	s.migrating.Store(true)
+	s.beginShutdown()
 }
 
 // beginShutdown initiates section teardown: set the flag, close links so

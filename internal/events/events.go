@@ -11,6 +11,7 @@
 package events
 
 import (
+	"sort"
 	"sync"
 	"time"
 
@@ -141,14 +142,25 @@ func (b *Bus) Unsubscribe(id Subscription) {
 	delete(b.subs, id)
 }
 
-// Broadcast delivers ev to every subscriber.  Thread subscribers receive a
-// control-priority message via their scheduler; function subscribers run
-// inline.  Safe to call from any goroutine, including from inside handlers.
+// Broadcast delivers ev to every subscriber IN SUBSCRIPTION ORDER.  Thread
+// subscribers receive a control-priority message via their scheduler;
+// function subscribers run inline.  Safe to call from any goroutine,
+// including from inside handlers.
+//
+// The delivery order matters: iterating the subscriber map directly would
+// randomize which pump sees a start event first, and with free-running
+// pumps on one scheduler that randomness leaks into merge arrival order —
+// the one nondeterminism the virtual clock cannot absorb.
 func (b *Bus) Broadcast(ev Event) {
 	b.mu.Lock()
-	subs := make([]subscriber, 0, len(b.subs))
-	for _, s := range b.subs {
-		subs = append(subs, s)
+	ids := make([]Subscription, 0, len(b.subs))
+	for id := range b.subs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	subs := make([]subscriber, 0, len(ids))
+	for _, id := range ids {
+		subs = append(subs, b.subs[id])
 	}
 	b.mu.Unlock()
 	for _, s := range subs {

@@ -800,3 +800,124 @@ func GraphFanout(items int64, spin int) ([]GraphRow, error) {
 	}
 	return rows, nil
 }
+
+// ------------------------------------------ E21: rebalance under skew
+
+// RebalanceRow is one phase measurement of the skewed-deployment
+// experiment.
+type RebalanceRow struct {
+	Phase      string
+	Items      int64
+	Wall       time.Duration
+	Throughput float64 // items per second through the probes
+	Switches   int64   // uthread context switches during the phase
+	Links      int     // auto-inserted shard links at phase end
+}
+
+// RebalanceSkew measures live graph rebalancing (ROADMAP work-stealing and
+// observability items): a farm of `chains` independent source→work→sink
+// chains — declared as ONE graph — is deliberately deployed with every
+// chain hinted onto shard 0 of a `shards`-shard real-clock group: the
+// classic hot-shard pathology an operator reads straight out of
+// Deployment.Stats (all load on one ShardLoad row).  Mid-stream, once half
+// the items have drained, Deployment.Rebalance spreads the chains across
+// the group — whole-pipeline migration, no links needed — and the phase
+// rows report throughput and context-switch cost before and after.  On a
+// 1-core host the gain is pure switch elimination (one pump thread per
+// scheduler, the E17 effect); on a multi-core host real parallelism stacks
+// on top.
+func RebalanceSkew(items int64, spin, chains, shards int) (before, after RebalanceRow, err error) {
+	if chains < 2 || shards < 2 {
+		return before, after, fmt.Errorf("rebalance skew: need >=2 chains and shards")
+	}
+	g := graph.New("skew")
+	perChain := items / int64(chains)
+	items = perChain * int64(chains)
+	work := func(name string) *pipes.FuncFilter {
+		return pipes.NewFuncFilter(name, func(_ *core.Ctx, it *item.Item) (*item.Item, error) {
+			seq, _ := it.Payload.(int64)
+			it.Payload = shardWork(seq, spin)
+			return it, nil
+		})
+	}
+	probes := make([]*pipes.CountingProbe, chains)
+	segNames := make([]string, chains)
+	for i := 0; i < chains; i++ {
+		src := fmt.Sprintf("src%d", i)
+		pump := fmt.Sprintf("p%d", i)
+		w := fmt.Sprintf("w%d", i)
+		sink := fmt.Sprintf("sink%d", i)
+		probes[i] = pipes.NewCountingProbe(fmt.Sprintf("probe%d", i))
+		g.Add(core.Comp(pipes.NewCounterSource(src, perChain)), graph.Place(0))
+		g.Add(core.Pmp(pipes.NewFreePump(pump)), graph.Place(0))
+		g.Add(core.Comp(work(w)), graph.Place(0))
+		g.Add(core.Comp(probes[i]), graph.Place(0))
+		g.Add(core.Comp(pipes.NullSink(sink)), graph.Place(0))
+		g.Pipe(src, pump, w, probes[i].Name(), sink)
+		segNames[i] = src + ">>" + sink
+	}
+
+	grp := shard.NewGroup(shard.WithShardCount(shards), shard.WithRealClock())
+	d, err := g.Deploy(graph.OnGroup(grp))
+	if err != nil {
+		return before, after, fmt.Errorf("skewed deploy: %w", err)
+	}
+	total := func() int64 {
+		var n int64
+		for _, p := range probes {
+			n += p.Items()
+		}
+		return n
+	}
+	grp.Start()
+	start := time.Now()
+	d.Start()
+
+	for total() < items/2 {
+		select {
+		case <-d.Done():
+			// Failure (or impossible early completion) below the halfway
+			// mark: report instead of spinning forever.
+			if err := d.Err(); err != nil {
+				return before, after, fmt.Errorf("deployment failed before rebalance: %w", err)
+			}
+			return before, after, fmt.Errorf("deployment drained %d items before the rebalance point", total())
+		default:
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+	preItems := total()
+	preWall := time.Since(start)
+	preSwitches := grp.Stats().Switches
+
+	// Work stealing as policy: spread the chains round-robin across the
+	// whole group.  Whole pipelines move, so no links are inserted.
+	hints := make(map[string]int, chains)
+	for i, name := range segNames {
+		hints[name] = i % shards
+	}
+	if err := d.Rebalance(hints); err != nil {
+		return before, after, fmt.Errorf("rebalance: %w", err)
+	}
+	mid := time.Now()
+	midItems := total()
+
+	if err := d.Wait(); err != nil {
+		return before, after, err
+	}
+	grp.Stop()
+	if err := grp.Wait(); err != nil {
+		return before, after, err
+	}
+	endWall := time.Since(mid)
+	if got := total(); got != items {
+		return before, after, fmt.Errorf("delivered %d items, want %d", got, items)
+	}
+	before = RebalanceRow{Phase: "skewed (all on shard 0)", Items: preItems,
+		Wall: preWall, Throughput: float64(preItems) / preWall.Seconds(),
+		Switches: preSwitches, Links: 0}
+	after = RebalanceRow{Phase: "rebalanced (spread)", Items: items - midItems,
+		Wall: endWall, Throughput: float64(items-midItems) / endWall.Seconds(),
+		Switches: grp.Stats().Switches - preSwitches, Links: len(d.Links())}
+	return before, after, nil
+}

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"infopipes/internal/core"
 	"infopipes/internal/events"
@@ -14,17 +15,35 @@ import (
 // joining them, and a joined lifecycle — Start and Stop broadcast once on
 // the shared bus, Done closes when every pipeline has finished, Err reports
 // the first failure anywhere in the graph.
+//
+// Group deployments stay operable while they run: Stats reports per-segment
+// and per-link load, and Rebalance moves segments between shards mid-stream
+// without recomposing the graph by hand (see rebalance.go).
 type Deployment struct {
 	name string
 	bus  *events.Bus
 
-	pipelines []*core.Pipeline
-	bySegment map[string]*core.Pipeline
-	links     []*shard.Link
-	remote    *remoteDeployment // non-nil for OnNodes deployments
+	remote *remoteDeployment // non-nil for OnNodes deployments
+	ld     *localDeploy      // non-nil for local targets; wiring state for Stats/Rebalance
 
-	mu   sync.Mutex
-	done chan struct{}
+	// rbMu serializes Rebalance calls against each other (a second
+	// Rebalance waits for the first to finish, then runs on the new
+	// placement).
+	rbMu sync.Mutex
+
+	mu          sync.Mutex
+	pipelines   []*core.Pipeline
+	bySegment   map[string]*core.Pipeline
+	links       []*shard.Link
+	gen         int  // bumped by every rebalance; stale watchers exit
+	started     bool // Start was requested (re-broadcast after a rebalance)
+	stopReq     bool // Stop was requested (applied after a rebalance)
+	rebalancing bool
+	finished    bool
+	deployErr   error
+	unpin       func() // releases the group's shard pins exactly once
+	now         func() time.Time
+	done        chan struct{}
 }
 
 func newDeployment(name string, bus *events.Bus) *Deployment {
@@ -32,20 +51,47 @@ func newDeployment(name string, bus *events.Bus) *Deployment {
 		name:      name,
 		bus:       bus,
 		bySegment: make(map[string]*core.Pipeline),
+		now:       time.Now,
 		done:      make(chan struct{}),
 	}
 }
 
-// seal finishes construction: it starts the watcher that closes Done once
-// every pipeline has terminated.
+// seal finishes construction (and every rebalance): it starts a watcher for
+// the current pipeline generation that finishes the deployment once every
+// pipeline has terminated — unless a rebalance superseded the generation in
+// the meantime (detached pipelines terminate too, but the deployment lives
+// on in its recomposed successors).
 func (d *Deployment) seal() {
-	ps := d.pipelines
+	d.mu.Lock()
+	gen := d.gen
+	ps := make([]*core.Pipeline, len(d.pipelines))
+	copy(ps, d.pipelines)
+	d.mu.Unlock()
 	go func() {
 		for _, p := range ps {
 			<-p.Done()
 		}
-		close(d.done)
+		d.maybeFinish(gen)
 	}()
+}
+
+// maybeFinish completes the deployment if the watcher's generation is still
+// current: release the shard pins (so an idle group can drain) and close
+// Done.
+func (d *Deployment) maybeFinish(gen int) {
+	d.mu.Lock()
+	if d.gen != gen || d.rebalancing || d.finished {
+		d.mu.Unlock()
+		return
+	}
+	d.finished = true
+	unpin := d.unpin
+	d.unpin = nil
+	d.mu.Unlock()
+	if unpin != nil {
+		unpin()
+	}
+	close(d.done)
 }
 
 // Name returns the deployment name (the graph name).
@@ -57,6 +103,8 @@ func (d *Deployment) Bus() *events.Bus { return d.bus }
 // Pipelines lists every composed pipeline, relays included, in composition
 // order.
 func (d *Deployment) Pipelines() []*core.Pipeline {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	out := make([]*core.Pipeline, len(d.pipelines))
 	copy(out, d.pipelines)
 	return out
@@ -64,40 +112,80 @@ func (d *Deployment) Pipelines() []*core.Pipeline {
 
 // Segment returns the pipeline composed for the named segment (the
 // segment's diagnostic name, "first>>last").  Relay pipelines are not
-// segments.
+// segments.  After a rebalance the handle refers to the recomposed
+// pipeline.
 func (d *Deployment) Segment(name string) (*core.Pipeline, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	p, ok := d.bySegment[name]
 	return p, ok
 }
 
+// SegmentPlacements reports where each segment currently runs: segment name
+// (as accepted by Rebalance) to shard index.  Empty for remote deployments;
+// all zero on a single-scheduler target.
+func (d *Deployment) SegmentPlacements() map[string]int {
+	out := make(map[string]int)
+	if d.ld == nil {
+		return out
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, seg := range d.ld.plan.Segments {
+		out[seg.Name()] = d.ld.shardOf[i]
+	}
+	return out
+}
+
 // Links lists the auto-inserted shard links (local deployments).
 func (d *Deployment) Links() []*shard.Link {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	out := make([]*shard.Link, len(d.links))
 	copy(out, d.links)
 	return out
 }
 
+// broadcast publishes a control event on the deployment's bus, stamped with
+// the deployment clock.
+func (d *Deployment) broadcast(t events.Type) {
+	d.bus.Broadcast(events.Event{Type: t, Time: d.now(), Origin: d.name})
+}
+
 // Start broadcasts the start event once on the shared bus: every pump in
 // every segment reacts, exactly like Pipeline.Start on a linear pipeline.
+// During a rebalance the start is deferred until the recomposed pipelines
+// are in place.
 func (d *Deployment) Start() {
 	if d.remote != nil {
 		d.remote.start()
 		return
 	}
-	if len(d.pipelines) > 0 {
-		d.pipelines[0].Start()
+	d.mu.Lock()
+	d.started = true
+	rb := d.rebalancing
+	d.mu.Unlock()
+	if rb {
+		return
 	}
+	d.broadcast(events.Start)
 }
 
-// Stop broadcasts the stop event to the whole deployment.
+// Stop broadcasts the stop event to the whole deployment.  A Stop that
+// races a Rebalance is applied as soon as the rebalance completes.
 func (d *Deployment) Stop() {
 	if d.remote != nil {
 		d.remote.stop()
 		return
 	}
-	if len(d.pipelines) > 0 {
-		d.pipelines[0].Stop()
+	d.mu.Lock()
+	d.stopReq = true
+	rb := d.rebalancing
+	d.mu.Unlock()
+	if rb {
+		return
 	}
+	d.broadcast(events.Stop)
 }
 
 // Done is closed when every pipeline of the deployment has terminated.
@@ -109,7 +197,15 @@ func (d *Deployment) Err() error {
 	if d.remote != nil {
 		return d.remote.err()
 	}
-	for _, p := range d.pipelines {
+	d.mu.Lock()
+	if err := d.deployErr; err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	ps := make([]*core.Pipeline, len(d.pipelines))
+	copy(ps, d.pipelines)
+	d.mu.Unlock()
+	for _, p := range ps {
 		if err := p.Err(); err != nil {
 			return fmt.Errorf("%s: %w", p.Name(), err)
 		}

@@ -43,6 +43,11 @@ func (t *SchedulerTarget) deploy(g *Graph, plan *core.GraphPlan) (*Deployment, e
 // their tee-adjacent neighbours, and free-standing ones follow the group's
 // placement policy) and joins segments that land on different shards with
 // auto-inserted shard links plus relay pipelines at tee boundaries.
+//
+// Group deployments are rebalancable: Deployment.Rebalance re-places
+// segments on the live group mid-stream (the deployment pins every shard
+// with an external-source reference until it finishes, so shards stay
+// available as migration targets even while empty).
 type GroupTarget struct {
 	Group *shard.Group
 	// Bus is the shared event service (nil for a deployment-private bus).
@@ -71,23 +76,45 @@ func (t *GroupTarget) deploy(g *Graph, plan *core.GraphPlan) (*Deployment, error
 	}
 	ld := &localDeploy{
 		g: g, plan: plan, bus: t.Bus, depth: t.LinkDepth,
+		group:   t.Group,
 		shardOf: shardOf,
 		schedOf: t.Group.Scheduler,
 		placeAt: t.Group.PlaceAt,
 		release: t.Group.Release,
 	}
-	return ld.run()
+	d, err := ld.run()
+	if err != nil {
+		return nil, err
+	}
+	// Pin every shard for the deployment's lifetime: an empty shard's Run
+	// would otherwise return (no threads, no external sources) and a later
+	// Rebalance could never migrate a segment onto it.  Released in
+	// maybeFinish.
+	n := t.Group.Shards()
+	for i := 0; i < n; i++ {
+		t.Group.Scheduler(i).AddExternalSource()
+	}
+	d.unpin = func() {
+		for i := 0; i < n; i++ {
+			t.Group.Scheduler(i).ReleaseExternalSource()
+		}
+	}
+	return d, nil
 }
 
 // localDeploy composes one pipeline per segment on the schedulers the
 // placement chose, wiring tee ports directly where segments are
 // co-scheduled and inserting shard links (plus relay pipelines at tee
-// boundaries) where they are not.
+// boundaries) where they are not.  The structure is retained on the
+// Deployment: Rebalance re-runs the composition with a new placement,
+// reusing the materialized stages and the boundary links (whose queues
+// carry the in-flight items across the migration).
 type localDeploy struct {
 	g       *Graph
 	plan    *core.GraphPlan
 	bus     *events.Bus
 	depth   int
+	group   *shard.Group // nil on a single scheduler
 	shardOf []int
 	schedOf func(i int) *uthread.Scheduler
 	// placeAt/release are the group's load accounting, nil on a single
@@ -106,6 +133,57 @@ type localDeploy struct {
 	segOutSpec  []typespec.Typespec
 	mergeInSpec map[string][]typespec.Typespec
 	cutLinks    []*shard.Link
+	// splitLinks/mergeLinks record the relay link of each tee boundary
+	// (nil while the boundary is wired directly).  Once a boundary has a
+	// link it keeps it across rebalances — the queue holds in-flight items
+	// — even if the segments become co-scheduled again.
+	splitLinks map[string][]*shard.Link
+	mergeLinks map[string][]*shard.Link
+	// relayPipes tracks the relay pipeline of each linked tee boundary by
+	// lane name, so a rebalance can skip relays whose stream already ended.
+	relayPipes map[string]*core.Pipeline
+	// shardByPipe records the shard every pipeline was composed on
+	// (telemetry attribution).
+	shardByPipe map[*core.Pipeline]int
+	// retired accumulates the pump counters of pipelines replaced by
+	// rebalances, keyed by segment name (segments) or pipeline name
+	// (relays), so Stats stays cumulative across generations.
+	retired map[string]retiredCounts
+	// retiredByShard attributes the same retired counters to the shard the
+	// replaced pipeline actually RAN on — per-shard load must reflect where
+	// the work happened, not where the segment lives now, or the balancer
+	// would chase migrated history around the group.
+	retiredByShard []retiredCounts
+	// rebalance marks a re-composition pass: links are reused and
+	// retargeted instead of created, finished pipelines are kept.
+	rebalance bool
+}
+
+// retiredCounts folds the counters of replaced pipeline generations.
+type retiredCounts struct {
+	items, cycles, busyNs int64
+}
+
+// foldRetired accumulates a replaced pipeline's counters under key and
+// under the shard it ran on, and drops the pipeline from the placement map
+// (its generation is gone; keeping the entry would pin every replaced
+// pipeline in memory forever).  Takes d.mu: Stats reads these maps under
+// the same lock, concurrently with a rebalance.
+func (ld *localDeploy) foldRetired(key string, p *core.Pipeline) {
+	ps := p.Stats()
+	ld.d.mu.Lock()
+	defer ld.d.mu.Unlock()
+	r := ld.retired[key]
+	r.items += ps.Items
+	r.cycles += ps.Cycles
+	r.busyNs += ps.BusyNanos
+	ld.retired[key] = r
+	if sh, ok := ld.shardByPipe[p]; ok && sh >= 0 && sh < len(ld.retiredByShard) {
+		ld.retiredByShard[sh].items += ps.Items
+		ld.retiredByShard[sh].cycles += ps.Cycles
+		ld.retiredByShard[sh].busyNs += ps.BusyNanos
+	}
+	delete(ld.shardByPipe, p)
 }
 
 func (ld *localDeploy) run() (*Deployment, error) {
@@ -132,11 +210,30 @@ func (ld *localDeploy) run() (*Deployment, error) {
 		ld.bus = &events.Bus{}
 	}
 	ld.d = newDeployment(g.name, ld.bus)
+	ld.d.ld = ld
+	sched0 := ld.schedOf(0)
+	ld.d.now = sched0.Now
 	ld.segOutSpec = make([]typespec.Typespec, len(plan.Segments))
 	ld.mergeInSpec = make(map[string][]typespec.Typespec)
 	for name, ports := range plan.MergeBranch {
 		ld.mergeInSpec[name] = make([]typespec.Typespec, len(ports))
 	}
+	ld.splitLinks = make(map[string][]*shard.Link)
+	for name, ports := range plan.SplitBranch {
+		ld.splitLinks[name] = make([]*shard.Link, len(ports))
+	}
+	ld.mergeLinks = make(map[string][]*shard.Link)
+	for name, ports := range plan.MergeBranch {
+		ld.mergeLinks[name] = make([]*shard.Link, len(ports))
+	}
+	ld.relayPipes = make(map[string]*core.Pipeline)
+	ld.shardByPipe = make(map[*core.Pipeline]int)
+	ld.retired = make(map[string]retiredCounts)
+	nShards := 1
+	if ld.group != nil {
+		nShards = ld.group.Shards()
+	}
+	ld.retiredByShard = make([]retiredCounts, nShards)
 	ld.cutLinks = make([]*shard.Link, len(plan.Cuts))
 	for ci, cut := range plan.Cuts {
 		link := shard.NewLink(fmt.Sprintf("%s/cut%d", g.name, ci),
@@ -152,7 +249,7 @@ func (ld *localDeploy) run() (*Deployment, error) {
 			// component left to close it, and an open link holds its
 			// receiving scheduler's external-source reference forever
 			// (the group could never drain).
-			ld.d.Stop()
+			ld.d.broadcast(events.Stop)
 			for _, l := range ld.d.links {
 				l.Close()
 			}
@@ -161,6 +258,140 @@ func (ld *localDeploy) run() (*Deployment, error) {
 	}
 	ld.d.seal()
 	return ld.d, nil
+}
+
+// redeploy recomposes the graph after a rebalance changed ld.shardOf: the
+// caller (Deployment.Rebalance) has already detached every pipeline of the
+// previous generation.  Stages, tees and links are reused — their buffered
+// state carries the stream across — and segments whose stream already ended
+// are kept as-is instead of being recomposed.
+func (ld *localDeploy) redeploy() error {
+	old := make(map[string]*core.Pipeline, len(ld.d.bySegment))
+	ld.d.mu.Lock()
+	for name, p := range ld.d.bySegment {
+		old[name] = p
+	}
+	ld.d.pipelines = nil
+	ld.d.mu.Unlock()
+
+	ld.rebalance = true
+	defer func() { ld.rebalance = false }()
+	for _, si := range ld.plan.Order {
+		seg := ld.plan.Segments[si]
+		if p := old[seg.Name()]; p != nil && p.ReachedEOS() {
+			if err := ld.keepSegment(si, p); err != nil {
+				return err
+			}
+			continue
+		}
+		if p := old[seg.Name()]; p != nil {
+			ld.foldRetired(seg.Name(), p)
+		}
+		if err := ld.composeSegment(si); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// keepSegment re-registers a finished segment pipeline (and the relays of
+// its boundaries) in the new generation without recomposing it: its stream
+// has fully ended, so placement no longer matters and recomposing it would
+// replay end-of-stream into its tail.
+//
+// A split-head relay of a finished branch is necessarily finished too (the
+// relay closes the link on its own end of stream, and the branch can only
+// end after that).  A merge-tail relay sits DOWNSTREAM of the segment and
+// may still be draining the link queue into the merge — it was detached
+// with everything else, so it is recomposed on the merge's (possibly new)
+// shard.
+func (ld *localDeploy) keepSegment(si int, p *core.Pipeline) error {
+	seg := ld.plan.Segments[si]
+	ld.d.mu.Lock()
+	ld.d.pipelines = append(ld.d.pipelines, p)
+	if h := seg.Head; h.Kind == core.EndSplitOut {
+		if rp := ld.relayPipes[ld.laneName(h.Node, h.Port)]; rp != nil {
+			ld.d.pipelines = append(ld.d.pipelines, rp)
+		}
+	}
+	ld.d.mu.Unlock()
+	if t := seg.Tail; t.Kind == core.EndMergeIn && ld.mergeLinks[t.Node][t.Port] != nil {
+		return ld.composeMergeRelay(t.Node, t.Port, ld.segOutSpec[si])
+	}
+	return nil
+}
+
+// composeSplitRelay (re)composes the relay pipeline that pumps a split
+// out-port across its boundary link from the trunk's shard, retargeting
+// the link to the branch's shard.  A relay whose stream already ended is
+// kept as-is.  Mirror image of composeMergeRelay, so the relay invariants
+// (EOS keep, retired fold, retarget, relayPipes registration) live in one
+// place per tee direction.
+func (ld *localDeploy) composeSplitRelay(node string, port, branchShard int, seed typespec.Typespec) error {
+	link := ld.splitLinks[node][port]
+	lane := link.Name()
+	if rp := ld.relayPipes[lane]; rp != nil {
+		if rp.ReachedEOS() {
+			ld.d.mu.Lock()
+			ld.d.pipelines = append(ld.d.pipelines, rp)
+			ld.d.mu.Unlock()
+			return nil
+		}
+		ld.foldRetired(lane+"/relay", rp)
+	}
+	if ld.rebalance {
+		link.Retarget(ld.schedOf(branchShard))
+	}
+	relay := append([]core.Stage{
+		core.Comp(ld.splits[node].OutPort(port)),
+		core.Pmp(pipes.NewFreePump(lane + "/pump")),
+	}, link.SenderStages(lane)...)
+	rp, err := ld.compose(lane+"/relay", ld.shardOf[ld.plan.SplitTrunk[node]], relay, seed)
+	if err != nil {
+		return err
+	}
+	ld.relayPipes[lane] = rp
+	return nil
+}
+
+// composeMergeRelay (re)composes the relay pipeline that drains a merge
+// boundary link into the merge's in-port on the anchor shard, retargeting
+// the link there first.  A relay whose stream already ended is kept as-is.
+// seed is the Typespec of the flow entering the link (the inbound
+// segment's out-spec).  Serves both composeSegment and keepSegment so the
+// relay invariants (EOS keep, retired fold, retarget, relayPipes and
+// mergeInSpec registration) live in one place.
+func (ld *localDeploy) composeMergeRelay(node string, port int, seed typespec.Typespec) error {
+	link := ld.mergeLinks[node][port]
+	lane := link.Name()
+	if rp := ld.relayPipes[lane]; rp != nil {
+		if rp.ReachedEOS() {
+			ld.d.mu.Lock()
+			ld.d.pipelines = append(ld.d.pipelines, rp)
+			ld.d.mu.Unlock()
+			return nil
+		}
+		ld.foldRetired(lane+"/relay", rp)
+	}
+	anchor := ld.shardOf[ld.plan.MergeDown[node]]
+	if ld.rebalance {
+		link.Retarget(ld.schedOf(anchor))
+	}
+	relay := append(link.ReceiverStages(lane),
+		core.Pmp(pipes.NewFreePump(lane+"/pump")),
+		core.Comp(ld.merges[node].InPort(port)))
+	rp, err := ld.compose(lane+"/relay", anchor, relay, seed)
+	if err != nil {
+		return err
+	}
+	ld.relayPipes[lane] = rp
+	ld.mergeInSpec[node][port] = rp.SpecAt(len(relay) - 2)
+	return nil
+}
+
+// laneName renders the canonical name of a tee-boundary relay lane.
+func (ld *localDeploy) laneName(node string, port int) string {
+	return fmt.Sprintf("%s/%s:%d", ld.g.name, node, port)
 }
 
 func (ld *localDeploy) composeSegment(si int) error {
@@ -174,20 +405,22 @@ func (ld *localDeploy) composeSegment(si int) error {
 		split := ld.splits[h.Node]
 		trunk := plan.SplitTrunk[h.Node]
 		seed = ld.segOutSpec[trunk]
-		if ld.shardOf[trunk] == own {
+		link := ld.splitLinks[h.Node][h.Port]
+		if ld.shardOf[trunk] == own && link == nil {
 			stages = append(stages, core.Comp(split.OutPort(h.Port)))
 		} else {
-			// The branch runs on another shard: relay the tee port across
-			// an auto-inserted link (the tee's buffers stay with the trunk;
-			// thread transparency is per scheduler).
-			lane := fmt.Sprintf("%s/%s:%d", g.name, h.Node, h.Port)
-			link := shard.NewLink(lane, ld.schedOf(own), ld.depth)
-			ld.d.links = append(ld.d.links, link)
-			relay := append([]core.Stage{
-				core.Comp(split.OutPort(h.Port)),
-				core.Pmp(pipes.NewFreePump(lane + "/pump")),
-			}, link.SenderStages(lane)...)
-			if _, err := ld.compose(lane+"/relay", ld.shardOf[trunk], relay, seed); err != nil {
+			// The branch runs on another shard (or did at some point —
+			// once linked, a boundary stays linked so its queue survives):
+			// relay the tee port across an auto-inserted link.  The tee's
+			// buffers stay with the trunk; thread transparency is per
+			// scheduler.
+			lane := ld.laneName(h.Node, h.Port)
+			if link == nil {
+				link = shard.NewLink(lane, ld.schedOf(own), ld.depth)
+				ld.splitLinks[h.Node][h.Port] = link
+				ld.addLink(link)
+			}
+			if err := ld.composeSplitRelay(h.Node, h.Port, own, seed); err != nil {
 				return err
 			}
 			stages = append(stages, link.ReceiverStages(lane)...)
@@ -204,7 +437,11 @@ func (ld *localDeploy) composeSegment(si int) error {
 		stages = append(stages, core.Comp(ld.merges[h.Node].OutPort()))
 	case core.EndCut:
 		seed = ld.segOutSpec[plan.Cuts[h.Port].FromSeg]
-		stages = append(stages, ld.cutLinks[h.Port].ReceiverStages(ld.cutLinks[h.Port].Name())...)
+		link := ld.cutLinks[h.Port]
+		if ld.rebalance {
+			link.Retarget(ld.schedOf(own))
+		}
+		stages = append(stages, link.ReceiverStages(link.Name())...)
 	}
 
 	for _, name := range seg.Stages {
@@ -215,7 +452,6 @@ func (ld *localDeploy) composeSegment(si int) error {
 	type mergeRelay struct {
 		node string
 		port int
-		link *shard.Link
 	}
 	var pendingRelay *mergeRelay
 	switch t := seg.Tail; t.Kind {
@@ -223,16 +459,21 @@ func (ld *localDeploy) composeSegment(si int) error {
 		stages = append(stages, core.Comp(ld.splits[t.Node]))
 	case core.EndMergeIn:
 		anchor := ld.shardOf[plan.MergeDown[t.Node]]
-		if anchor == own {
+		link := ld.mergeLinks[t.Node][t.Port]
+		if anchor == own && link == nil {
 			stages = append(stages, core.Comp(ld.merges[t.Node].InPort(t.Port)))
 		} else {
 			// The merge's buffer lives with its downstream segment: relay
 			// this branch's tail across a link into the merge's shard.
-			lane := fmt.Sprintf("%s/%s:%d", g.name, t.Node, t.Port)
-			link := shard.NewLink(lane, ld.schedOf(anchor), ld.depth)
-			ld.d.links = append(ld.d.links, link)
+			lane := ld.laneName(t.Node, t.Port)
+			if link == nil {
+				link = shard.NewLink(lane, ld.schedOf(anchor), ld.depth)
+				ld.mergeLinks[t.Node][t.Port] = link
+				ld.addLink(link)
+			}
+			// Retargeting (on rebalance) happens in composeMergeRelay.
 			stages = append(stages, link.SenderStages(lane)...)
-			pendingRelay = &mergeRelay{node: t.Node, port: t.Port, link: link}
+			pendingRelay = &mergeRelay{node: t.Node, port: t.Port}
 		}
 	case core.EndCut:
 		stages = append(stages, ld.cutLinks[t.Port].SenderStages(ld.cutLinks[t.Port].Name())...)
@@ -243,7 +484,9 @@ func (ld *localDeploy) composeSegment(si int) error {
 	if err != nil {
 		return err
 	}
+	ld.d.mu.Lock()
 	ld.d.bySegment[seg.Name()] = p
+	ld.d.mu.Unlock()
 	if tailStart > 0 {
 		ld.segOutSpec[si] = p.SpecAt(tailStart - 1)
 	} else {
@@ -253,17 +496,16 @@ func (ld *localDeploy) composeSegment(si int) error {
 		ld.mergeInSpec[t.Node][t.Port] = ld.segOutSpec[si]
 	}
 	if r := pendingRelay; r != nil {
-		anchor := ld.shardOf[plan.MergeDown[r.node]]
-		relay := append(r.link.ReceiverStages(r.link.Name()),
-			core.Pmp(pipes.NewFreePump(r.link.Name()+"/pump")),
-			core.Comp(ld.merges[r.node].InPort(r.port)))
-		rp, err := ld.compose(r.link.Name()+"/relay", anchor, relay, ld.segOutSpec[si])
-		if err != nil {
-			return err
-		}
-		ld.mergeInSpec[r.node][r.port] = rp.SpecAt(len(relay) - 2)
+		return ld.composeMergeRelay(r.node, r.port, ld.segOutSpec[si])
 	}
 	return nil
+}
+
+// addLink registers an auto-inserted link on the deployment.
+func (ld *localDeploy) addLink(l *shard.Link) {
+	ld.d.mu.Lock()
+	ld.d.links = append(ld.d.links, l)
+	ld.d.mu.Unlock()
 }
 
 // compose builds one pipeline of the deployment on the given shard.
@@ -273,7 +515,10 @@ func (ld *localDeploy) compose(name string, shardIdx int, stages []core.Stage, s
 	if err != nil {
 		return nil, fmt.Errorf("graph %q: %w", ld.g.name, err)
 	}
+	ld.d.mu.Lock()
 	ld.d.pipelines = append(ld.d.pipelines, p)
+	ld.shardByPipe[p] = shardIdx
+	ld.d.mu.Unlock()
 	if ld.placeAt != nil {
 		idx := shardIdx
 		ld.placeAt(idx)

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"strconv"
+	"sync"
 	"time"
 
 	"infopipes/internal/core"
@@ -286,6 +287,9 @@ type remoteDeployment struct {
 	name    string
 	clients []*remote.Client
 	pipes   []remotePipe
+
+	mu       sync.Mutex
+	startErr error
 }
 
 func (r *remoteDeployment) broadcast(t events.Type) error {
@@ -297,10 +301,37 @@ func (r *remoteDeployment) broadcast(t events.Type) error {
 	return nil
 }
 
-func (r *remoteDeployment) start() { _ = r.broadcast(events.Start) }
-func (r *remoteDeployment) stop()  { _ = r.broadcast(events.Stop) }
+// start broadcasts the start event to every node.  A failure mid-broadcast
+// (a node died) leaves the deployment partially started: roll every
+// reachable node back with a stop and latch the error so Wait and Err
+// report it instead of polling never-started pipelines forever.
+func (r *remoteDeployment) start() {
+	if err := r.broadcast(events.Start); err != nil {
+		// Best-effort rollback on every node — the failed one is already
+		// gone, the others must not keep half a graph running.
+		for _, c := range r.clients {
+			_ = c.SendEvent(events.Event{Type: events.Stop, Origin: r.name})
+		}
+		r.mu.Lock()
+		if r.startErr == nil {
+			r.startErr = fmt.Errorf("graph %q: start failed, deployment rolled back: %w", r.name, err)
+		}
+		r.mu.Unlock()
+	}
+}
+
+func (r *remoteDeployment) stop() { _ = r.broadcast(events.Stop) }
+
+func (r *remoteDeployment) failure() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.startErr
+}
 
 func (r *remoteDeployment) err() error {
+	if err := r.failure(); err != nil {
+		return err
+	}
 	for _, p := range r.pipes {
 		v, err := r.clients[p.client].Lookup("err:" + p.name)
 		if err != nil {
@@ -314,8 +345,12 @@ func (r *remoteDeployment) err() error {
 }
 
 // wait polls the nodes until every pipeline of the deployment has finished.
+// A failed Start short-circuits with the rollback error.
 func (r *remoteDeployment) wait() error {
 	for {
+		if err := r.failure(); err != nil {
+			return err
+		}
 		done := true
 		for _, p := range r.pipes {
 			v, err := r.clients[p.client].Lookup("done:" + p.name)

@@ -1,0 +1,80 @@
+package graph_test
+
+import (
+	"strconv"
+	"testing"
+	"time"
+
+	"infopipes/internal/events"
+	"infopipes/internal/graph"
+	"infopipes/internal/pipes"
+	"infopipes/internal/remote"
+	"infopipes/internal/uthread"
+	"infopipes/internal/vclock"
+)
+
+// TestRemoteWaitAfterFailedStart is the regression test for the
+// Wait-hangs-forever bug: when Start cannot reach every node (a node died
+// between Deploy and Start), the deployment rolls the started nodes back
+// and Wait must return the rollback error — previously it polled the dead
+// deployment's done-flags forever.
+func TestRemoteWaitAfterFailedStart(t *testing.T) {
+	tc := &testCatalog{sinks: make(map[string]*pipes.CollectSink)}
+	cat := tc.catalog()
+	mkNode := func(name string) (*remote.Node, *uthread.Scheduler, *remote.Client) {
+		sched := uthread.New(uthread.WithClock(vclock.Real{}))
+		node := remote.NewNode(name, sched, &events.Bus{})
+		graph.EnableNode(node, cat)
+		addr, err := node.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("node %s: %v", name, err)
+		}
+		client, err := remote.Dial(addr)
+		if err != nil {
+			t.Fatalf("dial %s: %v", name, err)
+		}
+		sched.RunBackground()
+		return node, sched, client
+	}
+	nodeA, schedA, clientA := mkNode("alpha")
+	defer schedA.Stop()
+	nodeB, schedB, clientB := mkNode("beta")
+	defer func() { nodeB.Close(); schedB.Stop() }()
+
+	const items = 1000
+	g := graph.New("rw")
+	g.AddSpec("src", "counter", graph.WithArgs(strconv.Itoa(items)))
+	g.AddSpec("pump", "cpump", graph.WithArgs("50"))
+	g.AddSpec("probe", "probe")
+	g.AddSpec("po", "fpump", graph.Place(1))
+	g.AddSpec("sink", "collect", graph.Place(1))
+	g.Pipe("src", "pump", "probe")
+	g.Cut("probe", "po")
+	g.Pipe("po", "sink")
+
+	d, err := g.Deploy(graph.OnNodes(clientA, clientB))
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	// Node alpha — the FIRST client — dies before the deployment starts:
+	// the start broadcast fails on it, so beta's pipelines never start and
+	// a Wait that merely polled their done-flags would spin forever.
+	nodeA.Close()
+	clientA.Close()
+
+	d.Start()
+	waited := make(chan error, 1)
+	go func() { waited <- d.Wait() }()
+	select {
+	case err := <-waited:
+		if err == nil {
+			t.Fatal("Wait returned nil after a failed Start")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Wait hung after a failed Start (regression)")
+	}
+	if err := d.Err(); err == nil {
+		t.Fatal("Err reports nil after a failed Start")
+	}
+	d.Stop() // best-effort rollback of the surviving node
+}

@@ -159,12 +159,30 @@ func (b *BoundedBuffer) Insert(ctx *core.Ctx, it *item.Item) error {
 			return nil // drop the pushed item (§2.3)
 		}
 		if ctx.Stopping() {
+			if ctx.Detaching() {
+				// Migration teardown interrupted a blocked push: the buffer
+				// outlives the section's threads, so force-complete the
+				// handoff over capacity rather than lose the item in hand.
+				// The overshoot is bounded by the number of blocked pushers
+				// and drains once the recomposed pipeline resumes.
+				b.q = append(b.q, it)
+				if n := int64(len(b.q)); n > b.maxFill.Value() {
+					b.maxFill.Set(n)
+				}
+				b.inserts.Inc()
+				b.wakeOneLocked(&b.itemWaiters)
+				b.mu.Unlock()
+				return nil
+			}
 			b.mu.Unlock()
 			return core.ErrStopped
 		}
 		tok := b.registerLocked(&b.spaceWaiters, t)
 		b.mu.Unlock()
 		if err := b.await(ctx, t, tok); err != nil {
+			if ctx.Detaching() {
+				continue // re-enter: the detach branch above completes the push
+			}
 			return err
 		}
 	}

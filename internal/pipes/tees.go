@@ -191,18 +191,20 @@ type MergeTee struct {
 	out *BoundedBuffer
 	ins int
 
-	mu   sync.Mutex
-	open int
+	mu      sync.Mutex
+	open    int
+	inEnded []bool // per-port EOS latch: ending one input twice is a no-op
 }
 
 // NewMergeTee builds a merger for n inputs with an internal buffer of the
 // given capacity.
 func NewMergeTee(name string, n, capacity int, push, pull typespec.BlockPolicy) *MergeTee {
 	return &MergeTee{
-		Base: core.Base{CompName: name},
-		out:  NewBufferPolicy(name+".out", capacity, push, pull),
-		ins:  n,
-		open: n,
+		Base:    core.Base{CompName: name},
+		out:     NewBufferPolicy(name+".out", capacity, push, pull),
+		ins:     n,
+		open:    n,
+		inEnded: make([]bool, n),
 	}
 }
 
@@ -211,7 +213,7 @@ func (t *MergeTee) BindScheduler(s *uthread.Scheduler) { t.out.BindScheduler(s) 
 
 // In returns the i-th input as a sink component for a trunk pipeline.
 func (t *MergeTee) In(i int) *MergeIn {
-	return &MergeIn{Base: core.Base{CompName: fmt.Sprintf("%s.in%d", t.Name(), i)}, tee: t}
+	return &MergeIn{Base: core.Base{CompName: fmt.Sprintf("%s.in%d", t.Name(), i)}, tee: t, idx: i}
 }
 
 // Out returns the merged output as a passive source for the downstream
@@ -230,10 +232,17 @@ func (t *MergeTee) InPort(i int) core.Component { return t.In(i) }
 // OutPort implements core.MergePoint.
 func (t *MergeTee) OutPort() core.Component { return t.Out() }
 
-// inputDone records the end of one trunk; the merged stream ends when all
-// trunks have ended.
-func (t *MergeTee) inputDone() {
+// inputDone records the end of trunk i; the merged stream ends when all
+// trunks have ended.  Idempotent per port: a recomposed inbound pipeline
+// (pipeline migration) re-propagating an already-seen end of stream must
+// not end a second input.
+func (t *MergeTee) inputDone(i int) {
 	t.mu.Lock()
+	if i < 0 || i >= len(t.inEnded) || t.inEnded[i] {
+		t.mu.Unlock()
+		return
+	}
+	t.inEnded[i] = true
 	t.open--
 	closeNow := t.open == 0
 	t.mu.Unlock()
@@ -246,6 +255,7 @@ func (t *MergeTee) inputDone() {
 type MergeIn struct {
 	core.Base
 	tee *MergeTee
+	idx int
 }
 
 var (
@@ -262,12 +272,12 @@ func (m *MergeIn) Push(ctx *core.Ctx, it *item.Item) error {
 }
 
 // HandleEOS implements core.EOSSink.
-func (m *MergeIn) HandleEOS(*core.Ctx) { m.tee.inputDone() }
+func (m *MergeIn) HandleEOS(*core.Ctx) { m.tee.inputDone(m.idx) }
 
 // HandleEvent implements core.Component.
 func (m *MergeIn) HandleEvent(_ *core.Ctx, ev events.Event) {
 	if ev.Type == events.Stop {
-		m.tee.inputDone()
+		m.tee.inputDone(m.idx)
 	}
 }
 

@@ -38,6 +38,8 @@ type Link struct {
 	txWaiters core.WaiterList
 	moved     int64 // items handed across, for diagnostics
 	drains    int64 // batched queue handoffs, for diagnostics
+	wakes     int64 // cross-scheduler wake posts (both directions)
+	highWater int   // deepest the queue (incl. batch remainder) has been
 
 	// batch holds the receiver's current drain: pop takes the WHOLE queue
 	// in one handoff and serves items from the batch without waking senders
@@ -87,6 +89,51 @@ func (l *Link) Moved() int64 {
 	return l.moved
 }
 
+// Wakes reports the number of cross-scheduler wake posts the link issued
+// (receiver wakes on send plus sender wakes per drain round); Moved()/Wakes()
+// approximates items per wake.
+func (l *Link) Wakes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.wakes
+}
+
+// HighWater reports the deepest the in-flight queue has been (including the
+// receiver's unconsumed batch remainder) — the backpressure high-water mark.
+func (l *Link) HighWater() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.highWater
+}
+
+// Closed reports whether the stream over the link has ended (sender EOS,
+// stop, or Close).
+func (l *Link) Closed() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.closed
+}
+
+// Retarget moves the link's delivery to a new receiving scheduler: the
+// rebalancer calls it after the old receiver pipeline detached and before
+// the segment is recomposed on the new shard, so the external-source
+// reference follows the receiver.  Queued items (and any unconsumed batch
+// remainder) stay put — they are handed to the recomposed receiver in
+// order.  No thread may be parked on the link when it is retargeted; a
+// no-op on a closed link.
+func (l *Link) Retarget(rxSched *uthread.Scheduler) {
+	l.mu.Lock()
+	old := l.rxSched
+	if l.released || old == rxSched {
+		l.mu.Unlock()
+		return
+	}
+	l.rxSched = rxSched
+	l.mu.Unlock()
+	rxSched.AddExternalSource()
+	old.ReleaseExternalSource()
+}
+
 // send hands one item across, blocking while the queue is full.  Called on a
 // sender-shard thread.  Returns core.ErrStopped once the link is closed or
 // the sender's section is stopping.
@@ -98,9 +145,19 @@ func (l *Link) send(ctx *core.Ctx, it *item.Item) error {
 			l.mu.Unlock()
 			return core.ErrStopped
 		}
-		if len(l.q) < l.limit {
+		// A detaching sender force-completes over the limit: the queue
+		// outlives the sender's threads across a migration, so the item in
+		// hand is enqueued rather than lost (bounded by one item per
+		// blocked sender).
+		if len(l.q) < l.limit || (ctx.Stopping() && ctx.Detaching()) {
 			l.q = append(l.q, it)
+			if depth := len(l.q) + (len(l.batch) - l.batchPos); depth > l.highWater {
+				l.highWater = depth
+			}
 			w, ok := l.rxWaiters.PopFront()
+			if ok {
+				l.wakes++
+			}
 			l.mu.Unlock()
 			if ok {
 				w.Wake(msgShardWake)
@@ -114,6 +171,9 @@ func (l *Link) send(ctx *core.Ctx, it *item.Item) error {
 		tok := l.txWaiters.Register(t)
 		l.mu.Unlock()
 		if err := core.AwaitWake(t, msgShardWake, tok, ctx.Stopping, l.deregisterTx); err != nil {
+			if ctx.Detaching() {
+				continue // re-enter: the force-complete branch takes the item
+			}
 			return err
 		}
 	}
@@ -145,6 +205,7 @@ func (l *Link) pop(ctx *core.Ctx) (*item.Item, error) {
 			l.moved += int64(len(l.batch))
 			l.drains++
 			waiters := l.txWaiters.TakeAll()
+			l.wakes += int64(len(waiters))
 			l.mu.Unlock()
 			for _, w := range waiters {
 				w.Wake(msgShardWake)
@@ -196,12 +257,13 @@ func (l *Link) Close() {
 	waiters := append(l.rxWaiters.TakeAll(), l.txWaiters.TakeAll()...)
 	release := !l.released
 	l.released = true
+	rxSched := l.rxSched
 	l.mu.Unlock()
 	for _, w := range waiters {
 		w.Wake(msgShardWake)
 	}
 	if release {
-		l.rxSched.ReleaseExternalSource()
+		rxSched.ReleaseExternalSource()
 	}
 }
 

@@ -116,8 +116,14 @@ func (t *Thread) run() {
 			}
 			t.sched.fail(fmt.Errorf("uthread %q: code function panicked: %v", t.name, r))
 			if t.holding {
+				// fail just closed stopCh, so Run may already have taken
+				// the stop arm of its handoff select and stopped listening
+				// for the token — a bare send would deadlock shutdown.
 				t.holding = false
-				t.sched.yielded <- struct{}{}
+				select {
+				case t.sched.yielded <- struct{}{}:
+				case <-t.sched.stopCh:
+				}
 			}
 		}
 	}()

@@ -416,8 +416,22 @@ func (s *Scheduler) Run() error {
 		}
 		s.mu.Unlock()
 
-		t.gate <- struct{}{} // hand the run token to the thread
-		<-s.yielded          // wait until it comes back
+		// Hand the run token to the thread and wait for it to come back.
+		// A concurrent Stop can race the handoff: a stopping thread
+		// unwinds via haltSignal and may exit WITHOUT yielding (its gate
+		// receive and yield/terminate sends all select against stopCh), so
+		// both waits need the same stop escape — otherwise Run blocks
+		// forever on a token nobody holds.  The loop top then observes
+		// s.stopped and returns; shutdown still joins every thread
+		// goroutine.
+		select {
+		case t.gate <- struct{}{}:
+			select {
+			case <-s.yielded:
+			case <-s.stopCh:
+			}
+		case <-s.stopCh:
+		}
 
 		s.mu.Lock()
 		s.running = nil
