@@ -7,13 +7,17 @@
 // Usage:
 //
 //	ipbench [fig9|switches|midi|dropping|jitter|pumps|marshal|shard|link|graph|rebalance|all]
-//	ipbench shard [n]    # restrict the E17 sweep to n shards (CI smoke)
-//	ipbench link         # E18: cross-shard link batch drain
-//	ipbench graph        # E19: graph fan-out/fan-in per deployment target
-//	ipbench rebalance [items]  # E21: live rebalance of a skewed deployment
+//	ipbench shard [-procs N] [-pinned] [n]   # E17/E22: restrict the sweep to n shards
+//	ipbench link                             # E18: cross-shard link batch drain
+//	ipbench graph [-procs N]                 # E19: graph fan-out/fan-in per deployment target
+//	ipbench rebalance [-procs N] [items]     # E21: live rebalance of a skewed deployment
+//
+// -procs sets GOMAXPROCS for the run (multi-core measurement, E22); -pinned
+// locks each shard's Run loop to an OS thread (shard.WithPinnedShards).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
@@ -24,9 +28,21 @@ import (
 
 func main() {
 	which := "all"
-	if len(os.Args) > 1 {
-		which = os.Args[1]
+	args := os.Args[1:]
+	if len(args) > 0 {
+		which = args[0]
+		args = args[1:]
 	}
+	fs := flag.NewFlagSet(which, flag.ExitOnError)
+	procs := fs.Int("procs", 0, "GOMAXPROCS for the run (0 = runtime default)")
+	pinned := fs.Bool("pinned", false, "pin shard Run loops to OS threads (shard experiment)")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	if *procs > 0 {
+		runtime.GOMAXPROCS(*procs)
+	}
+	rest := fs.Args()
 	runners := map[string]func() error{
 		"fig9":      fig9,
 		"switches":  switches,
@@ -35,23 +51,23 @@ func main() {
 		"jitter":    jitter,
 		"pumps":     pumps,
 		"marshal":   marshal,
-		"shard":     func() error { return shardScaling(nil) },
+		"shard":     func() error { return shardScaling(nil, *pinned) },
 		"link":      linkRate,
 		"graph":     graphFanout,
 		"rebalance": func() error { return rebalanceSkew(120_000) },
 	}
-	if which == "shard" && len(os.Args) > 2 {
-		n, err := strconv.Atoi(os.Args[2])
+	if which == "shard" && len(rest) > 0 {
+		n, err := strconv.Atoi(rest[0])
 		if err != nil || n <= 0 {
-			fmt.Fprintf(os.Stderr, "ipbench: shard count %q must be a positive integer\n", os.Args[2])
+			fmt.Fprintf(os.Stderr, "ipbench: shard count %q must be a positive integer\n", rest[0])
 			os.Exit(2)
 		}
-		runners["shard"] = func() error { return shardScaling([]int{n}) }
+		runners["shard"] = func() error { return shardScaling([]int{n}, *pinned) }
 	}
-	if which == "rebalance" && len(os.Args) > 2 {
-		n, err := strconv.Atoi(os.Args[2])
+	if which == "rebalance" && len(rest) > 0 {
+		n, err := strconv.Atoi(rest[0])
 		if err != nil || n <= 0 {
-			fmt.Fprintf(os.Stderr, "ipbench: item count %q must be a positive integer\n", os.Args[2])
+			fmt.Fprintf(os.Stderr, "ipbench: item count %q must be a positive integer\n", rest[0])
 			os.Exit(2)
 		}
 		runners["rebalance"] = func() error { return rebalanceSkew(int64(n)) }
@@ -174,17 +190,21 @@ func pumps() error {
 	return nil
 }
 
-func shardScaling(counts []int) error {
+func shardScaling(counts []int, pinned bool) error {
 	if counts == nil {
 		counts = []int{1, 2, 4, 8}
 	}
 	const pipelines, items, spin = 8, 20_000, 400
-	rows, err := experiments.ShardScaling(counts, pipelines, items, spin)
+	rows, err := experiments.ShardScaling(counts, pipelines, items, spin, pinned)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("E17 — sharded runtime: %d pipelines × %d items, spin=%d (host: %d cores)\n",
-		pipelines, items, spin, runtime.NumCPU())
+	pinning := "unpinned"
+	if pinned {
+		pinning = "pinned to OS threads"
+	}
+	fmt.Printf("E17 — sharded runtime: %d pipelines × %d items, spin=%d (host: %d cores, GOMAXPROCS=%d, %s)\n",
+		pipelines, items, spin, runtime.NumCPU(), runtime.GOMAXPROCS(0), pinning)
 	fmt.Printf("%-8s %12s %14s %12s %10s\n", "shards", "wall (ms)", "items/s", "switches", "speedup")
 	base := rows[0].Throughput
 	for _, r := range rows {

@@ -1,0 +1,186 @@
+// Command ipctl is the cluster operator tool: it speaks the extended §2.4
+// control protocol to a set of ipnode processes — liveness, health
+// counters, and per-pipeline telemetry — the read side of the cluster
+// control plane.
+//
+// Usage:
+//
+//	ipctl ping   -nodes host:port,host:port
+//	    Print each node's name and reachability.
+//
+//	ipctl health -nodes host:port,...
+//	    One row per node: pipelines hosted, context switches, uptime.
+//
+//	ipctl stats  -nodes host:port,... [-prefix NAME/]
+//	    Per-pipeline pump counters (items, cycles, busy time, state)
+//	    across the cluster, prefix-filtered.
+//
+//	ipctl top    -nodes host:port,... [-interval 2s] [-count 0]
+//	    Repeating health + stats display (count 0 = until interrupted).
+//
+// Unreachable nodes are reported per row instead of failing the whole
+// command; every call carries the client's default deadline, so a wedged
+// node cannot hang the tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"time"
+
+	"infopipes"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: ipctl ping|health|stats|top -nodes host:port,... [flags]")
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	nodes := fs.String("nodes", "", "comma-separated control addresses")
+	prefix := fs.String("prefix", "", "pipeline name prefix filter (stats, top)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval (top)")
+	count := fs.Int("count", 0, "refreshes before exiting, 0 = run until interrupted (top)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	if *nodes == "" {
+		fmt.Fprintln(os.Stderr, "ipctl: -nodes is required")
+		os.Exit(2)
+	}
+	addrs := strings.Split(*nodes, ",")
+	var err error
+	switch cmd {
+	case "ping":
+		err = ping(addrs)
+	case "health":
+		err = health(addrs)
+	case "stats":
+		err = stats(addrs, *prefix)
+	case "top":
+		err = top(addrs, *prefix, *interval, *count)
+	default:
+		err = fmt.Errorf("unknown subcommand %q", cmd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipctl:", err)
+		os.Exit(1)
+	}
+}
+
+// dial connects to every address; a failed dial yields a nil client with
+// the error reported per row by the callers.
+func dial(addrs []string) ([]*infopipes.RemoteClient, []error) {
+	clients := make([]*infopipes.RemoteClient, len(addrs))
+	errs := make([]error, len(addrs))
+	for i, addr := range addrs {
+		clients[i], errs[i] = infopipes.DialNode(strings.TrimSpace(addr))
+	}
+	return clients, errs
+}
+
+func ping(addrs []string) error {
+	clients, errs := dial(addrs)
+	for i, addr := range addrs {
+		if errs[i] != nil {
+			fmt.Printf("%-24s UNREACHABLE  %v\n", addr, errs[i])
+			continue
+		}
+		name, err := clients[i].Ping()
+		if err != nil {
+			fmt.Printf("%-24s UNREACHABLE  %v\n", addr, err)
+			continue
+		}
+		fmt.Printf("%-24s ok  node=%s\n", addr, name)
+	}
+	return nil
+}
+
+func health(addrs []string) error {
+	clients, errs := dial(addrs)
+	return healthWith(clients, errs, addrs)
+}
+
+func healthWith(clients []*infopipes.RemoteClient, errs []error, addrs []string) error {
+	fmt.Printf("%-24s %-12s %10s %12s %12s\n", "addr", "node", "pipelines", "switches", "uptime")
+	for i, addr := range addrs {
+		if errs[i] != nil {
+			fmt.Printf("%-24s %-12s %s\n", addr, "-", "UNREACHABLE")
+			continue
+		}
+		h, err := clients[i].Health()
+		if err != nil {
+			fmt.Printf("%-24s %-12s %s\n", addr, "-", "UNREACHABLE")
+			continue
+		}
+		fmt.Printf("%-24s %-12s %10d %12d %12s\n", addr, h.Node, h.Pipelines, h.Switches,
+			time.Duration(h.UptimeNanos).Truncate(time.Second))
+	}
+	return nil
+}
+
+func stats(addrs []string, prefix string) error {
+	clients, errs := dial(addrs)
+	return statsWith(clients, errs, addrs, prefix)
+}
+
+func statsWith(clients []*infopipes.RemoteClient, errs []error, addrs []string, prefix string) error {
+	fmt.Printf("%-12s %-36s %12s %12s %10s %-6s\n", "node", "pipeline", "items", "cycles", "busy_ms", "state")
+	for i, addr := range addrs {
+		if errs[i] != nil {
+			fmt.Printf("%-12s %s\n", addr, "UNREACHABLE")
+			continue
+		}
+		name, err := clients[i].Ping()
+		if err != nil {
+			fmt.Printf("%-12s %s\n", addr, "UNREACHABLE")
+			continue
+		}
+		rows, err := clients[i].Stats(prefix)
+		if err != nil {
+			fmt.Printf("%-12s %s\n", name, "UNREACHABLE")
+			continue
+		}
+		sort.Slice(rows, func(a, b int) bool { return rows[a].Name < rows[b].Name })
+		for _, row := range rows {
+			state := "live"
+			switch {
+			case row.Err != "":
+				state = "FAILED"
+			case row.EOS:
+				state = "done"
+			}
+			fmt.Printf("%-12s %-36s %12d %12d %10d %-6s\n",
+				name, row.Name, row.Items, row.Cycles, row.BusyNanos/1e6, state)
+		}
+	}
+	return nil
+}
+
+func top(addrs []string, prefix string, interval time.Duration, count int) error {
+	clients, errs := dial(addrs)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	for n := 0; count == 0 || n < count; n++ {
+		if n > 0 {
+			select {
+			case <-sig:
+				return nil
+			case <-time.After(interval):
+			}
+		}
+		fmt.Printf("--- %s ---\n", time.Now().Format(time.TimeOnly))
+		if err := healthWith(clients, errs, addrs); err != nil {
+			return err
+		}
+		if err := statsWith(clients, errs, addrs, prefix); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -6,7 +6,11 @@
 // Usage:
 //
 //	ipnode serve [-addr host:port] [-name NAME]
-//	    Serve the control protocol until interrupted.
+//	    Serve the control protocol until interrupted.  The node is
+//	    cluster-ready: it hosts graph segments (EnableGraphNode with the
+//	    standard catalog) and answers the extended §2.4 ops — stats,
+//	    health, caps, detach, and the cluster lane controls — so ipctl
+//	    can observe it and a deployer can re-place segments onto it.
 //
 //	ipnode demo
 //	    Start a node in-process, compose a player remotely on it,
@@ -101,6 +105,9 @@ func newNode(name string) (*infopipes.Node, *infopipes.Scheduler) {
 	node.RegisterFactory("display", func(n string, _ map[string]string) (infopipes.Stage, error) {
 		return infopipes.Comp(infopipes.NewDisplay(n)), nil
 	})
+	// Cluster readiness: the standard catalog as spec factories, the ip/
+	// boundary factories, and the lane controller behind the ctl op.
+	infopipes.EnableGraphNode(node, infopipes.StandardCatalog())
 	return node, sched
 }
 

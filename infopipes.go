@@ -60,6 +60,7 @@
 package infopipes
 
 import (
+	"infopipes/internal/control"
 	"infopipes/internal/core"
 	"infopipes/internal/events"
 	"infopipes/internal/feedback"
@@ -197,6 +198,9 @@ var (
 	ShardCount        = shard.WithShardCount
 	ShardPlacement    = shard.WithPolicy
 	ShardRealClock    = shard.WithRealClock
+	// ShardPinned locks each shard's Run loop to its own OS thread
+	// (runtime.LockOSThread) — the first step of NUMA/CPU placement.
+	ShardPinned = shard.WithPinnedShards
 )
 
 // ---- Component model ----
@@ -576,6 +580,36 @@ type (
 	RemoteClient = remote.Client
 	StageSpec    = remote.StageSpec
 	Factory      = remote.Factory
+	// NodePipeStat is one remote pipeline's telemetry row (stats op);
+	// NodeHealthReport the node liveness report (health op).
+	NodePipeStat     = remote.PipeStat
+	NodeHealthReport = remote.Health
+	// GraphNodesTarget is the OnNodes deployment target; WithClusterLanes
+	// makes its lanes redialable so segments can be re-placed at run time.
+	GraphNodesTarget = graph.NodesTarget
+)
+
+// ---- Cluster control plane ----
+
+type (
+	// ClusterDirectory is the node registry with heartbeat health checking.
+	ClusterDirectory = control.Directory
+	// ClusterNodeHealth is one directory entry's last known state.
+	ClusterNodeHealth = control.NodeHealth
+	// ClusterBalancer re-places segments of a remote deployment between
+	// nodes from stats-epoch skew (the cluster form of Balancer).
+	ClusterBalancer = control.ClusterBalancer
+)
+
+// Cluster control-plane constructors and errors.
+var (
+	NewClusterDirectory = control.NewDirectory
+	NewClusterBalancer  = control.NewClusterBalancer
+	// ErrNodeUnreachable wraps every transport-level failure of a control
+	// call — a dead or wedged node surfaces as this instead of a hang.
+	ErrNodeUnreachable = remote.ErrNodeUnreachable
+	// ErrNotReplaceable marks segments Deployment.Replace cannot move.
+	ErrNotReplaceable = graph.ErrNotReplaceable
 )
 
 // Netpipe and remote helpers.

@@ -1,0 +1,318 @@
+// Package control is the cluster control plane: the operator-facing layer
+// that turns a set of ipnode processes into an operable cluster, built
+// entirely on the extended §2.4 remote-setup protocol.
+//
+// Three pieces compose:
+//
+//   - Directory — a node registry with heartbeat health checking.  Nodes
+//     are registered by control address; the directory polls each node's
+//     health op on an interval, marks nodes down after consecutive missed
+//     heartbeats (surfacing the wrapped remote.ErrNodeUnreachable instead
+//     of letting deployments hang), and hands its clients to graph.OnNodes
+//     so deployment and monitoring share connections.
+//
+//   - Remote telemetry — graph deployments on OnNodes targets implement
+//     Stats() by fanning the stats op out to every node and folding the
+//     per-pipeline pump counters into one GraphStats with node attribution
+//     (see graph.GraphStats.Nodes); cmd/ipctl renders the same snapshot for
+//     operators.
+//
+//   - ClusterBalancer — the cluster form of the PR-4 Balancer: it polls
+//     deployment stats on an epoch, detects per-node load skew from item
+//     deltas (the same skew math as graph.Balancer), and re-places the
+//     busiest movable segment from the hottest node onto the coolest
+//     through Deployment.Replace — drain, detach, recompose, redial — so
+//     placement across hosts is runtime policy, exactly as it already is
+//     across shards.
+//
+// RAFDA's argument — distribution policy bound and re-bound separately from
+// application logic — is the through-line: the graph says nothing about
+// hosts, the deployment binds hosts late, and the control plane re-binds
+// them while the flow runs.
+package control
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"infopipes/internal/graph"
+	"infopipes/internal/remote"
+)
+
+// NodeHealth is one directory entry's last known state.
+type NodeHealth struct {
+	Name string
+	Addr string
+	// Healthy is false once MaxMisses consecutive heartbeats failed.
+	Healthy bool
+	// Misses counts consecutive failed heartbeats (0 when healthy).
+	Misses int
+	// LastSeen is the wall-clock time of the last successful heartbeat.
+	LastSeen time.Time
+	// Pipelines, Switches and Uptime mirror the node's health report.
+	Pipelines int
+	Switches  int64
+	Uptime    time.Duration
+	// Err is the last heartbeat failure (nil while healthy).
+	Err error
+}
+
+// Directory is the cluster node registry: it owns one control client per
+// registered node, heartbeats them on an interval, and reports health.
+// Register every node, hand Clients() to graph.OnNodes, then Start the
+// heartbeat loop.
+type Directory struct {
+	// MaxMisses is the number of consecutive failed heartbeats before a
+	// node is marked down (default 3).
+	MaxMisses int
+	// OnDown, when set, is called once per transition of a node to
+	// unhealthy, with the node name and the heartbeat error.
+	OnDown func(name string, err error)
+
+	mu      sync.Mutex
+	names   []string
+	addrs   map[string]string
+	clients map[string]*remote.Client
+	health  map[string]*NodeHealth
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+// NewDirectory creates an empty node registry.
+func NewDirectory() *Directory {
+	return &Directory{
+		MaxMisses: 3,
+		addrs:     make(map[string]string),
+		clients:   make(map[string]*remote.Client),
+		health:    make(map[string]*NodeHealth),
+	}
+}
+
+// Register dials a node's control address, pings it, and adds it to the
+// registry under its own reported name.
+func (d *Directory) Register(addr string) (string, error) {
+	c, err := remote.Dial(addr)
+	if err != nil {
+		return "", err
+	}
+	name, err := c.Ping()
+	if err != nil {
+		c.Close()
+		return "", err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.clients[name]; dup {
+		c.Close()
+		return "", fmt.Errorf("control: node %q already registered", name)
+	}
+	d.names = append(d.names, name)
+	d.addrs[name] = addr
+	d.clients[name] = c
+	d.health[name] = &NodeHealth{Name: name, Addr: addr, Healthy: true, LastSeen: time.Now()}
+	return name, nil
+}
+
+// Names lists the registered nodes in registration order.
+func (d *Directory) Names() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.names))
+	copy(out, d.names)
+	return out
+}
+
+// Client returns the control client of a registered node.
+func (d *Directory) Client(name string) (*remote.Client, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.clients[name]
+	return c, ok
+}
+
+// Clients returns the control clients in registration order — the argument
+// list for graph.OnNodes, so deployment, telemetry and heartbeats share the
+// same node ordering (GraphStats node indices line up with Names).
+func (d *Directory) Clients() []*remote.Client {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]*remote.Client, 0, len(d.names))
+	for _, name := range d.names {
+		out = append(out, d.clients[name])
+	}
+	return out
+}
+
+// Heartbeat polls every registered node's health op once and updates the
+// registry: a reachable node refreshes its entry, an unreachable one counts
+// a miss and transitions to down at MaxMisses.  Returns the number of
+// healthy nodes.  Start runs this on an interval; tests and one-shot tools
+// call it directly.
+func (d *Directory) Heartbeat() int {
+	d.mu.Lock()
+	names := make([]string, len(d.names))
+	copy(names, d.names)
+	clients := make(map[string]*remote.Client, len(names))
+	for _, n := range names {
+		clients[n] = d.clients[n]
+	}
+	maxMisses := d.MaxMisses
+	onDown := d.OnDown
+	d.mu.Unlock()
+
+	healthy := 0
+	for _, name := range names {
+		h, err := clients[name].Health()
+		d.mu.Lock()
+		entry := d.health[name]
+		if err == nil {
+			entry.Healthy = true
+			entry.Misses = 0
+			entry.LastSeen = time.Now()
+			entry.Pipelines = h.Pipelines
+			entry.Switches = h.Switches
+			entry.Uptime = time.Duration(h.UptimeNanos)
+			entry.Err = nil
+			healthy++
+			d.mu.Unlock()
+			continue
+		}
+		entry.Misses++
+		entry.Err = err
+		wentDown := entry.Healthy && entry.Misses >= maxMisses
+		if wentDown {
+			entry.Healthy = false
+		}
+		d.mu.Unlock()
+		if wentDown && onDown != nil {
+			onDown(name, err)
+		}
+	}
+	return healthy
+}
+
+// Snapshot reports every node's last known health, in registration order.
+func (d *Directory) Snapshot() []NodeHealth {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]NodeHealth, 0, len(d.names))
+	for _, name := range d.names {
+		out = append(out, *d.health[name])
+	}
+	return out
+}
+
+// Healthy reports whether a node is currently considered up.
+func (d *Directory) Healthy(name string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h, ok := d.health[name]
+	return ok && h.Healthy
+}
+
+// Start launches the heartbeat loop on its own goroutine.  Stop it with
+// Stop (or Close).
+func (d *Directory) Start(every time.Duration) {
+	d.mu.Lock()
+	if d.stop != nil {
+		d.mu.Unlock()
+		return
+	}
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	stop, done := d.stop, d.done
+	d.mu.Unlock()
+	go func() {
+		defer close(done)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				d.Heartbeat()
+			}
+		}
+	}()
+}
+
+// Stop halts the heartbeat loop (the clients stay open).
+func (d *Directory) Stop() {
+	d.mu.Lock()
+	stop, done := d.stop, d.done
+	d.stop, d.done = nil, nil
+	d.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Close stops the heartbeat loop and closes every control client.
+func (d *Directory) Close() {
+	d.Stop()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, c := range d.clients {
+		c.Close()
+	}
+}
+
+// ClusterBalancer drives policy-driven re-placement of a remote deployment:
+// each Tick snapshots cluster-wide stats over the §2.4 stats op, detects
+// per-node skew from epoch item deltas (the same math as graph.Balancer),
+// and re-places the busiest movable segment from the hottest node onto the
+// coolest via Deployment.Replace.  Segments Replace cannot move (sources,
+// tee hosts, directly wired boundaries) are never proposed.
+type ClusterBalancer struct {
+	d *graph.Deployment
+	b *graph.Balancer
+}
+
+// NewClusterBalancer builds a balancer for one remote deployment; zero
+// policy fields take the graph.BalancePolicy defaults, and the movability
+// filter defaults to Deployment.Replaceable.
+func NewClusterBalancer(d *graph.Deployment, p graph.BalancePolicy) *ClusterBalancer {
+	if p.Movable == nil {
+		p.Movable = func(seg string) bool { return d.Replaceable(seg) == nil }
+	}
+	return &ClusterBalancer{d: d, b: graph.NewBalancer(p)}
+}
+
+// Tick runs one balancing epoch: snapshot, plan, and re-place if the skew
+// warrants it.  Reports whether a move was made.
+func (cb *ClusterBalancer) Tick() (bool, error) {
+	hints, ok := cb.b.Plan(cb.d.Stats())
+	if !ok {
+		return false, nil
+	}
+	if err := cb.d.Replace(hints); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// Run ticks the balancer on an interval until stop closes or a tick fails
+// with anything but a benign skip.  The returned count is the number of
+// moves made.
+func (cb *ClusterBalancer) Run(every time.Duration, stop <-chan struct{}) (int, error) {
+	moves := 0
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return moves, nil
+		case <-t.C:
+			moved, err := cb.Tick()
+			if err != nil {
+				return moves, err
+			}
+			if moved {
+				moves++
+			}
+		}
+	}
+}

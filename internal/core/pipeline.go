@@ -235,6 +235,14 @@ func (p *Pipeline) SpecAt(i int) typespec.Typespec {
 	return p.plan.Specs[i]
 }
 
+// EventCapabilities reports the local control events the pipeline's
+// components emit and handle (§2.3).  The remote node serves these so a
+// cluster deployer can run the graph-wide capability check across segments
+// composed on different hosts.
+func (p *Pipeline) EventCapabilities() (sends, handles []events.Type) {
+	return EventCapabilitySets(p.stages)
+}
+
 // Start broadcasts the start event: pumps react to it and begin moving data
 // (the paper's send_event(START)).
 func (p *Pipeline) Start() { p.broadcast(events.Start) }

@@ -323,21 +323,51 @@ func CheckEventCapabilities(stages []Stage) error {
 	return checkEventCapabilities(stages)
 }
 
-// checkEventCapabilities verifies that every locally-emitted control event
-// type has at least one handler elsewhere in the pipeline (§2.3).
-func checkEventCapabilities(stages []Stage) error {
-	handled := make(map[events.Type]struct{})
+// EventCapabilitySets collects the local control events the stages emit and
+// handle.  The remote node serves these over the §2.4 protocol so a cluster
+// deployer can union them across nodes and run CheckEventCoverage before
+// start — the graph-wide §2.3 check does not stop at a node boundary.
+func EventCapabilitySets(stages []Stage) (sends, handles []events.Type) {
 	for _, st := range stages {
 		comp, ok := st.IsComponent()
 		if !ok {
 			continue
 		}
 		if caps, ok := comp.(LocalEventCapabilities); ok {
-			for _, t := range caps.HandlesLocalEvents() {
-				handled[t] = struct{}{}
-			}
+			sends = append(sends, caps.SendsLocalEvents()...)
+			handles = append(handles, caps.HandlesLocalEvents()...)
 		}
 	}
+	return sends, handles
+}
+
+// CheckEventCoverage verifies that every emitted control event type is
+// either a framework event or appears among the handled types — the
+// cross-node form of the §2.3 event-capability check, applied to capability
+// sets gathered from remote segments.
+func CheckEventCoverage(sends, handles []events.Type) error {
+	handled := make(map[events.Type]struct{}, len(handles))
+	for _, t := range handles {
+		handled[t] = struct{}{}
+	}
+	for _, t := range sends {
+		if _, global := globalEventTypes[t]; global {
+			continue
+		}
+		if _, ok := handled[t]; !ok {
+			return fmt.Errorf("%w: an event of type %q is emitted but no stage in the graph handles it",
+				ErrEventCapability, t)
+		}
+	}
+	return nil
+}
+
+// checkEventCapabilities verifies that every locally-emitted control event
+// type has at least one handler elsewhere in the pipeline (§2.3).  The
+// coverage rule is CheckEventCoverage's; this wrapper only restores the
+// per-component attribution in the error message.
+func checkEventCapabilities(stages []Stage) error {
+	_, handles := EventCapabilitySets(stages)
 	for _, st := range stages {
 		comp, ok := st.IsComponent()
 		if !ok {
@@ -347,14 +377,8 @@ func checkEventCapabilities(stages []Stage) error {
 		if !ok {
 			continue
 		}
-		for _, t := range caps.SendsLocalEvents() {
-			if _, global := globalEventTypes[t]; global {
-				continue
-			}
-			if _, ok := handled[t]; !ok {
-				return fmt.Errorf("%w: %q emits %q which no stage handles",
-					ErrEventCapability, comp.Name(), t)
-			}
+		if err := CheckEventCoverage(caps.SendsLocalEvents(), handles); err != nil {
+			return fmt.Errorf("component %q: %w", comp.Name(), err)
 		}
 	}
 	return nil

@@ -500,10 +500,16 @@ func shardWork(seq int64, spin int) int64 {
 // clock: the point is real multi-core speedup, the scheduler-per-shard
 // design's answer to the paper's deliberately uniprocessor thread package.
 // Scaling flattens at the host's core count (a 1-core container shows ~1×).
-func ShardScaling(shardCounts []int, pipelines int, itemsPerPipeline int64, spin int) ([]ShardRow, error) {
+// pinned locks each shard's Run loop to an OS thread (WithPinnedShards) —
+// the E22 pinned-vs-unpinned comparison.
+func ShardScaling(shardCounts []int, pipelines int, itemsPerPipeline int64, spin int, pinned bool) ([]ShardRow, error) {
 	rows := make([]ShardRow, 0, len(shardCounts))
 	for _, n := range shardCounts {
-		g := shard.NewGroup(shard.WithShardCount(n), shard.WithRealClock())
+		opts := []shard.Option{shard.WithShardCount(n), shard.WithRealClock()}
+		if pinned {
+			opts = append(opts, shard.WithPinnedShards())
+		}
+		g := shard.NewGroup(opts...)
 		ps := make([]*core.Pipeline, 0, pipelines)
 		for i := 0; i < pipelines; i++ {
 			work := pipes.NewFuncFilter(fmt.Sprintf("work%d", i),

@@ -122,10 +122,18 @@ func (d *Deployment) Segment(name string) (*core.Pipeline, bool) {
 }
 
 // SegmentPlacements reports where each segment currently runs: segment name
-// (as accepted by Rebalance) to shard index.  Empty for remote deployments;
-// all zero on a single-scheduler target.
+// (as accepted by Rebalance and Replace) to shard index — or node index for
+// remote deployments.  All zero on a single-scheduler target.
 func (d *Deployment) SegmentPlacements() map[string]int {
 	out := make(map[string]int)
+	if d.remote != nil {
+		d.remote.mu.Lock()
+		defer d.remote.mu.Unlock()
+		for i, seg := range d.remote.rd.plan.Segments {
+			out[seg.Name()] = d.remote.rd.nodeOf[i]
+		}
+		return out
+	}
 	if d.ld == nil {
 		return out
 	}

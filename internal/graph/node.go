@@ -25,6 +25,7 @@ type nodeState struct {
 	merges    map[string]core.MergePoint
 	links     map[string]*shard.Link
 	listeners map[string]*netpipe.TCPLink
+	senders   map[string]*netpipe.TCPLink
 	addrs     map[string]string
 }
 
@@ -44,13 +45,29 @@ func (s *nodeState) abort(prefix string) {
 		}
 	}
 	s.mu.Lock()
-	var listeners []*netpipe.TCPLink
+	var tcpLinks []*netpipe.TCPLink
 	var links []*shard.Link
+	for key := range s.splits {
+		if strings.HasPrefix(key, prefix) {
+			delete(s.splits, key)
+		}
+	}
+	for key := range s.merges {
+		if strings.HasPrefix(key, prefix) {
+			delete(s.merges, key)
+		}
+	}
 	for lane, l := range s.listeners {
 		if strings.HasPrefix(lane, prefix) {
-			listeners = append(listeners, l)
+			tcpLinks = append(tcpLinks, l)
 			delete(s.listeners, lane)
 			delete(s.addrs, lane)
+		}
+	}
+	for lane, l := range s.senders {
+		if strings.HasPrefix(lane, prefix) {
+			tcpLinks = append(tcpLinks, l)
+			delete(s.senders, lane)
 		}
 	}
 	for lane, l := range s.links {
@@ -60,7 +77,7 @@ func (s *nodeState) abort(prefix string) {
 		}
 	}
 	s.mu.Unlock()
-	for _, l := range listeners {
+	for _, l := range tcpLinks {
 		l.Close()
 	}
 	for _, l := range links {
@@ -68,31 +85,116 @@ func (s *nodeState) abort(prefix string) {
 	}
 }
 
+// drop closes and forgets the TCP state of one exact lane on one side —
+// the listener, the registered sender link, or both — when a re-placement
+// moves the lane's pipeline to another node.  The sides are separate
+// because a lane's sender and listener may share a node (upstream and
+// downstream segments co-placed): dropping a moved segment's sender must
+// not tear down its stationary neighbour's listener.  Sender connections
+// close WITHOUT an EOS frame, so the peer's resumable listener parks the
+// lane for the replacement sender instead of ending the stream.
+func (s *nodeState) drop(lane, side string) {
+	s.mu.Lock()
+	var closers []*netpipe.TCPLink
+	if side == "" || side == "both" || side == "listener" {
+		if l, ok := s.listeners[lane]; ok {
+			closers = append(closers, l)
+			delete(s.listeners, lane)
+			delete(s.addrs, lane)
+		}
+	}
+	if side == "" || side == "both" || side == "sender" {
+		if l, ok := s.senders[lane]; ok {
+			closers = append(closers, l)
+			delete(s.senders, lane)
+		}
+	}
+	s.mu.Unlock()
+	for _, l := range closers {
+		l.Close()
+	}
+}
+
+// listen pre-binds a rendezvous listener for a lane (idempotent: an
+// existing lane returns its bound address), so the deployer can compose
+// topologically — the sender learns the address before the receiving
+// segment is composed, and the receiving segment's ip/tcprecv attaches to
+// the listener the deployer already created.
+func (s *nodeState) listen(lane, bind string, depth int, resumable bool) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if addr, ok := s.addrs[lane]; ok {
+		return addr, nil
+	}
+	if bind == "" {
+		bind = "127.0.0.1:0"
+	}
+	var link *netpipe.TCPLink
+	var bound string
+	var err error
+	if resumable {
+		link, bound, err = netpipe.NewResumableTCPListenerLink(bind, s.node.Scheduler(), s.node.Name(), depth)
+	} else {
+		link, bound, err = netpipe.NewTCPListenerLink(bind, s.node.Scheduler(), s.node.Name(), depth)
+	}
+	if err != nil {
+		return "", err
+	}
+	s.listeners[lane] = link
+	s.addrs[lane] = bound
+	return bound, nil
+}
+
+// redial points the registered sender link of a lane at a new address (the
+// re-placed segment's listener on its new node).
+func (s *nodeState) redial(lane, addr string) error {
+	s.mu.Lock()
+	link, ok := s.senders[lane]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("graph: no sender link for lane %q on node %s", lane, s.node.Name())
+	}
+	return link.Redial(addr)
+}
+
+// teeKey registers shared tee instances under their graph-prefixed name, so
+// abort can clean a failed deployment's tees by prefix (a stale merge with
+// a closed in-port must not leak into a retry) and two graphs may reuse a
+// tee name.
+func teeKey(params map[string]string, name string) string {
+	if g := params["graph"]; g != "" {
+		return g + "/" + name
+	}
+	return name
+}
+
 func (s *nodeState) split(name, kind string, outs int, params map[string]string) (core.SplitPoint, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if sp, ok := s.splits[name]; ok {
+	key := teeKey(params, name)
+	if sp, ok := s.splits[key]; ok {
 		return sp, nil
 	}
 	sp, err := BuildSplit(name, kind, outs, params)
 	if err != nil {
 		return nil, err
 	}
-	s.splits[name] = sp
+	s.splits[key] = sp
 	return sp, nil
 }
 
 func (s *nodeState) merge(name string, ins int, params map[string]string) (core.MergePoint, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if mp, ok := s.merges[name]; ok {
+	key := teeKey(params, name)
+	if mp, ok := s.merges[key]; ok {
 		return mp, nil
 	}
 	mp, err := BuildMerge(name, ins, params)
 	if err != nil {
 		return nil, err
 	}
-	s.merges[name] = mp
+	s.merges[key] = mp
 	return mp, nil
 }
 
@@ -132,6 +234,7 @@ func EnableNode(n *remote.Node, cat Catalog) {
 		merges:    make(map[string]core.MergePoint),
 		links:     make(map[string]*shard.Link),
 		listeners: make(map[string]*netpipe.TCPLink),
+		senders:   make(map[string]*netpipe.TCPLink),
 		addrs:     make(map[string]string),
 	}
 	for kind, f := range cat {
@@ -227,29 +330,46 @@ func EnableNode(n *remote.Node, cat Catalog) {
 		if err != nil {
 			return core.Stage{}, err
 		}
-		return core.Comp(netpipe.NewTCPSenderLink(conn).NewSink(spec.Name)), nil
+		link := netpipe.NewTCPSenderLink(conn)
+		// Register the sender by lane so the redial ctl op can retarget it
+		// when the receiving segment is re-placed onto another node.
+		if lane := spec.Params["lane"]; lane != "" {
+			st.mu.Lock()
+			st.senders[lane] = link
+			st.mu.Unlock()
+		}
+		return core.Comp(link.NewSink(spec.Name)), nil
 	})
 	n.RegisterSpecFactory("ip/tcprecv", func(spec remote.StageSpec) (core.Stage, error) {
 		lane := spec.Params["lane"]
 		if lane == "" {
 			lane = spec.Name
 		}
-		addr := spec.Params["addr"]
-		if addr == "" {
-			addr = "127.0.0.1:0"
-		}
 		depth, err := intParam(spec.Params, "depth", 0)
 		if err != nil {
 			return core.Stage{}, err
 		}
-		link, bound, err := netpipe.NewTCPListenerLink(addr, n.Scheduler(), n.Name(), depth)
-		if err != nil {
-			return core.Stage{}, err
-		}
+		// A lane the deployer pre-bound (the listen ctl op, or an earlier
+		// factory run of the same lane) is attached, not re-created — the
+		// listener's address is already in the sender's hands.
 		st.mu.Lock()
-		st.listeners[lane] = link
-		st.addrs[lane] = bound
+		link, ok := st.listeners[lane]
 		st.mu.Unlock()
+		if !ok {
+			bind := spec.Params["addr"]
+			if bind == "" {
+				bind = "127.0.0.1:0"
+			}
+			var bound string
+			link, bound, err = netpipe.NewTCPListenerLink(bind, n.Scheduler(), n.Name(), depth)
+			if err != nil {
+				return core.Stage{}, err
+			}
+			st.mu.Lock()
+			st.listeners[lane] = link
+			st.addrs[lane] = bound
+			st.mu.Unlock()
+		}
 		return core.Comp(link.NewSource(spec.Name)), nil
 	})
 	n.RegisterSpecFactory("ip/cutsink", func(spec remote.StageSpec) (core.Stage, error) {
@@ -282,5 +402,31 @@ func EnableNode(n *remote.Node, cat Catalog) {
 			return "ok", nil
 		}
 		return "", fmt.Errorf("graph: unknown lookup key %q", key)
+	})
+
+	// The controller serves the cluster lane operations of the extended
+	// §2.4 protocol: the deployer pre-binds rendezvous listeners so it can
+	// compose segments topologically (seeds flow downstream), and the
+	// re-placement path drops a moved segment's lane state and redials
+	// stationary senders at the segment's new home.
+	n.SetController(func(op string, params map[string]string) (string, error) {
+		switch op {
+		case "listen":
+			depth, err := intParam(params, "depth", 0)
+			if err != nil {
+				return "", err
+			}
+			return st.listen(params["lane"], params["bind"], depth, params["resume"] == "1")
+		case "drop":
+			st.drop(params["lane"], params["side"])
+			return "ok", nil
+		case "redial":
+			if err := st.redial(params["lane"], params["addr"]); err != nil {
+				return "", err
+			}
+			return "ok", nil
+		default:
+			return "", fmt.Errorf("graph: unknown control op %q on node %s", op, n.Name())
+		}
 	})
 }

@@ -199,6 +199,11 @@ type BalancePolicy struct {
 	// the epoch — start-up and drain-down phases carry no signal
 	// (default 1024).
 	MinItems int64
+	// Movable, when set, restricts which segments the balancer may propose
+	// moving.  The cluster balancer uses it to skip segments that
+	// Deployment.Replace cannot re-place (sources, tee hosts, directly
+	// wired boundaries); local rebalancing leaves it nil.
+	Movable func(segment string) bool
 }
 
 // Balancer derives rebalance hints from the item-count deltas between
@@ -277,6 +282,9 @@ func (b *Balancer) Plan(st GraphStats) (map[string]int, bool) {
 	best, bestDelta := "", int64(0)
 	for _, seg := range st.Segments {
 		if seg.Shard != hot || seg.Finished || seg.Relay {
+			continue
+		}
+		if b.policy.Movable != nil && !b.policy.Movable(seg.Name) {
 			continue
 		}
 		if dlt := segDelta[seg.Name]; dlt > bestDelta {

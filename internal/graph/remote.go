@@ -9,26 +9,41 @@ import (
 	"infopipes/internal/core"
 	"infopipes/internal/events"
 	"infopipes/internal/remote"
+	"infopipes/internal/typespec"
 )
 
 // NodesTarget deploys a spec-backed graph onto remote nodes (§2.4 remote
 // setup, driven entirely by the deployer): each segment is composed on one
 // node through the control protocol, tees are shared between a node's
 // pipelines via the idempotent ip/ factories, and cross-node edges become
-// TCP netpipes — the receiver side binds a rendezvous listener, the
-// deployer reads its address back through the lookup op and hands it to
-// the sender side.  Every target node must have been prepared with
-// EnableNode.
+// TCP netpipes.  Segments compose in TOPOLOGICAL order — the deployer
+// pre-binds every rendezvous listener through the listen control op before
+// the sender dials — so each segment's compose request carries its upstream
+// segment's resolved Typespec: §2.3 flow checking spans node boundaries,
+// and a mistyped cross-node edge fails at deploy time.  Every target node
+// must have been prepared with EnableNode.
 type NodesTarget struct {
 	Clients []*remote.Client
 	// LinkDepth bounds the receive inboxes and same-node cut links
 	// (0 = default).
 	LinkDepth int
+	// ClusterLanes makes every cut edge a resumable TCP lane, even when
+	// both endpoints land on the same node: a lane parks on a bare
+	// connection EOF instead of ending the stream, and its sender can be
+	// redialed — the wiring contract Deployment.Replace needs to move a
+	// segment between nodes at run time.
+	ClusterLanes bool
 }
 
 // OnNodes targets remote nodes through their control clients.
 func OnNodes(clients ...*remote.Client) *NodesTarget {
 	return &NodesTarget{Clients: clients}
+}
+
+// WithClusterLanes enables re-placeable lanes (see ClusterLanes).
+func (t *NodesTarget) WithClusterLanes() *NodesTarget {
+	t.ClusterLanes = true
+	return t
 }
 
 func (t *NodesTarget) deploy(g *Graph, plan *core.GraphPlan) (*Deployment, error) {
@@ -59,10 +74,13 @@ func (t *NodesTarget) deploy(g *Graph, plan *core.GraphPlan) (*Deployment, error
 	return rd.run()
 }
 
-// remoteDeploy composes the segments in reverse topological order, so every
-// receiver (listener) exists — and its address is known — before its sender
-// dials.  Tees are created on first reference; the factories are idempotent
-// per name, so the trunk composed last still finds its tee.
+// remoteDeploy composes the segments in topological order: every upstream
+// segment resolves its Typespecs first, so the seed can ride each compose
+// request downstream.  Rendezvous listeners are pre-bound through the
+// listen control op — the sender side knows the address before the
+// receiving segment exists; the receiving segment's ip/tcprecv then
+// attaches to the listener instead of creating one.  The wiring survives on
+// the deployment for remote Stats and Replace.
 type remoteDeploy struct {
 	g      *Graph
 	plan   *core.GraphPlan
@@ -70,22 +88,74 @@ type remoteDeploy struct {
 	nodeOf []int
 
 	laneAddr map[string]string
-	touched  map[int]bool // nodes a compose was ATTEMPTED on (abort scope)
-	d        *remoteDeployment
+	touched  map[int]bool // nodes a compose or listen was ATTEMPTED on (abort scope)
+	// segOutSpec[i] is the resolved Typespec of the flow leaving segment
+	// i's last declared stage — the seed carried into downstream segments.
+	segOutSpec []typespec.Typespec
+	// laneSeed is the WIRE Typespec entering each TCP lane — the upstream
+	// spec after its marshal stage, whose carried-item-type property lets
+	// the receiving node's unmarshal restore the logical type.  Seeding the
+	// lane's receiver with it keeps §2.3 checking honest across the hop
+	// (and Replace reuses it when recomposing the receiver elsewhere).
+	laneSeed    map[string]typespec.Typespec
+	mergeInSpec map[string][]typespec.Typespec
+	d           *remoteDeployment
 }
 
 func (rd *remoteDeploy) run() (*Deployment, error) {
-	rd.d = &remoteDeployment{name: rd.g.name, clients: rd.target.Clients}
-	order := rd.plan.Order
-	for i := len(order) - 1; i >= 0; i-- {
-		if err := rd.composeSegment(order[i]); err != nil {
+	rd.d = &remoteDeployment{name: rd.g.name, clients: rd.target.Clients, rd: rd,
+		names:   make([]string, len(rd.target.Clients)),
+		retired: make(map[string]retiredCounts)}
+	for i, c := range rd.target.Clients {
+		name, err := c.Ping()
+		if err != nil {
+			return nil, fmt.Errorf("graph %q: node %d: %w", rd.g.name, i, err)
+		}
+		rd.d.names[i] = name
+	}
+	rd.segOutSpec = make([]typespec.Typespec, len(rd.plan.Segments))
+	rd.laneSeed = make(map[string]typespec.Typespec)
+	rd.mergeInSpec = make(map[string][]typespec.Typespec)
+	for name, ports := range rd.plan.MergeBranch {
+		rd.mergeInSpec[name] = make([]typespec.Typespec, len(ports))
+	}
+	for _, si := range rd.plan.Order {
+		if err := rd.composeSegment(si); err != nil {
 			rd.abort()
 			return nil, err
 		}
 	}
+	if err := rd.checkEventCoverage(); err != nil {
+		rd.abort()
+		return nil, err
+	}
 	d := newDeployment(rd.g.name, nil)
 	d.remote = rd.d
 	return d, nil
+}
+
+// checkEventCoverage runs the graph-wide §2.3 event-capability check across
+// every node: the capability sets of each composed segment are fetched over
+// the caps op and unioned, so an event emitted on one node still counts as
+// handled when its handler was composed on another.
+func (rd *remoteDeploy) checkEventCoverage() error {
+	var sends, handles []events.Type
+	for _, p := range rd.d.pipes {
+		s, h, err := rd.client(p.client).Caps(p.name)
+		if err != nil {
+			return fmt.Errorf("graph %q: caps of %q: %w", rd.g.name, p.name, err)
+		}
+		for _, t := range s {
+			sends = append(sends, events.Type(t))
+		}
+		for _, t := range h {
+			handles = append(handles, events.Type(t))
+		}
+	}
+	if err := core.CheckEventCoverage(sends, handles); err != nil {
+		return fmt.Errorf("graph %q: %w", rd.g.name, err)
+	}
+	return nil
 }
 
 // abort best-effort-undoes a partial deployment: stop every pipeline
@@ -122,6 +192,10 @@ func (rd *remoteDeploy) teeSpec(kind, stageName, teeName string, extra map[strin
 	}
 	params["tee"] = teeName
 	params["merge"] = teeName
+	// The node keys the shared instance by graph-prefixed name, so an
+	// aborted deployment's tees cannot leak into a retry (and two graphs
+	// may use the same tee name).
+	params["graph"] = rd.g.name
 	if n.kind == nSplit {
 		params["kind"] = n.spec.Kind
 		params["outs"] = strconv.Itoa(n.outs)
@@ -145,30 +219,66 @@ func (rd *remoteDeploy) recvSpecs(lane string) []remote.StageSpec {
 func (rd *remoteDeploy) sendSpecs(lane, addr string) []remote.StageSpec {
 	return []remote.StageSpec{
 		{Kind: "ip/marshal", Name: lane + "/marshal"},
-		{Kind: "ip/tcpsend", Name: lane + "/sink", Params: map[string]string{"addr": addr}},
+		{Kind: "ip/tcpsend", Name: lane + "/sink",
+			Params: map[string]string{"addr": addr, "lane": lane}},
 	}
 }
 
-// compose sends one pipeline to a node and records it in the deployment.
-// Segments skip the per-pipeline event-capability check, exactly like the
-// local deployer (events may be handled in another segment).
-func (rd *remoteDeploy) compose(node int, name string, specs []remote.StageSpec) error {
+// listen pre-binds the rendezvous listener of a lane on a node and records
+// its address.  Cluster lanes are resumable: they park on a bare EOF so a
+// re-placed sender can dial back in.
+func (rd *remoteDeploy) listen(node int, lane string) (string, error) {
 	rd.touched[node] = true
-	if err := rd.client(node).ComposeSegment(name, specs); err != nil {
-		return fmt.Errorf("graph %q: node %d: compose %q: %w", rd.g.name, node, name, err)
+	params := map[string]string{"lane": lane, "depth": strconv.Itoa(rd.target.LinkDepth)}
+	if rd.target.ClusterLanes {
+		params["resume"] = "1"
 	}
-	rd.d.pipes = append(rd.d.pipes, remotePipe{client: node, name: name})
-	return nil
-}
-
-// lookupLane reads a listener's bound address back from its node.
-func (rd *remoteDeploy) lookupLane(node int, lane string) error {
-	addr, err := rd.client(node).Lookup("addr:" + lane)
+	addr, err := rd.client(node).Control("listen", params)
 	if err != nil {
-		return fmt.Errorf("graph %q: node %d: lane %q: %w", rd.g.name, node, lane, err)
+		return "", fmt.Errorf("graph %q: node %d: listen %q: %w", rd.g.name, node, lane, err)
 	}
 	rd.laneAddr[lane] = addr
+	return addr, nil
+}
+
+// compose sends one pipeline to a node, seeded with the upstream Typespec,
+// and records it in the deployment.  Segments skip the per-pipeline
+// event-capability check, exactly like the local deployer (events may be
+// handled in another segment); the graph-wide check runs after deployment.
+func (rd *remoteDeploy) compose(node int, name string, specs []remote.StageSpec, seed typespec.Typespec, seg int) error {
+	rd.touched[node] = true
+	if err := rd.client(node).ComposeSeededSegment(name, specs, seed); err != nil {
+		return fmt.Errorf("graph %q: node %d: compose %q: %w", rd.g.name, node, name, err)
+	}
+	rd.d.pipes = append(rd.d.pipes, remotePipe{client: node, name: name, seg: seg})
 	return nil
+}
+
+// outSpec reads the resolved Typespec of the flow leaving stage idx of a
+// composed pipeline back from its node (remote Typespec query, §2.4).
+func (rd *remoteDeploy) outSpec(node int, name string, idx int) (typespec.Typespec, error) {
+	ts, err := rd.client(node).QuerySpec(name, idx)
+	if err != nil {
+		return typespec.Typespec{}, fmt.Errorf("graph %q: query %q stage %d: %w", rd.g.name, name, idx, err)
+	}
+	return ts, nil
+}
+
+// laneName renders the canonical name of a tee-boundary lane.
+func (rd *remoteDeploy) laneName(node string, port int) string {
+	return fmt.Sprintf("%s/%s:%d", rd.g.name, node, port)
+}
+
+// cutLane renders the canonical name of a cut-edge lane.
+func (rd *remoteDeploy) cutLane(ci int) string {
+	return fmt.Sprintf("%s/cut%d", rd.g.name, ci)
+}
+
+// cutIsLane reports whether cut ci crosses nodes (or ClusterLanes forces
+// every cut onto TCP).
+func (rd *remoteDeploy) cutIsLane(ci int) bool {
+	cut := rd.plan.Cuts[ci]
+	return rd.target.ClusterLanes || rd.nodeOf[cut.FromSeg] != rd.nodeOf[cut.ToSeg]
 }
 
 func (rd *remoteDeploy) composeSegment(si int) error {
@@ -176,39 +286,81 @@ func (rd *remoteDeploy) composeSegment(si int) error {
 	own := rd.nodeOf[si]
 	depth := strconv.Itoa(rd.target.LinkDepth)
 	var specs []remote.StageSpec
-	var recvLanes []string    // listener lanes this segment hosts
-	var splitRelayLane string // sender relay to compose after (cross-node split head)
+	var seed typespec.Typespec
 
 	switch h := seg.Head; h.Kind {
 	case core.EndSplitOut:
-		trunkNode := rd.nodeOf[plan.SplitTrunk[h.Node]]
-		if trunkNode == own {
+		trunk := plan.SplitTrunk[h.Node]
+		seed = rd.segOutSpec[trunk]
+		if rd.nodeOf[trunk] == own {
 			specs = append(specs, rd.teeSpec("ip/teeout", fmt.Sprintf("%s.src%d", h.Node, h.Port),
 				h.Node, map[string]string{"port": strconv.Itoa(h.Port)}))
 		} else {
-			lane := fmt.Sprintf("%s/%s:%d", g.name, h.Node, h.Port)
+			// Cross-node branch: this segment hosts the lane listener; a
+			// sender relay on the trunk's node pumps the tee port into it.
+			// The trunk composed earlier (topological order), so the tee
+			// already exists there and the relay's seed is resolved.
+			lane := rd.laneName(h.Node, h.Port)
+			addr, err := rd.listen(own, lane)
+			if err != nil {
+				return err
+			}
+			relay := []remote.StageSpec{
+				rd.teeSpec("ip/teeout", fmt.Sprintf("%s.src%d", h.Node, h.Port),
+					h.Node, map[string]string{"port": strconv.Itoa(h.Port)}),
+				{Kind: "ip/pump", Name: lane + "/pump"},
+			}
+			relay = append(relay, rd.sendSpecs(lane, addr)...)
+			if err := rd.compose(rd.nodeOf[trunk], lane+"/relay", relay, seed, -1); err != nil {
+				return err
+			}
+			// The branch's seed is the lane's wire spec — the relay's
+			// output after its marshal stage, carried-item-type included.
+			wire, err := rd.outSpec(rd.nodeOf[trunk], lane+"/relay", len(relay)-2)
+			if err != nil {
+				return err
+			}
+			rd.laneSeed[lane] = wire
+			seed = wire
 			specs = append(specs, rd.recvSpecs(lane)...)
-			recvLanes = append(recvLanes, lane)
-			splitRelayLane = lane
 		}
 	case core.EndMergeOut:
+		for port, ts := range rd.mergeInSpec[h.Node] {
+			merged, err := seed.Merge(ts)
+			if err != nil {
+				return fmt.Errorf("graph %q: merging flows into %q: in-port %d: %w",
+					g.name, h.Node, port, err)
+			}
+			seed = merged
+		}
 		specs = append(specs, rd.teeSpec("ip/mergeout", h.Node+".src", h.Node, nil))
 	case core.EndCut:
 		cut := plan.Cuts[h.Port]
-		lane := fmt.Sprintf("%s/cut%d", g.name, h.Port)
-		if rd.nodeOf[cut.FromSeg] == own {
+		seed = rd.segOutSpec[cut.FromSeg]
+		lane := rd.cutLane(h.Port)
+		if rd.cutIsLane(h.Port) {
+			// The upstream segment composed first and already dialed the
+			// pre-bound listener; attach its source here, seeded with the
+			// lane's wire spec.
+			seed = rd.laneSeed[lane]
+			specs = append(specs, rd.recvSpecs(lane)...)
+		} else {
 			specs = append(specs, remote.StageSpec{Kind: "ip/cutsrc", Name: lane + "/source",
 				Params: map[string]string{"lane": lane, "depth": depth}})
-		} else {
-			specs = append(specs, rd.recvSpecs(lane)...)
-			recvLanes = append(recvLanes, lane)
 		}
 	}
 
 	for _, name := range seg.Stages {
 		specs = append(specs, rd.stageSpec(name))
 	}
+	tailStart := len(specs)
 
+	type mergeRelay struct {
+		node string
+		port int
+		lane string
+	}
+	var pendingRelay *mergeRelay
 	switch t := seg.Tail; t.Kind {
 	case core.EndSplitTrunk:
 		specs = append(specs, rd.teeSpec("ip/teesink", t.Node, t.Node, nil))
@@ -218,60 +370,82 @@ func (rd *remoteDeploy) composeSegment(si int) error {
 			specs = append(specs, rd.teeSpec("ip/mergein", fmt.Sprintf("%s.in%d", t.Node, t.Port),
 				t.Node, map[string]string{"port": strconv.Itoa(t.Port)}))
 		} else {
-			// Relay on the merge's node: listener -> pump -> merge port.
-			// It composes first so this segment can dial its address.
-			lane := fmt.Sprintf("%s/%s:%d", g.name, t.Node, t.Port)
-			relay := append(rd.recvSpecs(lane),
-				remote.StageSpec{Kind: "ip/pump", Name: lane + "/pump"},
-				rd.teeSpec("ip/mergein", fmt.Sprintf("%s.in%d", t.Node, t.Port),
-					t.Node, map[string]string{"port": strconv.Itoa(t.Port)}))
-			if err := rd.compose(anchor, lane+"/relay", relay); err != nil {
+			// Cross-node branch tail: pre-bind the lane listener on the
+			// merge's node, dial it from this segment, and compose the
+			// relay (listener -> pump -> merge port) afterwards, seeded
+			// with this segment's out-spec.
+			lane := rd.laneName(t.Node, t.Port)
+			addr, err := rd.listen(anchor, lane)
+			if err != nil {
 				return err
 			}
-			if err := rd.lookupLane(anchor, lane); err != nil {
-				return err
-			}
-			specs = append(specs, rd.sendSpecs(lane, rd.laneAddr[lane])...)
+			specs = append(specs, rd.sendSpecs(lane, addr)...)
+			pendingRelay = &mergeRelay{node: t.Node, port: t.Port, lane: lane}
 		}
 	case core.EndCut:
 		cut := plan.Cuts[t.Port]
-		lane := fmt.Sprintf("%s/cut%d", g.name, t.Port)
-		if rd.nodeOf[cut.ToSeg] == own {
-			specs = append(specs, remote.StageSpec{Kind: "ip/cutsink", Name: lane + "/sink",
-				Params: map[string]string{"lane": lane, "depth": depth}})
-		} else {
-			// Reverse-topological order composed the receiver first.
-			addr, ok := rd.laneAddr[lane]
-			if !ok {
-				return fmt.Errorf("graph %q: internal: no address for lane %q", g.name, lane)
+		lane := rd.cutLane(t.Port)
+		if rd.cutIsLane(t.Port) {
+			addr, err := rd.listen(rd.nodeOf[cut.ToSeg], lane)
+			if err != nil {
+				return err
 			}
 			specs = append(specs, rd.sendSpecs(lane, addr)...)
+		} else {
+			specs = append(specs, remote.StageSpec{Kind: "ip/cutsink", Name: lane + "/sink",
+				Params: map[string]string{"lane": lane, "depth": depth}})
 		}
 	}
 
-	if err := rd.compose(own, g.name+"/"+seg.Name(), specs); err != nil {
+	name := g.name + "/" + seg.Name()
+	if err := rd.compose(own, name, specs, seed, si); err != nil {
 		return err
 	}
-	for _, lane := range recvLanes {
-		if err := rd.lookupLane(own, lane); err != nil {
+	if tailStart > 0 {
+		ts, err := rd.outSpec(own, name, tailStart-1)
+		if err != nil {
+			return err
+		}
+		rd.segOutSpec[si] = ts
+	} else {
+		rd.segOutSpec[si] = seed
+	}
+	// Lane-tailed segments record the wire spec entering the lane (the
+	// spec after their marshal stage, at index tailStart) for the
+	// receiver's seed.
+	recordLaneSeed := func(lane string) error {
+		wire, err := rd.outSpec(own, name, tailStart)
+		if err != nil {
+			return err
+		}
+		rd.laneSeed[lane] = wire
+		return nil
+	}
+	if t := seg.Tail; t.Kind == core.EndCut && rd.cutIsLane(t.Port) {
+		if err := recordLaneSeed(rd.cutLane(t.Port)); err != nil {
 			return err
 		}
 	}
-	if splitRelayLane != "" {
-		// Sender relay on the trunk's node: tee port -> pump -> dial.  The
-		// tee is created here on first reference; the trunk (composed
-		// later) reuses it.
-		h := seg.Head
-		trunkNode := rd.nodeOf[plan.SplitTrunk[h.Node]]
-		relay := []remote.StageSpec{
-			rd.teeSpec("ip/teeout", fmt.Sprintf("%s.src%d", h.Node, h.Port),
-				h.Node, map[string]string{"port": strconv.Itoa(h.Port)}),
-			{Kind: "ip/pump", Name: splitRelayLane + "/pump"},
-		}
-		relay = append(relay, rd.sendSpecs(splitRelayLane, rd.laneAddr[splitRelayLane])...)
-		if err := rd.compose(trunkNode, splitRelayLane+"/relay", relay); err != nil {
+	if t := seg.Tail; t.Kind == core.EndMergeIn && pendingRelay == nil {
+		rd.mergeInSpec[t.Node][t.Port] = rd.segOutSpec[si]
+	}
+	if r := pendingRelay; r != nil {
+		if err := recordLaneSeed(r.lane); err != nil {
 			return err
 		}
+		anchor := rd.nodeOf[plan.MergeDown[r.node]]
+		relay := append(rd.recvSpecs(r.lane),
+			remote.StageSpec{Kind: "ip/pump", Name: r.lane + "/pump"},
+			rd.teeSpec("ip/mergein", fmt.Sprintf("%s.in%d", r.node, r.port),
+				r.node, map[string]string{"port": strconv.Itoa(r.port)}))
+		if err := rd.compose(anchor, r.lane+"/relay", relay, rd.laneSeed[r.lane], -1); err != nil {
+			return err
+		}
+		ts, err := rd.outSpec(anchor, r.lane+"/relay", len(relay)-2)
+		if err != nil {
+			return err
+		}
+		rd.mergeInSpec[r.node][r.port] = ts
 	}
 	return nil
 }
@@ -280,16 +454,34 @@ func (rd *remoteDeploy) composeSegment(si int) error {
 type remotePipe struct {
 	client int
 	name   string
+	seg    int // plan segment index, -1 for relay pipelines
 }
 
 // remoteDeployment drives a deployed graph through the control clients.
 type remoteDeployment struct {
 	name    string
 	clients []*remote.Client
+	names   []string // node names by client index (ping at deploy)
 	pipes   []remotePipe
+	rd      *remoteDeploy // retained wiring for Stats and Replace
 
-	mu       sync.Mutex
-	startErr error
+	mu        sync.Mutex
+	startErr  error
+	started   bool
+	replacing bool
+	// repGen increments at the start AND end of every Replace: a poller
+	// that saw an error can tell "a replace ran while my request was in
+	// flight" even when the replacing flag has already dropped again.
+	repGen uint64
+	// retired folds the pump counters of pipeline generations detached by
+	// Replace, keyed by pipeline name, so Stats stays cumulative.
+	retired       map[string]retiredCounts
+	retiredByNode []retiredCounts
+	// lastRows caches each node's last successful stats rows: a snapshot
+	// that cannot reach a node reuses them instead of zeroing the node,
+	// which would otherwise feed the balancer a false full-history delta
+	// when the node answers again.
+	lastRows map[int]map[string]remote.PipeStat
 }
 
 func (r *remoteDeployment) broadcast(t events.Type) error {
@@ -306,6 +498,9 @@ func (r *remoteDeployment) broadcast(t events.Type) error {
 // reachable node back with a stop and latch the error so Wait and Err
 // report it instead of polling never-started pipelines forever.
 func (r *remoteDeployment) start() {
+	r.mu.Lock()
+	r.started = true
+	r.mu.Unlock()
 	if err := r.broadcast(events.Start); err != nil {
 		// Best-effort rollback on every node — the failed one is already
 		// gone, the others must not keep half a graph running.
@@ -328,13 +523,37 @@ func (r *remoteDeployment) failure() error {
 	return r.startErr
 }
 
+// replaceState reports whether a Replace is rewiring the deployment right
+// now — a window in which a pipeline may legitimately be missing from its
+// node — together with the replace generation, so a poller can also detect
+// a replace that STARTED AND FINISHED while its failing request was in
+// flight.  Pollers retry in either case instead of failing.
+func (r *remoteDeployment) replaceState() (bool, uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.replacing, r.repGen
+}
+
+// pipeList snapshots the pipes under the lock (Replace rewrites entries).
+func (r *remoteDeployment) pipeList() []remotePipe {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]remotePipe, len(r.pipes))
+	copy(out, r.pipes)
+	return out
+}
+
 func (r *remoteDeployment) err() error {
 	if err := r.failure(); err != nil {
 		return err
 	}
-	for _, p := range r.pipes {
+	_, gen := r.replaceState()
+	for _, p := range r.pipeList() {
 		v, err := r.clients[p.client].Lookup("err:" + p.name)
 		if err != nil {
+			if rep, g := r.replaceState(); rep || g != gen {
+				continue // a replace is (or was just) rewiring this pipe
+			}
 			return err
 		}
 		if v != "" {
@@ -345,21 +564,29 @@ func (r *remoteDeployment) err() error {
 }
 
 // wait polls the nodes until every pipeline of the deployment has finished.
-// A failed Start short-circuits with the rollback error.
+// A failed Start short-circuits with the rollback error; an unreachable
+// node surfaces as a wrapped remote.ErrNodeUnreachable instead of hanging.
 func (r *remoteDeployment) wait() error {
 	for {
 		if err := r.failure(); err != nil {
 			return err
 		}
+		// Every pipe is probed every round — an early break on the first
+		// unfinished pipeline would keep a dead node's pipelines out of
+		// reach of the unreachability check and hang the Wait.
 		done := true
-		for _, p := range r.pipes {
+		_, gen := r.replaceState()
+		for _, p := range r.pipeList() {
 			v, err := r.clients[p.client].Lookup("done:" + p.name)
 			if err != nil {
+				if rep, g := r.replaceState(); rep || g != gen {
+					done = false
+					continue // a replace is (or was just) rewiring this pipe
+				}
 				return err
 			}
 			if v != "true" {
 				done = false
-				break
 			}
 		}
 		if done {
@@ -367,4 +594,107 @@ func (r *remoteDeployment) wait() error {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+// stats fans the stats op out to every node hosting a piece of the
+// deployment and folds the per-node rows into one GraphStats: segments in
+// plan order (Shard = node index), then relays, with per-node load in
+// Shards and the node names in Nodes.  Counters of generations detached by
+// Replace are folded back in, so rows stay cumulative.
+func (r *remoteDeployment) stats() GraphStats {
+	var st GraphStats
+	st.Nodes = append(st.Nodes, r.names...)
+	st.Shards = make([]ShardLoad, len(r.clients))
+	r.mu.Lock()
+	for i, ret := range r.retiredByNode {
+		if i < len(st.Shards) {
+			st.Shards[i].Items = ret.items
+			st.Shards[i].BusyNanos = ret.busyNs
+		}
+	}
+	retired := make(map[string]retiredCounts, len(r.retired))
+	for k, v := range r.retired {
+		retired[k] = v
+	}
+	r.mu.Unlock()
+
+	rows := make(map[string]remote.PipeStat)
+	byNode := make(map[int]bool)
+	pipes := r.pipeList()
+	for _, p := range pipes {
+		byNode[p.client] = true
+	}
+	// Nodes are polled in sequence; a dead node costs one call deadline
+	// once, then its poisoned client fails fast on every later snapshot.
+	for node := range byNode {
+		nodeRows, err := r.clients[node].Stats(r.name + "/")
+		if err != nil {
+			continue
+		}
+		r.mu.Lock()
+		if r.lastRows == nil {
+			r.lastRows = make(map[int]map[string]remote.PipeStat)
+		}
+		cached := make(map[string]remote.PipeStat, len(nodeRows))
+		for _, row := range nodeRows {
+			rows[row.Name] = row
+			cached[row.Name] = row
+		}
+		r.lastRows[node] = cached
+		r.mu.Unlock()
+	}
+	// An unreachable node's pipes fall back to their LAST-KNOWN rows (from
+	// the node each pipe is currently assigned to) rather than zero: a
+	// zeroed snapshot would hand the balancer a false full-history delta
+	// the moment the node answers again.
+	r.mu.Lock()
+	for _, p := range pipes {
+		if _, ok := rows[p.name]; !ok {
+			if row, ok := r.lastRows[p.client][p.name]; ok {
+				rows[p.name] = row
+			}
+		}
+	}
+	r.mu.Unlock()
+
+	add := func(p remotePipe, segName string, relay bool) {
+		row := rows[p.name]
+		ret := retired[p.name]
+		s := SegmentStats{
+			Name: segName, Shard: p.client, Relay: relay, Finished: row.EOS,
+			Items:     row.Items + ret.items,
+			Cycles:    row.Cycles + ret.cycles,
+			BusyNanos: row.BusyNanos + ret.busyNs,
+		}
+		st.Segments = append(st.Segments, s)
+		if p.client >= 0 && p.client < len(st.Shards) {
+			st.Shards[p.client].Items += row.Items
+			st.Shards[p.client].BusyNanos += row.BusyNanos
+			if !s.Finished {
+				st.Shards[p.client].Pipelines++
+				if !relay {
+					st.Shards[p.client].Segments++
+				}
+			}
+		}
+	}
+	// Segments in plan order first, relays after — same shape as the local
+	// snapshot, so operator tooling and the Balancer read both alike.
+	bySeg := make(map[int]remotePipe, len(pipes))
+	for _, p := range pipes {
+		if p.seg >= 0 {
+			bySeg[p.seg] = p
+		}
+	}
+	for i, seg := range r.rd.plan.Segments {
+		if p, ok := bySeg[i]; ok {
+			add(p, seg.Name(), false)
+		}
+	}
+	for _, p := range pipes {
+		if p.seg < 0 {
+			add(p, p.name, true)
+		}
+	}
+	return st
 }

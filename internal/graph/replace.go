@@ -1,0 +1,438 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/remote"
+	"infopipes/internal/typespec"
+)
+
+// ErrNotReplaceable marks a segment the cluster re-placement path cannot
+// move: its stream position lives in the segment (a source), a shared tee
+// instance lives in it (split trunks, merge downstreams), or one of its
+// boundaries is wired directly instead of over a redialable cluster lane
+// (deploy with WithClusterLanes).
+var ErrNotReplaceable = errors.New("graph: segment cannot be re-placed")
+
+// Drain detection: after the upstream nodes pause, the moved segment keeps
+// pumping until its inbound lanes are empty; its item counter going quiet
+// for drainStablePolls consecutive polls marks the stream as drained.
+const (
+	drainStablePolls = 4
+	drainPollEvery   = 25 * time.Millisecond
+)
+
+// Replace moves segments of a live OnNodes deployment between cluster nodes
+// without losing an in-flight item — the cluster form of Rebalance, driven
+// by the extended §2.4 protocol.  hints maps segment names (see
+// SegmentPlacements) to node indices.  Per segment the deployment
+//
+//  1. pauses every node hosting an upstream segment, then polls the stats
+//     op until the moved segment's item counter goes quiet — everything the
+//     paused upstreams already sent has drained through it,
+//  2. detaches the segment's pipeline on its old node (no event broadcast;
+//     the node's other pipelines are undisturbed) and drops the old node's
+//     lane state — sender connections close WITHOUT an EOS frame, so the
+//     downstream resumable listeners park instead of ending the stream,
+//  3. recomposes the same segment spec on the new node, seeded with its
+//     upstream Typespec exactly like the original deploy, dialing the
+//     stationary downstream listeners at their unchanged addresses,
+//  4. redials the stationary upstream senders at the segment's new inbound
+//     listeners, re-broadcasts start, and resumes the paused nodes.
+//
+// Boundary lanes, once TCP, stay TCP (deploy with WithClusterLanes so every
+// cut edge is one), mirroring the local rule that a linked boundary stays
+// linked.  Segments that hold stream position or shared tee state refuse
+// with ErrNotReplaceable; check with Replaceable before proposing a move.
+// Concurrent Replace calls are serialized with each other.
+func (d *Deployment) Replace(hints map[string]int) error {
+	if d.remote == nil {
+		return ErrNotRebalancable
+	}
+	d.rbMu.Lock()
+	defer d.rbMu.Unlock()
+	r := d.remote
+	rd := r.rd
+	if !rd.target.ClusterLanes {
+		return fmt.Errorf("%w: deployment lanes are not redialable (deploy with WithClusterLanes)",
+			ErrNotReplaceable)
+	}
+	for name, node := range hints {
+		si, err := rd.segIndex(name)
+		if err != nil {
+			return err
+		}
+		if node < 0 || node >= len(r.clients) {
+			return fmt.Errorf("graph %q: segment %q hinted to node %d, cluster has %d",
+				d.name, name, node, len(r.clients))
+		}
+		if err := rd.replaceable(si); err != nil {
+			return err
+		}
+	}
+	for name, node := range hints {
+		si, _ := rd.segIndex(name)
+		if rd.nodeOf[si] == node {
+			continue
+		}
+		// Revalidate against the CURRENT placement: an earlier move in this
+		// batch may have put an ancestor on this segment's node, which
+		// would freeze the drain and lose the in-flight items the upfront
+		// check exists to protect.
+		if err := rd.replaceable(si); err != nil {
+			return err
+		}
+		if err := r.replaceSegment(si, node); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replaceable reports whether the named segment of a remote deployment can
+// be moved by Replace, and why not otherwise.
+func (d *Deployment) Replaceable(segment string) error {
+	if d.remote == nil {
+		return ErrNotRebalancable
+	}
+	si, err := d.remote.rd.segIndex(segment)
+	if err != nil {
+		return err
+	}
+	return d.remote.rd.replaceable(si)
+}
+
+func (rd *remoteDeploy) segIndex(name string) (int, error) {
+	for i, seg := range rd.plan.Segments {
+		if seg.Name() == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("graph %q: replace hint for unknown segment %q", rd.g.name, name)
+}
+
+// replaceable checks the movability contract of one segment: every boundary
+// must be a redialable TCP lane (or absent, for sinks), and neither stream
+// position (sources) nor shared tee instances (trunks, merge downstreams)
+// may live inside the segment.
+func (rd *remoteDeploy) replaceable(si int) error {
+	seg := rd.plan.Segments[si]
+	own := rd.nodeOf[si]
+	switch h := seg.Head; h.Kind {
+	case core.EndNone:
+		return fmt.Errorf("%w: %q is a source segment (its stream position cannot move)",
+			ErrNotReplaceable, seg.Name())
+	case core.EndMergeOut:
+		return fmt.Errorf("%w: %q hosts the merge tee %q", ErrNotReplaceable, seg.Name(), h.Node)
+	case core.EndSplitOut:
+		if rd.nodeOf[rd.plan.SplitTrunk[h.Node]] == own {
+			return fmt.Errorf("%w: %q is wired directly to split %q (no lane to redial)",
+				ErrNotReplaceable, seg.Name(), h.Node)
+		}
+	case core.EndCut:
+		if !rd.cutIsLane(h.Port) {
+			return fmt.Errorf("%w: %q's inbound cut is a same-node link (deploy with WithClusterLanes)",
+				ErrNotReplaceable, seg.Name())
+		}
+	}
+	switch t := seg.Tail; t.Kind {
+	case core.EndSplitTrunk:
+		return fmt.Errorf("%w: %q hosts the split tee %q", ErrNotReplaceable, seg.Name(), t.Node)
+	case core.EndMergeIn:
+		if rd.nodeOf[rd.plan.MergeDown[t.Node]] == own {
+			return fmt.Errorf("%w: %q is wired directly to merge %q (no lane to redial)",
+				ErrNotReplaceable, seg.Name(), t.Node)
+		}
+	case core.EndCut:
+		if !rd.cutIsLane(t.Port) {
+			return fmt.Errorf("%w: %q's outbound cut is a same-node link (deploy with WithClusterLanes)",
+				ErrNotReplaceable, seg.Name())
+		}
+	}
+	for _, a := range rd.ancestors(si) {
+		if rd.nodeOf[a] == own {
+			return fmt.Errorf("%w: upstream segment %q shares node %d with %q (pausing it would freeze the drain)",
+				ErrNotReplaceable, rd.plan.Segments[a].Name(), own, seg.Name())
+		}
+	}
+	return nil
+}
+
+// preds lists the segments directly upstream of si.
+func (rd *remoteDeploy) preds(si int) []int {
+	var out []int
+	switch h := rd.plan.Segments[si].Head; h.Kind {
+	case core.EndSplitOut:
+		out = append(out, rd.plan.SplitTrunk[h.Node])
+	case core.EndMergeOut:
+		out = append(out, rd.plan.MergeBranch[h.Node]...)
+	case core.EndCut:
+		out = append(out, rd.plan.Cuts[h.Port].FromSeg)
+	}
+	return out
+}
+
+// ancestors lists every segment transitively upstream of si.
+func (rd *remoteDeploy) ancestors(si int) []int {
+	seen := make(map[int]bool)
+	var walk func(i int)
+	walk = func(i int) {
+		for _, p := range rd.preds(i) {
+			if !seen[p] {
+				seen[p] = true
+				walk(p)
+			}
+		}
+	}
+	walk(si)
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	return out
+}
+
+// inboundLanes lists the lanes whose listener the segment hosts, paired
+// with the node holding the lane's stationary sender.
+func (rd *remoteDeploy) inboundLanes(si int) map[string]int {
+	out := make(map[string]int)
+	switch h := rd.plan.Segments[si].Head; h.Kind {
+	case core.EndSplitOut:
+		trunk := rd.plan.SplitTrunk[h.Node]
+		if rd.nodeOf[trunk] != rd.nodeOf[si] {
+			out[rd.laneName(h.Node, h.Port)] = rd.nodeOf[trunk]
+		}
+	case core.EndCut:
+		if rd.cutIsLane(h.Port) {
+			out[rd.cutLane(h.Port)] = rd.nodeOf[rd.plan.Cuts[h.Port].FromSeg]
+		}
+	}
+	return out
+}
+
+// outboundLanes lists the lanes the segment's pipeline sends on (their
+// listeners are stationary, downstream).
+func (rd *remoteDeploy) outboundLanes(si int) []string {
+	var out []string
+	switch t := rd.plan.Segments[si].Tail; t.Kind {
+	case core.EndMergeIn:
+		if rd.nodeOf[rd.plan.MergeDown[t.Node]] != rd.nodeOf[si] {
+			out = append(out, rd.laneName(t.Node, t.Port))
+		}
+	case core.EndCut:
+		if rd.cutIsLane(t.Port) {
+			out = append(out, rd.cutLane(t.Port))
+		}
+	}
+	return out
+}
+
+// replaceSegment executes the move of one (validated) segment.
+func (r *remoteDeployment) replaceSegment(si, dest int) error {
+	rd := r.rd
+	seg := rd.plan.Segments[si]
+	old := rd.nodeOf[si]
+	pipeName := r.name + "/" + seg.Name()
+
+	r.mu.Lock()
+	r.replacing = true
+	r.repGen++
+	started := r.started
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.replacing = false
+		r.repGen++
+		r.mu.Unlock()
+	}()
+
+	// 1. Pause the upstream nodes and wait for the segment to drain.  The
+	// pause is per node (control events are bus-wide), which may suspend
+	// unrelated segments there too — they are resumed below; correctness
+	// only needs the moved segment's inflow to stop.
+	pausedNodes := make(map[int]bool)
+	for _, a := range rd.ancestors(si) {
+		pausedNodes[rd.nodeOf[a]] = true
+	}
+	resume := func() {
+		for node := range pausedNodes {
+			_ = r.clients[node].SendEvent(events.Event{Type: events.Resume, Origin: r.name})
+		}
+	}
+	for node := range pausedNodes {
+		if err := r.clients[node].SendEvent(events.Event{Type: events.Pause, Origin: r.name}); err != nil {
+			resume()
+			return fmt.Errorf("graph %q: replace %q: pause node %d: %w", r.name, seg.Name(), node, err)
+		}
+	}
+	last, err := r.drain(old, pipeName)
+	if err != nil {
+		resume()
+		return fmt.Errorf("graph %q: replace %q: %w", r.name, seg.Name(), err)
+	}
+
+	// 2. Detach the retiring generation, fold its (drained, final) counters
+	// into the cumulative record, and drop the old node's lane state
+	// (listeners and sender links; bare EOFs park the downstream resumable
+	// listeners).  The fold happens only AFTER a successful detach: a
+	// failed detach leaves the pipeline running on the old node, and its
+	// still-live counters must not be double-counted.
+	if err := r.clients[old].Detach(pipeName); err != nil {
+		resume()
+		return fmt.Errorf("graph %q: replace %q: detach: %w", r.name, seg.Name(), err)
+	}
+	r.mu.Lock()
+	ret := r.retired[pipeName]
+	ret.items += last.Items
+	ret.cycles += last.Cycles
+	ret.busyNs += last.BusyNanos
+	r.retired[pipeName] = ret
+	if r.retiredByNode == nil {
+		r.retiredByNode = make([]retiredCounts, len(r.clients))
+	}
+	r.retiredByNode[old].items += last.Items
+	r.retiredByNode[old].busyNs += last.BusyNanos
+	r.mu.Unlock()
+	// Sides matter: the moved segment owns its inbound LISTENERS and its
+	// outbound SENDERS on the old node — its neighbours' halves of the
+	// same lanes (possibly on the same node) must survive.
+	inbound := rd.inboundLanes(si)
+	for lane := range inbound {
+		if _, err := r.clients[old].Control("drop",
+			map[string]string{"lane": lane, "side": "listener"}); err != nil {
+			resume()
+			return fmt.Errorf("graph %q: replace %q: drop %q: %w", r.name, seg.Name(), lane, err)
+		}
+	}
+	for _, lane := range rd.outboundLanes(si) {
+		if _, err := r.clients[old].Control("drop",
+			map[string]string{"lane": lane, "side": "sender"}); err != nil {
+			resume()
+			return fmt.Errorf("graph %q: replace %q: drop %q: %w", r.name, seg.Name(), lane, err)
+		}
+	}
+
+	// 3. Recompose on the destination: the same segment spec, the same
+	// pipeline name, fresh inbound listeners, outbound dials at the
+	// stationary listeners' unchanged addresses, the same upstream seed.
+	r.mu.Lock()
+	rd.nodeOf[si] = dest // under r.mu: SegmentPlacements reads it there
+	r.mu.Unlock()
+	if err := rd.recomposeSegment(si); err != nil {
+		// The segment is gone from both nodes; surface the failure like a
+		// failed deploy — stop the graph and leave the error latched.
+		r.mu.Lock()
+		rd.nodeOf[si] = old
+		if r.startErr == nil {
+			r.startErr = fmt.Errorf("graph %q: replace %q failed, deployment stopped: %w", r.name, seg.Name(), err)
+		}
+		r.mu.Unlock()
+		r.stop()
+		resume()
+		return err
+	}
+	r.mu.Lock()
+	for i := range r.pipes {
+		if r.pipes[i].seg == si {
+			r.pipes[i].client = dest
+		}
+	}
+	r.mu.Unlock()
+
+	// 4. Point the stationary upstream senders at the new listeners, start
+	// the recomposed pipeline, and resume the paused nodes.
+	for lane, senderNode := range inbound {
+		if _, err := r.clients[senderNode].Control("redial",
+			map[string]string{"lane": lane, "addr": rd.laneAddr[lane]}); err != nil {
+			resume()
+			return fmt.Errorf("graph %q: replace %q: redial %q: %w", r.name, seg.Name(), lane, err)
+		}
+	}
+	if started {
+		_ = r.clients[dest].SendEvent(events.Event{Type: events.Start, Origin: r.name})
+	}
+	resume()
+	return nil
+}
+
+// drain polls the segment's pump counters until they go quiet and returns
+// the final snapshot (the retiring generation's contribution to Stats).
+func (r *remoteDeployment) drain(node int, pipeName string) (remote.PipeStat, error) {
+	var last remote.PipeStat
+	stable := 0
+	for stable < drainStablePolls {
+		rows, err := r.clients[node].Stats(pipeName)
+		if err != nil {
+			return last, fmt.Errorf("drain poll: %w", err)
+		}
+		var cur remote.PipeStat
+		for _, row := range rows {
+			if row.Name == pipeName {
+				cur = row
+				break
+			}
+		}
+		if cur.Name == "" {
+			return last, fmt.Errorf("drain poll: pipeline %q vanished", pipeName)
+		}
+		if cur.Err != "" {
+			return last, fmt.Errorf("drain poll: pipeline %q failed: %s", pipeName, cur.Err)
+		}
+		if cur.Items == last.Items && cur.Name == last.Name {
+			stable++
+		} else {
+			stable = 0
+		}
+		last = cur
+		time.Sleep(drainPollEvery)
+	}
+	return last, nil
+}
+
+// recomposeSegment rebuilds one segment's pipeline on its (re-assigned)
+// node during a Replace: fresh listeners for inbound lanes, outbound dials
+// at the stationary lanes' recorded addresses, the deploy-time seed.
+func (rd *remoteDeploy) recomposeSegment(si int) error {
+	seg := rd.plan.Segments[si]
+	own := rd.nodeOf[si]
+	var specs []remote.StageSpec
+	var seed typespec.Typespec // replaceable segments always have an upstream
+
+	switch h := seg.Head; h.Kind {
+	case core.EndSplitOut:
+		lane := rd.laneName(h.Node, h.Port)
+		seed = rd.laneSeed[lane]
+		if _, err := rd.listen(own, lane); err != nil {
+			return err
+		}
+		specs = append(specs, rd.recvSpecs(lane)...)
+	case core.EndCut:
+		lane := rd.cutLane(h.Port)
+		seed = rd.laneSeed[lane]
+		if _, err := rd.listen(own, lane); err != nil {
+			return err
+		}
+		specs = append(specs, rd.recvSpecs(lane)...)
+	}
+	for _, name := range seg.Stages {
+		specs = append(specs, rd.stageSpec(name))
+	}
+	switch t := seg.Tail; t.Kind {
+	case core.EndMergeIn:
+		lane := rd.laneName(t.Node, t.Port)
+		specs = append(specs, rd.sendSpecs(lane, rd.laneAddr[lane])...)
+	case core.EndCut:
+		lane := rd.cutLane(t.Port)
+		specs = append(specs, rd.sendSpecs(lane, rd.laneAddr[lane])...)
+	}
+	name := rd.g.name + "/" + seg.Name()
+	rd.touched[own] = true
+	if err := rd.client(own).ComposeSeededSegment(name, specs, seed); err != nil {
+		return fmt.Errorf("graph %q: node %d: recompose %q: %w", rd.g.name, own, name, err)
+	}
+	return nil
+}

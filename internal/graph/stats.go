@@ -55,16 +55,23 @@ type ShardLoad struct {
 
 // GraphStats is the live telemetry of one deployment, collected alloc-free
 // on the hot path (atomic pump counters, lock-guarded link counters) and
-// assembled on demand by Deployment.Stats.
+// assembled on demand by Deployment.Stats.  For remote (OnNodes)
+// deployments the snapshot is gathered by fanning the §2.4 stats op out to
+// every node: Shard indices then name cluster nodes (see Nodes) instead of
+// scheduler shards, and the same skew math drives the ClusterBalancer.
 type GraphStats struct {
 	// Segments lists the graph's segments in plan order, then the relay
 	// pipelines.
 	Segments []SegmentStats
-	// Links lists the auto-inserted links in creation order.
+	// Links lists the auto-inserted links in creation order (local targets
+	// only; remote lanes are TCP connections, observed via inbox counters).
 	Links []LinkStats
-	// Shards aggregates per shard; one entry on a single-scheduler target,
-	// empty for remote deployments.
+	// Shards aggregates per shard — one entry per scheduler shard on local
+	// targets, one per cluster node on remote deployments.
 	Shards []ShardLoad
+	// Nodes names the cluster nodes behind the Shards indices (remote
+	// deployments only; empty on local targets).
+	Nodes []string
 }
 
 // Skew reports the ratio between the busiest and idlest shard by item
@@ -116,11 +123,15 @@ func (st GraphStats) String() string {
 }
 
 // Stats assembles the deployment's live telemetry.  Safe to call at any
-// time, including while a rebalance is in flight (the snapshot then shows
-// the generation being replaced).  Remote deployments report an empty
-// snapshot — their telemetry lives on the nodes.
+// time, including while a rebalance or replace is in flight (the snapshot
+// then shows the generation being replaced).  Remote deployments fan the
+// stats op out to their nodes and fold the answers into the same shape,
+// with node attribution in Nodes.
 func (d *Deployment) Stats() GraphStats {
 	var st GraphStats
+	if d.remote != nil {
+		return d.remote.stats()
+	}
 	ld := d.ld
 	if ld == nil {
 		return st

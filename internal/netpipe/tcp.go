@@ -28,6 +28,10 @@ type TCPLink struct {
 	ln     net.Listener // non-nil on listener links until the peer connects
 	closed bool
 	txBuf  []byte // reusable transmit frame buffer, guarded by mu
+	// resumable listener links survive a bare connection EOF: the sender
+	// went away (crashed, or was re-placed onto another node) and a
+	// replacement may dial in; only an explicit EOS frame ends the stream.
+	resumable bool
 
 	rxSched    *uthread.Scheduler
 	inbox      *inbox
@@ -63,6 +67,21 @@ func NewTCPReceiverLink(conn net.Conn, rxSched *uthread.Scheduler, rxNode string
 // start, so a pipeline may be composed on the link and block pulling before
 // the sender has dialed.
 func NewTCPListenerLink(addr string, rxSched *uthread.Scheduler, rxNode string, queueLimit int) (*TCPLink, string, error) {
+	return newListenerLink(addr, rxSched, rxNode, queueLimit, false)
+}
+
+// NewResumableTCPListenerLink is NewTCPListenerLink for cluster lanes: the
+// listener stays open across connections, so a bare EOF (the sender died or
+// was re-placed onto another node) parks the lane until a replacement
+// sender dials in, instead of ending the stream.  Only an explicit EOS
+// frame — or Close — is terminal.  At most one sender is served at a time;
+// a second connection waits in the accept backlog until the current one
+// goes away.
+func NewResumableTCPListenerLink(addr string, rxSched *uthread.Scheduler, rxNode string, queueLimit int) (*TCPLink, string, error) {
+	return newListenerLink(addr, rxSched, rxNode, queueLimit, true)
+}
+
+func newListenerLink(addr string, rxSched *uthread.Scheduler, rxNode string, queueLimit int, resumable bool) (*TCPLink, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("netpipe: listen %s: %w", addr, err)
@@ -70,6 +89,7 @@ func NewTCPListenerLink(addr string, rxSched *uthread.Scheduler, rxNode string, 
 	l := &TCPLink{
 		ln:         ln,
 		rxNode:     rxNode,
+		resumable:  resumable,
 		rxSched:    rxSched,
 		inbox:      newInbox(rxSched, queueLimit),
 		readerDone: make(chan struct{}),
@@ -79,52 +99,86 @@ func NewTCPListenerLink(addr string, rxSched *uthread.Scheduler, rxNode string, 
 	return l, ln.Addr().String(), nil
 }
 
-// acceptAndRead waits for the one peer, then runs the normal read loop.
+// acceptAndRead serves inbound connections: one peer at a time, one total
+// unless the link is resumable.
 func (l *TCPLink) acceptAndRead(ln net.Listener) {
-	conn, err := ln.Accept()
-	ln.Close()
-	l.mu.Lock()
-	l.ln = nil
-	if err != nil || l.closed {
-		l.mu.Unlock()
-		if conn != nil {
-			conn.Close()
+	defer close(l.readerDone)
+	defer l.rxSched.ReleaseExternalSource()
+	defer l.inbox.close()
+	for {
+		conn, err := ln.Accept()
+		l.mu.Lock()
+		if err != nil || l.closed {
+			l.ln = nil
+			l.mu.Unlock()
+			ln.Close()
+			if conn != nil {
+				conn.Close()
+			}
+			return
 		}
-		close(l.readerDone)
-		l.rxSched.ReleaseExternalSource()
-		l.inbox.close()
-		return
+		l.conn = conn
+		if !l.resumable {
+			l.ln = nil
+		}
+		l.mu.Unlock()
+		if !l.resumable {
+			ln.Close()
+		}
+		terminal := l.readFrames(conn)
+		conn.Close()
+		l.mu.Lock()
+		if l.conn == conn {
+			l.conn = nil
+		}
+		closed := l.closed
+		l.mu.Unlock()
+		if terminal || closed || !l.resumable {
+			if l.resumable {
+				l.mu.Lock()
+				l.ln = nil
+				l.mu.Unlock()
+				ln.Close()
+			}
+			return
+		}
 	}
-	l.conn = conn
-	l.mu.Unlock()
-	l.readLoop()
 }
 
-// readLoop reads frames until EOF or an EOS frame and injects them.
+// readLoop reads frames until EOF or an EOS frame and injects them
+// (receiver links wrapped around an established connection).
 func (l *TCPLink) readLoop() {
 	defer close(l.readerDone)
 	defer l.rxSched.ReleaseExternalSource()
 	defer l.inbox.close()
+	l.readFrames(l.conn)
+}
+
+// readFrames injects frames from conn into the inbox until the connection
+// ends.  It reports whether the stream itself ended (an explicit EOS frame
+// or a malformed frame): a bare EOF is non-terminal, so resumable listener
+// links can await a replacement sender.
+func (l *TCPLink) readFrames(conn net.Conn) bool {
 	var lenBuf [4]byte
 	for {
-		if _, err := io.ReadFull(l.conn, lenBuf[:]); err != nil {
-			return // EOF or connection torn down
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return false // bare EOF or connection torn down
 		}
 		n := binary.BigEndian.Uint32(lenBuf[:])
 		if n == 0 || n > 64<<20 {
-			return // malformed frame
+			return true // malformed frame
 		}
 		body := make([]byte, n)
-		if _, err := io.ReadFull(l.conn, body); err != nil {
-			return
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return false
 		}
 		switch body[0] {
 		case frameData:
 			l.inbox.inject(body[1:])
 		case frameEOS:
-			return
+			return true
 		default:
-			return
+			return true
 		}
 	}
 }
@@ -176,6 +230,32 @@ func (l *TCPLink) Close() error {
 		<-l.readerDone
 	}
 	return err
+}
+
+// Redial points a sender link at a new peer address: the old connection (if
+// any) is closed without an EOS frame — the peer's resumable listener parks
+// the lane — and subsequent sends go to the new peer.  The cluster
+// re-placement path uses it to retarget a stationary upstream at a segment
+// recomposed on another node; pause the upstream first so no send races the
+// swap.
+func (l *TCPLink) Redial(addr string) error {
+	conn, err := Dial(addr)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		conn.Close()
+		return core.ErrStopped
+	}
+	old := l.conn
+	l.conn = conn
+	l.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	return nil
 }
 
 // Dropped reports how many inbound frames the receiver side discarded

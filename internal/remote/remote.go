@@ -17,6 +17,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"infopipes/internal/core"
 	"infopipes/internal/events"
@@ -47,6 +48,19 @@ var ErrUnknownFactory = errors.New("remote: unknown component factory")
 // ErrUnknownPipeline is returned for operations on unknown pipeline names.
 var ErrUnknownPipeline = errors.New("remote: unknown pipeline")
 
+// ErrNodeUnreachable wraps every transport-level failure of a client call —
+// dial errors, send/receive errors, and per-call deadline expiry on a
+// wedged node.  Application-level errors (a factory rejecting a spec, an
+// unknown pipeline) are NOT wrapped: reaching the node and being told no is
+// not unreachability.  Inspect with errors.Is.
+var ErrNodeUnreachable = errors.New("remote: node unreachable")
+
+// DefaultCallTimeout bounds each control call unless the caller overrides
+// it with SetCallTimeout.  Control operations are small request/response
+// exchanges; a node that cannot answer within this window is treated as
+// unreachable rather than letting Start/Stop/Wait hang forever.
+const DefaultCallTimeout = 10 * time.Second
+
 // Node hosts remotely composable pipelines.
 type Node struct {
 	name  string
@@ -57,11 +71,13 @@ type Node struct {
 	factories     map[string]Factory
 	specFactories map[string]SpecFactory
 	resolver      func(key string) (string, error)
+	controller    func(op string, params map[string]string) (string, error)
 	pipelines     map[string]*core.Pipeline
 	ln            net.Listener
 	closed        bool
 	conns         map[net.Conn]struct{}
 	wg            sync.WaitGroup
+	started       time.Time
 }
 
 // NewNode creates a node over the given scheduler and bus.
@@ -110,6 +126,16 @@ func (n *Node) SetResolver(r func(key string) (string, error)) {
 	n.resolver = r
 }
 
+// SetController installs the handler behind the ctl op: parameterized
+// node-side actions beyond lookups (the graph support uses it to pre-bind
+// rendezvous listeners, drop lane state, and redial stationary senders when
+// a segment is re-placed onto another node).
+func (n *Node) SetController(c func(op string, params map[string]string) (string, error)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.controller = c
+}
+
 // Pipeline returns a locally hosted pipeline by name.
 func (n *Node) Pipeline(name string) (*core.Pipeline, bool) {
 	n.mu.Lock()
@@ -149,6 +175,7 @@ func (n *Node) Serve(addr string) (string, error) {
 	}
 	n.mu.Lock()
 	n.ln = ln
+	n.started = time.Now()
 	n.mu.Unlock()
 	// While serving, remote clients can compose and post at any time, so
 	// the node's scheduler must idle rather than drain.
@@ -200,24 +227,53 @@ func (n *Node) Close() {
 
 // Wire protocol.
 type request struct {
-	Op         string // compose | start | stop | query | event | lookup | ping
+	Op         string // compose | start | stop | detach | query | stats | health | caps | event | lookup | ctl | ping
 	Pipeline   string
 	Stages     []StageSpec
 	StageIndex int
 	Event      events.Event
-	Key        string // lookup key
+	Key        string            // lookup key / ctl op name / stats prefix
+	Params     map[string]string // ctl parameters
 	// SkipEventCheck composes without the per-pipeline §2.3 event-
 	// capability check: graph deployments run that check graph-wide on
 	// the deployer instead, since an event emitted in one segment may be
 	// handled in another.
 	SkipEventCheck bool
+	// Seeded carries the upstream Typespec into a compose: the node seeds
+	// spec propagation with it (core.WithInputSpec), so §2.3 flow checking
+	// spans node boundaries — a mistyped cross-node edge fails right here,
+	// at composition.
+	Seeded bool
+	Seed   typespec.Typespec
+}
+
+// PipeStat is one hosted pipeline's telemetry row as served by the stats
+// op: the alloc-free pump counters plus lifecycle state.
+type PipeStat struct {
+	Name                     string
+	Items, Cycles, BusyNanos int64
+	Done, EOS                bool
+	Err                      string
+}
+
+// Health is the node liveness report served by the health op, the heartbeat
+// payload of a cluster directory.
+type Health struct {
+	Node        string
+	Pipelines   int
+	Switches    int64
+	UptimeNanos int64
 }
 
 type response struct {
-	Err   string
-	Spec  typespec.Typespec
-	Node  string
-	Value string // lookup result
+	Err    string
+	Spec   typespec.Typespec
+	Node   string
+	Value  string // lookup / ctl result
+	Stats  []PipeStat
+	Health Health
+	// Sends/Handles are the event-capability sets of a pipeline (caps op).
+	Sends, Handles []string
 }
 
 func (n *Node) serveConn(conn net.Conn) {
@@ -247,7 +303,7 @@ func (n *Node) handle(req request) response {
 	case "ping":
 		return response{Node: n.name}
 	case "compose":
-		if err := n.compose(req.Pipeline, req.Stages, req.SkipEventCheck); err != nil {
+		if err := n.compose(req.Pipeline, req.Stages, req.SkipEventCheck, req.Seeded, req.Seed); err != nil {
 			return response{Err: err.Error()}
 		}
 		return response{Node: n.name}
@@ -262,12 +318,34 @@ func (n *Node) handle(req request) response {
 			p.Stop()
 		}
 		return response{}
+	case "detach":
+		// Tear one pipeline down for re-placement: no event broadcast (the
+		// rest of the node's pipelines are undisturbed), threads joined,
+		// name freed for a recomposition elsewhere.
+		p, ok := n.RemovePipeline(req.Pipeline)
+		if !ok {
+			return response{Err: ErrUnknownPipeline.Error()}
+		}
+		p.Detach()
+		<-p.Done()
+		return response{Node: n.name}
 	case "query":
 		p, ok := n.Pipeline(req.Pipeline)
 		if !ok {
 			return response{Err: ErrUnknownPipeline.Error()}
 		}
 		return response{Spec: p.SpecAt(req.StageIndex), Node: n.name}
+	case "stats":
+		return response{Node: n.name, Stats: n.stats(req.Key)}
+	case "health":
+		return response{Node: n.name, Health: n.health()}
+	case "caps":
+		p, ok := n.Pipeline(req.Pipeline)
+		if !ok {
+			return response{Err: ErrUnknownPipeline.Error()}
+		}
+		sends, handles := p.EventCapabilities()
+		return response{Node: n.name, Sends: typeStrings(sends), Handles: typeStrings(handles)}
 	case "event":
 		n.bus.Broadcast(req.Event)
 		return response{}
@@ -277,9 +355,72 @@ func (n *Node) handle(req request) response {
 			return response{Err: err.Error()}
 		}
 		return response{Value: v, Node: n.name}
+	case "ctl":
+		n.mu.Lock()
+		c := n.controller
+		n.mu.Unlock()
+		if c == nil {
+			return response{Err: fmt.Sprintf("remote: node %s has no controller (ctl %q)", n.name, req.Key)}
+		}
+		v, err := c(req.Key, req.Params)
+		if err != nil {
+			return response{Err: err.Error()}
+		}
+		return response{Value: v, Node: n.name}
 	default:
 		return response{Err: fmt.Sprintf("remote: unknown op %q", req.Op)}
 	}
+}
+
+func typeStrings(ts []events.Type) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = string(t)
+	}
+	return out
+}
+
+// stats snapshots the pump counters of every hosted pipeline whose name
+// starts with prefix ("" = all).  Row order is unspecified; callers key the
+// rows by name.
+func (n *Node) stats(prefix string) []PipeStat {
+	n.mu.Lock()
+	ps := make(map[string]*core.Pipeline, len(n.pipelines))
+	for name, p := range n.pipelines {
+		if strings.HasPrefix(name, prefix) {
+			ps[name] = p
+		}
+	}
+	n.mu.Unlock()
+	out := make([]PipeStat, 0, len(ps))
+	for name, p := range ps {
+		st := p.Stats()
+		row := PipeStat{Name: name, Items: st.Items, Cycles: st.Cycles,
+			BusyNanos: st.BusyNanos, EOS: p.ReachedEOS()}
+		select {
+		case <-p.Done():
+			row.Done = true
+		default:
+		}
+		if err := p.Err(); err != nil {
+			row.Err = err.Error()
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// health reports the node's liveness counters (heartbeat payload).
+func (n *Node) health() Health {
+	n.mu.Lock()
+	pipelines := len(n.pipelines)
+	started := n.started
+	n.mu.Unlock()
+	h := Health{Node: n.name, Pipelines: pipelines, Switches: n.sched.Stats().Switches}
+	if !started.IsZero() {
+		h.UptimeNanos = int64(time.Since(started))
+	}
+	return h
 }
 
 // lookup answers the built-in keys and defers the rest to the resolver
@@ -317,8 +458,10 @@ func (n *Node) lookup(key string) (string, error) {
 	return r(key)
 }
 
-// compose builds a pipeline from stage specs via the factory registry.
-func (n *Node) compose(name string, specs []StageSpec, skipEventCheck bool) error {
+// compose builds a pipeline from stage specs via the factory registry.  A
+// seeded compose starts Typespec propagation from the upstream segment's
+// resolved spec instead of a blank one.
+func (n *Node) compose(name string, specs []StageSpec, skipEventCheck, seeded bool, seed typespec.Typespec) error {
 	stages := make([]core.Stage, 0, len(specs))
 	n.mu.Lock()
 	factories := n.factories
@@ -347,6 +490,9 @@ func (n *Node) compose(name string, specs []StageSpec, skipEventCheck bool) erro
 	if skipEventCheck {
 		opts = append(opts, core.SkipEventCapabilityCheck())
 	}
+	if seeded {
+		opts = append(opts, core.WithInputSpec(seed))
+	}
 	p, err := core.Compose(name, n.sched, n.bus, stages, opts...)
 	if err != nil {
 		return err
@@ -363,38 +509,75 @@ func (n *Node) compose(name string, specs []StageSpec, skipEventCheck bool) erro
 	return nil
 }
 
-// Client drives a remote node.  Not safe for concurrent use; open one
-// client per goroutine.
+// Client drives a remote node.  Calls are serialized internally (one
+// request/response exchange at a time), so a client may be shared between a
+// deployment's Wait poller and a telemetry or balancer loop.
 type Client struct {
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	timeout time.Duration
+	// broken latches the first transport failure.  A timed-out or
+	// interrupted exchange leaves the shared gob stream desynchronized —
+	// the server's stale response would pair with the NEXT request — so
+	// the connection is closed and every later call fails fast with the
+	// latched error instead of silently decoding the wrong response.
+	broken error
 }
 
-// Dial connects to a node's control address.
+// Dial connects to a node's control address.  Calls carry the default
+// per-call deadline (DefaultCallTimeout); adjust with SetCallTimeout.
 func Dial(addr string) (*Client, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+		return nil, fmt.Errorf("%w: dial %s: %v", ErrNodeUnreachable, addr, err)
 	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn),
+		timeout: DefaultCallTimeout}, nil
+}
+
+// SetCallTimeout bounds each control call: a node that does not answer
+// within d makes the call fail with a wrapped ErrNodeUnreachable instead of
+// hanging Start/Stop/Wait forever.  Zero disables the deadline.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
 }
 
 // Close releases the control connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
 func (c *Client) call(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken != nil {
+		return response{}, c.broken
+	}
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
 	if err := c.enc.Encode(&req); err != nil {
-		return response{}, fmt.Errorf("remote: send: %w", err)
+		return response{}, c.breakConn("send", err)
 	}
 	var resp response
 	if err := c.dec.Decode(&resp); err != nil {
-		return response{}, fmt.Errorf("remote: receive: %w", err)
+		return response{}, c.breakConn("receive", err)
 	}
 	if resp.Err != "" {
 		return resp, errors.New(resp.Err)
 	}
 	return resp, nil
+}
+
+// breakConn (mu held) poisons the client after a transport failure and
+// closes the connection, so no later call can pair with a stale response.
+func (c *Client) breakConn(stage string, err error) error {
+	c.broken = fmt.Errorf("%w: %s: %v", ErrNodeUnreachable, stage, err)
+	c.conn.Close()
+	return c.broken
 }
 
 // Ping checks liveness and returns the node name.
@@ -416,6 +599,56 @@ func (c *Client) Compose(pipeline string, stages []StageSpec) error {
 func (c *Client) ComposeSegment(pipeline string, stages []StageSpec) error {
 	_, err := c.call(request{Op: "compose", Pipeline: pipeline, Stages: stages, SkipEventCheck: true})
 	return err
+}
+
+// ComposeSeededSegment is ComposeSegment carrying the upstream segment's
+// resolved Typespec: the node seeds spec propagation with it, so §2.3 flow
+// checking spans the node boundary and a mistyped cross-node edge fails at
+// composition with the typespec error.
+func (c *Client) ComposeSeededSegment(pipeline string, stages []StageSpec, seed typespec.Typespec) error {
+	_, err := c.call(request{Op: "compose", Pipeline: pipeline, Stages: stages,
+		SkipEventCheck: true, Seeded: true, Seed: seed})
+	return err
+}
+
+// Detach tears one remote pipeline down without broadcasting any event (the
+// node's other pipelines are undisturbed), joins its threads, and frees its
+// name — the teardown half of re-placing a segment onto another node.
+func (c *Client) Detach(pipeline string) error {
+	_, err := c.call(request{Op: "detach", Pipeline: pipeline})
+	return err
+}
+
+// Stats snapshots the pump counters of every pipeline on the node whose
+// name starts with prefix ("" = all) — remote telemetry over the §2.4
+// control protocol.
+func (c *Client) Stats(prefix string) ([]PipeStat, error) {
+	resp, err := c.call(request{Op: "stats", Key: prefix})
+	return resp.Stats, err
+}
+
+// Health fetches the node's liveness report (heartbeat).
+func (c *Client) Health() (Health, error) {
+	resp, err := c.call(request{Op: "health"})
+	return resp.Health, err
+}
+
+// Caps fetches the event-capability sets of a remote pipeline, so a cluster
+// deployer can run the graph-wide §2.3 check across segments on different
+// nodes.
+func (c *Client) Caps(pipeline string) (sends, handles []string, err error) {
+	resp, err := c.call(request{Op: "caps", Pipeline: pipeline})
+	return resp.Sends, resp.Handles, err
+}
+
+// Control invokes a node-side controller action (SetController) with
+// parameters — the §2.4 extension behind cluster lane management: the graph
+// support handles "listen" (pre-bind a rendezvous listener, returning its
+// address), "drop" (close and forget one lane's state) and "redial" (point
+// a stationary sender at a re-placed segment's new listener).
+func (c *Client) Control(op string, params map[string]string) (string, error) {
+	resp, err := c.call(request{Op: "ctl", Key: op, Params: params})
+	return resp.Value, err
 }
 
 // Start broadcasts the start of a remote pipeline.

@@ -1,0 +1,41 @@
+package shard_test
+
+import (
+	"testing"
+
+	"infopipes/internal/core"
+	"infopipes/internal/pipes"
+	"infopipes/internal/shard"
+)
+
+// TestPinnedGroupRunsFarm: WithPinnedShards locks each shard's Run loop to
+// an OS thread; the farm must behave exactly as unpinned — every item
+// delivered, Pinned reported.
+func TestPinnedGroupRunsFarm(t *testing.T) {
+	const pipelines, items = 4, 500
+	g := shard.NewGroup(shard.WithShardCount(2), shard.WithRealClock(), shard.WithPinnedShards())
+	if !g.Pinned() {
+		t.Fatal("Pinned() = false on a pinned group")
+	}
+	sinks := make([]*pipes.CollectSink, pipelines)
+	for i := 0; i < pipelines; i++ {
+		sinks[i] = pipes.NewCollectSink("sink")
+		p, err := g.Compose("farm", nil, []core.Stage{
+			core.Comp(pipes.NewCounterSource("src", items)),
+			core.Pmp(pipes.NewFreePump("pump")),
+			core.Comp(sinks[i]),
+		})
+		if err != nil {
+			t.Fatalf("pipeline %d: %v", i, err)
+		}
+		p.Start()
+	}
+	if err := g.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for i, s := range sinks {
+		if s.Count() != items {
+			t.Fatalf("pipeline %d delivered %d items, want %d", i, s.Count(), items)
+		}
+	}
+}

@@ -61,6 +61,7 @@ type config struct {
 	shards int
 	policy Policy
 	real   bool
+	pinned bool
 }
 
 // WithShardCount sets the number of shards (default runtime.NumCPU()).
@@ -83,6 +84,16 @@ func WithRealClock() Option {
 	return func(c *config) { c.real = true }
 }
 
+// WithPinnedShards wires each shard's Run loop to its own OS thread
+// (runtime.LockOSThread): the Go scheduler stops migrating shard goroutines
+// between threads, so the kernel can keep each shard's working set warm on
+// one core — the first step of NUMA/CPU placement for large hosts.  The
+// uthreads inside a shard are unaffected (they already live on the shard's
+// single goroutine); this pins that goroutine itself.
+func WithPinnedShards() Option {
+	return func(c *config) { c.pinned = true }
+}
+
 // Group is the sharded runtime: N schedulers with a shared time base, a
 // placement policy, and a joined lifecycle.  Construct with NewGroup, place
 // pipelines with Compose (or Place + core.Compose), then Run.
@@ -90,6 +101,7 @@ type Group struct {
 	shards []*uthread.Scheduler
 	group  *vclock.GroupVirtual // nil on the real clock
 	policy Policy
+	pinned bool
 
 	mu      sync.Mutex
 	load    []int // pipelines currently placed per shard
@@ -106,7 +118,7 @@ func NewGroup(opts ...Option) *Group {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	g := &Group{policy: cfg.policy, load: make([]int, cfg.shards), done: make(chan struct{})}
+	g := &Group{policy: cfg.policy, pinned: cfg.pinned, load: make([]int, cfg.shards), done: make(chan struct{})}
 	if !cfg.real {
 		g.group = vclock.NewGroupVirtual()
 	}
@@ -226,11 +238,22 @@ func (g *Group) Start() {
 	g.started = true
 	errcs := make([]<-chan error, 0, len(g.shards))
 	for _, s := range g.shards {
-		errcs = append(errcs, s.RunBackground())
+		errc := make(chan error, 1)
+		go func(s *uthread.Scheduler) {
+			if g.pinned {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
+			errc <- s.Run()
+		}(s)
+		errcs = append(errcs, errc)
 	}
 	g.mu.Unlock()
 	go g.collect(errcs)
 }
+
+// Pinned reports whether shard Run loops are locked to OS threads.
+func (g *Group) Pinned() bool { return g.pinned }
 
 // collect joins every shard exactly once and latches the result, so Wait
 // may be called any number of times, from any number of goroutines.
