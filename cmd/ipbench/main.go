@@ -11,6 +11,8 @@
 //	ipbench link                             # E18: cross-shard link batch drain
 //	ipbench graph [-procs N]                 # E19: graph fan-out/fan-in per deployment target
 //	ipbench rebalance [-procs N] [items]     # E21: live rebalance of a skewed deployment
+//	ipbench lanes [items]                    # E23: durable-lane journal overhead
+//	ipbench failover [items]                 # E23: kill-a-node recovery latency
 //
 // -procs sets GOMAXPROCS for the run (multi-core measurement, E22); -pinned
 // locks each shard's Run loop to an OS thread (shard.WithPinnedShards).
@@ -55,6 +57,8 @@ func main() {
 		"link":      linkRate,
 		"graph":     graphFanout,
 		"rebalance": func() error { return rebalanceSkew(120_000) },
+		"lanes":     func() error { return laneOverhead(60_000) },
+		"failover":  func() error { return failoverLatency(400) },
 	}
 	if which == "shard" && len(rest) > 0 {
 		n, err := strconv.Atoi(rest[0])
@@ -72,7 +76,19 @@ func main() {
 		}
 		runners["rebalance"] = func() error { return rebalanceSkew(int64(n)) }
 	}
-	order := []string{"fig9", "switches", "midi", "dropping", "jitter", "pumps", "marshal", "shard", "link", "graph", "rebalance"}
+	if (which == "lanes" || which == "failover") && len(rest) > 0 {
+		n, err := strconv.Atoi(rest[0])
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "ipbench: item count %q must be a positive integer\n", rest[0])
+			os.Exit(2)
+		}
+		if which == "lanes" {
+			runners["lanes"] = func() error { return laneOverhead(int64(n)) }
+		} else {
+			runners["failover"] = func() error { return failoverLatency(int64(n)) }
+		}
+	}
+	order := []string{"fig9", "switches", "midi", "dropping", "jitter", "pumps", "marshal", "shard", "link", "graph", "rebalance", "lanes", "failover"}
 	if which != "all" {
 		run, ok := runners[which]
 		if !ok {
@@ -275,6 +291,42 @@ func marshal() error {
 	fmt.Printf("%-14s %12s %12s %12s\n", "codec", "ns/op", "allocs/op", "frame bytes")
 	for _, r := range rows {
 		fmt.Printf("%-14s %12.0f %12.1f %12d\n", r.Codec, r.NsPerOp, r.AllocsPerOp, r.FrameBytes)
+	}
+	return nil
+}
+
+func laneOverhead(items int64) error {
+	rows, overhead, err := experiments.LaneOverhead(items)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E23 — durable lane overhead: %d items free-running across one cross-node lane\n", items)
+	fmt.Printf("%-14s %12s %14s\n", "lane", "wall (ms)", "items/s")
+	for _, r := range rows {
+		fmt.Printf("%-14s %12.1f %14.0f\n", r.Config, float64(r.Wall.Microseconds())/1e3, r.Throughput)
+	}
+	fmt.Printf("journal overhead: %.1f%% (CI gate: <= 15%%)\n", overhead)
+	return nil
+}
+
+func failoverLatency(items int64) error {
+	const rate = 600
+	res, err := experiments.FailoverLatency(items, rate)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E23 — failover latency: %d items at %d/s, middle node killed after %d items\n",
+		res.Items, int64(rate), res.KillAfter)
+	fmt.Printf("detect (kill -> OnDown):      %8.1f ms\n", float64(res.Detect.Microseconds())/1e3)
+	fmt.Printf("recover (kill -> replayed):   %8.1f ms\n", float64(res.Recover.Microseconds())/1e3)
+	fmt.Printf("stream wall:                  %8.1f ms\n", float64(res.Wall.Microseconds())/1e3)
+	exact := "exactly-once OK"
+	if !res.ExactOnce {
+		exact = "EXACTLY-ONCE VIOLATED"
+	}
+	fmt.Printf("delivered: %d/%d  %s\n", res.Delivered, res.Items, exact)
+	if !res.ExactOnce {
+		return fmt.Errorf("failover run delivered %d items with loss or duplication", res.Delivered)
 	}
 	return nil
 }

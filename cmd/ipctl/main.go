@@ -18,6 +18,17 @@
 //	ipctl top    -nodes host:port,... [-interval 2s] [-count 0]
 //	    Repeating health + stats display (count 0 = until interrupted).
 //
+//	ipctl watch  -nodes host:port,... [-interval 2s] [-count 0] [-prefix NAME/]
+//	    Live event stream: prints node UP/DOWN transitions and pipeline
+//	    lifecycle changes (started, done, FAILED) as they happen, instead
+//	    of redrawing full tables.
+//
+//	ipctl replace -op host:port [-deployment NAME] [-move seg=node,...]
+//	    Manual segment move against a deployment's operator endpoint
+//	    (control.Operator): -move re-places each named segment onto the
+//	    given node index — journals replay in-flight items, so no drain is
+//	    needed — and without -move the current placements are printed.
+//
 // Unreachable nodes are reported per row instead of failing the whole
 // command; every call carries the client's default deadline, so a wedged
 // node cannot hang the tool.
@@ -29,6 +40,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -37,35 +49,48 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: ipctl ping|health|stats|top -nodes host:port,... [flags]")
+		fmt.Fprintln(os.Stderr, "usage: ipctl ping|health|stats|top|watch -nodes host:port,... [flags]\n       ipctl replace -op host:port [-deployment NAME] [-move seg=node,...]")
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	nodes := fs.String("nodes", "", "comma-separated control addresses")
-	prefix := fs.String("prefix", "", "pipeline name prefix filter (stats, top)")
-	interval := fs.Duration("interval", 2*time.Second, "refresh interval (top)")
-	count := fs.Int("count", 0, "refreshes before exiting, 0 = run until interrupted (top)")
+	prefix := fs.String("prefix", "", "pipeline name prefix filter (stats, top, watch)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval (top, watch)")
+	count := fs.Int("count", 0, "refreshes before exiting, 0 = run until interrupted (top, watch)")
+	op := fs.String("op", "", "deployment operator address (replace)")
+	deployment := fs.String("deployment", "", "deployment name; optional when the operator serves one (replace)")
+	move := fs.String("move", "", "comma-separated segment=nodeIndex moves (replace)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
-	if *nodes == "" {
-		fmt.Fprintln(os.Stderr, "ipctl: -nodes is required")
-		os.Exit(2)
-	}
-	addrs := strings.Split(*nodes, ",")
 	var err error
-	switch cmd {
-	case "ping":
-		err = ping(addrs)
-	case "health":
-		err = health(addrs)
-	case "stats":
-		err = stats(addrs, *prefix)
-	case "top":
-		err = top(addrs, *prefix, *interval, *count)
-	default:
-		err = fmt.Errorf("unknown subcommand %q", cmd)
+	if cmd == "replace" {
+		if *op == "" {
+			fmt.Fprintln(os.Stderr, "ipctl: replace needs -op host:port")
+			os.Exit(2)
+		}
+		err = replace(*op, *deployment, *move)
+	} else {
+		if *nodes == "" {
+			fmt.Fprintln(os.Stderr, "ipctl: -nodes is required")
+			os.Exit(2)
+		}
+		addrs := strings.Split(*nodes, ",")
+		switch cmd {
+		case "ping":
+			err = ping(addrs)
+		case "health":
+			err = health(addrs)
+		case "stats":
+			err = stats(addrs, *prefix)
+		case "top":
+			err = top(addrs, *prefix, *interval, *count)
+		case "watch":
+			err = watch(addrs, *prefix, *interval, *count)
+		default:
+			err = fmt.Errorf("unknown subcommand %q", cmd)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ipctl:", err)
@@ -158,6 +183,120 @@ func statsWith(clients []*infopipes.RemoteClient, errs []error, addrs []string, 
 			fmt.Printf("%-12s %-36s %12d %12d %10d %-6s\n",
 				name, row.Name, row.Items, row.Cycles, row.BusyNanos/1e6, state)
 		}
+	}
+	return nil
+}
+
+// watch polls the cluster and prints only transitions: a node going
+// unreachable or coming back, a pipeline appearing, finishing, or failing.
+// The quiet steady state prints nothing, which is what makes a failover —
+// DOWN, a burst of pipeline starts elsewhere, done — readable as a story.
+func watch(addrs []string, prefix string, interval time.Duration, count int) error {
+	clients, errs := dial(addrs)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	up := make([]bool, len(addrs))
+	first := true
+	type pipeKey struct{ node, name string }
+	states := make(map[pipeKey]string)
+	stamp := func() string { return time.Now().Format(time.TimeOnly) }
+	for n := 0; count == 0 || n < count; n++ {
+		if n > 0 {
+			select {
+			case <-sig:
+				return nil
+			case <-time.After(interval):
+			}
+		}
+		for i, addr := range addrs {
+			if errs[i] != nil {
+				// A failed initial dial keeps being retried: the node may
+				// simply not be up yet.
+				clients[i], errs[i] = infopipes.DialNode(strings.TrimSpace(addr))
+			}
+			name, err := "", errs[i]
+			if err == nil {
+				name, err = clients[i].Ping()
+				if err != nil {
+					// A poisoned client fails every later call; re-dial so
+					// recovery is observable.
+					_ = clients[i].Reconnect()
+				}
+			}
+			if reachable := err == nil; reachable != up[i] || first {
+				if reachable {
+					fmt.Printf("%s UP    %-24s node=%s\n", stamp(), addr, name)
+				} else {
+					fmt.Printf("%s DOWN  %-24s %v\n", stamp(), addr, err)
+				}
+				up[i] = reachable
+			}
+			if err != nil {
+				continue
+			}
+			rows, err := clients[i].Stats(prefix)
+			if err != nil {
+				continue
+			}
+			for _, row := range rows {
+				state := "live"
+				switch {
+				case row.Err != "":
+					state = "FAILED " + row.Err
+				case row.EOS:
+					state = "done"
+				}
+				k := pipeKey{name, row.Name}
+				if prev, seen := states[k]; !seen || prev != state {
+					fmt.Printf("%s PIPE  %-12s %-36s %s (items=%d)\n", stamp(), name, row.Name, state, row.Items)
+					states[k] = state
+				}
+			}
+		}
+		first = false
+	}
+	return nil
+}
+
+// replace drives a deployment's operator endpoint: move segments per -move,
+// or just print the current placements when no moves are given.
+func replace(opAddr, deployment, move string) error {
+	c, err := infopipes.DialOperator(opAddr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	hints := make(map[string]int)
+	if move != "" {
+		for _, m := range strings.Split(move, ",") {
+			seg, node, ok := strings.Cut(strings.TrimSpace(m), "=")
+			if !ok {
+				return fmt.Errorf("bad -move entry %q, want segment=nodeIndex", m)
+			}
+			idx, err := strconv.Atoi(strings.TrimSpace(node))
+			if err != nil {
+				return fmt.Errorf("bad node index in -move entry %q: %v", m, err)
+			}
+			hints[strings.TrimSpace(seg)] = idx
+		}
+	}
+	var placed map[string]int
+	if len(hints) > 0 {
+		if placed, err = c.Replace(deployment, hints); err != nil {
+			return err
+		}
+		fmt.Printf("moved %d segment(s)\n", len(hints))
+	} else if placed, err = c.Placements(deployment); err != nil {
+		return err
+	}
+	segs := make([]string, 0, len(placed))
+	for seg := range placed {
+		segs = append(segs, seg)
+	}
+	sort.Strings(segs)
+	fmt.Printf("%-36s %s\n", "segment", "node")
+	for _, seg := range segs {
+		fmt.Printf("%-36s %4d\n", seg, placed[seg])
 	}
 	return nil
 }

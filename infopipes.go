@@ -575,6 +575,16 @@ type (
 	SimLink   = netpipe.SimLink
 	// TCPLink is the reliable TCP netpipe.
 	TCPLink = netpipe.TCPLink
+	// DurableLaneConfig tunes a durable lane's replay journal, ack cadence
+	// and write deadline; DurableLaneStats is its telemetry snapshot.
+	DurableLaneConfig = netpipe.DurableConfig
+	DurableLaneStats  = netpipe.LaneStats
+	// NetChaos configures seeded fault injection on a netpipe connection
+	// (drop, duplicate, delay, stall, mid-frame kill); NetChaosConn is the
+	// wrapped connection and NetChaosStats its injected-fault counters.
+	NetChaos      = netpipe.Chaos
+	NetChaosConn  = netpipe.ChaosConn
+	NetChaosStats = netpipe.ChaosStats
 	// Node and RemoteClient implement remote setup (§2.4).
 	Node         = remote.Node
 	RemoteClient = remote.Client
@@ -599,12 +609,23 @@ type (
 	// ClusterBalancer re-places segments of a remote deployment between
 	// nodes from stats-epoch skew (the cluster form of Balancer).
 	ClusterBalancer = control.ClusterBalancer
+	// ClusterSupervisor fails deployments over when the directory reports a
+	// node down: journals replay the in-flight items onto a healthy
+	// survivor and the flow keeps running.
+	ClusterSupervisor = control.Supervisor
+	// ClusterOperator serves deployment-level replace/placements calls for
+	// out-of-process operator tools (ipctl replace); OperatorClient dials it.
+	ClusterOperator = control.Operator
+	OperatorClient  = control.OperatorClient
 )
 
 // Cluster control-plane constructors and errors.
 var (
-	NewClusterDirectory = control.NewDirectory
-	NewClusterBalancer  = control.NewClusterBalancer
+	NewClusterDirectory  = control.NewDirectory
+	NewClusterBalancer   = control.NewClusterBalancer
+	NewClusterSupervisor = control.NewSupervisor
+	NewClusterOperator   = control.NewOperator
+	DialOperator         = control.DialOperator
 	// ErrNodeUnreachable wraps every transport-level failure of a control
 	// call — a dead or wedged node surfaces as this instead of a hang.
 	ErrNodeUnreachable = remote.ErrNodeUnreachable
@@ -624,6 +645,10 @@ var (
 	NewSimLink                   = netpipe.NewSimLink
 	NewTCPSenderLink             = netpipe.NewTCPSenderLink
 	NewTCPReceiverLink           = netpipe.NewTCPReceiverLink
+	NewDurableTCPSenderLink      = netpipe.NewDurableTCPSenderLink
+	NewDurableTCPListenerLink    = netpipe.NewDurableTCPListenerLink
+	NewNetChaosConn              = netpipe.NewChaosConn
+	NetChaosDial                 = netpipe.ChaosDial
 	NewNode                      = remote.NewNode
 	DialNode                     = remote.Dial
 	ForwardEvents                = remote.ForwardEvents

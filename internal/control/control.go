@@ -33,6 +33,7 @@ package control
 
 import (
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -66,9 +67,22 @@ type Directory struct {
 	// MaxMisses is the number of consecutive failed heartbeats before a
 	// node is marked down (default 3).
 	MaxMisses int
+	// ProbeRetries is how many times a single failed probe is retried —
+	// reconnecting the control client and backing off in between — before it
+	// counts as a missed heartbeat (default 2).  A slow accept queue or a
+	// one-off TCP reset then never flaps the node, while a genuinely dead
+	// node still misses on schedule: the retries happen inside one probe.
+	ProbeRetries int
+	// ProbeBackoff is the base pause between probe retries (default 25ms);
+	// each pause is jittered up to +50% so a cluster of directories does not
+	// retry in lockstep.
+	ProbeBackoff time.Duration
 	// OnDown, when set, is called once per transition of a node to
 	// unhealthy, with the node name and the heartbeat error.
 	OnDown func(name string, err error)
+	// OnUp, when set, is called once per transition of a node back to
+	// healthy after it was marked down.
+	OnUp func(name string)
 
 	mu      sync.Mutex
 	names   []string
@@ -82,10 +96,12 @@ type Directory struct {
 // NewDirectory creates an empty node registry.
 func NewDirectory() *Directory {
 	return &Directory{
-		MaxMisses: 3,
-		addrs:     make(map[string]string),
-		clients:   make(map[string]*remote.Client),
-		health:    make(map[string]*NodeHealth),
+		MaxMisses:    3,
+		ProbeRetries: 2,
+		ProbeBackoff: 25 * time.Millisecond,
+		addrs:        make(map[string]string),
+		clients:      make(map[string]*remote.Client),
+		health:       make(map[string]*NodeHealth),
 	}
 }
 
@@ -158,15 +174,19 @@ func (d *Directory) Heartbeat() int {
 		clients[n] = d.clients[n]
 	}
 	maxMisses := d.MaxMisses
+	retries := d.ProbeRetries
+	backoff := d.ProbeBackoff
 	onDown := d.OnDown
+	onUp := d.OnUp
 	d.mu.Unlock()
 
 	healthy := 0
 	for _, name := range names {
-		h, err := clients[name].Health()
+		h, err := d.probe(clients[name], retries, backoff)
 		d.mu.Lock()
 		entry := d.health[name]
 		if err == nil {
+			wentUp := !entry.Healthy
 			entry.Healthy = true
 			entry.Misses = 0
 			entry.LastSeen = time.Now()
@@ -176,6 +196,9 @@ func (d *Directory) Heartbeat() int {
 			entry.Err = nil
 			healthy++
 			d.mu.Unlock()
+			if wentUp && onUp != nil {
+				onUp(name)
+			}
 			continue
 		}
 		entry.Misses++
@@ -190,6 +213,40 @@ func (d *Directory) Heartbeat() int {
 		}
 	}
 	return healthy
+}
+
+// probe performs one health check with ProbeRetries in-probe retries: a
+// failed call poisons the client connection (every later call would fail
+// instantly and the node would flap down on a single hiccup), so each retry
+// reconnects before asking again, after a jittered backoff.
+func (d *Directory) probe(c *remote.Client, retries int, backoff time.Duration) (remote.Health, error) {
+	h, err := c.Health()
+	for try := 0; err != nil && try < retries; try++ {
+		if backoff > 0 {
+			jit := time.Duration(rand.Int63n(int64(backoff)/2 + 1))
+			time.Sleep(backoff + jit)
+		}
+		if rerr := c.Reconnect(); rerr != nil {
+			err = rerr
+			continue
+		}
+		h, err = c.Health()
+	}
+	return h, err
+}
+
+// NodeIndex maps a node name to its registration-order index — the node
+// numbering used by graph.OnNodes deployments (SegmentPlacements, FailOver).
+// Returns -1 for unknown names.
+func (d *Directory) NodeIndex(name string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, n := range d.names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
 }
 
 // Snapshot reports every node's last known health, in registration order.

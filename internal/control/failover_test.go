@@ -1,0 +1,356 @@
+package control_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"infopipes/internal/control"
+	"infopipes/internal/graph"
+	"infopipes/internal/pipes"
+)
+
+// trace renders a sink's item sequence as one string, so two runs can be
+// compared byte for byte.
+func trace(sink *pipes.CollectSink) string {
+	var b strings.Builder
+	for _, it := range sink.Items() {
+		fmt.Fprintf(&b, "%d ", it.Seq)
+	}
+	return b.String()
+}
+
+// refTrace is the canonical trace of a 1..n counter stream.
+func refTrace(n int) string {
+	var b strings.Builder
+	for i := 1; i <= n; i++ {
+		fmt.Fprintf(&b, "%d ", i)
+	}
+	return b.String()
+}
+
+// buildChain declares src >> pump | mid_i >> mp_i ... | out >> sink with the
+// given per-stage node placements (places[0] = source segment, then one per
+// mid, the last = sink segment).
+func buildChain(name string, items, rate, mids int, places []int) *graph.Graph {
+	g := graph.New(name)
+	g.AddSpec("src", "counter", graph.WithArgs(strconv.Itoa(items)), graph.Place(places[0]))
+	g.AddSpec("pump", "cpump", graph.WithArgs(strconv.Itoa(rate)), graph.Place(places[0]))
+	g.Pipe("src", "pump")
+	prev := "pump"
+	for i := 0; i < mids; i++ {
+		mid := fmt.Sprintf("mid%d", i)
+		mp := fmt.Sprintf("mp%d", i)
+		g.AddSpec(mid, "probe", graph.Place(places[1+i]))
+		g.AddSpec(mp, "fpump", graph.Place(places[1+i]))
+		g.Cut(prev, mid)
+		g.Pipe(mid, mp)
+		prev = mp
+	}
+	g.AddSpec("out", "fpump", graph.Place(places[len(places)-1]))
+	g.AddSpec("sink", "collect", graph.Place(places[len(places)-1]))
+	g.Cut(prev, "out")
+	g.Pipe("out", "sink")
+	return g
+}
+
+// superviseCluster registers the nodes in a fast-heartbeat directory and
+// puts the deployment under failover supervision.
+func superviseCluster(t *testing.T, nodes []*testNode, d *graph.Deployment) (*control.Directory, *control.Supervisor) {
+	t.Helper()
+	dir := control.NewDirectory()
+	dir.MaxMisses = 2
+	dir.ProbeRetries = 1
+	dir.ProbeBackoff = 5 * time.Millisecond
+	for _, n := range nodes {
+		if _, err := dir.Register(n.addr); err != nil {
+			t.Fatalf("register %s: %v", n.addr, err)
+		}
+	}
+	sup := control.NewSupervisor(dir)
+	sup.Backoff = 25 * time.Millisecond
+	sup.Manage(d)
+	dir.Start(15 * time.Millisecond)
+	t.Cleanup(dir.Close)
+	return dir, sup
+}
+
+// pollCount waits for a sink (possibly still nil in its store) to reach n
+// items.
+func pollCount(t *testing.T, ss *sinkStore, name string, n int, deadline time.Duration) {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		ss.mu.Lock()
+		sink := ss.sinks[name]
+		ss.mu.Unlock()
+		if sink != nil && sink.Count() >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("sink %q never reached %d items", name, n)
+}
+
+// TestFailoverKillNodeDeterministic is the kill-a-node arm of the
+// determinism harness: randomized chains (seeded — length, rate, number of
+// mid filters, victim node, kill point all drawn from the seed) run on a
+// 3-node cluster; mid-stream the node hosting the mid segments is killed
+// outright.  The supervisor must fail the dead segments over to a survivor
+// and the sink trace must come out byte-identical to the no-failure
+// reference — zero loss, zero duplication, order preserved.
+func TestFailoverKillNodeDeterministic(t *testing.T) {
+	for _, seed := range []int64{11, 23, 37} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			items := 120 + rng.Intn(80)
+			rate := 500 + rng.Intn(300)
+			mids := 1 + rng.Intn(2)
+			victim := 1 + rng.Intn(2) // node 1 or 2 of 3
+			killAt := items/4 + rng.Intn(items/4)
+			other := 3 - victim // the third node, 1<->2
+
+			places := make([]int, mids+2)
+			places[0] = 0
+			for i := 0; i < mids; i++ {
+				places[1+i] = victim
+			}
+			places[len(places)-1] = other
+
+			ss := &sinkStore{sinks: make(map[string]*pipes.CollectSink)}
+			cat := ss.catalog()
+			nodes := []*testNode{
+				startNode(t, "alpha", cat),
+				startNode(t, "beta", cat),
+				startNode(t, "gamma", cat),
+			}
+			dir := control.NewDirectory()
+			dir.MaxMisses = 2
+			dir.ProbeRetries = 1
+			dir.ProbeBackoff = 5 * time.Millisecond
+			for _, n := range nodes {
+				if _, err := dir.Register(n.addr); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sup := control.NewSupervisor(dir)
+			sup.Backoff = 25 * time.Millisecond
+			var fo []string
+			var foMu sync.Mutex
+			sup.OnFailover = func(dep, node string, err error) {
+				foMu.Lock()
+				fo = append(fo, fmt.Sprintf("%s/%s: %v", dep, node, err))
+				foMu.Unlock()
+			}
+
+			g := buildChain("killchain", items, rate, mids, places)
+			d, err := g.Deploy(graph.OnNodes(dir.Clients()...).WithClusterLanes())
+			if err != nil {
+				t.Fatalf("deploy: %v", err)
+			}
+			sup.Manage(d)
+			dir.Start(15 * time.Millisecond)
+			t.Cleanup(dir.Close)
+			d.Start()
+
+			pollCount(t, ss, "sink", killAt, 20*time.Second)
+			nodes[victim].close() // kill -9: sockets die, journals on survivors live on
+
+			if err := d.Wait(); err != nil {
+				foMu.Lock()
+				t.Fatalf("wait after kill: %v (failovers: %v)", err, fo)
+			}
+			ss.mu.Lock()
+			sink := ss.sinks["sink"]
+			ss.mu.Unlock()
+			if got, want := trace(sink), refTrace(items); got != want {
+				t.Fatalf("trace diverged after failover (items=%d rate=%d mids=%d victim=%d killAt=%d)\n got: %s\nwant: %s",
+					items, rate, mids, victim, killAt, got, want)
+			}
+			for seg, node := range d.SegmentPlacements() {
+				if node == victim {
+					t.Errorf("segment %q still placed on dead node %d", seg, victim)
+				}
+			}
+		})
+	}
+}
+
+// TestFailoverSurvivingBranchByteIdentical kills a node that hosts one
+// branch of a copy split.  The surviving branch — entirely on healthy nodes
+// — must produce a byte-identical trace as if nothing happened, and the
+// failed-over branch must still deliver exactly once.
+func TestFailoverSurvivingBranchByteIdentical(t *testing.T) {
+	const items = 150
+	ss := &sinkStore{sinks: make(map[string]*pipes.CollectSink)}
+	cat := ss.catalog()
+	nodes := []*testNode{
+		startNode(t, "alpha", cat),
+		startNode(t, "beta", cat),
+		startNode(t, "gamma", cat),
+	}
+	g := graph.New("splitkill")
+	g.AddSpec("src", "counter", graph.WithArgs(strconv.Itoa(items)), graph.Place(0))
+	g.AddSpec("pump", "cpump", graph.WithArgs("600"), graph.Place(0))
+	g.SplitSpec("tee", "copy", 2, graph.Place(0))
+	g.AddSpec("fa", "probe", graph.Place(0))
+	g.AddSpec("pa", "fpump", graph.Place(0))
+	g.AddSpec("sinka", "collect", graph.Place(0))
+	g.AddSpec("fb", "probe", graph.Place(1))
+	g.AddSpec("pb", "fpump", graph.Place(1))
+	g.AddSpec("out", "fpump", graph.Place(2))
+	g.AddSpec("sinkb", "collect", graph.Place(2))
+	g.Pipe("src", "pump", "tee")
+	g.Pipe("tee:0", "fa", "pa", "sinka")
+	g.Pipe("tee:1", "fb", "pb")
+	g.Cut("pb", "out")
+	g.Pipe("out", "sinkb")
+
+	dir := control.NewDirectory()
+	dir.MaxMisses = 2
+	dir.ProbeRetries = 1
+	dir.ProbeBackoff = 5 * time.Millisecond
+	for _, n := range nodes {
+		if _, err := dir.Register(n.addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sup := control.NewSupervisor(dir)
+	sup.Backoff = 25 * time.Millisecond
+
+	d, err := g.Deploy(graph.OnNodes(dir.Clients()...).WithClusterLanes())
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	sup.Manage(d)
+	dir.Start(15 * time.Millisecond)
+	t.Cleanup(dir.Close)
+	d.Start()
+
+	pollCount(t, ss, "sinkb", items/3, 20*time.Second)
+	nodes[1].close() // branch B's filter node dies mid-stream
+
+	if err := d.Wait(); err != nil {
+		t.Fatalf("wait after kill: %v", err)
+	}
+	ss.mu.Lock()
+	sinkA, sinkB := ss.sinks["sinka"], ss.sinks["sinkb"]
+	ss.mu.Unlock()
+	if got, want := trace(sinkA), refTrace(items); got != want {
+		t.Fatalf("surviving branch trace diverged\n got: %s\nwant: %s", got, want)
+	}
+	if got, want := trace(sinkB), refTrace(items); got != want {
+		t.Fatalf("failed-over branch not exactly-once\n got: %s\nwant: %s", got, want)
+	}
+	if node := d.SegmentPlacements()["fb>>pb"]; node == 1 {
+		t.Errorf("fb>>pb still on the dead node")
+	}
+}
+
+// TestReplaceRacingStream hammers Replace while the stream runs — moves
+// chase each other across all three nodes, racing the redials and journal
+// replays of the previous move — and the sink must still see every item
+// exactly once, in order.
+func TestReplaceRacingStream(t *testing.T) {
+	const items = 200
+	ss := &sinkStore{sinks: make(map[string]*pipes.CollectSink)}
+	cat := ss.catalog()
+	nodes := []*testNode{
+		startNode(t, "alpha", cat),
+		startNode(t, "beta", cat),
+		startNode(t, "gamma", cat),
+	}
+	_ = nodes
+	dir := control.NewDirectory()
+	t.Cleanup(dir.Close)
+	for _, n := range nodes {
+		if _, err := dir.Register(n.addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := buildChain("racechain", items, 800, 1, []int{0, 1, 2})
+	d, err := g.Deploy(graph.OnNodes(dir.Clients()...).WithClusterLanes())
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	d.Start()
+	pollCount(t, ss, "sink", 20, 20*time.Second)
+
+	var wg sync.WaitGroup
+	for i, dest := range []int{2, 0, 1, 2} {
+		wg.Add(1)
+		go func(i, dest int) {
+			defer wg.Done()
+			time.Sleep(time.Duration(i) * 7 * time.Millisecond)
+			// Concurrent moves serialize on the deployment; a move may find
+			// the segment already at its destination, which is fine.
+			_ = d.Replace(map[string]int{"mid0>>mp0": dest})
+		}(i, dest)
+	}
+	wg.Wait()
+	if err := d.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	ss.mu.Lock()
+	sink := ss.sinks["sink"]
+	ss.mu.Unlock()
+	if got, want := trace(sink), refTrace(items); got != want {
+		t.Fatalf("trace diverged under racing replaces\n got: %s\nwant: %s", got, want)
+	}
+}
+
+// TestSupervisorFailsWhenNoSurvivor kills every node of a 2-node cluster:
+// with no healthy placement left the supervisor must give up and latch a
+// terminal error instead of retrying forever — Wait surfaces it.
+func TestSupervisorFailsWhenNoSurvivor(t *testing.T) {
+	ss := &sinkStore{sinks: make(map[string]*pipes.CollectSink)}
+	cat := ss.catalog()
+	nodes := []*testNode{
+		startNode(t, "alpha", cat),
+		startNode(t, "beta", cat),
+	}
+	dir := control.NewDirectory()
+	dir.MaxMisses = 2
+	dir.ProbeRetries = 1
+	dir.ProbeBackoff = 5 * time.Millisecond
+	for _, n := range nodes {
+		if _, err := dir.Register(n.addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sup := control.NewSupervisor(dir)
+	sup.Attempts = 2
+	sup.Backoff = 20 * time.Millisecond
+
+	g := buildChain("doomed", 500, 200, 1, []int{0, 1, 0})
+	d, err := g.Deploy(graph.OnNodes(dir.Clients()...).WithClusterLanes())
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	sup.Manage(d)
+	dir.Start(15 * time.Millisecond)
+	t.Cleanup(dir.Close)
+	d.Start()
+	pollCount(t, ss, "sink", 10, 20*time.Second)
+	nodes[1].close()
+	nodes[0].close()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- d.Wait() }()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("wait returned nil with the whole cluster dead")
+		}
+		if !strings.Contains(err.Error(), "failover exhausted") {
+			t.Fatalf("wait error %v, want a failover-exhausted terminal error", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("wait hung after the whole cluster died")
+	}
+}

@@ -1,0 +1,255 @@
+package control
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"infopipes/internal/graph"
+)
+
+// Operator serves deployment-level operations — segment placements and
+// manual Replace — over a small gob protocol, so the failover path is
+// operator-drivable (ipctl replace) and not only policy-drivable (the
+// Supervisor).  The deploying process owns the Deployment objects; Operator
+// is the wire between them and an out-of-process operator tool.
+type Operator struct {
+	mu     sync.Mutex
+	deps   map[string]*graph.Deployment
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewOperator builds an empty operator endpoint; register deployments with
+// Register and expose it with Serve.
+func NewOperator() *Operator {
+	return &Operator{deps: make(map[string]*graph.Deployment), conns: make(map[net.Conn]struct{})}
+}
+
+// Register makes a deployment operable by name (Deployment.Name).  A later
+// registration under the same name replaces the earlier one.
+func (o *Operator) Register(d *graph.Deployment) {
+	o.mu.Lock()
+	o.deps[d.Name()] = d
+	o.mu.Unlock()
+}
+
+// Serve binds addr (host:port, empty port for ephemeral) and answers
+// operator calls until Close.  Returns the bound address.
+func (o *Operator) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("control: operator listen %s: %w", addr, err)
+	}
+	o.mu.Lock()
+	o.ln = ln
+	o.mu.Unlock()
+	o.wg.Add(1)
+	go o.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops serving and tears down open operator connections.
+func (o *Operator) Close() {
+	o.mu.Lock()
+	o.closed = true
+	ln := o.ln
+	conns := make([]net.Conn, 0, len(o.conns))
+	for c := range o.conns {
+		conns = append(conns, c)
+	}
+	o.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	o.wg.Wait()
+}
+
+func (o *Operator) acceptLoop(ln net.Listener) {
+	defer o.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		o.mu.Lock()
+		if o.closed {
+			o.mu.Unlock()
+			conn.Close()
+			return
+		}
+		o.conns[conn] = struct{}{}
+		o.wg.Add(1)
+		o.mu.Unlock()
+		go o.serveConn(conn)
+	}
+}
+
+// opRequest/opResponse mirror the node protocol's single request/response
+// pair: one gob stream per connection, calls answered in order.
+type opRequest struct {
+	Op         string // deployments | placements | replace
+	Deployment string
+	Hints      map[string]int
+}
+
+type opResponse struct {
+	Err         string
+	Deployments []string
+	Placements  map[string]int
+}
+
+func (o *Operator) serveConn(conn net.Conn) {
+	defer o.wg.Done()
+	defer func() {
+		o.mu.Lock()
+		delete(o.conns, conn)
+		o.mu.Unlock()
+		conn.Close()
+	}()
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req opRequest
+		if err := dec.Decode(&req); err != nil {
+			return
+		}
+		resp := o.handle(req)
+		if err := enc.Encode(&resp); err != nil {
+			return
+		}
+	}
+}
+
+// deployment resolves a request's target: a named lookup, or — with an
+// empty name — the sole registered deployment.
+func (o *Operator) deployment(name string) (*graph.Deployment, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if name == "" {
+		if len(o.deps) == 1 {
+			for _, d := range o.deps {
+				return d, nil
+			}
+		}
+		return nil, fmt.Errorf("control: %d deployments registered; name one", len(o.deps))
+	}
+	d, ok := o.deps[name]
+	if !ok {
+		return nil, fmt.Errorf("control: unknown deployment %q", name)
+	}
+	return d, nil
+}
+
+func (o *Operator) handle(req opRequest) opResponse {
+	switch req.Op {
+	case "deployments":
+		o.mu.Lock()
+		names := make([]string, 0, len(o.deps))
+		for name := range o.deps {
+			names = append(names, name)
+		}
+		o.mu.Unlock()
+		sort.Strings(names)
+		return opResponse{Deployments: names}
+	case "placements":
+		d, err := o.deployment(req.Deployment)
+		if err != nil {
+			return opResponse{Err: err.Error()}
+		}
+		return opResponse{Placements: d.SegmentPlacements()}
+	case "replace":
+		d, err := o.deployment(req.Deployment)
+		if err != nil {
+			return opResponse{Err: err.Error()}
+		}
+		if err := d.Replace(req.Hints); err != nil {
+			return opResponse{Err: err.Error()}
+		}
+		return opResponse{Placements: d.SegmentPlacements()}
+	default:
+		return opResponse{Err: fmt.Sprintf("control: unknown operator op %q", req.Op)}
+	}
+}
+
+// OperatorClient is the dialing side of the operator protocol (ipctl).
+type OperatorClient struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	enc     *gob.Encoder
+	dec     *gob.Decoder
+	timeout time.Duration
+	broken  error
+}
+
+// DialOperator connects to an Operator's address.  Calls carry a 5s
+// deadline, matching the node control client's fail-fast discipline.
+func DialOperator(addr string) (*OperatorClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("control: dial operator %s: %w", addr, err)
+	}
+	return &OperatorClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn),
+		timeout: 5 * time.Second}, nil
+}
+
+// Close releases the operator connection.
+func (c *OperatorClient) Close() error { return c.conn.Close() }
+
+func (c *OperatorClient) call(req opRequest) (opResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.broken != nil {
+		return opResponse{}, c.broken
+	}
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := c.enc.Encode(&req); err != nil {
+		c.broken = fmt.Errorf("control: operator send: %w", err)
+		c.conn.Close()
+		return opResponse{}, c.broken
+	}
+	var resp opResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		// A half-finished exchange desynchronizes the shared gob stream;
+		// poison the client so no later call pairs with a stale response.
+		c.broken = fmt.Errorf("control: operator receive: %w", err)
+		c.conn.Close()
+		return opResponse{}, c.broken
+	}
+	if resp.Err != "" {
+		return resp, errors.New(resp.Err)
+	}
+	return resp, nil
+}
+
+// Deployments lists the registered deployment names.
+func (c *OperatorClient) Deployments() ([]string, error) {
+	resp, err := c.call(opRequest{Op: "deployments"})
+	return resp.Deployments, err
+}
+
+// Placements reports a deployment's segment→node-index map.  An empty
+// deployment name resolves when exactly one deployment is registered.
+func (c *OperatorClient) Placements(deployment string) (map[string]int, error) {
+	resp, err := c.call(opRequest{Op: "placements", Deployment: deployment})
+	return resp.Placements, err
+}
+
+// Replace moves segments per hints (segment name → destination node index)
+// through Deployment.Replace and returns the placements afterwards.
+func (c *OperatorClient) Replace(deployment string, hints map[string]int) (map[string]int, error) {
+	resp, err := c.call(opRequest{Op: "replace", Deployment: deployment, Hints: hints})
+	return resp.Placements, err
+}

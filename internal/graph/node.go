@@ -119,8 +119,10 @@ func (s *nodeState) drop(lane, side string) {
 // existing lane returns its bound address), so the deployer can compose
 // topologically — the sender learns the address before the receiving
 // segment is composed, and the receiving segment's ip/tcprecv attaches to
-// the listener the deployer already created.
-func (s *nodeState) listen(lane, bind string, depth int, resumable bool) (string, error) {
+// the listener the deployer already created.  Durable lanes get the
+// sequence/ack protocol; a chained lane forwards its downstream watermark
+// (see chainAck) instead of acknowledging its own consumption.
+func (s *nodeState) listen(lane, bind string, depth int, resumable bool, dcfg *netpipe.DurableConfig) (string, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if addr, ok := s.addrs[lane]; ok {
@@ -132,9 +134,12 @@ func (s *nodeState) listen(lane, bind string, depth int, resumable bool) (string
 	var link *netpipe.TCPLink
 	var bound string
 	var err error
-	if resumable {
+	switch {
+	case dcfg != nil:
+		link, bound, err = netpipe.NewDurableTCPListenerLink(bind, s.node.Scheduler(), s.node.Name(), depth, *dcfg)
+	case resumable:
 		link, bound, err = netpipe.NewResumableTCPListenerLink(bind, s.node.Scheduler(), s.node.Name(), depth)
-	} else {
+	default:
 		link, bound, err = netpipe.NewTCPListenerLink(bind, s.node.Scheduler(), s.node.Name(), depth)
 	}
 	if err != nil {
@@ -143,6 +148,52 @@ func (s *nodeState) listen(lane, bind string, depth int, resumable bool) (string
 	s.listeners[lane] = link
 	s.addrs[lane] = bound
 	return bound, nil
+}
+
+// chainAck forwards a downstream ack watermark to the inbound listener of
+// the segment whose outbound sender received it: the upstream journal then
+// covers everything not yet consumed past this segment.  The listener is
+// looked up at ack time, so compose order and re-placement don't matter; a
+// missing listener (segment moved away) makes the ack a no-op, which is
+// safe — acks are pure progress hints.
+func (s *nodeState) chainAck(lane string, seq int64) {
+	s.mu.Lock()
+	l, ok := s.listeners[lane]
+	s.mu.Unlock()
+	if ok {
+		l.PushAck(seq)
+	}
+}
+
+// shutdown closes every lane endpoint on the node — listener links, sender
+// links, same-node cut links.  Registered as the node's closer so an
+// in-process Node.Close behaves like a process kill: peers observe EOF on
+// their lane sockets immediately, instead of zombie connections keeping
+// resumable listeners busy forever.
+func (s *nodeState) shutdown() {
+	s.mu.Lock()
+	var tcpLinks []*netpipe.TCPLink
+	var links []*shard.Link
+	for lane, l := range s.listeners {
+		tcpLinks = append(tcpLinks, l)
+		delete(s.listeners, lane)
+		delete(s.addrs, lane)
+	}
+	for lane, l := range s.senders {
+		tcpLinks = append(tcpLinks, l)
+		delete(s.senders, lane)
+	}
+	for lane, l := range s.links {
+		links = append(links, l)
+		delete(s.links, lane)
+	}
+	s.mu.Unlock()
+	for _, l := range tcpLinks {
+		l.Close()
+	}
+	for _, l := range links {
+		l.Close()
+	}
 }
 
 // redial points the registered sender link of a lane at a new address (the
@@ -243,6 +294,10 @@ func EnableNode(n *remote.Node, cat Catalog) {
 			return factory(spec.Name, spec.Args, spec.Params)
 		})
 	}
+	// Dying like a process: closing the node must sever its data sockets,
+	// not just its control socket, so peers' resumable listeners see EOF
+	// and park for a replacement instead of waiting on a zombie.
+	n.RegisterCloser(st.shutdown)
 
 	teeParams := func(spec remote.StageSpec) (string, string, int, error) {
 		tee := spec.Params["tee"]
@@ -330,7 +385,22 @@ func EnableNode(n *remote.Node, cat Catalog) {
 		if err != nil {
 			return core.Stage{}, err
 		}
-		link := netpipe.NewTCPSenderLink(conn)
+		var link *netpipe.TCPLink
+		if spec.Params["durable"] == "1" {
+			journal, err := intParam(spec.Params, "journal", 0)
+			if err != nil {
+				return core.Stage{}, err
+			}
+			link = netpipe.NewDurableTCPSenderLink(conn, netpipe.DurableConfig{JournalLimit: journal})
+			// A chained sender forwards its acks to the segment's inbound
+			// listener, so the upstream journal keeps covering this
+			// segment's in-flight items until they clear the lane below.
+			if chain := spec.Params["chain"]; chain != "" {
+				link.SetOnAck(func(seq int64) { st.chainAck(chain, seq) })
+			}
+		} else {
+			link = netpipe.NewTCPSenderLink(conn)
+		}
 		// Register the sender by lane so the redial ctl op can retarget it
 		// when the receiving segment is re-placed onto another node.
 		if lane := spec.Params["lane"]; lane != "" {
@@ -416,7 +486,15 @@ func EnableNode(n *remote.Node, cat Catalog) {
 			if err != nil {
 				return "", err
 			}
-			return st.listen(params["lane"], params["bind"], depth, params["resume"] == "1")
+			var dcfg *netpipe.DurableConfig
+			if params["durable"] == "1" {
+				ackEvery, err := intParam(params, "ackevery", 0)
+				if err != nil {
+					return "", err
+				}
+				dcfg = &netpipe.DurableConfig{AckEvery: ackEvery, Chained: params["chain"] == "1"}
+			}
+			return st.listen(params["lane"], params["bind"], depth, params["resume"] == "1", dcfg)
 		case "drop":
 			st.drop(params["lane"], params["side"])
 			return "ok", nil

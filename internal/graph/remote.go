@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"sync"
@@ -31,8 +32,19 @@ type NodesTarget struct {
 	// both endpoints land on the same node: a lane parks on a bare
 	// connection EOF instead of ending the stream, and its sender can be
 	// redialed — the wiring contract Deployment.Replace needs to move a
-	// segment between nodes at run time.
+	// segment between nodes at run time.  Cluster lanes are also DURABLE
+	// wherever origin sequences stay monotone (no merge upstream): items are
+	// sequence-numbered, journaled on the sender until acknowledged, and
+	// deduplicated on the receiver, so a redial or failover resumes the
+	// stream with zero loss and zero duplication.
 	ClusterLanes bool
+	// JournalLimit bounds each durable sender's replay journal (entries,
+	// 0 = netpipe default).  A full journal blocks the sending pipeline
+	// until the receiver acknowledges.
+	JournalLimit int
+	// AckEvery makes durable receivers acknowledge after every N consumed
+	// items (0 = netpipe default).
+	AckEvery int
 }
 
 // OnNodes targets remote nodes through their control clients.
@@ -40,9 +52,18 @@ func OnNodes(clients ...*remote.Client) *NodesTarget {
 	return &NodesTarget{Clients: clients}
 }
 
-// WithClusterLanes enables re-placeable lanes (see ClusterLanes).
+// WithClusterLanes enables re-placeable, durable lanes (see ClusterLanes).
 func (t *NodesTarget) WithClusterLanes() *NodesTarget {
 	t.ClusterLanes = true
+	return t
+}
+
+// WithJournal tunes the durable-lane replay journal and ack cadence
+// (implies WithClusterLanes).
+func (t *NodesTarget) WithJournal(limit, ackEvery int) *NodesTarget {
+	t.ClusterLanes = true
+	t.JournalLimit = limit
+	t.AckEvery = ackEvery
 	return t
 }
 
@@ -99,7 +120,11 @@ type remoteDeploy struct {
 	// (and Replace reuses it when recomposing the receiver elsewhere).
 	laneSeed    map[string]typespec.Typespec
 	mergeInSpec map[string][]typespec.Typespec
-	d           *remoteDeployment
+	// mergedFlow[i] is true when segment i carries a merged flow (a merge
+	// lives in it or upstream of it): merged flows interleave origin
+	// sequences, so their lanes cannot run the durable protocol.
+	mergedFlow []bool
+	d          *remoteDeployment
 }
 
 func (rd *remoteDeploy) run() (*Deployment, error) {
@@ -114,6 +139,16 @@ func (rd *remoteDeploy) run() (*Deployment, error) {
 		rd.d.names[i] = name
 	}
 	rd.segOutSpec = make([]typespec.Typespec, len(rd.plan.Segments))
+	rd.mergedFlow = make([]bool, len(rd.plan.Segments))
+	for _, si := range rd.plan.Order {
+		merged := rd.plan.Segments[si].Head.Kind == core.EndMergeOut
+		for _, p := range rd.preds(si) {
+			if rd.mergedFlow[p] {
+				merged = true
+			}
+		}
+		rd.mergedFlow[si] = merged
+	}
 	rd.laneSeed = make(map[string]typespec.Typespec)
 	rd.mergeInSpec = make(map[string][]typespec.Typespec)
 	for name, ports := range rd.plan.MergeBranch {
@@ -216,22 +251,93 @@ func (rd *remoteDeploy) recvSpecs(lane string) []remote.StageSpec {
 	}
 }
 
-func (rd *remoteDeploy) sendSpecs(lane, addr string) []remote.StageSpec {
+// sendSpecs renders the sender tail of a lane.  Durable lanes journal on
+// the sender; chain names the sending segment's inbound lane, which should
+// receive the downstream ack watermark (see nodeState.chainAck).
+func (rd *remoteDeploy) sendSpecs(lane, addr string, durable bool, chain string) []remote.StageSpec {
+	params := map[string]string{"addr": addr, "lane": lane}
+	if durable {
+		params["durable"] = "1"
+		params["journal"] = strconv.Itoa(rd.target.JournalLimit)
+		if chain != "" {
+			params["chain"] = chain
+		}
+	}
 	return []remote.StageSpec{
 		{Kind: "ip/marshal", Name: lane + "/marshal"},
-		{Kind: "ip/tcpsend", Name: lane + "/sink",
-			Params: map[string]string{"addr": addr, "lane": lane}},
+		{Kind: "ip/tcpsend", Name: lane + "/sink", Params: params},
 	}
+}
+
+// laneDurable reports whether the lane leaving fromSeg can run the durable
+// protocol: origin sequences must be monotone on the lane, which any merge
+// at or upstream of fromSeg breaks.
+func (rd *remoteDeploy) laneDurable(fromSeg int) bool {
+	return rd.target.ClusterLanes && !rd.mergedFlow[fromSeg]
+}
+
+// segInLane returns segment si's inbound lane ("" when its head is wired
+// directly) and whether that lane is durable.
+func (rd *remoteDeploy) segInLane(si int) (string, bool) {
+	switch h := rd.plan.Segments[si].Head; h.Kind {
+	case core.EndSplitOut:
+		trunk := rd.plan.SplitTrunk[h.Node]
+		if rd.nodeOf[trunk] != rd.nodeOf[si] {
+			return rd.laneName(h.Node, h.Port), rd.laneDurable(trunk)
+		}
+	case core.EndCut:
+		if rd.cutIsLane(h.Port) {
+			return rd.cutLane(h.Port), rd.laneDurable(rd.plan.Cuts[h.Port].FromSeg)
+		}
+	}
+	return "", false
+}
+
+// segOutLane returns segment si's (single) outbound lane and durability.
+func (rd *remoteDeploy) segOutLane(si int) (string, bool) {
+	switch t := rd.plan.Segments[si].Tail; t.Kind {
+	case core.EndMergeIn:
+		if rd.nodeOf[rd.plan.MergeDown[t.Node]] != rd.nodeOf[si] {
+			return rd.laneName(t.Node, t.Port), rd.laneDurable(si)
+		}
+	case core.EndCut:
+		if rd.cutIsLane(t.Port) {
+			return rd.cutLane(t.Port), rd.laneDurable(si)
+		}
+	}
+	return "", false
+}
+
+// chainLane returns the inbound lane that segment si's outbound sender
+// forwards its acks to — non-empty only when both boundary lanes are
+// durable.  Chaining keeps the UPSTREAM journal covering everything that
+// has not cleared the lane BELOW si, which is what makes losing si (and
+// everything in flight through it) recoverable by replay.
+func (rd *remoteDeploy) chainLane(si int) string {
+	in, inDur := rd.segInLane(si)
+	if _, outDur := rd.segOutLane(si); inDur && outDur {
+		return in
+	}
+	return ""
 }
 
 // listen pre-binds the rendezvous listener of a lane on a node and records
 // its address.  Cluster lanes are resumable: they park on a bare EOF so a
-// re-placed sender can dial back in.
-func (rd *remoteDeploy) listen(node int, lane string) (string, error) {
+// re-placed sender can dial back in.  Durable lanes add sequence dedup and
+// cumulative acks; chained listeners forward the downstream watermark
+// instead of acknowledging their own consumption.
+func (rd *remoteDeploy) listen(node int, lane string, durable, chained bool) (string, error) {
 	rd.touched[node] = true
 	params := map[string]string{"lane": lane, "depth": strconv.Itoa(rd.target.LinkDepth)}
 	if rd.target.ClusterLanes {
 		params["resume"] = "1"
+	}
+	if durable {
+		params["durable"] = "1"
+		params["ackevery"] = strconv.Itoa(rd.target.AckEvery)
+		if chained {
+			params["chain"] = "1"
+		}
 	}
 	addr, err := rd.client(node).Control("listen", params)
 	if err != nil {
@@ -301,7 +407,8 @@ func (rd *remoteDeploy) composeSegment(si int) error {
 			// The trunk composed earlier (topological order), so the tee
 			// already exists there and the relay's seed is resolved.
 			lane := rd.laneName(h.Node, h.Port)
-			addr, err := rd.listen(own, lane)
+			durable := rd.laneDurable(trunk)
+			addr, err := rd.listen(own, lane, durable, rd.chainLane(si) == lane)
 			if err != nil {
 				return err
 			}
@@ -310,7 +417,7 @@ func (rd *remoteDeploy) composeSegment(si int) error {
 					h.Node, map[string]string{"port": strconv.Itoa(h.Port)}),
 				{Kind: "ip/pump", Name: lane + "/pump"},
 			}
-			relay = append(relay, rd.sendSpecs(lane, addr)...)
+			relay = append(relay, rd.sendSpecs(lane, addr, durable, "")...)
 			if err := rd.compose(rd.nodeOf[trunk], lane+"/relay", relay, seed, -1); err != nil {
 				return err
 			}
@@ -375,22 +482,27 @@ func (rd *remoteDeploy) composeSegment(si int) error {
 			// relay (listener -> pump -> merge port) afterwards, seeded
 			// with this segment's out-spec.
 			lane := rd.laneName(t.Node, t.Port)
-			addr, err := rd.listen(anchor, lane)
+			// The merge relay is anchored (merge hosts cannot move), so its
+			// listener self-acks; the branch's sender still chains back to
+			// the branch's own inbound lane.
+			durable := rd.laneDurable(si)
+			addr, err := rd.listen(anchor, lane, durable, false)
 			if err != nil {
 				return err
 			}
-			specs = append(specs, rd.sendSpecs(lane, addr)...)
+			specs = append(specs, rd.sendSpecs(lane, addr, durable, rd.chainLane(si))...)
 			pendingRelay = &mergeRelay{node: t.Node, port: t.Port, lane: lane}
 		}
 	case core.EndCut:
 		cut := plan.Cuts[t.Port]
 		lane := rd.cutLane(t.Port)
 		if rd.cutIsLane(t.Port) {
-			addr, err := rd.listen(rd.nodeOf[cut.ToSeg], lane)
+			durable := rd.laneDurable(si)
+			addr, err := rd.listen(rd.nodeOf[cut.ToSeg], lane, durable, rd.chainLane(cut.ToSeg) == lane)
 			if err != nil {
 				return err
 			}
-			specs = append(specs, rd.sendSpecs(lane, addr)...)
+			specs = append(specs, rd.sendSpecs(lane, addr, durable, rd.chainLane(si))...)
 		} else {
 			specs = append(specs, remote.StageSpec{Kind: "ip/cutsink", Name: lane + "/sink",
 				Params: map[string]string{"lane": lane, "depth": depth}})
@@ -469,6 +581,11 @@ type remoteDeployment struct {
 	startErr  error
 	started   bool
 	replacing bool
+	// supervised deployments treat an unreachable node as PENDING instead
+	// of fatal: a Supervisor owns the failure — it either fails the node's
+	// segments over to survivors (and the poll heals) or latches a terminal
+	// error via Fail.  Unsupervised deployments keep the fail-fast contract.
+	supervised bool
 	// repGen increments at the start AND end of every Replace: a poller
 	// that saw an error can tell "a replace ran while my request was in
 	// flight" even when the replacing flag has already dropped again.
@@ -543,6 +660,12 @@ func (r *remoteDeployment) pipeList() []remotePipe {
 	return out
 }
 
+func (r *remoteDeployment) isSupervised() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.supervised
+}
+
 func (r *remoteDeployment) err() error {
 	if err := r.failure(); err != nil {
 		return err
@@ -553,6 +676,9 @@ func (r *remoteDeployment) err() error {
 		if err != nil {
 			if rep, g := r.replaceState(); rep || g != gen {
 				continue // a replace is (or was just) rewiring this pipe
+			}
+			if r.isSupervised() && errors.Is(err, remote.ErrNodeUnreachable) {
+				continue // the supervisor owns this failure
 			}
 			return err
 		}
@@ -575,6 +701,7 @@ func (r *remoteDeployment) wait() error {
 		// unfinished pipeline would keep a dead node's pipelines out of
 		// reach of the unreachability check and hang the Wait.
 		done := true
+		reachable := 0
 		_, gen := r.replaceState()
 		for _, p := range r.pipeList() {
 			v, err := r.clients[p.client].Lookup("done:" + p.name)
@@ -583,13 +710,25 @@ func (r *remoteDeployment) wait() error {
 					done = false
 					continue // a replace is (or was just) rewiring this pipe
 				}
+				if r.isSupervised() && errors.Is(err, remote.ErrNodeUnreachable) {
+					// A node died under supervision.  Its pipes don't block
+					// completion: either the stream is mid-flight — then some
+					// reachable pipe downstream is not done and the poll keeps
+					// waiting while the supervisor fails the segments over
+					// (the poll heals once pipes move) — or every reachable
+					// pipe already delivered its EOS, which means the flow
+					// finished end to end before the node died.  A supervisor
+					// that gives up latches a terminal error picked up above.
+					continue
+				}
 				return err
 			}
+			reachable++
 			if v != "true" {
 				done = false
 			}
 		}
-		if done {
+		if done && reachable > 0 {
 			return r.err()
 		}
 		time.Sleep(10 * time.Millisecond)

@@ -3,7 +3,7 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"time"
+	"sort"
 
 	"infopipes/internal/core"
 	"infopipes/internal/events"
@@ -13,42 +13,38 @@ import (
 
 // ErrNotReplaceable marks a segment the cluster re-placement path cannot
 // move: its stream position lives in the segment (a source), a shared tee
-// instance lives in it (split trunks, merge downstreams), or one of its
+// instance lives in it (split trunks, merge downstreams), one of its
 // boundaries is wired directly instead of over a redialable cluster lane
-// (deploy with WithClusterLanes).
+// (deploy with WithClusterLanes), or its inbound lane carries a merged flow
+// (no durable replay without monotone origin sequences).
 var ErrNotReplaceable = errors.New("graph: segment cannot be re-placed")
-
-// Drain detection: after the upstream nodes pause, the moved segment keeps
-// pumping until its inbound lanes are empty; its item counter going quiet
-// for drainStablePolls consecutive polls marks the stream as drained.
-const (
-	drainStablePolls = 4
-	drainPollEvery   = 25 * time.Millisecond
-)
 
 // Replace moves segments of a live OnNodes deployment between cluster nodes
 // without losing an in-flight item — the cluster form of Rebalance, driven
 // by the extended §2.4 protocol.  hints maps segment names (see
-// SegmentPlacements) to node indices.  Per segment the deployment
+// SegmentPlacements) to node indices.  There is no drain phase: the durable
+// lanes carry the in-flight items with the segment.  Per segment the
+// deployment
 //
-//  1. pauses every node hosting an upstream segment, then polls the stats
-//     op until the moved segment's item counter goes quiet — everything the
-//     paused upstreams already sent has drained through it,
-//  2. detaches the segment's pipeline on its old node (no event broadcast;
-//     the node's other pipelines are undisturbed) and drops the old node's
-//     lane state — sender connections close WITHOUT an EOS frame, so the
-//     downstream resumable listeners park instead of ending the stream,
+//  1. detaches the segment's pipeline on its old node (whatever was in the
+//     pipeline or its inbound lane is simply abandoned — the upstream
+//     journal still holds every item the chain below has not consumed),
+//  2. drops the old node's lane state — sender connections close WITHOUT
+//     an EOS frame, so the downstream resumable listeners park instead of
+//     ending the stream,
 //  3. recomposes the same segment spec on the new node, seeded with its
 //     upstream Typespec exactly like the original deploy, dialing the
 //     stationary downstream listeners at their unchanged addresses,
 //  4. redials the stationary upstream senders at the segment's new inbound
-//     listeners, re-broadcasts start, and resumes the paused nodes.
+//     listeners — which replays their journals — and re-broadcasts start.
 //
-// Boundary lanes, once TCP, stay TCP (deploy with WithClusterLanes so every
-// cut edge is one), mirroring the local rule that a linked boundary stays
-// linked.  Segments that hold stream position or shared tee state refuse
-// with ErrNotReplaceable; check with Replaceable before proposing a move.
-// Concurrent Replace calls are serialized with each other.
+// The downstream listeners' dedup watermarks drop whatever the replay
+// re-delivers, so the move is exactly-once at the boundary below the moved
+// segment.  Boundary lanes, once TCP, stay TCP (deploy with
+// WithClusterLanes so every cut edge is one).  Segments that hold stream
+// position or shared tee state refuse with ErrNotReplaceable; check with
+// Replaceable before proposing a move.  Concurrent Replace calls are
+// serialized with each other.
 func (d *Deployment) Replace(hints map[string]int) error {
 	if d.remote == nil {
 		return ErrNotRebalancable
@@ -79,14 +75,7 @@ func (d *Deployment) Replace(hints map[string]int) error {
 		if rd.nodeOf[si] == node {
 			continue
 		}
-		// Revalidate against the CURRENT placement: an earlier move in this
-		// batch may have put an ancestor on this segment's node, which
-		// would freeze the drain and lose the in-flight items the upfront
-		// check exists to protect.
-		if err := rd.replaceable(si); err != nil {
-			return err
-		}
-		if err := r.replaceSegment(si, node); err != nil {
+		if err := r.replaceSegment(si, node, true); err != nil {
 			return err
 		}
 	}
@@ -116,9 +105,10 @@ func (rd *remoteDeploy) segIndex(name string) (int, error) {
 }
 
 // replaceable checks the movability contract of one segment: every boundary
-// must be a redialable TCP lane (or absent, for sinks), and neither stream
-// position (sources) nor shared tee instances (trunks, merge downstreams)
-// may live inside the segment.
+// must be a redialable TCP lane (or absent, for sinks), the inbound lane
+// must be durable (the upstream journal is what carries the in-flight items
+// through the move), and neither stream position (sources) nor shared tee
+// instances (trunks, merge downstreams) may live inside the segment.
 func (rd *remoteDeploy) replaceable(si int) error {
 	seg := rd.plan.Segments[si]
 	own := rd.nodeOf[si]
@@ -133,9 +123,17 @@ func (rd *remoteDeploy) replaceable(si int) error {
 			return fmt.Errorf("%w: %q is wired directly to split %q (no lane to redial)",
 				ErrNotReplaceable, seg.Name(), h.Node)
 		}
+		if !rd.laneDurable(rd.plan.SplitTrunk[h.Node]) {
+			return fmt.Errorf("%w: %q's inbound lane carries a merged flow (no durable replay)",
+				ErrNotReplaceable, seg.Name())
+		}
 	case core.EndCut:
 		if !rd.cutIsLane(h.Port) {
 			return fmt.Errorf("%w: %q's inbound cut is a same-node link (deploy with WithClusterLanes)",
+				ErrNotReplaceable, seg.Name())
+		}
+		if !rd.laneDurable(rd.plan.Cuts[h.Port].FromSeg) {
+			return fmt.Errorf("%w: %q's inbound lane carries a merged flow (no durable replay)",
 				ErrNotReplaceable, seg.Name())
 		}
 	}
@@ -151,12 +149,6 @@ func (rd *remoteDeploy) replaceable(si int) error {
 		if !rd.cutIsLane(t.Port) {
 			return fmt.Errorf("%w: %q's outbound cut is a same-node link (deploy with WithClusterLanes)",
 				ErrNotReplaceable, seg.Name())
-		}
-	}
-	for _, a := range rd.ancestors(si) {
-		if rd.nodeOf[a] == own {
-			return fmt.Errorf("%w: upstream segment %q shares node %d with %q (pausing it would freeze the drain)",
-				ErrNotReplaceable, rd.plan.Segments[a].Name(), own, seg.Name())
 		}
 	}
 	return nil
@@ -231,8 +223,11 @@ func (rd *remoteDeploy) outboundLanes(si int) []string {
 	return out
 }
 
-// replaceSegment executes the move of one (validated) segment.
-func (r *remoteDeployment) replaceSegment(si, dest int) error {
+// replaceSegment executes the move of one (validated) segment.  oldUp says
+// whether the segment's current node is still reachable: a live node gets a
+// graceful detach and sided lane drops; a dead one is skipped entirely (its
+// sockets died with it).
+func (r *remoteDeployment) replaceSegment(si, dest int, oldUp bool) error {
 	rd := r.rd
 	seg := rd.plan.Segments[si]
 	old := rd.nodeOf[si]
@@ -250,40 +245,34 @@ func (r *remoteDeployment) replaceSegment(si, dest int) error {
 		r.mu.Unlock()
 	}()
 
-	// 1. Pause the upstream nodes and wait for the segment to drain.  The
-	// pause is per node (control events are bus-wide), which may suspend
-	// unrelated segments there too — they are resumed below; correctness
-	// only needs the moved segment's inflow to stop.
-	pausedNodes := make(map[int]bool)
-	for _, a := range rd.ancestors(si) {
-		pausedNodes[rd.nodeOf[a]] = true
-	}
-	resume := func() {
-		for node := range pausedNodes {
-			_ = r.clients[node].SendEvent(events.Event{Type: events.Resume, Origin: r.name})
-		}
-	}
-	for node := range pausedNodes {
-		if err := r.clients[node].SendEvent(events.Event{Type: events.Pause, Origin: r.name}); err != nil {
-			resume()
-			return fmt.Errorf("graph %q: replace %q: pause node %d: %w", r.name, seg.Name(), node, err)
-		}
-	}
-	last, err := r.drain(old, pipeName)
-	if err != nil {
-		resume()
-		return fmt.Errorf("graph %q: replace %q: %w", r.name, seg.Name(), err)
-	}
+	// Senders feeding the moved segment, looked up before placement flips.
+	inbound := rd.inboundLanes(si)
 
-	// 2. Detach the retiring generation, fold its (drained, final) counters
-	// into the cumulative record, and drop the old node's lane state
-	// (listeners and sender links; bare EOFs park the downstream resumable
-	// listeners).  The fold happens only AFTER a successful detach: a
-	// failed detach leaves the pipeline running on the old node, and its
-	// still-live counters must not be double-counted.
-	if err := r.clients[old].Detach(pipeName); err != nil {
-		resume()
-		return fmt.Errorf("graph %q: replace %q: detach: %w", r.name, seg.Name(), err)
+	// 1. Retire the old generation.  Its counters are folded from the last
+	// snapshot that could be taken — best-effort: the recomposed generation
+	// reprocesses the replayed tail, so a small overlap is inherent and
+	// only affects telemetry, never the stream.
+	var last remote.PipeStat
+	if oldUp {
+		if rows, err := r.clients[old].Stats(pipeName); err == nil {
+			for _, row := range rows {
+				if row.Name == pipeName {
+					last = row
+				}
+			}
+		}
+		// Detach BEFORE dropping the inbound listener: dropping first would
+		// close the lane inbox under the running pipeline, which reads that
+		// as end of stream and propagates a spurious EOS frame downstream.
+		if err := r.clients[old].Detach(pipeName); err != nil {
+			return fmt.Errorf("graph %q: replace %q: detach: %w", r.name, seg.Name(), err)
+		}
+	} else {
+		r.mu.Lock()
+		if row, ok := r.lastRows[old][pipeName]; ok {
+			last = row
+		}
+		r.mu.Unlock()
 	}
 	r.mu.Lock()
 	ret := r.retired[pipeName]
@@ -300,39 +289,44 @@ func (r *remoteDeployment) replaceSegment(si, dest int) error {
 	// Sides matter: the moved segment owns its inbound LISTENERS and its
 	// outbound SENDERS on the old node — its neighbours' halves of the
 	// same lanes (possibly on the same node) must survive.
-	inbound := rd.inboundLanes(si)
-	for lane := range inbound {
-		if _, err := r.clients[old].Control("drop",
-			map[string]string{"lane": lane, "side": "listener"}); err != nil {
-			resume()
-			return fmt.Errorf("graph %q: replace %q: drop %q: %w", r.name, seg.Name(), lane, err)
+	if oldUp {
+		for lane := range inbound {
+			if _, err := r.clients[old].Control("drop",
+				map[string]string{"lane": lane, "side": "listener"}); err != nil {
+				return fmt.Errorf("graph %q: replace %q: drop %q: %w", r.name, seg.Name(), lane, err)
+			}
 		}
-	}
-	for _, lane := range rd.outboundLanes(si) {
-		if _, err := r.clients[old].Control("drop",
-			map[string]string{"lane": lane, "side": "sender"}); err != nil {
-			resume()
-			return fmt.Errorf("graph %q: replace %q: drop %q: %w", r.name, seg.Name(), lane, err)
+		for _, lane := range rd.outboundLanes(si) {
+			if _, err := r.clients[old].Control("drop",
+				map[string]string{"lane": lane, "side": "sender"}); err != nil {
+				return fmt.Errorf("graph %q: replace %q: drop %q: %w", r.name, seg.Name(), lane, err)
+			}
 		}
 	}
 
-	// 3. Recompose on the destination: the same segment spec, the same
+	// 2. Recompose on the destination: the same segment spec, the same
 	// pipeline name, fresh inbound listeners, outbound dials at the
 	// stationary listeners' unchanged addresses, the same upstream seed.
 	r.mu.Lock()
 	rd.nodeOf[si] = dest // under r.mu: SegmentPlacements reads it there
 	r.mu.Unlock()
 	if err := rd.recomposeSegment(si); err != nil {
-		// The segment is gone from both nodes; surface the failure like a
-		// failed deploy — stop the graph and leave the error latched.
 		r.mu.Lock()
 		rd.nodeOf[si] = old
-		if r.startErr == nil {
-			r.startErr = fmt.Errorf("graph %q: replace %q failed, deployment stopped: %w", r.name, seg.Name(), err)
-		}
 		r.mu.Unlock()
-		r.stop()
-		resume()
+		if oldUp {
+			// A manual Replace: the segment is gone from both nodes —
+			// surface the failure like a failed deploy, stop the graph and
+			// leave the error latched.
+			r.mu.Lock()
+			if r.startErr == nil {
+				r.startErr = fmt.Errorf("graph %q: replace %q failed, deployment stopped: %w", r.name, seg.Name(), err)
+			}
+			r.mu.Unlock()
+			r.stop()
+		}
+		// Under failover the caller retries another survivor, so nothing is
+		// latched here.
 		return err
 	}
 	r.mu.Lock()
@@ -343,54 +337,21 @@ func (r *remoteDeployment) replaceSegment(si, dest int) error {
 	}
 	r.mu.Unlock()
 
-	// 4. Point the stationary upstream senders at the new listeners, start
-	// the recomposed pipeline, and resume the paused nodes.
+	// 3. Point the stationary upstream senders at the new listeners — their
+	// journals replay into them — and start the recomposed pipeline.
 	for lane, senderNode := range inbound {
+		if !oldUp && senderNode == old {
+			continue // the sender died with the node (co-placed chain)
+		}
 		if _, err := r.clients[senderNode].Control("redial",
 			map[string]string{"lane": lane, "addr": rd.laneAddr[lane]}); err != nil {
-			resume()
 			return fmt.Errorf("graph %q: replace %q: redial %q: %w", r.name, seg.Name(), lane, err)
 		}
 	}
 	if started {
 		_ = r.clients[dest].SendEvent(events.Event{Type: events.Start, Origin: r.name})
 	}
-	resume()
 	return nil
-}
-
-// drain polls the segment's pump counters until they go quiet and returns
-// the final snapshot (the retiring generation's contribution to Stats).
-func (r *remoteDeployment) drain(node int, pipeName string) (remote.PipeStat, error) {
-	var last remote.PipeStat
-	stable := 0
-	for stable < drainStablePolls {
-		rows, err := r.clients[node].Stats(pipeName)
-		if err != nil {
-			return last, fmt.Errorf("drain poll: %w", err)
-		}
-		var cur remote.PipeStat
-		for _, row := range rows {
-			if row.Name == pipeName {
-				cur = row
-				break
-			}
-		}
-		if cur.Name == "" {
-			return last, fmt.Errorf("drain poll: pipeline %q vanished", pipeName)
-		}
-		if cur.Err != "" {
-			return last, fmt.Errorf("drain poll: pipeline %q failed: %s", pipeName, cur.Err)
-		}
-		if cur.Items == last.Items && cur.Name == last.Name {
-			stable++
-		} else {
-			stable = 0
-		}
-		last = cur
-		time.Sleep(drainPollEvery)
-	}
-	return last, nil
 }
 
 // recomposeSegment rebuilds one segment's pipeline on its (re-assigned)
@@ -399,6 +360,7 @@ func (r *remoteDeployment) drain(node int, pipeName string) (remote.PipeStat, er
 func (rd *remoteDeploy) recomposeSegment(si int) error {
 	seg := rd.plan.Segments[si]
 	own := rd.nodeOf[si]
+	chain := rd.chainLane(si)
 	var specs []remote.StageSpec
 	var seed typespec.Typespec // replaceable segments always have an upstream
 
@@ -406,14 +368,14 @@ func (rd *remoteDeploy) recomposeSegment(si int) error {
 	case core.EndSplitOut:
 		lane := rd.laneName(h.Node, h.Port)
 		seed = rd.laneSeed[lane]
-		if _, err := rd.listen(own, lane); err != nil {
+		if _, err := rd.listen(own, lane, rd.laneDurable(rd.plan.SplitTrunk[h.Node]), chain == lane); err != nil {
 			return err
 		}
 		specs = append(specs, rd.recvSpecs(lane)...)
 	case core.EndCut:
 		lane := rd.cutLane(h.Port)
 		seed = rd.laneSeed[lane]
-		if _, err := rd.listen(own, lane); err != nil {
+		if _, err := rd.listen(own, lane, rd.laneDurable(rd.plan.Cuts[h.Port].FromSeg), chain == lane); err != nil {
 			return err
 		}
 		specs = append(specs, rd.recvSpecs(lane)...)
@@ -424,15 +386,148 @@ func (rd *remoteDeploy) recomposeSegment(si int) error {
 	switch t := seg.Tail; t.Kind {
 	case core.EndMergeIn:
 		lane := rd.laneName(t.Node, t.Port)
-		specs = append(specs, rd.sendSpecs(lane, rd.laneAddr[lane])...)
+		specs = append(specs, rd.sendSpecs(lane, rd.laneAddr[lane], rd.laneDurable(si), chain)...)
 	case core.EndCut:
 		lane := rd.cutLane(t.Port)
-		specs = append(specs, rd.sendSpecs(lane, rd.laneAddr[lane])...)
+		specs = append(specs, rd.sendSpecs(lane, rd.laneAddr[lane], rd.laneDurable(si), chain)...)
 	}
 	name := rd.g.name + "/" + seg.Name()
 	rd.touched[own] = true
 	if err := rd.client(own).ComposeSeededSegment(name, specs, seed); err != nil {
 		return fmt.Errorf("graph %q: node %d: recompose %q: %w", rd.g.name, own, name, err)
+	}
+	return nil
+}
+
+// Supervise marks the deployment as owned by a failure supervisor: Wait and
+// Err treat an unreachable node as pending (the supervisor either heals the
+// deployment by failing its segments over, or latches a terminal error via
+// Fail) instead of failing fast.
+func (d *Deployment) Supervise() {
+	if d.remote == nil {
+		return
+	}
+	d.remote.mu.Lock()
+	d.remote.supervised = true
+	d.remote.mu.Unlock()
+}
+
+// Fail latches a terminal deployment error and stops the graph: the
+// supervisor calls it when a dead node's segments cannot be placed on any
+// healthy survivor.  Wait and Err return the latched error.
+func (d *Deployment) Fail(err error) {
+	r := d.remote
+	if r == nil || err == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.startErr == nil {
+		r.startErr = err
+	}
+	r.mu.Unlock()
+	r.stop()
+}
+
+// Finished reports whether every reachable pipeline of the deployment has
+// delivered its end of stream.  Unreachable pipes don't count against it:
+// if the flow's EOS made it through the reachable tail, the stream is over
+// and a failover would only rebuild dead weight.
+func (d *Deployment) Finished() bool {
+	r := d.remote
+	if r == nil {
+		return false
+	}
+	reachable := 0
+	for _, p := range r.pipeList() {
+		v, err := r.clients[p.client].Lookup("done:" + p.name)
+		if err != nil {
+			continue
+		}
+		reachable++
+		if v != "true" {
+			return false
+		}
+	}
+	// With the whole deployment unreachable, nothing proves the stream ended
+	// — report unfinished and let the failover (or its terminal Fail) decide.
+	return reachable > 0
+}
+
+// FailOver moves every segment hosted on a dead node onto the hinted
+// survivors — Replace's disaster path, driven by Directory.OnDown.  The
+// dead node is never contacted: its lane state died with it (peers hold
+// parked, redialable lane halves), and the upstream durable journals carry
+// every item the chain below the dead segments had not consumed.  hints
+// maps segment names to destination node indices and must cover every
+// segment on the dead node; a relay pipeline (split/merge anchor wiring) on
+// the dead node is not recoverable and fails the call.
+//
+// The move is two-phase: first every moved segment's inbound lanes are
+// pre-bound on their destinations (so co-placed chains that died together
+// can dial each other's fresh listeners), then the segments recompose in
+// topological order, stationary senders redial (replaying their journals),
+// and the destinations get a start event.  On error the failed segment's
+// placement reverts to the dead node and the error returns without
+// latching: the caller may retry with different survivors, and only it
+// knows when to give up (Fail).
+func (d *Deployment) FailOver(dead int, hints map[string]int) error {
+	if d.remote == nil {
+		return ErrNotRebalancable
+	}
+	d.rbMu.Lock()
+	defer d.rbMu.Unlock()
+	r := d.remote
+	rd := r.rd
+	if !rd.target.ClusterLanes {
+		return fmt.Errorf("%w: deployment lanes are not redialable (deploy with WithClusterLanes)",
+			ErrNotReplaceable)
+	}
+	if dead < 0 || dead >= len(r.clients) {
+		return fmt.Errorf("graph %q: failover of node %d, cluster has %d", d.name, dead, len(r.clients))
+	}
+	// Everything hosted on the dead node must be recoverable and hinted.
+	var moves []int
+	r.mu.Lock()
+	for si := range rd.plan.Segments {
+		if rd.nodeOf[si] == dead {
+			moves = append(moves, si)
+		}
+	}
+	r.mu.Unlock()
+	for _, p := range r.pipeList() {
+		if p.client == dead && p.seg < 0 {
+			return fmt.Errorf("graph %q: failover: relay %q is anchored on dead node %d (its tee cannot move)",
+				d.name, p.name, dead)
+		}
+	}
+	if len(moves) == 0 {
+		return nil
+	}
+	// Recompose downstream-first (plan segments are indexed in topological
+	// order): when a co-placed chain dies together, the upstream segment's
+	// recompose dials its downstream lane — which must already be re-bound
+	// on the survivor, or the dial hits the dead node's stale address.
+	sort.Sort(sort.Reverse(sort.IntSlice(moves)))
+	dests := make(map[int]int, len(moves))
+	for _, si := range moves {
+		name := rd.plan.Segments[si].Name()
+		dest, ok := hints[name]
+		if !ok {
+			return fmt.Errorf("graph %q: failover: no destination for segment %q on dead node %d",
+				d.name, name, dead)
+		}
+		if dest == dead || dest < 0 || dest >= len(r.clients) {
+			return fmt.Errorf("graph %q: failover: segment %q hinted to unusable node %d", d.name, name, dest)
+		}
+		if err := rd.replaceable(si); err != nil {
+			return err
+		}
+		dests[si] = dest
+	}
+	for _, si := range moves {
+		if err := r.replaceSegment(si, dests[si], false); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,0 +1,477 @@
+package netpipe
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"infopipes/internal/core"
+	"infopipes/internal/uthread"
+)
+
+// Durable lanes (§2.4 + failover): every data frame carries the item's
+// origin-assigned sequence number, the sender keeps a bounded replay journal
+// of unacknowledged frames, and the receiver acknowledges cumulatively over
+// the same connection (TCP is full duplex) and drops re-delivered sequences.
+// A Redial after a bare EOF — the peer crashed, or the segment behind it was
+// re-placed — replays the journal, so the stream resumes with zero loss and
+// zero duplication at the receiver boundary.
+//
+// Origin sequences make the protocol survive a *sender replacement*: when a
+// failed segment is recomposed on another node, its fresh outbound link
+// re-emits items that the stationary downstream listener may have already
+// consumed; the listener's dedup watermark (an origin sequence) filters them
+// regardless of which sender instance produced them.  The price is that a
+// durable lane requires monotonically increasing origin sequences, which
+// holds for any lane that has no merge upstream (linear chains, split
+// branches, cut relays).  The deployer only marks such lanes durable.
+
+// DurableConfig tunes a durable lane endpoint.
+type DurableConfig struct {
+	// JournalLimit bounds the sender's replay journal (entries).  A full
+	// journal blocks the sending pipeline — with control dispatch, so the
+	// stage stays stoppable — until acks free space.  It is also the flow
+	// window: the producer can run at most this far ahead of the consumer,
+	// so an undersized journal couples the two schedulers and costs
+	// throughput long before memory matters.  Default 4096.
+	JournalLimit int
+	// AckEvery makes the receiver acknowledge after every N consumed items
+	// (an ack is also sent on reconnect handshake and at end of stream).
+	// Each ack is a write syscall on the lane, and a smaller value only
+	// tightens the re-delivery overlap a failover must dedup.  Default 64.
+	AckEvery int
+	// Chained marks a mid-segment listener: instead of acknowledging what
+	// its own pipeline consumed, it forwards the downstream ack watermark
+	// pushed in via PushAck, so the upstream journal covers everything not
+	// yet consumed at the end of the chain.
+	Chained bool
+	// WriteTimeout bounds each frame write, so a partitioned peer parks the
+	// connection instead of wedging the sender.  Default 5s.
+	WriteTimeout time.Duration
+}
+
+func (c DurableConfig) withDefaults() DurableConfig {
+	if c.JournalLimit <= 0 {
+		c.JournalLimit = 4096
+	}
+	if c.AckEvery <= 0 {
+		c.AckEvery = 64
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// laneEntry is one journaled frame awaiting acknowledgement.
+type laneEntry struct {
+	seq  int64
+	data []byte
+}
+
+// durable is the per-link durable-lane state, guarded by TCPLink.mu.
+type durable struct {
+	cfg DurableConfig
+
+	// Sender half.
+	journal   []laneEntry
+	lastSent  int64 // highest sequence handed to sendDurable
+	acked     int64 // highest cumulative ack received
+	eosPend   bool  // EOS reached the sink; replay must re-send it
+	eosSeq    int64
+	eosAcked  bool
+	replays   int64 // journal entries re-sent across all redials
+	txWaiters core.WaiterList
+	onAck     func(seq int64) // fired outside the lock on every new ack
+	// free recycles acknowledged journal buffers, so the steady state
+	// journals without allocating; wdUntil is when the connection's write
+	// deadline expires, so the deadline syscall is amortized over many
+	// frames instead of paid per frame.  Both guarded by TCPLink.mu.
+	free    [][]byte
+	wdUntil time.Time
+
+	// Receiver half.  dedup/dups are written only by the (single) reader
+	// goroutine and ackAnchor only by the (single) consumer thread, so they
+	// are atomics instead of taking TCPLink.mu on every frame; the rest is
+	// guarded by TCPLink.mu.
+	dedup      atomic.Int64 // highest origin sequence injected into the inbox
+	dups       atomic.Int64 // duplicate frames dropped
+	eosSeen    bool         // a terminal frameEOSSeq arrived
+	lastPopped int64        // consumer-thread private
+	ackAnchor  atomic.Int64 // previous popped sequence — safe to ack (see popDurable)
+	sinceAck   int          // consumer-thread private
+	lastAck    int64        // highest ack actually written
+	chainAck   int64        // highest downstream watermark pushed via PushAck
+	finalAcked bool         // ackAll has been written (or pushed through)
+}
+
+// LaneStats is a point-in-time snapshot of a durable lane endpoint.
+type LaneStats struct {
+	Journaled  int   // unacknowledged entries in the sender journal
+	LastSent   int64 // highest sequence sent
+	Acked      int64 // highest cumulative ack received (sender side)
+	EOSPending bool  // sender saw EOS but the receiver has not confirmed it
+	Dedup      int64 // receiver's highest injected origin sequence
+	Dups       int64 // duplicate frames the receiver dropped
+	Replays    int64 // journal entries re-sent across redials
+}
+
+// NewDurableTCPSenderLink wraps the producer side of an established
+// connection with a replay journal, and starts the ack reader.
+func NewDurableTCPSenderLink(conn net.Conn, cfg DurableConfig) *TCPLink {
+	l := &TCPLink{conn: conn, dur: &durable{cfg: cfg.withDefaults()}}
+	go l.ackLoop(conn)
+	return l
+}
+
+// NewDurableTCPListenerLink is NewResumableTCPListenerLink with receiver-side
+// durability: sequence dedup, cumulative acks, and a blocking inbox (a full
+// queue exerts backpressure through TCP instead of dropping acked frames).
+func NewDurableTCPListenerLink(addr string, rxSched *uthread.Scheduler, rxNode string, queueLimit int, cfg DurableConfig) (*TCPLink, string, error) {
+	return newListenerLink(addr, rxSched, rxNode, queueLimit, true, &durable{cfg: cfg.withDefaults()})
+}
+
+// Durable reports whether the link runs the durable-lane protocol.
+func (l *TCPLink) Durable() bool { return l.dur != nil }
+
+// SetOnAck installs a callback fired (outside the link lock) whenever the
+// sender receives a new cumulative ack.  The graph layer uses it to chain
+// acknowledgements backwards through a re-placeable segment.
+func (l *TCPLink) SetOnAck(fn func(seq int64)) {
+	l.mu.Lock()
+	l.dur.onAck = fn
+	l.mu.Unlock()
+}
+
+// LaneStats snapshots the durable state; zero-valued on plain links.
+func (l *TCPLink) LaneStats() LaneStats {
+	if l.dur == nil {
+		return LaneStats{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := l.dur
+	return LaneStats{
+		Journaled:  len(d.journal),
+		LastSent:   d.lastSent,
+		Acked:      d.acked,
+		EOSPending: d.eosPend && !d.eosAcked,
+		Dedup:      d.dedup.Load(),
+		Dups:       d.dups.Load(),
+		Replays:    d.replays,
+	}
+}
+
+// sendDurable journals one frame and puts it on the wire.  A full journal
+// blocks (with control dispatch, mirroring shard links) until acks trim it;
+// a detaching pipeline force-completes over the limit so teardown never
+// deadlocks on a dead peer.  A write error parks the connection — the frame
+// is journaled, a later Redial replays it — so the pipeline keeps producing
+// into the journal while the lane is down.
+func (l *TCPLink) sendDurable(ctx *core.Ctx, seq int64, data []byte) error {
+	detaching := ctx.Detaching
+	return l.sendDurableWith(ctx.Thread(), ctx.Stopping, detaching, seq, data)
+}
+
+func (l *TCPLink) sendDurableWith(t *uthread.Thread, stopping, detaching func() bool, seq int64, data []byte) error {
+	if stopping == nil {
+		stopping = func() bool { return false }
+	}
+	if detaching == nil {
+		detaching = func() bool { return false }
+	}
+	d := l.dur
+	for {
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			return core.ErrStopped
+		}
+		if seq <= d.lastSent {
+			l.mu.Unlock()
+			return fmt.Errorf("netpipe: durable lane: sequence %d not above %d (durable lanes need monotone origin sequences; merges break them)", seq, d.lastSent)
+		}
+		if len(d.journal) < d.cfg.JournalLimit || (stopping() && detaching()) {
+			// Journal a copy (items are pooled; the payload buffer is
+			// recycled by the caller), then attempt the wire.  The copy
+			// reuses an acknowledged entry's buffer when one is free.
+			var buf []byte
+			if n := len(d.free); n > 0 {
+				buf = d.free[n-1][:0]
+				d.free = d.free[:n-1]
+			}
+			d.journal = append(d.journal, laneEntry{seq: seq, data: append(buf, data...)})
+			d.lastSent = seq
+			_ = l.writeSeqFrameLocked(frameDataSeq, seq, data)
+			l.mu.Unlock()
+			return nil
+		}
+		tok := d.txWaiters.Register(t)
+		l.mu.Unlock()
+		if err := core.AwaitWake(t, msgNetWake, tok, stopping, l.deregisterTx); err != nil {
+			if detaching() {
+				continue // force-complete: detach must not lose the item
+			}
+			return err
+		}
+	}
+}
+
+// sendEOSDurable records and transmits the terminal frame.  Idempotent.
+func (l *TCPLink) sendEOSDurable() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return core.ErrStopped
+	}
+	d := l.dur
+	if d.eosAcked {
+		return nil
+	}
+	if !d.eosPend {
+		d.eosPend = true
+		d.eosSeq = d.lastSent
+	}
+	// A write failure parks the connection with the EOS latched pending; the
+	// replay after a Redial re-sends it, so this is not the pipeline's error.
+	_ = l.writeSeqFrameLocked(frameEOSSeq, d.eosSeq, nil)
+	return nil
+}
+
+// recycle keeps an acknowledged journal buffer for reuse (l.mu held).  The
+// pool is bounded so a burst of large journals cannot pin memory forever.
+func (d *durable) recycle(buf []byte) {
+	if buf != nil && len(d.free) < 64 {
+		d.free = append(d.free, buf)
+	}
+}
+
+// armWriteDeadlineLocked refreshes the connection's write deadline when
+// less than half the configured timeout remains, so the deadline syscall
+// is paid once per ~wt/2 of traffic, not once per frame.  The effective
+// per-write bound stays within [wt/2, wt].  wdUntil is zeroed whenever
+// l.conn changes, so a fresh connection is always armed.
+func (l *TCPLink) armWriteDeadlineLocked() {
+	wt := l.dur.cfg.WriteTimeout
+	if wt <= 0 {
+		return
+	}
+	if now := time.Now(); l.dur.wdUntil.Sub(now) < wt/2 {
+		l.dur.wdUntil = now.Add(wt)
+		_ = l.conn.SetWriteDeadline(l.dur.wdUntil)
+	}
+}
+
+// writeSeqFrameLocked writes one sequence frame under l.mu, with the
+// configured write deadline.  On error the connection is parked (closed and
+// nilled) so the journal carries the stream until a Redial.
+func (l *TCPLink) writeSeqFrameLocked(tag byte, seq int64, payload []byte) error {
+	if l.conn == nil {
+		return ErrNoConn
+	}
+	l.txBuf = encodeSeqFrame(l.txBuf[:0], tag, seq, payload)
+	l.armWriteDeadlineLocked()
+	if _, err := l.conn.Write(l.txBuf); err != nil {
+		l.conn.Close()
+		l.conn = nil
+		l.dur.wdUntil = time.Time{}
+		return err
+	}
+	return nil
+}
+
+// writeAckLocked writes a cumulative ack on the receiver's connection,
+// reporting success.  Failures are left for the reconnect handshake.
+func (l *TCPLink) writeAckLocked(seq int64) bool {
+	if l.conn == nil {
+		return false
+	}
+	l.txBuf = encodeSeqFrame(l.txBuf[:0], frameAck, seq, nil)
+	l.armWriteDeadlineLocked()
+	_, err := l.conn.Write(l.txBuf)
+	return err == nil
+}
+
+// handshakeAckLocked is the watermark re-announced to a (re)connecting
+// sender, so it trims its journal before replaying.
+func (l *TCPLink) handshakeAckLocked() int64 {
+	d := l.dur
+	if d.finalAcked {
+		return ackAll
+	}
+	if d.cfg.Chained {
+		return d.chainAck
+	}
+	return d.ackAnchor.Load()
+}
+
+// ackLoop reads cumulative acks off a sender connection until it dies.
+func (l *TCPLink) ackLoop(conn net.Conn) {
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n == 0 || n > 64<<20 {
+			return
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(conn, body); err != nil {
+			return
+		}
+		if body[0] != frameAck || len(body) < 9 {
+			continue
+		}
+		l.applyAck(int64(binary.BigEndian.Uint64(body[1:9])))
+	}
+}
+
+// applyAck trims the journal up to a cumulative ack and wakes blocked
+// senders.  ackAll confirms the EOS too, emptying the journal.
+func (l *TCPLink) applyAck(seq int64) {
+	d := l.dur
+	l.mu.Lock()
+	switch {
+	case seq == ackAll:
+		d.eosAcked = true
+		d.acked = d.lastSent
+		for i := range d.journal {
+			d.recycle(d.journal[i].data)
+			d.journal[i] = laneEntry{}
+		}
+		d.journal = d.journal[:0]
+	case seq > d.acked:
+		d.acked = seq
+		i := 0
+		for i < len(d.journal) && d.journal[i].seq <= seq {
+			d.recycle(d.journal[i].data)
+			i++
+		}
+		if i > 0 {
+			n := copy(d.journal, d.journal[i:])
+			for j := n; j < len(d.journal); j++ {
+				d.journal[j] = laneEntry{}
+			}
+			d.journal = d.journal[:n]
+		}
+	default:
+		l.mu.Unlock()
+		return
+	}
+	waiters := d.txWaiters.TakeAll()
+	cb := d.onAck
+	l.mu.Unlock()
+	for _, w := range waiters {
+		w.Wake(msgNetWake)
+	}
+	if cb != nil {
+		cb(seq)
+	}
+}
+
+// replayLocked re-sends every journaled frame (and a pending EOS) on the
+// current connection.  Called under l.mu right after a durable Redial.
+func (l *TCPLink) replayLocked() error {
+	d := l.dur
+	for _, e := range d.journal {
+		if err := l.writeSeqFrameLocked(frameDataSeq, e.seq, e.data); err != nil {
+			return fmt.Errorf("netpipe: durable replay seq %d: %w", e.seq, err)
+		}
+		d.replays++
+	}
+	if d.eosPend && !d.eosAcked {
+		if err := l.writeSeqFrameLocked(frameEOSSeq, d.eosSeq, nil); err != nil {
+			return fmt.Errorf("netpipe: durable replay EOS: %w", err)
+		}
+	}
+	return nil
+}
+
+func (l *TCPLink) deregisterTx(tok uint64) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dur.txWaiters.Remove(tok)
+}
+
+// popDurable pulls the next frame on the receiver side and drives the ack
+// protocol.  The ack anchor is the *previous* popped sequence: pulling item
+// K+1 proves item K fully traversed the (single-pump) receiving pipeline, so
+// acknowledging K never confirms an item that could still be lost with the
+// pipeline.  Chained listeners do not self-ack — their watermark arrives via
+// PushAck from the downstream lane.
+func (l *TCPLink) popDurable(t *uthread.Thread, stopping func() bool) (int64, []byte, error) {
+	seq, data, err := l.inbox.popSeqWith(t, stopping)
+	if err != nil {
+		if err == core.ErrEOS {
+			l.ackEOS()
+		}
+		return 0, nil, err
+	}
+	d := l.dur
+	d.ackAnchor.Store(d.lastPopped)
+	d.lastPopped = seq
+	if !d.cfg.Chained {
+		d.sinceAck++
+		if d.sinceAck >= d.cfg.AckEvery {
+			// The lock is only taken on the ack cadence, not per pop.
+			anchor := d.ackAnchor.Load()
+			l.mu.Lock()
+			if anchor > d.lastAck && l.writeAckLocked(anchor) {
+				d.lastAck = anchor
+				d.sinceAck = 0
+			}
+			l.mu.Unlock()
+		}
+	}
+	return seq, data, nil
+}
+
+// ackEOS sends the final cumulative ack once the stream genuinely ended (a
+// terminal frame arrived and the inbox is drained).
+func (l *TCPLink) ackEOS() {
+	d := l.dur
+	l.mu.Lock()
+	if d.eosSeen && !d.cfg.Chained && !d.finalAcked {
+		if l.writeAckLocked(ackAll) {
+			d.finalAcked = true
+		}
+	}
+	l.mu.Unlock()
+}
+
+// PushAck feeds a downstream ack watermark into a chained listener, which
+// forwards it to its own sender: the upstream journal then covers exactly
+// what has not been consumed at the end of the chain.  ackAll (from
+// AckAllSeq) marks the whole stream drained downstream.
+func (l *TCPLink) PushAck(seq int64) {
+	if l.dur == nil || l.inbox == nil {
+		return
+	}
+	d := l.dur
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	if seq == ackAll {
+		if !d.finalAcked {
+			d.finalAcked = true
+			_ = l.writeAckLocked(ackAll)
+		}
+	} else if seq > d.chainAck {
+		d.chainAck = seq
+		if l.writeAckLocked(seq) {
+			d.lastAck = seq
+		}
+	}
+	l.mu.Unlock()
+}
+
+// AckAllSeq is the cumulative watermark meaning "everything, including end
+// of stream" — the value delivered to SetOnAck callbacks when the receiver
+// confirms the full stream, and accepted by PushAck.
+const AckAllSeq int64 = ackAll

@@ -11,19 +11,38 @@ import (
 // msgNetWake wakes a thread blocked on an empty netpipe inbox.
 const msgNetWake uthread.Kind = uthread.KindUserBase + 40
 
+// frameEntry is one queued inbound frame.  seq is zero on plain lanes and
+// the origin-assigned item sequence on durable lanes.
+type frameEntry struct {
+	seq  int64
+	data []byte
+}
+
 // inbox is the receiver-side frame queue of a netpipe: packets are injected
 // from outside the thread system (a simnet delivery thread or a TCP reader
 // goroutine) and pulled by the consumer pipeline's source endpoint.  It is
 // the netpipe analogue of a buffer's passive pull end, including control
 // delivery while blocked (§3.2).
 type inbox struct {
-	mu      sync.Mutex
-	q       [][]byte
-	closed  bool
+	mu     sync.Mutex
+	q      []frameEntry
+	closed bool
+	// stopped distinguishes link teardown from end of stream: a closed
+	// inbox delivers ErrStopped to pullers when set, ErrEOS when not.  A
+	// link torn down mid-stream (node shutdown, segment re-placement) must
+	// stop its pipeline quietly — an ErrEOS there would propagate a bogus
+	// end-of-stream downstream and terminate lanes that the re-placed
+	// segment still needs.
+	stopped bool
 	sched   *uthread.Scheduler
 	limit   int
-	waiters core.WaiterList
-	drops   trace.Counter
+	// blockFull inboxes (durable lanes) park the injecting goroutine on
+	// pushCond while the queue is full, instead of dropping the frame: a
+	// dropped frame on a durable lane would be acked-but-lost.
+	blockFull bool
+	pushCond  *sync.Cond // lazily created, guarded by mu
+	waiters   core.WaiterList
+	drops     trace.Counter
 }
 
 // newInbox builds an inbox holding at most limit frames (0 = unlimited).
@@ -41,7 +60,7 @@ func (b *inbox) inject(data []byte) {
 		b.drops.Inc()
 		return
 	}
-	b.q = append(b.q, data)
+	b.q = append(b.q, frameEntry{data: data})
 	w, ok := b.waiters.PopFront()
 	b.mu.Unlock()
 	if ok {
@@ -49,10 +68,53 @@ func (b *inbox) inject(data []byte) {
 	}
 }
 
-// close marks end of stream and wakes all blocked pullers.
-func (b *inbox) close() {
+// injectSeqWait appends a sequence-tagged frame.  On a blockFull inbox it
+// blocks the caller (a TCP reader goroutine, never a scheduler thread)
+// while the queue is full, so durable-lane backpressure propagates to the
+// sender through TCP flow control instead of dropping frames.  Reports
+// false when the inbox closed before the frame could be queued.
+func (b *inbox) injectSeqWait(seq int64, data []byte) bool {
 	b.mu.Lock()
-	b.closed = true
+	for !b.closed && b.blockFull && b.limit > 0 && len(b.q) >= b.limit {
+		if b.pushCond == nil {
+			b.pushCond = sync.NewCond(&b.mu)
+		}
+		b.pushCond.Wait()
+	}
+	if b.closed || (!b.blockFull && b.limit > 0 && len(b.q) >= b.limit) {
+		b.mu.Unlock()
+		b.drops.Inc()
+		return false
+	}
+	b.q = append(b.q, frameEntry{seq: seq, data: data})
+	w, ok := b.waiters.PopFront()
+	b.mu.Unlock()
+	if ok {
+		w.Wake(msgNetWake)
+	}
+	return true
+}
+
+// close marks end of stream and wakes all blocked pullers and injectors.
+func (b *inbox) close() { b.closeWith(false) }
+
+// closeStopped marks link teardown: pullers see core.ErrStopped instead of
+// core.ErrEOS once the queue drains, so the consuming pipeline stops
+// without propagating an end-of-stream it never received.
+func (b *inbox) closeStopped() { b.closeWith(true) }
+
+func (b *inbox) closeWith(stopped bool) {
+	b.mu.Lock()
+	if !b.closed {
+		// First close wins: a stream that genuinely ended (EOS frame seen,
+		// reader exited) must keep delivering ErrEOS even if the link is
+		// torn down while the pipeline is still draining the queue.
+		b.closed = true
+		b.stopped = stopped
+	}
+	if b.pushCond != nil {
+		b.pushCond.Broadcast()
+	}
 	waiters := b.waiters.TakeAll()
 	b.mu.Unlock()
 	for _, w := range waiters {
@@ -64,36 +126,54 @@ func (b *inbox) close() {
 // Returns core.ErrEOS after close and drain, core.ErrStopped on pipeline
 // shutdown.
 func (b *inbox) pop(ctx *core.Ctx) ([]byte, error) {
-	return b.popWith(ctx.Thread(), ctx.Stopping)
+	_, data, err := b.popSeqWith(ctx.Thread(), ctx.Stopping)
+	return data, err
 }
 
 // popWith is pop against an explicit thread and stop predicate, so the
 // blocking protocol can be exercised (and tested) without a composed
 // pipeline.  stopping may be nil.
 func (b *inbox) popWith(t *uthread.Thread, stopping func() bool) ([]byte, error) {
+	_, data, err := b.popSeqWith(t, stopping)
+	return data, err
+}
+
+// popSeq is pop returning the frame's lane sequence alongside the data.
+func (b *inbox) popSeq(ctx *core.Ctx) (int64, []byte, error) {
+	return b.popSeqWith(ctx.Thread(), ctx.Stopping)
+}
+
+func (b *inbox) popSeqWith(t *uthread.Thread, stopping func() bool) (int64, []byte, error) {
 	if stopping == nil {
 		stopping = func() bool { return false }
 	}
 	for {
 		b.mu.Lock()
 		if len(b.q) > 0 {
-			data := b.q[0]
+			e := b.q[0]
 			b.q = b.q[1:]
+			if b.pushCond != nil {
+				b.pushCond.Signal()
+			}
 			b.mu.Unlock()
-			return data, nil
+			return e.seq, e.data, nil
 		}
 		if b.closed {
+			stopped := b.stopped
 			b.mu.Unlock()
-			return nil, core.ErrEOS
+			if stopped {
+				return 0, nil, core.ErrStopped
+			}
+			return 0, nil, core.ErrEOS
 		}
 		if stopping() {
 			b.mu.Unlock()
-			return nil, core.ErrStopped
+			return 0, nil, core.ErrStopped
 		}
 		tok := b.waiters.Register(t)
 		b.mu.Unlock()
 		if err := core.AwaitWake(t, msgNetWake, tok, stopping, b.deregister); err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 	}
 }

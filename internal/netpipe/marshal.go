@@ -172,7 +172,30 @@ func (f *unmarshalFilter) Convert(_ *core.Ctx, it *item.Item) (*item.Item, error
 const (
 	frameData byte = 1
 	frameEOS  byte = 2
+	// Durable-lane frames (sequence-numbered, §2.4 + failover): the payload
+	// is prefixed with an 8-byte big-endian sequence number.  frameAck flows
+	// receiver→sender on the same connection (TCP is full duplex) and
+	// carries the cumulative highest sequence the receiver has durably
+	// consumed; frameEOSSeq is the terminal frame of a durable lane and
+	// carries the last data sequence, so the receiver can tell a complete
+	// stream from a truncated one.
+	frameDataSeq byte = 3
+	frameAck     byte = 4
+	frameEOSSeq  byte = 5
 )
+
+// ackAll is the cumulative ack value meaning "everything, including the
+// EOS frame, has been delivered and drained".
+const ackAll int64 = 1<<63 - 1
+
+// encodeSeqFrame appends a length-prefixed frame whose body is
+// [tag][8-byte big-endian seq][payload].
+func encodeSeqFrame(dst []byte, tag byte, seq int64, payload []byte) []byte {
+	dst = append(dst, 0, 0, 0, 0, tag, 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(dst[len(dst)-13:], uint32(len(payload)+9))
+	binary.BigEndian.PutUint64(dst[len(dst)-8:], uint64(seq))
+	return append(dst, payload...)
+}
 
 // encodeFrame appends a length-and-tag-prefixed frame for payload to dst
 // and returns the extended buffer.  Senders keep one transmit buffer per

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"infopipes/internal/core"
 	"infopipes/internal/events"
@@ -32,6 +33,9 @@ type TCPLink struct {
 	// went away (crashed, or was re-placed onto another node) and a
 	// replacement may dial in; only an explicit EOS frame ends the stream.
 	resumable bool
+	// dur holds the durable-lane protocol state (journal/ack/dedup); nil on
+	// plain links.  See durable.go.
+	dur *durable
 
 	rxSched    *uthread.Scheduler
 	inbox      *inbox
@@ -67,7 +71,7 @@ func NewTCPReceiverLink(conn net.Conn, rxSched *uthread.Scheduler, rxNode string
 // start, so a pipeline may be composed on the link and block pulling before
 // the sender has dialed.
 func NewTCPListenerLink(addr string, rxSched *uthread.Scheduler, rxNode string, queueLimit int) (*TCPLink, string, error) {
-	return newListenerLink(addr, rxSched, rxNode, queueLimit, false)
+	return newListenerLink(addr, rxSched, rxNode, queueLimit, false, nil)
 }
 
 // NewResumableTCPListenerLink is NewTCPListenerLink for cluster lanes: the
@@ -78,10 +82,10 @@ func NewTCPListenerLink(addr string, rxSched *uthread.Scheduler, rxNode string, 
 // a second connection waits in the accept backlog until the current one
 // goes away.
 func NewResumableTCPListenerLink(addr string, rxSched *uthread.Scheduler, rxNode string, queueLimit int) (*TCPLink, string, error) {
-	return newListenerLink(addr, rxSched, rxNode, queueLimit, true)
+	return newListenerLink(addr, rxSched, rxNode, queueLimit, true, nil)
 }
 
-func newListenerLink(addr string, rxSched *uthread.Scheduler, rxNode string, queueLimit int, resumable bool) (*TCPLink, string, error) {
+func newListenerLink(addr string, rxSched *uthread.Scheduler, rxNode string, queueLimit int, resumable bool, dur *durable) (*TCPLink, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("netpipe: listen %s: %w", addr, err)
@@ -90,9 +94,16 @@ func newListenerLink(addr string, rxSched *uthread.Scheduler, rxNode string, que
 		ln:         ln,
 		rxNode:     rxNode,
 		resumable:  resumable,
+		dur:        dur,
 		rxSched:    rxSched,
 		inbox:      newInbox(rxSched, queueLimit),
 		readerDone: make(chan struct{}),
+	}
+	if dur != nil {
+		// Durable receivers must not drop frames they will acknowledge:
+		// a full inbox blocks the reader, pushing backpressure through
+		// TCP flow control to the sender's journal.
+		l.inbox.blockFull = true
 	}
 	rxSched.AddExternalSource()
 	go l.acceptAndRead(ln)
@@ -104,7 +115,7 @@ func newListenerLink(addr string, rxSched *uthread.Scheduler, rxNode string, que
 func (l *TCPLink) acceptAndRead(ln net.Listener) {
 	defer close(l.readerDone)
 	defer l.rxSched.ReleaseExternalSource()
-	defer l.inbox.close()
+	defer l.closeInbox()
 	for {
 		conn, err := ln.Accept()
 		l.mu.Lock()
@@ -121,11 +132,27 @@ func (l *TCPLink) acceptAndRead(ln net.Listener) {
 		if !l.resumable {
 			l.ln = nil
 		}
+		if l.dur != nil {
+			l.dur.wdUntil = time.Time{} // fresh connection, no deadline armed
+			// Handshake: re-announce the consumed watermark so a fresh or
+			// reconnecting sender trims its journal before replaying.
+			l.writeAckLocked(l.handshakeAckLocked())
+		}
 		l.mu.Unlock()
 		if !l.resumable {
 			ln.Close()
 		}
 		terminal := l.readFrames(conn)
+		if terminal && l.dur != nil {
+			// Durable end of stream: keep the connection open so the final
+			// cumulative ack (sent when the pipeline drains the inbox)
+			// reaches the sender; Close tears the socket down.
+			l.mu.Lock()
+			l.ln = nil
+			l.mu.Unlock()
+			ln.Close()
+			return
+		}
 		conn.Close()
 		l.mu.Lock()
 		if l.conn == conn {
@@ -145,12 +172,28 @@ func (l *TCPLink) acceptAndRead(ln net.Listener) {
 	}
 }
 
+// closeInbox ends the inbox as the reader exits.  A link torn down by an
+// explicit Close delivers core.ErrStopped to pullers (teardown is not end
+// of stream — a dying node's pipeline must not manufacture an EOS and send
+// it downstream); any other exit — an EOS frame, or sender EOF on a
+// non-resumable link — delivers core.ErrEOS.
+func (l *TCPLink) closeInbox() {
+	l.mu.Lock()
+	stopped := l.closed
+	l.mu.Unlock()
+	if stopped {
+		l.inbox.closeStopped()
+	} else {
+		l.inbox.close()
+	}
+}
+
 // readLoop reads frames until EOF or an EOS frame and injects them
 // (receiver links wrapped around an established connection).
 func (l *TCPLink) readLoop() {
 	defer close(l.readerDone)
 	defer l.rxSched.ReleaseExternalSource()
-	defer l.inbox.close()
+	defer l.closeInbox()
 	l.readFrames(l.conn)
 }
 
@@ -177,6 +220,32 @@ func (l *TCPLink) readFrames(conn net.Conn) bool {
 			l.inbox.inject(body[1:])
 		case frameEOS:
 			return true
+		case frameDataSeq:
+			if l.dur == nil || len(body) < 9 {
+				return true
+			}
+			seq := int64(binary.BigEndian.Uint64(body[1:9]))
+			if seq <= l.dur.dedup.Load() {
+				l.dur.dups.Add(1)
+				continue // replayed frame the pipeline already consumed
+			}
+			// Advance the watermark before injecting: frames on one
+			// connection arrive in order, so nothing can overtake this
+			// sequence, and if the inject fails the link is closing anyway.
+			l.dur.dedup.Store(seq)
+			if !l.inbox.injectSeqWait(seq, body[9:]) {
+				return false // link closing
+			}
+		case frameEOSSeq:
+			if l.dur == nil {
+				return true
+			}
+			l.mu.Lock()
+			l.dur.eosSeen = true
+			l.mu.Unlock()
+			return true
+		case frameAck:
+			// Receiver side never expects acks; tolerate and move on.
 		default:
 			return true
 		}
@@ -218,13 +287,27 @@ func (l *TCPLink) Close() error {
 	l.closed = true
 	conn := l.conn
 	ln := l.ln
+	var waiters []core.Waiter
+	if l.dur != nil {
+		waiters = l.dur.txWaiters.TakeAll()
+	}
 	l.mu.Unlock()
+	for _, w := range waiters {
+		w.Wake(msgNetWake) // unblocks senders parked on a full journal
+	}
 	if ln != nil {
 		ln.Close() // unblocks a pending Accept on a listener link
 	}
 	var err error
 	if conn != nil {
 		err = conn.Close()
+	}
+	if l.dur != nil && l.inbox != nil {
+		// A durable reader may be parked in a blocking inject (full inbox)
+		// or already past its terminal frame; closing the inbox unblocks it
+		// so readerDone cannot deadlock.  Teardown, not end of stream: the
+		// puller must stop quietly, not propagate a bogus EOS downstream.
+		l.inbox.closeStopped()
 	}
 	if l.readerDone != nil {
 		<-l.readerDone
@@ -234,15 +317,25 @@ func (l *TCPLink) Close() error {
 
 // Redial points a sender link at a new peer address: the old connection (if
 // any) is closed without an EOS frame — the peer's resumable listener parks
-// the lane — and subsequent sends go to the new peer.  The cluster
-// re-placement path uses it to retarget a stationary upstream at a segment
-// recomposed on another node; pause the upstream first so no send races the
-// swap.
+// the lane — and subsequent sends go to the new peer.  On a durable link the
+// journal (and any pending EOS) is replayed on the new connection, so the
+// stream resumes with zero loss; the peer's dedup watermark drops whatever
+// it had already consumed.  The cluster re-placement path uses Redial to
+// retarget a stationary upstream at a segment recomposed on another node —
+// no pause needed on durable lanes, concurrent sends serialize on the link
+// lock and land either before the swap (journaled, replayed) or after.
 func (l *TCPLink) Redial(addr string) error {
 	conn, err := Dial(addr)
 	if err != nil {
 		return err
 	}
+	return l.ResumeConn(conn)
+}
+
+// ResumeConn is Redial with the dialing left to the caller: it installs an
+// already-established connection on a sender link.  Fault-injection wrappers
+// (NewChaosConn) and custom transports plug in here.
+func (l *TCPLink) ResumeConn(conn net.Conn) error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
@@ -251,11 +344,19 @@ func (l *TCPLink) Redial(addr string) error {
 	}
 	old := l.conn
 	l.conn = conn
+	var rerr error
+	if l.dur != nil {
+		l.dur.wdUntil = time.Time{} // fresh connection, no deadline armed
+	}
+	if l.dur != nil && l.inbox == nil {
+		go l.ackLoop(conn)
+		rerr = l.replayLocked()
+	}
 	l.mu.Unlock()
 	if old != nil {
 		old.Close()
 	}
-	return nil
+	return rerr
 }
 
 // Dropped reports how many inbound frames the receiver side discarded
@@ -291,12 +392,19 @@ func (s *tcpSink) InputSpec() typespec.Typespec { return typespec.New(ItemTypeWi
 // Push implements core.Consumer.  A closed link propagates core.ErrStopped
 // so the pipeline learns the connection is gone instead of pumping items
 // into the void.
-func (s *tcpSink) Push(_ *core.Ctx, it *item.Item) error {
+func (s *tcpSink) Push(ctx *core.Ctx, it *item.Item) error {
 	data, ok := it.Payload.([]byte)
 	if !ok {
 		return fmt.Errorf("netpipe: tcp sink %q: payload %T is not []byte (insert a marshal filter)", s.Name(), it.Payload)
 	}
-	err := s.link.send(frameData, data)
+	var err error
+	if s.link.dur != nil {
+		// The marshal filter preserved the item's origin sequence — the
+		// durable lane journals and dedups on it end to end.
+		err = s.link.sendDurable(ctx, it.Seq, data)
+	} else {
+		err = s.link.send(frameData, data)
+	}
 	if err == nil {
 		it.Recycle() // wire item consumed: its bytes are on the network
 	}
@@ -304,13 +412,21 @@ func (s *tcpSink) Push(_ *core.Ctx, it *item.Item) error {
 }
 
 // HandleEOS implements core.EOSSink.
-func (s *tcpSink) HandleEOS(*core.Ctx) { _ = s.link.send(frameEOS, nil) }
+func (s *tcpSink) HandleEOS(*core.Ctx) { s.sendEOS() }
 
 // HandleEvent implements core.Component.
 func (s *tcpSink) HandleEvent(_ *core.Ctx, ev events.Event) {
 	if ev.Type == events.Stop {
-		_ = s.link.send(frameEOS, nil)
+		s.sendEOS()
 	}
+}
+
+func (s *tcpSink) sendEOS() {
+	if s.link.dur != nil {
+		_ = s.link.sendEOSDurable()
+		return
+	}
+	_ = s.link.send(frameEOS, nil)
 }
 
 // NewSource returns the consumer-side endpoint component.
@@ -341,6 +457,13 @@ func (s *tcpSource) TransformSpec(in typespec.Typespec) typespec.Typespec {
 
 // Pull implements core.Producer.
 func (s *tcpSource) Pull(ctx *core.Ctx) (*item.Item, error) {
+	if s.link.dur != nil {
+		seq, data, err := s.link.popDurable(ctx.Thread(), ctx.Stopping)
+		if err != nil {
+			return nil, err
+		}
+		return item.New(data, seq, ctx.Now()).WithSize(len(data)), nil
+	}
 	data, err := s.link.inbox.pop(ctx)
 	if err != nil {
 		return nil, err

@@ -75,6 +75,7 @@ type Node struct {
 	pipelines     map[string]*core.Pipeline
 	ln            net.Listener
 	closed        bool
+	closers       []func()
 	conns         map[net.Conn]struct{}
 	wg            sync.WaitGroup
 	started       time.Time
@@ -205,6 +206,17 @@ func (n *Node) acceptLoop(ln net.Listener) {
 	}
 }
 
+// RegisterCloser adds a hook run by Close after the control server goes
+// down.  The graph support registers the node's lane shutdown here, so
+// closing a node in-process behaves like killing its process: every data
+// socket dies with the control socket, and peers see EOF instead of zombie
+// connections.
+func (n *Node) RegisterCloser(fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closers = append(n.closers, fn)
+}
+
 // Close shuts the control server down and waits for connection handlers.
 func (n *Node) Close() {
 	n.mu.Lock()
@@ -214,6 +226,8 @@ func (n *Node) Close() {
 	}
 	n.closed = true
 	ln := n.ln
+	closers := n.closers
+	n.closers = nil
 	for c := range n.conns {
 		c.Close()
 	}
@@ -221,6 +235,9 @@ func (n *Node) Close() {
 	if ln != nil {
 		ln.Close()
 		n.sched.ReleaseExternalSource()
+	}
+	for _, fn := range closers {
+		fn()
 	}
 	n.wg.Wait()
 }
@@ -514,6 +531,7 @@ func (n *Node) compose(name string, specs []StageSpec, skipEventCheck, seeded bo
 // deployment's Wait poller and a telemetry or balancer loop.
 type Client struct {
 	mu      sync.Mutex
+	addr    string
 	conn    net.Conn
 	enc     *gob.Encoder
 	dec     *gob.Decoder
@@ -533,8 +551,37 @@ func Dial(addr string) (*Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: dial %s: %v", ErrNodeUnreachable, addr, err)
 	}
-	return &Client{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn),
+	return &Client{addr: addr, conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn),
 		timeout: DefaultCallTimeout}, nil
+}
+
+// Addr returns the control address the client was dialed against.
+func (c *Client) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addr
+}
+
+// Reconnect re-dials the node's control address in place, clearing a broken
+// latch: a transport blip (a timed-out probe, a severed connection) poisons
+// the client permanently, but the node behind it may be perfectly healthy —
+// and the same *Client is held by deployments, so healing must happen here,
+// not by swapping in a fresh client.  On failure the client stays broken.
+func (c *Client) Reconnect() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("%w: redial %s: %v", ErrNodeUnreachable, c.addr, err)
+	}
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	c.broken = nil
+	return nil
 }
 
 // SetCallTimeout bounds each control call: a node that does not answer
