@@ -165,6 +165,12 @@ func (d *Directory) Clients() []*remote.Client {
 // a miss and transitions to down at MaxMisses.  Returns the number of
 // healthy nodes.  Start runs this on an interval; tests and one-shot tools
 // call it directly.
+//
+// Nodes are probed CONCURRENTLY: a dead node burns its ProbeRetries
+// reconnect attempts (with jittered backoffs) without delaying the probes
+// of every node after it, so down-detection latency stays one probe's
+// worth no matter how many nodes are down.  Registry updates and the
+// OnDown/OnUp callbacks still run sequentially, in registration order.
 func (d *Directory) Heartbeat() int {
 	d.mu.Lock()
 	names := make([]string, len(d.names))
@@ -180,9 +186,25 @@ func (d *Directory) Heartbeat() int {
 	onUp := d.OnUp
 	d.mu.Unlock()
 
+	type probeResult struct {
+		h   remote.Health
+		err error
+	}
+	results := make([]probeResult, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, c *remote.Client) {
+			defer wg.Done()
+			h, err := d.probe(c, retries, backoff)
+			results[i] = probeResult{h: h, err: err}
+		}(i, clients[name])
+	}
+	wg.Wait()
+
 	healthy := 0
-	for _, name := range names {
-		h, err := d.probe(clients[name], retries, backoff)
+	for i, name := range names {
+		h, err := results[i].h, results[i].err
 		d.mu.Lock()
 		entry := d.health[name]
 		if err == nil {

@@ -304,6 +304,119 @@ func TestReplaceRacingStream(t *testing.T) {
 	}
 }
 
+// TestFailoverTailSegmentDeath kills the node hosting the TERMINAL (sink)
+// segment after the upstream segment has already delivered its whole
+// stream — EOS included — into the durable lane.  At that point every
+// REACHABLE pipe reports done, which used to make Finished() declare the
+// stream over (skipping failover) and the supervised Wait return nil: the
+// journaled tail was silently lost while Wait reported success.  The
+// supervisor must instead re-place the tail onto a survivor, the upstream
+// journal must replay into it, and the flow must complete with zero item
+// loss across the two sink incarnations.
+func TestFailoverTailSegmentDeath(t *testing.T) {
+	const items = 60
+	ss := &sinkStore{sinks: make(map[string]*pipes.CollectSink)}
+	cat := ss.catalog()
+	nodes := []*testNode{
+		startNode(t, "alpha", cat),
+		startNode(t, "beta", cat),
+		startNode(t, "gamma", cat),
+	}
+	dir := control.NewDirectory()
+	dir.MaxMisses = 2
+	dir.ProbeRetries = 1
+	dir.ProbeBackoff = 5 * time.Millisecond
+	for _, n := range nodes {
+		if _, err := dir.Register(n.addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sup := control.NewSupervisor(dir)
+	sup.Backoff = 25 * time.Millisecond
+
+	// Fast producer, slow consumer: the source segment finishes long before
+	// the tail has consumed the lane's journaled backlog.
+	g := graph.New("taildeath")
+	g.AddSpec("src", "counter", graph.WithArgs(strconv.Itoa(items)), graph.Place(0))
+	g.AddSpec("pump", "cpump", graph.WithArgs("5000"), graph.Place(0))
+	g.AddSpec("out", "cpump", graph.WithArgs("120"), graph.Place(1))
+	g.AddSpec("sink", "collect", graph.Place(1))
+	g.Pipe("src", "pump")
+	g.Cut("pump", "out")
+	g.Pipe("out", "sink")
+
+	d, err := g.Deploy(graph.OnNodes(dir.Clients()...).WithClusterLanes())
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	sup.Manage(d)
+	dir.Start(15 * time.Millisecond)
+	t.Cleanup(dir.Close)
+	d.Start()
+
+	// Wait until the upstream pipe is DONE (its EOS is on the lane) while
+	// the slow tail is still mid-consumption — the exact window the old
+	// Finished() logic mistook for a finished stream.
+	up, _ := dir.Client("alpha")
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("upstream segment never finished")
+		}
+		if v, err := up.Lookup("done:taildeath/src>>pump"); err == nil && v == "true" {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	pollCount(t, ss, "sink", 5, 20*time.Second)
+	ss.mu.Lock()
+	oldSink := ss.sinks["sink"]
+	ss.mu.Unlock()
+	if oldSink.Count() >= items {
+		t.Fatalf("tail already consumed all %d items — kill point missed", items)
+	}
+	nodes[1].close() // the tail's node dies with items still journaled upstream
+
+	if err := d.Wait(); err != nil {
+		t.Fatalf("wait after tail death: %v", err)
+	}
+	if node := d.SegmentPlacements()["out>>sink"]; node == 1 {
+		t.Errorf("tail segment still placed on dead node 1")
+	}
+	ss.mu.Lock()
+	newSink := ss.sinks["sink"]
+	ss.mu.Unlock()
+	if newSink == oldSink {
+		t.Fatal("tail segment was never recomposed on a survivor")
+	}
+	// Zero loss: every item must reach a sink incarnation.  Items the dead
+	// tail consumed but had not yet acknowledged are legitimately replayed
+	// into the new one (their application-side effects died with the node),
+	// so the two traces may overlap — but their union must cover 1..items,
+	// and the new sink must see a strictly-ordered, duplicate-free run that
+	// ends the stream.
+	seen := make(map[int64]bool)
+	for _, it := range oldSink.Items() {
+		seen[it.Seq] = true
+	}
+	last := int64(0)
+	for _, it := range newSink.Items() {
+		if it.Seq <= last {
+			t.Fatalf("new sink trace out of order or duplicated: %d after %d", it.Seq, last)
+		}
+		last = it.Seq
+		seen[it.Seq] = true
+	}
+	if last != int64(items) {
+		t.Fatalf("new sink ended at item %d, want %d", last, items)
+	}
+	for i := int64(1); i <= int64(items); i++ {
+		if !seen[i] {
+			t.Fatalf("item %d lost across the tail failover", i)
+		}
+	}
+}
+
 // TestSupervisorFailsWhenNoSurvivor kills every node of a 2-node cluster:
 // with no healthy placement left the supervisor must give up and latch a
 // terminal error instead of retrying forever — Wait surfaces it.

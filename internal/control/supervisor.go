@@ -23,7 +23,8 @@ import (
 // policy bound at runtime, never in the flow.
 type Supervisor struct {
 	// Attempts bounds how many placements are tried per dead node before
-	// the deployments are failed (default 3).
+	// the deployments are failed (default 3; values below 1 are treated as
+	// 1 — a deployment is never failed without a recovery attempt).
 	Attempts int
 	// Backoff is the base pause between attempts, jittered up to +50%
 	// (default 50ms).
@@ -74,6 +75,9 @@ func (s *Supervisor) nodeDown(name string, downErr error) {
 	attempts := s.Attempts
 	backoff := s.Backoff
 	s.mu.Unlock()
+	if attempts < 1 {
+		attempts = 1 // never fail a deployment without one recovery attempt
+	}
 
 	for _, d := range deps {
 		if d.Finished() {
@@ -105,6 +109,9 @@ func (s *Supervisor) nodeDown(name string, downErr error) {
 			lastErr = err
 		}
 		if !recovered {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("no recovery attempt succeeded")
+			}
 			d.Fail(fmt.Errorf("control: node %q down (%v) and failover exhausted %d attempts: %w",
 				name, downErr, attempts, lastErr))
 		}

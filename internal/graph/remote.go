@@ -124,7 +124,13 @@ type remoteDeploy struct {
 	// lives in it or upstream of it): merged flows interleave origin
 	// sequences, so their lanes cannot run the durable protocol.
 	mergedFlow []bool
-	d          *remoteDeployment
+	// segSections[i] is the pump-driven section count of segment i's
+	// composed pipeline (read back from its node at deploy; buffers add
+	// sections).  A durable self-acking inbound lane anchors its acks one
+	// pop behind the FIRST pump, so only single-section segments can prove
+	// end-of-segment consumption — replaceable() refuses the rest.
+	segSections []int
+	d           *remoteDeployment
 }
 
 func (rd *remoteDeploy) run() (*Deployment, error) {
@@ -140,6 +146,7 @@ func (rd *remoteDeploy) run() (*Deployment, error) {
 	}
 	rd.segOutSpec = make([]typespec.Typespec, len(rd.plan.Segments))
 	rd.mergedFlow = make([]bool, len(rd.plan.Segments))
+	rd.segSections = make([]int, len(rd.plan.Segments))
 	for _, si := range rd.plan.Order {
 		merged := rd.plan.Segments[si].Head.Kind == core.EndMergeOut
 		for _, p := range rd.preds(si) {
@@ -357,6 +364,21 @@ func (rd *remoteDeploy) compose(node int, name string, specs []remote.StageSpec,
 		return fmt.Errorf("graph %q: node %d: compose %q: %w", rd.g.name, node, name, err)
 	}
 	rd.d.pipes = append(rd.d.pipes, remotePipe{client: node, name: name, seg: seg})
+	if seg >= 0 {
+		// Record the composed pipeline's section count: spec kinds are
+		// opaque to the deployer, so only the node knows whether a stage
+		// materialized as a buffer (an extra pump-driven section), and
+		// replaceable() needs that to gate durable self-acking lanes.
+		v, err := rd.client(node).Lookup("sections:" + name)
+		if err != nil {
+			return fmt.Errorf("graph %q: node %d: sections %q: %w", rd.g.name, node, name, err)
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("graph %q: node %d: sections %q: bad count %q", rd.g.name, node, name, v)
+		}
+		rd.segSections[seg] = n
+	}
 	return nil
 }
 
@@ -711,14 +733,21 @@ func (r *remoteDeployment) wait() error {
 					continue // a replace is (or was just) rewiring this pipe
 				}
 				if r.isSupervised() && errors.Is(err, remote.ErrNodeUnreachable) {
-					// A node died under supervision.  Its pipes don't block
-					// completion: either the stream is mid-flight — then some
-					// reachable pipe downstream is not done and the poll keeps
-					// waiting while the supervisor fails the segments over
-					// (the poll heals once pipes move) — or every reachable
-					// pipe already delivered its EOS, which means the flow
-					// finished end to end before the node died.  A supervisor
-					// that gives up latches a terminal error picked up above.
+					// A node died under supervision.  Its NON-terminal pipes
+					// don't block completion: either the stream is mid-flight
+					// — then some reachable pipe downstream is not done and
+					// the poll keeps waiting while the supervisor fails the
+					// segments over (the poll heals once pipes move) — or
+					// every reachable pipe already delivered its EOS, which
+					// means the flow finished end to end before the node
+					// died.  An unreachable TERMINAL segment proves nothing,
+					// though: upstream journals may still hold items its dead
+					// node never consumed, so it keeps the wait pending until
+					// the supervisor re-places it (the poll heals) or latches
+					// a terminal error picked up above.
+					if r.tailPipe(p) {
+						done = false
+					}
 					continue
 				}
 				return err

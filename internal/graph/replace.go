@@ -15,8 +15,11 @@ import (
 // move: its stream position lives in the segment (a source), a shared tee
 // instance lives in it (split trunks, merge downstreams), one of its
 // boundaries is wired directly instead of over a redialable cluster lane
-// (deploy with WithClusterLanes), or its inbound lane carries a merged flow
-// (no durable replay without monotone origin sequences).
+// (deploy with WithClusterLanes), its inbound lane carries a merged flow
+// (no durable replay without monotone origin sequences), or it buffers
+// items internally while its inbound lane self-acks (the ack watermark
+// cannot prove end-of-segment consumption, so a replay would lose the
+// buffered items).
 var ErrNotReplaceable = errors.New("graph: segment cannot be re-placed")
 
 // Replace moves segments of a live OnNodes deployment between cluster nodes
@@ -107,8 +110,10 @@ func (rd *remoteDeploy) segIndex(name string) (int, error) {
 // replaceable checks the movability contract of one segment: every boundary
 // must be a redialable TCP lane (or absent, for sinks), the inbound lane
 // must be durable (the upstream journal is what carries the in-flight items
-// through the move), and neither stream position (sources) nor shared tee
-// instances (trunks, merge downstreams) may live inside the segment.
+// through the move), a self-acking inbound lane requires a single-pump
+// segment (so the ack anchor proves consumption — see netpipe.popDurable),
+// and neither stream position (sources) nor shared tee instances (trunks,
+// merge downstreams) may live inside the segment.
 func (rd *remoteDeploy) replaceable(si int) error {
 	seg := rd.plan.Segments[si]
 	own := rd.nodeOf[si]
@@ -136,6 +141,17 @@ func (rd *remoteDeploy) replaceable(si int) error {
 			return fmt.Errorf("%w: %q's inbound lane carries a merged flow (no durable replay)",
 				ErrNotReplaceable, seg.Name())
 		}
+	}
+	// A self-acking inbound listener (no durable outbound lane to chain to)
+	// anchors its acks one pop behind the pipeline's FIRST pump, which only
+	// proves consumption when that pump is the segment's ONLY pump.  A
+	// buffered segment runs extra pump-driven sections: the anchor would
+	// acknowledge items still queued inside the segment, the upstream
+	// journal would trim them, and a replay after the move would lose them
+	// — refuse the move instead.
+	if rd.chainLane(si) == "" && rd.segSections[si] > 1 {
+		return fmt.Errorf("%w: %q buffers items internally (its self-acking inbound lane cannot prove end-of-segment consumption)",
+			ErrNotReplaceable, seg.Name())
 	}
 	switch t := seg.Tail; t.Kind {
 	case core.EndSplitTrunk:
@@ -428,29 +444,46 @@ func (d *Deployment) Fail(err error) {
 	r.stop()
 }
 
-// Finished reports whether every reachable pipeline of the deployment has
-// delivered its end of stream.  Unreachable pipes don't count against it:
-// if the flow's EOS made it through the reachable tail, the stream is over
-// and a failover would only rebuild dead weight.
+// tailPipe reports whether a pipe hosts a terminal segment — one whose
+// tail is a true sink (core.EndNone), the end of the information flow.
+// Relay pipelines (seg < 0) feed tees mid-graph and are never terminal.
+func (r *remoteDeployment) tailPipe(p remotePipe) bool {
+	return p.seg >= 0 && r.rd.plan.Segments[p.seg].Tail.Kind == core.EndNone
+}
+
+// Finished reports whether the deployment's stream has provably delivered
+// its end of stream: every reachable pipeline is done AND every terminal
+// (true-sink) segment is among the reachable done pipes.  EOS observed at
+// the sinks is the only proof the stream ended — an unreachable tail may
+// still have journaled in-flight items above it that its dead node never
+// consumed, so it reports unfinished and the failover (or its terminal
+// Fail) decides.  Unreachable NON-terminal pipes don't count against it:
+// if the flow's EOS made it through the reachable tails, the stream is
+// over and a failover would only rebuild dead weight.
 func (d *Deployment) Finished() bool {
 	r := d.remote
 	if r == nil {
 		return false
 	}
-	reachable := 0
+	tails := 0
 	for _, p := range r.pipeList() {
 		v, err := r.clients[p.client].Lookup("done:" + p.name)
 		if err != nil {
+			if r.tailPipe(p) {
+				return false
+			}
 			continue
 		}
-		reachable++
 		if v != "true" {
 			return false
 		}
+		if r.tailPipe(p) {
+			tails++
+		}
 	}
-	// With the whole deployment unreachable, nothing proves the stream ended
-	// — report unfinished and let the failover (or its terminal Fail) decide.
-	return reachable > 0
+	// With the whole deployment unreachable (no tail answered), nothing
+	// proves the stream ended — report unfinished.
+	return tails > 0
 }
 
 // FailOver moves every segment hosted on a dead node onto the hinted

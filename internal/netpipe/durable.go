@@ -401,8 +401,11 @@ func (l *TCPLink) deregisterTx(tok uint64) bool {
 // protocol.  The ack anchor is the *previous* popped sequence: pulling item
 // K+1 proves item K fully traversed the (single-pump) receiving pipeline, so
 // acknowledging K never confirms an item that could still be lost with the
-// pipeline.  Chained listeners do not self-ack — their watermark arrives via
-// PushAck from the downstream lane.
+// pipeline.  A multi-pump receiver (a buffer in the segment) breaks that
+// proof — the graph layer enforces the assumption by refusing to re-place
+// such segments when their inbound lane self-acks (see graph replaceable).
+// Chained listeners do not self-ack — their watermark arrives via PushAck
+// from the downstream lane.
 func (l *TCPLink) popDurable(t *uthread.Thread, stopping func() bool) (int64, []byte, error) {
 	seq, data, err := l.inbox.popSeqWith(t, stopping)
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -119,8 +120,8 @@ func (n *Node) RegisterSpecFactory(kind string, f SpecFactory) {
 
 // SetResolver installs the handler behind the lookup op for node-specific
 // keys (the graph support registers listener addresses under "addr:NAME").
-// Built-in keys ("done:PIPELINE", "err:PIPELINE") are answered before the
-// resolver is consulted.
+// Built-in keys ("done:PIPELINE", "err:PIPELINE", "sections:PIPELINE") are
+// answered before the resolver is consulted.
 func (n *Node) SetResolver(r func(key string) (string, error)) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -466,6 +467,17 @@ func (n *Node) lookup(key string) (string, error) {
 		}
 		return "", nil
 	}
+	if name, ok := strings.CutPrefix(key, "sections:"); ok {
+		// The pump-driven section count of a composed pipeline (buffers add
+		// sections).  The graph deployer records it per segment: a durable
+		// self-acking lane can only prove consumption for single-section
+		// (single-pump) receivers, so multi-section segments refuse Replace.
+		p, exists := n.Pipeline(name)
+		if !exists {
+			return "", fmt.Errorf("%w: %q", ErrUnknownPipeline, name)
+		}
+		return strconv.Itoa(len(p.Plan().Sections)), nil
+	}
 	n.mu.Lock()
 	r := n.resolver
 	n.mu.Unlock()
@@ -725,9 +737,10 @@ func (c *Client) SendEvent(ev events.Event) error {
 	return err
 }
 
-// Lookup queries a node-side key: "done:PIPELINE" and "err:PIPELINE" are
-// built in; anything else goes to the node's resolver (the graph support
-// answers "addr:NAME" with the bound address of a listener it created).
+// Lookup queries a node-side key: "done:PIPELINE", "err:PIPELINE" and
+// "sections:PIPELINE" are built in; anything else goes to the node's
+// resolver (the graph support answers "addr:NAME" with the bound address
+// of a listener it created).
 func (c *Client) Lookup(key string) (string, error) {
 	resp, err := c.call(request{Op: "lookup", Key: key})
 	return resp.Value, err
