@@ -1,0 +1,116 @@
+// Command ipvet runs the repository's static invariant suite — the five
+// analyzers of internal/analysis — over the given packages and fails on
+// any unsuppressed finding.  It is the static complement of the runtime
+// determinism harness: what the 50-seeded-DAG tests and AllocsPerRun
+// guards sample at run time, ipvet enforces over every path at analysis
+// time.
+//
+// Usage:
+//
+//	go run ./cmd/ipvet ./...                 # gate: exit 1 on findings
+//	go run ./cmd/ipvet -suppressions ./...   # audit the allow inventory
+//	go run ./cmd/ipvet -checks wallclock,rawgo ./...
+//
+// Suppressions: a legitimate violation is annotated in place with
+//
+//	//ipvet:allow <check> <reason>
+//
+// on the offending line or the line above.  The reason is mandatory — an
+// annotation without one does not suppress and is itself reported — and
+// -suppressions prints the full inventory (file:line, check, reason) so
+// every exemption a PR adds is visible in review.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"infopipes/internal/analysis"
+)
+
+func main() {
+	suppressions := flag.Bool("suppressions", false, "print the //ipvet:allow inventory instead of findings")
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ipvet [-suppressions] [-checks a,b] packages...\n\nchecks:\n")
+		for _, a := range analysis.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	res, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	if *suppressions {
+		if len(res.Suppressed) == 0 {
+			fmt.Println("no suppressions")
+			return
+		}
+		fmt.Printf("%d suppression(s):\n", len(res.Suppressed))
+		for _, s := range res.Suppressed {
+			fmt.Printf("  %s: allow %-9s %s\n", relPos(s.Pos), s.Check, s.Reason)
+		}
+		return
+	}
+
+	for _, d := range res.Diagnostics {
+		fmt.Printf("%s: [%s] %s\n", relPos(d.Pos), d.Check, d.Message)
+	}
+	if n := len(res.Diagnostics); n > 0 {
+		fmt.Fprintf(os.Stderr, "ipvet: %d finding(s) in %d package(s) (suppressed: %d)\n", n, len(pkgs), len(res.Suppressed))
+		os.Exit(1)
+	}
+	fmt.Printf("ipvet: ok (%d packages, %d suppressions honored)\n", len(pkgs), len(res.Suppressed))
+}
+
+func selectAnalyzers(csv string) ([]*analysis.Analyzer, error) {
+	all := analysis.Analyzers()
+	if csv == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(csv, ",") {
+		a, ok := byName[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("ipvet: unknown check %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// relPos trims the current directory prefix so findings print as
+// clickable repo-relative paths.
+func relPos(p interface{ String() string }) string {
+	s := p.String()
+	if wd, err := os.Getwd(); err == nil {
+		s = strings.TrimPrefix(s, wd+string(os.PathSeparator))
+	}
+	return s
+}

@@ -1,0 +1,169 @@
+package analysis
+
+// The fixture harness mirrors golang.org/x/tools/go/analysis/analysistest
+// on the standard library: each package under testdata/src/<check> is
+// type-checked and analyzed, and every diagnostic must match a trailing
+//
+//	// want `regex`
+//
+// comment on its line (several backquoted regexes per comment are allowed,
+// one per expected diagnostic).  Unmatched wants and unexpected diagnostics
+// both fail, so the fixtures pin the analyzers' exact behavior — and a
+// companion test runs every fixture with its analyzer disabled to prove the
+// fixture would catch the analyzer's loss.
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"slices"
+	"strings"
+	"testing"
+)
+
+func TestWallclockFixture(t *testing.T) { runFixture(t, WallclockAnalyzer, "wallclock") }
+func TestMaporderFixture(t *testing.T)  { runFixture(t, MaporderAnalyzer, "maporder") }
+func TestHotallocFixture(t *testing.T)  { runFixture(t, HotallocAnalyzer, "hotalloc") }
+func TestAtomicsFixture(t *testing.T)   { runFixture(t, AtomicsAnalyzer, "atomics") }
+
+func TestRawgoFixture(t *testing.T) {
+	res := runFixture(t, RawgoAnalyzer, "rawgo")
+	reasons := suppressionReasons(res)
+	want := []string{"lifecycle signal carries no stage data"}
+	if !slices.Equal(reasons, want) {
+		t.Errorf("suppression inventory = %q, want %q", reasons, want)
+	}
+}
+
+// TestAllowFixture exercises the suppression mechanism itself (with
+// wallclock as the demonstration check): a reasoned allow suppresses and
+// lands in the inventory, an allow without a reason does not suppress, and
+// malformed directives are findings.
+func TestAllowFixture(t *testing.T) {
+	res := runFixture(t, WallclockAnalyzer, "allow")
+	reasons := suppressionReasons(res)
+	want := []string{
+		"fixture reason: this clock read is sanctioned",
+		"fixture reason: trailing form",
+	}
+	if !slices.Equal(reasons, want) {
+		t.Errorf("suppression inventory = %q, want %q", reasons, want)
+	}
+}
+
+// TestFixturesFailWithoutTheirAnalyzer runs each fixture with its analyzer
+// disabled: the want expectations must go unmatched.  This is the guarantee
+// that every analyzer is actually load-bearing — deleting one breaks its
+// fixture test.
+func TestFixturesFailWithoutTheirAnalyzer(t *testing.T) {
+	for _, name := range []string{"wallclock", "maporder", "hotalloc", "atomics", "rawgo"} {
+		pkg := loadFixture(t, name)
+		res, err := Run([]*Package{pkg}, nil) // directives are still validated; no analyzer runs
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		wants := 0
+		for _, ws := range collectWants(t, pkg) {
+			wants += len(ws)
+		}
+		if wants == 0 {
+			t.Errorf("%s: fixture has no want expectations; it tests nothing", name)
+		}
+		if got := len(res.Diagnostics); got >= wants {
+			t.Errorf("%s: %d diagnostics without the analyzer, %d wants; the fixture does not depend on its analyzer", name, got, wants)
+		}
+	}
+}
+
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", name), "fixture/"+name)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", name, err)
+	}
+	return pkg
+}
+
+func runFixture(t *testing.T, a *Analyzer, name string) Result {
+	t.Helper()
+	pkg := loadFixture(t, name)
+	res, err := Run([]*Package{pkg}, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("run %s on %s: %v", a.Name, name, err)
+	}
+	wants := collectWants(t, pkg)
+	for _, d := range res.Diagnostics {
+		key := wantKey(d.Pos)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s: [%s] %s", key, d.Check, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching `%s`", key, w.re)
+			}
+		}
+	}
+	return res
+}
+
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantPatternRE = regexp.MustCompile("`([^`]*)`")
+
+// collectWants gathers the `// want` expectations of every file in pkg,
+// keyed by "file:line" of the comment (trailing comments share the line of
+// the code they annotate).
+func collectWants(t *testing.T, pkg *Package) map[string][]*want {
+	t.Helper()
+	out := make(map[string][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ms := wantPatternRE.FindAllStringSubmatch(c.Text[idx:], -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s:%d: want comment without a backquoted pattern", pos.Filename, pos.Line)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					key := wantKey(pos)
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func wantKey(pos token.Position) string {
+	return fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+}
+
+func suppressionReasons(res Result) []string {
+	var out []string
+	for _, s := range res.Suppressed {
+		out = append(out, s.Reason)
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The annotation grammar (all comments, line or block, anywhere in a file):
+//
+//	//ipvet:allow <check> <reason...>   suppress a <check> finding on this
+//	                                    line or the next; the reason is
+//	                                    mandatory and lands in the
+//	                                    suppression inventory
+//	//ipvet:hotpath [note]              mark the function whose doc comment
+//	                                    this is as a hot path: hotalloc
+//	                                    checks every statement in its body
+//
+// Anything else spelled //ipvet:... is a malformed directive and is itself
+// reported, so a typo ("ipvet:alow", a misspelled check name) fails the
+// gate instead of silently not suppressing.
+
+const directivePrefix = "//ipvet:"
+
+type allowDirective struct {
+	check  string
+	reason string
+	pos    token.Position
+}
+
+// directiveIndex is the per-package view of every ipvet annotation.
+type directiveIndex struct {
+	// allows maps filename -> line -> the allow directives written on that
+	// line.  allowFor consults the finding's own line and the line above.
+	allows map[string]map[int][]allowDirective
+	// hotpaths holds the positions of //ipvet:hotpath comments; a FuncDecl
+	// is hot when one of them sits in its doc comment or inside its body's
+	// first line (annotation styles both occur in practice).
+	hotpaths map[string]map[int]bool
+}
+
+func (idx *directiveIndex) allowFor(pos token.Position, check string) (allowDirective, bool) {
+	lines := idx.allows[pos.Filename]
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		for _, a := range lines[line] {
+			if a.check == check {
+				return a, true
+			}
+		}
+	}
+	return allowDirective{}, false
+}
+
+func (idx *directiveIndex) hotpath(fset *token.FileSet, fn *ast.FuncDecl) bool {
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			p := fset.Position(c.Pos())
+			if idx.hotpaths[p.Filename][p.Line] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// indexDirectives scans every comment of every file, building the directive
+// index and reporting malformed directives as diagnostics under the pseudo
+// check name "ipvet" (they are not suppressible).
+func indexDirectives(fset *token.FileSet, files []*ast.File) (*directiveIndex, []Diagnostic) {
+	idx := &directiveIndex{
+		allows:   make(map[string]map[int][]allowDirective),
+		hotpaths: make(map[string]map[int]bool),
+	}
+	var diags []Diagnostic
+	bad := func(pos token.Position, msg string) {
+		diags = append(diags, Diagnostic{Pos: pos, Check: "ipvet", Message: msg})
+	}
+	knownChecks := make(map[string]bool)
+	for _, a := range Analyzers() {
+		knownChecks[a.Name] = true
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, line := range commentLines(c) {
+					text, pos := line.text, fset.Position(c.Pos())
+					pos.Line += line.offset
+					rest, ok := strings.CutPrefix(text, directivePrefix)
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						bad(pos, "empty //ipvet: directive")
+						continue
+					}
+					switch fields[0] {
+					case "allow":
+						if len(fields) < 2 {
+							bad(pos, "//ipvet:allow needs a check name and a reason")
+							continue
+						}
+						if !knownChecks[fields[1]] {
+							bad(pos, "//ipvet:allow names unknown check "+fields[1])
+							continue
+						}
+						file := idx.allows[pos.Filename]
+						if file == nil {
+							file = make(map[int][]allowDirective)
+							idx.allows[pos.Filename] = file
+						}
+						file[pos.Line] = append(file[pos.Line], allowDirective{
+							check:  fields[1],
+							reason: strings.Join(fields[2:], " "),
+							pos:    pos,
+						})
+					case "hotpath":
+						file := idx.hotpaths[pos.Filename]
+						if file == nil {
+							file = make(map[int]bool)
+							idx.hotpaths[pos.Filename] = file
+						}
+						file[pos.Line] = true
+					default:
+						bad(pos, "unknown //ipvet: directive "+fields[0])
+					}
+				}
+			}
+		}
+	}
+	return idx, diags
+}
+
+type commentLine struct {
+	text   string
+	offset int // line offset within a block comment
+}
+
+// commentLines splits a comment into directive-candidate lines.  Line
+// comments are one candidate; block comments contribute each inner line
+// (directives in block comments are unusual but must not silently vanish).
+func commentLines(c *ast.Comment) []commentLine {
+	if strings.HasPrefix(c.Text, "//") {
+		return []commentLine{{text: c.Text, offset: 0}}
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(c.Text, "/*"), "*/")
+	var out []commentLine
+	for i, l := range strings.Split(body, "\n") {
+		l = strings.TrimSpace(l)
+		if strings.HasPrefix(l, strings.TrimPrefix(directivePrefix, "//")) {
+			l = "//" + l
+		}
+		if strings.HasPrefix(l, directivePrefix) {
+			out = append(out, commentLine{text: l, offset: i})
+		}
+	}
+	return out
+}

@@ -1,0 +1,344 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotallocAnalyzer checks every function annotated //ipvet:hotpath for
+// allocating constructs.  The runtime's AllocsPerRun guards sample one
+// concrete path at one call site; this analyzer covers every path of every
+// annotated function statically — the complement the EXPERIMENTS.md alloc
+// methodology calls for.
+//
+// Flagged:
+//
+//   - new(T) and &T{...} — heap allocation (or an escape-analysis gamble
+//     the hot path must not take),
+//   - make(...) — slices, maps and channels are created up front, not per
+//     item,
+//   - function literals — closure allocation,
+//   - method values (x.M used as a value) — bound-method closure,
+//   - calls into fmt / log and errors.New — formatting allocates,
+//   - non-constant string concatenation and string<->[]byte/[]rune
+//     conversions,
+//   - un-capped appends: append to a slice local that starts nil or empty
+//     in the same function (growth from zero allocates every few items;
+//     appends to reused buffers — fields, parameters, capacity-provisioned
+//     makes — are the amortized idiom and pass),
+//   - interface boxing: converting a non-pointer-shaped concrete value to
+//     an interface type, whether by explicit conversion, assignment, call
+//     argument (variadic included) or return.
+//
+// A construct that is deliberate (a cold error path, a once-per-connection
+// setup branch) carries //ipvet:allow hotalloc <reason>.
+var HotallocAnalyzer = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "functions annotated //ipvet:hotpath must not allocate on any path",
+	Run:  runHotalloc,
+}
+
+var hotallocFmtPkgs = map[string]bool{"fmt": true, "log": true}
+
+func runHotalloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !pass.Hotpath(fn) {
+				continue
+			}
+			checkHotFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
+	uncapped := uncappedSlices(pass, fn)
+	// Selectors that are the callee of a call are method *calls*, not
+	// method values; calls are visited before their children, so marking
+	// the Fun here is enough to skip it below.
+	callees := make(map[ast.Expr]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure allocated in hot path")
+			return false // the literal's body is not part of this hot path
+		case *ast.GoStmt:
+			pass.Reportf(n.Pos(), "go statement in hot path allocates a goroutine")
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, isLit := n.X.(*ast.CompositeLit); isLit {
+					pass.Reportf(n.Pos(), "&composite-literal allocates in hot path")
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isNonConstString(pass, n) {
+				pass.Reportf(n.Pos(), "string concatenation allocates in hot path")
+			}
+		case *ast.CallExpr:
+			callees[ast.Unparen(n.Fun)] = true
+			checkHotCall(pass, n, uncapped)
+		case *ast.AssignStmt:
+			checkHotAssign(pass, n)
+		case *ast.ReturnStmt:
+			checkHotReturn(pass, fn, n)
+		case *ast.SelectorExpr:
+			if !callees[n] {
+				checkMethodValue(pass, n)
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, call *ast.CallExpr, uncapped map[types.Object]bool) {
+	// Builtins and type conversions first.
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		switch pass.TypesInfo.Uses[fn].(type) {
+		case *types.Builtin:
+			switch fn.Name {
+			case "new":
+				pass.Reportf(call.Pos(), "new() allocates in hot path")
+				return
+			case "make":
+				pass.Reportf(call.Pos(), "make() in hot path; create buffers up front and reuse them")
+				return
+			case "append":
+				if dst, ok := call.Args[0].(*ast.Ident); ok && uncapped[pass.TypesInfo.Uses[dst]] {
+					pass.Reportf(call.Pos(), "append to %q grows from zero capacity in hot path; pre-size or reuse a buffer", dst.Name)
+				}
+			}
+		}
+	}
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		// Explicit conversion.
+		checkConversion(pass, call.Pos(), tv.Type, call.Args[0])
+		if isStringBytesConv(pass, tv.Type, call.Args[0]) {
+			pass.Reportf(call.Pos(), "string/[]byte conversion copies and allocates in hot path")
+		}
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if obj := pass.TypesInfo.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil {
+			if hotallocFmtPkgs[obj.Pkg().Path()] {
+				pass.Reportf(call.Pos(), "%s.%s allocates in hot path", obj.Pkg().Name(), obj.Name())
+				return
+			}
+			if obj.Pkg().Path() == "errors" && obj.Name() == "New" {
+				pass.Reportf(call.Pos(), "errors.New allocates in hot path; use a package-level sentinel error")
+				return
+			}
+		}
+	}
+	// Interface boxing at the call boundary.
+	sig, ok := typeOf(pass, call.Fun).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			checkConversion(pass, arg.Pos(), pt, arg)
+		}
+	}
+}
+
+func checkHotAssign(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if lt := typeOf(pass, as.Lhs[i]); lt != nil {
+			checkConversion(pass, rhs.Pos(), lt, rhs)
+		}
+	}
+}
+
+func checkHotReturn(pass *Pass, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+	sig, ok := typeOf(pass, fn.Name).(*types.Signature)
+	if !ok || sig.Results().Len() != len(ret.Results) {
+		return
+	}
+	for i, r := range ret.Results {
+		checkConversion(pass, r.Pos(), sig.Results().At(i).Type(), r)
+	}
+}
+
+// checkMethodValue flags x.M where M is a method and the expression is a
+// value, not a call — binding allocates a closure.
+func checkMethodValue(pass *Pass, sel *ast.SelectorExpr) {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	pass.Reportf(sel.Pos(), "method value %s binds a closure in hot path", sel.Sel.Name)
+}
+
+// checkConversion reports when assigning/passing src where a value of type
+// dst is expected boxes a concrete value into an interface.
+func checkConversion(pass *Pass, pos token.Pos, dst types.Type, src ast.Expr) {
+	if !types.IsInterface(dst) {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[src]
+	if !ok || tv.Value != nil {
+		return // constants box to static data
+	}
+	st := tv.Type
+	if st == nil || types.IsInterface(st) || isUntypedNil(st) {
+		return
+	}
+	if pointerShaped(st) {
+		return // single-pointer-word payloads box without allocating
+	}
+	pass.Reportf(pos, "converting %s to interface %s allocates (boxing) in hot path", st, dst)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// pointerShaped reports whether values of t fit the interface data word
+// without a heap copy: pointers, channels, maps, funcs, unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isNonConstString(pass *Pass, e *ast.BinaryExpr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// isStringBytesConv reports a string([]byte), []byte(string) or
+// []rune(string) conversion — each copies its operand.
+func isStringBytesConv(pass *Pass, dst types.Type, src ast.Expr) bool {
+	st := typeOf(pass, src)
+	if st == nil {
+		return false
+	}
+	return (isString(dst) && isByteOrRuneSlice(st)) || (isByteOrRuneSlice(dst) && isString(st))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func typeOf(pass *Pass, e ast.Expr) types.Type {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := pass.TypesInfo.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// uncappedSlices collects the slice locals of fn that begin life with no
+// capacity: `var s []T`, `s := []T{}`, `s := []T(nil)`.  Appending to one
+// inside the hot path means growth allocation on the steady path.
+func uncappedSlices(pass *Pass, fn *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) > 0 {
+					continue
+				}
+				for _, name := range vs.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj != nil {
+						if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+							out[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					continue
+				}
+				if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+					continue
+				}
+				if isEmptySliceExpr(pass, n.Rhs[i]) {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isEmptySliceExpr(pass *Pass, e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.CompositeLit:
+		return len(x.Elts) == 0
+	case *ast.CallExpr: // []T(nil) conversion
+		if tv, ok := pass.TypesInfo.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			if tv2, ok := pass.TypesInfo.Types[x.Args[0]]; ok {
+				return isUntypedNil(tv2.Type)
+			}
+		}
+	case *ast.Ident:
+		return x.Name == "nil"
+	}
+	return false
+}

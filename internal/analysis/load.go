@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked (non-test) package, ready to be
+// analyzed.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Load expands the go-list patterns (e.g. "./...") relative to dir,
+// then parses and type-checks every matched package.  It shells out to the
+// go command only for package enumeration; parsing and type checking run
+// in-process, with module-internal and standard-library imports resolved
+// from source (the module has no external dependencies, so no export data
+// or network is ever needed).
+func Load(dir string, patterns []string) ([]*Package, error) {
+	metas, err := listPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, m := range metas {
+		p, err := checkPackage(fset, imp, m)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	return pkgs, nil
+}
+
+// LoadDir loads a single directory of Go files as one package under the
+// given import path, without consulting the go command.  This is the
+// fixture loader: testdata packages are invisible to `go list` by design.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		return nil, fmt.Errorf("ipvet: no Go files in %s", dir)
+	}
+	return checkPackage(fset, imp, pkgMeta{ImportPath: importPath, Dir: dir, GoFiles: baseNames(files)})
+}
+
+type pkgMeta struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+}
+
+func listPackages(dir string, patterns []string) ([]pkgMeta, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,GoFiles"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("ipvet: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var metas []pkgMeta
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var m pkgMeta
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("ipvet: decoding go list output: %v", err)
+		}
+		if len(m.GoFiles) > 0 {
+			metas = append(metas, m)
+		}
+	}
+	return metas, nil
+}
+
+func checkPackage(fset *token.FileSet, imp types.Importer, m pkgMeta) (*Package, error) {
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("ipvet: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(m.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("ipvet: type-checking %s: %v", m.ImportPath, err)
+	}
+	return &Package{
+		ImportPath: m.ImportPath,
+		Dir:        m.Dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+func baseNames(paths []string) []string {
+	out := make([]string, len(paths))
+	for i, p := range paths {
+		out[i] = filepath.Base(p)
+	}
+	return out
+}

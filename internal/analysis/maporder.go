@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MaporderAnalyzer flags `range` loops over maps whose iteration order can
+// escape into ordered output.  Go randomizes map order per run, and the
+// virtual clock cannot absorb that randomness once it reaches anything
+// sequenced: a channel, a lane, a trace, a slice that is consumed in order.
+// This is the exact bug class behind the pre-PR-4 events.Bus.Broadcast,
+// where start events were delivered in map order and two merge arms
+// disagreed in ~35% of runs.
+//
+// Flagged inside the body of a map range:
+//
+//   - a channel send (order reaches a consumer directly),
+//   - a call to an order-sensitive sink method (Send, Push, Write, Emit,
+//     Broadcast, Post, Publish, ...),
+//   - an append to a slice declared outside the loop — unless a later
+//     statement of the same enclosing block sorts that slice
+//     (sort.Strings/Ints/Slice/..., slices.Sort*), the collect-then-sort
+//     idiom the runtime uses everywhere.
+//
+// Reads, counters, max-scans, deletes and other order-insensitive folds are
+// not flagged.
+var MaporderAnalyzer = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration order must not escape into ordered output (channel sends, sinks, unsorted collections)",
+	Run:  runMaporder,
+}
+
+// maporderSinks are method names whose call inside a map range hands the
+// iteration order to an ordered consumer.
+var maporderSinks = map[string]bool{
+	"Send": true, "TrySend": true, "Push": true, "Write": true,
+	"Emit": true, "Broadcast": true, "Post": true, "Publish": true,
+	"Enqueue": true, "Deliver": true, "Record": true,
+}
+
+func runMaporder(pass *Pass) error {
+	if !pass.Governed([]string{"*"}, nil) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		// Walk with path tracking so the enclosing block of each range
+		// statement is at hand for the sorted-afterwards check.
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			stack = append(stack, n)
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypesInfo.Types[rng.X].Type
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rng, enclosingStmts(stack, rng))
+			return true
+		})
+	}
+	return nil
+}
+
+// enclosingStmts returns the statement list stmt belongs to directly: a
+// block's statements, or the body of a switch/select case.
+func enclosingStmts(stack []ast.Node, stmt ast.Stmt) []ast.Stmt {
+	for i := len(stack) - 2; i >= 0; i-- {
+		var list []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			continue
+		}
+		for _, s := range list {
+			if s == stmt {
+				return list
+			}
+		}
+	}
+	return nil
+}
+
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, stmts []ast.Stmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "channel send inside a map range leaks map iteration order to the receiver")
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && maporderSinks[sel.Sel.Name] {
+				// Only method calls count — a package-level helper named
+				// Write is not a sink on some ordered receiver.
+				if _, isMethod := pass.TypesInfo.Selections[sel]; isMethod {
+					pass.Reportf(n.Pos(), "%s call inside a map range delivers in map iteration order", sel.Sel.Name)
+				}
+			}
+			checkMapRangeAppend(pass, rng, stmts, n)
+		}
+		return true
+	})
+}
+
+// checkMapRangeAppend flags `dst = append(dst, ...)` inside a map range
+// when dst is declared outside the loop and is not sorted afterwards.
+func checkMapRangeAppend(pass *Pass, rng *ast.RangeStmt, stmts []ast.Stmt, call *ast.CallExpr) {
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" || len(call.Args) == 0 {
+		return
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.TypesInfo.Uses[dst]
+	if obj == nil || obj.Pos() == 0 {
+		return
+	}
+	if obj.Pos() >= rng.Pos() && obj.Pos() < rng.End() {
+		return // accumulator local to the loop body: order dies with it
+	}
+	if sortedAfter(pass, rng, stmts, obj) {
+		return // collect-then-sort idiom: order is re-established
+	}
+	pass.Reportf(call.Pos(), "append to %q inside a map range stores elements in map iteration order and the slice is never sorted afterwards", dst.Name)
+}
+
+// sortedAfter reports whether a statement after rng in the same statement
+// list calls a sorting function with obj among its arguments.
+func sortedAfter(pass *Pass, rng *ast.RangeStmt, stmts []ast.Stmt, obj types.Object) bool {
+	after := false
+	for _, s := range stmts {
+		if s == ast.Stmt(rng) {
+			after = true
+			continue
+		}
+		if !after {
+			continue
+		}
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if !isSortCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				if id, ok := rootIdent(arg); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall recognizes the standard sorting entry points: anything in
+// package sort, and the Sort* functions of package slices.
+func isSortCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return len(obj.Name()) >= 4 && obj.Name()[:4] == "Sort"
+	}
+	return false
+}
+
+// rootIdent unwraps selector/index/slice expressions down to their base
+// identifier: keys[:n] and s.keys both root at an identifier.
+func rootIdent(e ast.Expr) (*ast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x, true
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}

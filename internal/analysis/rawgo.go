@@ -1,0 +1,56 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RawgoAnalyzer enforces thread transparency at its root: stage and
+// pipeline implementations do not create concurrency.  The paper's central
+// claim (§3) is that the same stage code runs single-threaded, multi-
+// threaded, or distributed purely by composition policy — which holds only
+// if stages never spawn goroutines or build channels themselves.  All
+// concurrency belongs to the uthread scheduler; all inter-stage transport
+// belongs to buffers, links and lanes.
+//
+// Governed packages are the stage/pipeline layer: core, pipes, item,
+// feedback, events, trace, media, typespec, ipcl.  The runtime internals
+// that implement the machinery stages must not touch — uthread (carrier
+// threads), vclock, netpipe (socket I/O), shard, graph, remote, control —
+// are allowlisted by package.  The rare legitimate use inside a governed
+// package (a pipeline's lifecycle signal) carries //ipvet:allow rawgo.
+var RawgoAnalyzer = &Analyzer{
+	Name: "rawgo",
+	Doc:  "no raw go statements or channel creation in stage/pipeline packages; concurrency belongs to the uthread scheduler",
+	Run:  runRawgo,
+}
+
+var rawgoGoverned = []string{
+	"core", "pipes", "item", "feedback", "events", "trace", "media", "typespec", "ipcl",
+}
+
+func runRawgo(pass *Pass) error {
+	if !pass.Governed(rawgoGoverned, nil) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "raw go statement in a stage/pipeline package; schedule a uthread instead (thread transparency)")
+			case *ast.CallExpr:
+				if fn, ok := n.Fun.(*ast.Ident); ok && fn.Name == "make" {
+					if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); ok && b.Name() == "make" {
+						if tv, ok := pass.TypesInfo.Types[n]; ok {
+							if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+								pass.Reportf(n.Pos(), "channel creation in a stage/pipeline package; inter-stage transport belongs to buffers and links")
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+// Package allow is the ipvet fixture for the suppression mechanism itself:
+// a reasoned //ipvet:allow suppresses and lands in the inventory, an allow
+// without a reason does not suppress, and malformed directives are findings
+// in their own right.
+package allow
+
+import "time"
+
+// A reasoned allow on the line above suppresses the finding.  The test also
+// asserts this exact reason appears in the suppression inventory.
+func reasoned() time.Time {
+	//ipvet:allow wallclock fixture reason: this clock read is sanctioned
+	return time.Now()
+}
+
+// A reasoned allow trailing the offending line works too.
+func trailing() time.Time {
+	return time.Now() //ipvet:allow wallclock fixture reason: trailing form
+}
+
+// An allow with a check name but no reason does NOT suppress: the finding
+// stands, annotated with the missing-reason complaint.
+func unreasoned() time.Time {
+	//ipvet:allow wallclock
+	return time.Now() // want `time\.Now reads the wall clock.*an //ipvet:allow annotation is present but has no reason; a justification string is required to suppress`
+}
+
+// An allow for a different check does not suppress this one.
+func wrongCheck() time.Time {
+	//ipvet:allow maporder suppressing the wrong check does nothing
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// Malformed directives are findings themselves, so typos fail the gate
+// instead of silently not suppressing.
+/*ipvet:*/ // want `empty //ipvet: directive`
+/*ipvet:alow wallclock typo in the verb*/ // want `unknown //ipvet: directive alow`
+/*ipvet:allow*/ // want `//ipvet:allow needs a check name and a reason`
+/*ipvet:allow nosuchcheck some reason*/ // want `//ipvet:allow names unknown check nosuchcheck`

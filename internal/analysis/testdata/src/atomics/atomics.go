@@ -1,0 +1,46 @@
+// Package atomics is the ipvet fixture for the atomics analyzer: a field
+// accessed through sync/atomic anywhere must never be plainly accessed, and
+// mutex/atomic mixing on one field is called out separately.
+package atomics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int64
+	m  int64
+}
+
+func (c *counter) bump() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.n // want `plain access to n, which is accessed via sync/atomic at .*; all access must be atomic`
+}
+
+func (c *counter) mixed() {
+	c.mu.Lock()
+	c.n++ // want `n is accessed atomically at .* but mutex-protected here; pick one protection per field`
+	c.mu.Unlock()
+}
+
+// All-atomic access is the discipline: no findings.
+func (c *counter) snapshot() int64 {
+	return atomic.LoadInt64(&c.n) + atomic.LoadInt64(&c.m)
+}
+
+// A field never touched by sync/atomic is free to use the mutex.
+type plain struct {
+	mu sync.Mutex
+	k  int
+}
+
+func (p *plain) inc() {
+	p.mu.Lock()
+	p.k++
+	p.mu.Unlock()
+}

@@ -1,0 +1,71 @@
+// Package hotalloc is the ipvet fixture for the hotalloc analyzer: every
+// allocating construct inside an //ipvet:hotpath function is flagged; the
+// same constructs in an unannotated function are not, and the
+// reuse-a-buffer idioms the runtime's hot paths rely on pass.
+package hotalloc
+
+import (
+	"errors"
+	"fmt"
+)
+
+type point struct {
+	x, y int
+}
+
+type doer interface {
+	do()
+}
+
+type impl struct{}
+
+func (impl) do() {}
+
+var box any
+
+func spin() {}
+
+//ipvet:hotpath fixture hot function; every statement below allocates
+func hot(n int, s string, vals []int, d doer) {
+	_ = func() int { return n } // want `closure allocated in hot path`
+	go spin()                   // want `go statement in hot path allocates a goroutine`
+	p := &point{x: n, y: n}     // want `&composite-literal allocates in hot path`
+	_ = p
+	_ = s + "!"           // want `string concatenation allocates in hot path`
+	_ = new(int)          // want `new\(\) allocates in hot path`
+	_ = make([]int, 0, n) // want `make\(\) in hot path; create buffers up front and reuse them`
+	var acc []int
+	for _, v := range vals {
+		acc = append(acc, v) // want `append to "acc" grows from zero capacity in hot path; pre-size or reuse a buffer`
+	}
+	_ = acc
+	fmt.Println(n)      // want `fmt\.Println allocates in hot path`
+	_ = errors.New("x") // want `errors\.New allocates in hot path; use a package-level sentinel error`
+	_ = []byte(s)       // want `string/\[\]byte conversion copies and allocates in hot path`
+	box = n             // want `converting int to interface .* allocates \(boxing\) in hot path`
+	var im impl
+	mv := im.do // want `method value do binds a closure in hot path`
+	_ = mv
+	d.do()
+}
+
+//ipvet:hotpath appending into the caller's reused buffer is the sanctioned idiom
+func hotAppend(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+//ipvet:hotpath pointer-shaped and interface-to-interface values do not box
+func hotNoBox(p *point, d doer) (any, doer) {
+	return p, d
+}
+
+// cold performs the same allocations without the annotation: hotalloc must
+// stay silent, or the check would outlaw allocation everywhere.
+func cold(n int, s string) {
+	_ = func() int { return n }
+	_ = &point{x: n, y: n}
+	_ = s + "!"
+	_ = make([]int, 0, n)
+	fmt.Println(n)
+	box = n
+}

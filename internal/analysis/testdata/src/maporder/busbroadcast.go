@@ -1,0 +1,22 @@
+package maporder
+
+// Bus reproduces the historical events.Bus.Broadcast bug (fixed in PR 4 by
+// collecting subscribers into a slice ordered by subscription): delivering
+// to map-keyed subscribers while ranging the map hands every receiver a
+// random delivery order per run.
+type Bus struct {
+	subs map[chan Event]bool
+}
+
+// Event is the minimal stand-in for events.Event.
+type Event struct {
+	Seq int
+}
+
+// Broadcast is the bug: the send inside the map range leaks the map's
+// random iteration order to every subscriber.
+func (b *Bus) Broadcast(ev Event) {
+	for ch := range b.subs {
+		ch <- ev // want `channel send inside a map range leaks map iteration order to the receiver`
+	}
+}

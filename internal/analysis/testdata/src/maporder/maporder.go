@@ -1,0 +1,49 @@
+// Package maporder is the ipvet fixture for the maporder analyzer: map
+// iteration order escaping into ordered output is flagged; the
+// collect-then-sort idiom is not.
+package maporder
+
+import "sort"
+
+func sendLeaksOrder(m map[string]int, ch chan<- int) {
+	for _, v := range m {
+		ch <- v // want `channel send inside a map range leaks map iteration order to the receiver`
+	}
+}
+
+type sink struct{}
+
+func (sink) Send(int)    {}
+func (sink) Deliver(int) {}
+
+func sinkLeaksOrder(m map[string]int, s sink) {
+	for _, v := range m {
+		s.Send(v) // want `Send call inside a map range delivers in map iteration order`
+	}
+}
+
+func appendNeverSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside a map range stores elements in map iteration order and the slice is never sorted afterwards`
+	}
+	return keys
+}
+
+// The collect-then-sort idiom: the append is fine because the slice is
+// sorted before the order can be observed.
+func appendSortedAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Ranging a slice delivers in slice order: no findings.
+func sliceRange(vals []int, ch chan<- int) {
+	for _, v := range vals {
+		ch <- v
+	}
+}

@@ -1,0 +1,29 @@
+// Package rawgo is the ipvet fixture for the rawgo analyzer: stage and
+// pipeline code owns no concurrency — goroutines and channels are flagged,
+// and the one sanctioned pattern (an annotated lifecycle signal) passes
+// through the allow mechanism.
+package rawgo
+
+func spawn(work func()) {
+	go work() // want `raw go statement in a stage/pipeline package; schedule a uthread instead \(thread transparency\)`
+}
+
+func transport() chan int {
+	return make(chan int) // want `channel creation in a stage/pipeline package; inter-stage transport belongs to buffers and links`
+}
+
+// A buffered channel is still a channel.
+func buffered() chan int {
+	return make(chan int, 8) // want `channel creation in a stage/pipeline package; inter-stage transport belongs to buffers and links`
+}
+
+// The sanctioned exception: a lifecycle signal, annotated with a reason.
+func lifecycle() chan struct{} {
+	//ipvet:allow rawgo lifecycle signal carries no stage data
+	return make(chan struct{})
+}
+
+// make on non-channel types is rawgo-clean (hotalloc's business, not ours).
+func buffers(n int) []byte {
+	return make([]byte, n)
+}

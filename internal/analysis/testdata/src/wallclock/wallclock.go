@@ -1,0 +1,38 @@
+// Package wallclock is the ipvet fixture for the wallclock analyzer: every
+// wall-clock read or wait below carries a `// want` expectation, and the
+// clean cases prove the analyzer flags clock *functions*, not time types or
+// instant methods.
+package wallclock
+
+import "time"
+
+type stamped struct {
+	now func() time.Time
+}
+
+func read() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+func wait(d time.Duration) {
+	time.Sleep(d)               // want `time\.Sleep stalls the carrier thread outside the scheduler`
+	<-time.After(d)             // want `time\.After waits on the wall clock`
+	_ = time.NewTicker(d)       // want `time\.NewTicker ticks on the wall clock`
+	_ = time.Since(time.Time{}) // want `time\.Since reads the wall clock`
+}
+
+// Storing the function value is as nondeterministic as calling it.
+func defaults() stamped {
+	return stamped{now: time.Now} // want `time\.Now reads the wall clock`
+}
+
+// Methods on instants the caller already holds are deterministic given
+// their inputs: no findings.
+func compare(a, b time.Time) bool {
+	return a.After(b) || a.Sub(b) > time.Second
+}
+
+// Types and constants from the time package are always fine.
+func plumb(d time.Duration) time.Duration {
+	return d + time.Millisecond
+}

@@ -126,6 +126,7 @@ func (d *Directory) Register(addr string) (string, error) {
 	d.names = append(d.names, name)
 	d.addrs[name] = addr
 	d.clients[name] = c
+	//ipvet:allow wallclock operator-facing health stamp; the control plane runs on the real network, not the virtual clock
 	d.health[name] = &NodeHealth{Name: name, Addr: addr, Healthy: true, LastSeen: time.Now()}
 	return name, nil
 }
@@ -211,6 +212,7 @@ func (d *Directory) Heartbeat() int {
 			wentUp := !entry.Healthy
 			entry.Healthy = true
 			entry.Misses = 0
+			//ipvet:allow wallclock operator-facing health stamp for a live probe answer
 			entry.LastSeen = time.Now()
 			entry.Pipelines = h.Pipelines
 			entry.Switches = h.Switches
@@ -246,6 +248,7 @@ func (d *Directory) probe(c *remote.Client, retries int, backoff time.Duration) 
 	for try := 0; err != nil && try < retries; try++ {
 		if backoff > 0 {
 			jit := time.Duration(rand.Int63n(int64(backoff)/2 + 1))
+			//ipvet:allow wallclock probe retry backoff against a real network peer
 			time.Sleep(backoff + jit)
 		}
 		if rerr := c.Reconnect(); rerr != nil {
@@ -304,6 +307,7 @@ func (d *Directory) Start(every time.Duration) {
 	d.mu.Unlock()
 	go func() {
 		defer close(done)
+		//ipvet:allow wallclock heartbeat ticker drives real cluster probes, not flow time
 		t := time.NewTicker(every)
 		defer t.Stop()
 		for {
@@ -378,6 +382,7 @@ func (cb *ClusterBalancer) Tick() (bool, error) {
 // moves made.
 func (cb *ClusterBalancer) Run(every time.Duration, stop <-chan struct{}) (int, error) {
 	moves := 0
+	//ipvet:allow wallclock balancer tick interval is operator policy on the real cluster
 	t := time.NewTicker(every)
 	defer t.Stop()
 	for {

@@ -62,7 +62,7 @@ func (o *Operator) Close() {
 	ln := o.ln
 	conns := make([]net.Conn, 0, len(o.conns))
 	for c := range o.conns {
-		conns = append(conns, c)
+		conns = append(conns, c) //ipvet:allow maporder teardown fan-out; peers see concurrent EOFs, close order is unobservable
 	}
 	o.mu.Unlock()
 	if ln != nil {
@@ -212,7 +212,7 @@ func (c *OperatorClient) call(req opRequest) (opResponse, error) {
 		return opResponse{}, c.broken
 	}
 	if c.timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		c.conn.SetDeadline(time.Now().Add(c.timeout)) //ipvet:allow wallclock I/O deadline on a real operator socket
 		defer c.conn.SetDeadline(time.Time{})
 	}
 	if err := c.enc.Encode(&req); err != nil {

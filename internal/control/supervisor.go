@@ -3,6 +3,7 @@ package control
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -87,6 +88,7 @@ func (s *Supervisor) nodeDown(name string, downErr error) {
 		recovered := false
 		for try := 0; try < attempts; try++ {
 			if try > 0 && backoff > 0 {
+				//ipvet:allow wallclock failover retry backoff; real recovery time, not flow time
 				time.Sleep(backoff + time.Duration(rand.Int63n(int64(backoff)/2+1)))
 			}
 			hints, err := s.placements(d, dead)
@@ -139,6 +141,10 @@ func (s *Supervisor) placements(d *graph.Deployment, dead int) (map[string]int, 
 			load[node]++
 		}
 	}
+	// The greedy least-loaded assignment below mutates load as it places,
+	// so the orphan order decides the placement: sort it, or two failovers
+	// of the same cluster state pick different homes (caught by ipvet).
+	sort.Strings(orphans)
 	hints := make(map[string]int, len(orphans))
 	for _, seg := range orphans {
 		best, bestLoad := -1, 0

@@ -465,8 +465,11 @@ func (s *section) pumpCode() uthread.CodeFunc {
 // pumpLoop is the section's engine (§3.1/§4): the pump's thread calls the
 // pull functions of all components upstream, then push with the returned
 // item downstream, then schedules the next cycle.
+//
+//ipvet:hotpath every item of every flow crosses this loop
 func (s *section) pumpLoop(t *uthread.Thread) {
 	ctx := s.pumpCtx
+	//ipvet:allow hotalloc one-time setup before the loop, not per-item
 	stopped := func() bool { return s.stopping.Load() }
 	var cycle int64
 	for {
@@ -508,6 +511,7 @@ func (s *section) pumpLoop(t *uthread.Thread) {
 		sampled := cycle&busySampleMask == 0
 		var t0 time.Time
 		if sampled {
+			//ipvet:allow wallclock busy-time telemetry sample (1 cycle in 16); stats-only, never trace-visible
 			t0 = time.Now()
 		}
 		it, err := s.pumpPull(ctx)
@@ -526,6 +530,7 @@ func (s *section) pumpLoop(t *uthread.Thread) {
 		}
 		s.pipeline.stats.items.Add(1)
 		if sampled {
+			//ipvet:allow wallclock closes the busy-time telemetry sample; stats-only, never trace-visible
 			s.pipeline.stats.busyNs.Add(int64(time.Since(t0)) * (busySampleMask + 1))
 		}
 	}

@@ -120,7 +120,7 @@ func Compose(name string, sched *uthread.Scheduler, bus *events.Bus, stages []St
 		plan:       plan,
 		placements: make(map[string]*placementRT),
 		stageIdx:   make(map[string]int, len(stages)),
-		done:       make(chan struct{}),
+		done:       make(chan struct{}), //ipvet:allow rawgo pipeline lifecycle signal (Done); carries no stage data
 	}
 	for i, st := range stages {
 		p.stageIdx[st.Name()] = i

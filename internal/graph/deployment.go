@@ -51,8 +51,9 @@ func newDeployment(name string, bus *events.Bus) *Deployment {
 		name:      name,
 		bus:       bus,
 		bySegment: make(map[string]*core.Pipeline),
-		now:       time.Now,
-		done:      make(chan struct{}),
+		//ipvet:allow wallclock controller-side Start/Stop event stamp for OnNodes; local targets override with the scheduler's virtual clock (local.go)
+		now:  time.Now,
+		done: make(chan struct{}),
 	}
 }
 

@@ -760,6 +760,7 @@ func (r *remoteDeployment) wait() error {
 		if done && reachable > 0 {
 			return r.err()
 		}
+		//ipvet:allow wallclock completion poll interval against live remote nodes; their flows run on their own clocks
 		time.Sleep(10 * time.Millisecond)
 	}
 }

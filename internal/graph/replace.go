@@ -201,6 +201,9 @@ func (rd *remoteDeploy) ancestors(si int) []int {
 	for i := range seen {
 		out = append(out, i)
 	}
+	// Pause/resume fan-outs iterate this; keep the order deterministic
+	// instead of leaking the set's map order (caught by ipvet).
+	sort.Ints(out)
 	return out
 }
 

@@ -2,6 +2,7 @@ package ipcl
 
 import (
 	"fmt"
+	"sort"
 
 	"infopipes/internal/core"
 	"infopipes/internal/graph"
@@ -183,8 +184,15 @@ func (b *graphBuilder) nodeOpts(e StageExpr) []graph.NodeOption {
 	if len(e.Args) > 0 {
 		opts = append(opts, graph.WithArgs(e.Args...))
 	}
-	for k, v := range e.Params {
-		opts = append(opts, graph.WithParam(k, v))
+	// Sorted keys keep the declared option order — and any error it
+	// produces downstream — deterministic (caught by ipvet).
+	keys := make([]string, 0, len(e.Params))
+	for k := range e.Params {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		opts = append(opts, graph.WithParam(k, e.Params[k]))
 	}
 	if e.Place >= 0 {
 		opts = append(opts, graph.Place(e.Place))

@@ -50,6 +50,8 @@ var pool = sync.Pool{New: func() any { return new(Item) }}
 // New creates an item with the given payload, sequence number and creation
 // time.  The item comes from the freelist; pass it to Recycle at end of
 // life to avoid the allocation entirely.
+//
+//ipvet:hotpath freelist fast path; every produced item starts here
 func New(payload any, seq int64, created time.Time) *Item {
 	it := pool.Get().(*Item)
 	*it = Item{Payload: payload, Seq: seq, Created: created}
@@ -60,6 +62,8 @@ func New(payload any, seq int64, created time.Time) *Item {
 // may call it: the item must not be referenced afterwards.  Shared state
 // (a copy-on-write attribute map, the payload) is released, not reused, so
 // recycling one clone never disturbs its siblings.  Safe on nil.
+//
+//ipvet:hotpath freelist return path; every consumed item ends here
 func (it *Item) Recycle() {
 	if it == nil {
 		return

@@ -272,10 +272,13 @@ func NewStreamingBinaryMarshaller() *BinaryMarshaller {
 }
 
 // Marshal implements Marshaller.
+//
+//ipvet:hotpath per-item wire encoding on the send side
 func (m *BinaryMarshaller) Marshal(it *item.Item) ([]byte, error) {
 	sp := scratchPool.Get().(*[]byte)
 	buf, err := m.appendItem((*sp)[:0], it)
 	if err == nil {
+		//ipvet:allow hotalloc the Marshaller contract hands the frame to the caller; one owned slice per frame is the interface's floor
 		out := make([]byte, len(buf))
 		copy(out, buf)
 		*sp = buf[:0]
@@ -292,6 +295,8 @@ func (m *BinaryMarshaller) Marshal(it *item.Item) ([]byte, error) {
 
 // appendItem appends the binary encoding of it, or errBinSkip when a
 // payload or attribute type needs the gob fallback.
+//
+//ipvet:hotpath binary encoder body; appends into a pooled scratch buffer
 func (m *BinaryMarshaller) appendItem(dst []byte, it *item.Item) ([]byte, error) {
 	dst = append(dst, wireBinary)
 	dst = appendVarint(dst, it.Seq)
@@ -348,9 +353,11 @@ func (m *BinaryMarshaller) marshalFallback(it *item.Item) ([]byte, error) {
 }
 
 // Unmarshal implements Marshaller.
+//
+//ipvet:hotpath per-item wire decoding on the receive side
 func (m *BinaryMarshaller) Unmarshal(data []byte) (*item.Item, error) {
 	if len(data) == 0 {
-		return nil, fmt.Errorf("netpipe: unmarshal: empty frame")
+		return nil, fmt.Errorf("netpipe: unmarshal: empty frame") //ipvet:allow hotalloc malformed-frame error path
 	}
 	switch data[0] {
 	case wireBinary:
@@ -358,7 +365,7 @@ func (m *BinaryMarshaller) Unmarshal(data []byte) (*item.Item, error) {
 	case wireGobOne:
 		var w wireItem
 		if err := gob.NewDecoder(bytes.NewReader(data[1:])).Decode(&w); err != nil {
-			return nil, fmt.Errorf("netpipe: unmarshal: %w", err)
+			return nil, fmt.Errorf("netpipe: unmarshal: %w", err) //ipvet:allow hotalloc malformed-frame error path
 		}
 		return itemFromWire(&w), nil
 	case wireGobStr:
@@ -370,15 +377,17 @@ func (m *BinaryMarshaller) Unmarshal(data []byte) (*item.Item, error) {
 		m.decBuf.Write(data[1:])
 		var w wireItem
 		if err := m.gdec.Decode(&w); err != nil {
-			return nil, fmt.Errorf("netpipe: unmarshal (gob stream): %w", err)
+			return nil, fmt.Errorf("netpipe: unmarshal (gob stream): %w", err) //ipvet:allow hotalloc malformed-frame error path
 		}
 		return itemFromWire(&w), nil
 	default:
-		return nil, fmt.Errorf("netpipe: unmarshal: unknown frame encoding %#x", data[0])
+		return nil, fmt.Errorf("netpipe: unmarshal: unknown frame encoding %#x", data[0]) //ipvet:allow hotalloc malformed-frame error path
 	}
 }
 
 // parseItem decodes a wireBinary body into a pooled item.
+//
+//ipvet:hotpath binary decoder body; fills a freelist item in place
 func parseItem(src []byte) (*item.Item, error) {
 	seq, src, err := parseVarint(src)
 	if err != nil {
@@ -386,13 +395,13 @@ func parseItem(src []byte) (*item.Item, error) {
 	}
 	var created time.Time
 	if len(src) == 0 {
-		return nil, fmt.Errorf("netpipe: binary decode: truncated time flag")
+		return nil, fmt.Errorf("netpipe: binary decode: truncated time flag") //ipvet:allow hotalloc malformed-frame error path
 	}
 	flag := src[0]
 	src = src[1:]
 	if flag != 0 {
 		if len(src) < 8 {
-			return nil, fmt.Errorf("netpipe: binary decode: truncated timestamp")
+			return nil, fmt.Errorf("netpipe: binary decode: truncated timestamp") //ipvet:allow hotalloc malformed-frame error path
 		}
 		created = time.Unix(0, int64(binary.BigEndian.Uint64(src)))
 		src = src[8:]

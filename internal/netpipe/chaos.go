@@ -161,13 +161,14 @@ func (c *ChaosConn) Write(p []byte) (int, error) {
 
 	if stall {
 		select {
+		//ipvet:allow wallclock fault injection stalls a real socket by design
 		case <-time.After(c.cfg.StallFor):
 		case <-closed:
 			return 0, fmt.Errorf("netpipe: chaos: closed during stall")
 		}
 	}
 	if delay > 0 {
-		time.Sleep(delay)
+		time.Sleep(delay) //ipvet:allow wallclock fault injection delays a real socket by design
 	}
 	if kill && len(p) > 1 {
 		n, _ := c.Conn.Write(p[:len(p)/2])

@@ -202,6 +202,8 @@ func encodeSeqFrame(dst []byte, tag byte, seq int64, payload []byte) []byte {
 // connection and pass it as dst (re-sliced to zero length), so steady-state
 // framing reuses the same allocation instead of building a fresh frame per
 // send.
+//
+//ipvet:hotpath per-item wire framing; reuses the caller's transmit buffer
 func encodeFrame(dst []byte, tag byte, payload []byte) []byte {
 	dst = append(dst, 0, 0, 0, 0, tag)
 	binary.BigEndian.PutUint32(dst[len(dst)-5:], uint32(len(payload)+1))

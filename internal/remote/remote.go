@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -154,6 +155,7 @@ func (n *Node) PipelineNames() []string {
 	for name := range n.pipelines {
 		out = append(out, name)
 	}
+	sort.Strings(out)
 	return out
 }
 
@@ -177,7 +179,7 @@ func (n *Node) Serve(addr string) (string, error) {
 	}
 	n.mu.Lock()
 	n.ln = ln
-	n.started = time.Now()
+	n.started = time.Now() //ipvet:allow wallclock uptime baseline for operator-facing health reports
 	n.mu.Unlock()
 	// While serving, remote clients can compose and post at any time, so
 	// the node's scheduler must idle rather than drain.
@@ -410,8 +412,14 @@ func (n *Node) stats(prefix string) []PipeStat {
 		}
 	}
 	n.mu.Unlock()
+	names := make([]string, 0, len(ps))
+	for name := range ps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	out := make([]PipeStat, 0, len(ps))
-	for name, p := range ps {
+	for _, name := range names {
+		p := ps[name]
 		st := p.Stats()
 		row := PipeStat{Name: name, Items: st.Items, Cycles: st.Cycles,
 			BusyNanos: st.BusyNanos, EOS: p.ReachedEOS()}
@@ -436,7 +444,7 @@ func (n *Node) health() Health {
 	n.mu.Unlock()
 	h := Health{Node: n.name, Pipelines: pipelines, Switches: n.sched.Stats().Switches}
 	if !started.IsZero() {
-		h.UptimeNanos = int64(time.Since(started))
+		h.UptimeNanos = int64(time.Since(started)) //ipvet:allow wallclock operator-facing uptime in the health payload
 	}
 	return h
 }
@@ -615,7 +623,7 @@ func (c *Client) call(req request) (response, error) {
 		return response{}, c.broken
 	}
 	if c.timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(c.timeout))
+		c.conn.SetDeadline(time.Now().Add(c.timeout)) //ipvet:allow wallclock per-call I/O deadline on the control socket
 		defer c.conn.SetDeadline(time.Time{})
 	}
 	if err := c.enc.Encode(&req); err != nil {

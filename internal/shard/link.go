@@ -137,6 +137,8 @@ func (l *Link) Retarget(rxSched *uthread.Scheduler) {
 // send hands one item across, blocking while the queue is full.  Called on a
 // sender-shard thread.  Returns core.ErrStopped once the link is closed or
 // the sender's section is stopping.
+//
+//ipvet:hotpath cross-shard handoff; every item over a link passes here
 func (l *Link) send(ctx *core.Ctx, it *item.Item) error {
 	t := ctx.Thread()
 	for {
@@ -170,6 +172,7 @@ func (l *Link) send(ctx *core.Ctx, it *item.Item) error {
 		}
 		tok := l.txWaiters.Register(t)
 		l.mu.Unlock()
+		//ipvet:allow hotalloc queue-full park path; the thread blocks here, so the bound methods are not per-item cost
 		if err := core.AwaitWake(t, msgShardWake, tok, ctx.Stopping, l.deregisterTx); err != nil {
 			if ctx.Detaching() {
 				continue // re-enter: the force-complete branch takes the item
@@ -187,6 +190,8 @@ func (l *Link) send(ctx *core.Ctx, it *item.Item) error {
 // receiver's batch, wakes every blocked sender once, and subsequent pops
 // serve from the batch — one wake round per queue depth instead of one
 // cross-scheduler Post per item.
+//
+//ipvet:hotpath cross-shard drain; batch swap plus per-item serve
 func (l *Link) pop(ctx *core.Ctx) (*item.Item, error) {
 	t := ctx.Thread()
 	for {
@@ -222,6 +227,7 @@ func (l *Link) pop(ctx *core.Ctx) (*item.Item, error) {
 		}
 		tok := l.rxWaiters.Register(t)
 		l.mu.Unlock()
+		//ipvet:allow hotalloc queue-empty park path; the thread blocks here, so the bound methods are not per-item cost
 		if err := core.AwaitWake(t, msgShardWake, tok, ctx.Stopping, l.deregisterRx); err != nil {
 			return nil, err
 		}

@@ -40,6 +40,7 @@ type msgRing struct {
 
 func (r *msgRing) len() int { return len(r.buf) - r.head }
 
+//ipvet:hotpath mailbox ring append; every Post lands here
 func (r *msgRing) push(m Message) {
 	if r.head > 0 && r.head == len(r.buf) {
 		r.buf = r.buf[:0]
@@ -48,6 +49,7 @@ func (r *msgRing) push(m Message) {
 	r.buf = append(r.buf, m)
 }
 
+//ipvet:hotpath mailbox ring pop; every Receive lands here
 func (r *msgRing) pop() Message {
 	m := r.buf[r.head]
 	r.buf[r.head] = Message{}
@@ -92,6 +94,8 @@ func (r *msgRing) clear() {
 }
 
 // push appends m to its constraint bucket (FIFO within a level).
+//
+//ipvet:hotpath per-message enqueue on the scheduler's mailbox
 func (q *msgQueue) push(m Message) {
 	q.count++
 	if !m.Constraint.Set {
@@ -118,6 +122,8 @@ func (q *msgQueue) push(m Message) {
 }
 
 // bestConstraint reports the highest constraint level among queued messages.
+//
+//ipvet:hotpath consulted on every scheduling decision
 func (q *msgQueue) bestConstraint() (Priority, bool) {
 	for i := range q.buckets {
 		if q.buckets[i].ring.len() > 0 {
@@ -129,6 +135,8 @@ func (q *msgQueue) bestConstraint() (Priority, bool) {
 
 // popBest removes and returns the next message in delivery order: highest
 // constraint level first, FIFO within a level, unconstrained last.
+//
+//ipvet:hotpath per-message dequeue on the scheduler's mailbox
 func (q *msgQueue) popBest() (Message, bool) {
 	for i := range q.buckets {
 		if q.buckets[i].ring.len() > 0 {
