@@ -13,6 +13,7 @@
 //	ipbench rebalance [-procs N] [items]     # E21: live rebalance of a skewed deployment
 //	ipbench lanes [items]                    # E23: durable-lane journal overhead
 //	ipbench failover [items]                 # E23: kill-a-node recovery latency
+//	ipbench tenants [items]                  # E24: multi-tenant fair shares, shed, overhead
 //
 // -procs sets GOMAXPROCS for the run (multi-core measurement, E22); -pinned
 // locks each shard's Run loop to an OS thread (shard.WithPinnedShards).
@@ -59,6 +60,7 @@ func main() {
 		"rebalance": func() error { return rebalanceSkew(120_000) },
 		"lanes":     func() error { return laneOverhead(60_000) },
 		"failover":  func() error { return failoverLatency(400) },
+		"tenants":   func() error { return tenantQoS(20_000) },
 	}
 	if which == "shard" && len(rest) > 0 {
 		n, err := strconv.Atoi(rest[0])
@@ -76,19 +78,22 @@ func main() {
 		}
 		runners["rebalance"] = func() error { return rebalanceSkew(int64(n)) }
 	}
-	if (which == "lanes" || which == "failover") && len(rest) > 0 {
+	if (which == "lanes" || which == "failover" || which == "tenants") && len(rest) > 0 {
 		n, err := strconv.Atoi(rest[0])
 		if err != nil || n <= 0 {
 			fmt.Fprintf(os.Stderr, "ipbench: item count %q must be a positive integer\n", rest[0])
 			os.Exit(2)
 		}
-		if which == "lanes" {
+		switch which {
+		case "lanes":
 			runners["lanes"] = func() error { return laneOverhead(int64(n)) }
-		} else {
+		case "failover":
 			runners["failover"] = func() error { return failoverLatency(int64(n)) }
+		case "tenants":
+			runners["tenants"] = func() error { return tenantQoS(int64(n)) }
 		}
 	}
-	order := []string{"fig9", "switches", "midi", "dropping", "jitter", "pumps", "marshal", "shard", "link", "graph", "rebalance", "lanes", "failover"}
+	order := []string{"fig9", "switches", "midi", "dropping", "jitter", "pumps", "marshal", "shard", "link", "graph", "rebalance", "lanes", "failover", "tenants"}
 	if which != "all" {
 		run, ok := runners[which]
 		if !ok {
@@ -327,6 +332,79 @@ func failoverLatency(items int64) error {
 	fmt.Printf("delivered: %d/%d  %s\n", res.Delivered, res.Items, exact)
 	if !res.ExactOnce {
 		return fmt.Errorf("failover run delivered %d items with loss or duplication", res.Delivered)
+	}
+	return nil
+}
+
+func tenantQoS(items int64) error {
+	const spin = 200
+	shareTable := func(title string, weights []int, gatePct float64) error {
+		rows, err := experiments.TenantShares(weights, items, spin)
+		if err != nil {
+			return err
+		}
+		var wsum int
+		for _, w := range weights {
+			wsum += w
+		}
+		fmt.Printf("%s: %d items per tenant, spin=%d, progress at first finish\n", title, items, spin)
+		fmt.Printf("%-10s %8s %10s %8s %10s\n", "tenant", "weight", "progress", "share", "expected")
+		maxDev := 0.0
+		for _, r := range rows {
+			want := float64(r.Weight) / float64(wsum)
+			dev := (r.Share - want) / want * 100
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > maxDev {
+				maxDev = dev
+			}
+			fmt.Printf("%-10s %8d %10d %8.3f %10.3f\n", r.Tenant, r.Weight, r.Progress, r.Share, want)
+		}
+		fmt.Printf("max share deviation: %.1f%% (CI gate: <= %.0f%%)\n", maxDev, gatePct)
+		if maxDev > gatePct {
+			return fmt.Errorf("share deviation %.1f%% exceeds the %.0f%% gate", maxDev, gatePct)
+		}
+		return nil
+	}
+
+	fmt.Println("E24 — multi-tenant QoS: weighted-fair shares, admission shed, fairness overhead")
+	if err := shareTable("equal weights (4 × w1)", []int{1, 1, 1, 1}, 10); err != nil {
+		return err
+	}
+	if err := shareTable("weighted split (4:2:1)", []int{4, 2, 1}, 15); err != nil {
+		return err
+	}
+
+	shed, err := experiments.TenantOverloadShed(2*items, 4000, 1000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("overload: %d items offered at 4000/s through a 1000/s ShedDrop tenant\n", shed.Offered)
+	fmt.Printf("admitted=%d sheds=%d delivered=%d\n", shed.Admitted, shed.Sheds, shed.Delivered)
+	if shed.Admitted+shed.Sheds != shed.Offered || shed.Delivered != shed.Admitted {
+		return fmt.Errorf("overload accounting leaked: admitted %d + sheds %d vs offered %d, delivered %d",
+			shed.Admitted, shed.Sheds, shed.Offered, shed.Delivered)
+	}
+	if shed.Sheds == 0 {
+		return fmt.Errorf("a 4:1 overload shed nothing at admission")
+	}
+	fmt.Println("every offered item admitted or shed at the source: ok")
+
+	const overheadRepeats = 7
+	rows, overhead, err := experiments.TenantOverhead(2*items, 2*spin, overheadRepeats)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fairness overhead A/B: %d items, spin=%d, best of %d interleaved\n",
+		2*items, 2*spin, overheadRepeats)
+	fmt.Printf("%-16s %12s %14s\n", "config", "wall (ms)", "items/s")
+	for _, r := range rows {
+		fmt.Printf("%-16s %12.1f %14.0f\n", r.Config, float64(r.Wall.Microseconds())/1e3, r.Throughput)
+	}
+	fmt.Printf("single-tenant overhead: %.1f%% (CI gate: <= 5%%)\n", overhead)
+	if overhead > 5 {
+		return fmt.Errorf("single-tenant overhead %.1f%% exceeds the 5%% gate", overhead)
 	}
 	return nil
 }

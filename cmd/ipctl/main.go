@@ -23,6 +23,10 @@
 //	    lifecycle changes (started, done, FAILED) as they happen, instead
 //	    of redrawing full tables.
 //
+//	ipctl tenants -nodes host:port,...
+//	    Per-node QoS tenant rollups: weight, admitted/shed counts at
+//	    admission control, weighted-fair credit debt and grant share.
+//
 //	ipctl replace -op host:port [-deployment NAME] [-move seg=node,...]
 //	    Manual segment move against a deployment's operator endpoint
 //	    (control.Operator): -move re-places each named segment onto the
@@ -49,7 +53,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: ipctl ping|health|stats|top|watch -nodes host:port,... [flags]\n       ipctl replace -op host:port [-deployment NAME] [-move seg=node,...]")
+		fmt.Fprintln(os.Stderr, "usage: ipctl ping|health|stats|tenants|top|watch -nodes host:port,... [flags]\n       ipctl replace -op host:port [-deployment NAME] [-move seg=node,...]")
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
@@ -84,6 +88,8 @@ func main() {
 			err = health(addrs)
 		case "stats":
 			err = stats(addrs, *prefix)
+		case "tenants":
+			err = tenants(addrs)
 		case "top":
 			err = top(addrs, *prefix, *interval, *count)
 		case "watch":
@@ -182,6 +188,45 @@ func statsWith(clients []*infopipes.RemoteClient, errs []error, addrs []string, 
 			}
 			fmt.Printf("%-12s %-36s %12d %12d %10d %-6s\n",
 				name, row.Name, row.Items, row.Cycles, row.BusyNanos/1e6, state)
+		}
+	}
+	return nil
+}
+
+// tenants prints each node's QoS tenant rollups, one row per
+// (node, tenant), nodes in address order and tenants sorted by name (the
+// node already answers sorted; re-sorting keeps the display stable even
+// against older nodes).
+func tenants(addrs []string) error {
+	clients, errs := dial(addrs)
+	fmt.Printf("%-12s %-20s %6s %12s %12s %12s %6s\n",
+		"node", "tenant", "weight", "admitted", "sheds", "debt", "share")
+	for i, addr := range addrs {
+		if errs[i] != nil {
+			fmt.Printf("%-12s %s\n", addr, "UNREACHABLE")
+			continue
+		}
+		name, err := clients[i].Ping()
+		if err != nil {
+			fmt.Printf("%-12s %s\n", addr, "UNREACHABLE")
+			continue
+		}
+		rows, err := clients[i].Tenants()
+		if err != nil {
+			fmt.Printf("%-12s %s\n", name, "UNREACHABLE")
+			continue
+		}
+		sort.Slice(rows, func(a, b int) bool { return rows[a].Name < rows[b].Name })
+		for _, row := range rows {
+			share := 0.0
+			if row.SchedGrants > 0 {
+				share = float64(row.Granted) / float64(row.SchedGrants)
+			}
+			fmt.Printf("%-12s %-20s %6d %12d %12d %12d %6.2f\n",
+				name, row.Name, row.Weight, row.Admitted, row.Sheds, row.CreditDebt, share)
+		}
+		if len(rows) == 0 {
+			fmt.Printf("%-12s %-20s\n", name, "(no tenants)")
 		}
 	}
 	return nil

@@ -70,6 +70,7 @@ import (
 	"infopipes/internal/media"
 	"infopipes/internal/netpipe"
 	"infopipes/internal/pipes"
+	"infopipes/internal/qos"
 	"infopipes/internal/remote"
 	"infopipes/internal/shard"
 	"infopipes/internal/typespec"
@@ -493,6 +494,54 @@ var (
 	NewRouteTee   = pipes.NewRouteTee
 	NewMergeTee   = pipes.NewMergeTee
 	NewPullSwitch = pipes.NewPullSwitch
+)
+
+// ---- Multi-tenant QoS ----
+
+type (
+	// Tenant is one QoS principal: a fair-share weight, an optional
+	// admission rate limit, an overload shed policy and a scheduling
+	// priority.  Bind a tenant to a deployment at deploy time with
+	// WithTenant on any graph target; a nil tenant (the default) preserves
+	// the untenanted behaviour exactly.
+	Tenant = qos.Tenant
+	// TenantOption configures a Tenant at construction.
+	TenantOption = qos.TenantOption
+	// TenantShedPolicy selects what happens to over-rate items at
+	// admission: drop them (counted) or block the producer.
+	TenantShedPolicy = qos.ShedPolicy
+	// TenantRegistry is a named collection of tenants (operator surface).
+	TenantRegistry = qos.Registry
+	// TenantQoSStats is one tenant's per-deployment telemetry row
+	// (GraphStats.Tenants): admission outcomes, credit debt, grant share.
+	TenantQoSStats = graph.TenantStats
+	// SchedClass is a weighted-fair scheduling class of a Scheduler; the
+	// graph layer manages these per tenant — applications spawning their
+	// own classed threads can use SpawnClassed directly.
+	SchedClass = uthread.SchedClass
+	// NodeTenantStat is one tenant's rollup on one remote node (the
+	// RemoteClient.Tenants operator call).
+	NodeTenantStat = remote.TenantStat
+)
+
+// Shed policies.
+const (
+	TenantShedDrop  = qos.ShedDrop
+	TenantShedBlock = qos.ShedBlock
+)
+
+// Tenant constructors and options.
+var (
+	NewTenant         = qos.NewTenant
+	NewTenantRegistry = qos.NewRegistry
+	TenantWeight      = qos.Weight
+	TenantRateLimit   = qos.RateLimit
+	TenantShed        = qos.Shed
+	TenantPriority    = qos.Priority
+	NewSchedClass     = uthread.NewSchedClass
+	// WithSchedClass binds a hand-composed pipeline's threads to a
+	// weighted-fair class (graph deployments do this automatically).
+	WithSchedClass = core.WithSchedClass
 )
 
 // ---- Feedback toolkit ----

@@ -135,9 +135,12 @@ func (p *Pass) Hotpath(fn *ast.FuncDecl) bool {
 //   - infopipes/internal/<name>: governed iff <name> is in names
 //     (exceptions listed in exempt win over names; "*" in names means every
 //     internal package not exempted),
-//   - any other infopipes/... path (cmd, examples, the facade): never
-//     governed — operator tooling and benchmark harnesses legitimately use
-//     what the runtime must not,
+//   - any other infopipes/... path (cmd, examples, the facade): governed
+//     only when its module-relative path ("cmd/ipctl") is listed EXPLICITLY
+//     in names — "*" does not reach here, because operator tooling and
+//     benchmark harnesses legitimately use what the runtime must not.
+//     Opting a tool in (maporder over cmd/ipctl keeps its table output
+//     deterministic) is a per-check decision,
 //   - any non-infopipes path: always governed.  This is what lets the
 //     testdata fixtures exercise each analyzer without belonging to a
 //     governed runtime package.
@@ -148,6 +151,12 @@ func (p *Pass) Governed(names []string, exempt []string) bool {
 	}
 	rest, ok := strings.CutPrefix(path, "infopipes/internal/")
 	if !ok {
+		rel, _ := strings.CutPrefix(path, "infopipes/")
+		for _, n := range names {
+			if n == rel && rel != "" {
+				return true
+			}
+		}
 		return false
 	}
 	name := rest

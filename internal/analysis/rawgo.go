@@ -26,7 +26,7 @@ var RawgoAnalyzer = &Analyzer{
 }
 
 var rawgoGoverned = []string{
-	"core", "pipes", "item", "feedback", "events", "trace", "media", "typespec", "ipcl",
+	"core", "pipes", "item", "feedback", "events", "trace", "media", "typespec", "ipcl", "qos",
 }
 
 func runRawgo(pass *Pass) error {

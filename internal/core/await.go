@@ -54,11 +54,48 @@ type Waiter struct {
 // any goroutine — this is the cross-scheduler edge of the protocol).  Call
 // after releasing the owning queue's lock.
 func (w Waiter) Wake(kind uthread.Kind) {
+	w.WakeAt(kind, uthread.PriorityHigh)
+}
+
+// WakeAt is Wake with an explicit constraint level: the cross-flow QoS hook
+// that lets a queue wake its receiver at the SENDER's effective priority, so
+// a high-priority tenant's items preempt across shard links and TCP lanes
+// instead of the relay flattening them.  Callers must pass at least
+// PriorityHigh for default traffic (the protocol's liveness floor — a parked
+// framework thread reacts to its wake ahead of data work); WakePrio derives
+// the right level from a sender priority.
+func (w Waiter) WakeAt(kind uthread.Kind, prio uthread.Priority) {
 	w.Thread.Scheduler().Post(w.Thread, uthread.Message{
 		Kind:       kind,
 		Data:       w.Token,
-		Constraint: uthread.At(uthread.PriorityHigh),
+		Constraint: uthread.At(prio),
 	})
+}
+
+// WakePrio maps a sender's effective priority to the wake constraint: the
+// sender priority when it exceeds the protocol's PriorityHigh floor
+// (Control-priority tenants preempt relays end to end), the floor otherwise
+// (default traffic keeps today's wake ordering byte-for-byte).
+func WakePrio(sender uthread.Priority) uthread.Priority {
+	if sender > uthread.PriorityHigh {
+		return sender
+	}
+	return uthread.PriorityHigh
+}
+
+// SenderPriority reports the calling thread's current effective priority for
+// propagation across a link: the constraint of the message it is processing
+// (the pump's constraint in steady state — the tenant priority) or its
+// static priority when unconstrained.  A nil thread (endpoint driven outside
+// a composed pipeline) reports the default priority.
+func SenderPriority(t *uthread.Thread) uthread.Priority {
+	if t == nil {
+		return uthread.PriorityNormal
+	}
+	if c := t.CurrentConstraint(); c.Set {
+		return c.Level
+	}
+	return t.StaticPriority()
 }
 
 // WaiterList is the bookkeeping half of the AwaitWake protocol: FIFO

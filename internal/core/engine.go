@@ -130,7 +130,7 @@ func buildSection(p *Pipeline, idx int, sp SectionPlan, upBuf, downBuf Buffer) *
 		s.links = append(s.links, link)
 		rt.ctx.push = linkPush(s, link)
 		rt.eosDown = func(ctx *Ctx) { _ = link.Put(ctx.thread, eosToken{}) }
-		th := p.sched.Spawn(p.name+"/"+comp.Name(), prio, s.coroCode(rt))
+		th := p.sched.SpawnClassed(p.name+"/"+comp.Name(), prio, p.class, s.coroCode(rt))
 		s.threads = append(s.threads, th)
 		rt.thread = th
 		rt.ctx.thread = th
@@ -198,7 +198,7 @@ func buildSection(p *Pipeline, idx int, sp SectionPlan, upBuf, downBuf Buffer) *
 		s.links = append(s.links, link)
 		rt.getLink = link
 		rt.ctx.pull = linkPull(s, link)
-		th := p.sched.Spawn(p.name+"/"+comp.Name(), prio, s.coroCode(rt))
+		th := p.sched.SpawnClassed(p.name+"/"+comp.Name(), prio, p.class, s.coroCode(rt))
 		s.threads = append(s.threads, th)
 		rt.thread = th
 		rt.ctx.thread = th
@@ -214,7 +214,7 @@ func buildSection(p *Pipeline, idx int, sp SectionPlan, upBuf, downBuf Buffer) *
 	s.eosDown = eos
 
 	// ---- Pump thread: terminal owner of both sides ----
-	s.pumpThread = p.sched.Spawn(p.name+"/"+s.pump.Name(), prio, s.pumpCode())
+	s.pumpThread = p.sched.SpawnClassed(p.name+"/"+s.pump.Name(), prio, p.class, s.pumpCode())
 	s.threads = append(s.threads, s.pumpThread)
 	downRun := run
 	run, pendingDown = upRun, upPending

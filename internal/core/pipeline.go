@@ -26,6 +26,7 @@ type Pipeline struct {
 	bus    *events.Bus
 	stages []Stage
 	plan   Plan
+	class  *uthread.SchedClass // weighted-fair class for all threads; nil = default
 
 	sections   []*section
 	placements map[string]*placementRT
@@ -71,6 +72,10 @@ type PipeStats struct {
 	// (pull + push, including blocking), sampled one cycle in 16.
 	BusyNanos int64
 }
+
+// Class returns the weighted-fair scheduling class the pipeline's threads
+// were spawned into (nil = default class).
+func (p *Pipeline) Class() *uthread.SchedClass { return p.class }
 
 // Stats returns a snapshot of the pipeline's activity counters.
 func (p *Pipeline) Stats() PipeStats {
@@ -118,6 +123,7 @@ func Compose(name string, sched *uthread.Scheduler, bus *events.Bus, stages []St
 		bus:        bus,
 		stages:     stages,
 		plan:       plan,
+		class:      cfg.schedClass,
 		placements: make(map[string]*placementRT),
 		stageIdx:   make(map[string]int, len(stages)),
 		done:       make(chan struct{}), //ipvet:allow rawgo pipeline lifecycle signal (Done); carries no stage data

@@ -6,6 +6,7 @@ import (
 
 	"infopipes/internal/events"
 	"infopipes/internal/typespec"
+	"infopipes/internal/uthread"
 )
 
 // Placement records the planner's decision for one component: the mode its
@@ -128,6 +129,7 @@ type composeCfg struct {
 	forceCoroutines bool
 	skipEventCheck  bool
 	inputSpec       typespec.Typespec
+	schedClass      *uthread.SchedClass
 }
 
 // ComposeOption adjusts composition behaviour.
@@ -154,6 +156,15 @@ func SkipEventCapabilityCheck() ComposeOption {
 // checking does not stop at the tee).
 func WithInputSpec(ts typespec.Typespec) ComposeOption {
 	return func(c *composeCfg) { c.inputSpec = ts }
+}
+
+// WithSchedClass spawns every thread of the pipeline — coroutines and pumps —
+// into the given weighted-fair scheduling class, so the whole pipeline is
+// charged to one tenant's virtual-time account.  nil (the default) leaves the
+// pipeline in the scheduler's default class, preserving fairness-unaware
+// scheduling exactly.
+func WithSchedClass(class *uthread.SchedClass) ComposeOption {
+	return func(c *composeCfg) { c.schedClass = class }
 }
 
 // LocalEventCapabilities is an optional Component extension declaring the

@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"infopipes/internal/core"
+	"infopipes/internal/graph"
+	"infopipes/internal/item"
+	"infopipes/internal/pipes"
+	"infopipes/internal/qos"
+	"infopipes/internal/uthread"
+)
+
+// ---------------------------------------------------- E24: multi-tenant QoS
+
+// TenantShareRow is one tenant's progress in a weighted-fair contention run.
+type TenantShareRow struct {
+	Tenant string
+	Weight int
+	// Progress is the tenant's delivered item count at the instant the FIRST
+	// tenant finished — the whole window is contended, so the counts measure
+	// the weighted-fair shares directly.
+	Progress int64
+	// Share is Progress normalised over all tenants (0..1).
+	Share float64
+}
+
+// TenantShares runs one identical flow per weight — counter source, free
+// pump, spin-work filter, null sink — on a single scheduler, each deployment
+// bound to its own tenant, and reports every tenant's progress at the
+// instant the first one drains.  The snapshot is taken in-band (from the
+// finishing pipeline's own thread) because the whole virtual-clock run
+// completes in real microseconds.  Single scheduler + virtual clock makes
+// the result deterministic.
+func TenantShares(weights []int, items int64, spin int) ([]TenantShareRow, error) {
+	sched := uthread.New()
+	probes := make([]*pipes.CountingProbe, len(weights))
+	snapshot := make([]int64, len(weights))
+	sampled := false
+	deps := make([]*graph.Deployment, len(weights))
+	names := make([]string, len(weights))
+	for i, w := range weights {
+		name := fmt.Sprintf("t%d-w%d", i, w)
+		names[i] = name
+		g := graph.New(name)
+		probe := pipes.NewCountingProbe(name + "-probe")
+		probes[i] = probe
+		work := pipes.NewFuncFilter(name+"-work", func(_ *core.Ctx, it *item.Item) (*item.Item, error) {
+			seq, _ := it.Payload.(int64)
+			it.Payload = shardWork(seq, spin)
+			if it.Seq == items && !sampled {
+				sampled = true
+				for j, p := range probes {
+					snapshot[j] = p.Items()
+				}
+			}
+			return it, nil
+		})
+		g.Add(core.Comp(pipes.NewCounterSource(name+"-src", items)))
+		g.Add(core.Pmp(pipes.NewFreePump(name + "-p")))
+		g.Add(core.Comp(probe))
+		g.Add(core.Comp(work))
+		g.Add(core.Comp(pipes.NullSink(name + "-sink")))
+		g.Pipe(name+"-src", name+"-p", probe.Name(), work.Name(), name+"-sink")
+		d, err := g.Deploy(graph.OnScheduler(sched).WithTenant(
+			qos.NewTenant(name, qos.Weight(w))))
+		if err != nil {
+			return nil, fmt.Errorf("tenant %s deploy: %w", name, err)
+		}
+		deps[i] = d
+	}
+	for _, d := range deps {
+		d.Start()
+	}
+	if err := sched.Run(); err != nil {
+		return nil, fmt.Errorf("scheduler run: %w", err)
+	}
+	for i, d := range deps {
+		if err := d.Wait(); err != nil {
+			return nil, fmt.Errorf("tenant %s wait: %w", names[i], err)
+		}
+	}
+	if !sampled {
+		return nil, fmt.Errorf("no tenant ever finished — the contention window never closed")
+	}
+	var total int64
+	for _, n := range snapshot {
+		total += n
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("zero progress at the sampling instant")
+	}
+	rows := make([]TenantShareRow, len(weights))
+	for i, w := range weights {
+		rows[i] = TenantShareRow{
+			Tenant:   names[i],
+			Weight:   w,
+			Progress: snapshot[i],
+			Share:    float64(snapshot[i]) / float64(total),
+		}
+	}
+	return rows, nil
+}
+
+// TenantShedResult is the outcome of an overload run through a rate-limited
+// drop tenant.
+type TenantShedResult struct {
+	Offered, Admitted, Sheds, Delivered int64
+}
+
+// TenantOverloadShed offers `items` at offerRate through a tenant admitting
+// admitRate (burst 1, ShedDrop) and reports where the overload went.  The
+// invariant the caller gates on: every offered item is either admitted or
+// shed at the source — nothing queues, so memory stays bounded no matter
+// how hard the source overruns the tenant's rate.
+func TenantOverloadShed(items int64, offerRate, admitRate float64) (TenantShedResult, error) {
+	sched := uthread.New()
+	probe := pipes.NewCountingProbe("probe")
+	g := graph.New("overload")
+	g.Add(core.Comp(pipes.NewCounterSource("src", items)))
+	g.Add(core.Pmp(pipes.NewClockedPump("pump", offerRate)))
+	g.Add(core.Comp(probe))
+	g.Add(core.Comp(pipes.NullSink("sink")))
+	g.Pipe("src", "pump", probe.Name(), "sink")
+	tn := qos.NewTenant("capped",
+		qos.RateLimit(admitRate, 1), qos.Shed(qos.ShedDrop))
+	d, err := g.Deploy(graph.OnScheduler(sched).WithTenant(tn))
+	if err != nil {
+		return TenantShedResult{}, fmt.Errorf("deploy: %w", err)
+	}
+	d.Start()
+	if err := sched.Run(); err != nil {
+		return TenantShedResult{}, fmt.Errorf("run: %w", err)
+	}
+	if err := d.Wait(); err != nil {
+		return TenantShedResult{}, err
+	}
+	return TenantShedResult{
+		Offered:   items,
+		Admitted:  tn.Admitted(),
+		Sheds:     tn.Sheds(),
+		Delivered: probe.Items(),
+	}, nil
+}
+
+// TenantOverheadRow is one configuration of the fairness-overhead A/B.
+type TenantOverheadRow struct {
+	Config     string
+	Items      int64
+	Wall       time.Duration
+	Throughput float64
+}
+
+// TenantOverhead measures what the QoS machinery costs a deployment that
+// does not contend with anyone: the same spin-work flow deployed without a
+// tenant (the classless fast path) and with a single plain tenant (classed
+// scheduling + count-only admission).  The repeats INTERLEAVE the two
+// configs (base, solo, base, solo, …) so slow drift on the host — CPU
+// frequency, co-tenant noise, allocator state — hits both sides equally
+// instead of biasing whichever block ran second; best-of per config.
+// Returns the tenanted run's overhead in percent (negative = noise).
+func TenantOverhead(items int64, spin, repeats int) (rows []TenantOverheadRow, overheadPct float64, err error) {
+	run := func(config string, tn *qos.Tenant) (TenantOverheadRow, error) {
+		runtime.GC()
+		sched := uthread.New()
+		probe := pipes.NewCountingProbe("probe")
+		g := graph.New("solo")
+		work := pipes.NewFuncFilter("work", func(_ *core.Ctx, it *item.Item) (*item.Item, error) {
+			seq, _ := it.Payload.(int64)
+			it.Payload = shardWork(seq, spin)
+			return it, nil
+		})
+		g.Add(core.Comp(pipes.NewCounterSource("src", items)))
+		g.Add(core.Pmp(pipes.NewFreePump("pump")))
+		g.Add(core.Comp(work))
+		g.Add(core.Comp(probe))
+		g.Add(core.Comp(pipes.NullSink("sink")))
+		g.Pipe("src", "pump", "work", probe.Name(), "sink")
+		target := graph.OnScheduler(sched)
+		if tn != nil {
+			target = target.WithTenant(tn)
+		}
+		d, err := g.Deploy(target)
+		if err != nil {
+			return TenantOverheadRow{}, fmt.Errorf("%s deploy: %w", config, err)
+		}
+		start := time.Now()
+		d.Start()
+		if err := sched.Run(); err != nil {
+			return TenantOverheadRow{}, fmt.Errorf("%s run: %w", config, err)
+		}
+		if err := d.Wait(); err != nil {
+			return TenantOverheadRow{}, err
+		}
+		wall := time.Since(start)
+		if got := probe.Items(); got != items {
+			return TenantOverheadRow{}, fmt.Errorf("%s delivered %d items, want %d", config, got, items)
+		}
+		return TenantOverheadRow{Config: config, Items: items, Wall: wall,
+			Throughput: float64(items) / wall.Seconds()}, nil
+	}
+	var base, solo TenantOverheadRow
+	for i := 0; i < repeats; i++ {
+		b, err := run("untenanted", nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		if i == 0 || b.Wall < base.Wall {
+			base = b
+		}
+		s, err := run("single tenant", qos.NewTenant("solo"))
+		if err != nil {
+			return nil, 0, err
+		}
+		if i == 0 || s.Wall < solo.Wall {
+			solo = s
+		}
+	}
+	overheadPct = (float64(solo.Wall) - float64(base.Wall)) / float64(base.Wall) * 100
+	return []TenantOverheadRow{base, solo}, overheadPct, nil
+}

@@ -6,6 +6,7 @@ import (
 	"infopipes/internal/core"
 	"infopipes/internal/events"
 	"infopipes/internal/pipes"
+	"infopipes/internal/qos"
 	"infopipes/internal/shard"
 	"infopipes/internal/typespec"
 	"infopipes/internal/uthread"
@@ -21,11 +22,25 @@ type SchedulerTarget struct {
 	Bus *events.Bus
 	// LinkDepth bounds the cut-edge links (0 = the link default).
 	LinkDepth int
+	// Tenant binds the deployment to a QoS tenant (nil = default tenant:
+	// today's scheduling and admission behavior, byte for byte).  See
+	// WithTenant.
+	Tenant *qos.Tenant
 }
 
 // OnScheduler targets a single scheduler.
 func OnScheduler(s *uthread.Scheduler) *SchedulerTarget {
 	return &SchedulerTarget{Sched: s}
+}
+
+// WithTenant binds every pipeline of the deployment to a tenant: its
+// threads share the scheduler under the tenant's weight (weighted-fair run
+// token grants), its true sources pass the tenant's admission control, and
+// its relays pump at the tenant's priority.  Placement stays a separate,
+// orthogonal policy — the same graph deploys under any tenant.
+func (t *SchedulerTarget) WithTenant(tn *qos.Tenant) *SchedulerTarget {
+	t.Tenant = tn
+	return t
 }
 
 func (t *SchedulerTarget) deploy(g *Graph, plan *core.GraphPlan) (*Deployment, error) {
@@ -34,6 +49,7 @@ func (t *SchedulerTarget) deploy(g *Graph, plan *core.GraphPlan) (*Deployment, e
 		g: g, plan: plan, bus: t.Bus, depth: t.LinkDepth,
 		shardOf: shardOf,
 		schedOf: func(int) *uthread.Scheduler { return t.Sched },
+		tenant:  t.Tenant,
 	}
 	return ld.run()
 }
@@ -54,11 +70,22 @@ type GroupTarget struct {
 	Bus *events.Bus
 	// LinkDepth bounds the auto-inserted links (0 = the link default).
 	LinkDepth int
+	// Tenant binds the deployment to a QoS tenant (nil = default tenant).
+	// See SchedulerTarget.WithTenant.
+	Tenant *qos.Tenant
 }
 
 // OnGroup targets a sharded runtime.
 func OnGroup(gr *shard.Group) *GroupTarget {
 	return &GroupTarget{Group: gr}
+}
+
+// WithTenant binds every pipeline of the deployment to a tenant (one
+// weighted-fair class per shard the tenant touches).  See
+// SchedulerTarget.WithTenant.
+func (t *GroupTarget) WithTenant(tn *qos.Tenant) *GroupTarget {
+	t.Tenant = tn
+	return t
 }
 
 func (t *GroupTarget) deploy(g *Graph, plan *core.GraphPlan) (*Deployment, error) {
@@ -81,6 +108,7 @@ func (t *GroupTarget) deploy(g *Graph, plan *core.GraphPlan) (*Deployment, error
 		schedOf: t.Group.Scheduler,
 		placeAt: t.Group.PlaceAt,
 		release: t.Group.Release,
+		tenant:  t.Tenant,
 	}
 	d, err := ld.run()
 	if err != nil {
@@ -121,6 +149,13 @@ type localDeploy struct {
 	// scheduler; every composed pipeline (relays included) counts.
 	placeAt func(i int)
 	release func(i int)
+	// tenant is the deployment's QoS binding (nil = default tenant).  One
+	// weighted-fair SchedClass is created lazily per shard the tenant's
+	// pipelines touch — a class binds to exactly one scheduler, and the
+	// per-shard instances keep each shard's virtual clock independent (a
+	// tenant's trace on shard k must not depend on its siblings).
+	tenant  *qos.Tenant
+	classes map[int]*uthread.SchedClass
 
 	stages map[string]core.Stage
 	splits map[string]core.SplitPoint
@@ -234,6 +269,19 @@ func (ld *localDeploy) run() (*Deployment, error) {
 		nShards = ld.group.Shards()
 	}
 	ld.retiredByShard = make([]retiredCounts, nShards)
+	if ld.tenant != nil {
+		// One weighted-fair class per (tenant, shard): a class binds to
+		// exactly one scheduler, and per-shard virtual clocks keep each
+		// shard's trace independent of its siblings (the determinism harness
+		// re-runs one tenant's flow at 1, 2 and 4 shards and expects
+		// identical per-tenant traces).  Built for every shard up front so
+		// a rebalance can move segments anywhere without mutating the map
+		// Stats reads.
+		ld.classes = make(map[int]*uthread.SchedClass, nShards)
+		for i := 0; i < nShards; i++ {
+			ld.classes[i] = uthread.NewSchedClass(ld.tenant.Name(), ld.tenant.Weight())
+		}
+	}
 	ld.cutLinks = make([]*shard.Link, len(plan.Cuts))
 	for ci, cut := range plan.Cuts {
 		link := shard.NewLink(fmt.Sprintf("%s/cut%d", g.name, ci),
@@ -344,7 +392,7 @@ func (ld *localDeploy) composeSplitRelay(node string, port, branchShard int, see
 	}
 	relay := append([]core.Stage{
 		core.Comp(ld.splits[node].OutPort(port)),
-		core.Pmp(pipes.NewFreePump(lane + "/pump")),
+		core.Pmp(ld.relayPump(lane)),
 	}, link.SenderStages(lane)...)
 	rp, err := ld.compose(lane+"/relay", ld.shardOf[ld.plan.SplitTrunk[node]], relay, seed)
 	if err != nil {
@@ -378,7 +426,7 @@ func (ld *localDeploy) composeMergeRelay(node string, port int, seed typespec.Ty
 		link.Retarget(ld.schedOf(anchor))
 	}
 	relay := append(link.ReceiverStages(lane),
-		core.Pmp(pipes.NewFreePump(lane+"/pump")),
+		core.Pmp(ld.relayPump(lane)),
 		core.Comp(ld.merges[node].InPort(port)))
 	rp, err := ld.compose(lane+"/relay", anchor, relay, seed)
 	if err != nil {
@@ -392,6 +440,26 @@ func (ld *localDeploy) composeMergeRelay(node string, port int, seed typespec.Ty
 // laneName renders the canonical name of a tee-boundary relay lane.
 func (ld *localDeploy) laneName(node string, port int) string {
 	return fmt.Sprintf("%s/%s:%d", ld.g.name, node, port)
+}
+
+// classOf returns the tenant's weighted-fair class for one shard (nil
+// without a tenant — the default tenant runs classless, keeping today's
+// ready-queue order byte for byte).  The map is built eagerly in run() and
+// immutable afterwards, so Stats can read it without racing a rebalance's
+// recomposition.
+func (ld *localDeploy) classOf(shardIdx int) *uthread.SchedClass {
+	return ld.classes[shardIdx]
+}
+
+// relayPump builds a boundary relay's pump: free-running at the tenant's
+// priority, so a lane relay stops flattening the flow's priority to normal —
+// a tenant's effective priority crosses the boundary with its items.
+func (ld *localDeploy) relayPump(lane string) core.Pump {
+	prio := uthread.PriorityNormal
+	if ld.tenant != nil {
+		prio = ld.tenant.Priority()
+	}
+	return pipes.NewFreePumpPrio(lane+"/pump", prio)
 }
 
 func (ld *localDeploy) composeSegment(si int) error {
@@ -444,8 +512,22 @@ func (ld *localDeploy) composeSegment(si int) error {
 		stages = append(stages, link.ReceiverStages(link.Name())...)
 	}
 
+	declStart := len(stages)
 	for _, name := range seg.Stages {
 		stages = append(stages, ld.stages[name])
+	}
+	if ld.tenant != nil && seg.Head.Kind == core.EndNone {
+		// Admission control gates TRUE SOURCES, before the first queue: an
+		// over-rate tenant sheds (or blocks) here, where dropping is cheap,
+		// instead of filling shared buffers and links downstream.  The gate
+		// runs in push mode behind the segment's pump (see AdmissionIndex).
+		// Boundary-headed segments carry already-admitted items and are
+		// never re-gated.
+		at := declStart + qos.AdmissionIndex(stages[declStart:]) + 1
+		gate := core.Comp(qos.NewAdmission(g.name+"/"+seg.Name()+"/admit", ld.tenant))
+		stages = append(stages, core.Stage{})
+		copy(stages[at+1:], stages[at:])
+		stages[at] = gate
 	}
 	tailStart := len(stages)
 
@@ -511,7 +593,8 @@ func (ld *localDeploy) addLink(l *shard.Link) {
 // compose builds one pipeline of the deployment on the given shard.
 func (ld *localDeploy) compose(name string, shardIdx int, stages []core.Stage, seed typespec.Typespec) (*core.Pipeline, error) {
 	p, err := core.Compose(name, ld.schedOf(shardIdx), ld.bus, stages,
-		core.SkipEventCapabilityCheck(), core.WithInputSpec(seed))
+		core.SkipEventCapabilityCheck(), core.WithInputSpec(seed),
+		core.WithSchedClass(ld.classOf(shardIdx)))
 	if err != nil {
 		return nil, fmt.Errorf("graph %q: %w", ld.g.name, err)
 	}

@@ -11,6 +11,7 @@ import (
 	"infopipes/internal/pipes"
 	"infopipes/internal/remote"
 	"infopipes/internal/shard"
+	"infopipes/internal/uthread"
 )
 
 // nodeState holds the shared instances a graph deployment creates on one
@@ -368,7 +369,14 @@ func EnableNode(n *remote.Node, cat Catalog) {
 	})
 
 	n.RegisterSpecFactory("ip/pump", func(spec remote.StageSpec) (core.Stage, error) {
-		return core.Pmp(pipes.NewFreePump(spec.Name)), nil
+		// Relay pumps of tenant-bound deployments carry the tenant's
+		// priority ("prio" param), so a lane relay keeps the flow's
+		// priority across the hop instead of flattening it to normal.
+		prio, err := intParam(spec.Params, "prio", int(uthread.PriorityNormal))
+		if err != nil {
+			return core.Stage{}, err
+		}
+		return core.Pmp(pipes.NewFreePumpPrio(spec.Name, uthread.Priority(prio))), nil
 	})
 	n.RegisterSpecFactory("ip/marshal", func(spec remote.StageSpec) (core.Stage, error) {
 		return core.Comp(netpipe.NewMarshalFilter(spec.Name, netpipe.NewStreamingBinaryMarshaller())), nil

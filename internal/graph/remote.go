@@ -3,12 +3,14 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
 
 	"infopipes/internal/core"
 	"infopipes/internal/events"
+	"infopipes/internal/qos"
 	"infopipes/internal/remote"
 	"infopipes/internal/typespec"
 )
@@ -45,6 +47,12 @@ type NodesTarget struct {
 	// AckEvery makes durable receivers acknowledge after every N consumed
 	// items (0 = netpipe default).
 	AckEvery int
+	// Tenant binds the deployment to a QoS tenant (nil = default tenant).
+	// Every node hosting a segment materializes the tenant locally:
+	// weighted-fair scheduling against the node's other tenants, admission
+	// control at true sources, and tenant-priority relay pumps — the same
+	// isolation contract as SchedulerTarget.WithTenant, spanning nodes.
+	Tenant *qos.Tenant
 }
 
 // OnNodes targets remote nodes through their control clients.
@@ -64,6 +72,12 @@ func (t *NodesTarget) WithJournal(limit, ackEvery int) *NodesTarget {
 	t.ClusterLanes = true
 	t.JournalLimit = limit
 	t.AckEvery = ackEvery
+	return t
+}
+
+// WithTenant binds the deployment to a QoS tenant (see Tenant).
+func (t *NodesTarget) WithTenant(tn *qos.Tenant) *NodesTarget {
+	t.Tenant = tn
 	return t
 }
 
@@ -354,13 +368,31 @@ func (rd *remoteDeploy) listen(node int, lane string, durable, chained bool) (st
 	return addr, nil
 }
 
+// tenantSpec renders the deployment's tenant as a wire spec (nil when the
+// deployment runs as the default tenant).  Each node materializes the
+// tenant once, keyed by name, so every segment and relay of every
+// deployment bound to the same tenant shares one weighted-fair class and
+// one set of admission counters per node.
+func (rd *remoteDeploy) tenantSpec() *remote.TenantSpec {
+	t := rd.target.Tenant
+	if t == nil {
+		return nil
+	}
+	return &remote.TenantSpec{Name: t.Name(), Weight: t.Weight(),
+		Rate: t.Rate(), Burst: t.Burst(),
+		Shed: int(t.ShedPolicy()), Prio: int(t.Priority())}
+}
+
 // compose sends one pipeline to a node, seeded with the upstream Typespec,
 // and records it in the deployment.  Segments skip the per-pipeline
 // event-capability check, exactly like the local deployer (events may be
 // handled in another segment); the graph-wide check runs after deployment.
-func (rd *remoteDeploy) compose(node int, name string, specs []remote.StageSpec, seed typespec.Typespec, seg int) error {
+// admit asks the node to gate the pipeline's source with the tenant's
+// admission control — true only for true-source segments of a tenant-bound
+// deployment (boundary-headed pipelines carry already-admitted items).
+func (rd *remoteDeploy) compose(node int, name string, specs []remote.StageSpec, seed typespec.Typespec, seg int, admit bool) error {
 	rd.touched[node] = true
-	if err := rd.client(node).ComposeSeededSegment(name, specs, seed); err != nil {
+	if err := rd.client(node).ComposeTenantSegment(name, specs, seed, rd.tenantSpec(), admit); err != nil {
 		return fmt.Errorf("graph %q: node %d: compose %q: %w", rd.g.name, node, name, err)
 	}
 	rd.d.pipes = append(rd.d.pipes, remotePipe{client: node, name: name, seg: seg})
@@ -409,6 +441,18 @@ func (rd *remoteDeploy) cutIsLane(ci int) bool {
 	return rd.target.ClusterLanes || rd.nodeOf[cut.FromSeg] != rd.nodeOf[cut.ToSeg]
 }
 
+// pumpSpec renders a relay pump stage.  Tenant-bound deployments run their
+// relays at the tenant's priority, so a high-priority tenant's items keep
+// their precedence through lane relays exactly as they do through local
+// boundary relays.
+func (rd *remoteDeploy) pumpSpec(lane string) remote.StageSpec {
+	spec := remote.StageSpec{Kind: "ip/pump", Name: lane + "/pump"}
+	if t := rd.target.Tenant; t != nil {
+		spec.Params = map[string]string{"prio": strconv.Itoa(int(t.Priority()))}
+	}
+	return spec
+}
+
 func (rd *remoteDeploy) composeSegment(si int) error {
 	g, plan, seg := rd.g, rd.plan, rd.plan.Segments[si]
 	own := rd.nodeOf[si]
@@ -437,10 +481,10 @@ func (rd *remoteDeploy) composeSegment(si int) error {
 			relay := []remote.StageSpec{
 				rd.teeSpec("ip/teeout", fmt.Sprintf("%s.src%d", h.Node, h.Port),
 					h.Node, map[string]string{"port": strconv.Itoa(h.Port)}),
-				{Kind: "ip/pump", Name: lane + "/pump"},
+				rd.pumpSpec(lane),
 			}
 			relay = append(relay, rd.sendSpecs(lane, addr, durable, "")...)
-			if err := rd.compose(rd.nodeOf[trunk], lane+"/relay", relay, seed, -1); err != nil {
+			if err := rd.compose(rd.nodeOf[trunk], lane+"/relay", relay, seed, -1, false); err != nil {
 				return err
 			}
 			// The branch's seed is the lane's wire spec — the relay's
@@ -532,7 +576,8 @@ func (rd *remoteDeploy) composeSegment(si int) error {
 	}
 
 	name := g.name + "/" + seg.Name()
-	if err := rd.compose(own, name, specs, seed, si); err != nil {
+	admit := rd.target.Tenant != nil && seg.Head.Kind == core.EndNone
+	if err := rd.compose(own, name, specs, seed, si, admit); err != nil {
 		return err
 	}
 	if tailStart > 0 {
@@ -569,10 +614,10 @@ func (rd *remoteDeploy) composeSegment(si int) error {
 		}
 		anchor := rd.nodeOf[plan.MergeDown[r.node]]
 		relay := append(rd.recvSpecs(r.lane),
-			remote.StageSpec{Kind: "ip/pump", Name: r.lane + "/pump"},
+			rd.pumpSpec(r.lane),
 			rd.teeSpec("ip/mergein", fmt.Sprintf("%s.in%d", r.node, r.port),
 				r.node, map[string]string{"port": strconv.Itoa(r.port)}))
-		if err := rd.compose(anchor, r.lane+"/relay", relay, rd.laneSeed[r.lane], -1); err != nil {
+		if err := rd.compose(anchor, r.lane+"/relay", relay, rd.laneSeed[r.lane], -1, false); err != nil {
 			return err
 		}
 		ts, err := rd.outSpec(anchor, r.lane+"/relay", len(relay)-2)
@@ -865,5 +910,50 @@ func (r *remoteDeployment) stats() GraphStats {
 			add(p, p.name, true)
 		}
 	}
+	r.tenantStats(&st, byNode)
 	return st
+}
+
+// tenantStats folds the deployment tenant's per-node rollups into one
+// GraphStats row: admission counters and credit debt sum across nodes;
+// Share is the tenant's grant fraction over the grants of every polled
+// node's scheduler.  Unreachable nodes are skipped (same best-effort
+// contract as the pipe rows above).
+func (r *remoteDeployment) tenantStats(st *GraphStats, byNode map[int]bool) {
+	t := r.rd.target.Tenant
+	if t == nil {
+		return
+	}
+	nodes := make([]int, 0, len(byNode))
+	for node := range byNode {
+		nodes = append(nodes, node)
+	}
+	sort.Ints(nodes)
+	row := TenantStats{Tenant: t.Name(), Weight: t.Weight()}
+	var granted, grants int64
+	polled := false
+	for _, node := range nodes {
+		tenants, err := r.clients[node].Tenants()
+		if err != nil {
+			continue
+		}
+		polled = true
+		for _, ts := range tenants {
+			if ts.Name != t.Name() {
+				continue
+			}
+			row.Admitted += ts.Admitted
+			row.Sheds += ts.Sheds
+			row.CreditDebt += ts.CreditDebt
+			granted += ts.Granted
+			grants += ts.SchedGrants
+		}
+	}
+	if !polled {
+		return
+	}
+	if grants > 0 {
+		row.Share = float64(granted) / float64(grants)
+	}
+	st.Tenants = append(st.Tenants, row)
 }

@@ -412,7 +412,10 @@ func (rd *remoteDeploy) recomposeSegment(si int) error {
 	}
 	name := rd.g.name + "/" + seg.Name()
 	rd.touched[own] = true
-	if err := rd.client(own).ComposeSeededSegment(name, specs, seed); err != nil {
+	// Replaceable segments always have an upstream lane, so their items were
+	// admitted at the true source — the recomposed pipeline needs the
+	// tenant's scheduling class on its new node, but no admission gate.
+	if err := rd.client(own).ComposeTenantSegment(name, specs, seed, rd.tenantSpec(), false); err != nil {
 		return fmt.Errorf("graph %q: node %d: recompose %q: %w", rd.g.name, own, name, err)
 	}
 	return nil

@@ -39,6 +39,27 @@ type LinkStats struct {
 	Closed bool
 }
 
+// TenantStats is the per-tenant QoS rollup of one deployment: admission
+// outcomes from the tenant's counters, and weighted-fair scheduling state
+// folded across the shards the tenant's pipelines touch.
+type TenantStats struct {
+	// Tenant is the tenant name; Weight its fair-share weight.
+	Tenant string
+	Weight int
+	// Admitted counts items that passed admission control at the
+	// deployment's true sources; Sheds counts items dropped (or senders
+	// rejected) there instead of overflowing shared queues.
+	Admitted, Sheds int64
+	// CreditDebt is the tenant's virtual-time lead over the schedulers'
+	// fair clocks, summed across shards (scaled units): how much service
+	// the tenant has drawn ahead of its weighted share.  Zero for an idle
+	// or underserved tenant.
+	CreditDebt int64
+	// Share is the fraction of run-token grants the tenant's threads won on
+	// the shards it runs on (0..1; 0 when the schedulers are idle).
+	Share float64
+}
+
 // ShardLoad aggregates a deployment's activity per shard.
 type ShardLoad struct {
 	// Pipelines counts the deployment's pipelines currently placed on the
@@ -72,6 +93,10 @@ type GraphStats struct {
 	// Nodes names the cluster nodes behind the Shards indices (remote
 	// deployments only; empty on local targets).
 	Nodes []string
+	// Tenants holds the per-tenant QoS rollups: at most one row for a local
+	// deployment (a deployment binds one tenant), one row per tenant name
+	// seen across the nodes of a remote deployment.
+	Tenants []TenantStats
 }
 
 // Skew reports the ratio between the busiest and idlest shard by item
@@ -118,6 +143,10 @@ func (st GraphStats) String() string {
 	for i, sh := range st.Shards {
 		fmt.Fprintf(&b, "shd %-28d pipelines=%d items=%d busy_ms=%d\n",
 			i, sh.Pipelines, sh.Items, sh.BusyNanos/1e6)
+	}
+	for _, t := range st.Tenants {
+		fmt.Fprintf(&b, "tnt %-28s weight=%d admitted=%d sheds=%d debt=%d share=%.2f\n",
+			t.Tenant, t.Weight, t.Admitted, t.Sheds, t.CreditDebt, t.Share)
 	}
 	return b.String()
 }
@@ -207,6 +236,23 @@ func (d *Deployment) Stats() GraphStats {
 			Moved: l.Moved(), Drains: l.Drains(), Wakes: l.Wakes(),
 			Closed: l.Closed(),
 		})
+	}
+	if t := ld.tenant; t != nil {
+		row := TenantStats{Tenant: t.Name(), Weight: t.Weight(),
+			Admitted: t.Admitted(), Sheds: t.Sheds()}
+		var granted, grants int64
+		// Order-insensitive fold: sums over the per-shard classes.
+		for sh, c := range ld.classes {
+			if debt := c.VTime() - ld.schedOf(sh).FairNow(); debt > 0 {
+				row.CreditDebt += debt
+			}
+			granted += c.Granted()
+			grants += ld.schedOf(sh).Stats().Grants
+		}
+		if grants > 0 {
+			row.Share = float64(granted) / float64(grants)
+		}
+		st.Tenants = append(st.Tenants, row)
 	}
 	return st
 }

@@ -66,9 +66,12 @@ func (c DurableConfig) withDefaults() DurableConfig {
 	return c
 }
 
-// laneEntry is one journaled frame awaiting acknowledgement.
+// laneEntry is one journaled frame awaiting acknowledgement.  prio is the
+// wire priority byte the frame was (and will be re-) sent with, so a replay
+// after a Redial preserves the tenant's priority tag.
 type laneEntry struct {
 	seq  int64
+	prio byte
 	data []byte
 }
 
@@ -171,9 +174,9 @@ func (l *TCPLink) LaneStats() LaneStats {
 // deadlocks on a dead peer.  A write error parks the connection — the frame
 // is journaled, a later Redial replays it — so the pipeline keeps producing
 // into the journal while the lane is down.
-func (l *TCPLink) sendDurable(ctx *core.Ctx, seq int64, data []byte) error {
+func (l *TCPLink) sendDurable(ctx *core.Ctx, seq int64, data []byte, prio uthread.Priority) error {
 	detaching := ctx.Detaching
-	return l.sendDurableWith(ctx.Thread(), ctx.Stopping, detaching, seq, data)
+	return l.sendDurableWith(ctx.Thread(), ctx.Stopping, detaching, seq, data, prio)
 }
 
 // never is the nil-callback fallback for sendDurableWith: package-level so
@@ -181,7 +184,7 @@ func (l *TCPLink) sendDurable(ctx *core.Ctx, seq int64, data []byte) error {
 func never() bool { return false }
 
 //ipvet:hotpath durable-lane send: journal append + framed write per item
-func (l *TCPLink) sendDurableWith(t *uthread.Thread, stopping, detaching func() bool, seq int64, data []byte) error {
+func (l *TCPLink) sendDurableWith(t *uthread.Thread, stopping, detaching func() bool, seq int64, data []byte, prio uthread.Priority) error {
 	if stopping == nil {
 		stopping = never
 	}
@@ -209,10 +212,14 @@ func (l *TCPLink) sendDurableWith(t *uthread.Thread, stopping, detaching func() 
 				buf = d.free[n-1][:0]
 				d.free = d.free[:n-1]
 			}
+			pb := byte(0) // 0 marks the untagged frame format (default priority)
+			if prio != uthread.PriorityNormal {
+				pb = prioByte(prio)
+			}
 			//ipvet:allow hotalloc journal copy reuses acked buffers; it allocates only until the free pool warms up
-			d.journal = append(d.journal, laneEntry{seq: seq, data: append(buf, data...)})
+			d.journal = append(d.journal, laneEntry{seq: seq, prio: pb, data: append(buf, data...)})
 			d.lastSent = seq
-			_ = l.writeSeqFrameLocked(frameDataSeq, seq, data)
+			_ = l.writeDataSeqFrameLocked(pb, seq, data)
 			l.mu.Unlock()
 			return nil
 		}
@@ -288,6 +295,30 @@ func (l *TCPLink) writeSeqFrameLocked(tag byte, seq int64, payload []byte) error
 		return ErrNoConn
 	}
 	l.txBuf = encodeSeqFrame(l.txBuf[:0], tag, seq, payload)
+	l.armWriteDeadlineLocked()
+	if _, err := l.conn.Write(l.txBuf); err != nil {
+		l.conn.Close()
+		l.conn = nil
+		l.dur.wdUntil = time.Time{}
+		return err
+	}
+	return nil
+}
+
+// writeDataSeqFrameLocked writes one durable data frame, choosing the
+// untagged format for default-priority traffic (prio byte 0 — the wire stays
+// byte-identical to a QoS-unaware sender) and the priority-tagged format
+// otherwise.
+//
+//ipvet:hotpath per-frame durable data write
+func (l *TCPLink) writeDataSeqFrameLocked(prio byte, seq int64, payload []byte) error {
+	if prio == 0 {
+		return l.writeSeqFrameLocked(frameDataSeq, seq, payload)
+	}
+	if l.conn == nil {
+		return ErrNoConn
+	}
+	l.txBuf = encodeSeqPrioFrame(l.txBuf[:0], frameDataSeqPrio, prio, seq, payload)
 	l.armWriteDeadlineLocked()
 	if _, err := l.conn.Write(l.txBuf); err != nil {
 		l.conn.Close()
@@ -397,7 +428,7 @@ func (l *TCPLink) applyAck(seq int64) {
 func (l *TCPLink) replayLocked() error {
 	d := l.dur
 	for _, e := range d.journal {
-		if err := l.writeSeqFrameLocked(frameDataSeq, e.seq, e.data); err != nil {
+		if err := l.writeDataSeqFrameLocked(e.prio, e.seq, e.data); err != nil {
 			return fmt.Errorf("netpipe: durable replay seq %d: %w", e.seq, err)
 		}
 		d.replays++

@@ -54,6 +54,15 @@ func newInbox(sched *uthread.Scheduler, limit int) *inbox {
 // goroutine.  Frames injected after close, or beyond the limit, are
 // dropped.
 func (b *inbox) inject(data []byte) {
+	b.injectPrio(data, uthread.PriorityHigh)
+}
+
+// injectPrio is inject with an explicit wake constraint: the cross-flow QoS
+// path for priority-tagged frames, waking the puller at the SENDER's
+// effective priority so a high-priority tenant's items preempt on the
+// receiving scheduler too.  wakeAt must already be floored through
+// core.WakePrio.
+func (b *inbox) injectPrio(data []byte, wakeAt uthread.Priority) {
 	b.mu.Lock()
 	if b.closed || (b.limit > 0 && len(b.q) >= b.limit) {
 		b.mu.Unlock()
@@ -64,7 +73,7 @@ func (b *inbox) inject(data []byte) {
 	w, ok := b.waiters.PopFront()
 	b.mu.Unlock()
 	if ok {
-		w.Wake(msgNetWake)
+		w.WakeAt(msgNetWake, wakeAt)
 	}
 }
 
@@ -74,6 +83,12 @@ func (b *inbox) inject(data []byte) {
 // sender through TCP flow control instead of dropping frames.  Reports
 // false when the inbox closed before the frame could be queued.
 func (b *inbox) injectSeqWait(seq int64, data []byte) bool {
+	return b.injectSeqPrioWait(seq, data, uthread.PriorityHigh)
+}
+
+// injectSeqPrioWait is injectSeqWait with an explicit wake constraint (see
+// injectPrio).
+func (b *inbox) injectSeqPrioWait(seq int64, data []byte, wakeAt uthread.Priority) bool {
 	b.mu.Lock()
 	for !b.closed && b.blockFull && b.limit > 0 && len(b.q) >= b.limit {
 		if b.pushCond == nil {
@@ -90,7 +105,7 @@ func (b *inbox) injectSeqWait(seq int64, data []byte) bool {
 	w, ok := b.waiters.PopFront()
 	b.mu.Unlock()
 	if ok {
-		w.Wake(msgNetWake)
+		w.WakeAt(msgNetWake, wakeAt)
 	}
 	return true
 }

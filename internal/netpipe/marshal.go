@@ -22,6 +22,7 @@ import (
 	"infopipes/internal/core"
 	"infopipes/internal/item"
 	"infopipes/internal/typespec"
+	"infopipes/internal/uthread"
 )
 
 // ItemTypeWire is the Typespec item type of marshalled flows between the
@@ -182,6 +183,14 @@ const (
 	frameDataSeq byte = 3
 	frameAck     byte = 4
 	frameEOSSeq  byte = 5
+	// QoS-tagged data frames: one extra byte right after the tag carries the
+	// SENDER's effective priority, so a lane relay stops being pass-through —
+	// the receiving scheduler wakes its consumer at the sender's priority and
+	// a tenant's priority survives the hop.  Senders emit these only for
+	// non-default priorities, so default-tenant traffic keeps the untagged
+	// wire format byte-for-byte.
+	frameDataPrio    byte = 6 // [prio][payload]
+	frameDataSeqPrio byte = 7 // [prio][8-byte seq][payload], durable lanes
 )
 
 // ackAll is the cumulative ack value meaning "everything, including the
@@ -195,6 +204,40 @@ func encodeSeqFrame(dst []byte, tag byte, seq int64, payload []byte) []byte {
 	binary.BigEndian.PutUint32(dst[len(dst)-13:], uint32(len(payload)+9))
 	binary.BigEndian.PutUint64(dst[len(dst)-8:], uint64(seq))
 	return append(dst, payload...)
+}
+
+// encodePrioFrame appends a length-prefixed frame whose body is
+// [tag][prio][payload] — the QoS-tagged plain data frame.
+//
+//ipvet:hotpath per-item wire framing for non-default-priority tenants
+func encodePrioFrame(dst []byte, tag, prio byte, payload []byte) []byte {
+	dst = append(dst, 0, 0, 0, 0, tag, prio)
+	binary.BigEndian.PutUint32(dst[len(dst)-6:], uint32(len(payload)+2))
+	return append(dst, payload...)
+}
+
+// encodeSeqPrioFrame appends a length-prefixed frame whose body is
+// [tag][prio][8-byte big-endian seq][payload] — the QoS-tagged durable data
+// frame.
+//
+//ipvet:hotpath per-item durable framing for non-default-priority tenants
+func encodeSeqPrioFrame(dst []byte, tag, prio byte, seq int64, payload []byte) []byte {
+	dst = append(dst, 0, 0, 0, 0, tag, prio, 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(dst[len(dst)-14:], uint32(len(payload)+10))
+	binary.BigEndian.PutUint64(dst[len(dst)-8:], uint64(seq))
+	return append(dst, payload...)
+}
+
+// prioByte encodes a scheduling priority into the wire's one-byte field
+// (clamped; every standard level fits).
+func prioByte(p uthread.Priority) byte {
+	if p < 0 {
+		return 0
+	}
+	if p > 255 {
+		return 255
+	}
+	return byte(p)
 }
 
 // encodeFrame appends a length-and-tag-prefixed frame for payload to dst

@@ -218,6 +218,11 @@ func (l *TCPLink) readFrames(conn net.Conn) bool {
 		switch body[0] {
 		case frameData:
 			l.inbox.inject(body[1:])
+		case frameDataPrio:
+			if len(body) < 2 {
+				return true
+			}
+			l.inbox.injectPrio(body[2:], core.WakePrio(uthread.Priority(body[1])))
 		case frameEOS:
 			return true
 		case frameDataSeq:
@@ -234,6 +239,19 @@ func (l *TCPLink) readFrames(conn net.Conn) bool {
 			// sequence, and if the inject fails the link is closing anyway.
 			l.dur.dedup.Store(seq)
 			if !l.inbox.injectSeqWait(seq, body[9:]) {
+				return false // link closing
+			}
+		case frameDataSeqPrio:
+			if l.dur == nil || len(body) < 10 {
+				return true
+			}
+			seq := int64(binary.BigEndian.Uint64(body[2:10]))
+			if seq <= l.dur.dedup.Load() {
+				l.dur.dups.Add(1)
+				continue // replayed frame the pipeline already consumed
+			}
+			l.dur.dedup.Store(seq)
+			if !l.inbox.injectSeqPrioWait(seq, body[10:], core.WakePrio(uthread.Priority(body[1]))) {
 				return false // link closing
 			}
 		case frameEOSSeq:
@@ -272,6 +290,28 @@ func (l *TCPLink) send(tag byte, payload []byte) error {
 	l.txBuf = encodeFrame(l.txBuf[:0], tag, payload)
 	if _, err := l.conn.Write(l.txBuf); err != nil {
 		return fmt.Errorf("netpipe: tcp send: %w", err)
+	}
+	return nil
+}
+
+// sendPrio writes one priority-tagged data frame: the sender's effective
+// priority crosses the wire in one byte, so the receiving scheduler can wake
+// its consumer at the tenant's priority.  Used only for non-default
+// priorities — default traffic keeps the untagged wire format.
+//
+//ipvet:hotpath per-item send for non-default-priority tenants
+func (l *TCPLink) sendPrio(prio uthread.Priority, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return core.ErrStopped
+	}
+	if l.conn == nil {
+		return ErrNoConn
+	}
+	l.txBuf = encodePrioFrame(l.txBuf[:0], frameDataPrio, prioByte(prio), payload)
+	if _, err := l.conn.Write(l.txBuf); err != nil {
+		return fmt.Errorf("netpipe: tcp send: %w", err) //ipvet:allow hotalloc dead-connection error path, not steady state
 	}
 	return nil
 }
@@ -397,11 +437,21 @@ func (s *tcpSink) Push(ctx *core.Ctx, it *item.Item) error {
 	if !ok {
 		return fmt.Errorf("netpipe: tcp sink %q: payload %T is not []byte (insert a marshal filter)", s.Name(), it.Payload)
 	}
+	// The sender's effective priority (the tenant priority carried by the
+	// pump constraint) rides the wire in one byte when it is non-default, so
+	// the receiving scheduler enqueues at the sender's priority; default
+	// traffic keeps the untagged wire format byte-for-byte.
+	prio := uthread.PriorityNormal
+	if ctx != nil {
+		prio = core.SenderPriority(ctx.Thread())
+	}
 	var err error
 	if s.link.dur != nil {
 		// The marshal filter preserved the item's origin sequence — the
 		// durable lane journals and dedups on it end to end.
-		err = s.link.sendDurable(ctx, it.Seq, data)
+		err = s.link.sendDurable(ctx, it.Seq, data, prio)
+	} else if prio != uthread.PriorityNormal {
+		err = s.link.sendPrio(prio, data)
 	} else {
 		err = s.link.send(frameData, data)
 	}

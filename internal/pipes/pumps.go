@@ -49,6 +49,13 @@ func NewFreePump(name string) *TimedPump {
 	return &TimedPump{name: name, class: core.FreeRunning, prio: uthread.PriorityNormal}
 }
 
+// NewFreePumpPrio is NewFreePump with an explicit scheduling priority, used
+// by graph lane relays so a tenant's priority survives the hop instead of
+// being flattened to normal by a pass-through pump.
+func NewFreePumpPrio(name string, prio uthread.Priority) *TimedPump {
+	return &TimedPump{name: name, class: core.FreeRunning, prio: prio}
+}
+
 // NewAdaptivePump returns a pump whose rate is adjusted at run time by
 // feedback (rate-change control events), the §3.1 class used on the
 // producer node of distributed pipelines to compensate drift and network

@@ -1,0 +1,10 @@
+//go:build !race
+
+package qos_test
+
+// raceEnabled reports whether the race detector instruments this build.
+// The hot-path alloc guard skips under -race: the race runtime allocates
+// shadow state per synchronization operation, which is not a cost of the
+// code under test.  CI runs the guard in the dedicated alloc-guards step
+// (no -race) and this package's behavior tests in the race step.
+const raceEnabled = false

@@ -1,0 +1,196 @@
+// Package qos makes many deployments per shard a first-class, isolated
+// workload: a tenant registry binding fairness weight, rate limit, burst and
+// shed policy to each deployment; weighted-fair pump scheduling through
+// uthread.SchedClass accounts; and admission control that sheds or blocks
+// overload at the source, before the first queue, instead of letting a burst
+// OOM the farm (ROADMAP "Multi-tenant QoS" — the cross-flow half the paper's
+// §2.3 in-flow feedback machinery never had).
+//
+// Policy lives outside application logic and is bound at deploy time
+// (RAFDA's thesis, applied to fairness the way PR 4/5 applied it to
+// placement): a graph is deployed `WithTenant(t)` and every pump, coroutine
+// and lane relay of that deployment is charged to the tenant's account.  The
+// default (nil) tenant preserves fairness-unaware behavior byte-for-byte.
+package qos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"infopipes/internal/uthread"
+)
+
+// ShedPolicy selects what admission control does with a non-conforming item.
+type ShedPolicy int
+
+const (
+	// ShedDrop discards over-rate items at the source (counted, recycled —
+	// never queued).  The right policy for flows where freshness beats
+	// completeness: media, sensor fans.
+	ShedDrop ShedPolicy = iota
+	// ShedBlock suspends the producing thread until the token bucket
+	// conforms — source-side backpressure on the virtual clock.  The right
+	// policy for flows that must not lose items.
+	ShedBlock
+)
+
+// String returns the policy name.
+func (p ShedPolicy) String() string {
+	if p == ShedBlock {
+		return "block"
+	}
+	return "drop"
+}
+
+// Tenant is one multi-tenancy principal: a named bundle of QoS policy that
+// deployments bind to at deploy time.  Weight governs the weighted-fair
+// scheduling share; Rate/Burst govern admission at sources; Shed selects the
+// overload reaction; Priority is the static priority of the tenant's pumps
+// (and is carried across shard links and TCP lanes).
+//
+// A Tenant is immutable after creation except for its counters, which the
+// runtime bumps atomically (alloc-free) as items are admitted or shed.
+type Tenant struct {
+	name   string
+	weight int
+	rate   float64 // admitted items per second per source; 0 = unlimited
+	burst  int     // token-bucket depth in items (min 1 when rate-limited)
+	shed   ShedPolicy
+	prio   uthread.Priority
+
+	admitted atomic.Int64
+	sheds    atomic.Int64
+}
+
+// TenantOption configures a Tenant.
+type TenantOption func(*Tenant)
+
+// Weight sets the weighted-fair share (minimum 1; default 1).  Relative: a
+// weight-2 tenant receives twice the contended scheduling share of a
+// weight-1 tenant.
+func Weight(w int) TenantOption {
+	return func(t *Tenant) {
+		if w < 1 {
+			w = 1
+		}
+		t.weight = w
+	}
+}
+
+// RateLimit bounds each of the tenant's sources to itemsPerSec with the
+// given burst depth (a token bucket on the deployment's virtual clock).
+// Zero itemsPerSec removes the limit.
+func RateLimit(itemsPerSec float64, burst int) TenantOption {
+	return func(t *Tenant) {
+		if itemsPerSec < 0 {
+			itemsPerSec = 0
+		}
+		if burst < 1 {
+			burst = 1
+		}
+		t.rate = itemsPerSec
+		t.burst = burst
+	}
+}
+
+// Shed selects the overload policy (default ShedDrop).
+func Shed(p ShedPolicy) TenantOption {
+	return func(t *Tenant) { t.shed = p }
+}
+
+// Priority sets the static priority of the tenant's pump threads (default
+// uthread.PriorityNormal).  The priority propagates across shard links and
+// TCP lanes, so a high-priority tenant stays high-priority on every hop.
+func Priority(p uthread.Priority) TenantOption {
+	return func(t *Tenant) { t.prio = p }
+}
+
+// NewTenant creates a tenant with the given name.  Defaults: weight 1, no
+// rate limit, ShedDrop, PriorityNormal.
+func NewTenant(name string, opts ...TenantOption) *Tenant {
+	t := &Tenant{name: name, weight: 1, burst: 1, prio: uthread.PriorityNormal}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// Name returns the tenant's name.
+func (t *Tenant) Name() string { return t.name }
+
+// Weight returns the weighted-fair share.
+func (t *Tenant) Weight() int { return t.weight }
+
+// Rate returns the admission rate limit in items/s per source (0 =
+// unlimited).
+func (t *Tenant) Rate() float64 { return t.rate }
+
+// Burst returns the admission token-bucket depth in items.
+func (t *Tenant) Burst() int { return t.burst }
+
+// ShedPolicy returns the overload policy.
+func (t *Tenant) ShedPolicy() ShedPolicy { return t.shed }
+
+// Priority returns the tenant's pump priority.
+func (t *Tenant) Priority() uthread.Priority { return t.prio }
+
+// Admitted returns the number of items admission control let through.  Safe
+// from any goroutine.
+func (t *Tenant) Admitted() int64 { return t.admitted.Load() }
+
+// Sheds returns the number of items admission control dropped.  Safe from
+// any goroutine.
+func (t *Tenant) Sheds() int64 { return t.sheds.Load() }
+
+// String summarises the tenant for diagnostics.
+func (t *Tenant) String() string {
+	return fmt.Sprintf("tenant(%s w=%d rate=%g burst=%d shed=%s prio=%d)",
+		t.name, t.weight, t.rate, t.burst, t.shed, t.prio)
+}
+
+// Registry holds the tenants known to a node or process.  It exists so
+// operators can enumerate tenants deterministically (sorted by name) and so
+// remote deployments can resolve a tenant by name.
+type Registry struct {
+	mu      sync.Mutex
+	tenants map[string]*Tenant
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tenants: make(map[string]*Tenant)}
+}
+
+// Add registers a tenant, refusing duplicates by name.
+func (r *Registry) Add(t *Tenant) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.tenants[t.name]; dup {
+		return fmt.Errorf("qos: tenant %q already registered", t.name)
+	}
+	r.tenants[t.name] = t
+	return nil
+}
+
+// Get returns the named tenant.
+func (r *Registry) Get(name string) (*Tenant, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.tenants[name]
+	return t, ok
+}
+
+// Tenants returns every registered tenant sorted by name (deterministic
+// iteration for stats rollups and operator views).
+func (r *Registry) Tenants() []*Tenant {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Tenant, 0, len(r.tenants))
+	for _, t := range r.tenants {
+		out = append(out, t) //ipvet:allow maporder sorted by name below before returning
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

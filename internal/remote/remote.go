@@ -23,6 +23,7 @@ import (
 
 	"infopipes/internal/core"
 	"infopipes/internal/events"
+	"infopipes/internal/qos"
 	"infopipes/internal/typespec"
 	"infopipes/internal/uthread"
 )
@@ -34,6 +35,36 @@ type StageSpec struct {
 	Name   string
 	Args   []string
 	Params map[string]string
+}
+
+// TenantSpec carries a deployment's QoS tenant binding across the control
+// protocol: the node materializes (once, keyed by name) a local qos.Tenant
+// plus a weighted-fair scheduler class from it, so multi-tenant isolation
+// spans node boundaries exactly as it does shards.
+type TenantSpec struct {
+	Name   string
+	Weight int
+	// Rate/Burst parameterize source admission control (0 = unlimited).
+	Rate  float64
+	Burst int
+	// Shed is the qos.ShedPolicy ordinal; Prio the uthread.Priority level.
+	Shed int
+	Prio int
+}
+
+// TenantStat is one node's QoS rollup for one tenant, served by the tenants
+// op: admission outcomes plus the weighted-fair class state against the
+// node scheduler's fair clock.
+type TenantStat struct {
+	Name            string
+	Weight          int
+	Admitted, Sheds int64
+	// CreditDebt is the class's virtual-time lead over the scheduler's fair
+	// clock (scaled units, 0 when idle or underserved).
+	CreditDebt int64
+	// Granted counts run-token grants to the tenant's threads; SchedGrants
+	// the scheduler's total, so callers can compute occupancy share.
+	Granted, SchedGrants int64
 }
 
 // Factory builds a stage from a spec.  Factories are registered per node.
@@ -75,12 +106,17 @@ type Node struct {
 	resolver      func(key string) (string, error)
 	controller    func(op string, params map[string]string) (string, error)
 	pipelines     map[string]*core.Pipeline
-	ln            net.Listener
-	closed        bool
-	closers       []func()
-	conns         map[net.Conn]struct{}
-	wg            sync.WaitGroup
-	started       time.Time
+	// tenants/classes hold the node-local materialization of TenantSpecs:
+	// one tenant and one weighted-fair class per tenant name (a node has one
+	// scheduler, so one class per tenant suffices).
+	tenants map[string]*qos.Tenant
+	classes map[string]*uthread.SchedClass
+	ln      net.Listener
+	closed  bool
+	closers []func()
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+	started time.Time
 }
 
 // NewNode creates a node over the given scheduler and bus.
@@ -265,6 +301,13 @@ type request struct {
 	// at composition.
 	Seeded bool
 	Seed   typespec.Typespec
+	// Tenant binds the composed pipeline to a QoS tenant (weighted-fair
+	// scheduling on the node); Admit additionally inserts the tenant's
+	// admission control behind the pipeline's first stage (set for
+	// true-source segments only — boundary-headed segments carry
+	// already-admitted items).
+	Tenant *TenantSpec
+	Admit  bool
 }
 
 // PipeStat is one hosted pipeline's telemetry row as served by the stats
@@ -286,12 +329,13 @@ type Health struct {
 }
 
 type response struct {
-	Err    string
-	Spec   typespec.Typespec
-	Node   string
-	Value  string // lookup / ctl result
-	Stats  []PipeStat
-	Health Health
+	Err     string
+	Spec    typespec.Typespec
+	Node    string
+	Value   string // lookup / ctl result
+	Stats   []PipeStat
+	Tenants []TenantStat
+	Health  Health
 	// Sends/Handles are the event-capability sets of a pipeline (caps op).
 	Sends, Handles []string
 }
@@ -323,7 +367,8 @@ func (n *Node) handle(req request) response {
 	case "ping":
 		return response{Node: n.name}
 	case "compose":
-		if err := n.compose(req.Pipeline, req.Stages, req.SkipEventCheck, req.Seeded, req.Seed); err != nil {
+		if err := n.compose(req.Pipeline, req.Stages, req.SkipEventCheck, req.Seeded, req.Seed,
+			req.Tenant, req.Admit); err != nil {
 			return response{Err: err.Error()}
 		}
 		return response{Node: n.name}
@@ -357,6 +402,8 @@ func (n *Node) handle(req request) response {
 		return response{Spec: p.SpecAt(req.StageIndex), Node: n.name}
 	case "stats":
 		return response{Node: n.name, Stats: n.stats(req.Key)}
+	case "tenants":
+		return response{Node: n.name, Tenants: n.tenantStats()}
 	case "health":
 		return response{Node: n.name, Health: n.health()}
 	case "caps":
@@ -495,11 +542,69 @@ func (n *Node) lookup(key string) (string, error) {
 	return r(key)
 }
 
+// tenantFor materializes a TenantSpec into the node-local tenant and its
+// weighted-fair scheduler class, creating both on first reference (keyed by
+// tenant name — every segment of a deployment, and every deployment naming
+// the same tenant, shares one pair per node).
+func (n *Node) tenantFor(ts *TenantSpec) (*qos.Tenant, *uthread.SchedClass) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.tenants == nil {
+		n.tenants = make(map[string]*qos.Tenant)
+		n.classes = make(map[string]*uthread.SchedClass)
+	}
+	t, ok := n.tenants[ts.Name]
+	if !ok {
+		t = qos.NewTenant(ts.Name,
+			qos.Weight(ts.Weight),
+			qos.RateLimit(ts.Rate, ts.Burst),
+			qos.Shed(qos.ShedPolicy(ts.Shed)),
+			qos.Priority(uthread.Priority(ts.Prio)))
+		n.tenants[ts.Name] = t
+		n.classes[ts.Name] = uthread.NewSchedClass(ts.Name, t.Weight())
+	}
+	return t, n.classes[ts.Name]
+}
+
+// tenantStats snapshots every tenant hosted on the node, sorted by name.
+func (n *Node) tenantStats() []TenantStat {
+	n.mu.Lock()
+	names := make([]string, 0, len(n.tenants))
+	for name := range n.tenants {
+		names = append(names, name)
+	}
+	tenants := n.tenants
+	classes := n.classes
+	n.mu.Unlock()
+	sort.Strings(names)
+	grants := n.sched.Stats().Grants
+	fair := n.sched.FairNow()
+	out := make([]TenantStat, 0, len(names))
+	for _, name := range names {
+		t, c := tenants[name], classes[name]
+		row := TenantStat{Name: name, Weight: t.Weight(),
+			Admitted: t.Admitted(), Sheds: t.Sheds(),
+			Granted: c.Granted(), SchedGrants: grants}
+		if debt := c.VTime() - fair; debt > 0 {
+			row.CreditDebt = debt
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
 // compose builds a pipeline from stage specs via the factory registry.  A
 // seeded compose starts Typespec propagation from the upstream segment's
-// resolved spec instead of a blank one.
-func (n *Node) compose(name string, specs []StageSpec, skipEventCheck, seeded bool, seed typespec.Typespec) error {
-	stages := make([]core.Stage, 0, len(specs))
+// resolved spec instead of a blank one.  A tenant-bound compose schedules
+// the pipeline under the tenant's weighted-fair class; admit additionally
+// gates the flow with the tenant's admission control behind the first stage.
+func (n *Node) compose(name string, specs []StageSpec, skipEventCheck, seeded bool, seed typespec.Typespec, ts *TenantSpec, admit bool) error {
+	var tenant *qos.Tenant
+	var class *uthread.SchedClass
+	if ts != nil {
+		tenant, class = n.tenantFor(ts)
+	}
+	stages := make([]core.Stage, 0, len(specs)+1)
 	n.mu.Lock()
 	factories := n.factories
 	specFactories := n.specFactories
@@ -511,17 +616,26 @@ func (n *Node) compose(name string, specs []StageSpec, skipEventCheck, seeded bo
 				return fmt.Errorf("remote: factory %q: %w", sp.Kind, err)
 			}
 			stages = append(stages, st)
-			continue
-		}
-		f, ok := factories[sp.Kind]
-		if !ok {
+		} else if f, ok := factories[sp.Kind]; ok {
+			st, err := f(sp.Name, sp.Params)
+			if err != nil {
+				return fmt.Errorf("remote: factory %q: %w", sp.Kind, err)
+			}
+			stages = append(stages, st)
+		} else {
 			return fmt.Errorf("%w: %q", ErrUnknownFactory, sp.Kind)
 		}
-		st, err := f(sp.Name, sp.Params)
-		if err != nil {
-			return fmt.Errorf("remote: factory %q: %w", sp.Kind, err)
-		}
-		stages = append(stages, st)
+	}
+	if admit && tenant != nil {
+		// Admission gates the true source before the first queue — over-rate
+		// flows shed (or block) here instead of filling the node's shared
+		// buffers and lanes.  The gate runs in push mode behind the
+		// pipeline's pump (see qos.AdmissionIndex).
+		at := qos.AdmissionIndex(stages) + 1
+		gate := core.Comp(qos.NewAdmission(name+"/admit", tenant))
+		stages = append(stages, core.Stage{})
+		copy(stages[at+1:], stages[at:])
+		stages[at] = gate
 	}
 	var opts []core.ComposeOption
 	if skipEventCheck {
@@ -529,6 +643,9 @@ func (n *Node) compose(name string, specs []StageSpec, skipEventCheck, seeded bo
 	}
 	if seeded {
 		opts = append(opts, core.WithInputSpec(seed))
+	}
+	if class != nil {
+		opts = append(opts, core.WithSchedClass(class))
 	}
 	p, err := core.Compose(name, n.sched, n.bus, stages, opts...)
 	if err != nil {
@@ -676,6 +793,24 @@ func (c *Client) ComposeSeededSegment(pipeline string, stages []StageSpec, seed 
 	_, err := c.call(request{Op: "compose", Pipeline: pipeline, Stages: stages,
 		SkipEventCheck: true, Seeded: true, Seed: seed})
 	return err
+}
+
+// ComposeTenantSegment is ComposeSeededSegment with a QoS tenant binding:
+// the node schedules the pipeline under the tenant's weighted-fair class,
+// and — when admit is set (true-source segments) — gates the flow with the
+// tenant's admission control behind the first stage.  A nil tenant behaves
+// exactly like ComposeSeededSegment.
+func (c *Client) ComposeTenantSegment(pipeline string, stages []StageSpec, seed typespec.Typespec, tenant *TenantSpec, admit bool) error {
+	_, err := c.call(request{Op: "compose", Pipeline: pipeline, Stages: stages,
+		SkipEventCheck: true, Seeded: true, Seed: seed, Tenant: tenant, Admit: admit})
+	return err
+}
+
+// Tenants fetches the node's per-tenant QoS rollups (admission counters,
+// weighted-fair credit state), sorted by tenant name.
+func (c *Client) Tenants() ([]TenantStat, error) {
+	resp, err := c.call(request{Op: "tenants"})
+	return resp.Tenants, err
 }
 
 // Detach tears one remote pipeline down without broadcasting any event (the

@@ -141,6 +141,11 @@ func (l *Link) Retarget(rxSched *uthread.Scheduler) {
 //ipvet:hotpath cross-shard handoff; every item over a link passes here
 func (l *Link) send(ctx *core.Ctx, it *item.Item) error {
 	t := ctx.Thread()
+	// The receiver is woken at the sender's effective priority (the tenant
+	// priority carried by the pump constraint, §4 inheritance): priority
+	// crosses the link instead of the relay flattening it.  Default traffic
+	// wakes at the protocol's usual PriorityHigh floor, unchanged.
+	wakeAt := core.WakePrio(core.SenderPriority(t))
 	for {
 		l.mu.Lock()
 		if l.closed {
@@ -162,7 +167,7 @@ func (l *Link) send(ctx *core.Ctx, it *item.Item) error {
 			}
 			l.mu.Unlock()
 			if ok {
-				w.Wake(msgShardWake)
+				w.WakeAt(msgShardWake, wakeAt)
 			}
 			return nil
 		}

@@ -1,0 +1,162 @@
+package uthread
+
+import (
+	"strings"
+	"testing"
+)
+
+// spawnSelfPosting spawns a classed thread that keeps itself ready for
+// `rounds` grants: each message appends its tag to the shared order log and
+// re-posts itself, so the thread competes for every scheduling decision
+// until its budget runs out.
+func spawnSelfPosting(s *Scheduler, name, tag string, class *SchedClass, rounds int, order *[]string) *Thread {
+	n := 0
+	var th *Thread
+	th = s.SpawnClassed(name, PriorityNormal, class, func(t *Thread, m Message) Disposition {
+		*order = append(*order, tag)
+		n++
+		if n >= rounds {
+			return Terminate
+		}
+		s.Post(th, Message{Kind: kindData})
+		return Continue
+	})
+	return th
+}
+
+// TestWeightedFairGrantShares is the WFQ contract: three continuously-ready
+// classes with weights 4:2:1 must receive grants in ≈4:2:1 proportion over
+// any window in which all three are backlogged.
+func TestWeightedFairGrantShares(t *testing.T) {
+	s := New()
+	var order []string
+	a := NewSchedClass("gold", 4)
+	b := NewSchedClass("silver", 2)
+	c := NewSchedClass("bronze", 1)
+	const rounds = 2100
+	tha := spawnSelfPosting(s, "a", "a", a, rounds, &order)
+	thb := spawnSelfPosting(s, "b", "b", b, rounds, &order)
+	thc := spawnSelfPosting(s, "c", "c", c, rounds, &order)
+	s.Post(tha, Message{Kind: kindData})
+	s.Post(thb, Message{Kind: kindData})
+	s.Post(thc, Message{Kind: kindData})
+	runScheduler(t, s)
+
+	// All three backlogged while the bronze class still has budget: bronze
+	// drains its 2100 grants last, at 1/7 of the grant stream, so the first
+	// 7*2100 grants form the contention window... except gold and silver run
+	// dry earlier (4/7 share * window > their budget).  Use the window until
+	// the FIRST class exhausts its budget: gold at 4/7 share exhausts after
+	// ~2100*7/4 ≈ 3675 grants.  Count shares over the first 3500 grants.
+	window := order
+	if len(window) > 3500 {
+		window = window[:3500]
+	}
+	counts := map[string]int{}
+	for _, tag := range window {
+		counts[tag]++
+	}
+	total := len(window)
+	wantShare := map[string]float64{"a": 4.0 / 7, "b": 2.0 / 7, "c": 1.0 / 7}
+	for tag, want := range wantShare {
+		got := float64(counts[tag]) / float64(total)
+		if got < want*0.85 || got > want*1.15 {
+			t.Errorf("class %s share %.3f, want %.3f ±15%% (counts %v)", tag, got, want, counts)
+		}
+	}
+	// The accounting is integer and the scheduler single-threaded: the grant
+	// order must be bit-for-bit reproducible.
+	s2 := New()
+	var order2 []string
+	a2, b2, c2 := NewSchedClass("gold", 4), NewSchedClass("silver", 2), NewSchedClass("bronze", 1)
+	t2a := spawnSelfPosting(s2, "a", "a", a2, rounds, &order2)
+	t2b := spawnSelfPosting(s2, "b", "b", b2, rounds, &order2)
+	t2c := spawnSelfPosting(s2, "c", "c", c2, rounds, &order2)
+	s2.Post(t2a, Message{Kind: kindData})
+	s2.Post(t2b, Message{Kind: kindData})
+	s2.Post(t2c, Message{Kind: kindData})
+	runScheduler(t, s2)
+	if strings.Join(order, "") != strings.Join(order2, "") {
+		t.Fatal("weighted-fair grant order is not reproducible across identical runs")
+	}
+	// Telemetry: grants were charged to the classes, and the virtual clock
+	// advanced.  Grant counts are not 1:1 with messages — an uncontended
+	// thread keeps its run token across messages — so only their presence
+	// is asserted here; the share math above is the real contract.
+	if a.Granted() == 0 || b.Granted() == 0 || c.Granted() == 0 {
+		t.Fatalf("granted counters %d/%d/%d, want all non-zero", a.Granted(), b.Granted(), c.Granted())
+	}
+	if s.FairNow() == 0 {
+		t.Fatal("scheduler virtual time never advanced under classed load")
+	}
+}
+
+// TestPriorityDominatesFairness: fairness is a tie-break among equal
+// priorities, never an inversion — a high-priority classless thread
+// preempts classed Normal threads regardless of their credit state.
+func TestPriorityDominatesFairness(t *testing.T) {
+	s := New()
+	var order []string
+	cls := NewSchedClass("tenant", 8)
+	worker := spawnSelfPosting(s, "worker", "w", cls, 50, &order)
+	hi := s.Spawn("hi", PriorityHigh, func(t *Thread, m Message) Disposition {
+		order = append(order, "H")
+		return Terminate
+	})
+	s.Post(worker, Message{Kind: kindData})
+	s.Post(hi, Message{Kind: kindData})
+	runScheduler(t, s)
+	if order[0] != "H" {
+		t.Fatalf("high-priority thread ran at position %v, want first (order %v)", order[0], order[:5])
+	}
+}
+
+// TestClasslessSchedulingUntouched: with no classes in play the fair clock
+// must never advance — the pre-fairness scheduler behaviour, and the
+// byte-identical default-tenant guarantee, rest on vnow staying zero.
+func TestClasslessSchedulingUntouched(t *testing.T) {
+	s := New()
+	var order []string
+	w1 := spawnSelfPosting(s, "w1", "1", nil, 100, &order)
+	w2 := spawnSelfPosting(s, "w2", "2", nil, 100, &order)
+	s.Post(w1, Message{Kind: kindData})
+	s.Post(w2, Message{Kind: kindData})
+	runScheduler(t, s)
+	if got := s.FairNow(); got != 0 {
+		t.Fatalf("FairNow = %d after a classless run, want 0", got)
+	}
+	if len(order) != 200 {
+		t.Fatalf("ran %d grants, want 200", len(order))
+	}
+}
+
+// TestSchedClassSingleSchedulerBind: sharing one class across schedulers
+// would make the credit account racy; the second bind must panic.
+func TestSchedClassSingleSchedulerBind(t *testing.T) {
+	s1, s2 := New(), New()
+	cls := NewSchedClass("shared", 2)
+	th := s1.SpawnClassed("t1", PriorityNormal, cls, func(t *Thread, m Message) Disposition {
+		return Terminate
+	})
+	s1.Post(th, Message{Kind: kindData})
+	runScheduler(t, s1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("binding one SchedClass to a second scheduler did not panic")
+		}
+		// Unwind s2: the spawn panicked before the thread existed.
+		s2.Stop()
+	}()
+	s2.SpawnClassed("t2", PriorityNormal, cls, func(t *Thread, m Message) Disposition {
+		return Terminate
+	})
+}
+
+// TestSchedClassMinimumWeight: weight 0 (or negative) clamps to 1 instead
+// of dividing by zero in the cost computation.
+func TestSchedClassMinimumWeight(t *testing.T) {
+	c := NewSchedClass("x", 0)
+	if c.Weight() != 1 {
+		t.Fatalf("weight clamped to %d, want 1", c.Weight())
+	}
+}

@@ -2,18 +2,29 @@ package uthread
 
 import (
 	"container/heap"
+	"sync/atomic"
 	"time"
 )
 
 // readyQueue is a max-heap of runnable threads ordered by cached effective
-// priority, FIFO within a priority level.  The cached priority (t.effPrio)
-// is refreshed at every point a queued thread's priority can change — push,
-// re-push, and message arrival (fix) — so heap comparisons are plain field
-// compares and peekMax never has to rebuild the heap.  All access happens
-// with the scheduler mutex held.
+// priority, weighted-fair virtual time within a priority level, FIFO among
+// exact equals.  The cached fields (t.effPrio, t.vtSnap) are refreshed at
+// every point a queued thread's ordering inputs can change — push, re-push,
+// and message arrival (fix) — so heap comparisons are plain field compares
+// and peekMax never has to rebuild the heap.  All access happens with the
+// scheduler mutex held.
+//
+// vnow is the server virtual clock of the weighted-fair layer: the stamp of
+// the latest granted classed thread.  Classless threads are stamped with
+// vnow itself, so with no classes in play every stamp is zero and ordering
+// degenerates to exactly the pre-fairness (priority, FIFO) order.
 type readyQueue struct {
 	items   readyHeap
 	nextSeq uint64
+	vnow    int64
+
+	// vnowAtomic mirrors vnow for lock-free stats reads (Scheduler.FairNow).
+	vnowAtomic atomic.Int64
 }
 
 type readyHeap []*Thread
@@ -24,6 +35,9 @@ func (h readyHeap) Less(i, j int) bool {
 	a, b := h[i], h[j]
 	if a.effPrio != b.effPrio {
 		return a.effPrio > b.effPrio // max-heap: higher priority first
+	}
+	if a.vtSnap != b.vtSnap {
+		return a.vtSnap < b.vtSnap // weighted-fair: earliest virtual time first
 	}
 	return a.readySeq < b.readySeq // FIFO among equals
 }
@@ -50,9 +64,15 @@ func (h *readyHeap) Pop() any {
 	return t
 }
 
-// push adds t to the run queue, snapshotting its effective priority.
-// Pushing a thread that is already queued refreshes its cached priority
-// instead (idempotent, guarding against double-ready races).
+// push adds t to the run queue, snapshotting its effective priority and
+// weighted-fair virtual-time stamp.  A classed thread is stamped with
+// max(class account, server virtual time) — an idle class forfeits unused
+// credit instead of bursting after idleness (SCFQ start tags) — and the
+// class account is charged one grant's cost per enqueue.  Pushing a thread
+// that is already queued refreshes its cached priority instead (idempotent,
+// guarding against double-ready races).
+//
+//ipvet:hotpath ready-queue admission; every wakeup and preemption passes here
 func (q *readyQueue) push(t *Thread) {
 	if t.heapIdx >= 0 {
 		q.fix(t)
@@ -61,15 +81,37 @@ func (q *readyQueue) push(t *Thread) {
 	q.nextSeq++
 	t.readySeq = q.nextSeq
 	t.effPrio = t.effectivePriorityLocked()
+	if c := t.class; c != nil {
+		vt := c.vtime.Load()
+		if vt < q.vnow {
+			vt = q.vnow
+		}
+		t.vtSnap = vt
+		c.vtime.Store(vt + c.cost)
+	} else {
+		t.vtSnap = q.vnow
+	}
 	heap.Push(&q.items, t)
 }
 
 // popMax removes and returns the highest-effective-priority thread, or nil.
+// Granting a classed thread advances the server virtual clock to its stamp
+// and charges the grant to its class's counter.
+//
+//ipvet:hotpath run-token grant; every context switch passes here
 func (q *readyQueue) popMax() *Thread {
 	if len(q.items) == 0 {
 		return nil
 	}
-	return heap.Pop(&q.items).(*Thread)
+	t := heap.Pop(&q.items).(*Thread)
+	if t.vtSnap > q.vnow {
+		q.vnow = t.vtSnap
+		q.vnowAtomic.Store(t.vtSnap)
+	}
+	if t.class != nil {
+		t.class.granted.Add(1)
+	}
+	return t
 }
 
 // peekMax returns the highest-effective-priority thread without removing

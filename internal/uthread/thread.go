@@ -23,6 +23,7 @@ type Thread struct {
 	name   string
 	sched  *Scheduler
 	static Priority
+	class  *SchedClass // weighted-fair class; nil = default (no accounting)
 	code   CodeFunc
 
 	// All fields below are protected by sched.mu unless noted.
@@ -32,6 +33,7 @@ type Thread struct {
 	heapIdx  int                // position in the ready queue, -1 if absent
 	readySeq uint64             // ready-queue arrival order (FIFO tiebreak)
 	effPrio  Priority           // cached effective priority while queued
+	vtSnap   int64              // cached weighted-fair virtual-time stamp while queued
 
 	current Constraint // constraint of the message being processed
 
@@ -58,6 +60,9 @@ func (t *Thread) Scheduler() *Scheduler { return t.sched }
 
 // StaticPriority returns the priority given at Spawn.
 func (t *Thread) StaticPriority() Priority { return t.static }
+
+// Class returns the thread's weighted-fair scheduling class (nil = default).
+func (t *Thread) Class() *SchedClass { return t.class }
 
 // CurrentConstraint returns the constraint of the message the thread is
 // currently processing (thread-side API).

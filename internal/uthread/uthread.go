@@ -245,26 +245,10 @@ func (s *Scheduler) ResetStats() {
 // Spawn creates a thread with the given name, static priority and code
 // function.  The code function is first invoked when the thread receives its
 // first message.  Spawn may be called before Run, from inside code
-// functions, or from external goroutines.
+// functions, or from external goroutines.  The thread belongs to the default
+// scheduling class; SpawnClassed binds it to a weighted-fair class instead.
 func (s *Scheduler) Spawn(name string, prio Priority, code CodeFunc) *Thread {
-	s.mu.Lock()
-	s.nextID++
-	t := &Thread{
-		id:      s.nextID,
-		name:    name,
-		sched:   s,
-		static:  prio,
-		code:    code,
-		state:   stateBlocked, // waiting for first message
-		heapIdx: -1,
-		gate:    make(chan struct{}),
-		done:    make(chan struct{}),
-	}
-	s.threads[t.id] = t
-	s.live++
-	s.mu.Unlock()
-	go t.run()
-	return t
+	return s.SpawnClassed(name, prio, nil, code)
 }
 
 // AddExternalSource tells the scheduler that messages may arrive from
