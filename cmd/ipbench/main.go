@@ -14,6 +14,7 @@
 //	ipbench lanes [items]                    # E23: durable-lane journal overhead
 //	ipbench failover [items]                 # E23: kill-a-node recovery latency
 //	ipbench tenants [items]                  # E24: multi-tenant fair shares, shed, overhead
+//	ipbench edit [runs]                      # E25: live-edit surgery latency + seeded churn audit
 //
 // -procs sets GOMAXPROCS for the run (multi-core measurement, E22); -pinned
 // locks each shard's Run loop to an OS thread (shard.WithPinnedShards).
@@ -61,6 +62,7 @@ func main() {
 		"lanes":     func() error { return laneOverhead(60_000) },
 		"failover":  func() error { return failoverLatency(400) },
 		"tenants":   func() error { return tenantQoS(20_000) },
+		"edit":      func() error { return editSurgery(100) },
 	}
 	if which == "shard" && len(rest) > 0 {
 		n, err := strconv.Atoi(rest[0])
@@ -78,6 +80,14 @@ func main() {
 		}
 		runners["rebalance"] = func() error { return rebalanceSkew(int64(n)) }
 	}
+	if which == "edit" && len(rest) > 0 {
+		n, err := strconv.Atoi(rest[0])
+		if err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "ipbench: run count %q must be a positive integer\n", rest[0])
+			os.Exit(2)
+		}
+		runners["edit"] = func() error { return editSurgery(n) }
+	}
 	if (which == "lanes" || which == "failover" || which == "tenants") && len(rest) > 0 {
 		n, err := strconv.Atoi(rest[0])
 		if err != nil || n <= 0 {
@@ -93,7 +103,7 @@ func main() {
 			runners["tenants"] = func() error { return tenantQoS(int64(n)) }
 		}
 	}
-	order := []string{"fig9", "switches", "midi", "dropping", "jitter", "pumps", "marshal", "shard", "link", "graph", "rebalance", "lanes", "failover", "tenants"}
+	order := []string{"fig9", "switches", "midi", "dropping", "jitter", "pumps", "marshal", "shard", "link", "graph", "rebalance", "lanes", "failover", "tenants", "edit"}
 	if which != "all" {
 		run, ok := runners[which]
 		if !ok {
@@ -332,6 +342,41 @@ func failoverLatency(items int64) error {
 	fmt.Printf("delivered: %d/%d  %s\n", res.Delivered, res.Items, exact)
 	if !res.ExactOnce {
 		return fmt.Errorf("failover run delivered %d items with loss or duplication", res.Delivered)
+	}
+	return nil
+}
+
+func editSurgery(runs int) error {
+	const latItems, latRepeats = 20_000, 12
+	rows, err := experiments.EditLatency(latItems, latRepeats)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E25 — live graph surgery: %d items at 4000/s, %d attach/detach/swap cycles mid-stream\n",
+		latItems, latRepeats)
+	fmt.Printf("%-10s %6s %12s %12s\n", "op", "n", "mean (ms)", "max (ms)")
+	for _, r := range rows {
+		fmt.Printf("%-10s %6d %12.2f %12.2f\n", r.Op, r.N,
+			float64(r.Mean.Microseconds())/1e3, float64(r.Max.Microseconds())/1e3)
+		if r.N == 0 {
+			return fmt.Errorf("no %s edit completed before the stream drained", r.Op)
+		}
+	}
+	fmt.Println("both original branches byte-exact across every surgery: ok")
+
+	churn, err := experiments.EditChurn(runs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("churn: %d seeded streams, one random edit each (insert/swap/attach/detach)\n", churn.Runs)
+	fmt.Printf("landed mid-stream: %d/%d   drops=%d dups=%d (CI gate: 0 drops, 0 dups)\n",
+		churn.Landed, churn.Runs, churn.Drops, churn.Dups)
+	if churn.Drops != 0 || churn.Dups != 0 {
+		return fmt.Errorf("edit churn leaked items: %d drops, %d dups", churn.Drops, churn.Dups)
+	}
+	if churn.Landed < churn.Runs/4 {
+		return fmt.Errorf("only %d/%d edits landed mid-stream; the churn is not exercising live surgery",
+			churn.Landed, churn.Runs)
 	}
 	return nil
 }

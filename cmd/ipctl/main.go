@@ -33,6 +33,26 @@
 //	    given node index — journals replay in-flight items, so no drain is
 //	    needed — and without -move the current placements are printed.
 //
+//	ipctl edit tenant -op host:port [-deployment NAME] [-weight N] [-rate R -burst B] [-prio high|normal|low]
+//	    Retune the deployment's QoS tenant live: weight, admission rate
+//	    limit (rate 0 = unlimited), pump priority.  The only edit remote
+//	    (OnNodes) deployments accept.
+//
+//	ipctl edit detach -op host:port [-deployment NAME] -split TEE -port N
+//	    Detach a pure sink branch from a running split; the branch drains
+//	    its in-flight items and ends with a clean end of stream.
+//
+//	ipctl edit attach -op host:port [-deployment NAME] -split TEE [-place N] -stages name=kind:arg:...,name2=kind2,...
+//	    Grow a running split by one branch built from catalog specs (the
+//	    operator needs a catalog, Operator.WithCatalog); -place -1 (the
+//	    default) inherits the trunk's shard.
+//
+//	ipctl edit insert -op host:port [-deployment NAME] -from A -to B -stage name=kind:arg:...
+//	    Splice a catalog-built stage into the live edge A >> B.
+//
+//	ipctl edit swap -op host:port [-deployment NAME] -node NAME -stage name=kind:arg:...
+//	    Replace a stage's implementation in place at a pump-cycle boundary.
+//
 // Unreachable nodes are reported per row instead of failing the whole
 // command; every call carries the client's default deadline, so a wedged
 // node cannot hang the tool.
@@ -53,29 +73,59 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: ipctl ping|health|stats|tenants|top|watch -nodes host:port,... [flags]\n       ipctl replace -op host:port [-deployment NAME] [-move seg=node,...]")
+		fmt.Fprintln(os.Stderr, "usage: ipctl ping|health|stats|tenants|top|watch -nodes host:port,... [flags]\n       ipctl replace -op host:port [-deployment NAME] [-move seg=node,...]\n       ipctl edit tenant|attach|detach|insert|swap -op host:port [flags]")
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
+	args := os.Args[2:]
+	verb := ""
+	if cmd == "edit" {
+		if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+			fmt.Fprintln(os.Stderr, "usage: ipctl edit tenant|attach|detach|insert|swap -op host:port [flags]")
+			os.Exit(2)
+		}
+		verb, args = args[0], args[1:]
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	nodes := fs.String("nodes", "", "comma-separated control addresses")
 	prefix := fs.String("prefix", "", "pipeline name prefix filter (stats, top, watch)")
 	interval := fs.Duration("interval", 2*time.Second, "refresh interval (top, watch)")
 	count := fs.Int("count", 0, "refreshes before exiting, 0 = run until interrupted (top, watch)")
-	op := fs.String("op", "", "deployment operator address (replace)")
-	deployment := fs.String("deployment", "", "deployment name; optional when the operator serves one (replace)")
+	op := fs.String("op", "", "deployment operator address (replace, edit)")
+	deployment := fs.String("deployment", "", "deployment name; optional when the operator serves one (replace, edit)")
 	move := fs.String("move", "", "comma-separated segment=nodeIndex moves (replace)")
-	if err := fs.Parse(os.Args[2:]); err != nil {
+	split := fs.String("split", "", "split tee name (edit attach, edit detach)")
+	port := fs.Int("port", -1, "split out-port to detach (edit detach)")
+	place := fs.Int("place", -1, "shard/node hint for the new branch, -1 inherits the trunk's (edit attach)")
+	stages := fs.String("stages", "", "comma-separated branch stage specs name=kind:arg:... (edit attach)")
+	stage := fs.String("stage", "", "stage spec name=kind:arg:... (edit insert, edit swap)")
+	from := fs.String("from", "", "edge tail stage (edit insert)")
+	to := fs.String("to", "", "edge head stage (edit insert)")
+	node := fs.String("node", "", "stage to replace in place (edit swap)")
+	weight := fs.Int("weight", 0, "new weighted-fair share, 0 keeps (edit tenant)")
+	rate := fs.Float64("rate", -1, "new admission items/sec, 0 unlimited, unset keeps (edit tenant)")
+	burst := fs.Int("burst", 1, "admission burst alongside -rate (edit tenant)")
+	prio := fs.String("prio", "", "pump priority high|normal|low, unset keeps (edit tenant)")
+	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 	var err error
-	if cmd == "replace" {
+	if cmd == "replace" || cmd == "edit" {
 		if *op == "" {
-			fmt.Fprintln(os.Stderr, "ipctl: replace needs -op host:port")
+			fmt.Fprintf(os.Stderr, "ipctl: %s needs -op host:port\n", cmd)
 			os.Exit(2)
 		}
+	}
+	switch {
+	case cmd == "replace":
 		err = replace(*op, *deployment, *move)
-	} else {
+	case cmd == "edit":
+		err = edit(*op, *deployment, verb, editFlags{
+			split: *split, port: *port, place: *place, stages: *stages, stage: *stage,
+			from: *from, to: *to, node: *node,
+			weight: *weight, rate: *rate, burst: *burst, prio: *prio,
+		})
+	default:
 		if *nodes == "" {
 			fmt.Fprintln(os.Stderr, "ipctl: -nodes is required")
 			os.Exit(2)
@@ -334,6 +384,109 @@ func replace(opAddr, deployment, move string) error {
 	} else if placed, err = c.Placements(deployment); err != nil {
 		return err
 	}
+	segs := make([]string, 0, len(placed))
+	for seg := range placed {
+		segs = append(segs, seg)
+	}
+	sort.Strings(segs)
+	fmt.Printf("%-36s %s\n", "segment", "node")
+	for _, seg := range segs {
+		fmt.Printf("%-36s %4d\n", seg, placed[seg])
+	}
+	return nil
+}
+
+// editFlags carries the parsed edit-verb flags into the op builder.
+type editFlags struct {
+	split, stages, stage, from, to, node, prio string
+	port, place, weight, burst                 int
+	rate                                       float64
+}
+
+// parseStageSpecs turns "name=kind:arg:...,name2=kind2" into operator stage
+// specs; args after the kind are colon-separated.
+func parseStageSpecs(s string) ([]infopipes.OperatorStage, error) {
+	var specs []infopipes.OperatorStage
+	for _, one := range strings.Split(s, ",") {
+		name, rest, ok := strings.Cut(strings.TrimSpace(one), "=")
+		if !ok || name == "" || rest == "" {
+			return nil, fmt.Errorf("bad stage spec %q, want name=kind:arg:...", one)
+		}
+		parts := strings.Split(rest, ":")
+		specs = append(specs, infopipes.OperatorStage{Name: name, Kind: parts[0], Args: parts[1:]})
+	}
+	return specs, nil
+}
+
+// edit builds one live-edit operation from the verb and flags and applies it
+// through the deployment's operator endpoint.
+func edit(opAddr, deployment, verb string, f editFlags) error {
+	var e infopipes.OperatorEdit
+	switch verb {
+	case "tenant":
+		e = infopipes.OperatorEdit{Kind: "rebind", Weight: f.weight}
+		if f.rate >= 0 {
+			e.Rate, e.Burst, e.SetRate = f.rate, f.burst, true
+		}
+		switch f.prio {
+		case "":
+		case "high":
+			e.Prio, e.SetPrio = int(infopipes.PriorityHigh), true
+		case "normal":
+			e.Prio, e.SetPrio = int(infopipes.PriorityNormal), true
+		case "low":
+			e.Prio, e.SetPrio = int(infopipes.PriorityLow), true
+		default:
+			return fmt.Errorf("bad -prio %q, want high|normal|low", f.prio)
+		}
+		if e.Weight == 0 && !e.SetRate && !e.SetPrio {
+			return fmt.Errorf("edit tenant: nothing to change (set -weight, -rate or -prio)")
+		}
+	case "detach":
+		if f.split == "" || f.port < 0 {
+			return fmt.Errorf("edit detach needs -split and -port")
+		}
+		e = infopipes.OperatorEdit{Kind: "detach", Split: f.split, Port: f.port}
+	case "attach":
+		if f.split == "" || f.stages == "" {
+			return fmt.Errorf("edit attach needs -split and -stages")
+		}
+		specs, err := parseStageSpecs(f.stages)
+		if err != nil {
+			return err
+		}
+		e = infopipes.OperatorEdit{Kind: "attach", Split: f.split, Place: f.place, Stages: specs}
+	case "insert":
+		if f.from == "" || f.to == "" || f.stage == "" {
+			return fmt.Errorf("edit insert needs -from, -to and -stage")
+		}
+		specs, err := parseStageSpecs(f.stage)
+		if err != nil {
+			return err
+		}
+		e = infopipes.OperatorEdit{Kind: "insert", From: f.from, To: f.to, Stages: specs}
+	case "swap":
+		if f.node == "" || f.stage == "" {
+			return fmt.Errorf("edit swap needs -node and -stage")
+		}
+		specs, err := parseStageSpecs(f.stage)
+		if err != nil {
+			return err
+		}
+		e = infopipes.OperatorEdit{Kind: "swap", Node: f.node, Stages: specs}
+	default:
+		return fmt.Errorf("unknown edit verb %q, want tenant|attach|detach|insert|swap", verb)
+	}
+	c, err := infopipes.DialOperator(opAddr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	placed, err := c.Edit(deployment, []infopipes.OperatorEdit{e})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("edit %s applied\n", verb)
 	segs := make([]string, 0, len(placed))
 	for seg := range placed {
 		segs = append(segs, seg)

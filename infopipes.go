@@ -111,6 +111,13 @@ const (
 	SchedTerminate = uthread.Terminate
 )
 
+// Thread priority levels (tenant pump priority, ipctl edit tenant).
+const (
+	PriorityLow    = uthread.PriorityLow
+	PriorityNormal = uthread.PriorityNormal
+	PriorityHigh   = uthread.PriorityHigh
+)
+
 // NewScheduler creates a scheduler with a deterministic virtual clock.
 func NewScheduler() *Scheduler { return uthread.New() }
 
@@ -293,6 +300,24 @@ type (
 	Balancer = graph.Balancer
 	// PipelineStats is one pipeline's raw pump-counter snapshot.
 	PipelineStats = core.PipeStats
+
+	// EditOp is one live-edit operation for GraphDeployment.Edit: the
+	// deployment quiesces at pump-cycle boundaries, applies the batch
+	// transactionally (all ops or none), and resumes without dropping or
+	// duplicating an item.
+	EditOp = graph.EditOp
+	// AttachBranch grows a running split by one subscriber branch.
+	AttachBranch = graph.AttachBranch
+	// DetachBranch removes a pure sink branch; it drains its in-flight
+	// items and ends with a clean end of stream.
+	DetachBranch = graph.DetachBranch
+	// InsertStage splices a new stage into a live edge.
+	InsertStage = graph.InsertStage
+	// SwapStage replaces a stage's implementation in place.
+	SwapStage = graph.SwapStage
+	// RebindTenant retunes the deployment's QoS binding (weight, admission
+	// rate, pump priority) without quiescing the flow.
+	RebindTenant = graph.RebindTenant
 )
 
 // NewGraph starts a graph bound to the standard component catalog, so
@@ -332,6 +357,9 @@ var (
 	ErrNotRebalancable   = graph.ErrNotRebalancable
 	ErrNotMigratable     = graph.ErrNotMigratable
 	ErrDeploymentDone    = graph.ErrDeploymentDone
+	// ErrNotEditable marks structural edit ops against a target that cannot
+	// apply them (remote targets support RebindTenant only).
+	ErrNotEditable = graph.ErrNotEditable
 )
 
 // ---- Composition ----
@@ -666,6 +694,11 @@ type (
 	// out-of-process operator tools (ipctl replace); OperatorClient dials it.
 	ClusterOperator = control.Operator
 	OperatorClient  = control.OperatorClient
+	// OperatorEdit / OperatorStage describe live-edit operations on the
+	// operator wire (ipctl edit); stages travel as catalog specs and are
+	// built inside the deploying process.
+	OperatorEdit  = control.OpEdit
+	OperatorStage = control.OpStage
 )
 
 // Cluster control-plane constructors and errors.

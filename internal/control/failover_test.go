@@ -467,3 +467,107 @@ func TestSupervisorFailsWhenNoSurvivor(t *testing.T) {
 		t.Fatal("wait hung after the whole cluster died")
 	}
 }
+
+// TestFailoverMergeFedSegmentDeath kills the node hosting a segment *below*
+// a merge.  The lane feeding it carries two interleaved per-branch streams,
+// so it journals, acks and dedups on the (origin, seq) pair each merge
+// in-port stamps — before per-origin lanes such a segment was refused by
+// Replace (its sequence numbers are not globally monotone) and a node death
+// there was terminal.  Now the supervisor must move it to a survivor, the
+// journal on the merge side must replay each origin's unacked tail, and the
+// sink-side per-origin watermarks must absorb the overlap: every item
+// exactly once, each branch's sub-stream still in order.
+func TestFailoverMergeFedSegmentDeath(t *testing.T) {
+	const items = 160
+	ss := &sinkStore{sinks: make(map[string]*pipes.CollectSink)}
+	cat := ss.catalog()
+	nodes := []*testNode{
+		startNode(t, "alpha", cat),
+		startNode(t, "beta", cat),
+		startNode(t, "gamma", cat),
+	}
+
+	// Diamond on alpha, then the merged flow crosses a cut onto beta (the
+	// victim) and a second cut onto gamma where it is collected.
+	g := graph.New("mergekill")
+	g.AddSpec("src", "counter", graph.WithArgs(strconv.Itoa(items)), graph.Place(0))
+	g.AddSpec("pump", "cpump", graph.WithArgs("600"), graph.Place(0))
+	g.SplitSpec("tee", "route", 2, graph.WithParam("sel", "mod"), graph.Place(0))
+	g.AddSpec("fa", "probe", graph.Place(0))
+	g.AddSpec("pa", "fpump", graph.Place(0))
+	g.AddSpec("fb", "probe", graph.Place(0))
+	g.AddSpec("pb", "fpump", graph.Place(0))
+	g.MergeSpec("mrg", 2, graph.Place(0))
+	g.AddSpec("po", "fpump", graph.Place(0))
+	g.AddSpec("mid", "probe", graph.Place(1))
+	g.AddSpec("mp", "fpump", graph.Place(1))
+	g.AddSpec("out", "fpump", graph.Place(2))
+	g.AddSpec("sink", "collect", graph.Place(2))
+	g.Pipe("src", "pump", "tee")
+	g.Pipe("tee:0", "fa", "pa", "mrg:0")
+	g.Pipe("tee:1", "fb", "pb", "mrg:1")
+	g.Pipe("mrg", "po")
+	g.Cut("po", "mid")
+	g.Pipe("mid", "mp")
+	g.Cut("mp", "out")
+	g.Pipe("out", "sink")
+
+	dir := control.NewDirectory()
+	dir.MaxMisses = 2
+	dir.ProbeRetries = 1
+	dir.ProbeBackoff = 5 * time.Millisecond
+	for _, n := range nodes {
+		if _, err := dir.Register(n.addr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sup := control.NewSupervisor(dir)
+	sup.Backoff = 25 * time.Millisecond
+
+	d, err := g.Deploy(graph.OnNodes(dir.Clients()...).WithClusterLanes())
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	sup.Manage(d)
+	dir.Start(15 * time.Millisecond)
+	t.Cleanup(dir.Close)
+	d.Start()
+
+	pollCount(t, ss, "sink", items/4, 20*time.Second)
+	nodes[1].close() // the merge-fed segment dies mid-stream
+
+	if err := d.Wait(); err != nil {
+		t.Fatalf("wait after killing the merge-fed segment: %v", err)
+	}
+
+	ss.mu.Lock()
+	sink := ss.sinks["sink"]
+	ss.mu.Unlock()
+	seen := make(map[int64]bool)
+	lastPerOrigin := make(map[int64]int64)
+	for _, it := range sink.Items() {
+		if seen[it.Seq] {
+			t.Fatalf("item %d delivered twice across the failover", it.Seq)
+		}
+		seen[it.Seq] = true
+		if it.Origin == 0 {
+			t.Fatalf("item %d reached the sink without a merge origin stamp", it.Seq)
+		}
+		if it.Seq <= lastPerOrigin[it.Origin] {
+			t.Fatalf("origin %d reordered: seq %d after %d",
+				it.Origin, it.Seq, lastPerOrigin[it.Origin])
+		}
+		lastPerOrigin[it.Origin] = it.Seq
+	}
+	for i := int64(1); i <= items; i++ {
+		if !seen[i] {
+			t.Fatalf("item %d lost across the failover", i)
+		}
+	}
+	if len(lastPerOrigin) != 2 {
+		t.Fatalf("sink saw %d merge origins, want 2", len(lastPerOrigin))
+	}
+	if node := d.SegmentPlacements()["mid>>mp"]; node == 1 {
+		t.Error(`segment "mid>>mp" still placed on the dead node`)
+	}
+}

@@ -9,7 +9,9 @@ import (
 	"sync"
 	"time"
 
+	"infopipes/internal/core"
 	"infopipes/internal/graph"
+	"infopipes/internal/uthread"
 )
 
 // Operator serves deployment-level operations — segment placements and
@@ -20,6 +22,7 @@ import (
 type Operator struct {
 	mu     sync.Mutex
 	deps   map[string]*graph.Deployment
+	cat    graph.Catalog
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -38,6 +41,17 @@ func (o *Operator) Register(d *graph.Deployment) {
 	o.mu.Lock()
 	o.deps[d.Name()] = d
 	o.mu.Unlock()
+}
+
+// WithCatalog supplies the stage catalog used to build the attach / insert /
+// swap stages of operator-driven edits (stage instances cannot cross the
+// wire, so they travel as catalog specs).  Without a catalog only detach
+// and tenant-rebind edits are accepted.
+func (o *Operator) WithCatalog(cat graph.Catalog) *Operator {
+	o.mu.Lock()
+	o.cat = cat
+	o.mu.Unlock()
+	return o
 }
 
 // Serve binds addr (host:port, empty port for ephemeral) and answers
@@ -97,9 +111,45 @@ func (o *Operator) acceptLoop(ln net.Listener) {
 // opRequest/opResponse mirror the node protocol's single request/response
 // pair: one gob stream per connection, calls answered in order.
 type opRequest struct {
-	Op         string // deployments | placements | replace
+	Op         string // deployments | placements | replace | edit
 	Deployment string
 	Hints      map[string]int
+	Edits      []OpEdit
+}
+
+// OpStage carries one stage of an operator-driven edit as a catalog spec;
+// the operator builds the live instance server-side.
+type OpStage struct {
+	Name   string
+	Kind   string
+	Args   []string
+	Params map[string]string
+}
+
+// OpEdit is one wire-encodable live-edit operation, mirroring the graph
+// package's EditOp variants.  Kind selects the variant; only that variant's
+// fields are read.
+type OpEdit struct {
+	Kind string // attach | detach | insert | swap | rebind
+
+	// attach / detach
+	Split  string
+	Port   int
+	Place  int // attach shard/node hint; -1 inherits the trunk's
+	Stages []OpStage
+
+	// insert (From >> Stages[0] >> To) / swap (Node becomes Stages[0])
+	From, To string
+	Node     string
+
+	// rebind (graph.RebindTenant semantics: zero Weight keeps, SetRate /
+	// SetPrio gate the rate and priority fields)
+	Weight  int
+	Rate    float64
+	Burst   int
+	SetRate bool
+	Prio    int
+	SetPrio bool
 }
 
 type opResponse struct {
@@ -176,9 +226,84 @@ func (o *Operator) handle(req opRequest) opResponse {
 			return opResponse{Err: err.Error()}
 		}
 		return opResponse{Placements: d.SegmentPlacements()}
+	case "edit":
+		d, err := o.deployment(req.Deployment)
+		if err != nil {
+			return opResponse{Err: err.Error()}
+		}
+		ops, err := o.editOps(req.Edits)
+		if err != nil {
+			return opResponse{Err: err.Error()}
+		}
+		if err := d.Edit(ops...); err != nil {
+			return opResponse{Err: err.Error()}
+		}
+		return opResponse{Placements: d.SegmentPlacements()}
 	default:
 		return opResponse{Err: fmt.Sprintf("control: unknown operator op %q", req.Op)}
 	}
+}
+
+// editOps translates the wire edits into graph.EditOp values, building the
+// carried stage specs through the operator's catalog.
+func (o *Operator) editOps(edits []OpEdit) ([]graph.EditOp, error) {
+	o.mu.Lock()
+	cat := o.cat
+	o.mu.Unlock()
+	mk := func(s OpStage) (core.Stage, error) {
+		if cat == nil {
+			return core.Stage{}, errors.New("control: operator has no stage catalog (Operator.WithCatalog)")
+		}
+		f, ok := cat[s.Kind]
+		if !ok {
+			return core.Stage{}, fmt.Errorf("control: unknown stage kind %q", s.Kind)
+		}
+		return f(s.Name, s.Args, s.Params)
+	}
+	ops := make([]graph.EditOp, 0, len(edits))
+	for _, e := range edits {
+		switch e.Kind {
+		case "attach":
+			sts := make([]core.Stage, 0, len(e.Stages))
+			for _, s := range e.Stages {
+				st, err := mk(s)
+				if err != nil {
+					return nil, err
+				}
+				sts = append(sts, st)
+			}
+			ops = append(ops, graph.AttachBranch{Split: e.Split, Stages: sts, Place: e.Place})
+		case "detach":
+			ops = append(ops, graph.DetachBranch{Split: e.Split, Port: e.Port})
+		case "insert":
+			if len(e.Stages) != 1 {
+				return nil, fmt.Errorf("control: insert edit carries %d stages, want 1", len(e.Stages))
+			}
+			st, err := mk(e.Stages[0])
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, graph.InsertStage{From: e.From, To: e.To, Stage: st})
+		case "swap":
+			if len(e.Stages) != 1 {
+				return nil, fmt.Errorf("control: swap edit carries %d stages, want 1", len(e.Stages))
+			}
+			st, err := mk(e.Stages[0])
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, graph.SwapStage{Node: e.Node, Stage: st})
+		case "rebind":
+			ops = append(ops, graph.RebindTenant{
+				Weight: e.Weight,
+				Rate:   e.Rate, Burst: e.Burst, SetRate: e.SetRate,
+				Prio: uthread.Priority(e.Prio), SetPrio: e.SetPrio,
+			})
+		default:
+			return nil, fmt.Errorf("control: unknown edit kind %q", e.Kind)
+		}
+	}
+	return ops, nil
 }
 
 // OperatorClient is the dialing side of the operator protocol (ipctl).
@@ -251,5 +376,13 @@ func (c *OperatorClient) Placements(deployment string) (map[string]int, error) {
 // through Deployment.Replace and returns the placements afterwards.
 func (c *OperatorClient) Replace(deployment string, hints map[string]int) (map[string]int, error) {
 	resp, err := c.call(opRequest{Op: "replace", Deployment: deployment, Hints: hints})
+	return resp.Placements, err
+}
+
+// Edit applies a batch of live-edit operations through Deployment.Edit —
+// one transaction, rejected whole or applied whole — and returns the
+// placements afterwards.
+func (c *OperatorClient) Edit(deployment string, edits []OpEdit) (map[string]int, error) {
+	resp, err := c.call(opRequest{Op: "edit", Deployment: deployment, Edits: edits})
 	return resp.Placements, err
 }

@@ -88,6 +88,11 @@ type GraphNodeInfo struct {
 	Outs, Ins int
 	// Place is the placement hint (shard or node index), -1 for none.
 	Place int
+	// DetachedOuts lists split out-ports whose branch left the graph (a live
+	// DetachBranch edit).  Ports are tombstoned, never renumbered: a detached
+	// port needs no edge, starts no segment, and the plan records -1 for it
+	// in SplitBranch.  At least one out-port must stay attached.
+	DetachedOuts []int
 }
 
 // GraphEdgeInfo is one data edge.  Ports are GraphMainPort except on the
@@ -184,6 +189,7 @@ type GraphPlan struct {
 // is composed.
 func PlanGraph(nodes []GraphNodeInfo, edges []GraphEdgeInfo) (*GraphPlan, error) {
 	byName := make(map[string]*GraphNodeInfo, len(nodes))
+	detached := make(map[string]map[int]bool)
 	for i := range nodes {
 		n := &nodes[i]
 		if n.Name == "" {
@@ -193,6 +199,22 @@ func PlanGraph(nodes []GraphNodeInfo, edges []GraphEdgeInfo) (*GraphPlan, error)
 			return nil, fmt.Errorf("%w: duplicate node name %q", ErrBadGraph, n.Name)
 		}
 		byName[n.Name] = n
+		if len(n.DetachedOuts) > 0 {
+			if n.Kind != GraphSplit {
+				return nil, fmt.Errorf("%w: node %q has detached out-ports but is not a split", ErrBadGraph, n.Name)
+			}
+			m := make(map[int]bool, len(n.DetachedOuts))
+			for _, p := range n.DetachedOuts {
+				if p < 0 || p >= n.Outs {
+					return nil, fmt.Errorf("%w: split %q detaches out-port %d (outs=%d)", ErrBadGraph, n.Name, p, n.Outs)
+				}
+				m[p] = true
+			}
+			if len(m) >= n.Outs {
+				return nil, fmt.Errorf("%w: split %q has no attached out-port left", ErrBadGraph, n.Name)
+			}
+			detached[n.Name] = m
+		}
 	}
 	if len(nodes) == 0 {
 		return nil, fmt.Errorf("%w: no nodes declared", ErrBadGraph)
@@ -228,6 +250,10 @@ func PlanGraph(nodes []GraphNodeInfo, edges []GraphEdgeInfo) (*GraphPlan, error)
 			if e.FromPort < 0 || e.FromPort >= from.Outs {
 				return nil, fmt.Errorf("%w: split %q has no out-port %d (outs=%d)",
 					ErrBadGraph, from.Name, e.FromPort, from.Outs)
+			}
+			if detached[from.Name][e.FromPort] {
+				return nil, fmt.Errorf("%w: edge %d leaves detached out-port %s",
+					ErrBadGraph, i, portRef(from.Name, e.FromPort))
 			}
 		default:
 			if e.FromPort != GraphMainPort {
@@ -274,6 +300,9 @@ func PlanGraph(nodes []GraphNodeInfo, edges []GraphEdgeInfo) (*GraphPlan, error)
 				return nil, fmt.Errorf("%w: split %q has no trunk feeding it", ErrDanglingPort, n.Name)
 			}
 			for p := 0; p < n.Outs; p++ {
+				if detached[n.Name][p] {
+					continue
+				}
 				if _, ok := outEdge[n.Name][p]; !ok {
 					return nil, fmt.Errorf("%w: split out-port %s", ErrDanglingPort, portRef(n.Name, p))
 				}
@@ -327,6 +356,9 @@ func PlanGraph(nodes []GraphNodeInfo, edges []GraphEdgeInfo) (*GraphPlan, error)
 			}
 		case GraphSplit:
 			for p := 0; p < n.Outs; p++ {
+				if detached[n.Name][p] {
+					continue // tombstoned port: no branch segment
+				}
 				starts = append(starts, startPoint{
 					head:  SegmentEnd{Kind: EndSplitOut, Node: n.Name, Port: p},
 					first: outEdge[n.Name][p],
@@ -489,7 +521,11 @@ func (p *GraphPlan) Downstream(seg int) []int {
 	var out []int
 	switch t := p.Segments[seg].Tail; t.Kind {
 	case EndSplitTrunk:
-		out = append(out, p.SplitBranch[t.Node]...)
+		for _, b := range p.SplitBranch[t.Node] {
+			if b >= 0 { // detached ports leave a -1 tombstone
+				out = append(out, b)
+			}
+		}
 	case EndMergeIn:
 		out = append(out, p.MergeDown[t.Node])
 	case EndCut:

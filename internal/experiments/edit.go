@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"infopipes/internal/core"
+	"infopipes/internal/graph"
+	"infopipes/internal/item"
+	"infopipes/internal/pipes"
+	"infopipes/internal/shard"
+	"infopipes/internal/typespec"
+)
+
+// ---------------------------------------------------------- E25: live edits
+
+// EditRow is one op class of the live-edit latency table: how long
+// Deployment.Edit holds the flow for a structural surgery, measured as the
+// caller sees it (validate + quiesce + splice + resume).
+type EditRow struct {
+	Op   string
+	N    int
+	Mean time.Duration
+	Max  time.Duration
+}
+
+// EditChurnResult summarizes the seeded random-edit churn: every run edits
+// one live stream and then audits it item-by-item.
+type EditChurnResult struct {
+	Runs   int   // streams run
+	Landed int   // edits that landed while the stream was mid-flight
+	Drops  int64 // items missing from a surviving branch, any run
+	Dups   int64 // items delivered twice to a surviving branch, any run
+}
+
+// editStream builds the E25 topology: a clocked source into a copy tee with
+// two collecting branches.
+//
+//	src >> pump >> w >> cpy >> p0 >> sink0
+//	                        >> p1 >> sink1
+func editStream(name string, items int64, rate float64) (*graph.Graph, *pipes.CollectSink, *pipes.CollectSink) {
+	g := graph.New(name)
+	sink0 := pipes.NewCollectSink("sink0")
+	sink1 := pipes.NewCollectSink("sink1")
+	g.Add(core.Comp(pipes.NewCounterSource("src", items)))
+	g.Add(core.Pmp(pipes.NewClockedPump("pump", rate)))
+	g.Add(core.Comp(pipes.NewCountingProbe("w")))
+	g.Split(pipes.NewCopyTee("cpy", 2, 8, typespec.Block, typespec.Block))
+	g.Add(core.Pmp(pipes.NewFreePump("p0")))
+	g.Add(core.Comp(sink0))
+	g.Add(core.Pmp(pipes.NewFreePump("p1")), graph.Place(1))
+	g.Add(core.Comp(sink1), graph.Place(1))
+	g.Pipe("src", "pump", "w", "cpy")
+	g.Pipe("cpy:0", "p0", "sink0")
+	g.Pipe("cpy:1", "p1", "sink1")
+	return g, sink0, sink1
+}
+
+// auditExact checks one branch saw exactly 1..items in order; the returned
+// counts feed the churn ledger.
+func auditExact(sink *pipes.CollectSink, items int64) (drops, dups int64) {
+	seen := make(map[int64]bool, items)
+	for _, it := range sink.Items() {
+		if seen[it.Seq] {
+			dups++
+		}
+		seen[it.Seq] = true
+	}
+	for s := int64(1); s <= items; s++ {
+		if !seen[s] {
+			drops++
+		}
+	}
+	return drops, dups
+}
+
+// EditLatency measures attach / detach / swap surgery on one live stream:
+// each repeat grows the copy tee by a subscriber branch, removes it again,
+// and swaps the probe stage for an equivalent instance, timing each Edit
+// call.  Repeats stop early if the stream drains first; the run then audits
+// both original branches for exactly-once delivery.
+func EditLatency(items int64, repeats int) ([]EditRow, error) {
+	const rate = 4000
+	g, sink0, sink1 := editStream("editlat", items, rate)
+	grp := shard.NewGroup(shard.WithShardCount(2), shard.WithRealClock())
+	d, err := g.Deploy(graph.OnGroup(grp))
+	if err != nil {
+		return nil, fmt.Errorf("edit latency deploy: %w", err)
+	}
+	grp.Start()
+	d.Start()
+	for sink0.Count() < int(items)/8 {
+		select {
+		case <-d.Done():
+			return nil, fmt.Errorf("stream drained before the first edit (%d items)", sink0.Count())
+		default:
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	lat := map[string]*EditRow{
+		"attach": {Op: "attach"}, "detach": {Op: "detach"}, "swap": {Op: "swap"},
+	}
+	measure := func(op string, e graph.EditOp) (bool, error) {
+		t0 := time.Now()
+		err := d.Edit(e)
+		el := time.Since(t0)
+		if err == graph.ErrDeploymentDone {
+			return false, nil
+		}
+		if err != nil {
+			return false, fmt.Errorf("edit %s: %w", op, err)
+		}
+		r := lat[op]
+		r.N++
+		r.Mean += el // sum while measuring; divided below
+		if el > r.Max {
+			r.Max = el
+		}
+		return true, nil
+	}
+	port := 2 // base ports 0 and 1 stay; subscribers cycle above them
+	for i := 0; i < repeats; i++ {
+		sub := fmt.Sprintf("sub%d", i)
+		ok, err := measure("attach", graph.AttachBranch{
+			Split: "cpy",
+			Stages: []core.Stage{
+				core.Pmp(pipes.NewFreePump(sub + "p")),
+				core.Comp(pipes.NullSink(sub + "s")),
+			},
+			Place: -1,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if ok, err = measure("detach", graph.DetachBranch{Split: "cpy", Port: port}); err != nil {
+			return nil, err
+		}
+		port++ // ports tombstone, never renumber
+		if !ok {
+			break
+		}
+		if ok, err = measure("swap", graph.SwapStage{
+			Node: "w", Stage: core.Comp(pipes.NewCountingProbe("w")),
+		}); err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+	}
+	if err := d.Wait(); err != nil {
+		return nil, err
+	}
+	grp.Stop()
+	if err := grp.Wait(); err != nil {
+		return nil, err
+	}
+	for _, sink := range []*pipes.CollectSink{sink0, sink1} {
+		if drops, dups := auditExact(sink, items); drops != 0 || dups != 0 {
+			return nil, fmt.Errorf("edit latency run broke delivery: %d drops, %d dups", drops, dups)
+		}
+	}
+	rows := make([]EditRow, 0, len(lat))
+	for _, op := range []string{"attach", "detach", "swap"} {
+		r := *lat[op]
+		if r.N > 0 {
+			r.Mean /= time.Duration(r.N)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// EditChurn runs `runs` seeded streams and fires one random live edit into
+// each — an identity insert, an equivalent swap, a subscriber attach or a
+// branch detach — then audits every surviving branch item-by-item.  The
+// detached branch must hold a contiguous prefix; everything else must be
+// exactly 1..items in order.
+func EditChurn(runs int) (EditChurnResult, error) {
+	const items, rate = 300, 6000
+	res := EditChurnResult{}
+	for seed := 1; seed <= runs; seed++ {
+		hr := rand.New(rand.NewSource(int64(seed)))
+		g, sink0, sink1 := editStream(fmt.Sprintf("churn%d", seed), items, rate)
+		grp := shard.NewGroup(shard.WithShardCount(2), shard.WithRealClock())
+		d, err := g.Deploy(graph.OnGroup(grp))
+		if err != nil {
+			return res, fmt.Errorf("churn seed %d: deploy: %w", seed, err)
+		}
+		grp.Start()
+		d.Start()
+		res.Runs++
+		drained := false
+		for sink0.Count() < items/8 {
+			select {
+			case <-d.Done():
+				drained = true
+			default:
+				time.Sleep(100 * time.Microsecond)
+				continue
+			}
+			break
+		}
+		detached := false
+		if !drained {
+			var op graph.EditOp
+			switch hr.Intn(4) {
+			case 0:
+				op = graph.InsertStage{From: "pump", To: "w",
+					Stage: core.Comp(pipes.NewFuncFilter("eins",
+						func(_ *core.Ctx, it *item.Item) (*item.Item, error) { return it, nil }))}
+			case 1:
+				op = graph.SwapStage{Node: "w", Stage: core.Comp(pipes.NewCountingProbe("w"))}
+			case 2:
+				op = graph.AttachBranch{Split: "cpy", Place: hr.Intn(3) - 1,
+					Stages: []core.Stage{
+						core.Pmp(pipes.NewFreePump("ap")),
+						core.Comp(pipes.NullSink("as")),
+					}}
+			case 3:
+				op = graph.DetachBranch{Split: "cpy", Port: 1}
+				detached = true
+			}
+			before := sink0.Count()
+			switch err := d.Edit(op); {
+			case err == nil:
+				if before < items {
+					res.Landed++
+				}
+			case err == graph.ErrDeploymentDone:
+				detached = false
+			default:
+				return res, fmt.Errorf("churn seed %d: edit: %w", seed, err)
+			}
+		}
+		if err := d.Wait(); err != nil {
+			return res, fmt.Errorf("churn seed %d: wait: %w", seed, err)
+		}
+		grp.Stop()
+		if err := grp.Wait(); err != nil {
+			return res, fmt.Errorf("churn seed %d: group wait: %w", seed, err)
+		}
+		drops, dups := auditExact(sink0, items)
+		res.Drops += drops
+		res.Dups += dups
+		if detached {
+			// A detached branch keeps a contiguous prefix — anything else
+			// counts against the ledger.
+			prev := int64(0)
+			for _, it := range sink1.Items() {
+				if it.Seq != prev+1 {
+					res.Drops++
+				}
+				prev = it.Seq
+			}
+		} else {
+			drops, dups = auditExact(sink1, items)
+			res.Drops += drops
+			res.Dups += dups
+		}
+	}
+	return res, nil
+}

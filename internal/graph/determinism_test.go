@@ -41,6 +41,27 @@ type dagGen struct {
 	items  int64
 	nextID int
 	sinks  []*pipes.CollectSink
+
+	// Bookkeeping for the live-edit run (pure recording: no PRNG draws, so
+	// the topology stays seed-stable).  plain marks names that are plain
+	// stages; edges lists insert-eligible plain->plain same-segment edges;
+	// fids remembers each filter's payload constant so a swap can install an
+	// equivalent implementation; splits lists the tee names; detachable
+	// lists pure-sink branches a DetachBranch may remove.
+	plain      map[string]bool
+	edges      [][2]string
+	fids       map[string]int64
+	filters    []string
+	splits     []string
+	detachable []branchPort
+	structN    int
+}
+
+// branchPort names one detachable pure-sink branch of a split.
+type branchPort struct {
+	split string
+	port  int
+	sink  string
 }
 
 const genHintSpace = 4 // hints are drawn in [0,4) and clamped per target
@@ -52,6 +73,8 @@ func newDagGen(seed int64, shards int) *dagGen {
 		g:      graph.New(fmt.Sprintf("dag%d", seed)),
 		shards: shards,
 		items:  300 + int64(r.Intn(200)),
+		plain:  make(map[string]bool),
+		fids:   make(map[string]int64),
 	}
 }
 
@@ -80,6 +103,9 @@ func (d *dagGen) filter(opts []graph.NodeOption) string {
 		return it, nil
 	})
 	d.g.Add(core.Comp(f), opts...)
+	d.plain[name] = true
+	d.fids[name] = fid
+	d.filters = append(d.filters, name)
 	return name
 }
 
@@ -94,12 +120,25 @@ func (d *dagGen) unit(from string) string {
 	}
 	pump := d.name("p")
 	d.g.Add(core.Pmp(pipes.NewFreePump(pump)), opts...)
+	d.plain[pump] = true
 	refs = append(refs, pump)
 	if d.r.Intn(2) == 0 {
 		refs = append(refs, d.filter(opts))
 	}
 	d.g.Pipe(refs...)
+	d.recordEdges(refs)
 	return refs[len(refs)-1]
+}
+
+// recordEdges remembers the insert-eligible edges of one Pipe call: both
+// endpoints plain stages (tee ports, merges and cut heads are excluded by
+// the plain set).
+func (d *dagGen) recordEdges(refs []string) {
+	for i := 0; i+1 < len(refs); i++ {
+		if d.plain[refs[i]] && d.plain[refs[i+1]] {
+			d.edges = append(d.edges, [2]string{refs[i], refs[i+1]})
+		}
+	}
 }
 
 // terminate ends the flow at cur with a collecting sink (piped into the
@@ -108,6 +147,8 @@ func (d *dagGen) terminate(cur string) {
 	sink := pipes.NewCollectSink(d.name("sink"))
 	d.g.Add(core.Comp(sink))
 	d.g.Pipe(cur, sink.Name())
+	d.plain[sink.Name()] = true
+	d.recordEdges([]string{cur, sink.Name()})
 	d.sinks = append(d.sinks, sink)
 }
 
@@ -121,6 +162,7 @@ func (d *dagGen) extend(cur string, depth int) {
 		// Unhinted: the following unit's hint binds the new segment.
 		d.g.Add(core.Comp(pipes.NewCountingProbe(next)))
 		d.g.Cut(cur, next)
+		d.structN++
 		tail := d.unit(next)
 		d.extend(tail, depth+1)
 	case roll < 6 && depth < 3: // route split >> branches >> merge
@@ -129,6 +171,8 @@ func (d *dagGen) extend(cur string, depth int) {
 			func(it *item.Item) int { return int((it.Seq - 1) % int64(n)) })
 		d.g.Split(tee)
 		d.g.Pipe(cur, tee.Name())
+		d.splits = append(d.splits, tee.Name())
+		d.structN++
 		mrg := pipes.NewMergeTee(d.name("mrg"), n, 8, typespec.Block, typespec.Block)
 		d.g.Merge(mrg)
 		for i := 0; i < n; i++ {
@@ -142,9 +186,19 @@ func (d *dagGen) extend(cur string, depth int) {
 		tee := pipes.NewCopyTee(d.name("cpy"), n, 8, typespec.Block, typespec.Block)
 		d.g.Split(tee)
 		d.g.Pipe(cur, tee.Name())
+		d.splits = append(d.splits, tee.Name())
+		d.structN++
 		for i := 0; i < n; i++ {
+			// A branch whose subtree is exactly one unit ending in one sink
+			// (no nested cut/tee) is a pure sink branch — the only shape
+			// DetachBranch accepts.
+			sinksBefore, structBefore := len(d.sinks), d.structN
 			tail := d.unit(fmt.Sprintf("%s:%d", tee.Name(), i))
 			d.extend(tail, depth+1)
+			if len(d.sinks) == sinksBefore+1 && d.structN == structBefore {
+				d.detachable = append(d.detachable,
+					branchPort{split: tee.Name(), port: i, sink: d.sinks[sinksBefore].Name()})
+			}
 		}
 	default:
 		d.terminate(cur)
@@ -180,6 +234,21 @@ func (d *dagGen) trace() string {
 		b.WriteString("] ")
 	}
 	return b.String()
+}
+
+// traces renders the same per-sink streams keyed by sink name, for the
+// edit harness's sink-by-sink comparison (a detached sink is only
+// prefix-comparable, so the single concatenated trace cannot be used).
+func (d *dagGen) traces() map[string]string {
+	m := make(map[string]string, len(d.sinks))
+	for _, s := range d.sinks {
+		var b strings.Builder
+		for _, it := range s.Items() {
+			fmt.Fprintf(&b, "%d/%v;", it.Seq, it.Payload)
+		}
+		m[s.Name()] = b.String()
+	}
+	return m
 }
 
 func (d *dagGen) total() int {
@@ -266,6 +335,166 @@ func runOnGroup(t *testing.T, seed int64, shards, rebalanceAt int) (string, bool
 		t.Fatalf("seed %d: %d-shard group wait: %v", seed, shards, err)
 	}
 	return gen.trace(), migrated
+}
+
+// runOnSchedulerTraces is runOnScheduler with per-sink trace keying, the
+// baseline for the edit harness.
+func runOnSchedulerTraces(t *testing.T, seed int64) (map[string]string, int) {
+	t.Helper()
+	gen := newDagGen(seed, 1)
+	gen.build()
+	sched := uthread.New()
+	d, err := gen.g.Deploy(graph.OnScheduler(sched))
+	if err != nil {
+		t.Fatalf("seed %d: scheduler deploy: %v", seed, err)
+	}
+	d.Start()
+	if err := sched.Run(); err != nil {
+		t.Fatalf("seed %d: scheduler run: %v", seed, err)
+	}
+	if err := d.Wait(); err != nil {
+		t.Fatalf("seed %d: scheduler wait: %v", seed, err)
+	}
+	return gen.traces(), gen.total()
+}
+
+// runOnGroupWithEdits deploys the generated graph on an n-shard group and
+// fires one random identity-preserving Edit batch once the sinks hold
+// editAt items: either a DetachBranch of a random pure sink branch, or a
+// batch of an identity InsertStage on a random plain edge, an
+// equivalent-implementation SwapStage on a random filter, and (half the
+// time) an AttachBranch subscriber on a random split.  The ops come from a
+// side PRNG so the topology draws stay untouched.  Returns the per-sink
+// traces, the name of the detached sink ("" if none), and whether an edit
+// landed while the stream was demonstrably mid-flight.
+func runOnGroupWithEdits(t *testing.T, seed int64, shards, editAt, baseTotal int) (map[string]string, string, bool) {
+	t.Helper()
+	gen := newDagGen(seed, shards)
+	gen.build()
+	grp := shard.NewGroup(shard.WithShardCount(shards))
+	d, err := gen.g.Deploy(graph.OnGroup(grp))
+	if err != nil {
+		t.Fatalf("seed %d: %d-shard deploy: %v", seed, shards, err)
+	}
+	grp.Start()
+	d.Start()
+	hr := rand.New(rand.NewSource(seed ^ 0xed17))
+	for gen.total() < editAt {
+		select {
+		case <-d.Done():
+		default:
+			runtime.Gosched()
+			continue
+		}
+		break
+	}
+	var ops []graph.EditOp
+	detached := ""
+	if len(gen.detachable) > 0 && hr.Intn(3) == 0 {
+		bp := gen.detachable[hr.Intn(len(gen.detachable))]
+		detached = bp.sink
+		ops = append(ops, graph.DetachBranch{Split: bp.split, Port: bp.port})
+	} else {
+		if len(gen.edges) > 0 {
+			e := gen.edges[hr.Intn(len(gen.edges))]
+			ops = append(ops, graph.InsertStage{From: e[0], To: e[1],
+				Stage: core.Comp(pipes.NewFuncFilter("eins",
+					func(_ *core.Ctx, it *item.Item) (*item.Item, error) { return it, nil }))})
+		}
+		if len(gen.filters) > 0 {
+			fn := gen.filters[hr.Intn(len(gen.filters))]
+			fid := gen.fids[fn]
+			ops = append(ops, graph.SwapStage{Node: fn,
+				Stage: core.Comp(pipes.NewFuncFilter(fn,
+					func(_ *core.Ctx, it *item.Item) (*item.Item, error) {
+						p, _ := it.Payload.(int64)
+						it.Payload = p*31 + fid
+						return it, nil
+					}))})
+		}
+		if len(gen.splits) > 0 && hr.Intn(2) == 0 {
+			sp := gen.splits[hr.Intn(len(gen.splits))]
+			ops = append(ops, graph.AttachBranch{
+				Split: sp,
+				Stages: []core.Stage{
+					core.Pmp(pipes.NewFreePump("eatt_p")),
+					core.Comp(pipes.NewCollectSink("eatt_s")),
+				},
+				Place: hr.Intn(shards+1) - 1,
+			})
+		}
+	}
+	edited := false
+	if len(ops) > 0 {
+		before := gen.total()
+		switch err := d.Edit(ops...); {
+		case err == nil:
+			edited = before < baseTotal
+		case err == graph.ErrDeploymentDone:
+			// The stream drained before the edit landed: valid run, and the
+			// declaration layer was left untouched.
+			detached = ""
+		default:
+			t.Fatalf("seed %d: %d-shard edit: %v", seed, shards, err)
+		}
+	}
+	if err := d.Wait(); err != nil {
+		t.Fatalf("seed %d: %d-shard wait: %v", seed, shards, err)
+	}
+	if err := grp.Wait(); err != nil {
+		t.Fatalf("seed %d: %d-shard group wait: %v", seed, shards, err)
+	}
+	return gen.traces(), detached, edited
+}
+
+// TestRandomGraphEditDeterminism is the fourth harness run: the same 50
+// seeded DAGs, deployed on 1-, 2- and 4-shard groups with a random
+// identity-preserving Edit batch fired mid-stream.  Every surviving sink's
+// trace must stay byte-identical to the unedited scheduler baseline — an
+// insert of an identity filter, a swap to an equivalent implementation, or
+// a new subscriber branch must not perturb a single byte of the existing
+// flow — and a detached sink must hold a contiguous prefix of its unedited
+// trace (it drained cleanly at the quiesce point, losing nothing it had
+// already been fed).
+func TestRandomGraphEditDeterminism(t *testing.T) {
+	const seeds = 50
+	edits := 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		want, total := runOnSchedulerTraces(t, seed)
+		if total == 0 {
+			t.Fatalf("seed %d: no items reached any sink", seed)
+		}
+		for _, shards := range []int{1, 2, 4} {
+			got, detachedSink, edited := runOnGroupWithEdits(t, seed, shards, total/8+1, total)
+			if edited {
+				edits++
+			}
+			for name, w := range want {
+				g, ok := got[name]
+				if !ok {
+					t.Fatalf("seed %d: %d-shard edited run lost sink %s", seed, shards, name)
+				}
+				if name == detachedSink {
+					if !strings.HasPrefix(w, g) {
+						t.Fatalf("seed %d: %d-shard detached sink %s is not a prefix of the unedited trace\n got: %.200s\nwant: %.200s",
+							seed, shards, name, g, w)
+					}
+					continue
+				}
+				if g != w {
+					t.Fatalf("seed %d: %d-shard sink %s diverged after a mid-stream edit\n got: %.200s\nwant: %.200s",
+						seed, shards, name, g, w)
+				}
+			}
+		}
+	}
+	// 150 deployments; the tight poll should land the overwhelming majority
+	// of edits mid-stream — demand at least a third so the harness cannot
+	// silently degrade into editing drained flows.
+	if edits < seeds {
+		t.Fatalf("only %d/%d deployments edited mid-stream — the harness is not exercising live edits", edits, 3*seeds)
+	}
+	t.Logf("%d/%d deployments edited mid-stream with byte-identical surviving traces", edits, 3*seeds)
 }
 
 // TestRandomGraphDeterminism is the harness: 50 seeded random DAGs, each

@@ -76,6 +76,9 @@ type node struct {
 	outs  int             // split fan-out
 	ins   int             // merge fan-in
 	place int             // placement hint, -1 none
+	// detachedOuts lists split out-ports tombstoned by a live DetachBranch
+	// edit: the port keeps its index but has no edge and no branch segment.
+	detachedOuts []int
 }
 
 // NodeOption adjusts one node declaration.
@@ -265,7 +268,8 @@ func (g *Graph) Err() error {
 func (g *Graph) infos() []core.GraphNodeInfo {
 	out := make([]core.GraphNodeInfo, 0, len(g.nodes))
 	for _, n := range g.nodes {
-		info := core.GraphNodeInfo{Name: n.name, Place: n.place, Outs: n.outs, Ins: n.ins}
+		info := core.GraphNodeInfo{Name: n.name, Place: n.place, Outs: n.outs, Ins: n.ins,
+			DetachedOuts: n.detachedOuts}
 		switch n.kind {
 		case nStage:
 			info.Kind = core.GraphStage

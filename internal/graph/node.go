@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"infopipes/internal/core"
 	"infopipes/internal/netpipe"
@@ -157,12 +158,12 @@ func (s *nodeState) listen(lane, bind string, depth int, resumable bool, dcfg *n
 // looked up at ack time, so compose order and re-placement don't matter; a
 // missing listener (segment moved away) makes the ack a no-op, which is
 // safe — acks are pure progress hints.
-func (s *nodeState) chainAck(lane string, seq int64) {
+func (s *nodeState) chainAck(lane string, origin, seq int64) {
 	s.mu.Lock()
 	l, ok := s.listeners[lane]
 	s.mu.Unlock()
 	if ok {
-		l.PushAck(seq)
+		l.PushAck(origin, seq)
 	}
 }
 
@@ -195,6 +196,90 @@ func (s *nodeState) shutdown() {
 	for _, l := range links {
 		l.Close()
 	}
+}
+
+// drained reports whether a split tee and the relay lanes pumping its
+// out-ports have pushed everything they will ever push onto the wire: every
+// out-port buffer holds zero items and every named lane is connected and
+// quiescent.  The re-placement path polls it after detaching the trunk —
+// once true, every item that ever entered the tee is either consumed by a
+// branch listener or sitting in its inbox, so the tee and its relays can be
+// torn down without loss.
+//
+// The journals need NOT be empty: a self-acking branch listener's ack
+// anchor runs one pop behind consumption and acks only on a cadence, so a
+// quiescent relay journal permanently retains a delivered-but-unacked tail.
+// Those entries are safe to discard — sendDurable writes each frame to the
+// socket before returning (a failed write parks the lane, which the probe
+// rejects), a graceful close flushes the TCP send buffer, and the
+// stationary listener's dedup watermark advances at injection, so anything
+// the upstream journal replays through the rebuilt tee is absorbed.
+//
+// Relay pumps run concurrently with this probe, so a single sample could
+// catch an item in a pump's hand (popped from the buffer, not yet
+// journaled); the probe therefore samples twice with a settle delay and
+// requires both samples to see empty buffers and an unchanged monotone
+// sent-frame count on every lane — with the trunk detached no new items
+// arrive, so agreement means the relays are parked on empty buffers.
+func (s *nodeState) drained(tee string, lanes []string) bool {
+	sample := func() (sig []int64, ok bool) {
+		s.mu.Lock()
+		sp, hosted := s.splits[tee]
+		var senders []*netpipe.TCPLink
+		for _, lane := range lanes {
+			if l, exists := s.senders[lane]; exists {
+				senders = append(senders, l)
+			}
+		}
+		s.mu.Unlock()
+		if hosted {
+			bufs, can := sp.(interface {
+				Outs() int
+				OutBuffer(int) *pipes.BoundedBuffer
+			})
+			if !can {
+				return nil, false
+			}
+			for i := 0; i < bufs.Outs(); i++ {
+				if bufs.OutBuffer(i).Len() != 0 {
+					return nil, false
+				}
+			}
+		}
+		for _, l := range senders {
+			st := l.LaneStats()
+			if st.Parked {
+				return nil, false
+			}
+			sig = append(sig, st.Sent)
+		}
+		return sig, true
+	}
+	first, ok := sample()
+	if !ok {
+		return false
+	}
+	//ipvet:allow wallclock settle delay between drain samples; the probe runs on the control goroutine, not a flow path
+	time.Sleep(10 * time.Millisecond)
+	second, ok := sample()
+	if !ok || len(first) != len(second) {
+		return false
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// droptee forgets a shared split instance when a re-placement moves its
+// hosting segment to another node: the idempotent factory must build a
+// fresh tee if the segment ever moves back, not resurrect the old one.
+func (s *nodeState) droptee(tee string) {
+	s.mu.Lock()
+	delete(s.splits, tee)
+	s.mu.Unlock()
 }
 
 // redial points the registered sender link of a lane at a new address (the
@@ -404,7 +489,7 @@ func EnableNode(n *remote.Node, cat Catalog) {
 			// listener, so the upstream journal keeps covering this
 			// segment's in-flight items until they clear the lane below.
 			if chain := spec.Params["chain"]; chain != "" {
-				link.SetOnAck(func(seq int64) { st.chainAck(chain, seq) })
+				link.SetOnAck(func(origin, seq int64) { st.chainAck(chain, origin, seq) })
 			}
 		} else {
 			link = netpipe.NewTCPSenderLink(conn)
@@ -505,6 +590,18 @@ func EnableNode(n *remote.Node, cat Catalog) {
 			return st.listen(params["lane"], params["bind"], depth, params["resume"] == "1", dcfg)
 		case "drop":
 			st.drop(params["lane"], params["side"])
+			return "ok", nil
+		case "drained":
+			var lanes []string
+			if v := params["lanes"]; v != "" {
+				lanes = strings.Split(v, ",")
+			}
+			if st.drained(params["tee"], lanes) {
+				return "1", nil
+			}
+			return "0", nil
+		case "droptee":
+			st.droptee(params["tee"])
 			return "ok", nil
 		case "redial":
 			if err := st.redial(params["lane"], params["addr"]); err != nil {

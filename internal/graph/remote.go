@@ -3,7 +3,6 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -134,10 +133,6 @@ type remoteDeploy struct {
 	// (and Replace reuses it when recomposing the receiver elsewhere).
 	laneSeed    map[string]typespec.Typespec
 	mergeInSpec map[string][]typespec.Typespec
-	// mergedFlow[i] is true when segment i carries a merged flow (a merge
-	// lives in it or upstream of it): merged flows interleave origin
-	// sequences, so their lanes cannot run the durable protocol.
-	mergedFlow []bool
 	// segSections[i] is the pump-driven section count of segment i's
 	// composed pipeline (read back from its node at deploy; buffers add
 	// sections).  A durable self-acking inbound lane anchors its acks one
@@ -159,17 +154,7 @@ func (rd *remoteDeploy) run() (*Deployment, error) {
 		rd.d.names[i] = name
 	}
 	rd.segOutSpec = make([]typespec.Typespec, len(rd.plan.Segments))
-	rd.mergedFlow = make([]bool, len(rd.plan.Segments))
 	rd.segSections = make([]int, len(rd.plan.Segments))
-	for _, si := range rd.plan.Order {
-		merged := rd.plan.Segments[si].Head.Kind == core.EndMergeOut
-		for _, p := range rd.preds(si) {
-			if rd.mergedFlow[p] {
-				merged = true
-			}
-		}
-		rd.mergedFlow[si] = merged
-	}
 	rd.laneSeed = make(map[string]typespec.Typespec)
 	rd.mergeInSpec = make(map[string][]typespec.Typespec)
 	for name, ports := range rd.plan.MergeBranch {
@@ -290,11 +275,12 @@ func (rd *remoteDeploy) sendSpecs(lane, addr string, durable bool, chain string)
 	}
 }
 
-// laneDurable reports whether the lane leaving fromSeg can run the durable
-// protocol: origin sequences must be monotone on the lane, which any merge
-// at or upstream of fromSeg breaks.
+// laneDurable reports whether the lane leaving fromSeg runs the durable
+// protocol.  Merged flows are no obstacle: each merge in-port stamps the
+// item's Origin, so the lane journals and dedups on the per-origin-monotone
+// (origin, seq) pair (see item.Item.Origin and netpipe's durable lanes).
 func (rd *remoteDeploy) laneDurable(fromSeg int) bool {
-	return rd.target.ClusterLanes && !rd.mergedFlow[fromSeg]
+	return rd.target.ClusterLanes
 }
 
 // segInLane returns segment si's inbound lane ("" when its head is wired
@@ -666,6 +652,11 @@ type remoteDeployment struct {
 	// which would otherwise feed the balancer a false full-history delta
 	// when the node answers again.
 	lastRows map[int]map[string]remote.PipeStat
+	// lastTenantRows caches each node's last tenant rollup for the
+	// deployment's tenant, so an unreachable node keeps contributing its
+	// last-known admission counters to the cumulative rollup instead of
+	// silently deflating admitted+sheds after a failover.
+	lastTenantRows map[int]remote.TenantStat
 }
 
 func (r *remoteDeployment) broadcast(t events.Type) error {
@@ -910,44 +901,58 @@ func (r *remoteDeployment) stats() GraphStats {
 			add(p, p.name, true)
 		}
 	}
-	r.tenantStats(&st, byNode)
+	r.tenantStats(&st)
 	return st
 }
 
 // tenantStats folds the deployment tenant's per-node rollups into one
 // GraphStats row: admission counters and credit debt sum across nodes;
 // Share is the tenant's grant fraction over the grants of every polled
-// node's scheduler.  Unreachable nodes are skipped (same best-effort
+// node's scheduler.  EVERY client of the target is polled, not just the
+// nodes currently hosting pipes: a Replace or failover moves pipes off a
+// node without moving its historical admission counters, and dropping such
+// a node from the poll would deflate the cumulative admitted+sheds rollup.
+// An unreachable node contributes its last-known row instead of zero (same
 // contract as the pipe rows above).
-func (r *remoteDeployment) tenantStats(st *GraphStats, byNode map[int]bool) {
+func (r *remoteDeployment) tenantStats(st *GraphStats) {
 	t := r.rd.target.Tenant
 	if t == nil {
 		return
 	}
-	nodes := make([]int, 0, len(byNode))
-	for node := range byNode {
-		nodes = append(nodes, node)
-	}
-	sort.Ints(nodes)
 	row := TenantStats{Tenant: t.Name(), Weight: t.Weight()}
 	var granted, grants int64
 	polled := false
-	for _, node := range nodes {
-		tenants, err := r.clients[node].Tenants()
-		if err != nil {
+	for node := range r.clients {
+		var nodeRow remote.TenantStat
+		found := false
+		if tenants, err := r.clients[node].Tenants(); err == nil {
+			for _, ts := range tenants {
+				if ts.Name == t.Name() {
+					nodeRow, found = ts, true
+				}
+			}
+			if found {
+				r.mu.Lock()
+				if r.lastTenantRows == nil {
+					r.lastTenantRows = make(map[int]remote.TenantStat)
+				}
+				r.lastTenantRows[node] = nodeRow
+				r.mu.Unlock()
+			}
+		} else {
+			r.mu.Lock()
+			nodeRow, found = r.lastTenantRows[node]
+			r.mu.Unlock()
+		}
+		if !found {
 			continue
 		}
 		polled = true
-		for _, ts := range tenants {
-			if ts.Name != t.Name() {
-				continue
-			}
-			row.Admitted += ts.Admitted
-			row.Sheds += ts.Sheds
-			row.CreditDebt += ts.CreditDebt
-			granted += ts.Granted
-			grants += ts.SchedGrants
-		}
+		row.Admitted += nodeRow.Admitted
+		row.Sheds += nodeRow.Sheds
+		row.CreditDebt += nodeRow.CreditDebt
+		granted += nodeRow.Granted
+		grants += nodeRow.SchedGrants
 	}
 	if !polled {
 		return
@@ -956,4 +961,41 @@ func (r *remoteDeployment) tenantStats(st *GraphStats, byNode map[int]bool) {
 		row.Share = float64(granted) / float64(grants)
 	}
 	st.Tenants = append(st.Tenants, row)
+}
+
+// rebindTenant applies RebindTenant edit ops to a remote deployment: the
+// deployer-side tenant handle records the new policy (so later composes and
+// stats see it), then the rebind rides a §2.4 op to every node of the
+// target, retuning each node's materialized tenant and weighted-fair class
+// in place.  Weight changes bite within one pump cycle on every node (next
+// ready-queue admission); rate changes on each admission gate's next item.
+// An unreachable node fails the call unless the deployment is supervised —
+// there the supervisor owns the node's fate, and a re-placement composes
+// against the updated TenantSpec anyway.
+func (r *remoteDeployment) rebindTenant(rebinds []RebindTenant) error {
+	t := r.rd.target.Tenant
+	if t == nil {
+		return ErrNoTenant
+	}
+	for _, rb := range rebinds {
+		if rb.Weight > 0 {
+			t.SetWeight(rb.Weight)
+		}
+		if rb.SetRate {
+			t.SetRate(rb.Rate, rb.Burst)
+		}
+		if rb.SetPrio {
+			t.SetPriority(rb.Prio)
+		}
+	}
+	spec := r.rd.tenantSpec()
+	for i, c := range r.clients {
+		if err := c.RebindTenant(*spec); err != nil {
+			if r.isSupervised() && errors.Is(err, remote.ErrNodeUnreachable) {
+				continue
+			}
+			return fmt.Errorf("graph %q: node %d: rebind: %w", r.name, i, err)
+		}
+	}
+	return nil
 }

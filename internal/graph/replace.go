@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
+	"time"
 
 	"infopipes/internal/core"
 	"infopipes/internal/events"
@@ -15,11 +18,11 @@ import (
 // move: its stream position lives in the segment (a source), a shared tee
 // instance lives in it (split trunks, merge downstreams), one of its
 // boundaries is wired directly instead of over a redialable cluster lane
-// (deploy with WithClusterLanes), its inbound lane carries a merged flow
-// (no durable replay without monotone origin sequences), or it buffers
-// items internally while its inbound lane self-acks (the ack watermark
-// cannot prove end-of-segment consumption, so a replay would lose the
-// buffered items).
+// (deploy with WithClusterLanes), or it buffers items internally while its
+// inbound lane self-acks (the ack watermark cannot prove end-of-segment
+// consumption, so a replay would lose the buffered items).  Merged flows
+// are movable like any other: their lanes journal on the per-origin
+// (origin, seq) pair (see item.Item.Origin).
 var ErrNotReplaceable = errors.New("graph: segment cannot be re-placed")
 
 // Replace moves segments of a live OnNodes deployment between cluster nodes
@@ -69,7 +72,7 @@ func (d *Deployment) Replace(hints map[string]int) error {
 			return fmt.Errorf("graph %q: segment %q hinted to node %d, cluster has %d",
 				d.name, name, node, len(r.clients))
 		}
-		if err := rd.replaceable(si); err != nil {
+		if err := rd.replaceable(si, true); err != nil {
 			return err
 		}
 	}
@@ -78,7 +81,13 @@ func (d *Deployment) Replace(hints map[string]int) error {
 		if rd.nodeOf[si] == node {
 			continue
 		}
-		if err := r.replaceSegment(si, node, true); err != nil {
+		var err error
+		if rd.plan.Segments[si].Tail.Kind == core.EndSplitTrunk {
+			err = r.replaceSplitTrunk(si, node)
+		} else {
+			err = r.replaceSegment(si, node, true)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -95,7 +104,7 @@ func (d *Deployment) Replaceable(segment string) error {
 	if err != nil {
 		return err
 	}
-	return d.remote.rd.replaceable(si)
+	return d.remote.rd.replaceable(si, true)
 }
 
 func (rd *remoteDeploy) segIndex(name string) (int, error) {
@@ -112,9 +121,13 @@ func (rd *remoteDeploy) segIndex(name string) (int, error) {
 // must be durable (the upstream journal is what carries the in-flight items
 // through the move), a self-acking inbound lane requires a single-pump
 // segment (so the ack anchor proves consumption — see netpipe.popDurable),
-// and neither stream position (sources) nor shared tee instances (trunks,
-// merge downstreams) may live inside the segment.
-func (rd *remoteDeploy) replaceable(si int) error {
+// and neither stream position (sources) nor merge tees may live inside the
+// segment.  Split trunks are movable on the LIVE path only (live=true —
+// manual Replace): the trunk detaches, the tee's out-port buffers and relay
+// journals drain on the still-running old node, and the tee is rebuilt from
+// its spec on the destination (see replaceSplitTrunk).  A dead node cannot
+// drain, so failover keeps refusing trunk hosts.
+func (rd *remoteDeploy) replaceable(si int, live bool) error {
 	seg := rd.plan.Segments[si]
 	own := rd.nodeOf[si]
 	switch h := seg.Head; h.Kind {
@@ -129,7 +142,7 @@ func (rd *remoteDeploy) replaceable(si int) error {
 				ErrNotReplaceable, seg.Name(), h.Node)
 		}
 		if !rd.laneDurable(rd.plan.SplitTrunk[h.Node]) {
-			return fmt.Errorf("%w: %q's inbound lane carries a merged flow (no durable replay)",
+			return fmt.Errorf("%w: %q's inbound lane is not durable (deploy with WithClusterLanes)",
 				ErrNotReplaceable, seg.Name())
 		}
 	case core.EndCut:
@@ -138,7 +151,7 @@ func (rd *remoteDeploy) replaceable(si int) error {
 				ErrNotReplaceable, seg.Name())
 		}
 		if !rd.laneDurable(rd.plan.Cuts[h.Port].FromSeg) {
-			return fmt.Errorf("%w: %q's inbound lane carries a merged flow (no durable replay)",
+			return fmt.Errorf("%w: %q's inbound lane is not durable (deploy with WithClusterLanes)",
 				ErrNotReplaceable, seg.Name())
 		}
 	}
@@ -155,7 +168,31 @@ func (rd *remoteDeploy) replaceable(si int) error {
 	}
 	switch t := seg.Tail; t.Kind {
 	case core.EndSplitTrunk:
-		return fmt.Errorf("%w: %q hosts the split tee %q", ErrNotReplaceable, seg.Name(), t.Node)
+		if !live {
+			return fmt.Errorf("%w: %q hosts the split tee %q (its relay journals died with the node)",
+				ErrNotReplaceable, seg.Name(), t.Node)
+		}
+		// A live trunk move drains the tee and rebuilds it from its spec on
+		// the destination.  That replays the upstream journal's unacked tail
+		// through a FRESH tee, so the routing must be a pure function of the
+		// item (round-robin state would re-route the replayed overlap onto a
+		// different branch — a duplicate one branch's dedup cannot absorb).
+		n := rd.g.index[t.Node]
+		if n.spec.Kind == "route" {
+			if sel := n.spec.Params["sel"]; sel == "" || sel == "rr" {
+				return fmt.Errorf("%w: %q hosts split %q with stateful round-robin routing (a rebuilt tee would re-route the replayed overlap)",
+					ErrNotReplaceable, seg.Name(), t.Node)
+			}
+		}
+		// Every branch must attach over a relay lane: a branch composed on
+		// the trunk's own node pulls the shared tee instance directly, and
+		// that reference cannot follow the tee to another node.
+		for _, bi := range rd.splitBranches(t.Node) {
+			if rd.nodeOf[bi] == own {
+				return fmt.Errorf("%w: branch %q is wired directly to split %q (move the branch off node %d first)",
+					ErrNotReplaceable, rd.plan.Segments[bi].Name(), t.Node, own)
+			}
+		}
 	case core.EndMergeIn:
 		if rd.nodeOf[rd.plan.MergeDown[t.Node]] == own {
 			return fmt.Errorf("%w: %q is wired directly to merge %q (no lane to redial)",
@@ -168,6 +205,18 @@ func (rd *remoteDeploy) replaceable(si int) error {
 		}
 	}
 	return nil
+}
+
+// splitBranches lists the segments headed by split name's out-ports, in
+// plan order.
+func (rd *remoteDeploy) splitBranches(name string) []int {
+	var out []int
+	for si, seg := range rd.plan.Segments {
+		if h := seg.Head; h.Kind == core.EndSplitOut && h.Node == name {
+			out = append(out, si)
+		}
+	}
+	return out
 }
 
 // preds lists the segments directly upstream of si.
@@ -373,6 +422,206 @@ func (r *remoteDeployment) replaceSegment(si, dest int, oldUp bool) error {
 	return nil
 }
 
+// replaceSplitTrunk moves a segment that hosts a split tee — the live-only
+// arm of Replace.  The tee instance cannot cross nodes, but its SPEC can:
+// the protocol empties the old instance and rebuilds an identical one on
+// the destination.
+//
+//  1. Detach the trunk pipeline.  Unconsumed inbound items stay covered by
+//     the upstream journal (the trunk's listener acks only consumption).
+//  2. Drain: the relay pipelines keep running and pump the tee's out-port
+//     buffers into the branch lanes; poll the drained probe until every
+//     buffer is empty and every relay lane is connected and quiescent — at
+//     that point every item that entered the tee is on a branch listener's
+//     side of the wire (consumed or in its inbox).  The relay journals'
+//     delivered-but-unacked tails are discarded with the relays; the
+//     listeners' dedup watermarks make any replayed overlap harmless (see
+//     nodeState.drained).  A drain that never completes (a wedged or
+//     disconnected branch) rolls the trunk back onto its old node and
+//     reports the failure.
+//  3. Detach the relays (a detach stops at a pump-cycle boundary, so no
+//     item is in a relay's hand), re-verify emptiness, and drop the old
+//     node's tee instance, relay senders and trunk listener.
+//  4. Rebuild on the destination: relay pipelines first (their tee factory
+//     materializes a fresh tee from the carried spec — kind, ports,
+//     selector — and dials the stationary branch listeners), then the
+//     trunk itself (recomposeSegment attaches the tee sink).
+//  5. Redial the stationary upstream sender at the trunk's new listener —
+//     its journal replays the unacked tail through the fresh tee — and
+//     re-broadcast start.  The branch listeners' dedup watermarks absorb
+//     the replayed overlap, so the move stays exactly-once on every branch.
+func (r *remoteDeployment) replaceSplitTrunk(si, dest int) error {
+	rd := r.rd
+	seg := rd.plan.Segments[si]
+	old := rd.nodeOf[si]
+	pipeName := r.name + "/" + seg.Name()
+	teeName := seg.Tail.Node
+	teeKey := rd.g.name + "/" + teeName
+
+	branches := rd.splitBranches(teeName)
+	var relayLanes, relayPipes []string
+	for _, bi := range branches {
+		lane := rd.laneName(teeName, rd.plan.Segments[bi].Head.Port)
+		relayLanes = append(relayLanes, lane)
+		relayPipes = append(relayPipes, lane+"/relay")
+	}
+
+	r.mu.Lock()
+	r.replacing = true
+	r.repGen++
+	started := r.started
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		r.replacing = false
+		r.repGen++
+		r.mu.Unlock()
+	}()
+
+	inbound := rd.inboundLanes(si)
+
+	// Fold the trunk's and relays' counters before their pipelines retire.
+	rows := make(map[string]remote.PipeStat)
+	if nodeRows, err := r.clients[old].Stats(r.name + "/"); err == nil {
+		for _, row := range nodeRows {
+			rows[row.Name] = row
+		}
+	}
+	r.mu.Lock()
+	if r.retiredByNode == nil {
+		r.retiredByNode = make([]retiredCounts, len(r.clients))
+	}
+	for _, name := range append([]string{pipeName}, relayPipes...) {
+		row := rows[name]
+		ret := r.retired[name]
+		ret.items += row.Items
+		ret.cycles += row.Cycles
+		ret.busyNs += row.BusyNanos
+		r.retired[name] = ret
+		r.retiredByNode[old].items += row.Items
+		r.retiredByNode[old].busyNs += row.BusyNanos
+	}
+	r.mu.Unlock()
+
+	latch := func(err error) error {
+		r.mu.Lock()
+		if r.startErr == nil {
+			r.startErr = fmt.Errorf("graph %q: replace %q failed, deployment stopped: %w", r.name, seg.Name(), err)
+		}
+		r.mu.Unlock()
+		r.stop()
+		return err
+	}
+
+	// 1. Stop feeding the tee.
+	if err := r.clients[old].Detach(pipeName); err != nil {
+		return fmt.Errorf("graph %q: replace %q: detach: %w", r.name, seg.Name(), err)
+	}
+
+	// 2. Drain the tee through the still-running relays.
+	drainParams := map[string]string{"tee": teeKey, "lanes": strings.Join(relayLanes, ",")}
+	drained := false
+	deadline := time.Now().Add(10 * time.Second) //ipvet:allow wallclock drain deadline against a live remote node; its relays run on their own clock
+	for time.Now().Before(deadline) {            //ipvet:allow wallclock drain deadline check
+		v, err := r.clients[old].Control("drained", drainParams)
+		if err != nil {
+			return latch(fmt.Errorf("graph %q: replace %q: drain probe: %w", r.name, seg.Name(), err))
+		}
+		if v == "1" {
+			drained = true
+			break
+		}
+	}
+	if !drained {
+		// The branches stopped acknowledging — re-attach the trunk where it
+		// was (its listener, tee and relays are all still in place) and
+		// leave the deployment running.
+		err := fmt.Errorf("graph %q: replace %q: split %q never drained (a branch is not consuming)",
+			r.name, seg.Name(), teeName)
+		if rerr := rd.recomposeSegment(si); rerr != nil {
+			return latch(err)
+		}
+		if started {
+			_ = r.clients[old].SendEvent(events.Event{Type: events.Start, Origin: r.name})
+		}
+		return err
+	}
+
+	// 3. Retire the relays at a pump-cycle boundary and re-verify: a
+	// straggler item caught between a buffer pop and a journal append by
+	// the LAST probe would have been journaled by now and show up here.
+	for _, name := range relayPipes {
+		if err := r.clients[old].Detach(name); err != nil {
+			return latch(fmt.Errorf("graph %q: replace %q: detach relay %q: %w", r.name, seg.Name(), name, err))
+		}
+	}
+	if v, err := r.clients[old].Control("drained", drainParams); err != nil || v != "1" {
+		return latch(fmt.Errorf("graph %q: replace %q: split %q not empty after relay detach (err=%v)",
+			r.name, seg.Name(), teeName, err))
+	}
+	for _, lane := range relayLanes {
+		if _, err := r.clients[old].Control("drop",
+			map[string]string{"lane": lane, "side": "sender"}); err != nil {
+			return latch(fmt.Errorf("graph %q: replace %q: drop %q: %w", r.name, seg.Name(), lane, err))
+		}
+	}
+	for lane := range inbound {
+		if _, err := r.clients[old].Control("drop",
+			map[string]string{"lane": lane, "side": "listener"}); err != nil {
+			return latch(fmt.Errorf("graph %q: replace %q: drop %q: %w", r.name, seg.Name(), lane, err))
+		}
+	}
+	if _, err := r.clients[old].Control("droptee", map[string]string{"tee": teeKey}); err != nil {
+		return latch(fmt.Errorf("graph %q: replace %q: droptee: %w", r.name, seg.Name(), err))
+	}
+
+	// 4. Rebuild on the destination: relays first (their factories carry
+	// the tee spec), then the trunk.
+	r.mu.Lock()
+	rd.nodeOf[si] = dest
+	r.mu.Unlock()
+	for i, bi := range branches {
+		lane := relayLanes[i]
+		relay := []remote.StageSpec{
+			rd.teeSpec("ip/teeout", fmt.Sprintf("%s.src%d", teeName, rd.plan.Segments[bi].Head.Port),
+				teeName, map[string]string{"port": strconv.Itoa(rd.plan.Segments[bi].Head.Port)}),
+			rd.pumpSpec(lane),
+		}
+		relay = append(relay, rd.sendSpecs(lane, rd.laneAddr[lane], rd.laneDurable(si), "")...)
+		rd.touched[dest] = true
+		if err := rd.client(dest).ComposeTenantSegment(relayPipes[i], relay, rd.segOutSpec[si], rd.tenantSpec(), false); err != nil {
+			return latch(fmt.Errorf("graph %q: node %d: recompose relay %q: %w", r.name, dest, relayPipes[i], err))
+		}
+	}
+	if err := rd.recomposeSegment(si); err != nil {
+		return latch(err)
+	}
+	r.mu.Lock()
+	for i := range r.pipes {
+		if r.pipes[i].seg == si {
+			r.pipes[i].client = dest
+		}
+		for _, name := range relayPipes {
+			if r.pipes[i].name == name {
+				r.pipes[i].client = dest
+			}
+		}
+	}
+	r.mu.Unlock()
+
+	// 5. Replay the upstream journal into the rebuilt trunk and start.
+	for lane, senderNode := range inbound {
+		if _, err := r.clients[senderNode].Control("redial",
+			map[string]string{"lane": lane, "addr": rd.laneAddr[lane]}); err != nil {
+			return latch(fmt.Errorf("graph %q: replace %q: redial %q: %w", r.name, seg.Name(), lane, err))
+		}
+	}
+	if started {
+		_ = r.clients[dest].SendEvent(events.Event{Type: events.Start, Origin: r.name})
+	}
+	return nil
+}
+
 // recomposeSegment rebuilds one segment's pipeline on its (re-assigned)
 // node during a Replace: fresh listeners for inbound lanes, outbound dials
 // at the stationary lanes' recorded addresses, the deploy-time seed.
@@ -403,6 +652,8 @@ func (rd *remoteDeploy) recomposeSegment(si int) error {
 		specs = append(specs, rd.stageSpec(name))
 	}
 	switch t := seg.Tail; t.Kind {
+	case core.EndSplitTrunk:
+		specs = append(specs, rd.teeSpec("ip/teesink", t.Node, t.Node, nil))
 	case core.EndMergeIn:
 		lane := rd.laneName(t.Node, t.Port)
 		specs = append(specs, rd.sendSpecs(lane, rd.laneAddr[lane], rd.laneDurable(si), chain)...)
@@ -558,7 +809,7 @@ func (d *Deployment) FailOver(dead int, hints map[string]int) error {
 		if dest == dead || dest < 0 || dest >= len(r.clients) {
 			return fmt.Errorf("graph %q: failover: segment %q hinted to unusable node %d", d.name, name, dest)
 		}
-		if err := rd.replaceable(si); err != nil {
+		if err := rd.replaceable(si, false); err != nil {
 			return err
 		}
 		dests[si] = dest

@@ -4,6 +4,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"infopipes/internal/core"
 	"infopipes/internal/events"
@@ -417,6 +418,102 @@ func TestRemoteTenantEndToEnd(t *testing.T) {
 	}
 	if row.Share <= 0 {
 		t.Fatalf("folded share %.3f, want > 0", row.Share)
+	}
+}
+
+// TestRemoteTenantCountersSurviveReplace pins the admission ledger across a
+// live segment move on a cluster deployment: a rate-capped tenant sheds at
+// the true-source node while the middle cut segment is Replaced onto
+// another node mid-overload.  The fold across nodes must still satisfy
+// admitted + sheds == offered, and every admitted item must reach the sink
+// — the move may neither lose nor double-count admission decisions.
+func TestRemoteTenantCountersSurviveReplace(t *testing.T) {
+	const items = 240
+	tc := &testCatalog{sinks: make(map[string]*pipes.CollectSink)}
+	cat := tc.catalog()
+	a := startNode(t, "alpha", cat)
+	b := startNode(t, "beta", cat)
+	c := startNode(t, "gamma", cat)
+
+	// src>>pump (n0, gate here) | cut | mid>>mp (n1) | cut | oc>>op>>sink (n2)
+	g := graph.New("capmove")
+	g.AddSpec("src", "counter", graph.WithArgs(strconv.Itoa(items)), graph.Place(0))
+	g.AddSpec("pump", "cpump", graph.WithArgs("400"), graph.Place(0))
+	g.AddSpec("mid", "probe", graph.Place(1))
+	g.AddSpec("mp", "fpump", graph.Place(1))
+	g.AddSpec("oc", "probe", graph.Place(2))
+	g.AddSpec("op", "fpump", graph.Place(2))
+	g.AddSpec("sink", "collect", graph.Place(2))
+	g.Pipe("src", "pump")
+	g.Cut("pump", "mid")
+	g.Pipe("mid", "mp")
+	g.Cut("mp", "oc")
+	g.Pipe("oc", "op", "sink")
+
+	tn := qos.NewTenant("capped", qos.Weight(2), qos.RateLimit(100, 1))
+	d, err := g.Deploy(graph.OnNodes(a.client, b.client, c.client).
+		WithClusterLanes().WithTenant(tn))
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	d.Start()
+
+	// Wait until the capped stream is demonstrably mid-overload (items are
+	// flowing, so the 400/s source is already outrunning the 100/s gate),
+	// then move the middle segment from beta onto gamma.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		tc.mu.Lock()
+		sink := tc.sinks["sink"]
+		tc.mu.Unlock()
+		if sink != nil && sink.Count() >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("stream never got going")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	const mid = "mid>>mp"
+	if err := d.Replace(map[string]int{mid: 2}); err != nil {
+		t.Fatalf("replace %q: %v", mid, err)
+	}
+	if got := d.SegmentPlacements()[mid]; got != 2 {
+		t.Fatalf("segment %q placed on node %d after replace, want 2", mid, got)
+	}
+	if err := d.Wait(); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+
+	tc.mu.Lock()
+	sink := tc.sinks["sink"]
+	tc.mu.Unlock()
+	st := d.Stats()
+	if len(st.Tenants) != 1 {
+		t.Fatalf("folded stats carry %d tenant rows, want 1", len(st.Tenants))
+	}
+	row := st.Tenants[0]
+	if row.Tenant != "capped" || row.Weight != 2 {
+		t.Fatalf("tenant row %+v, want name=capped weight=2", row)
+	}
+	if row.Admitted+row.Sheds != items {
+		t.Fatalf("admission ledger broke across the move: admitted %d + sheds %d != %d offered",
+			row.Admitted, row.Sheds, items)
+	}
+	if row.Sheds == 0 {
+		t.Fatal("a 400/s source through a 100/s tenant shed nothing — the run was not overloaded")
+	}
+	if row.Admitted != int64(sink.Count()) {
+		t.Fatalf("admitted %d items but the sink saw %d — the moved segment lost or duplicated admitted items",
+			row.Admitted, sink.Count())
+	}
+	// Every admitted item arrived exactly once, in order.
+	var last int64
+	for _, it := range sink.Items() {
+		if it.Seq <= last {
+			t.Fatalf("sink stream not strictly increasing across the move: %d after %d", it.Seq, last)
+		}
+		last = it.Seq
 	}
 }
 

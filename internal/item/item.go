@@ -28,6 +28,14 @@ type Item struct {
 	Payload any
 	// Seq is the source-assigned sequence number, starting at 1.
 	Seq int64
+	// Origin identifies the item's provenance path through merge points: 0
+	// for items that never crossed a merge; each merge in-port i of a
+	// k-input merge re-stamps Origin = Origin*(k+1) + (i+1) as the item
+	// enters (an injective path encoding).  (Origin, Seq) uniquely
+	// identifies an item on any downstream edge and stays monotone per
+	// origin, which is what durable lanes journal, acknowledge and dedup on
+	// after a merge has interleaved its branches' sequence numbers.
+	Origin int64
 	// Created is the instant the source produced the item, on the clock of
 	// the producing scheduler.
 	Created time.Time

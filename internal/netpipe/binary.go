@@ -300,10 +300,22 @@ func (m *BinaryMarshaller) Marshal(it *item.Item) ([]byte, error) {
 func (m *BinaryMarshaller) appendItem(dst []byte, it *item.Item) ([]byte, error) {
 	dst = append(dst, wireBinary)
 	dst = appendVarint(dst, it.Seq)
-	if it.Created.IsZero() {
-		dst = append(dst, 0)
-	} else {
-		dst = binary.BigEndian.AppendUint64(append(dst, 1), uint64(it.Created.UnixNano()))
+	// One flags byte: bit 0 = timestamp follows, bit 1 = merge origin
+	// follows.  Items that never crossed a merge (Origin == 0) keep the
+	// pre-origin encoding byte-for-byte.
+	flag := byte(0)
+	if !it.Created.IsZero() {
+		flag |= 1
+	}
+	if it.Origin != 0 {
+		flag |= 2
+	}
+	dst = append(dst, flag)
+	if flag&1 != 0 {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(it.Created.UnixNano()))
+	}
+	if flag&2 != 0 {
+		dst = appendVarint(dst, it.Origin)
 	}
 	dst = appendUvarint(dst, uint64(it.Size))
 	dst = appendUvarint(dst, uint64(len(it.Attrs)))
@@ -323,7 +335,7 @@ func (m *BinaryMarshaller) appendItem(dst []byte, it *item.Item) ([]byte, error)
 
 // marshalFallback gob-encodes the item, streaming or self-contained.
 func (m *BinaryMarshaller) marshalFallback(it *item.Item) ([]byte, error) {
-	w := wireItem{Seq: it.Seq, Created: it.Created, Size: it.Size, Attrs: it.Attrs, Payload: it.Payload}
+	w := wireItem{Seq: it.Seq, Origin: it.Origin, Created: it.Created, Size: it.Size, Attrs: it.Attrs, Payload: it.Payload}
 	if m.stream {
 		m.encMu.Lock()
 		defer m.encMu.Unlock()
@@ -399,12 +411,18 @@ func parseItem(src []byte) (*item.Item, error) {
 	}
 	flag := src[0]
 	src = src[1:]
-	if flag != 0 {
+	if flag&1 != 0 {
 		if len(src) < 8 {
 			return nil, fmt.Errorf("netpipe: binary decode: truncated timestamp") //ipvet:allow hotalloc malformed-frame error path
 		}
 		created = time.Unix(0, int64(binary.BigEndian.Uint64(src)))
 		src = src[8:]
+	}
+	var origin int64
+	if flag&2 != 0 {
+		if origin, src, err = parseVarint(src); err != nil {
+			return nil, err
+		}
 	}
 	size, src, err := parseUvarint(src)
 	if err != nil {
@@ -415,6 +433,7 @@ func parseItem(src []byte) (*item.Item, error) {
 		return nil, err
 	}
 	it := item.New(nil, seq, created).WithSize(int(size))
+	it.Origin = origin
 	for i := uint64(0); i < nattrs; i++ {
 		var k string
 		if k, src, err = parseString(src); err != nil {
@@ -440,6 +459,7 @@ func parseItem(src []byte) (*item.Item, error) {
 // itemFromWire converts a gob wireItem into a pooled item.
 func itemFromWire(w *wireItem) *item.Item {
 	it := item.New(w.Payload, w.Seq, w.Created).WithSize(w.Size)
+	it.Origin = w.Origin
 	it.Attrs = w.Attrs
 	return it
 }

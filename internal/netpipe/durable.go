@@ -24,10 +24,15 @@ import (
 // failed segment is recomposed on another node, its fresh outbound link
 // re-emits items that the stationary downstream listener may have already
 // consumed; the listener's dedup watermark (an origin sequence) filters them
-// regardless of which sender instance produced them.  The price is that a
-// durable lane requires monotonically increasing origin sequences, which
-// holds for any lane that has no merge upstream (linear chains, split
-// branches, cut relays).  The deployer only marks such lanes durable.
+// regardless of which sender instance produced them.
+//
+// Merged flows: a merge interleaves its branches' sequence numbers, so a
+// lane below one cannot journal on the bare sequence.  Each merge in-port
+// stamps the item's Origin (see item.Item.Origin), and the lane keys its
+// journal, acks and dedup on the (origin, seq) PAIR — monotone per origin by
+// construction.  Origin-0 traffic (no merge upstream) keeps the origin-less
+// wire frames byte-for-byte and the lock-free watermark fast paths;
+// non-zero origins ride the origin-qualified frames and per-origin maps.
 
 // DurableConfig tunes a durable lane endpoint.
 type DurableConfig struct {
@@ -68,11 +73,13 @@ func (c DurableConfig) withDefaults() DurableConfig {
 
 // laneEntry is one journaled frame awaiting acknowledgement.  prio is the
 // wire priority byte the frame was (and will be re-) sent with, so a replay
-// after a Redial preserves the tenant's priority tag.
+// after a Redial preserves the tenant's priority tag; origin is the item's
+// merge provenance (0 on unmerged flows).
 type laneEntry struct {
-	seq  int64
-	prio byte
-	data []byte
+	origin int64
+	seq    int64
+	prio   byte
+	data   []byte
 }
 
 // durable is the per-link durable-lane state, guarded by TCPLink.mu.
@@ -81,14 +88,20 @@ type durable struct {
 
 	// Sender half.
 	journal   []laneEntry
-	lastSent  int64 // highest sequence handed to sendDurable
-	acked     int64 // highest cumulative ack received
+	lastSent  int64 // highest origin-0 sequence handed to sendDurable
+	sent      int64 // frames ever journaled, all origins — monotone
+	acked     int64 // highest cumulative origin-0 ack received
 	eosPend   bool  // EOS reached the sink; replay must re-send it
 	eosSeq    int64
 	eosAcked  bool
 	replays   int64 // journal entries re-sent across all redials
 	txWaiters core.WaiterList
-	onAck     func(seq int64) // fired outside the lock on every new ack
+	onAck     func(origin, seq int64) // fired outside the lock on every new ack
+	// Per-origin sender watermarks for merged flows; nil until the first
+	// non-zero origin crosses the lane, so unmerged flows never touch them.
+	// Guarded by TCPLink.mu.
+	lastSentO map[int64]int64
+	ackedO    map[int64]int64
 	// free recycles acknowledged journal buffers, so the steady state
 	// journals without allocating; wdUntil is when the connection's write
 	// deadline expires, so the deadline syscall is amortized over many
@@ -100,23 +113,51 @@ type durable struct {
 	// goroutine and ackAnchor only by the (single) consumer thread, so they
 	// are atomics instead of taking TCPLink.mu on every frame; the rest is
 	// guarded by TCPLink.mu.
-	dedup      atomic.Int64 // highest origin sequence injected into the inbox
-	dups       atomic.Int64 // duplicate frames dropped
-	eosSeen    bool         // a terminal frameEOSSeq arrived
-	lastPopped int64        // consumer-thread private
-	ackAnchor  atomic.Int64 // previous popped sequence — safe to ack (see popDurable)
-	sinceAck   int          // consumer-thread private
-	lastAck    int64        // highest ack actually written
-	chainAck   int64        // highest downstream watermark pushed via PushAck
-	finalAcked bool         // ackAll has been written (or pushed through)
+	dedup       atomic.Int64 // highest origin-0 sequence injected into the inbox
+	dups        atomic.Int64 // duplicate frames dropped
+	eosSeen     bool         // a terminal frameEOSSeq arrived
+	lastPopped  int64        // consumer-thread private
+	lastPoppedO int64        // origin of the last popped frame, consumer-thread private
+	ackAnchor   atomic.Int64 // previous popped origin-0 sequence — safe to ack (see popDurable)
+	sinceAck    int          // consumer-thread private
+	lastAck     int64        // highest origin-0 ack actually written
+	chainAck    int64        // highest origin-0 watermark pushed via PushAck
+	finalAcked  bool         // ackAll has been written (or pushed through)
+	// Per-origin receiver watermarks for merged flows, nil until a non-zero
+	// origin arrives.  origins lists the keys in first-seen order, so the
+	// ack cadence and handshake iterate deterministically without sorting.
+	// All guarded by TCPLink.mu (merged flows pay the lock; origin-0 keeps
+	// the atomics above).
+	dedupO    map[int64]int64
+	anchorO   map[int64]int64
+	lastAckO  map[int64]int64
+	chainAckO map[int64]int64
+	origins   []int64
+}
+
+// originSeen registers a receiver-side origin in first-seen order (l.mu
+// held).  All three receiver maps share the origins index.
+func (d *durable) originSeen(origin int64) {
+	if d.dedupO == nil {
+		d.dedupO = make(map[int64]int64)
+		d.anchorO = make(map[int64]int64)
+		d.lastAckO = make(map[int64]int64)
+		d.chainAckO = make(map[int64]int64)
+	}
+	if _, ok := d.dedupO[origin]; !ok {
+		d.dedupO[origin] = 0
+		d.origins = append(d.origins, origin)
+	}
 }
 
 // LaneStats is a point-in-time snapshot of a durable lane endpoint.
 type LaneStats struct {
 	Journaled  int   // unacknowledged entries in the sender journal
 	LastSent   int64 // highest sequence sent
+	Sent       int64 // frames ever journaled, across all origins (monotone)
 	Acked      int64 // highest cumulative ack received (sender side)
 	EOSPending bool  // sender saw EOS but the receiver has not confirmed it
+	Parked     bool  // the connection is down; unreplayed entries are off the wire
 	Dedup      int64 // receiver's highest injected origin sequence
 	Dups       int64 // duplicate frames the receiver dropped
 	Replays    int64 // journal entries re-sent across redials
@@ -141,9 +182,10 @@ func NewDurableTCPListenerLink(addr string, rxSched *uthread.Scheduler, rxNode s
 func (l *TCPLink) Durable() bool { return l.dur != nil }
 
 // SetOnAck installs a callback fired (outside the link lock) whenever the
-// sender receives a new cumulative ack.  The graph layer uses it to chain
-// acknowledgements backwards through a re-placeable segment.
-func (l *TCPLink) SetOnAck(fn func(seq int64)) {
+// sender receives a new cumulative ack (per origin; origin 0 on unmerged
+// flows).  The graph layer uses it to chain acknowledgements backwards
+// through a re-placeable segment.
+func (l *TCPLink) SetOnAck(fn func(origin, seq int64)) {
 	l.mu.Lock()
 	l.dur.onAck = fn
 	l.mu.Unlock()
@@ -160,8 +202,10 @@ func (l *TCPLink) LaneStats() LaneStats {
 	return LaneStats{
 		Journaled:  len(d.journal),
 		LastSent:   d.lastSent,
+		Sent:       d.sent,
 		Acked:      d.acked,
 		EOSPending: d.eosPend && !d.eosAcked,
+		Parked:     l.conn == nil,
 		Dedup:      d.dedup.Load(),
 		Dups:       d.dups.Load(),
 		Replays:    d.replays,
@@ -174,9 +218,9 @@ func (l *TCPLink) LaneStats() LaneStats {
 // deadlocks on a dead peer.  A write error parks the connection — the frame
 // is journaled, a later Redial replays it — so the pipeline keeps producing
 // into the journal while the lane is down.
-func (l *TCPLink) sendDurable(ctx *core.Ctx, seq int64, data []byte, prio uthread.Priority) error {
+func (l *TCPLink) sendDurable(ctx *core.Ctx, origin, seq int64, data []byte, prio uthread.Priority) error {
 	detaching := ctx.Detaching
-	return l.sendDurableWith(ctx.Thread(), ctx.Stopping, detaching, seq, data, prio)
+	return l.sendDurableWith(ctx.Thread(), ctx.Stopping, detaching, origin, seq, data, prio)
 }
 
 // never is the nil-callback fallback for sendDurableWith: package-level so
@@ -184,7 +228,7 @@ func (l *TCPLink) sendDurable(ctx *core.Ctx, seq int64, data []byte, prio uthrea
 func never() bool { return false }
 
 //ipvet:hotpath durable-lane send: journal append + framed write per item
-func (l *TCPLink) sendDurableWith(t *uthread.Thread, stopping, detaching func() bool, seq int64, data []byte, prio uthread.Priority) error {
+func (l *TCPLink) sendDurableWith(t *uthread.Thread, stopping, detaching func() bool, origin, seq int64, data []byte, prio uthread.Priority) error {
 	if stopping == nil {
 		stopping = never
 	}
@@ -198,10 +242,14 @@ func (l *TCPLink) sendDurableWith(t *uthread.Thread, stopping, detaching func() 
 			l.mu.Unlock()
 			return core.ErrStopped
 		}
-		if seq <= d.lastSent {
+		last := d.lastSent
+		if origin != 0 {
+			last = d.lastSentO[origin]
+		}
+		if seq <= last {
 			l.mu.Unlock()
 			//ipvet:allow hotalloc misuse error path, never taken in steady state
-			return fmt.Errorf("netpipe: durable lane: sequence %d not above %d (durable lanes need monotone origin sequences; merges break them)", seq, d.lastSent)
+			return fmt.Errorf("netpipe: durable lane: origin %d sequence %d not above %d (durable lanes need per-origin monotone sequences)", origin, seq, last)
 		}
 		if len(d.journal) < d.cfg.JournalLimit || (stopping() && detaching()) {
 			// Journal a copy (items are pooled; the payload buffer is
@@ -217,9 +265,18 @@ func (l *TCPLink) sendDurableWith(t *uthread.Thread, stopping, detaching func() 
 				pb = prioByte(prio)
 			}
 			//ipvet:allow hotalloc journal copy reuses acked buffers; it allocates only until the free pool warms up
-			d.journal = append(d.journal, laneEntry{seq: seq, prio: pb, data: append(buf, data...)})
-			d.lastSent = seq
-			_ = l.writeDataSeqFrameLocked(pb, seq, data)
+			d.journal = append(d.journal, laneEntry{origin: origin, seq: seq, prio: pb, data: append(buf, data...)})
+			d.sent++
+			if origin == 0 {
+				d.lastSent = seq
+			} else {
+				if d.lastSentO == nil {
+					//ipvet:allow hotalloc lazy per-origin watermark map; allocated once per lane when the first merged origin appears, not per frame
+					d.lastSentO = make(map[int64]int64)
+				}
+				d.lastSentO[origin] = seq
+			}
+			_ = l.writeDataFrameLocked(pb, origin, seq, data)
 			l.mu.Unlock()
 			return nil
 		}
@@ -305,20 +362,28 @@ func (l *TCPLink) writeSeqFrameLocked(tag byte, seq int64, payload []byte) error
 	return nil
 }
 
-// writeDataSeqFrameLocked writes one durable data frame, choosing the
-// untagged format for default-priority traffic (prio byte 0 — the wire stays
-// byte-identical to a QoS-unaware sender) and the priority-tagged format
+// writeDataFrameLocked writes one durable data frame, choosing among the
+// four durable formats: origin-less for unmerged flows (origin 0 — the wire
+// stays byte-identical to a merge-unaware sender), origin-qualified below a
+// merge, each untagged for default-priority traffic and priority-tagged
 // otherwise.
 //
 //ipvet:hotpath per-frame durable data write
-func (l *TCPLink) writeDataSeqFrameLocked(prio byte, seq int64, payload []byte) error {
-	if prio == 0 {
+func (l *TCPLink) writeDataFrameLocked(prio byte, origin, seq int64, payload []byte) error {
+	if origin == 0 && prio == 0 {
 		return l.writeSeqFrameLocked(frameDataSeq, seq, payload)
 	}
 	if l.conn == nil {
 		return ErrNoConn
 	}
-	l.txBuf = encodeSeqPrioFrame(l.txBuf[:0], frameDataSeqPrio, prio, seq, payload)
+	switch {
+	case origin == 0:
+		l.txBuf = encodeSeqPrioFrame(l.txBuf[:0], frameDataSeqPrio, prio, seq, payload)
+	case prio == 0:
+		l.txBuf = encodeOSeqFrame(l.txBuf[:0], frameDataOSeq, origin, seq, payload)
+	default:
+		l.txBuf = encodeOSeqPrioFrame(l.txBuf[:0], frameDataOSeqPrio, prio, origin, seq, payload)
+	}
 	l.armWriteDeadlineLocked()
 	if _, err := l.conn.Write(l.txBuf); err != nil {
 		l.conn.Close()
@@ -329,8 +394,9 @@ func (l *TCPLink) writeDataSeqFrameLocked(prio byte, seq int64, payload []byte) 
 	return nil
 }
 
-// writeAckLocked writes a cumulative ack on the receiver's connection,
-// reporting success.  Failures are left for the reconnect handshake.
+// writeAckLocked writes a cumulative origin-0 ack on the receiver's
+// connection, reporting success.  Failures are left for the reconnect
+// handshake.
 //
 //ipvet:hotpath ack write; runs once per consumed item on the receiver
 func (l *TCPLink) writeAckLocked(seq int64) bool {
@@ -343,17 +409,44 @@ func (l *TCPLink) writeAckLocked(seq int64) bool {
 	return err == nil
 }
 
-// handshakeAckLocked is the watermark re-announced to a (re)connecting
-// sender, so it trims its journal before replaying.
-func (l *TCPLink) handshakeAckLocked() int64 {
+// writeAckOLocked writes a cumulative per-origin ack, reporting success.
+//
+//ipvet:hotpath per-origin ack write on the receiver's ack cadence
+func (l *TCPLink) writeAckOLocked(origin, seq int64) bool {
+	if l.conn == nil {
+		return false
+	}
+	l.txBuf = encodeOSeqFrame(l.txBuf[:0], frameAckO, origin, seq, nil)
+	l.armWriteDeadlineLocked()
+	_, err := l.conn.Write(l.txBuf)
+	return err == nil
+}
+
+// writeHandshakeLocked re-announces the consumed watermarks to a
+// (re)connecting sender, so it trims its journal before replaying: the
+// origin-0 watermark (or the global terminal ackAll), then one per-origin
+// ack for every origin this receiver has seen.
+func (l *TCPLink) writeHandshakeLocked() {
 	d := l.dur
 	if d.finalAcked {
-		return ackAll
+		l.writeAckLocked(ackAll)
+		return
 	}
 	if d.cfg.Chained {
-		return d.chainAck
+		l.writeAckLocked(d.chainAck)
+		for _, o := range d.origins {
+			if w := d.chainAckO[o]; w > 0 {
+				l.writeAckOLocked(o, w)
+			}
+		}
+		return
 	}
-	return d.ackAnchor.Load()
+	l.writeAckLocked(d.ackAnchor.Load())
+	for _, o := range d.origins {
+		if w := d.anchorO[o]; w > 0 {
+			l.writeAckOLocked(o, w)
+		}
+	}
 }
 
 // ackLoop reads cumulative acks off a sender connection until it dies.
@@ -371,43 +464,62 @@ func (l *TCPLink) ackLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, body); err != nil {
 			return
 		}
-		if body[0] != frameAck || len(body) < 9 {
-			continue
+		switch {
+		case body[0] == frameAck && len(body) >= 9:
+			l.applyAck(0, int64(binary.BigEndian.Uint64(body[1:9])))
+		case body[0] == frameAckO && len(body) >= 17:
+			l.applyAck(int64(binary.BigEndian.Uint64(body[1:9])), int64(binary.BigEndian.Uint64(body[9:17])))
 		}
-		l.applyAck(int64(binary.BigEndian.Uint64(body[1:9])))
 	}
 }
 
-// applyAck trims the journal up to a cumulative ack and wakes blocked
-// senders.  ackAll confirms the EOS too, emptying the journal.
+// applyAck trims the journal up to a cumulative per-origin ack and wakes
+// blocked senders.  ackAll (always origin 0) confirms the EOS too, emptying
+// the journal.
 //
 //ipvet:hotpath journal trim; runs on every ack the sender receives
-func (l *TCPLink) applyAck(seq int64) {
+func (l *TCPLink) applyAck(origin, seq int64) {
 	d := l.dur
 	l.mu.Lock()
 	switch {
-	case seq == ackAll:
+	case origin == 0 && seq == ackAll:
 		d.eosAcked = true
 		d.acked = d.lastSent
+		for o, s := range d.lastSentO {
+			d.ackedO[o] = s
+		}
 		for i := range d.journal {
 			d.recycle(d.journal[i].data)
 			d.journal[i] = laneEntry{}
 		}
 		d.journal = d.journal[:0]
-	case seq > d.acked:
+	case origin == 0 && seq > d.acked:
 		d.acked = seq
-		i := 0
-		for i < len(d.journal) && d.journal[i].seq <= seq {
-			d.recycle(d.journal[i].data)
-			i++
-		}
-		if i > 0 {
-			n := copy(d.journal, d.journal[i:])
-			for j := n; j < len(d.journal); j++ {
-				d.journal[j] = laneEntry{}
+		if d.lastSentO == nil {
+			// Unmerged flow: the journal is sorted by seq, so the trim is a
+			// prefix cut that stops at the first unacknowledged entry.
+			i := 0
+			for i < len(d.journal) && d.journal[i].seq <= seq {
+				d.recycle(d.journal[i].data)
+				i++
 			}
-			d.journal = d.journal[:n]
+			if i > 0 {
+				n := copy(d.journal, d.journal[i:])
+				for j := n; j < len(d.journal); j++ {
+					d.journal[j] = laneEntry{}
+				}
+				d.journal = d.journal[:n]
+			}
+		} else {
+			d.trimJournalLocked()
 		}
+	case origin != 0 && seq > d.ackedO[origin]:
+		if d.ackedO == nil {
+			//ipvet:allow hotalloc lazy per-origin ack map; allocated once per lane on the first merged-origin ack, not per frame
+			d.ackedO = make(map[int64]int64)
+		}
+		d.ackedO[origin] = seq
+		d.trimJournalLocked()
 	default:
 		l.mu.Unlock()
 		return
@@ -419,8 +531,33 @@ func (l *TCPLink) applyAck(seq int64) {
 		w.Wake(msgNetWake)
 	}
 	if cb != nil {
-		cb(seq)
+		cb(origin, seq)
 	}
+}
+
+// trimJournalLocked drops every journal entry at or below its origin's ack
+// watermark.  Merged flows interleave origins in the (send-ordered) journal,
+// so the trim is a filter rather than a prefix cut; acks arrive on a cadence,
+// not per frame, which bounds the amortized cost.
+func (d *durable) trimJournalLocked() {
+	n := 0
+	for i := range d.journal {
+		e := &d.journal[i]
+		acked := d.acked
+		if e.origin != 0 {
+			acked = d.ackedO[e.origin]
+		}
+		if e.seq <= acked {
+			d.recycle(e.data)
+			continue
+		}
+		d.journal[n] = *e
+		n++
+	}
+	for j := n; j < len(d.journal); j++ {
+		d.journal[j] = laneEntry{}
+	}
+	d.journal = d.journal[:n]
 }
 
 // replayLocked re-sends every journaled frame (and a pending EOS) on the
@@ -428,8 +565,8 @@ func (l *TCPLink) applyAck(seq int64) {
 func (l *TCPLink) replayLocked() error {
 	d := l.dur
 	for _, e := range d.journal {
-		if err := l.writeDataSeqFrameLocked(e.prio, e.seq, e.data); err != nil {
-			return fmt.Errorf("netpipe: durable replay seq %d: %w", e.seq, err)
+		if err := l.writeDataFrameLocked(e.prio, e.origin, e.seq, e.data); err != nil {
+			return fmt.Errorf("netpipe: durable replay origin %d seq %d: %w", e.origin, e.seq, err)
 		}
 		d.replays++
 	}
@@ -448,41 +585,62 @@ func (l *TCPLink) deregisterTx(tok uint64) bool {
 }
 
 // popDurable pulls the next frame on the receiver side and drives the ack
-// protocol.  The ack anchor is the *previous* popped sequence: pulling item
+// protocol.  The ack anchor is the *previous* popped frame: pulling item
 // K+1 proves item K fully traversed the (single-pump) receiving pipeline, so
 // acknowledging K never confirms an item that could still be lost with the
-// pipeline.  A multi-pump receiver (a buffer in the segment) breaks that
+// pipeline.  The pipeline is FIFO regardless of origin, so popping any frame
+// promotes the previous one — whatever its origin — to that origin's ackable
+// watermark.  A multi-pump receiver (a buffer in the segment) breaks the
 // proof — the graph layer enforces the assumption by refusing to re-place
 // such segments when their inbound lane self-acks (see graph replaceable).
 // Chained listeners do not self-ack — their watermark arrives via PushAck
 // from the downstream lane.
 //
 //ipvet:hotpath durable-lane receive: inbox pop + self-ack per item
-func (l *TCPLink) popDurable(t *uthread.Thread, stopping func() bool) (int64, []byte, error) {
-	seq, data, err := l.inbox.popSeqWith(t, stopping)
+func (l *TCPLink) popDurable(t *uthread.Thread, stopping func() bool) (int64, int64, []byte, error) {
+	origin, seq, data, err := l.inbox.popSeqWith(t, stopping)
 	if err != nil {
 		if err == core.ErrEOS {
 			l.ackEOS()
 		}
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	d := l.dur
-	d.ackAnchor.Store(d.lastPopped)
-	d.lastPopped = seq
+	if d.lastPoppedO == 0 {
+		d.ackAnchor.Store(d.lastPopped)
+	} else {
+		// Merged flows pay the lock on the anchor promotion; the origin-0
+		// fast path above stays lock-free.
+		l.mu.Lock()
+		d.originSeen(d.lastPoppedO)
+		d.anchorO[d.lastPoppedO] = d.lastPopped
+		l.mu.Unlock()
+	}
+	d.lastPopped, d.lastPoppedO = seq, origin
 	if !d.cfg.Chained {
 		d.sinceAck++
 		if d.sinceAck >= d.cfg.AckEvery {
 			// The lock is only taken on the ack cadence, not per pop.
 			anchor := d.ackAnchor.Load()
 			l.mu.Lock()
+			wrote := false
 			if anchor > d.lastAck && l.writeAckLocked(anchor) {
 				d.lastAck = anchor
+				wrote = true
+			}
+			for _, o := range d.origins {
+				if a := d.anchorO[o]; a > d.lastAckO[o] && l.writeAckOLocked(o, a) {
+					d.lastAckO[o] = a
+					wrote = true
+				}
+			}
+			if wrote {
 				d.sinceAck = 0
 			}
 			l.mu.Unlock()
 		}
 	}
-	return seq, data, nil
+	return origin, seq, data, nil
 }
 
 // ackEOS sends the final cumulative ack once the stream genuinely ended (a
@@ -498,11 +656,12 @@ func (l *TCPLink) ackEOS() {
 	l.mu.Unlock()
 }
 
-// PushAck feeds a downstream ack watermark into a chained listener, which
-// forwards it to its own sender: the upstream journal then covers exactly
-// what has not been consumed at the end of the chain.  ackAll (from
-// AckAllSeq) marks the whole stream drained downstream.
-func (l *TCPLink) PushAck(seq int64) {
+// PushAck feeds a downstream per-origin ack watermark into a chained
+// listener, which forwards it to its own sender: the upstream journal then
+// covers exactly what has not been consumed at the end of the chain.  ackAll
+// (from AckAllSeq, always origin 0) marks the whole stream drained
+// downstream.
+func (l *TCPLink) PushAck(origin, seq int64) {
 	if l.dur == nil || l.inbox == nil {
 		return
 	}
@@ -512,15 +671,24 @@ func (l *TCPLink) PushAck(seq int64) {
 		l.mu.Unlock()
 		return
 	}
-	if seq == ackAll {
+	switch {
+	case origin == 0 && seq == ackAll:
 		if !d.finalAcked {
 			d.finalAcked = true
 			_ = l.writeAckLocked(ackAll)
 		}
-	} else if seq > d.chainAck {
+	case origin == 0 && seq > d.chainAck:
 		d.chainAck = seq
 		if l.writeAckLocked(seq) {
 			d.lastAck = seq
+		}
+	case origin != 0:
+		d.originSeen(origin)
+		if seq > d.chainAckO[origin] {
+			d.chainAckO[origin] = seq
+			if l.writeAckOLocked(origin, seq) {
+				d.lastAckO[origin] = seq
+			}
 		}
 	}
 	l.mu.Unlock()

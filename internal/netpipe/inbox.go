@@ -12,10 +12,12 @@ import (
 const msgNetWake uthread.Kind = uthread.KindUserBase + 40
 
 // frameEntry is one queued inbound frame.  seq is zero on plain lanes and
-// the origin-assigned item sequence on durable lanes.
+// the source-assigned item sequence on durable lanes; origin is the item's
+// merge provenance (zero on unmerged flows).
 type frameEntry struct {
-	seq  int64
-	data []byte
+	origin int64
+	seq    int64
+	data   []byte
 }
 
 // inbox is the receiver-side frame queue of a netpipe: packets are injected
@@ -83,12 +85,12 @@ func (b *inbox) injectPrio(data []byte, wakeAt uthread.Priority) {
 // sender through TCP flow control instead of dropping frames.  Reports
 // false when the inbox closed before the frame could be queued.
 func (b *inbox) injectSeqWait(seq int64, data []byte) bool {
-	return b.injectSeqPrioWait(seq, data, uthread.PriorityHigh)
+	return b.injectSeqPrioWait(0, seq, data, uthread.PriorityHigh)
 }
 
-// injectSeqPrioWait is injectSeqWait with an explicit wake constraint (see
-// injectPrio).
-func (b *inbox) injectSeqPrioWait(seq int64, data []byte, wakeAt uthread.Priority) bool {
+// injectSeqPrioWait is injectSeqWait with an explicit origin and wake
+// constraint (see injectPrio).
+func (b *inbox) injectSeqPrioWait(origin, seq int64, data []byte, wakeAt uthread.Priority) bool {
 	b.mu.Lock()
 	for !b.closed && b.blockFull && b.limit > 0 && len(b.q) >= b.limit {
 		if b.pushCond == nil {
@@ -101,7 +103,7 @@ func (b *inbox) injectSeqPrioWait(seq int64, data []byte, wakeAt uthread.Priorit
 		b.drops.Inc()
 		return false
 	}
-	b.q = append(b.q, frameEntry{seq: seq, data: data})
+	b.q = append(b.q, frameEntry{origin: origin, seq: seq, data: data})
 	w, ok := b.waiters.PopFront()
 	b.mu.Unlock()
 	if ok {
@@ -141,7 +143,7 @@ func (b *inbox) closeWith(stopped bool) {
 // Returns core.ErrEOS after close and drain, core.ErrStopped on pipeline
 // shutdown.
 func (b *inbox) pop(ctx *core.Ctx) ([]byte, error) {
-	_, data, err := b.popSeqWith(ctx.Thread(), ctx.Stopping)
+	_, _, data, err := b.popSeqWith(ctx.Thread(), ctx.Stopping)
 	return data, err
 }
 
@@ -149,16 +151,17 @@ func (b *inbox) pop(ctx *core.Ctx) ([]byte, error) {
 // blocking protocol can be exercised (and tested) without a composed
 // pipeline.  stopping may be nil.
 func (b *inbox) popWith(t *uthread.Thread, stopping func() bool) ([]byte, error) {
-	_, data, err := b.popSeqWith(t, stopping)
+	_, _, data, err := b.popSeqWith(t, stopping)
 	return data, err
 }
 
-// popSeq is pop returning the frame's lane sequence alongside the data.
-func (b *inbox) popSeq(ctx *core.Ctx) (int64, []byte, error) {
+// popSeq is pop returning the frame's origin and lane sequence alongside
+// the data.
+func (b *inbox) popSeq(ctx *core.Ctx) (int64, int64, []byte, error) {
 	return b.popSeqWith(ctx.Thread(), ctx.Stopping)
 }
 
-func (b *inbox) popSeqWith(t *uthread.Thread, stopping func() bool) (int64, []byte, error) {
+func (b *inbox) popSeqWith(t *uthread.Thread, stopping func() bool) (int64, int64, []byte, error) {
 	if stopping == nil {
 		stopping = func() bool { return false }
 	}
@@ -171,24 +174,24 @@ func (b *inbox) popSeqWith(t *uthread.Thread, stopping func() bool) (int64, []by
 				b.pushCond.Signal()
 			}
 			b.mu.Unlock()
-			return e.seq, e.data, nil
+			return e.origin, e.seq, e.data, nil
 		}
 		if b.closed {
 			stopped := b.stopped
 			b.mu.Unlock()
 			if stopped {
-				return 0, nil, core.ErrStopped
+				return 0, 0, nil, core.ErrStopped
 			}
-			return 0, nil, core.ErrEOS
+			return 0, 0, nil, core.ErrEOS
 		}
 		if stopping() {
 			b.mu.Unlock()
-			return 0, nil, core.ErrStopped
+			return 0, 0, nil, core.ErrStopped
 		}
 		tok := b.waiters.Register(t)
 		b.mu.Unlock()
 		if err := core.AwaitWake(t, msgNetWake, tok, stopping, b.deregister); err != nil {
-			return 0, nil, err
+			return 0, 0, nil, err
 		}
 	}
 }

@@ -38,6 +38,7 @@ type Marshaller interface {
 // wireItem is the gob representation of an item.
 type wireItem struct {
 	Seq     int64
+	Origin  int64
 	Created time.Time
 	Size    int
 	Attrs   map[string]any
@@ -65,7 +66,7 @@ func RegisterPayload(v any) { gob.Register(v) }
 // Marshal implements Marshaller.
 func (GobMarshaller) Marshal(it *item.Item) ([]byte, error) {
 	var buf bytes.Buffer
-	w := wireItem{Seq: it.Seq, Created: it.Created, Size: it.Size, Attrs: it.Attrs, Payload: it.Payload}
+	w := wireItem{Seq: it.Seq, Origin: it.Origin, Created: it.Created, Size: it.Size, Attrs: it.Attrs, Payload: it.Payload}
 	if err := gob.NewEncoder(&buf).Encode(&w); err != nil {
 		return nil, fmt.Errorf("netpipe: marshal item seq %d: %w", it.Seq, err)
 	}
@@ -78,7 +79,7 @@ func (GobMarshaller) Unmarshal(data []byte) (*item.Item, error) {
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
 		return nil, fmt.Errorf("netpipe: unmarshal: %w", err)
 	}
-	return &item.Item{Seq: w.Seq, Created: w.Created, Size: w.Size, Attrs: w.Attrs, Payload: w.Payload}, nil
+	return &item.Item{Seq: w.Seq, Origin: w.Origin, Created: w.Created, Size: w.Size, Attrs: w.Attrs, Payload: w.Payload}, nil
 }
 
 // NewMarshalFilter returns the producer-side marshalling filter (§2.4): a
@@ -117,6 +118,7 @@ func (f *marshalFilter) Convert(_ *core.Ctx, it *item.Item) (*item.Item, error) 
 		return nil, err
 	}
 	out := item.New(data, it.Seq, it.Created).WithSize(len(data))
+	out.Origin = it.Origin // durable lanes journal on the (Origin, Seq) pair
 	// Synthetic payloads declare a nominal byte size without carrying the
 	// bytes; keep the larger figure so netpipes account bandwidth for the
 	// flow the payload represents.
@@ -191,6 +193,15 @@ const (
 	// wire format byte-for-byte.
 	frameDataPrio    byte = 6 // [prio][payload]
 	frameDataSeqPrio byte = 7 // [prio][8-byte seq][payload], durable lanes
+	// Origin-qualified durable frames, used downstream of a merge: a merge
+	// interleaves its branches' sequence numbers, so the lane journals and
+	// acknowledges the (origin, seq) PAIR instead of the bare sequence.
+	// Senders emit these only for items whose Origin is non-zero, so every
+	// flow that never crossed a merge keeps the origin-less wire format
+	// byte-for-byte.
+	frameDataOSeq     byte = 8  // [8-byte origin][8-byte seq][payload]
+	frameDataOSeqPrio byte = 9  // [prio][8-byte origin][8-byte seq][payload]
+	frameAckO         byte = 10 // [8-byte origin][8-byte seq], receiver→sender
 )
 
 // ackAll is the cumulative ack value meaning "everything, including the
@@ -224,6 +235,36 @@ func encodePrioFrame(dst []byte, tag, prio byte, payload []byte) []byte {
 func encodeSeqPrioFrame(dst []byte, tag, prio byte, seq int64, payload []byte) []byte {
 	dst = append(dst, 0, 0, 0, 0, tag, prio, 0, 0, 0, 0, 0, 0, 0, 0)
 	binary.BigEndian.PutUint32(dst[len(dst)-14:], uint32(len(payload)+10))
+	binary.BigEndian.PutUint64(dst[len(dst)-8:], uint64(seq))
+	return append(dst, payload...)
+}
+
+// encodeOSeqFrame appends a length-prefixed frame whose body is
+// [tag][8-byte origin][8-byte seq][payload] — the origin-qualified durable
+// data frame (also encodes frameAckO with an empty payload).
+//
+//ipvet:hotpath per-item durable framing downstream of a merge
+func encodeOSeqFrame(dst []byte, tag byte, origin, seq int64, payload []byte) []byte {
+	dst = append(dst, 0, 0, 0, 0, tag,
+		0, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(dst[len(dst)-21:], uint32(len(payload)+17))
+	binary.BigEndian.PutUint64(dst[len(dst)-16:], uint64(origin))
+	binary.BigEndian.PutUint64(dst[len(dst)-8:], uint64(seq))
+	return append(dst, payload...)
+}
+
+// encodeOSeqPrioFrame appends a length-prefixed frame whose body is
+// [tag][prio][8-byte origin][8-byte seq][payload] — the QoS-tagged
+// origin-qualified durable data frame.
+//
+//ipvet:hotpath per-item durable framing downstream of a merge
+func encodeOSeqPrioFrame(dst []byte, tag, prio byte, origin, seq int64, payload []byte) []byte {
+	dst = append(dst, 0, 0, 0, 0, tag, prio,
+		0, 0, 0, 0, 0, 0, 0, 0,
+		0, 0, 0, 0, 0, 0, 0, 0)
+	binary.BigEndian.PutUint32(dst[len(dst)-22:], uint32(len(payload)+18))
+	binary.BigEndian.PutUint64(dst[len(dst)-16:], uint64(origin))
 	binary.BigEndian.PutUint64(dst[len(dst)-8:], uint64(seq))
 	return append(dst, payload...)
 }

@@ -134,11 +134,11 @@ func TestDurableJournalKeepsPriority(t *testing.T) {
 
 	var sendErr error
 	th := sched.Spawn("send", uthread.PriorityHigh, func(th *uthread.Thread, m uthread.Message) uthread.Disposition {
-		if err := tx.sendDurableWith(th, nil, nil, 1, []byte("tagged"), uthread.PriorityHigh); err != nil {
+		if err := tx.sendDurableWith(th, nil, nil, 0, 1, []byte("tagged"), uthread.PriorityHigh); err != nil {
 			sendErr = err
 			return uthread.Terminate
 		}
-		sendErr = tx.sendDurableWith(th, nil, nil, 2, []byte("plain"), uthread.PriorityNormal)
+		sendErr = tx.sendDurableWith(th, nil, nil, 0, 2, []byte("plain"), uthread.PriorityNormal)
 		return uthread.Terminate
 	})
 	sched.Post(th, uthread.Message{Kind: kindTestKick})

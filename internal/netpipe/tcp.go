@@ -134,9 +134,10 @@ func (l *TCPLink) acceptAndRead(ln net.Listener) {
 		}
 		if l.dur != nil {
 			l.dur.wdUntil = time.Time{} // fresh connection, no deadline armed
-			// Handshake: re-announce the consumed watermark so a fresh or
-			// reconnecting sender trims its journal before replaying.
-			l.writeAckLocked(l.handshakeAckLocked())
+			// Handshake: re-announce the consumed watermarks (origin 0 plus
+			// one per merge origin seen) so a fresh or reconnecting sender
+			// trims its journal before replaying.
+			l.writeHandshakeLocked()
 		}
 		l.mu.Unlock()
 		if !l.resumable {
@@ -251,7 +252,31 @@ func (l *TCPLink) readFrames(conn net.Conn) bool {
 				continue // replayed frame the pipeline already consumed
 			}
 			l.dur.dedup.Store(seq)
-			if !l.inbox.injectSeqPrioWait(seq, body[10:], core.WakePrio(uthread.Priority(body[1]))) {
+			if !l.inbox.injectSeqPrioWait(0, seq, body[10:], core.WakePrio(uthread.Priority(body[1]))) {
+				return false // link closing
+			}
+		case frameDataOSeq:
+			if l.dur == nil || len(body) < 17 {
+				return true
+			}
+			origin := int64(binary.BigEndian.Uint64(body[1:9]))
+			seq := int64(binary.BigEndian.Uint64(body[9:17]))
+			if !l.passOSeq(origin, seq) {
+				continue // replayed frame the pipeline already consumed
+			}
+			if !l.inbox.injectSeqPrioWait(origin, seq, body[17:], uthread.PriorityHigh) {
+				return false // link closing
+			}
+		case frameDataOSeqPrio:
+			if l.dur == nil || len(body) < 18 {
+				return true
+			}
+			origin := int64(binary.BigEndian.Uint64(body[2:10]))
+			seq := int64(binary.BigEndian.Uint64(body[10:18]))
+			if !l.passOSeq(origin, seq) {
+				continue // replayed frame the pipeline already consumed
+			}
+			if !l.inbox.injectSeqPrioWait(origin, seq, body[18:], core.WakePrio(uthread.Priority(body[1]))) {
 				return false // link closing
 			}
 		case frameEOSSeq:
@@ -262,12 +287,33 @@ func (l *TCPLink) readFrames(conn net.Conn) bool {
 			l.dur.eosSeen = true
 			l.mu.Unlock()
 			return true
-		case frameAck:
+		case frameAck, frameAckO:
 			// Receiver side never expects acks; tolerate and move on.
 		default:
 			return true
 		}
 	}
+}
+
+// passOSeq advances the per-origin dedup watermark for one inbound frame,
+// reporting whether the frame is new.  Frames on one connection arrive in
+// order, so advancing before injecting is safe (nothing overtakes, and a
+// failed inject means the link is closing).  Merged flows pay the link lock
+// here; the origin-0 path keeps its lock-free atomic watermark.
+//
+//ipvet:hotpath per-frame dedup below a merge
+func (l *TCPLink) passOSeq(origin, seq int64) bool {
+	d := l.dur
+	l.mu.Lock()
+	d.originSeen(origin)
+	if seq <= d.dedupO[origin] {
+		l.mu.Unlock()
+		d.dups.Add(1)
+		return false
+	}
+	d.dedupO[origin] = seq
+	l.mu.Unlock()
+	return true
 }
 
 // send writes one frame on the sender side, reusing the link's transmit
@@ -447,9 +493,9 @@ func (s *tcpSink) Push(ctx *core.Ctx, it *item.Item) error {
 	}
 	var err error
 	if s.link.dur != nil {
-		// The marshal filter preserved the item's origin sequence — the
-		// durable lane journals and dedups on it end to end.
-		err = s.link.sendDurable(ctx, it.Seq, data, prio)
+		// The marshal filter preserved the item's origin and sequence — the
+		// durable lane journals and dedups on the pair end to end.
+		err = s.link.sendDurable(ctx, it.Origin, it.Seq, data, prio)
 	} else if prio != uthread.PriorityNormal {
 		err = s.link.sendPrio(prio, data)
 	} else {
@@ -508,11 +554,13 @@ func (s *tcpSource) TransformSpec(in typespec.Typespec) typespec.Typespec {
 // Pull implements core.Producer.
 func (s *tcpSource) Pull(ctx *core.Ctx) (*item.Item, error) {
 	if s.link.dur != nil {
-		seq, data, err := s.link.popDurable(ctx.Thread(), ctx.Stopping)
+		origin, seq, data, err := s.link.popDurable(ctx.Thread(), ctx.Stopping)
 		if err != nil {
 			return nil, err
 		}
-		return item.New(data, seq, ctx.Now()).WithSize(len(data)), nil
+		it := item.New(data, seq, ctx.Now()).WithSize(len(data))
+		it.Origin = origin
+		return it, nil
 	}
 	data, err := s.link.inbox.pop(ctx)
 	if err != nil {

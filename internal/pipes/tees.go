@@ -23,9 +23,21 @@ func nsToDuration(ns int64) time.Duration { return time.Duration(ns) }
 
 // CopyTee is the multicast splitter: every incoming item is copied to each
 // output (§2.1 "copying items to each output (multicast)").
+//
+// Ports can be added and detached at runtime (AddOut/DetachOut) — the live
+// graph-edit surface.  Both mutate the port table without a lock, so they
+// are only safe while every pipeline touching the tee is quiesced (detached
+// at a pump-cycle boundary with its threads joined); Deployment.Edit
+// provides exactly that window.
 type CopyTee struct {
 	core.Base
-	outs []*BoundedBuffer
+	outs     []*BoundedBuffer
+	detached []bool
+	lastLive int  // highest attached port: gets the original, not a clone
+	ended    bool // trunk EOS seen: late-attached ports close immediately
+	capacity int
+	push     typespec.BlockPolicy
+	pull     typespec.BlockPolicy
 }
 
 var (
@@ -36,11 +48,60 @@ var (
 // NewCopyTee builds a splitter with n outputs backed by buffers of the
 // given capacity and blocking policies.
 func NewCopyTee(name string, n, capacity int, push, pull typespec.BlockPolicy) *CopyTee {
-	t := &CopyTee{Base: core.Base{CompName: name}}
+	t := &CopyTee{Base: core.Base{CompName: name}, capacity: capacity, push: push, pull: pull}
 	for i := 0; i < n; i++ {
 		t.outs = append(t.outs, NewBufferPolicy(fmt.Sprintf("%s.out%d", name, i), capacity, push, pull))
 	}
+	t.detached = make([]bool, n)
+	t.lastLive = n - 1
 	return t
+}
+
+// AddOut grows the tee by one output port and returns its index.  If the
+// trunk has already ended, the new port is born closed so a late-attached
+// branch drains straight to a clean end of stream.  Quiesce-only: see the
+// type comment.
+func (t *CopyTee) AddOut() int {
+	i := len(t.outs)
+	b := NewBufferPolicy(fmt.Sprintf("%s.out%d", t.Name(), i), t.capacity, t.push, t.pull)
+	t.outs = append(t.outs, b)
+	t.detached = append(t.detached, false)
+	t.lastLive = i
+	if t.ended {
+		b.CloseUpstream()
+	}
+	return i
+}
+
+// DetachOut tombstones port i: the trunk stops feeding it and its buffer is
+// closed upstream, so the leaving branch drains what it holds and then sees
+// a clean end of stream.  Ports are never renumbered; the last attached port
+// cannot be detached.  Quiesce-only: see the type comment.
+func (t *CopyTee) DetachOut(i int) error {
+	if i < 0 || i >= len(t.outs) {
+		return fmt.Errorf("%s: no out-port %d", t.Name(), i)
+	}
+	if t.detached[i] {
+		return fmt.Errorf("%s: out-port %d already detached", t.Name(), i)
+	}
+	live := 0
+	for j := range t.outs {
+		if !t.detached[j] {
+			live++
+		}
+	}
+	if live == 1 {
+		return fmt.Errorf("%s: cannot detach the last attached out-port", t.Name())
+	}
+	t.detached[i] = true
+	t.lastLive = -1
+	for j := range t.outs {
+		if !t.detached[j] {
+			t.lastLive = j
+		}
+	}
+	t.outs[i].CloseUpstream()
+	return nil
 }
 
 // BindScheduler forwards the scheduler binding to the internal buffers.
@@ -59,8 +120,11 @@ func (t *CopyTee) Style() core.Style { return core.StyleConsumer }
 // no map copies.
 func (t *CopyTee) Push(ctx *core.Ctx, it *item.Item) error {
 	for i, b := range t.outs {
+		if t.detached[i] {
+			continue
+		}
 		out := it
-		if i < len(t.outs)-1 {
+		if i != t.lastLive {
 			out = it.Clone()
 		}
 		if err := b.Insert(ctx, out); err != nil {
@@ -71,9 +135,14 @@ func (t *CopyTee) Push(ctx *core.Ctx, it *item.Item) error {
 }
 
 // HandleEOS implements core.EOSSink: end of the trunk stream closes every
-// branch buffer, so branch pipelines drain and end too.
+// attached branch buffer, so branch pipelines drain and end too.  Detached
+// ports were already closed when they left.
 func (t *CopyTee) HandleEOS(*core.Ctx) {
-	for _, b := range t.outs {
+	t.ended = true
+	for i, b := range t.outs {
+		if t.detached[i] {
+			continue
+		}
 		b.CloseUpstream()
 	}
 }
@@ -105,10 +174,20 @@ func (t *CopyTee) OutPort(i int) core.Component { return t.Out(i) }
 // by the selector (§2.1 "selecting an output for each item (routing)").
 // Per §3.3 the value-routing switch can only work in push style — this type
 // is a consumer and the planner will never drive it by pull without glue.
+// Like CopyTee, ports can be added and detached at runtime (AddOut /
+// DetachOut) under the same quiesce-only contract.  Note that an existing
+// selector keeps choosing among whatever range it was written for: items it
+// routes to a detached port count as misses, and a freshly attached port
+// only receives traffic if the selector already targets its index.
 type RouteTee struct {
 	core.Base
 	selector func(it *item.Item) int
 	outs     []*BoundedBuffer
+	detached []bool
+	ended    bool
+	capacity int
+	push     typespec.BlockPolicy
+	pull     typespec.BlockPolicy
 	misses   int64
 }
 
@@ -121,11 +200,49 @@ var (
 // for each item (out-of-range selections are dropped).
 func NewRouteTee(name string, n, capacity int, push, pull typespec.BlockPolicy,
 	selector func(it *item.Item) int) *RouteTee {
-	t := &RouteTee{Base: core.Base{CompName: name}, selector: selector}
+	t := &RouteTee{Base: core.Base{CompName: name}, selector: selector,
+		capacity: capacity, push: push, pull: pull}
 	for i := 0; i < n; i++ {
 		t.outs = append(t.outs, NewBufferPolicy(fmt.Sprintf("%s.out%d", name, i), capacity, push, pull))
 	}
+	t.detached = make([]bool, n)
 	return t
+}
+
+// AddOut grows the tee by one output port and returns its index.  Born
+// closed if the trunk already ended.  Quiesce-only: see the type comment.
+func (t *RouteTee) AddOut() int {
+	i := len(t.outs)
+	b := NewBufferPolicy(fmt.Sprintf("%s.out%d", t.Name(), i), t.capacity, t.push, t.pull)
+	t.outs = append(t.outs, b)
+	t.detached = append(t.detached, false)
+	if t.ended {
+		b.CloseUpstream()
+	}
+	return i
+}
+
+// DetachOut tombstones port i; the leaving branch drains its buffer and then
+// sees a clean end of stream.  Quiesce-only: see the type comment.
+func (t *RouteTee) DetachOut(i int) error {
+	if i < 0 || i >= len(t.outs) {
+		return fmt.Errorf("%s: no out-port %d", t.Name(), i)
+	}
+	if t.detached[i] {
+		return fmt.Errorf("%s: out-port %d already detached", t.Name(), i)
+	}
+	live := 0
+	for j := range t.outs {
+		if !t.detached[j] {
+			live++
+		}
+	}
+	if live == 1 {
+		return fmt.Errorf("%s: cannot detach the last attached out-port", t.Name())
+	}
+	t.detached[i] = true
+	t.outs[i].CloseUpstream()
+	return nil
 }
 
 // BindScheduler forwards the scheduler binding to the internal buffers.
@@ -147,7 +264,7 @@ func (t *RouteTee) Wrappable() bool { return false }
 // Push implements core.Consumer.
 func (t *RouteTee) Push(ctx *core.Ctx, it *item.Item) error {
 	i := t.selector(it)
-	if i < 0 || i >= len(t.outs) {
+	if i < 0 || i >= len(t.outs) || t.detached[i] {
 		t.misses++
 		return nil
 	}
@@ -156,7 +273,11 @@ func (t *RouteTee) Push(ctx *core.Ctx, it *item.Item) error {
 
 // HandleEOS implements core.EOSSink.
 func (t *RouteTee) HandleEOS(*core.Ctx) {
-	for _, b := range t.outs {
+	t.ended = true
+	for i, b := range t.outs {
+		if t.detached[i] {
+			continue
+		}
 		b.CloseUpstream()
 	}
 }
@@ -266,8 +387,13 @@ var (
 // Style implements core.Component.
 func (m *MergeIn) Style() core.Style { return core.StyleConsumer }
 
-// Push implements core.Consumer.
+// Push implements core.Consumer.  The in-port stamps the item's provenance
+// before it joins the merged flow: (Origin, Seq) stays unique and monotone
+// per origin downstream of the merge, so durable lanes below it can still
+// journal, acknowledge and deduplicate (the merged flow itself interleaves
+// the branches' sequence numbers).
 func (m *MergeIn) Push(ctx *core.Ctx, it *item.Item) error {
+	it.Origin = it.Origin*int64(m.tee.ins+1) + int64(m.idx+1)
 	return m.tee.out.Insert(ctx, it)
 }
 

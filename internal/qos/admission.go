@@ -21,6 +21,7 @@ import (
 type Admission struct {
 	core.Base
 	tenant   *Tenant
+	gen      uint64        // tenant rate generation the cache below was built from
 	interval time.Duration // virtual time per admitted item; 0 = unlimited
 	tol      time.Duration // burst tolerance: interval * (burst-1)
 	tat      time.Time     // theoretical arrival time (bucket state)
@@ -33,11 +34,22 @@ var _ core.Function = (*Admission)(nil)
 // per-tenant items rollup reads it).
 func NewAdmission(name string, tenant *Tenant) *Admission {
 	a := &Admission{Base: core.Base{CompName: name}, tenant: tenant}
-	if tenant.rate > 0 {
-		a.interval = time.Duration(float64(time.Second) / tenant.rate)
-		a.tol = a.interval * time.Duration(tenant.burst-1)
-	}
+	a.reload(tenant.RateGen())
 	return a
+}
+
+// reload recomputes the cached bucket parameters from the tenant's current
+// rate/burst.  The GCRA state (tat) is kept: the theoretical arrival time
+// converges under the new interval within one burst window, so a live rate
+// change neither forgives past over-rate traffic nor punishes conforming
+// flows.
+func (a *Admission) reload(gen uint64) {
+	a.gen = gen
+	a.interval, a.tol = 0, 0
+	if rate := a.tenant.Rate(); rate > 0 {
+		a.interval = time.Duration(float64(time.Second) / rate)
+		a.tol = a.interval * time.Duration(a.tenant.Burst()-1)
+	}
 }
 
 // AdmissionIndex returns the stage index after which a deployment inserts
@@ -78,8 +90,15 @@ func (a *Admission) Style() core.Style { return core.StyleFunction }
 // the producing thread sleeps until the bucket conforms (ShedBlock:
 // source-side backpressure, control events still dispatched while asleep).
 //
+// A live RebindTenant rate change is picked up here: one atomic generation
+// load per item (alloc-free) detects it, and the bucket parameters are
+// recomputed out of line.
+//
 //ipvet:hotpath admission fast path; every source item passes here
 func (a *Admission) Convert(ctx *core.Ctx, it *item.Item) (*item.Item, error) {
+	if g := a.tenant.rateGen.Load(); g != a.gen {
+		a.reload(g)
+	}
 	if a.interval == 0 {
 		a.tenant.admitted.Add(1)
 		return it, nil

@@ -15,6 +15,7 @@ package qos
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -50,15 +51,22 @@ func (p ShedPolicy) String() string {
 // overload reaction; Priority is the static priority of the tenant's pumps
 // (and is carried across shard links and TCP lanes).
 //
-// A Tenant is immutable after creation except for its counters, which the
-// runtime bumps atomically (alloc-free) as items are admitted or shed.
+// Name and shed policy are immutable after creation.  Weight, rate/burst and
+// priority are live-tunable (the RebindTenant edit op): all are stored
+// atomically so the hot paths that consult them (ready-queue admission, the
+// GCRA gate) read without locks, and rateGen versions the rate/burst pair so
+// a running Admission gate reloads its cached bucket parameters with a single
+// extra atomic load per item.  The counters are bumped atomically
+// (alloc-free) as items are admitted or shed.
 type Tenant struct {
-	name   string
-	weight int
-	rate   float64 // admitted items per second per source; 0 = unlimited
-	burst  int     // token-bucket depth in items (min 1 when rate-limited)
-	shed   ShedPolicy
-	prio   uthread.Priority
+	name string
+	shed ShedPolicy
+
+	weight  atomic.Int64
+	rate    atomic.Uint64 // math.Float64bits; items/s per source; 0 = unlimited
+	burst   atomic.Int64  // token-bucket depth in items (min 1 when rate-limited)
+	prio    atomic.Int64  // uthread.Priority
+	rateGen atomic.Uint64 // bumped on every SetRate; Admission reload trigger
 
 	admitted atomic.Int64
 	sheds    atomic.Int64
@@ -71,28 +79,14 @@ type TenantOption func(*Tenant)
 // weight-2 tenant receives twice the contended scheduling share of a
 // weight-1 tenant.
 func Weight(w int) TenantOption {
-	return func(t *Tenant) {
-		if w < 1 {
-			w = 1
-		}
-		t.weight = w
-	}
+	return func(t *Tenant) { t.SetWeight(w) }
 }
 
 // RateLimit bounds each of the tenant's sources to itemsPerSec with the
 // given burst depth (a token bucket on the deployment's virtual clock).
 // Zero itemsPerSec removes the limit.
 func RateLimit(itemsPerSec float64, burst int) TenantOption {
-	return func(t *Tenant) {
-		if itemsPerSec < 0 {
-			itemsPerSec = 0
-		}
-		if burst < 1 {
-			burst = 1
-		}
-		t.rate = itemsPerSec
-		t.burst = burst
-	}
+	return func(t *Tenant) { t.SetRate(itemsPerSec, burst) }
 }
 
 // Shed selects the overload policy (default ShedDrop).
@@ -104,13 +98,16 @@ func Shed(p ShedPolicy) TenantOption {
 // uthread.PriorityNormal).  The priority propagates across shard links and
 // TCP lanes, so a high-priority tenant stays high-priority on every hop.
 func Priority(p uthread.Priority) TenantOption {
-	return func(t *Tenant) { t.prio = p }
+	return func(t *Tenant) { t.SetPriority(p) }
 }
 
 // NewTenant creates a tenant with the given name.  Defaults: weight 1, no
 // rate limit, ShedDrop, PriorityNormal.
 func NewTenant(name string, opts ...TenantOption) *Tenant {
-	t := &Tenant{name: name, weight: 1, burst: 1, prio: uthread.PriorityNormal}
+	t := &Tenant{name: name}
+	t.weight.Store(1)
+	t.burst.Store(1)
+	t.prio.Store(int64(uthread.PriorityNormal))
 	for _, opt := range opts {
 		opt(t)
 	}
@@ -120,21 +117,60 @@ func NewTenant(name string, opts ...TenantOption) *Tenant {
 // Name returns the tenant's name.
 func (t *Tenant) Name() string { return t.name }
 
-// Weight returns the weighted-fair share.
-func (t *Tenant) Weight() int { return t.weight }
+// Weight returns the weighted-fair share.  Safe from any goroutine.
+func (t *Tenant) Weight() int { return int(t.weight.Load()) }
+
+// SetWeight retunes the weighted-fair share (minimum 1).  The deployment
+// layer propagates the change into the live scheduler credit classes; this
+// records the policy so later deploys and stats see it.  Safe from any
+// goroutine.
+func (t *Tenant) SetWeight(w int) {
+	if w < 1 {
+		w = 1
+	}
+	t.weight.Store(int64(w))
+}
 
 // Rate returns the admission rate limit in items/s per source (0 =
-// unlimited).
-func (t *Tenant) Rate() float64 { return t.rate }
+// unlimited).  Safe from any goroutine.
+func (t *Tenant) Rate() float64 { return math.Float64frombits(t.rate.Load()) }
 
-// Burst returns the admission token-bucket depth in items.
-func (t *Tenant) Burst() int { return t.burst }
+// Burst returns the admission token-bucket depth in items.  Safe from any
+// goroutine.
+func (t *Tenant) Burst() int { return int(t.burst.Load()) }
+
+// SetRate retunes the admission rate limit (0 = unlimited) and burst depth
+// (minimum 1) and bumps the rate generation, so every live Admission gate of
+// the tenant reloads its bucket parameters on its next item.  Safe from any
+// goroutine.
+func (t *Tenant) SetRate(itemsPerSec float64, burst int) {
+	if itemsPerSec < 0 {
+		itemsPerSec = 0
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	t.rate.Store(math.Float64bits(itemsPerSec))
+	t.burst.Store(int64(burst))
+	t.rateGen.Add(1)
+}
+
+// RateGen returns the current rate generation (bumped by SetRate).  Live
+// admission gates compare it against their cached snapshot.  Safe from any
+// goroutine.
+func (t *Tenant) RateGen() uint64 { return t.rateGen.Load() }
 
 // ShedPolicy returns the overload policy.
 func (t *Tenant) ShedPolicy() ShedPolicy { return t.shed }
 
-// Priority returns the tenant's pump priority.
-func (t *Tenant) Priority() uthread.Priority { return t.prio }
+// Priority returns the tenant's pump priority.  Safe from any goroutine.
+func (t *Tenant) Priority() uthread.Priority { return uthread.Priority(t.prio.Load()) }
+
+// SetPriority retunes the pump priority recorded for the tenant.  Threads
+// already spawned keep their static priority — the new value applies to
+// compositions made after the change (a structural edit or redeploy); weight
+// is the live actuator for running flows.  Safe from any goroutine.
+func (t *Tenant) SetPriority(p uthread.Priority) { t.prio.Store(int64(p)) }
 
 // Admitted returns the number of items admission control let through.  Safe
 // from any goroutine.
@@ -147,7 +183,7 @@ func (t *Tenant) Sheds() int64 { return t.sheds.Load() }
 // String summarises the tenant for diagnostics.
 func (t *Tenant) String() string {
 	return fmt.Sprintf("tenant(%s w=%d rate=%g burst=%d shed=%s prio=%d)",
-		t.name, t.weight, t.rate, t.burst, t.shed, t.prio)
+		t.name, t.Weight(), t.Rate(), t.Burst(), t.shed, t.Priority())
 }
 
 // Registry holds the tenants known to a node or process.  It exists so

@@ -283,7 +283,7 @@ func (n *Node) Close() {
 
 // Wire protocol.
 type request struct {
-	Op         string // compose | start | stop | detach | query | stats | health | caps | event | lookup | ctl | ping
+	Op         string // compose | start | stop | detach | query | stats | health | caps | event | lookup | ctl | ping | rebind
 	Pipeline   string
 	Stages     []StageSpec
 	StageIndex int
@@ -404,6 +404,12 @@ func (n *Node) handle(req request) response {
 		return response{Node: n.name, Stats: n.stats(req.Key)}
 	case "tenants":
 		return response{Node: n.name, Tenants: n.tenantStats()}
+	case "rebind":
+		if req.Tenant == nil {
+			return response{Err: "remote: rebind without tenant spec"}
+		}
+		n.rebindTenant(req.Tenant)
+		return response{Node: n.name}
 	case "health":
 		return response{Node: n.name, Health: n.health()}
 	case "caps":
@@ -564,6 +570,22 @@ func (n *Node) tenantFor(ts *TenantSpec) (*qos.Tenant, *uthread.SchedClass) {
 		n.classes[ts.Name] = uthread.NewSchedClass(ts.Name, t.Weight())
 	}
 	return t, n.classes[ts.Name]
+}
+
+// rebindTenant applies a live QoS retune to the node-local materialization
+// of a tenant (the rebind op): the tenant's weight, rate/burst and priority
+// are restored from the spec, and the weighted-fair class follows the new
+// weight.  A node that never referenced the tenant materializes it now with
+// the new policy, so segments placed here later (failover, replace) compose
+// against the retuned values.  Weight takes effect at the class's next
+// ready-queue admission — within one pump cycle; rate on each admission
+// gate's next item; priority on compositions made after the change.
+func (n *Node) rebindTenant(ts *TenantSpec) {
+	t, c := n.tenantFor(ts)
+	t.SetWeight(ts.Weight)
+	t.SetRate(ts.Rate, ts.Burst)
+	t.SetPriority(uthread.Priority(ts.Prio))
+	c.SetWeight(ts.Weight)
 }
 
 // tenantStats snapshots every tenant hosted on the node, sorted by name.
@@ -811,6 +833,15 @@ func (c *Client) ComposeTenantSegment(pipeline string, stages []StageSpec, seed 
 func (c *Client) Tenants() ([]TenantStat, error) {
 	resp, err := c.call(request{Op: "tenants"})
 	return resp.Tenants, err
+}
+
+// RebindTenant pushes a live QoS retune of a tenant to the node: weight,
+// rate/burst and priority are re-applied to the node's materialization of
+// the named tenant (created with the new policy if the node never saw it).
+// The remote half of the graph layer's RebindTenant edit op.
+func (c *Client) RebindTenant(ts TenantSpec) error {
+	_, err := c.call(request{Op: "rebind", Tenant: &ts})
+	return err
 }
 
 // Detach tears one remote pipeline down without broadcasting any event (the

@@ -30,9 +30,13 @@ const creditScale = 1 << 16
 // equal to the scheduler's current virtual time — byte-for-byte identical
 // scheduling to a fairness-unaware scheduler when no real classes exist.
 type SchedClass struct {
-	name   string
-	weight int
-	cost   int64
+	name string
+
+	// weight and cost are atomics so a live RebindTenant edit can retune a
+	// running class: cost is read by the ready-queue push (under the bound
+	// scheduler's mutex) while SetWeight stores from the editing goroutine.
+	weight atomic.Int64
+	cost   atomic.Int64
 
 	bindMu sync.Mutex
 	sched  *Scheduler
@@ -49,17 +53,29 @@ type SchedClass struct {
 // weight (minimum 1).  Weight is relative: a weight-2 class receives twice
 // the tie-break share of a weight-1 class under contention.
 func NewSchedClass(name string, weight int) *SchedClass {
-	if weight < 1 {
-		weight = 1
-	}
-	return &SchedClass{name: name, weight: weight, cost: creditScale / int64(weight)}
+	c := &SchedClass{name: name}
+	c.SetWeight(weight)
+	return c
 }
 
 // Name returns the class's diagnostic name.
 func (c *SchedClass) Name() string { return c.name }
 
-// Weight returns the class's fairness weight.
-func (c *SchedClass) Weight() int { return c.weight }
+// Weight returns the class's fairness weight.  Safe from any goroutine.
+func (c *SchedClass) Weight() int { return int(c.weight.Load()) }
+
+// SetWeight retunes the class's fairness weight (minimum 1) on a live
+// scheduler.  The new per-grant cost applies from the next ready-queue
+// admission of any member thread — i.e. within one pump cycle — without
+// touching the virtual-time account, so past grants keep their old cost and
+// the share shift is glitch-free.  Safe from any goroutine.
+func (c *SchedClass) SetWeight(weight int) {
+	if weight < 1 {
+		weight = 1
+	}
+	c.weight.Store(int64(weight))
+	c.cost.Store(creditScale / int64(weight))
+}
 
 // VTime returns the class's current virtual-time account.  Safe from any
 // goroutine.

@@ -87,7 +87,7 @@ func (q *readyQueue) push(t *Thread) {
 			vt = q.vnow
 		}
 		t.vtSnap = vt
-		c.vtime.Store(vt + c.cost)
+		c.vtime.Store(vt + c.cost.Load())
 	} else {
 		t.vtSnap = q.vnow
 	}
