@@ -14,7 +14,9 @@
 //	ipbench lanes [items]                    # E23: durable-lane journal overhead
 //	ipbench failover [items]                 # E23: kill-a-node recovery latency
 //	ipbench tenants [items]                  # E24: multi-tenant fair shares, shed, overhead
+//	ipbench tenants -flows N [items]         # E24 sweep: N concurrent tenanted flows, per-flow overhead
 //	ipbench edit [runs]                      # E25: live-edit surgery latency + seeded churn audit
+//	ipbench elastic [items]                  # E26: replica scale-out gain + drain zero-loss
 //
 // -procs sets GOMAXPROCS for the run (multi-core measurement, E22); -pinned
 // locks each shard's Run loop to an OS thread (shard.WithPinnedShards).
@@ -40,6 +42,7 @@ func main() {
 	fs := flag.NewFlagSet(which, flag.ExitOnError)
 	procs := fs.Int("procs", 0, "GOMAXPROCS for the run (0 = runtime default)")
 	pinned := fs.Bool("pinned", false, "pin shard Run loops to OS threads (shard experiment)")
+	flows := fs.Int("flows", 0, "run the many-flow tenancy sweep with this many flows (tenants experiment)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -63,6 +66,7 @@ func main() {
 		"failover":  func() error { return failoverLatency(400) },
 		"tenants":   func() error { return tenantQoS(20_000) },
 		"edit":      func() error { return editSurgery(100) },
+		"elastic":   func() error { return elasticOps(1200) },
 	}
 	if which == "shard" && len(rest) > 0 {
 		n, err := strconv.Atoi(rest[0])
@@ -88,7 +92,7 @@ func main() {
 		}
 		runners["edit"] = func() error { return editSurgery(n) }
 	}
-	if (which == "lanes" || which == "failover" || which == "tenants") && len(rest) > 0 {
+	if (which == "lanes" || which == "failover" || which == "tenants" || which == "elastic") && len(rest) > 0 {
 		n, err := strconv.Atoi(rest[0])
 		if err != nil || n <= 0 {
 			fmt.Fprintf(os.Stderr, "ipbench: item count %q must be a positive integer\n", rest[0])
@@ -101,9 +105,21 @@ func main() {
 			runners["failover"] = func() error { return failoverLatency(int64(n)) }
 		case "tenants":
 			runners["tenants"] = func() error { return tenantQoS(int64(n)) }
+		case "elastic":
+			runners["elastic"] = func() error { return elasticOps(int64(n)) }
 		}
 	}
-	order := []string{"fig9", "switches", "midi", "dropping", "jitter", "pumps", "marshal", "shard", "link", "graph", "rebalance", "lanes", "failover", "tenants", "edit"}
+	if which == "tenants" && *flows > 0 {
+		items := int64(400)
+		if len(rest) > 0 {
+			if n, err := strconv.Atoi(rest[0]); err == nil && n > 0 {
+				items = int64(n)
+			}
+		}
+		n := *flows
+		runners["tenants"] = func() error { return tenantFlowSweep(n, items) }
+	}
+	order := []string{"fig9", "switches", "midi", "dropping", "jitter", "pumps", "marshal", "shard", "link", "graph", "rebalance", "lanes", "failover", "tenants", "edit", "elastic"}
 	if which != "all" {
 		run, ok := runners[which]
 		if !ok {
@@ -450,6 +466,60 @@ func tenantQoS(items int64) error {
 	fmt.Printf("single-tenant overhead: %.1f%% (CI gate: <= 5%%)\n", overhead)
 	if overhead > 5 {
 		return fmt.Errorf("single-tenant overhead %.1f%% exceeds the 5%% gate", overhead)
+	}
+	return nil
+}
+
+func tenantFlowSweep(flows int, items int64) error {
+	const repeats = 3
+	rows, overhead, perFlowUs, err := experiments.TenantFlowSweep(flows, items, repeats)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E24 sweep — %d concurrent flows, %d items each, one scheduler, best of %d interleaved\n",
+		flows, items, repeats)
+	fmt.Printf("%-18s %12s %14s\n", "config", "wall (ms)", "items/s")
+	for _, r := range rows {
+		fmt.Printf("%-18s %12.1f %14.0f\n", r.Config, float64(r.Wall.Microseconds())/1e3, r.Throughput)
+	}
+	fmt.Printf("tenancy overhead at %d flows: %.1f%%  (%.1f us per flow)\n", flows, overhead, perFlowUs)
+	return nil
+}
+
+func elasticOps(items int64) error {
+	const blockUs = 500
+	rows, gain, err := experiments.ScaleOutGain(items, blockUs*1000)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E26 — elastic scale-out: %d items, work stage blocks %dus/item, 4 shards, best of 3\n",
+		items, blockUs)
+	fmt.Printf("%-10s %12s %14s\n", "replicas", "wall (ms)", "items/s")
+	for _, r := range rows {
+		fmt.Printf("%-10d %12.1f %14.0f\n", r.Active, float64(r.Wall.Microseconds())/1e3, r.Throughput)
+	}
+	fmt.Printf("scale-out gain: %.2fx items/s at 4 active replicas (CI gate: >= 1.3x)\n", gain)
+	fmt.Println("sink traces byte-identical across replica counts: ok")
+	if gain < 1.3 {
+		return fmt.Errorf("scale-out gain %.2fx below the 1.3x gate", gain)
+	}
+
+	const drainItems, drainRate = 400, 600
+	res, err := experiments.DrainZeroLoss(drainItems, drainRate)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("drain: %d items at %d/s, middle node drained after %d items\n",
+		res.Items, int64(drainRate), res.DrainAt)
+	fmt.Printf("segments moved: %d   drain wall: %.1f ms   stream wall: %.1f ms\n",
+		res.Moved, float64(res.DrainWall.Microseconds())/1e3, float64(res.Wall.Microseconds())/1e3)
+	exact := "exactly-once OK"
+	if !res.ExactOnce {
+		exact = "EXACTLY-ONCE VIOLATED"
+	}
+	fmt.Printf("delivered: %d/%d  %s\n", res.Delivered, res.Items, exact)
+	if !res.ExactOnce {
+		return fmt.Errorf("drain run delivered %d items with loss or duplication", res.Delivered)
 	}
 	return nil
 }

@@ -18,14 +18,26 @@
 //	ipctl top    -nodes host:port,... [-interval 2s] [-count 0]
 //	    Repeating health + stats display (count 0 = until interrupted).
 //
-//	ipctl watch  -nodes host:port,... [-interval 2s] [-count 0] [-prefix NAME/]
+//	ipctl watch  -nodes host:port,... [-op host:port] [-interval 2s] [-count 0] [-prefix NAME/]
 //	    Live event stream: prints node UP/DOWN transitions and pipeline
 //	    lifecycle changes (started, done, FAILED) as they happen, instead
-//	    of redrawing full tables.
+//	    of redrawing full tables.  With -op it also tails the cluster's
+//	    membership log, emitting JOIN/DRAIN/LEAVE lines as nodes come,
+//	    drain, and go.
 //
 //	ipctl tenants -nodes host:port,...
 //	    Per-node QoS tenant rollups: weight, admitted/shed counts at
 //	    admission control, weighted-fair credit debt and grant share.
+//
+//	ipctl nodes  -op host:port
+//	    Cluster membership table from the deployment's operator endpoint
+//	    (requires an elastic cluster wired in with Operator.WithCluster):
+//	    node index, name, address, health/left state, hosted segments.
+//
+//	ipctl drain <node> -op host:port
+//	    Migrate every segment off the named node onto healthy survivors via
+//	    the cluster's loss-free drain, then print the membership table.
+//	    After a drain the node can leave the cluster without item loss.
 //
 //	ipctl replace -op host:port [-deployment NAME] [-move seg=node,...]
 //	    Manual segment move against a deployment's operator endpoint
@@ -73,7 +85,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: ipctl ping|health|stats|tenants|top|watch -nodes host:port,... [flags]\n       ipctl replace -op host:port [-deployment NAME] [-move seg=node,...]\n       ipctl edit tenant|attach|detach|insert|swap -op host:port [flags]")
+		fmt.Fprintln(os.Stderr, "usage: ipctl ping|health|stats|tenants|top|watch -nodes host:port,... [flags]\n       ipctl nodes -op host:port\n       ipctl drain <node> -op host:port\n       ipctl replace -op host:port [-deployment NAME] [-move seg=node,...]\n       ipctl edit tenant|attach|detach|insert|swap -op host:port [flags]")
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
@@ -86,12 +98,19 @@ func main() {
 		}
 		verb, args = args[0], args[1:]
 	}
+	if cmd == "drain" {
+		if len(args) == 0 || strings.HasPrefix(args[0], "-") {
+			fmt.Fprintln(os.Stderr, "usage: ipctl drain <node> -op host:port")
+			os.Exit(2)
+		}
+		verb, args = args[0], args[1:]
+	}
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 	nodes := fs.String("nodes", "", "comma-separated control addresses")
 	prefix := fs.String("prefix", "", "pipeline name prefix filter (stats, top, watch)")
 	interval := fs.Duration("interval", 2*time.Second, "refresh interval (top, watch)")
 	count := fs.Int("count", 0, "refreshes before exiting, 0 = run until interrupted (top, watch)")
-	op := fs.String("op", "", "deployment operator address (replace, edit)")
+	op := fs.String("op", "", "deployment operator address (replace, edit, nodes, drain; optional for watch)")
 	deployment := fs.String("deployment", "", "deployment name; optional when the operator serves one (replace, edit)")
 	move := fs.String("move", "", "comma-separated segment=nodeIndex moves (replace)")
 	split := fs.String("split", "", "split tee name (edit attach, edit detach)")
@@ -110,13 +129,17 @@ func main() {
 		os.Exit(2)
 	}
 	var err error
-	if cmd == "replace" || cmd == "edit" {
+	if cmd == "replace" || cmd == "edit" || cmd == "nodes" || cmd == "drain" {
 		if *op == "" {
 			fmt.Fprintf(os.Stderr, "ipctl: %s needs -op host:port\n", cmd)
 			os.Exit(2)
 		}
 	}
 	switch {
+	case cmd == "nodes":
+		err = clusterNodes(*op)
+	case cmd == "drain":
+		err = drainNode(*op, verb)
 	case cmd == "replace":
 		err = replace(*op, *deployment, *move)
 	case cmd == "edit":
@@ -143,7 +166,7 @@ func main() {
 		case "top":
 			err = top(addrs, *prefix, *interval, *count)
 		case "watch":
-			err = watch(addrs, *prefix, *interval, *count)
+			err = watch(addrs, *op, *prefix, *interval, *count)
 		default:
 			err = fmt.Errorf("unknown subcommand %q", cmd)
 		}
@@ -286,7 +309,7 @@ func tenants(addrs []string) error {
 // unreachable or coming back, a pipeline appearing, finishing, or failing.
 // The quiet steady state prints nothing, which is what makes a failover —
 // DOWN, a burst of pipeline starts elsewhere, done — readable as a story.
-func watch(addrs []string, prefix string, interval time.Duration, count int) error {
+func watch(addrs []string, opAddr, prefix string, interval time.Duration, count int) error {
 	clients, errs := dial(addrs)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
@@ -295,12 +318,32 @@ func watch(addrs []string, prefix string, interval time.Duration, count int) err
 	type pipeKey struct{ node, name string }
 	states := make(map[pipeKey]string)
 	stamp := func() string { return time.Now().Format(time.TimeOnly) }
+	var opc *infopipes.OperatorClient
+	cursor := 0
 	for n := 0; count == 0 || n < count; n++ {
 		if n > 0 {
 			select {
 			case <-sig:
 				return nil
 			case <-time.After(interval):
+			}
+		}
+		// Membership tail: JOIN/DRAIN/LEAVE from the cluster's event log,
+		// cursored so each transition prints exactly once.
+		if opAddr != "" {
+			if opc == nil {
+				opc, _ = infopipes.DialOperator(opAddr)
+			}
+			if opc != nil {
+				evs, err := opc.ClusterEvents(cursor)
+				if err != nil {
+					opc.Close()
+					opc = nil // re-dial next round; the cursor keeps our place
+				}
+				for _, ev := range evs {
+					fmt.Printf("%s %-5s node=%s %s\n", stamp(), ev.Kind, ev.Node, ev.Detail)
+					cursor = ev.Seq
+				}
 			}
 		}
 		for i, addr := range addrs {
@@ -350,6 +393,53 @@ func watch(addrs []string, prefix string, interval time.Duration, count int) err
 		}
 		first = false
 	}
+	return nil
+}
+
+// nodeTable prints cluster membership rows.
+func nodeTable(rows []infopipes.OperatorNode) {
+	fmt.Printf("%5s %-12s %-24s %-8s %9s\n", "index", "node", "addr", "state", "segments")
+	for _, r := range rows {
+		state := "up"
+		switch {
+		case r.Left:
+			state = "left"
+		case !r.Healthy:
+			state = "down"
+		}
+		fmt.Printf("%5d %-12s %-24s %-8s %9d\n", r.Index, r.Name, r.Addr, state, r.Hosts)
+	}
+}
+
+// clusterNodes prints the membership table from an elastic-wired operator.
+func clusterNodes(opAddr string) error {
+	c, err := infopipes.DialOperator(opAddr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	rows, err := c.Nodes()
+	if err != nil {
+		return err
+	}
+	nodeTable(rows)
+	return nil
+}
+
+// drainNode migrates every segment off a node through the cluster's
+// loss-free drain and prints the membership table afterwards.
+func drainNode(opAddr, node string) error {
+	c, err := infopipes.DialOperator(opAddr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	rows, err := c.DrainNode(node)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("drained %s\n", node)
+	nodeTable(rows)
 	return nil
 }
 

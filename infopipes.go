@@ -62,6 +62,7 @@ package infopipes
 import (
 	"infopipes/internal/control"
 	"infopipes/internal/core"
+	"infopipes/internal/elastic"
 	"infopipes/internal/events"
 	"infopipes/internal/feedback"
 	"infopipes/internal/graph"
@@ -699,6 +700,44 @@ type (
 	// built inside the deploying process.
 	OperatorEdit  = control.OpEdit
 	OperatorStage = control.OpStage
+	// OperatorNode / OperatorClusterEvent are the membership rows and
+	// JOIN/DRAIN/LEAVE events the operator wire serves once a cluster is
+	// wired in (ClusterOperator.WithCluster; ipctl nodes / drain / watch).
+	OperatorNode         = control.OpNode
+	OperatorClusterEvent = control.OpClusterEvent
+)
+
+// ---- Elastic cluster ----
+
+type (
+	// ElasticCluster choreographs runtime membership — node join, drain,
+	// leave — for managed deployments against a ClusterDirectory; its Gate
+	// serializes every segment-moving control actor (failover, drain,
+	// autoscaler fold-back).
+	ElasticCluster = elastic.Cluster
+	// ElasticEvent is one membership transition in the cluster's log.
+	ElasticEvent     = elastic.Event
+	ElasticEventKind = elastic.EventKind
+	// Autoscaler tracks a deployment's load and adjusts a stage's active
+	// replica count between a policy's Min and Max.
+	Autoscaler = elastic.Autoscaler
+	// AutoscalePolicy declares how one stage scales.
+	AutoscalePolicy = elastic.Policy
+	// FanOutTree is the multi-level distribution tree: trunk, relays, and
+	// churn-safe leaf subscriptions; TreeSub is one subscription handle.
+	FanOutTree = elastic.Tree
+	TreeSub    = elastic.Sub
+)
+
+// Elastic cluster constructors and event kinds.
+var (
+	NewElasticCluster = elastic.NewCluster
+	NewAutoscaler     = elastic.NewAutoscaler
+	NewFanOutTree     = elastic.NewTree
+
+	ElasticJoin  = elastic.Join
+	ElasticDrain = elastic.Drain
+	ElasticLeave = elastic.Leave
 )
 
 // Cluster control-plane constructors and errors.

@@ -57,6 +57,11 @@ type NodeHealth struct {
 	Uptime    time.Duration
 	// Err is the last heartbeat failure (nil while healthy).
 	Err error
+	// Left marks a node that was drained and unregistered: the entry stays
+	// (node indices are registration positions and must not shift under
+	// running deployments) but the node is never probed, never counted
+	// healthy, and never a placement target again.
+	Left bool
 }
 
 // Directory is the cluster node registry: it owns one control client per
@@ -131,6 +136,32 @@ func (d *Directory) Register(addr string) (string, error) {
 	return name, nil
 }
 
+// Unregister retires a node from the registry: its control client closes
+// and the entry is tombstoned — kept in place (so registration-order node
+// indices stay aligned with running OnNodes deployments) but unhealthy,
+// skipped by heartbeats, and reported with Left set.  The caller is
+// responsible for having drained the node first (elastic.Cluster.Drain);
+// Unregister itself moves no segments.  A left name never re-registers —
+// a rejoining process must present a fresh name and takes a fresh index.
+func (d *Directory) Unregister(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entry, ok := d.health[name]
+	if !ok {
+		return fmt.Errorf("control: node %q not registered", name)
+	}
+	if entry.Left {
+		return fmt.Errorf("control: node %q already left", name)
+	}
+	entry.Left = true
+	entry.Healthy = false
+	entry.Err = nil
+	if c := d.clients[name]; c != nil {
+		c.Close()
+	}
+	return nil
+}
+
 // Names lists the registered nodes in registration order.
 func (d *Directory) Names() []string {
 	d.mu.Lock()
@@ -174,8 +205,13 @@ func (d *Directory) Clients() []*remote.Client {
 // OnDown/OnUp callbacks still run sequentially, in registration order.
 func (d *Directory) Heartbeat() int {
 	d.mu.Lock()
-	names := make([]string, len(d.names))
-	copy(names, d.names)
+	names := make([]string, 0, len(d.names))
+	for _, n := range d.names {
+		if d.health[n].Left {
+			continue // tombstone: drained and gone, never probed again
+		}
+		names = append(names, n)
+	}
 	clients := make(map[string]*remote.Client, len(names))
 	for _, n := range names {
 		clients[n] = d.clients[n]

@@ -20,19 +20,66 @@ import (
 // Supervisor).  The deploying process owns the Deployment objects; Operator
 // is the wire between them and an out-of-process operator tool.
 type Operator struct {
-	mu     sync.Mutex
-	deps   map[string]*graph.Deployment
-	cat    graph.Catalog
-	ln     net.Listener
-	conns  map[net.Conn]struct{}
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	deps    map[string]*graph.Deployment
+	cat     graph.Catalog
+	cluster ClusterOps
+	ln      net.Listener
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
 }
 
 // NewOperator builds an empty operator endpoint; register deployments with
 // Register and expose it with Serve.
 func NewOperator() *Operator {
 	return &Operator{deps: make(map[string]*graph.Deployment), conns: make(map[net.Conn]struct{})}
+}
+
+// OpNode is one cluster membership row on the operator wire.
+type OpNode struct {
+	Index   int
+	Name    string
+	Addr    string
+	Healthy bool
+	Left    bool
+	Hosts   int // segments hosted across the cluster's managed deployments
+}
+
+// OpClusterEvent is one membership transition (JOIN/DRAIN/LEAVE) on the
+// operator wire, sequence-numbered for cursoring.
+type OpClusterEvent struct {
+	Seq    int
+	Kind   string
+	Node   string
+	Detail string
+}
+
+// ClusterOps is the elasticity surface an operator endpoint exposes once
+// wired to a cluster (elastic.Cluster implements it): membership rows,
+// operator-driven drains, and the membership event log.
+type ClusterOps interface {
+	NodeRows() []OpNode
+	Drain(name string) error
+	ClusterEvents(since int) []OpClusterEvent
+}
+
+// WithCluster wires the elasticity layer in, enabling the nodes / drain /
+// events operator ops (ipctl nodes, ipctl drain, ipctl watch).
+func (o *Operator) WithCluster(c ClusterOps) *Operator {
+	o.mu.Lock()
+	o.cluster = c
+	o.mu.Unlock()
+	return o
+}
+
+func (o *Operator) clusterOps() (ClusterOps, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.cluster == nil {
+		return nil, errors.New("control: operator has no cluster (Operator.WithCluster)")
+	}
+	return o.cluster, nil
 }
 
 // Register makes a deployment operable by name (Deployment.Name).  A later
@@ -111,10 +158,12 @@ func (o *Operator) acceptLoop(ln net.Listener) {
 // opRequest/opResponse mirror the node protocol's single request/response
 // pair: one gob stream per connection, calls answered in order.
 type opRequest struct {
-	Op         string // deployments | placements | replace | edit
+	Op         string // deployments | placements | replace | edit | nodes | drain | events
 	Deployment string
 	Hints      map[string]int
 	Edits      []OpEdit
+	Node       string // drain target
+	Since      int    // events cursor
 }
 
 // OpStage carries one stage of an operator-driven edit as a catalog spec;
@@ -156,6 +205,8 @@ type opResponse struct {
 	Err         string
 	Deployments []string
 	Placements  map[string]int
+	Nodes       []OpNode
+	Events      []OpClusterEvent
 }
 
 func (o *Operator) serveConn(conn net.Conn) {
@@ -239,6 +290,27 @@ func (o *Operator) handle(req opRequest) opResponse {
 			return opResponse{Err: err.Error()}
 		}
 		return opResponse{Placements: d.SegmentPlacements()}
+	case "nodes":
+		c, err := o.clusterOps()
+		if err != nil {
+			return opResponse{Err: err.Error()}
+		}
+		return opResponse{Nodes: c.NodeRows()}
+	case "drain":
+		c, err := o.clusterOps()
+		if err != nil {
+			return opResponse{Err: err.Error()}
+		}
+		if err := c.Drain(req.Node); err != nil {
+			return opResponse{Err: err.Error()}
+		}
+		return opResponse{Nodes: c.NodeRows()}
+	case "events":
+		c, err := o.clusterOps()
+		if err != nil {
+			return opResponse{Err: err.Error()}
+		}
+		return opResponse{Events: c.ClusterEvents(req.Since)}
 	default:
 		return opResponse{Err: fmt.Sprintf("control: unknown operator op %q", req.Op)}
 	}
@@ -385,4 +457,24 @@ func (c *OperatorClient) Replace(deployment string, hints map[string]int) (map[s
 func (c *OperatorClient) Edit(deployment string, edits []OpEdit) (map[string]int, error) {
 	resp, err := c.call(opRequest{Op: "edit", Deployment: deployment, Edits: edits})
 	return resp.Placements, err
+}
+
+// Nodes reports the cluster membership rows (Operator.WithCluster).
+func (c *OperatorClient) Nodes() ([]OpNode, error) {
+	resp, err := c.call(opRequest{Op: "nodes"})
+	return resp.Nodes, err
+}
+
+// DrainNode migrates every segment off the named node through the wired
+// cluster's Drain, returning the membership rows afterwards.
+func (c *OperatorClient) DrainNode(name string) ([]OpNode, error) {
+	resp, err := c.call(opRequest{Op: "drain", Node: name})
+	return resp.Nodes, err
+}
+
+// ClusterEvents returns membership events with Seq > since — the watch
+// cursor for JOIN/DRAIN/LEAVE streams.
+func (c *OperatorClient) ClusterEvents(since int) ([]OpClusterEvent, error) {
+	resp, err := c.call(opRequest{Op: "events", Since: since})
+	return resp.Events, err
 }

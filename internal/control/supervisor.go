@@ -33,6 +33,14 @@ type Supervisor struct {
 	// OnFailover, when set, is called after each recovery attempt with the
 	// deployment name and the attempt's error (nil on success).
 	OnFailover func(deployment string, node string, err error)
+	// Gate, when set, serializes this supervisor's recovery reactions with
+	// every other control actor moving the same segments — an
+	// elastic.Cluster's Drain, an Autoscaler's fold-back — all of which
+	// hold the same gate.  The gate is held across one node's whole
+	// recovery (all supervised deployments), so a failover and a
+	// concurrent drain or scale-down can never race a double-Replace of
+	// the same segment.  Set it before the first heartbeat.
+	Gate sync.Locker
 
 	dir *Directory
 
@@ -75,9 +83,14 @@ func (s *Supervisor) nodeDown(name string, downErr error) {
 	copy(deps, s.deps)
 	attempts := s.Attempts
 	backoff := s.Backoff
+	gate := s.Gate
 	s.mu.Unlock()
 	if attempts < 1 {
 		attempts = 1 // never fail a deployment without one recovery attempt
+	}
+	if gate != nil {
+		gate.Lock()
+		defer gate.Unlock()
 	}
 
 	for _, d := range deps {

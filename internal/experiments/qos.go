@@ -221,3 +221,92 @@ func TenantOverhead(items int64, spin, repeats int) (rows []TenantOverheadRow, o
 	overheadPct = (float64(solo.Wall) - float64(base.Wall)) / float64(base.Wall) * 100
 	return []TenantOverheadRow{base, solo}, overheadPct, nil
 }
+
+// FlowSweepRow is one configuration of the many-flow tenancy sweep.
+type FlowSweepRow struct {
+	Config     string
+	Flows      int
+	Items      int64 // per flow
+	Wall       time.Duration
+	Throughput float64 // items per second across every flow
+}
+
+// TenantFlowSweep measures what per-flow tenancy costs at scale: `flows`
+// identical short flows — counter source, free pump, probe, null sink — on
+// one scheduler, deployed once with no tenants (the classless fast path) and
+// once with EVERY flow bound to its own tenant, so the scheduler's classed
+// ready queue carries `flows` live classes at once.  Deployment is outside
+// the timed window; the measurement is the steady-state scheduling and
+// admission cost, not graph construction.  The repeats interleave the two
+// configs like TenantOverhead; best-of per config.  Returns the rows, the
+// tenanted sweep's overhead in percent, and the per-flow overhead in
+// microseconds ((tenanted wall - baseline wall) / flows; negative = noise).
+func TenantFlowSweep(flows int, items int64, repeats int) (rows []FlowSweepRow, overheadPct, perFlowUs float64, err error) {
+	run := func(config string, tenanted bool) (FlowSweepRow, error) {
+		runtime.GC()
+		sched := uthread.New()
+		deps := make([]*graph.Deployment, flows)
+		probes := make([]*pipes.CountingProbe, flows)
+		for i := 0; i < flows; i++ {
+			name := fmt.Sprintf("f%d", i)
+			g := graph.New(name)
+			probe := pipes.NewCountingProbe(name + "-probe")
+			probes[i] = probe
+			g.Add(core.Comp(pipes.NewCounterSource(name+"-src", items)))
+			g.Add(core.Pmp(pipes.NewFreePump(name + "-p")))
+			g.Add(core.Comp(probe))
+			g.Add(core.Comp(pipes.NullSink(name + "-sink")))
+			g.Pipe(name+"-src", name+"-p", probe.Name(), name+"-sink")
+			target := graph.OnScheduler(sched)
+			if tenanted {
+				target = target.WithTenant(qos.NewTenant(name))
+			}
+			d, err := g.Deploy(target)
+			if err != nil {
+				return FlowSweepRow{}, fmt.Errorf("%s flow %d deploy: %w", config, i, err)
+			}
+			deps[i] = d
+		}
+		start := time.Now()
+		for _, d := range deps {
+			d.Start()
+		}
+		if err := sched.Run(); err != nil {
+			return FlowSweepRow{}, fmt.Errorf("%s run: %w", config, err)
+		}
+		for i, d := range deps {
+			if err := d.Wait(); err != nil {
+				return FlowSweepRow{}, fmt.Errorf("%s flow %d wait: %w", config, i, err)
+			}
+		}
+		wall := time.Since(start)
+		for i, p := range probes {
+			if got := p.Items(); got != items {
+				return FlowSweepRow{}, fmt.Errorf("%s flow %d delivered %d items, want %d", config, i, got, items)
+			}
+		}
+		total := int64(flows) * items
+		return FlowSweepRow{Config: config, Flows: flows, Items: items, Wall: wall,
+			Throughput: float64(total) / wall.Seconds()}, nil
+	}
+	var base, per FlowSweepRow
+	for i := 0; i < repeats; i++ {
+		b, err := run("untenanted", false)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if i == 0 || b.Wall < base.Wall {
+			base = b
+		}
+		p, err := run("tenant per flow", true)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if i == 0 || p.Wall < per.Wall {
+			per = p
+		}
+	}
+	overheadPct = (float64(per.Wall) - float64(base.Wall)) / float64(base.Wall) * 100
+	perFlowUs = (float64(per.Wall.Microseconds()) - float64(base.Wall.Microseconds())) / float64(flows)
+	return []FlowSweepRow{base, per}, overheadPct, perFlowUs, nil
+}

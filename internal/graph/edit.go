@@ -3,9 +3,11 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"infopipes/internal/core"
 	"infopipes/internal/events"
+	"infopipes/internal/shard"
 	"infopipes/internal/typespec"
 	"infopipes/internal/uthread"
 )
@@ -34,7 +36,7 @@ var (
 )
 
 // EditOp is one live-edit operation.  Implementations: AttachBranch,
-// DetachBranch, InsertStage, SwapStage, RebindTenant.
+// DetachBranch, InsertStage, SwapStage, ScaleStage (scale.go), RebindTenant.
 type EditOp interface {
 	editOp()
 }
@@ -208,6 +210,7 @@ type detachRec struct {
 	stageInsts  []core.Stage
 	branchShard int
 	pipe        *core.Pipeline // the branch's detached pipeline (post-quiesce)
+	drain       *core.Pipeline // the off-plan drain pipeline, recomposed per edit
 }
 
 // editLocal runs a structural edit transaction on a local deployment.
@@ -246,6 +249,7 @@ func (d *Deployment) editLocal(structural []EditOp, rebinds []RebindTenant) erro
 	// deployment is untouched throughout.
 	var attaches []*attachRec
 	var detaches []*detachRec
+	var scales []*scaleRec
 	newStages := make(map[string]core.Stage) // nodes gaining a (new) live instance
 	fresh := func(st core.Stage) (string, error) {
 		name := st.Name()
@@ -410,6 +414,14 @@ func (d *Deployment) editLocal(structural []EditOp, rebinds []RebindTenant) erro
 			})
 			newStages[name] = op.Stage
 
+		case ScaleStage:
+			rec, err := d.applyScaleOp(op, nShards, newStages, &undo, fresh)
+			if err != nil {
+				restore()
+				return err
+			}
+			scales = append(scales, rec)
+
 		case SwapStage:
 			n, ok := g.index[op.Node]
 			if !ok || n.kind != nStage {
@@ -522,6 +534,7 @@ func (d *Deployment) editLocal(structural []EditOp, rebinds []RebindTenant) erro
 			newShard[si] = 0
 		}
 	}
+	pinScalePlacements(newPlan, newShard, scales)
 
 	// Phase 4: the point of no return.  Quiesce the whole deployment at a
 	// pump-cycle boundary (virtual clock frozen, in-flight items parked in
@@ -587,6 +600,16 @@ func (d *Deployment) editLocal(structural []EditOp, rebinds []RebindTenant) erro
 				return fmt.Errorf("graph %q: edit: %w", d.name, err)
 			}
 		}
+		for _, sr := range scales {
+			// The new tee pair goes on the deployment's books with fresh
+			// (unlinked) boundary tables, exactly as run() would have sized
+			// them from the plan.
+			ld.splits[sr.splitName] = sr.tee
+			ld.merges[sr.mergeName] = sr.om
+			ld.splitLinks[sr.splitName] = make([]*shard.Link, sr.replicas)
+			ld.mergeLinks[sr.mergeName] = make([]*shard.Link, sr.replicas)
+			ld.mergeInSpec[sr.mergeName] = make([]typespec.Typespec, sr.replicas)
+		}
 		for name, st := range newStages {
 			ld.stages[name] = st //ipvet:allow maporder map-to-map copy is order-insensitive
 		}
@@ -612,6 +635,36 @@ func (d *Deployment) editLocal(structural []EditOp, rebinds []RebindTenant) erro
 		for _, dr := range detaches {
 			if dr.pipe != nil {
 				ld.foldRetired(dr.segName, dr.pipe)
+			}
+		}
+		if len(scales) > 0 {
+			// A scale renames the segments around the scaled stage (the trunk
+			// and tail take new first>>last names), so the old names vanish
+			// from the plan: fold their counters into the retired stats and
+			// drop the stale book entries before redeploy composes the new
+			// names over the same stage instances.
+			newNames := make(map[string]bool, len(newPlan.Segments))
+			for _, seg := range newPlan.Segments {
+				newNames[seg.Name()] = true
+			}
+			d.mu.Lock()
+			var stale []string
+			for name := range d.bySegment {
+				if !newNames[name] {
+					stale = append(stale, name)
+				}
+			}
+			sort.Strings(stale)
+			pipes := make([]*core.Pipeline, len(stale))
+			for i, name := range stale {
+				pipes[i] = d.bySegment[name]
+				delete(d.bySegment, name)
+			}
+			d.mu.Unlock()
+			for i, name := range stale {
+				if pipes[i] != nil {
+					ld.foldRetired(name, pipes[i])
+				}
 			}
 		}
 		redeployErr = ld.redeploy()
@@ -650,16 +703,47 @@ func (d *Deployment) editLocal(structural []EditOp, rebinds []RebindTenant) erro
 	return nil
 }
 
-// drainDetached composes the leaving branches of this edit's DetachBranch
-// ops one last time: the tombstoned port's buffer was closed upstream, so
-// the recomposed branch (and its boundary relay, if the branch was linked)
-// drains every in-flight item into its sink and ends with a clean end of
-// stream.  A branch that had already reached end of stream needs no drain.
+// drainDetached composes the leaving branches of DetachBranch ops: the
+// tombstoned port's buffer was closed upstream, so the recomposed branch
+// (and its boundary relay, if the branch was linked) drains every in-flight
+// item into its sink and ends with a clean end of stream.  A branch that
+// had already reached end of stream needs no drain.
+//
+// Drain pipelines are off-plan, so redeploy drops them from the books on
+// the NEXT edit after quiescing them — they must be recomposed here until
+// they reach end of stream, or a branch still mid-drain would be stranded
+// with items in flight and, for a linked branch, a boundary link that never
+// closes (its wake registration would hold the receiving scheduler open
+// forever).  ld.draining carries them across edits.
 func (ld *localDeploy) drainDetached(detaches []*detachRec) error {
 	ld.rebalance = true
 	defer func() { ld.rebalance = false }()
 	for _, dr := range detaches {
-		if dr.pipe != nil && dr.pipe.ReachedEOS() {
+		ld.draining[dr.segName] = dr
+	}
+	names := make([]string, 0, len(ld.draining))
+	for name := range ld.draining {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, segName := range names {
+		dr := ld.draining[segName]
+		if dr.drain != nil {
+			if dr.drain.ReachedEOS() {
+				// Fully drained in an earlier generation; its pipeline was
+				// dropped from the books by this redeploy, so fold its
+				// counters (and its boundary carrier's) and forget it.
+				ld.foldRetired(ld.g.name+"/"+dr.segName+"/detached", dr.drain)
+				ld.foldDrainCarrier(dr)
+				delete(ld.draining, segName)
+				continue
+			}
+			// Quiesced mid-drain by this edit: fold the superseded
+			// pipeline's counters and recompose below.
+			ld.foldRetired(ld.g.name+"/"+dr.segName+"/detached", dr.drain)
+		} else if dr.pipe != nil && dr.pipe.ReachedEOS() {
+			ld.foldDrainCarrier(dr)
+			delete(ld.draining, segName)
 			continue
 		}
 		trunk := ld.plan.SplitTrunk[dr.split]
@@ -675,9 +759,27 @@ func (ld *localDeploy) drainDetached(detaches []*detachRec) error {
 		}
 		stages = append(stages, dr.stageInsts...)
 		name := ld.g.name + "/" + dr.segName + "/detached"
-		if _, err := ld.compose(name, dr.branchShard, stages, seed); err != nil {
+		p, err := ld.compose(name, dr.branchShard, stages, seed)
+		if err != nil {
 			return err
 		}
+		dr.drain = p
 	}
 	return nil
+}
+
+// foldDrainCarrier folds the boundary-relay carrier of a finished detached
+// branch.  The tombstoned port is off-plan, so redeploy never recomposes
+// its carrier; once the drain ends the carrier has ended too, and folding
+// keeps its items in the retired counters instead of vanishing from stats.
+func (ld *localDeploy) foldDrainCarrier(dr *detachRec) {
+	link := ld.splitLinks[dr.split][dr.port]
+	if link == nil {
+		return
+	}
+	lane := link.Name()
+	if rp := ld.relayPipes[lane]; rp != nil {
+		ld.foldRetired(lane+"/relay", rp)
+		delete(ld.relayPipes, lane)
+	}
 }

@@ -370,18 +370,29 @@ func BuildSplit(name, kind string, outs int, params map[string]string) (core.Spl
 			return nil, fmt.Errorf("split %q: %w", name, err)
 		}
 		return pipes.NewRouteTee(name, outs, capacity, push, pull, sel), nil
+	case "elastic":
+		return pipes.NewElasticTee(name, outs, capacity, push, pull), nil
 	default:
-		return nil, fmt.Errorf("split %q: unknown split kind %q (want copy or route)", name, kind)
+		return nil, fmt.Errorf("split %q: unknown split kind %q (want copy, route or elastic)", name, kind)
 	}
 }
 
-// BuildMerge materializes a spec-backed merge tee.
+// BuildMerge materializes a spec-backed merge tee: arrival order by
+// default, ascending-Seq reconstruction with ord=seq (the replica fold-in;
+// see pipes.OrderedMerge for the 1:1 seq-preserving contract).
 func BuildMerge(name string, ins int, params map[string]string) (core.MergePoint, error) {
 	capacity, push, pull, err := teeBufferParams(params)
 	if err != nil {
 		return nil, fmt.Errorf("merge %q: %w", name, err)
 	}
-	return pipes.NewMergeTee(name, ins, capacity, push, pull), nil
+	switch params["ord"] {
+	case "":
+		return pipes.NewMergeTee(name, ins, capacity, push, pull), nil
+	case "seq":
+		return pipes.NewOrderedMerge(name, ins, capacity, push, pull, nil), nil
+	default:
+		return nil, fmt.Errorf("merge %q: unknown merge order %q (want seq or unset)", name, params["ord"])
+	}
 }
 
 // buildSelector resolves a named route selector: spec-backed route tees

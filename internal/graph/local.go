@@ -192,6 +192,14 @@ type localDeploy struct {
 	// rebalance marks a re-composition pass: links are reused and
 	// retargeted instead of created, finished pipelines are kept.
 	rebalance bool
+	// draining records detached branches still draining their tombstoned
+	// tee ports, keyed by retired segment name.  A later edit quiesces
+	// their drain pipelines along with everything else and redeploy drops
+	// them from the books (they are off-plan), so drainDetached must keep
+	// recomposing them until they reach end of stream — or the branch's
+	// in-flight items and its boundary link's wake registration would be
+	// stranded and the shard group never finish.
+	draining map[string]*detachRec
 }
 
 // retiredCounts folds the counters of replaced pipeline generations.
@@ -262,6 +270,7 @@ func (ld *localDeploy) run() (*Deployment, error) {
 		ld.mergeLinks[name] = make([]*shard.Link, len(ports))
 	}
 	ld.relayPipes = make(map[string]*core.Pipeline)
+	ld.draining = make(map[string]*detachRec)
 	ld.shardByPipe = make(map[*core.Pipeline]int)
 	ld.retired = make(map[string]retiredCounts)
 	nShards := 1

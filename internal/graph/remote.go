@@ -634,6 +634,11 @@ type remoteDeployment struct {
 	startErr  error
 	started   bool
 	replacing bool
+	// gone[i] marks node i as drained and departed (elastic leave): the
+	// entry keeps its index — pipes never reference it again after the
+	// drain — but broadcasts and rebinds skip it.  Copy-on-write under mu,
+	// like clients/names (see clientSnap).
+	gone []bool
 	// supervised deployments treat an unreachable node as PENDING instead
 	// of fatal: a Supervisor owns the failure — it either fails the node's
 	// segments over to survivors (and the poll heals) or latches a terminal
@@ -659,8 +664,26 @@ type remoteDeployment struct {
 	lastTenantRows map[int]remote.TenantStat
 }
 
+// clientSnap returns the current client list and gone markers.  Both slices
+// are copy-on-write: AddNode and markGone publish fresh headers under mu and
+// never mutate a published slice, so a snapshot stays valid lock-free.
+// Replace-path code running under Deployment.rbMu may keep reading r.clients
+// directly — AddNode serializes on rbMu too.
+func (r *remoteDeployment) clientSnap() ([]*remote.Client, []bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.clients, r.gone
+}
+
+// skip reports whether node i has left the deployment (see gone).
+func skipNode(gone []bool, i int) bool { return i < len(gone) && gone[i] }
+
 func (r *remoteDeployment) broadcast(t events.Type) error {
-	for _, c := range r.clients {
+	clients, gone := r.clientSnap()
+	for i, c := range clients {
+		if skipNode(gone, i) {
+			continue
+		}
 		if err := c.SendEvent(events.Event{Type: t, Origin: r.name}); err != nil {
 			return err
 		}
@@ -679,7 +702,11 @@ func (r *remoteDeployment) start() {
 	if err := r.broadcast(events.Start); err != nil {
 		// Best-effort rollback on every node — the failed one is already
 		// gone, the others must not keep half a graph running.
-		for _, c := range r.clients {
+		clients, goneMarks := r.clientSnap()
+		for i, c := range clients {
+			if skipNode(goneMarks, i) {
+				continue
+			}
 			_ = c.SendEvent(events.Event{Type: events.Stop, Origin: r.name})
 		}
 		r.mu.Lock()
@@ -729,8 +756,12 @@ func (r *remoteDeployment) err() error {
 		return err
 	}
 	_, gen := r.replaceState()
-	for _, p := range r.pipeList() {
-		v, err := r.clients[p.client].Lookup("err:" + p.name)
+	pipes := r.pipeList()
+	// Snapshot the clients AFTER the pipes: the client list only grows
+	// (AddNode), so a later snapshot covers every pipe's node index.
+	clients, _ := r.clientSnap()
+	for _, p := range pipes {
+		v, err := clients[p.client].Lookup("err:" + p.name)
 		if err != nil {
 			if rep, g := r.replaceState(); rep || g != gen {
 				continue // a replace is (or was just) rewiring this pipe
@@ -761,8 +792,10 @@ func (r *remoteDeployment) wait() error {
 		done := true
 		reachable := 0
 		_, gen := r.replaceState()
-		for _, p := range r.pipeList() {
-			v, err := r.clients[p.client].Lookup("done:" + p.name)
+		pipes := r.pipeList()
+		clients, _ := r.clientSnap() // after pipeList: covers every pipe index
+		for _, p := range pipes {
+			v, err := clients[p.client].Lookup("done:" + p.name)
 			if err != nil {
 				if rep, g := r.replaceState(); rep || g != gen {
 					done = false
@@ -808,8 +841,12 @@ func (r *remoteDeployment) wait() error {
 // Replace are folded back in, so rows stay cumulative.
 func (r *remoteDeployment) stats() GraphStats {
 	var st GraphStats
+	pipes := r.pipeList()
+	clients, _ := r.clientSnap() // after pipeList: covers every pipe index
+	r.mu.Lock()
 	st.Nodes = append(st.Nodes, r.names...)
-	st.Shards = make([]ShardLoad, len(r.clients))
+	r.mu.Unlock()
+	st.Shards = make([]ShardLoad, len(clients))
 	r.mu.Lock()
 	for i, ret := range r.retiredByNode {
 		if i < len(st.Shards) {
@@ -825,14 +862,13 @@ func (r *remoteDeployment) stats() GraphStats {
 
 	rows := make(map[string]remote.PipeStat)
 	byNode := make(map[int]bool)
-	pipes := r.pipeList()
 	for _, p := range pipes {
 		byNode[p.client] = true
 	}
 	// Nodes are polled in sequence; a dead node costs one call deadline
 	// once, then its poisoned client fails fast on every later snapshot.
 	for node := range byNode {
-		nodeRows, err := r.clients[node].Stats(r.name + "/")
+		nodeRows, err := clients[node].Stats(r.name + "/")
 		if err != nil {
 			continue
 		}
@@ -922,10 +958,27 @@ func (r *remoteDeployment) tenantStats(st *GraphStats) {
 	row := TenantStats{Tenant: t.Name(), Weight: t.Weight()}
 	var granted, grants int64
 	polled := false
-	for node := range r.clients {
+	clients, gone := r.clientSnap()
+	for node := range clients {
 		var nodeRow remote.TenantStat
 		found := false
-		if tenants, err := r.clients[node].Tenants(); err == nil {
+		if skipNode(gone, node) {
+			// A departed node's historical counters still count: fold its
+			// last-known row below instead of polling a closed client.
+			r.mu.Lock()
+			nodeRow, found = r.lastTenantRows[node]
+			r.mu.Unlock()
+			if found {
+				polled = true
+				row.Admitted += nodeRow.Admitted
+				row.Sheds += nodeRow.Sheds
+				row.CreditDebt += nodeRow.CreditDebt
+				granted += nodeRow.Granted
+				grants += nodeRow.SchedGrants
+			}
+			continue
+		}
+		if tenants, err := clients[node].Tenants(); err == nil {
 			for _, ts := range tenants {
 				if ts.Name == t.Name() {
 					nodeRow, found = ts, true
@@ -989,7 +1042,11 @@ func (r *remoteDeployment) rebindTenant(rebinds []RebindTenant) error {
 		}
 	}
 	spec := r.rd.tenantSpec()
-	for i, c := range r.clients {
+	clients, gone := r.clientSnap()
+	for i, c := range clients {
+		if skipNode(gone, i) {
+			continue
+		}
 		if err := c.RebindTenant(*spec); err != nil {
 			if r.isSupervised() && errors.Is(err, remote.ErrNodeUnreachable) {
 				continue

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"infopipes/internal/core"
@@ -610,7 +611,27 @@ func Dial(addr string) (net.Conn, error) {
 	if err != nil {
 		return nil, fmt.Errorf("netpipe: dial %s: %w", addr, err)
 	}
+	if w := dialWrap.Load(); w != nil {
+		conn = (*w)(conn)
+	}
 	return conn, nil
+}
+
+// dialWrap is the fault-injection seam on outbound data lanes: when set,
+// every connection Dial establishes is passed through the wrapper (chaos
+// tests install NewChaosConn here to run whole deployments over
+// misbehaving lanes).  Nil — a plain passthrough — in production.
+var dialWrap atomic.Pointer[func(net.Conn) net.Conn]
+
+// SetDialWrapper installs (or, with nil, removes) the wrapper Dial applies
+// to every outbound data-lane connection.  Install before the lanes dial;
+// the wrapper must be safe for concurrent use.
+func SetDialWrapper(f func(net.Conn) net.Conn) {
+	if f == nil {
+		dialWrap.Store(nil)
+		return
+	}
+	dialWrap.Store(&f)
 }
 
 // ErrNoConn is returned by helpers when no connection is available.

@@ -1,0 +1,385 @@
+package pipes
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"infopipes/internal/core"
+	"infopipes/internal/events"
+	"infopipes/internal/item"
+	"infopipes/internal/typespec"
+	"infopipes/internal/uthread"
+)
+
+// This file implements the replica scale-out tees: an ElasticTee spreads one
+// seq-ordered trunk over N replica branches of the SAME stage, and an
+// OrderedMerge reconstructs the exact trunk order on the far side.  Together
+// they make replica count a pure runtime knob: however many replicas are
+// active and however their threads interleave, the merged output is the
+// byte-identical trunk stream, so every trace downstream of the merge is
+// independent of the scaling decisions — the elastic form of the paper's
+// thread-transparency claim.
+//
+// Contract: the stream entering the split must carry contiguous ascending
+// Seq numbers (the planner's sources all do), and the scaled stage must be
+// 1:1 — one item out per item in, Seq preserved.  A dropping or reordering
+// stage behind an ElasticTee would stall the OrderedMerge until end of
+// stream (where remaining items flush in seq order).
+
+// ElasticTee is the replica splitter: out-port i feeds replica i, and each
+// item goes to exactly one replica, chosen by the pure selector
+// (Seq-1) mod active.  Unlike RouteTee's fixed selector, `active` is a live
+// knob (SetActive): raising it spreads new items over more replicas,
+// lowering it starves the idle ones — no quiesce, no detach, no item ever
+// dropped, because the selector stays total over 1..active and every port
+// stays attached.
+//
+// The tee also publishes the Seq of the first item it ever forwards (Base),
+// so an OrderedMerge born in the same mid-stream edit knows where the
+// reconstructed stream starts.
+type ElasticTee struct {
+	core.Base
+	outs     []*BoundedBuffer
+	ended    bool
+	capacity int
+	push     typespec.BlockPolicy
+	pull     typespec.BlockPolicy
+	active   atomic.Int32
+	base     atomic.Int64 // Seq of the first forwarded item; 0 until seen
+}
+
+var (
+	_ core.Consumer   = (*ElasticTee)(nil)
+	_ core.EOSSink    = (*ElasticTee)(nil)
+	_ core.SplitPoint = (*ElasticTee)(nil)
+)
+
+// NewElasticTee builds a replica splitter with n out-ports, all initially
+// active, backed by buffers of the given capacity and blocking policies.
+func NewElasticTee(name string, n, capacity int, push, pull typespec.BlockPolicy) *ElasticTee {
+	t := &ElasticTee{Base: core.Base{CompName: name}, capacity: capacity, push: push, pull: pull}
+	for i := 0; i < n; i++ {
+		t.outs = append(t.outs, NewBufferPolicy(fmt.Sprintf("%s.out%d", name, i), capacity, push, pull))
+	}
+	t.active.Store(int32(n))
+	return t
+}
+
+// AddOut grows the tee by one out-port (one more replica slot) and makes it
+// active.  Born closed if the trunk already ended.  Quiesce-only, like the
+// other tees' port surgery.
+func (t *ElasticTee) AddOut() int {
+	i := len(t.outs)
+	b := NewBufferPolicy(fmt.Sprintf("%s.out%d", t.Name(), i), t.capacity, t.push, t.pull)
+	t.outs = append(t.outs, b)
+	t.active.Store(int32(len(t.outs)))
+	if t.ended {
+		b.CloseUpstream()
+	}
+	return i
+}
+
+// SetActive retunes how many replicas receive new items, clamped to
+// 1..Outs().  Safe against a running trunk — the selector reads it
+// atomically per item — so scale-out and fold-back need no quiesce.  Items
+// already buffered at an idle replica still drain; the replica simply gets
+// no new ones.  Returns the clamped value.
+func (t *ElasticTee) SetActive(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(t.outs) {
+		n = len(t.outs)
+	}
+	t.active.Store(int32(n))
+	return n
+}
+
+// Active reports the current number of item-receiving replicas.
+func (t *ElasticTee) Active() int { return int(t.active.Load()) }
+
+// BaseRef exposes the first-forwarded-Seq cell for pairing with an
+// OrderedMerge (see NewOrderedMerge).
+func (t *ElasticTee) BaseRef() *atomic.Int64 { return &t.base }
+
+// BindScheduler forwards the scheduler binding to the internal buffers.
+func (t *ElasticTee) BindScheduler(s *uthread.Scheduler) {
+	for _, b := range t.outs {
+		b.BindScheduler(s)
+	}
+}
+
+// Style implements core.Component.
+func (t *ElasticTee) Style() core.Style { return core.StyleConsumer }
+
+// Wrappable implements core.Component: like the value-routing switch, the
+// replica splitter only works in push style (§3.3).
+func (t *ElasticTee) Wrappable() bool { return false }
+
+// Push implements core.Consumer: one replica per item, by Seq.
+func (t *ElasticTee) Push(ctx *core.Ctx, it *item.Item) error {
+	if t.base.Load() == 0 {
+		// Published before the item is forwarded, so any item reaching the
+		// paired OrderedMerge finds the base already set.
+		t.base.Store(it.Seq)
+	}
+	n := int64(t.active.Load())
+	i := (it.Seq - 1) % n
+	if i < 0 {
+		i += n
+	}
+	return t.outs[i].Insert(ctx, it)
+}
+
+// HandleEOS implements core.EOSSink: the trunk's end closes every replica
+// buffer, active or idle, so all branch pipelines drain and end.
+func (t *ElasticTee) HandleEOS(*core.Ctx) {
+	t.ended = true
+	for _, b := range t.outs {
+		b.CloseUpstream()
+	}
+}
+
+// HandleEvent implements core.Component.
+func (t *ElasticTee) HandleEvent(_ *core.Ctx, ev events.Event) {
+	if ev.Type == events.Stop {
+		t.HandleEOS(nil)
+	}
+}
+
+// Out returns the i-th out-port as a passive source for a replica branch.
+func (t *ElasticTee) Out(i int) *BufferSource {
+	return NewBufferSource(fmt.Sprintf("%s.src%d", t.Name(), i), t.outs[i])
+}
+
+// OutBuffer exposes the i-th internal buffer.
+func (t *ElasticTee) OutBuffer(i int) *BoundedBuffer { return t.outs[i] }
+
+// Outs implements core.SplitPoint.
+func (t *ElasticTee) Outs() int { return len(t.outs) }
+
+// OutPort implements core.SplitPoint.
+func (t *ElasticTee) OutPort(i int) core.Component { return t.Out(i) }
+
+// OrderedMerge joins the replica branches back into one stream in ascending
+// Seq order — the exact stream the ElasticTee split — holding out-of-order
+// arrivals in a reorder window.  Unlike MergeTee it does NOT re-stamp item
+// Origin: its output is the reconstructed trunk, already unique and
+// monotone per origin, so durable lanes downstream journal it unchanged.
+//
+// Mutual exclusion notes: the in-ports are sinks of branch pipelines, which
+// the planner composes on the merge's own shard, so data-path pushes are
+// already serialized by the scheduler.  The mutex exists for the
+// out-of-band paths (Stop events arrive on the deployment's goroutine) and
+// is never held across a blocking buffer Insert — a release in progress is
+// marked by `draining` and other entrants just deposit and leave.
+type OrderedMerge struct {
+	core.Base
+	out *BoundedBuffer
+	ins int
+
+	mu       sync.Mutex
+	base     *atomic.Int64 // optional: paired ElasticTee's first Seq
+	next     int64         // next Seq to release; 0 until adopted
+	pending  map[int64]*item.Item
+	draining bool
+	open     int
+	inEnded  []bool
+	closed   bool
+}
+
+var _ core.MergePoint = (*OrderedMerge)(nil)
+
+// NewOrderedMerge builds a seq-ordering merger for n replica branches.
+// base, when non-nil, is the paired ElasticTee's BaseRef — the Seq the
+// reconstructed stream starts at, which a mid-stream edit cannot know in
+// advance; nil starts at Seq 1 (a fresh deployment's source stream).
+func NewOrderedMerge(name string, n, capacity int, push, pull typespec.BlockPolicy, base *atomic.Int64) *OrderedMerge {
+	return &OrderedMerge{
+		Base:    core.Base{CompName: name},
+		out:     NewBufferPolicy(name+".out", capacity, push, pull),
+		ins:     n,
+		base:    base,
+		pending: make(map[int64]*item.Item),
+		open:    n,
+		inEnded: make([]bool, n),
+	}
+}
+
+// BindScheduler forwards the scheduler binding to the internal buffer.
+func (t *OrderedMerge) BindScheduler(s *uthread.Scheduler) { t.out.BindScheduler(s) }
+
+// In returns the i-th input as a sink component for a replica branch.
+func (t *OrderedMerge) In(i int) *OrderedMergeIn {
+	return &OrderedMergeIn{Base: core.Base{CompName: fmt.Sprintf("%s.in%d", t.Name(), i)}, tee: t, idx: i}
+}
+
+// Out returns the reconstructed stream as a passive source.
+func (t *OrderedMerge) Out() *BufferSource { return NewBufferSource(t.Name()+".src", t.out) }
+
+// OutBuffer exposes the internal buffer.
+func (t *OrderedMerge) OutBuffer() *BoundedBuffer { return t.out }
+
+// Ins implements core.MergePoint.
+func (t *OrderedMerge) Ins() int { return t.ins }
+
+// InPort implements core.MergePoint.
+func (t *OrderedMerge) InPort(i int) core.Component { return t.In(i) }
+
+// OutPort implements core.MergePoint.
+func (t *OrderedMerge) OutPort() core.Component { return t.Out() }
+
+// Pending reports the current reorder-window occupancy (tests, sensors).
+func (t *OrderedMerge) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.pending)
+}
+
+// push deposits one arrival and releases the contiguous run starting at
+// next.  Only one thread releases at a time; concurrent entrants deposit
+// and return, and the releasing thread re-checks the window after every
+// Insert, so no ready item is ever stranded.
+func (t *OrderedMerge) push(ctx *core.Ctx, it *item.Item) error {
+	t.mu.Lock()
+	if t.next == 0 {
+		t.next = 1
+		if t.base != nil {
+			if b := t.base.Load(); b > 0 {
+				t.next = b
+			}
+		}
+	}
+	t.pending[it.Seq] = it
+	return t.release(ctx)
+}
+
+// release drains the reorder window; called with mu held, returns with mu
+// released.  Once every input has ended it also flushes what remains in
+// ascending Seq order (tolerating gaps, so a non-1:1 scaled stage cannot
+// wedge the stream forever) and closes the output.
+func (t *OrderedMerge) release(ctx *core.Ctx) error {
+	if t.draining || t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.draining = true
+	for {
+		nx, ok := t.pending[t.next]
+		if !ok {
+			if t.open == 0 {
+				// Last input ended while (or before) this release ran:
+				// flush the stragglers beyond the gap and close.
+				err := t.flushAndClose(ctx)
+				t.mu.Lock()
+				t.draining = false
+				t.mu.Unlock()
+				return err
+			}
+			t.draining = false
+			t.mu.Unlock()
+			return nil
+		}
+		delete(t.pending, t.next)
+		t.next++
+		t.mu.Unlock()
+		if err := t.out.Insert(ctx, nx); err != nil {
+			t.mu.Lock()
+			t.draining = false
+			t.mu.Unlock()
+			return err
+		}
+		t.mu.Lock()
+	}
+}
+
+// flushAndClose emits everything left in the window in ascending Seq order
+// and closes the output; called with mu held, returns with mu released.
+func (t *OrderedMerge) flushAndClose(ctx *core.Ctx) error {
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	seqs := make([]int64, 0, len(t.pending))
+	for s := range t.pending {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(a, b int) bool { return seqs[a] < seqs[b] })
+	rest := make([]*item.Item, 0, len(seqs))
+	for _, s := range seqs {
+		rest = append(rest, t.pending[s])
+		delete(t.pending, s)
+	}
+	t.mu.Unlock()
+	var err error
+	for _, it := range rest {
+		if ctx == nil {
+			// Stop-event path: the stream is being aborted, nothing may
+			// block — the window's leftovers are abandoned with it.
+			break
+		}
+		if err = t.out.Insert(ctx, it); err != nil {
+			break
+		}
+	}
+	t.out.CloseUpstream()
+	return err
+}
+
+// inputDone records the end of branch i (idempotent per port, like
+// MergeTee): when the last branch ends, the window flushes and the output
+// closes.  ctx is nil on the Stop-event path, where pending items are
+// dropped rather than flushed.
+func (t *OrderedMerge) inputDone(ctx *core.Ctx, i int) {
+	t.mu.Lock()
+	if i < 0 || i >= len(t.inEnded) || t.inEnded[i] {
+		t.mu.Unlock()
+		return
+	}
+	t.inEnded[i] = true
+	t.open--
+	if t.open != 0 || t.draining || t.closed {
+		// A release in progress observes open==0 and flushes itself.
+		t.mu.Unlock()
+		return
+	}
+	t.draining = true
+	_ = t.flushAndClose(ctx)
+	t.mu.Lock()
+	t.draining = false
+	t.mu.Unlock()
+}
+
+// OrderedMergeIn is one input port of an OrderedMerge.
+type OrderedMergeIn struct {
+	core.Base
+	tee *OrderedMerge
+	idx int
+}
+
+var (
+	_ core.Consumer = (*OrderedMergeIn)(nil)
+	_ core.EOSSink  = (*OrderedMergeIn)(nil)
+)
+
+// Style implements core.Component.
+func (m *OrderedMergeIn) Style() core.Style { return core.StyleConsumer }
+
+// Push implements core.Consumer.  Origin is deliberately left untouched:
+// the merged output is the reconstructed trunk stream.
+func (m *OrderedMergeIn) Push(ctx *core.Ctx, it *item.Item) error {
+	return m.tee.push(ctx, it)
+}
+
+// HandleEOS implements core.EOSSink.
+func (m *OrderedMergeIn) HandleEOS(ctx *core.Ctx) { m.tee.inputDone(ctx, m.idx) }
+
+// HandleEvent implements core.Component.
+func (m *OrderedMergeIn) HandleEvent(_ *core.Ctx, ev events.Event) {
+	if ev.Type == events.Stop {
+		m.tee.inputDone(nil, m.idx)
+	}
+}
